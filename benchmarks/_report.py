@@ -1,0 +1,37 @@
+"""Shared reporting helper for the benchmark harness.
+
+Every benchmark regenerates one of the paper's artifacts (a figure, a table,
+or a demonstration claim) and reports the corresponding rows/series.  The
+report is printed to stdout (visible with ``pytest -s`` or on failure) and
+also written to ``benchmarks/results/<name>.txt`` so the numbers survive the
+run and can be pasted into EXPERIMENTS.md.
+"""
+
+import os
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def emit(name, title, lines):
+    """Print a report block and persist it under ``benchmarks/results/``."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    block = [f"=== {title} ==="]
+    block.extend(str(line) for line in lines)
+    text = "\n".join(block)
+    print("\n" + text)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+    return text
+
+
+def table(headers, rows):
+    """Format a fixed-width text table."""
+    widths = [len(str(h)) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(str(cell)))
+    def fmt(row):
+        return "  ".join(str(cell).ljust(widths[index]) for index, cell in enumerate(row))
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return lines

@@ -1,0 +1,102 @@
+"""DBCONN — the database-connection (EXPLAIN) mode of Section III.
+
+"When the database connection is available ... LineageX uses PostgreSQL's
+EXPLAIN command to obtain the physical query plan instead of the AST from
+the parser ... an error may occur due to missing dependencies when running
+the EXPLAIN command.  This requires the stack mechanism and performing an
+additional step to create the views first."
+
+This benchmark runs the simulated-EXPLAIN mode over Example 1, the retail
+warehouse and the MIMIC warehouse, checks it produces exactly the same
+lineage as the static mode (given the same base-table metadata), reports the
+view-creation deferrals it performed, and compares the runtimes of the two
+modes.
+"""
+
+import time
+
+import pytest
+
+from repro.analysis.diff import diff_graphs
+from repro.core.plan_extractor import lineagex_with_connection
+from repro.core.runner import lineagex
+from repro.datasets import example1, mimic, retail
+
+from _report import emit, table
+
+WORKLOADS = [
+    (
+        "example1",
+        lambda: example1.QUERY_LOG,
+        example1.base_table_catalog,
+    ),
+    (
+        "retail",
+        lambda: retail.VIEW_SCRIPT,
+        retail.base_table_catalog,
+    ),
+    (
+        "mimic",
+        lambda: mimic.view_script(shuffle_seed=11),
+        mimic.base_table_catalog,
+    ),
+]
+
+
+@pytest.mark.parametrize(
+    "name,script_builder,catalog_builder", WORKLOADS, ids=[n for n, _, _ in WORKLOADS]
+)
+def test_dbconn_extraction(benchmark, name, script_builder, catalog_builder):
+    script = script_builder()
+    result = benchmark(lineagex_with_connection, script, catalog_builder())
+    assert not result.report.unresolved
+
+
+def test_dbconn_agreement_report(benchmark):
+    rows = []
+    for name, script_builder, catalog_builder in WORKLOADS:
+        script = script_builder()
+
+        started = time.perf_counter()
+        static_result = lineagex(script, catalog=catalog_builder())
+        static_time = time.perf_counter() - started
+
+        started = time.perf_counter()
+        connected_result = lineagex_with_connection(script, catalog=catalog_builder())
+        connected_time = time.perf_counter() - started
+
+        diff = diff_graphs(connected_result.graph, static_result.graph)
+        rows.append(
+            (
+                name,
+                len(static_result.graph.views),
+                connected_result.report.deferral_count,
+                "identical" if diff.is_identical else "DIFFERS",
+                f"{static_time * 1000:.1f}",
+                f"{connected_time * 1000:.1f}",
+            )
+        )
+    benchmark(lambda: lineagex_with_connection(example1.QUERY_LOG, example1.base_table_catalog()))
+    lines = table(
+        [
+            "workload",
+            "#views",
+            "view-creation deferrals",
+            "lineage vs static mode",
+            "static mode (ms)",
+            "EXPLAIN mode (ms)",
+        ],
+        rows,
+    )
+    lines.append("")
+    lines.append(
+        "With exact metadata from the (simulated) DBMS, the EXPLAIN-based extraction"
+    )
+    lines.append(
+        "agrees with the static extraction on every workload; missing dependencies are"
+    )
+    lines.append("resolved by creating the views first (LIFO stack), as in the paper.")
+    emit("dbconn_mode", "Section III — database-connection (EXPLAIN) mode", lines)
+
+    assert all(status == "identical" for _, _, _, status, _, _ in rows)
+    assert rows[0][2] == 2  # Example 1 needs exactly two deferrals (webact, webinfo)

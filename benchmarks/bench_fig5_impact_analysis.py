@@ -1,0 +1,66 @@
+"""FIG5 — The demonstration walkthrough (Figure 5, Section IV Steps 1-4).
+
+Step 1 calls the library on ``customer.sql`` and gets a JSON + HTML result;
+Step 2 locates the ``web`` table; Step 3 explores its downstream tables
+(first ``webinfo``/``webact``, then ``info``); Step 4 solves the case: the
+impact of editing ``web.page`` is ``webinfo.wpage`` plus every column of
+``webact`` and ``info``, with contribute/reference/both labels.
+
+This benchmark replays all four steps programmatically and reports the
+impact table the UI highlights.
+"""
+
+from repro.analysis.impact import explore, impact_analysis
+from repro.core.runner import lineagex
+from repro.datasets import example1
+
+from _report import emit, table
+
+
+def test_fig5_step1_one_call_api(benchmark, tmp_path):
+    result = benchmark(lineagex, example1.QUERY_LOG, output_dir=str(tmp_path))
+    assert (tmp_path / "lineagex.json").exists()
+    assert (tmp_path / "lineagex.html").exists()
+
+
+def test_fig5_step3_explore(benchmark, example1_result):
+    graph = example1_result.graph
+    upstream, downstream = benchmark(explore, graph, "web")
+    assert downstream == {"webinfo", "webact"}
+    _, second_hop = explore(graph, "web", hops=2)
+    assert "info" in second_hop
+    _, info_downstream = explore(graph, "info")
+    assert info_downstream == set()
+
+
+def test_fig5_step4_impact_of_web_page(benchmark, example1_result):
+    graph = example1_result.graph
+    result = benchmark(impact_analysis, graph, "web.page")
+
+    rows = [(table_name, column, kind) for table_name, column, kind in result.to_rows()]
+    lines = table(["table", "column", "impact kind"], rows)
+    lines.append("")
+    lines.append(
+        "Paper's Step 4 answer: webinfo.wpage plus all columns of webact and info."
+    )
+    lines.append(
+        f"Columns found: {len(result.all_columns)} "
+        f"(expected {len(example1.IMPACT_OF_WEB_PAGE)})"
+    )
+    emit("fig5_impact_analysis", "Figure 5 / Step 4 — impact analysis of web.page", lines)
+
+    assert {str(c) for c in result.all_columns} == example1.IMPACT_OF_WEB_PAGE
+    assert result.impacted_tables() == ["info", "webact", "webinfo"]
+    # wpage is contributed-to (red in the UI); webact.wpage is both (orange).
+    from repro.core.column_refs import ColumnName
+    from repro.core.lineage import EDGE_BOTH
+
+    assert result.kind_of(ColumnName.of("webact", "wpage")) == EDGE_BOTH
+
+
+def test_fig5_html_supports_the_walkthrough(benchmark, example1_result):
+    html = benchmark(example1_result.to_html)
+    # the dropdown (Step 2), explore action (Step 3) and hover highlighting
+    # (Step 4) are all present in the self-contained page
+    for hook in ("table-select", "exploreTable", "highlightDownstream", "highlight-both"):
+        assert hook in html

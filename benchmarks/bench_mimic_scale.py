@@ -1,0 +1,64 @@
+"""MIMIC — the Section IV demonstration dataset at scale.
+
+The paper demonstrates LineageX on the MIMIC schema: "more than 300 columns
+in 26 base tables and 700 columns in 70 view definitions".  The real MIMIC
+data is access-controlled, so this benchmark runs the synthetic MIMIC-like
+warehouse (same table names, 26 tables, 70 views; see
+``repro.datasets.mimic``) end to end and reports the achieved scale,
+coverage (every view resolved, no wildcard columns), and runtime.
+"""
+
+from repro.analysis.impact import impact_analysis
+from repro.core.runner import lineagex
+from repro.datasets import mimic
+
+from _report import emit, table
+
+
+def test_mimic_full_extraction(benchmark, mimic_script):
+    result = benchmark(lineagex, mimic_script)
+    stats = result.stats()
+
+    counts = mimic.expected_counts()
+    rows = [
+        ("base tables", 26, stats["num_base_tables"]),
+        ("base-table columns", ">300 (paper)", stats["num_base_columns"]),
+        ("views", 70, stats["num_views"]),
+        ("view columns", "~700 (paper)", stats["num_view_columns"]),
+        ("column-level edges", "-", stats["num_column_edges"]),
+        ("queries resolved", counts["views"], counts["views"] - stats["num_unresolved"]),
+        ("stack deferrals", "-", stats["num_deferrals"]),
+    ]
+    lines = table(["quantity", "paper / target", "this reproduction"], rows)
+    lines.append("")
+    lines.append(
+        "Coverage: every one of the 70 view definitions is resolved to concrete "
+        "column lineage (no unresolved queries, no wildcard '*' outputs)."
+    )
+    emit("mimic_scale", "Section IV — MIMIC-scale extraction", lines)
+
+    assert stats["num_views"] == 70
+    assert stats["num_base_tables"] == 26
+    assert stats["num_unresolved"] == 0
+    assert stats["num_view_columns"] > 500
+    wildcard_columns = [
+        view.name for view in result.graph.views if "*" in view.output_columns
+    ]
+    assert not wildcard_columns
+
+
+def test_mimic_impact_analysis_on_large_graph(benchmark, mimic_result):
+    result = benchmark(impact_analysis, mimic_result.graph, "admissions.hadm_id")
+    # hadm_id feeds the admissions staging view, the patient/ICU cohort views
+    # and their downstream reports — a double-digit table closure
+    assert len(result.impacted_tables()) >= 15
+
+
+def test_mimic_json_serialisation(benchmark, mimic_result):
+    text = benchmark(mimic_result.to_json)
+    assert len(text) > 10_000
+
+
+def test_mimic_html_rendering(benchmark, mimic_result):
+    html = benchmark(mimic_result.to_html)
+    assert "research_cohort" in html

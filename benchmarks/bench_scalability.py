@@ -1,0 +1,82 @@
+"""SCALE — runtime as a function of warehouse size ("lightweight" claim).
+
+The paper positions LineageX as a lightweight library (no query execution,
+no DBMS).  This benchmark sweeps generated warehouses from 10 to 400 views
+(seeded, deterministic) and reports end-to-end extraction time, per-view
+time, and graph size, demonstrating roughly linear growth.
+"""
+
+import time
+
+import pytest
+
+from repro.core.runner import lineagex
+from repro.datasets import workload
+
+from _report import emit, table
+
+SWEEP = workload.sweep_configurations()
+
+
+@pytest.mark.parametrize(
+    "num_views,num_base_tables", SWEEP, ids=[f"{v}-views" for v, _ in SWEEP]
+)
+def test_scale_extraction(benchmark, num_views, num_base_tables):
+    warehouse = workload.generate_warehouse(
+        num_base_tables=num_base_tables, num_views=num_views, seed=97
+    )
+    script = warehouse.shuffled_script()
+    catalog = warehouse.catalog()
+    result = benchmark(lineagex, script, catalog)
+    assert len(result.graph.views) == num_views
+    assert not result.report.unresolved
+
+
+def test_scale_report(benchmark):
+    rows = []
+    timings = []
+    for num_views, num_base_tables in SWEEP:
+        warehouse = workload.generate_warehouse(
+            num_base_tables=num_base_tables, num_views=num_views, seed=97
+        )
+        script = warehouse.shuffled_script()
+        catalog = warehouse.catalog()
+        started = time.perf_counter()
+        result = lineagex(script, catalog=catalog)
+        elapsed = time.perf_counter() - started
+        timings.append((num_views, elapsed))
+        stats = result.stats()
+        rows.append(
+            (
+                num_views,
+                stats["num_view_columns"],
+                stats["num_column_edges"],
+                stats["num_deferrals"],
+                f"{elapsed * 1000:.1f}",
+                f"{elapsed * 1000 / num_views:.2f}",
+            )
+        )
+    benchmark(
+        lambda: lineagex(
+            workload.generate_warehouse(num_views=25, seed=97).script,
+        )
+    )
+    lines = table(
+        [
+            "#views",
+            "#view columns",
+            "#column edges",
+            "#deferrals",
+            "total time (ms)",
+            "time per view (ms)",
+        ],
+        rows,
+    )
+    lines.append("")
+    lines.append("Growth is roughly linear in the number of view definitions.")
+    emit("scalability", "Scalability — extraction time vs warehouse size", lines)
+
+    # roughly-linear check: per-view time at 400 views is within 10x of 10 views
+    small = timings[0][1] / timings[0][0]
+    large = timings[-1][1] / timings[-1][0]
+    assert large < small * 10

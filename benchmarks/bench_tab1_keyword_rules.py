@@ -1,0 +1,87 @@
+"""TAB1 — The Table I keyword rules.
+
+Table I of the paper defines how each SQL keyword updates the lineage state
+(T, C_con, C_ref, C_pos, P, M_CTE).  This benchmark runs one targeted query
+per keyword class and reports, for each, how often the corresponding rule
+fired and what lineage it produced — i.e. it regenerates Table I with the
+observed behaviour of the implementation, and times rule application on the
+Example 1 workload.
+"""
+
+import pytest
+
+from repro.core.extractor import (
+    ALL_RULES,
+    RULE_FROM_CTE,
+    RULE_FROM_TABLE,
+    RULE_OTHER,
+    RULE_SELECT,
+    RULE_SET_OPERATION,
+    RULE_WITH,
+    LineageExtractor,
+)
+from repro.core.preprocess import preprocess
+from repro.datasets import example1
+
+from _report import emit, table
+
+#: One targeted query per Table I keyword class.
+RULE_QUERIES = [
+    (RULE_SELECT, "SELECT t.a, t.b + t.c AS s FROM t"),
+    (RULE_FROM_TABLE, "SELECT x.a FROM first_table x JOIN second_table y ON x.k = y.k"),
+    (RULE_FROM_CTE, "WITH c AS (SELECT t.a FROM t) SELECT c.a FROM c"),
+    (RULE_WITH, "WITH c AS (SELECT t.a FROM t), d AS (SELECT c.a FROM c) SELECT d.a FROM d"),
+    (RULE_SET_OPERATION, "SELECT t.a FROM t INTERSECT SELECT u.b FROM u"),
+    (RULE_OTHER, "SELECT t.a FROM t JOIN u ON t.k = u.k WHERE u.flag GROUP BY t.a"),
+]
+
+
+def _extract_with_trace(sql, name="bench"):
+    extractor = LineageExtractor()
+    entry = list(preprocess(sql))[0]
+    return extractor.extract(name, entry.query, declared_columns=entry.column_names)
+
+
+@pytest.mark.parametrize("rule,sql", RULE_QUERIES, ids=[rule for rule, _ in RULE_QUERIES])
+def test_tab1_rule_query(benchmark, rule, sql):
+    lineage, trace = benchmark(_extract_with_trace, sql)
+    assert trace.rule_counts()[rule] >= 1, f"expected the {rule!r} rule to fire"
+
+
+def test_tab1_rule_firing_report(benchmark):
+    def build_report():
+        rows = []
+        for rule, sql in RULE_QUERIES:
+            lineage, trace = _extract_with_trace(sql)
+            counts = trace.rule_counts()
+            rows.append(
+                (
+                    rule,
+                    counts[rule],
+                    len(lineage.output_columns),
+                    len(lineage.contributing_columns),
+                    len(lineage.referenced),
+                )
+            )
+        return rows
+
+    rows = benchmark(build_report)
+    lines = table(
+        ["Table I rule", "firings", "#output cols", "|C_con|", "|C_ref|"], rows
+    )
+
+    # Rule firings over the whole Example 1 log (what the paper's Figure 4
+    # traversal implies for Q3, extended to Q1-Q3).
+    totals = {rule: 0 for rule in ALL_RULES}
+    for entry in preprocess(example1.QUERY_LOG):
+        _, trace = LineageExtractor().extract(
+            entry.identifier, entry.query, declared_columns=entry.column_names
+        )
+        for rule, count in trace.rule_counts().items():
+            totals[rule] += count
+    lines.append("")
+    lines.append("Rule firings across the Example 1 query log (Q1-Q3):")
+    lines.extend(table(["rule", "total firings"], sorted(totals.items())))
+    emit("tab1_keyword_rules", "Table I — keyword rules in action", lines)
+
+    assert all(firings >= 1 for _, firings, _, _, _ in rows)

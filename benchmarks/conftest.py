@@ -1,0 +1,26 @@
+"""Shared fixtures for the benchmark harness."""
+
+import pytest
+
+from repro.core.runner import lineagex
+from repro.datasets import example1, mimic, retail
+
+
+@pytest.fixture(scope="session")
+def example1_result():
+    return lineagex(example1.QUERY_LOG)
+
+
+@pytest.fixture(scope="session")
+def retail_result():
+    return lineagex(retail.FULL_SCRIPT)
+
+
+@pytest.fixture(scope="session")
+def mimic_script():
+    return mimic.full_script(shuffle_seed=11)
+
+
+@pytest.fixture(scope="session")
+def mimic_result(mimic_script):
+    return lineagex(mimic_script)

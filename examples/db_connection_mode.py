@@ -1,0 +1,48 @@
+"""Database-connection mode — extraction through simulated EXPLAIN plans.
+
+Section III: when a DBMS is reachable, LineageX sends each query to
+PostgreSQL's EXPLAIN to obtain exact column metadata instead of relying on
+static inference; missing dependencies surface as ``undefined_table`` errors
+and are resolved by creating the views first (the same stack mechanism).
+
+This example uses the bundled DBMS substitute (an in-memory catalog plus a
+logical planner) to run that workflow on Example 1, shows a plan, and checks
+the result agrees with the purely static extraction.
+
+Run with:  python examples/db_connection_mode.py
+"""
+
+import repro
+from repro.analysis.diff import diff_graphs
+from repro.catalog import ExplainSimulator
+from repro.datasets import example1
+
+
+def main():
+    catalog = example1.base_table_catalog()
+
+    # What the DBMS would answer for a single view definition.
+    simulator = ExplainSimulator(catalog.copy())
+    print("EXPLAIN for Q3 (CREATE VIEW webinfo ...):\n")
+    print(simulator.explain_text(example1.Q3))
+    print()
+
+    # Full run in database-connection mode: EXPLAIN validates each query,
+    # missing views are created first, lineage uses exact metadata.
+    connected = repro.lineagex_with_connection(example1.QUERY_LOG, catalog=catalog)
+    print("Processing order (connection mode):", " -> ".join(connected.report.order))
+    print("View-creation deferrals:", connected.report.deferral_count)
+    print("Views now registered in the catalog:",
+          ", ".join(sorted(t.name for t in connected.catalog.views())))
+    print()
+
+    # The static mode (no DBMS at all) gives the same lineage when the base
+    # table schemas are known.
+    static = repro.lineagex(example1.QUERY_LOG, catalog=example1.base_table_catalog())
+    diff = diff_graphs(connected.graph, static.graph)
+    print("Agreement with static extraction:",
+          "identical" if diff.is_identical else f"DIFFERS\n{diff.summary()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Impact analysis — the paper's Section IV walkthrough (Steps 2-4).
+
+Scenario (Example 1): the online shop owner wants to edit the ``page``
+column of the ``web`` table and asks which downstream columns are impacted.
+This script replays the demonstration:
+
+* Step 2: locate the ``web`` table;
+* Step 3: explore its downstream tables hop by hop;
+* Step 4: compute the full impact set of ``web.page`` with
+  contribute/reference/both labels;
+* and finally compare against the SQLLineage-like baseline and the simulated
+  LLM assistant, as in the demo's "Comparison with existing methods".
+
+Run with:  python examples/impact_analysis.py
+"""
+
+import repro
+from repro.analysis.impact import explore, impact_analysis, impact_report
+from repro.baselines import SimulatedLLMAssistant, SQLLineageBaseline
+from repro.datasets import example1
+
+
+def main():
+    result = repro.lineagex(example1.QUERY_LOG)
+    graph = result.graph
+
+    # Step 2: locate the table of interest.
+    print("Step 2 — locating table 'web':")
+    print(f"  columns: {', '.join(graph.columns_of('web'))}")
+    print()
+
+    # Step 3: explore downstream tables (data flows left to right).
+    print("Step 3 — exploring downstream tables of 'web':")
+    _, first_hop = explore(graph, "web", hops=1)
+    _, second_hop = explore(graph, "web", hops=2)
+    print(f"  first explore:  {sorted(first_hop)}")
+    print(f"  second explore: {sorted(second_hop - first_hop)} (no further downstreams)")
+    print()
+
+    # Step 4: solve the case.
+    print("Step 4 — impact of editing web.page:")
+    print(impact_report(graph, "web.page"))
+    print()
+
+    # Comparison with existing methods.
+    print("Comparison with a SQLLineage-like tool:")
+    baseline_graph = SQLLineageBaseline().run(example1.QUERY_LOG)
+    baseline_impact = impact_analysis(baseline_graph, "web.page")
+    print(f"  baseline finds {len(baseline_impact.all_columns)} impacted columns "
+          f"(LineageX finds {len(impact_analysis(graph, 'web.page').all_columns)})")
+    print(f"  baseline webact columns: {baseline_graph['webact'].output_columns}")
+    print()
+
+    print("Comparison with an LLM assistant (simulated GPT-4o):")
+    assistant = SimulatedLLMAssistant(example1.QUERY_LOG)
+    print(" ", assistant.answer("web.page"))
+    missed = example1.IMPACT_OF_WEB_PAGE - {
+        str(c) for c in assistant.impacted_columns("web.page")
+    }
+    print(f"  referenced-only columns the assistant misses: {sorted(missed)}")
+
+
+if __name__ == "__main__":
+    main()

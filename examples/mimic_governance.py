@@ -1,0 +1,71 @@
+"""MIMIC-scale governance — tracking sensitive clinical columns.
+
+Section I of the paper motivates column lineage with compliance: "identify
+how sensitive data flows throughout the entire pipeline ... validating data
+compliance with regulations, such as GDPR and HIPAA".  Section IV
+demonstrates on the MIMIC clinical dataset (26 base tables, 70 views).
+
+This example runs LineageX over the synthetic MIMIC-like warehouse and
+produces a sensitive-data flow report: for each protected attribute
+(date of birth, date of death, ethnicity, insurance, free-text notes), every
+downstream view column it reaches — the starting point of a PHI audit.
+
+Run with:  python examples/mimic_governance.py
+"""
+
+import time
+
+import repro
+from repro.analysis.impact import impact_analysis
+from repro.datasets import mimic
+
+#: Protected attributes a HIPAA/GDPR audit would start from.
+SENSITIVE_COLUMNS = [
+    "patients.dob",
+    "patients.dod",
+    "admissions.ethnicity",
+    "admissions.insurance",
+    "noteevents.text",
+]
+
+
+def main():
+    script = mimic.full_script(shuffle_seed=11)
+    started = time.perf_counter()
+    result = repro.lineagex(script)
+    elapsed = time.perf_counter() - started
+
+    stats = result.stats()
+    print(
+        f"MIMIC-like warehouse: {stats['num_base_tables']} base tables "
+        f"({stats['num_base_columns']} columns), {stats['num_views']} views "
+        f"({stats['num_view_columns']} columns) extracted in {elapsed:.2f}s.\n"
+    )
+
+    print("Sensitive-data flow report")
+    print("=" * 60)
+    for column in SENSITIVE_COLUMNS:
+        impact = impact_analysis(result.graph, column)
+        print(f"\n{column}")
+        if not impact.all_columns:
+            print("   not used by any view")
+            continue
+        for table in impact.impacted_tables():
+            reached = sorted(
+                f"{c.column} [{impact.kind_of(c)}]"
+                for c in impact.all_columns
+                if c.table == table
+            )
+            print(f"   -> {table}: {', '.join(reached)}")
+
+    # Summarise exposure: how many views touch each sensitive column at all.
+    print("\nExposure summary")
+    print("=" * 60)
+    for column in SENSITIVE_COLUMNS:
+        impact = impact_analysis(result.graph, column)
+        print(f"   {column:<28s} reaches {len(impact.impacted_tables()):>3d} views, "
+              f"{len(impact.all_columns):>4d} columns")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Retail warehouse governance — storage refactoring and metric auditing.
+
+The paper's introduction motivates column lineage with data-governance tasks:
+impact analysis for schema changes, storage refactoring, and debugging data
+quality.  This example runs LineageX over a realistic retail warehouse
+(8 base tables, 13 staging/mart views) and answers three governance
+questions:
+
+1. *Refactoring*: which views break if we drop ``order_items.discount``?
+2. *Metric audit*: which physical columns feed ``customer_ltv.lifetime_value``?
+3. *Dead columns*: which base-table columns are never used by any view?
+
+Run with:  python examples/retail_pipeline.py
+"""
+
+import repro
+from repro.analysis.impact import impact_analysis, upstream_columns
+from repro.datasets import retail
+
+
+def main():
+    result = repro.lineagex(retail.FULL_SCRIPT)
+    graph = result.graph
+    stats = result.stats()
+    print(
+        f"Extracted {stats['num_views']} views over {stats['num_base_tables']} base tables "
+        f"({stats['num_column_edges']} column edges) — "
+        f"{stats['num_deferrals']} auto-inference deferrals.\n"
+    )
+
+    # 1. Refactoring: what depends on order_items.discount?
+    print("1. Impact of dropping order_items.discount")
+    impact = impact_analysis(graph, "order_items.discount")
+    for table in impact.impacted_tables():
+        columns = sorted(c.column for c in impact.all_columns if c.table == table)
+        print(f"   {table}: {', '.join(columns)}")
+    print()
+
+    # 2. Metric audit: where does lifetime_value come from?
+    print("2. Physical columns feeding customer_ltv.lifetime_value")
+    upstream = upstream_columns(graph, "customer_ltv.lifetime_value")
+    base_tables = {entry.name for entry in graph.base_tables}
+    physical = sorted(str(c) for c in upstream if c.table in base_tables)
+    print("   " + ", ".join(physical))
+    print()
+
+    # 3. Dead columns: catalog columns never referenced by any view.
+    print("3. Base-table columns never used by any view (candidates for cleanup)")
+    catalog = retail.base_table_catalog()
+    used = set()
+    for view in graph.views:
+        for sources in view.contributions.values():
+            used |= {str(s) for s in sources}
+        used |= {str(s) for s in view.referenced}
+    for table in sorted(catalog.relation_names()):
+        unused = [
+            column
+            for column in catalog.columns_of(table)
+            if f"{table}.{column}" not in used
+        ]
+        if unused:
+            print(f"   {table}: {', '.join(unused)}")
+
+    # Export a Graphviz rendering for documentation.
+    dot = result.to_dot()
+    print(f"\nGraphviz DOT export: {len(dot.splitlines())} lines "
+          "(pipe into `dot -Tsvg` to render).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The environment used for this reproduction has no ``wheel`` package and no
+network access, so PEP 517 editable installs (which build a wheel) fail.
+Keeping a classic ``setup.py`` lets ``pip install -e . --no-build-isolation
+--no-use-pep517`` (and plain ``python setup.py develop``) work offline.
+All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

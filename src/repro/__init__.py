@@ -1,0 +1,61 @@
+"""repro — a reproduction of LineageX (ICDE 2025).
+
+LineageX is a lightweight Python library that infers column-level lineage
+from SQL query logs by static analysis and visualizes the result.  The
+public API mirrors the paper's one-call workflow:
+
+>>> import repro
+>>> result = repro.lineagex(open("customer.sql").read())
+>>> result.save("output/")          # lineagex.json + lineagex.html
+>>> impact = result.impact_analysis("web.page")
+>>> sorted(str(c) for c in impact.all_columns)[:3]
+['info.age', 'info.name', 'info.oid']
+
+Package map
+-----------
+``repro.sqlparser``   the SQL tokenizer/parser substrate (replaces SQLGlot)
+``repro.core``        the lineage extraction pipeline (the paper's contribution)
+``repro.catalog``     schema catalog + simulated EXPLAIN (database-connection mode)
+``repro.analysis``    impact analysis, graph diff, accuracy metrics
+``repro.output``      JSON / HTML / DOT / text renderings
+``repro.baselines``   SQLLineage-like, SQLGlot-like and LLM-like baselines
+``repro.datasets``    Example 1, retail, synthetic MIMIC, random workloads
+``repro.dbt``         dbt project wrapper
+"""
+
+from .core.runner import LineageXResult, LineageXRunner, lineagex
+from .core.lineage import ColumnEdge, LineageGraph, TableLineage
+from .core.column_refs import ColumnName
+from .core.errors import (
+    AmbiguousColumnError,
+    CyclicDependencyError,
+    LineageError,
+    UnknownRelationError,
+)
+from .core.plan_extractor import PlanModeRunner, lineagex_with_connection
+from .catalog import Catalog, catalog_from_sql
+from .analysis.impact import impact_analysis
+from .dbt import lineagex_dbt
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "lineagex",
+    "lineagex_with_connection",
+    "lineagex_dbt",
+    "LineageXResult",
+    "LineageXRunner",
+    "PlanModeRunner",
+    "LineageGraph",
+    "TableLineage",
+    "ColumnEdge",
+    "ColumnName",
+    "Catalog",
+    "catalog_from_sql",
+    "impact_analysis",
+    "LineageError",
+    "UnknownRelationError",
+    "AmbiguousColumnError",
+    "CyclicDependencyError",
+    "__version__",
+]

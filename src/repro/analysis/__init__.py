@@ -1,0 +1,39 @@
+"""Graph analyses built on top of the lineage model.
+
+* :mod:`repro.analysis.impact` -- upstream/downstream closures and the
+  impact-analysis workflow of the demonstration (Figure 5, Steps 3-4);
+* :mod:`repro.analysis.diff` -- structural comparison of two lineage graphs;
+* :mod:`repro.analysis.metrics` -- precision/recall/coverage metrics used by
+  the Figure 2 and GPT-4o comparison benchmarks.
+"""
+
+from .impact import ImpactResult, impact_analysis, downstream_columns, upstream_columns, explore
+from .diff import GraphDiff, diff_graphs
+from .metrics import edge_metrics, column_metrics, MetricReport
+from .ordering import (
+    creation_order,
+    drop_order,
+    migration_script,
+    root_tables,
+    terminal_views,
+    unused_base_columns,
+)
+
+__all__ = [
+    "ImpactResult",
+    "impact_analysis",
+    "downstream_columns",
+    "upstream_columns",
+    "explore",
+    "GraphDiff",
+    "diff_graphs",
+    "edge_metrics",
+    "column_metrics",
+    "MetricReport",
+    "creation_order",
+    "drop_order",
+    "migration_script",
+    "root_tables",
+    "terminal_views",
+    "unused_base_columns",
+]

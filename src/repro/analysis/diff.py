@@ -1,0 +1,84 @@
+"""Structural comparison of two lineage graphs.
+
+Used by the Figure 2 benchmark to contrast LineageX output against the
+SQLLineage-like baseline, and by tests that check the static extraction
+agrees with the database-connection (EXPLAIN) mode.
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class GraphDiff:
+    """Differences between a candidate graph and a reference graph."""
+
+    missing_relations: set = field(default_factory=set)
+    extra_relations: set = field(default_factory=set)
+    missing_columns: dict = field(default_factory=dict)   # relation -> set of columns
+    extra_columns: dict = field(default_factory=dict)
+    missing_edges: set = field(default_factory=set)        # (source, target, kind)
+    extra_edges: set = field(default_factory=set)
+    matching_edges: set = field(default_factory=set)
+
+    @property
+    def is_identical(self):
+        """True when the two graphs agree on relations, columns, and edges."""
+        return not (
+            self.missing_relations
+            or self.extra_relations
+            or any(self.missing_columns.values())
+            or any(self.extra_columns.values())
+            or self.missing_edges
+            or self.extra_edges
+        )
+
+    def summary(self):
+        """A printable summary table of the differences."""
+        lines = [
+            f"relations: -{len(self.missing_relations)} / +{len(self.extra_relations)}",
+            f"columns:   -{sum(len(v) for v in self.missing_columns.values())}"
+            f" / +{sum(len(v) for v in self.extra_columns.values())}",
+            f"edges:     -{len(self.missing_edges)} / +{len(self.extra_edges)}"
+            f" (matching {len(self.matching_edges)})",
+        ]
+        return "\n".join(lines)
+
+
+def _edge_set(graph, ignore_kind=False):
+    edges = set()
+    for edge in graph.edges():
+        kind = "any" if ignore_kind else edge.kind
+        edges.add((str(edge.source), str(edge.target), kind))
+    return edges
+
+
+def diff_graphs(candidate, reference, ignore_kind=False):
+    """Compare ``candidate`` against ``reference`` (the ground truth).
+
+    ``missing_*`` entries are present in the reference but absent from the
+    candidate; ``extra_*`` entries are present in the candidate only.  Set
+    ``ignore_kind=True`` to compare edge topology while ignoring the
+    contribute/reference distinction.
+    """
+    diff = GraphDiff()
+    candidate_names = {relation.name for relation in candidate}
+    reference_names = {relation.name for relation in reference}
+    diff.missing_relations = reference_names - candidate_names
+    diff.extra_relations = candidate_names - reference_names
+
+    for name in reference_names & candidate_names:
+        reference_columns = set(reference[name].output_columns)
+        candidate_columns = set(candidate[name].output_columns)
+        missing = reference_columns - candidate_columns
+        extra = candidate_columns - reference_columns
+        if missing:
+            diff.missing_columns[name] = missing
+        if extra:
+            diff.extra_columns[name] = extra
+
+    candidate_edges = _edge_set(candidate, ignore_kind=ignore_kind)
+    reference_edges = _edge_set(reference, ignore_kind=ignore_kind)
+    diff.missing_edges = reference_edges - candidate_edges
+    diff.extra_edges = candidate_edges - reference_edges
+    diff.matching_edges = candidate_edges & reference_edges
+    return diff

@@ -1,0 +1,169 @@
+"""Impact analysis over a column lineage graph.
+
+This module implements the demonstration workflow of Section IV:
+
+* *explore* (Step 3): reveal a table's direct upstream and downstream
+  tables;
+* *impact analysis* (Step 4): starting from a column (``web.page`` in the
+  paper), find every downstream column that is *contributed to* or
+  *referenced by* the change, transitively.  The closure distinguishes how
+  each affected column is reached, matching the red / blue / orange
+  highlighting of the UI.
+"""
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from ..core.column_refs import ColumnName
+from ..core.lineage import EDGE_BOTH, EDGE_CONTRIBUTE, EDGE_REFERENCE
+from ..output.graph_ops import to_column_digraph
+
+
+@dataclass
+class ImpactResult:
+    """The outcome of an impact analysis starting from one column."""
+
+    start: ColumnName
+    direction: str
+    contributed: set = field(default_factory=set)   # reached via contribute edges only
+    referenced: set = field(default_factory=set)     # reached via reference edges only
+    both: set = field(default_factory=set)           # reached via both kinds
+
+    @property
+    def all_columns(self):
+        """Every impacted column regardless of how it is reached."""
+        return self.contributed | self.referenced | self.both
+
+    def impacted_tables(self):
+        """The distinct tables containing impacted columns."""
+        return sorted({column.table for column in self.all_columns})
+
+    def kind_of(self, column):
+        """How ``column`` is impacted: contribute / reference / both / None."""
+        if column in self.both:
+            return EDGE_BOTH
+        if column in self.contributed:
+            return EDGE_CONTRIBUTE
+        if column in self.referenced:
+            return EDGE_REFERENCE
+        return None
+
+    def to_rows(self):
+        """Sorted (table, column, kind) rows for display."""
+        rows = []
+        for column in sorted(self.all_columns):
+            rows.append((column.table, column.column, self.kind_of(column)))
+        return rows
+
+
+def _as_column_name(column):
+    if isinstance(column, ColumnName):
+        return column
+    return ColumnName.parse(column)
+
+
+def impact_analysis(graph, column, direction="downstream"):
+    """Compute the transitive impact closure of ``column``.
+
+    Parameters
+    ----------
+    graph:
+        A :class:`~repro.core.lineage.LineageGraph`.
+    column:
+        The starting column, as a :class:`ColumnName` or ``"table.column"``.
+    direction:
+        ``"downstream"`` (default; what breaks if this column changes) or
+        ``"upstream"`` (where this column's values come from).
+
+    Returns
+    -------
+    ImpactResult
+        The affected columns, partitioned by how they are reached.  A column
+        reached through at least one contribution edge *and* at least one
+        reference edge (on possibly different paths) is classified as
+        ``both`` — matching the orange highlighting of the paper's UI.
+    """
+    start = _as_column_name(column)
+    digraph = to_column_digraph(graph, include_reference_edges=True)
+    if direction == "upstream":
+        digraph = digraph.reverse(copy=False)
+    elif direction != "downstream":
+        raise ValueError(f"direction must be 'downstream' or 'upstream', got {direction!r}")
+
+    start_key = str(start)
+    if start_key not in digraph:
+        return ImpactResult(start=start, direction=direction)
+
+    # BFS that tracks the *kinds* of edges on the paths used to reach a node.
+    reached_kinds = {}
+    queue = [start_key]
+    visited = {start_key}
+    while queue:
+        current = queue.pop(0)
+        for _, target, data in digraph.out_edges(current, data=True):
+            kind = data.get("kind", EDGE_CONTRIBUTE)
+            kinds = reached_kinds.setdefault(target, set())
+            before = set(kinds)
+            if kind == EDGE_BOTH:
+                kinds |= {EDGE_CONTRIBUTE, EDGE_REFERENCE}
+            else:
+                kinds.add(kind)
+            if target not in visited or kinds != before:
+                visited.add(target)
+                queue.append(target)
+
+    result = ImpactResult(start=start, direction=direction)
+    for key, kinds in reached_kinds.items():
+        name = ColumnName.parse(key)
+        if kinds >= {EDGE_CONTRIBUTE, EDGE_REFERENCE}:
+            result.both.add(name)
+        elif EDGE_CONTRIBUTE in kinds:
+            result.contributed.add(name)
+        else:
+            result.referenced.add(name)
+    return result
+
+
+def downstream_columns(graph, column):
+    """All columns transitively affected by a change to ``column``."""
+    return impact_analysis(graph, column, direction="downstream").all_columns
+
+
+def upstream_columns(graph, column):
+    """All columns that transitively feed ``column``."""
+    return impact_analysis(graph, column, direction="upstream").all_columns
+
+
+def explore(graph, table, hops=1):
+    """The *explore* action of the UI: tables within ``hops`` of ``table``.
+
+    Returns ``(upstream_tables, downstream_tables)`` — each a set of table
+    names reachable within the requested number of hops over table-level
+    edges, excluding ``table`` itself.
+    """
+    digraph = nx.DiGraph()
+    for source, target in graph.table_edges():
+        digraph.add_edge(source, target)
+    if table not in digraph:
+        return set(), set()
+    downstream = set(
+        nx.single_source_shortest_path_length(digraph, table, cutoff=hops)
+    ) - {table}
+    upstream = set(
+        nx.single_source_shortest_path_length(digraph.reverse(copy=False), table, cutoff=hops)
+    ) - {table}
+    return upstream, downstream
+
+
+def impact_report(graph, column, direction="downstream"):
+    """A printable multi-line report of an impact analysis."""
+    result = impact_analysis(graph, column, direction=direction)
+    lines = [
+        f"Impact analysis for {result.start} ({direction}):",
+        f"  impacted tables:  {', '.join(result.impacted_tables()) or '(none)'}",
+        f"  impacted columns: {len(result.all_columns)}",
+    ]
+    for table, column_name, kind in result.to_rows():
+        lines.append(f"    {table}.{column_name:<20s} [{kind}]")
+    return "\n".join(lines)

@@ -1,0 +1,97 @@
+"""Dependency ordering and warehouse hygiene reports.
+
+The paper's introduction motivates column lineage with "storage refactoring
+and workflow migration": both need to know in which order views can be
+(re)created and which objects nothing depends on.  These helpers answer that
+from a :class:`~repro.core.lineage.LineageGraph`:
+
+* :func:`creation_order` — a topological order of the views (dependencies
+  first), i.e. the order a migration script must replay them in;
+* :func:`drop_order` — the reverse (dependents first), for teardown;
+* :func:`terminal_views` — views with no downstream consumers (candidates
+  for deprecation review);
+* :func:`unused_base_columns` — base-table columns no view reads (given a
+  catalog), candidates for storage cleanup.
+"""
+
+import networkx as nx
+
+from ..output.graph_ops import to_table_digraph
+
+
+def creation_order(graph):
+    """Views in dependency order (every view appears after its sources).
+
+    Raises :class:`networkx.NetworkXUnfeasible` if the view dependencies are
+    cyclic (which the extractor itself would normally have rejected).
+    """
+    digraph = to_table_digraph(graph)
+    view_names = {entry.name for entry in graph.views}
+    order = [name for name in nx.topological_sort(digraph) if name in view_names]
+    # views that have no table edges at all still need to appear
+    for entry in graph.views:
+        if entry.name not in order:
+            order.append(entry.name)
+    return order
+
+
+def drop_order(graph):
+    """Views in reverse dependency order (safe DROP sequence)."""
+    return list(reversed(creation_order(graph)))
+
+
+def terminal_views(graph):
+    """Views that no other relation reads (the "leaves" of the warehouse)."""
+    digraph = to_table_digraph(graph)
+    view_names = {entry.name for entry in graph.views}
+    return sorted(
+        name
+        for name in view_names
+        if name not in digraph or digraph.out_degree(name) == 0
+    )
+
+
+def root_tables(graph):
+    """Base tables that at least one view reads directly."""
+    digraph = to_table_digraph(graph)
+    base_names = {entry.name for entry in graph.base_tables}
+    return sorted(
+        name for name in base_names if name in digraph and digraph.out_degree(name) > 0
+    )
+
+
+def unused_base_columns(graph, catalog):
+    """Catalog columns of base tables that no view contributes from or references.
+
+    Returns a mapping ``{table: [unused columns...]}`` with empty-free entries.
+    """
+    used = set()
+    for view in graph.views:
+        for sources in view.contributions.values():
+            used |= {str(source) for source in sources}
+        used |= {str(source) for source in view.referenced}
+
+    report = {}
+    for table in catalog.base_tables():
+        unused = [
+            column
+            for column in table.column_names()
+            if f"{table.name}.{column}" not in used
+        ]
+        if unused:
+            report[table.name] = unused
+    return report
+
+
+def migration_script(graph):
+    """Regenerate a CREATE-statement script in a replayable order.
+
+    Uses the SQL text captured for each view during preprocessing; views with
+    no recorded SQL are skipped (e.g. graphs rebuilt from JSON).
+    """
+    statements = []
+    for name in creation_order(graph):
+        entry = graph[name]
+        if entry.sql:
+            statements.append(entry.sql.strip().rstrip(";") + ";")
+    return "\n\n".join(statements) + ("\n" if statements else "")

@@ -1,0 +1,19 @@
+"""Baseline lineage extractors used in the paper's comparisons.
+
+* :mod:`repro.baselines.naive` -- a SQLLineage-like extractor: per-statement
+  analysis with no cross-query inference, no ``C_ref`` tracking, wildcard
+  ``table.*`` entries for unresolvable stars, and per-leaf output columns for
+  set operations (reproducing the Figure 2 failure modes);
+* :mod:`repro.baselines.singlefile` -- a SQLGlot-like extractor: correct
+  scope handling inside a single statement, but still no cross-query
+  metadata, so stars over other views stay wildcards;
+* :mod:`repro.baselines.llm_sim` -- a deterministic stand-in for the GPT-4o
+  impact-analysis assistant of Section IV: it finds contribution chains but
+  misses referenced-only columns.
+"""
+
+from .naive import SQLLineageBaseline
+from .singlefile import SingleFileBaseline
+from .llm_sim import SimulatedLLMAssistant
+
+__all__ = ["SQLLineageBaseline", "SingleFileBaseline", "SimulatedLLMAssistant"]

@@ -1,0 +1,61 @@
+"""A deterministic stand-in for the GPT-4o impact-analysis assistant.
+
+Section IV of the paper compares LineageX against asking a state-of-the-art
+LLM for an impact analysis, and reports a precise behaviour:
+
+    "GPT-4o is able to correctly identify all contributing columns impacted
+    by changes to ``page`` — specifically, the ``wpage`` columns in
+    ``webinfo``, ``webact``, and ``info`` tables — but it is not able to
+    reveal the columns that are referenced (not directly contributing to)
+    in the SQL (such as the ``webact.wcid`` in the JOIN condition)."
+
+Calling a hosted LLM is neither possible offline nor reproducible, so this
+module simulates exactly that capability profile: the assistant reads the
+SQL, builds a correct *contribution* graph (it "understands the code"), and
+answers impact questions by following contribution edges only — never the
+reference edges that encode join/filter/set-operation dependencies.  The
+CMP-LLM benchmark quantifies the recall gap this causes.
+"""
+
+import networkx as nx
+
+from ..core.column_refs import ColumnName
+from ..core.runner import lineagex
+from ..output.graph_ops import to_column_digraph
+
+
+class SimulatedLLMAssistant:
+    """Answers impact-analysis questions using contribution chains only."""
+
+    def __init__(self, sql):
+        self.sql = sql
+        self._result = lineagex(sql)
+        # The assistant's mental model: contribution edges only.
+        self._digraph = to_column_digraph(self._result.graph, include_reference_edges=False)
+
+    # ------------------------------------------------------------------
+    def impacted_columns(self, column):
+        """Columns the assistant reports as impacted by a change to ``column``.
+
+        Follows contribution edges transitively (both directions are *not*
+        mixed: this is a downstream analysis, like the paper's Step 4).
+        """
+        start = str(column if isinstance(column, ColumnName) else ColumnName.parse(column))
+        if start not in self._digraph:
+            return set()
+        reachable = nx.descendants(self._digraph, start)
+        return {ColumnName.parse(node) for node in reachable}
+
+    def answer(self, column):
+        """A short natural-language style answer (used by the example script)."""
+        impacted = sorted(str(name) for name in self.impacted_columns(column))
+        if not impacted:
+            return (
+                f"Changing {column} does not appear to affect any downstream column "
+                "based on the provided SQL."
+            )
+        listed = ", ".join(impacted)
+        return (
+            f"Changing {column} affects the columns that are computed from it: {listed}. "
+            "Columns that merely reference it in join or filter conditions are not included."
+        )

@@ -1,0 +1,162 @@
+"""A SQLLineage-like baseline extractor.
+
+The paper (Section I, Figure 2) describes how SQLLineage behaves on
+Example 1:
+
+* for the ``INTERSECT`` view ``webact`` it "erroneously includes four extra
+  columns" — the output column list contains the projection names of *every*
+  set-operation leaf, not just the leftmost one;
+* for ``SELECT w.*`` in ``info`` it "would return an erroneous entry of
+  ``webact.*`` to ``info.*`` while omitting the four correct columns",
+  because without cross-query metadata the star cannot be expanded;
+* columns referenced in join predicates or ``WHERE`` clauses are not
+  tracked at all (no ``C_ref`` concept), so reference edges are absent.
+
+This baseline reproduces exactly those behaviours on top of the same parser
+substrate, so that the Figure 2 comparison benchmark can be regenerated
+offline.  It is intentionally *not* a faithful port of the SQLLineage code
+base — it is a model of the failure modes the paper documents.
+"""
+
+from ..core.column_refs import ColumnName
+from ..core.lineage import LineageGraph, TableLineage
+from ..core.preprocess import preprocess
+from ..sqlparser import ast
+from ..sqlparser.dialect import normalize_identifier, normalize_name
+
+
+class SQLLineageBaseline:
+    """Per-statement column lineage with no cross-query inference."""
+
+    def __init__(self):
+        self.graph = LineageGraph()
+
+    # ------------------------------------------------------------------
+    def run(self, source):
+        """Extract lineage for every statement independently."""
+        self.graph = LineageGraph()
+        query_dictionary = preprocess(source)
+        for entry in query_dictionary:
+            lineage = self.extract_one(entry.identifier, entry.query, sql=entry.sql)
+            self.graph.add(lineage)
+        self._attach_base_tables(query_dictionary)
+        return self.graph
+
+    # ------------------------------------------------------------------
+    def extract_one(self, identifier, query, sql=""):
+        """Extract the lineage of a single statement (no outside knowledge)."""
+        lineage = TableLineage(name=normalize_name(identifier), sql=sql)
+        for leaf in self._leaves(query):
+            alias_map = self._alias_map(leaf)
+            for projection in leaf.projections:
+                self._process_projection(projection, alias_map, lineage)
+        return lineage
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _leaves(self, query):
+        """Every SELECT block of the statement.
+
+        Unlike LineageX, set-operation leaves are *not* aligned by position:
+        each leaf's projections are treated as output columns of the result,
+        which is what produces the four extra ``webact`` columns of Figure 2.
+        """
+        if isinstance(query, ast.SetOperation):
+            for side in (query.left, query.right):
+                for leaf in self._leaves(side):
+                    yield leaf
+        elif isinstance(query, ast.Select):
+            yield query
+
+    def _alias_map(self, select):
+        """Map visible source names to real relation names (FROM clause only)."""
+        alias_map = {}
+
+        def visit(source):
+            if isinstance(source, ast.Join):
+                visit(source.left)
+                visit(source.right)
+            elif isinstance(source, ast.TableRef):
+                relation = normalize_name(source.name.dotted())
+                visible = normalize_identifier(source.alias) or relation.split(".")[-1]
+                alias_map[visible] = relation
+                alias_map.setdefault(relation.split(".")[-1], relation)
+            elif isinstance(source, ast.SubquerySource):
+                # derived tables are opaque to this baseline
+                if source.alias:
+                    alias_map[normalize_identifier(source.alias)] = normalize_identifier(
+                        source.alias
+                    )
+
+        for source in select.from_sources:
+            visit(source)
+        # CTE names resolve to themselves (the baseline does not trace through)
+        for cte in select.ctes:
+            alias_map.setdefault(normalize_identifier(cte.name), normalize_identifier(cte.name))
+        return alias_map
+
+    def _process_projection(self, projection, alias_map, lineage):
+        expression = projection.expression
+        if isinstance(expression, ast.Star):
+            self._process_star(expression, alias_map, lineage)
+            return
+        output = projection.output_name
+        if output is None:
+            return
+        output = normalize_identifier(output)
+        sources = self._column_refs(expression, alias_map)
+        lineage.add_output_column(output)
+        for source in sources:
+            lineage.add_contribution(output, source)
+
+    def _process_star(self, star, alias_map, lineage):
+        """A star the baseline cannot expand becomes a ``table.* -> view.*`` entry."""
+        if star.table is not None:
+            relation = alias_map.get(
+                normalize_identifier(star.table), normalize_name(star.table)
+            )
+            lineage.add_contribution("*", ColumnName.of(relation, "*"))
+            return
+        for relation in sorted(set(alias_map.values())):
+            lineage.add_contribution("*", ColumnName.of(relation, "*"))
+
+    def _column_refs(self, expression, alias_map):
+        """Qualified column references inside a projection expression."""
+        sources = set()
+
+        def visit(node):
+            if isinstance(node, ast.ColumnRef):
+                qualifier = node.table
+                if qualifier is None:
+                    # Without metadata the baseline can only attribute
+                    # unambiguous cases: a single source in scope.
+                    relations = set(alias_map.values())
+                    if len(relations) == 1:
+                        sources.add(ColumnName.of(next(iter(relations)), node.name))
+                    return
+                relation = alias_map.get(
+                    normalize_identifier(qualifier), normalize_name(qualifier)
+                )
+                sources.add(ColumnName.of(relation, node.name))
+                return
+            if isinstance(node, ast.QueryExpression):
+                return  # subqueries are opaque
+            for child in node.children():
+                visit(child)
+
+        if isinstance(expression, ast.Node):
+            visit(expression)
+        return sources
+
+    def _attach_base_tables(self, query_dictionary):
+        view_names = {normalize_name(identifier) for identifier in query_dictionary.identifiers()}
+        for lineage in list(self.graph):
+            for sources in lineage.contributions.values():
+                for column_name in sources:
+                    if column_name.table in view_names:
+                        continue
+                    if column_name.column == "*":
+                        self.graph.ensure_base_table(column_name.table)
+                    else:
+                        self.graph.register_usage(column_name)

@@ -1,0 +1,56 @@
+"""A SQLGlot-like single-statement baseline.
+
+The paper (Section II) positions SQLGlot's lineage facility as scope-aware
+within one statement but unable to "find the dependency across queries,
+especially when there are ambiguities in table or column names".  This
+baseline models that capability level: it reuses the LineageX extraction
+rules for a *single* statement — correct CTE/subquery tracing, correct set
+operation alignment, reference tracking — but runs every statement with an
+empty schema provider, so:
+
+* ``SELECT other_view.*`` cannot be expanded (wildcard output), because the
+  other view's definition is never consulted;
+* unprefixed columns with several candidate sources cannot be resolved with
+  certainty and are attributed to every candidate;
+* base-table column lists are never known beyond the columns a statement
+  mentions explicitly.
+"""
+
+from ..core.extractor import LineageExtractor, SchemaProvider
+from ..core.lineage import LineageGraph
+from ..core.preprocess import preprocess
+from ..sqlparser.dialect import normalize_name
+
+
+class SingleFileBaseline:
+    """LineageX's rule set without the cross-query Query Dictionary."""
+
+    def __init__(self, strict=False):
+        self.strict = strict
+        self.graph = LineageGraph()
+
+    def run(self, source):
+        """Extract every statement in isolation and combine the results."""
+        self.graph = LineageGraph()
+        query_dictionary = preprocess(source)
+        extractor = LineageExtractor(provider=SchemaProvider(), strict=self.strict)
+        for entry in query_dictionary:
+            lineage, _ = extractor.extract_statement(entry)
+            self.graph.add(lineage)
+        self._attach_base_tables(query_dictionary)
+        return self.graph
+
+    def _attach_base_tables(self, query_dictionary):
+        view_names = {normalize_name(identifier) for identifier in query_dictionary.identifiers()}
+        for lineage in list(self.graph):
+            used = set()
+            for sources in lineage.contributions.values():
+                used |= sources
+            used |= lineage.referenced
+            for column_name in used:
+                if column_name.table in view_names:
+                    continue
+                if column_name.column == "*":
+                    self.graph.ensure_base_table(column_name.table)
+                else:
+                    self.graph.register_usage(column_name)

@@ -1,0 +1,34 @@
+"""Schema catalog and simulated DBMS substrate.
+
+The original LineageX can optionally connect to PostgreSQL and use
+``EXPLAIN`` to obtain exact column metadata.  This package provides the
+offline equivalent:
+
+* :mod:`repro.catalog.schema` -- table/column schema objects;
+* :mod:`repro.catalog.catalog` -- an in-memory catalog with search-path
+  resolution, the stand-in for ``information_schema``;
+* :mod:`repro.catalog.introspect` -- build a catalog from ``CREATE TABLE``
+  DDL scripts;
+* :mod:`repro.catalog.explain` -- a logical planner producing
+  PostgreSQL-EXPLAIN-like plan trees with full output-column metadata,
+  the stand-in for a live database connection.
+"""
+
+from .errors import CatalogError, UndefinedTableError, DuplicateTableError
+from .schema import ColumnSchema, TableSchema
+from .catalog import Catalog
+from .introspect import catalog_from_sql, catalog_from_statements
+from .explain import ExplainSimulator, PlanNode
+
+__all__ = [
+    "CatalogError",
+    "UndefinedTableError",
+    "DuplicateTableError",
+    "ColumnSchema",
+    "TableSchema",
+    "Catalog",
+    "catalog_from_sql",
+    "catalog_from_statements",
+    "ExplainSimulator",
+    "PlanNode",
+]

@@ -1,0 +1,136 @@
+"""An in-memory schema catalog.
+
+The catalog plays the role of ``information_schema`` / ``pg_catalog`` in the
+paper's database-connection mode: it answers "which columns does relation X
+have?" queries, supports schema-qualified names with a search path, and can
+be extended at runtime when the EXPLAIN simulator materialises views.
+"""
+
+from .errors import DuplicateTableError, UndefinedTableError
+from .schema import TableSchema
+from ..sqlparser.dialect import normalize_name
+
+
+class Catalog:
+    """A dictionary of :class:`~repro.catalog.schema.TableSchema` objects.
+
+    Relation names may be schema-qualified (``public.orders``).  Lookups try
+    the exact name first, then each schema on ``search_path``, then an
+    unqualified match — mirroring how PostgreSQL resolves relation names.
+    """
+
+    def __init__(self, tables=None, search_path=("public",)):
+        self.tables = {}
+        self.search_path = list(search_path)
+        for table in tables or []:
+            self.add_table(table)
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def add_table(self, table, replace=False):
+        """Register a :class:`TableSchema`; raise on duplicates unless replace."""
+        name = normalize_name(table.name)
+        if name in self.tables and not replace:
+            raise DuplicateTableError(name)
+        self.tables[name] = table
+        return table
+
+    def create_table(self, name, columns, is_view=False, definition_sql="", replace=False):
+        """Convenience: build and register a :class:`TableSchema`."""
+        table = TableSchema(
+            name=name, columns=list(columns), is_view=is_view, definition_sql=definition_sql
+        )
+        return self.add_table(table, replace=replace)
+
+    def drop_table(self, name, if_exists=False):
+        """Remove a relation from the catalog."""
+        resolved = self.resolve_name(name)
+        if resolved is None:
+            if if_exists:
+                return False
+            raise UndefinedTableError(name)
+        del self.tables[resolved]
+        return True
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def resolve_name(self, name):
+        """Resolve ``name`` to the registered key, or ``None`` if absent."""
+        wanted = normalize_name(name)
+        if wanted in self.tables:
+            return wanted
+        if "." not in wanted:
+            for schema in self.search_path:
+                qualified = f"{schema}.{wanted}"
+                if qualified in self.tables:
+                    return qualified
+        else:
+            # allow unqualified registration to satisfy a qualified lookup
+            bare = wanted.split(".")[-1]
+            if bare in self.tables:
+                return bare
+        return None
+
+    def __contains__(self, name):
+        return self.resolve_name(name) is not None
+
+    def get(self, name):
+        """Return the :class:`TableSchema` for ``name`` or ``None``."""
+        resolved = self.resolve_name(name)
+        if resolved is None:
+            return None
+        return self.tables[resolved]
+
+    def __getitem__(self, name):
+        table = self.get(name)
+        if table is None:
+            raise UndefinedTableError(name)
+        return table
+
+    def columns_of(self, name):
+        """Ordered column names of ``name``; raise if the relation is absent."""
+        return self[name].column_names()
+
+    def relation_names(self):
+        """All registered relation names, sorted."""
+        return sorted(self.tables)
+
+    def views(self):
+        """All registered views."""
+        return [table for table in self.tables.values() if table.is_view]
+
+    def base_tables(self):
+        """All registered non-view relations."""
+        return [table for table in self.tables.values() if not table.is_view]
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self):
+        return {
+            "search_path": list(self.search_path),
+            "tables": {name: table.to_dict() for name, table in sorted(self.tables.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        catalog = cls(search_path=data.get("search_path", ["public"]))
+        for name, payload in data.get("tables", {}).items():
+            catalog.create_table(
+                name,
+                [(column["name"], column.get("type", "text")) for column in payload["columns"]],
+                is_view=payload.get("is_view", False),
+            )
+        return catalog
+
+    def copy(self):
+        """A shallow copy sharing no table dict (schemas are reused)."""
+        clone = Catalog(search_path=self.search_path)
+        clone.tables = dict(self.tables)
+        return clone
+
+    def ddl_script(self):
+        """Render every base table as CREATE TABLE DDL (views are omitted)."""
+        return ";\n\n".join(table.ddl() for table in self.base_tables()) + ";\n"

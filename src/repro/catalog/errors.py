@@ -1,0 +1,27 @@
+"""Exception types for the catalog / simulated DBMS substrate."""
+
+
+class CatalogError(Exception):
+    """Base class for catalog errors."""
+
+
+class UndefinedTableError(CatalogError):
+    """Raised when a relation is not present in the catalog.
+
+    This mirrors PostgreSQL's ``undefined_table`` (42P01) error that the
+    paper's database-connection mode receives from ``EXPLAIN`` when a view's
+    dependencies have not been created yet; the auto-inference stack reacts
+    to it by creating the missing dependency first.
+    """
+
+    def __init__(self, name):
+        self.name = name
+        super().__init__(f'relation "{name}" does not exist')
+
+
+class DuplicateTableError(CatalogError):
+    """Raised when registering a relation name that already exists."""
+
+    def __init__(self, name):
+        self.name = name
+        super().__init__(f'relation "{name}" already exists')

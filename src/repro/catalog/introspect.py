@@ -1,0 +1,43 @@
+"""Build a :class:`~repro.catalog.catalog.Catalog` from SQL DDL.
+
+LineageX users who have access to schema dumps (``pg_dump --schema-only``)
+can seed the extractor with exact table metadata.  This module parses
+``CREATE TABLE`` statements with the project's own SQL parser and registers
+the resulting schemas.
+"""
+
+from ..sqlparser import ast, parse
+from .catalog import Catalog
+from .schema import ColumnSchema, TableSchema
+
+
+def catalog_from_sql(sql, search_path=("public",)):
+    """Parse a DDL script and return the catalog of its CREATE TABLE statements."""
+    return catalog_from_statements(parse(sql), search_path=search_path)
+
+
+def catalog_from_statements(statements, search_path=("public",)):
+    """Build a catalog from already-parsed statements.
+
+    Only ``CREATE TABLE`` (with a column list) statements define relations.
+    ``DROP TABLE`` statements remove them, which lets a catalog be built from
+    a migration-style script.  Other statements are ignored.
+    """
+    catalog = Catalog(search_path=search_path)
+    for statement in statements:
+        if isinstance(statement, ast.CreateTable):
+            table = TableSchema(
+                name=statement.name.dotted(),
+                columns=[
+                    ColumnSchema(
+                        name=column.name,
+                        type_name=column.type_name or "text",
+                        nullable="NOT" not in [c.upper() for c in column.constraints],
+                    )
+                    for column in statement.columns
+                ],
+            )
+            catalog.add_table(table, replace=True)
+        elif isinstance(statement, ast.DropStatement):
+            catalog.drop_table(statement.name.dotted(), if_exists=True)
+    return catalog

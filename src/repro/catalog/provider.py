@@ -1,0 +1,22 @@
+"""Schema providers backed by the catalog, including the strict variant.
+
+The *strict* provider mirrors a live database connection: a relation that is
+not in the catalog raises :class:`UndefinedTableError` immediately (the same
+``undefined_table`` error ``EXPLAIN`` would return), instead of being treated
+as an external table of unknown schema.
+"""
+
+from .errors import UndefinedTableError
+
+
+class StrictCatalogProvider:
+    """Answers column lookups from the catalog; errors on missing relations."""
+
+    def __init__(self, catalog):
+        self.catalog = catalog
+
+    def get_columns(self, name):
+        table = self.catalog.get(name)
+        if table is None:
+            raise UndefinedTableError(name)
+        return table.column_names()

@@ -1,0 +1,99 @@
+"""Schema objects: columns and tables.
+
+These are deliberately light-weight -- the lineage extractor only needs
+ordered column names (plus, for documentation purposes, types) -- but they
+carry enough structure for the EXPLAIN simulator and the dataset generators.
+"""
+
+from dataclasses import dataclass, field
+
+from ..sqlparser.dialect import normalize_identifier, normalize_name
+
+
+@dataclass
+class ColumnSchema:
+    """One column of a table or view."""
+
+    name: str
+    type_name: str = "text"
+    nullable: bool = True
+    description: str = ""
+
+    def __post_init__(self):
+        self.name = normalize_identifier(self.name)
+
+    def to_dict(self):
+        return {
+            "name": self.name,
+            "type": self.type_name,
+            "nullable": self.nullable,
+            "description": self.description,
+        }
+
+
+@dataclass
+class TableSchema:
+    """A table or view schema: an ordered list of columns."""
+
+    name: str
+    columns: list = field(default_factory=list)
+    is_view: bool = False
+    definition_sql: str = ""
+    description: str = ""
+
+    def __post_init__(self):
+        self.name = normalize_name(self.name)
+        normalized = []
+        for column in self.columns:
+            if isinstance(column, ColumnSchema):
+                normalized.append(column)
+            elif isinstance(column, (tuple, list)) and len(column) >= 2:
+                normalized.append(ColumnSchema(name=column[0], type_name=column[1]))
+            else:
+                normalized.append(ColumnSchema(name=str(column)))
+        self.columns = normalized
+
+    # ------------------------------------------------------------------
+    def column_names(self):
+        """Ordered list of column names."""
+        return [column.name for column in self.columns]
+
+    def has_column(self, name):
+        """True if this table has a column named ``name`` (normalised)."""
+        return normalize_identifier(name) in set(self.column_names())
+
+    def column(self, name):
+        """Return the :class:`ColumnSchema` named ``name`` or ``None``."""
+        wanted = normalize_identifier(name)
+        for column in self.columns:
+            if column.name == wanted:
+                return column
+        return None
+
+    def add_column(self, name, type_name="text", nullable=True, description=""):
+        """Append a column if not already present; return the column."""
+        existing = self.column(name)
+        if existing is not None:
+            return existing
+        column = ColumnSchema(
+            name=name, type_name=type_name, nullable=nullable, description=description
+        )
+        self.columns.append(column)
+        return column
+
+    def to_dict(self):
+        return {
+            "name": self.name,
+            "is_view": self.is_view,
+            "columns": [column.to_dict() for column in self.columns],
+            "description": self.description,
+        }
+
+    def ddl(self):
+        """Render this schema as a ``CREATE TABLE`` statement."""
+        columns = ",\n  ".join(
+            f"{column.name} {column.type_name}"
+            + ("" if column.nullable else " NOT NULL")
+            for column in self.columns
+        )
+        return f"CREATE TABLE {self.name} (\n  {columns}\n)"

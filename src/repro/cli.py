@@ -1,0 +1,136 @@
+"""Command-line interface.
+
+The paper exposes LineageX as a one-call Python API; for pipeline and CI use
+this module adds an equivalent command line:
+
+.. code-block:: console
+
+    $ python -m repro warehouse.sql --output out/
+    $ python -m repro models/ --catalog schema.sql --impact web.page
+    $ python -m repro customer.sql --format text
+    $ python -m repro models/ --dbt --format json > lineage.json
+
+Positional input: a ``.sql`` file, a directory of ``.sql`` files, or ``-``
+for stdin.  The lineage graph can be written as JSON/HTML (``--output``) or
+printed in one of several formats; ``--impact`` runs the Step 4 impact
+analysis for a ``table.column`` and prints the affected columns.
+"""
+
+import argparse
+import sys
+
+from .analysis.impact import impact_report
+from .catalog.introspect import catalog_from_sql
+from .core.runner import lineagex
+from .dbt.wrapper import lineagex_dbt
+
+
+def build_parser():
+    """Construct the argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Extract column-level lineage from SQL query logs (LineageX reproduction).",
+    )
+    parser.add_argument(
+        "input",
+        help="a .sql file, a directory of .sql files, or '-' to read SQL from stdin",
+    )
+    parser.add_argument(
+        "--catalog",
+        metavar="DDL_FILE",
+        help="CREATE TABLE script providing base-table schemas (optional)",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="DIR",
+        help="write lineagex.json and lineagex.html into this directory",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["text", "json", "dot", "html", "stats"],
+        default="text",
+        help="what to print to stdout (default: text)",
+    )
+    parser.add_argument(
+        "--impact",
+        metavar="TABLE.COLUMN",
+        help="print the downstream impact analysis of this column",
+    )
+    parser.add_argument(
+        "--upstream",
+        metavar="TABLE.COLUMN",
+        help="print the upstream lineage of this column",
+    )
+    parser.add_argument(
+        "--dbt",
+        action="store_true",
+        help="treat the input directory as a dbt project (resolve ref()/source())",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail on ambiguous column references instead of resolving conservatively",
+    )
+    parser.add_argument(
+        "--no-stack",
+        action="store_true",
+        help="disable the auto-inference stack (ablation / debugging)",
+    )
+    return parser
+
+
+def _load_source(path):
+    if path == "-":
+        return sys.stdin.read()
+    return path
+
+
+def run(argv=None, stdout=None):
+    """Entry point; returns the process exit code."""
+    stdout = stdout if stdout is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    catalog = None
+    if args.catalog:
+        with open(args.catalog, "r", encoding="utf-8") as handle:
+            catalog = catalog_from_sql(handle.read())
+
+    source = _load_source(args.input)
+    if args.dbt:
+        result = lineagex_dbt(source, catalog=catalog, strict=args.strict,
+                              output_dir=args.output)
+    else:
+        result = lineagex(
+            source,
+            catalog=catalog,
+            strict=args.strict,
+            use_stack=not args.no_stack,
+            output_dir=args.output,
+        )
+
+    if args.impact:
+        print(impact_report(result.graph, args.impact, direction="downstream"), file=stdout)
+    elif args.upstream:
+        print(impact_report(result.graph, args.upstream, direction="upstream"), file=stdout)
+    elif args.format == "json":
+        print(result.to_json(), file=stdout)
+    elif args.format == "dot":
+        print(result.to_dot(), file=stdout)
+    elif args.format == "html":
+        print(result.to_html(), file=stdout)
+    elif args.format == "stats":
+        for key, value in sorted(result.stats().items()):
+            print(f"{key}: {value}", file=stdout)
+    else:
+        print(result.to_text(), file=stdout)
+
+    if result.report.unresolved:
+        for identifier, reason in result.report.unresolved.items():
+            print(f"warning: could not resolve {identifier}: {reason}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main():  # pragma: no cover - thin wrapper
+    sys.exit(run())

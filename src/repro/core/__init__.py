@@ -1,0 +1,50 @@
+"""The LineageX core: column-level lineage extraction from SQL.
+
+This package implements the paper's primary contribution:
+
+* :mod:`repro.core.preprocess` -- the SQL Preprocessing Module (Query
+  Dictionary construction);
+* :mod:`repro.core.extractor` -- the SQL Lineage Information Extraction
+  Module (post-order AST traversal with the Table I keyword rules);
+* :mod:`repro.core.resolver` -- name scopes, ``*`` expansion and ambiguity
+  resolution;
+* :mod:`repro.core.scheduler` -- the stack-based Table/View Auto-Inference
+  mechanism;
+* :mod:`repro.core.lineage` -- the lineage graph data model;
+* :mod:`repro.core.plan_extractor` -- extraction from simulated EXPLAIN
+  plans (database-connection mode);
+* :mod:`repro.core.runner` -- the user-facing orchestration API.
+"""
+
+from .errors import (
+    LineageError,
+    UnknownRelationError,
+    AmbiguousColumnError,
+    CyclicDependencyError,
+)
+from .column_refs import ColumnName
+from .lineage import ColumnEdge, TableLineage, LineageGraph
+from .preprocess import ParsedQuery, QueryDictionary, preprocess
+from .extractor import LineageExtractor, ExtractionTrace
+from .scheduler import AutoInferenceScheduler
+from .runner import LineageXResult, LineageXRunner, lineagex
+
+__all__ = [
+    "LineageError",
+    "UnknownRelationError",
+    "AmbiguousColumnError",
+    "CyclicDependencyError",
+    "ColumnName",
+    "ColumnEdge",
+    "TableLineage",
+    "LineageGraph",
+    "ParsedQuery",
+    "QueryDictionary",
+    "preprocess",
+    "LineageExtractor",
+    "ExtractionTrace",
+    "AutoInferenceScheduler",
+    "LineageXResult",
+    "LineageXRunner",
+    "lineagex",
+]

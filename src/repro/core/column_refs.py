@@ -1,0 +1,49 @@
+"""Canonical column identifiers used throughout the lineage graph.
+
+A :class:`ColumnName` names one column of one relation (base table, view, or
+query output) after identifier normalisation.  It is hashable and ordered so
+it can live in sets, serve as a dictionary key, and produce stable sorted
+output in JSON documents and test assertions.
+"""
+
+from dataclasses import dataclass
+
+from ..sqlparser.dialect import normalize_identifier, normalize_name
+
+
+@dataclass(frozen=True, order=True)
+class ColumnName:
+    """A fully-qualified column: ``table.column`` after normalisation."""
+
+    table: str
+    column: str
+
+    @classmethod
+    def of(cls, table, column):
+        """Build a normalised :class:`ColumnName` from raw identifiers."""
+        return cls(normalize_name(table), normalize_identifier(column))
+
+    @classmethod
+    def parse(cls, dotted):
+        """Parse ``"table.column"`` (or ``"schema.table.column"``) text."""
+        parts = str(dotted).split(".")
+        if len(parts) < 2:
+            raise ValueError(f"not a qualified column name: {dotted!r}")
+        return cls.of(".".join(parts[:-1]), parts[-1])
+
+    def dotted(self):
+        """Return the canonical ``table.column`` string."""
+        return f"{self.table}.{self.column}"
+
+    def __str__(self):
+        return self.dotted()
+
+
+def normalize_column(name):
+    """Normalise a bare column identifier."""
+    return normalize_identifier(name)
+
+
+def normalize_table(name):
+    """Normalise a possibly schema-qualified table name."""
+    return normalize_name(name)

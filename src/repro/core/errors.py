@@ -1,0 +1,68 @@
+"""Exception types raised by the lineage extraction core."""
+
+
+class LineageError(Exception):
+    """Base class for all lineage extraction errors."""
+
+
+class UnknownRelationError(LineageError):
+    """Raised when a query references a relation whose columns are unknown.
+
+    The Table/View Auto-Inference scheduler catches this error: when the
+    missing relation is itself defined by a later entry of the Query
+    Dictionary, the current extraction is deferred onto the stack and the
+    dependency is processed first (Section III of the paper).
+
+    Attributes
+    ----------
+    relation:
+        Normalised name of the relation whose metadata is missing.
+    reason:
+        Human-readable explanation of why the metadata was needed (for
+        example ``"SELECT * requires the column list of webact"``).
+    """
+
+    def __init__(self, relation, reason=None):
+        self.relation = relation
+        self.reason = reason
+        message = f"unknown relation {relation!r}"
+        if reason:
+            message += f": {reason}"
+        super().__init__(message)
+
+
+class AmbiguousColumnError(LineageError):
+    """Raised when a column reference cannot be attributed to a single source.
+
+    The extractor only raises this in ``strict`` mode; by default it follows
+    the paper's conservative policy and attributes the column to every
+    candidate source.
+
+    Attributes
+    ----------
+    column:
+        The unqualified column name.
+    candidates:
+        The source names that expose a column with that name.
+    """
+
+    def __init__(self, column, candidates):
+        self.column = column
+        self.candidates = sorted(candidates)
+        super().__init__(
+            f"column {column!r} is ambiguous among sources: {', '.join(self.candidates)}"
+        )
+
+
+class CyclicDependencyError(LineageError):
+    """Raised when query definitions form a dependency cycle.
+
+    Attributes
+    ----------
+    cycle:
+        The list of relation names forming the cycle, in discovery order.
+    """
+
+    def __init__(self, cycle):
+        self.cycle = list(cycle)
+        super().__init__("cyclic dependency among queries: " + " -> ".join(self.cycle))

@@ -1,0 +1,342 @@
+"""The lineage graph data model.
+
+Following Section II of the paper, the lineage of a query ``Q`` producing a
+relation ``V`` consists of:
+
+* ``T`` -- the *table lineage*: which input relations contribute to ``V``;
+* ``C`` -- the *column lineage*: for every output column ``c_out`` of ``V``,
+  the set ``C_con(c_out)`` of input columns that directly contribute to its
+  values;
+* ``C_ref`` -- the set of input columns *referenced* by ``Q`` (join
+  predicates, WHERE/HAVING filters, set-operation comparisons, GROUP BY
+  keys, ...): a change in any of them may change which rows appear in ``V``,
+  hence it potentially affects *every* output column;
+* ``C_both`` -- columns appearing both in some ``C_con`` set and in
+  ``C_ref``.
+
+:class:`TableLineage` stores the lineage of a single relation;
+:class:`LineageGraph` collects the lineage of a whole warehouse (one entry
+per Query Dictionary item plus the inferred base tables) and exposes the
+combined column-edge view used by the visualizer and the impact analysis.
+"""
+
+from dataclasses import dataclass, field
+
+from .column_refs import ColumnName
+
+
+#: Edge kinds, ordered so that "both" wins when merging.
+EDGE_CONTRIBUTE = "contribute"
+EDGE_REFERENCE = "reference"
+EDGE_BOTH = "both"
+
+
+@dataclass(frozen=True, order=True)
+class ColumnEdge:
+    """A directed column-level lineage edge ``source -> target`` with a kind."""
+
+    source: ColumnName
+    target: ColumnName
+    kind: str = EDGE_CONTRIBUTE
+
+
+@dataclass
+class TableLineage:
+    """Lineage of a single output relation (view, table, or ad-hoc query)."""
+
+    name: str
+    output_columns: list = field(default_factory=list)
+    contributions: dict = field(default_factory=dict)   # column -> set[ColumnName]
+    referenced: set = field(default_factory=set)          # set[ColumnName]
+    source_tables: set = field(default_factory=set)       # set[str]
+    expressions: dict = field(default_factory=dict)        # column -> defining SQL text
+    is_base_table: bool = False
+    sql: str = ""
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def add_output_column(self, column):
+        """Register an output column (keeps first-seen order, no duplicates)."""
+        if column not in self.output_columns:
+            self.output_columns.append(column)
+        self.contributions.setdefault(column, set())
+
+    def add_contribution(self, column, source):
+        """Record that ``source`` contributes to output ``column``."""
+        self.add_output_column(column)
+        self.contributions[column].add(source)
+        self.source_tables.add(source.table)
+
+    def add_reference(self, source):
+        """Record that the defining query references ``source``."""
+        self.referenced.add(source)
+        self.source_tables.add(source.table)
+
+    def add_source_table(self, table):
+        """Record a table-level dependency without a column edge."""
+        self.source_tables.add(table)
+
+    # ------------------------------------------------------------------
+    # Views over the stored lineage
+    # ------------------------------------------------------------------
+    @property
+    def contributing_columns(self):
+        """The union of all per-column contribution sets (``C_con``)."""
+        result = set()
+        for sources in self.contributions.values():
+            result |= sources
+        return result
+
+    @property
+    def both_columns(self):
+        """Columns in both ``C_con`` and ``C_ref`` (``C_both``)."""
+        return self.contributing_columns & self.referenced
+
+    @property
+    def referenced_only_columns(self):
+        """Columns referenced but not contributing to any output column."""
+        return self.referenced - self.contributing_columns
+
+    def column_names(self):
+        """Qualified :class:`ColumnName` objects for this relation's outputs."""
+        return [ColumnName.of(self.name, column) for column in self.output_columns]
+
+    def edges(self):
+        """Yield the :class:`ColumnEdge` set implied by this lineage.
+
+        Contribution edges connect a source column to the specific output
+        column it feeds.  Reference edges connect a referenced source column
+        to *every* output column (a change in the referenced column can alter
+        which rows appear, affecting all outputs).  When a pair has both
+        kinds, a single edge of kind ``"both"`` is produced.
+        """
+        edge_kinds = {}
+        for column, sources in self.contributions.items():
+            target = ColumnName.of(self.name, column)
+            for source in sources:
+                edge_kinds[(source, target)] = EDGE_CONTRIBUTE
+        for source in self.referenced:
+            for column in self.output_columns:
+                target = ColumnName.of(self.name, column)
+                key = (source, target)
+                if key in edge_kinds:
+                    edge_kinds[key] = EDGE_BOTH
+                else:
+                    edge_kinds[key] = EDGE_REFERENCE
+        for (source, target), kind in sorted(edge_kinds.items()):
+            yield ColumnEdge(source=source, target=target, kind=kind)
+
+    def to_dict(self):
+        """Serialise to plain data for JSON output."""
+        return {
+            "name": self.name,
+            "is_base_table": self.is_base_table,
+            "columns": list(self.output_columns),
+            "tables": sorted(self.source_tables),
+            "column_lineage": {
+                column: sorted(str(source) for source in sources)
+                for column, sources in self.contributions.items()
+            },
+            "referenced_columns": sorted(str(source) for source in self.referenced),
+            "column_expressions": dict(self.expressions),
+            "sql": self.sql,
+        }
+
+
+class LineageGraph:
+    """The combined lineage of a set of queries (one warehouse)."""
+
+    def __init__(self):
+        self.relations = {}
+
+    # ------------------------------------------------------------------
+    # Population
+    # ------------------------------------------------------------------
+    def add(self, lineage):
+        """Add (or replace) the lineage entry for one relation."""
+        self.relations[lineage.name] = lineage
+        return lineage
+
+    def ensure_base_table(self, name, columns=()):
+        """Ensure a base-table node exists, adding any newly seen columns."""
+        entry = self.relations.get(name)
+        if entry is None:
+            entry = TableLineage(name=name, is_base_table=True)
+            self.relations[name] = entry
+        for column in columns:
+            entry.add_output_column(column)
+        return entry
+
+    def register_usage(self, column_name):
+        """Record that ``column_name`` of an (external) relation was used.
+
+        Base tables are not defined by any query in the Query Dictionary, so
+        their visible column set is accumulated from usage across queries —
+        this is how the ``web`` node of Example 1 obtains its columns.
+        """
+        entry = self.relations.get(column_name.table)
+        if entry is None or entry.is_base_table:
+            entry = self.ensure_base_table(column_name.table)
+            entry.add_output_column(column_name.column)
+        return entry
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def __contains__(self, name):
+        return name in self.relations
+
+    def __getitem__(self, name):
+        return self.relations[name]
+
+    def get(self, name, default=None):
+        return self.relations.get(name, default)
+
+    def __iter__(self):
+        return iter(self.relations.values())
+
+    def __len__(self):
+        return len(self.relations)
+
+    @property
+    def views(self):
+        """Relations defined by queries (non-base-table nodes)."""
+        return [entry for entry in self.relations.values() if not entry.is_base_table]
+
+    @property
+    def base_tables(self):
+        """Relations only ever used as sources (base-table nodes)."""
+        return [entry for entry in self.relations.values() if entry.is_base_table]
+
+    def columns_of(self, name):
+        """Known output columns of a relation (empty list if unknown)."""
+        entry = self.relations.get(name)
+        if entry is None:
+            return []
+        return list(entry.output_columns)
+
+    # ------------------------------------------------------------------
+    # Edge / graph views
+    # ------------------------------------------------------------------
+    def edges(self):
+        """Yield every column-level edge in the graph."""
+        for entry in self.relations.values():
+            for edge in entry.edges():
+                yield edge
+
+    def table_edges(self):
+        """Yield table-level edges ``(source_table, target_table)``."""
+        seen = set()
+        for entry in self.relations.values():
+            for source in sorted(entry.source_tables):
+                key = (source, entry.name)
+                if key not in seen:
+                    seen.add(key)
+                    yield key
+
+    def contribution_edges(self):
+        """Only the edges whose kind is ``contribute`` or ``both``."""
+        for edge in self.edges():
+            if edge.kind in (EDGE_CONTRIBUTE, EDGE_BOTH):
+                yield edge
+
+    def reference_edges(self):
+        """Only the edges whose kind is ``reference`` or ``both``."""
+        for edge in self.edges():
+            if edge.kind in (EDGE_REFERENCE, EDGE_BOTH):
+                yield edge
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self):
+        """Serialise the whole graph to plain data (JSON document shape)."""
+        return {
+            "relations": {
+                name: entry.to_dict() for name, entry in sorted(self.relations.items())
+            },
+            "table_edges": [list(edge) for edge in sorted(self.table_edges())],
+            "column_edges": [
+                {
+                    "source": str(edge.source),
+                    "target": str(edge.target),
+                    "kind": edge.kind,
+                }
+                for edge in sorted(self.edges())
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        """Rebuild a :class:`LineageGraph` from :meth:`to_dict` output."""
+        graph = cls()
+        for name, payload in data.get("relations", {}).items():
+            entry = TableLineage(
+                name=name,
+                is_base_table=payload.get("is_base_table", False),
+                sql=payload.get("sql", ""),
+            )
+            for column in payload.get("columns", []):
+                entry.add_output_column(column)
+            for column, sources in payload.get("column_lineage", {}).items():
+                for source in sources:
+                    entry.add_contribution(column, ColumnName.parse(source))
+            for source in payload.get("referenced_columns", []):
+                entry.add_reference(ColumnName.parse(source))
+            for table in payload.get("tables", []):
+                entry.add_source_table(table)
+            entry.expressions = dict(payload.get("column_expressions", {}))
+            graph.add(entry)
+        return graph
+
+    def subgraph(self, tables):
+        """Restrict the graph to ``tables`` and the edges among them.
+
+        Used to zoom the visualization onto a region of interest (the
+        "explore" workflow): relations outside the set are dropped, and
+        lineage entries are filtered to sources inside the set.
+        """
+        wanted = {str(name) for name in tables}
+        restricted = LineageGraph()
+        for name, entry in self.relations.items():
+            if name not in wanted:
+                continue
+            clone = TableLineage(
+                name=entry.name,
+                is_base_table=entry.is_base_table,
+                sql=entry.sql,
+                expressions=dict(entry.expressions),
+            )
+            for column in entry.output_columns:
+                clone.add_output_column(column)
+                for source in entry.contributions.get(column, set()):
+                    if source.table in wanted:
+                        clone.add_contribution(column, source)
+            for source in entry.referenced:
+                if source.table in wanted:
+                    clone.add_reference(source)
+            clone.source_tables = {t for t in entry.source_tables if t in wanted}
+            restricted.add(clone)
+        return restricted
+
+    def stats(self):
+        """Summary statistics used by the benchmarks and the README."""
+        views = self.views
+        base_tables = self.base_tables
+        edges = list(self.edges())
+        return {
+            "num_relations": len(self.relations),
+            "num_views": len(views),
+            "num_base_tables": len(base_tables),
+            "num_view_columns": sum(len(v.output_columns) for v in views),
+            "num_base_columns": sum(len(t.output_columns) for t in base_tables),
+            "num_column_edges": len(edges),
+            "num_contribute_edges": sum(
+                1 for e in edges if e.kind in (EDGE_CONTRIBUTE, EDGE_BOTH)
+            ),
+            "num_reference_edges": sum(
+                1 for e in edges if e.kind in (EDGE_REFERENCE, EDGE_BOTH)
+            ),
+            "num_table_edges": len(list(self.table_edges())),
+        }

@@ -1,0 +1,158 @@
+"""Lineage extraction in database-connection mode.
+
+Section III of the paper: "When the database connection is available,
+LineageX [...] uses PostgreSQL's EXPLAIN command to obtain the physical
+query plan instead of the AST from the parser, which provides accurate
+metadata to deal with table and column reference ambiguities.  [...] an
+error may occur due to missing dependencies when running the EXPLAIN
+command.  This requires the stack mechanism and performing an additional
+step to create the views first."
+
+:class:`PlanModeRunner` reproduces that workflow against the simulated DBMS
+(:class:`~repro.catalog.explain.ExplainSimulator`):
+
+1. every Query Dictionary entry is submitted to ``EXPLAIN``;
+2. an ``undefined_table`` error defers the current entry onto a stack and
+   switches to the missing dependency, *creating the view* once its own
+   dependencies are satisfied (LIFO resume, exactly like the static mode's
+   auto-inference);
+3. with the plan validated and the catalog now carrying exact column
+   metadata for every dependency, column lineage is extracted with the
+   strict catalog-backed resolver — no ambiguity is possible at this point.
+"""
+
+from dataclasses import dataclass, field
+
+from .errors import CyclicDependencyError
+from .extractor import LineageExtractor
+from .lineage import LineageGraph
+from .preprocess import preprocess
+from .runner import LineageXResult, LineageXRunner
+from ..catalog.catalog import Catalog
+from ..catalog.errors import UndefinedTableError
+from ..catalog.explain import ExplainSimulator
+from ..catalog.introspect import catalog_from_statements
+from ..catalog.provider import StrictCatalogProvider
+from ..sqlparser.dialect import normalize_name
+
+
+@dataclass
+class PlanModeReport:
+    """What the plan-mode runner did (mirrors the static ScheduleReport)."""
+
+    order: list = field(default_factory=list)
+    events: list = field(default_factory=list)       # (kind, identifier, missing)
+    plans: dict = field(default_factory=dict)          # identifier -> PlanNode
+    unresolved: dict = field(default_factory=dict)
+
+    @property
+    def deferral_count(self):
+        return sum(1 for kind, _, _ in self.events if kind == "defer")
+
+
+class PlanModeRunner:
+    """End-to-end lineage extraction through the simulated EXPLAIN."""
+
+    def __init__(self, catalog=None, keep_plans=True):
+        self.base_catalog = catalog
+        self.keep_plans = keep_plans
+
+    # ------------------------------------------------------------------
+    def run(self, source):
+        """Run database-connection-mode extraction over ``source``."""
+        query_dictionary = preprocess(source)
+        catalog = self._build_catalog(query_dictionary)
+        simulator = ExplainSimulator(catalog)
+        extractor = LineageExtractor(provider=StrictCatalogProvider(catalog))
+
+        report = PlanModeReport()
+        pending = set(query_dictionary.identifiers())
+        results = {}
+
+        for identifier in query_dictionary.identifiers():
+            if identifier not in pending:
+                continue
+            self._process_with_stack(
+                identifier, query_dictionary, simulator, extractor, pending, results, report
+            )
+
+        graph = LineageGraph()
+        for identifier in report.order:
+            if identifier in results:
+                graph.add(results[identifier])
+        LineageXRunner._attach_base_tables(graph, catalog)
+        return LineageXResult(
+            graph=graph,
+            query_dictionary=query_dictionary,
+            catalog=catalog,
+            report=report,
+            warnings=list(query_dictionary.warnings),
+        )
+
+    # ------------------------------------------------------------------
+    def _build_catalog(self, query_dictionary):
+        ddl_catalog = catalog_from_statements(query_dictionary.ddl_statements)
+        if self.base_catalog is None:
+            return ddl_catalog
+        merged = self.base_catalog.copy()
+        for table in ddl_catalog.tables.values():
+            merged.add_table(table, replace=True)
+        return merged
+
+    def _process_with_stack(
+        self, identifier, query_dictionary, simulator, extractor, pending, results, report
+    ):
+        stack = [identifier]
+        limit = 10 * max(len(query_dictionary), 1)
+        deferrals = 0
+        while stack:
+            current = stack[-1]
+            if current not in pending:
+                stack.pop()
+                continue
+            entry = query_dictionary.get(current)
+            try:
+                # Step 1: EXPLAIN validates the dependencies and produces the plan.
+                plan = simulator.explain(entry.query)
+                # Step 2: extract lineage with exact catalog metadata.
+                lineage, _ = extractor.extract_statement(entry)
+                # Step 3: create the view so later queries see its columns.
+                if entry.creates_relation:
+                    simulator.create_view(entry.identifier, entry.query)
+            except UndefinedTableError as error:
+                missing = normalize_name(error.name)
+                if missing in stack:
+                    raise CyclicDependencyError(stack[stack.index(missing):] + [missing])
+                if missing not in pending:
+                    report.unresolved[current] = str(error)
+                    pending.discard(current)
+                    stack.pop()
+                    continue
+                deferrals += 1
+                if deferrals > limit:
+                    raise CyclicDependencyError(stack)
+                report.events.append(("defer", current, missing))
+                stack.append(missing)
+                continue
+            results[current] = lineage
+            pending.discard(current)
+            report.order.append(current)
+            if self.keep_plans:
+                report.plans[current] = plan
+            stack.pop()
+            report.events.append(("done", current, ""))
+            if stack:
+                report.events.append(("resume", stack[-1], current))
+
+
+def lineagex_with_connection(source, catalog=None):
+    """Database-connection-mode counterpart of :func:`repro.core.runner.lineagex`.
+
+    ``catalog`` plays the role of the live database: it must contain the base
+    tables the queries read (use :func:`repro.catalog.catalog_from_sql` on a
+    schema dump, or a dataset's ``base_table_catalog()``).  Views defined by
+    the input are created in a copy of the catalog as extraction proceeds.
+    """
+    if catalog is None:
+        catalog = Catalog()
+    return PlanModeRunner(catalog=catalog).run(source)

@@ -1,0 +1,259 @@
+"""The SQL Preprocessing Module.
+
+Section III of the paper: scan each query and record the mapping from the
+query's *identifier* to its query body.  For ``CREATE`` statements the
+created table/view name is the identifier; for bare ``SELECT`` statements a
+generated id is used (or, for dbt-style projects where each model lives in
+its own file, the file name).  The resulting key/value pairs form the
+*Query Dictionary (QD)* consumed by the transformation and extraction
+modules.
+"""
+
+import os
+from dataclasses import dataclass, field
+
+from ..sqlparser import ast, parse
+from ..sqlparser.dialect import normalize_name
+from ..sqlparser.visitor import created_name, query_of
+
+
+@dataclass
+class ParsedQuery:
+    """One entry of the Query Dictionary."""
+
+    identifier: str
+    statement: ast.Statement
+    query: ast.QueryExpression
+    sql: str = ""
+    kind: str = "select"  # view | table | insert | select
+    column_names: list = field(default_factory=list)
+
+    @property
+    def creates_relation(self):
+        """True if this entry defines/extends a named relation."""
+        return self.kind in ("view", "table", "insert")
+
+
+class QueryDictionary:
+    """Ordered mapping from query identifiers to parsed queries.
+
+    Besides the SELECT-bearing entries, the dictionary keeps the plain DDL
+    statements (``CREATE TABLE`` with a column list) it encountered so the
+    runner can seed the schema catalog from them, and a list of warnings for
+    anything that was skipped or replaced.
+    """
+
+    def __init__(self):
+        self.entries = {}
+        self.order = []
+        self.ddl_statements = []
+        self.warnings = []
+
+    # ------------------------------------------------------------------
+    def add(self, parsed_query):
+        """Insert an entry, replacing (with a warning) any previous definition."""
+        identifier = parsed_query.identifier
+        if identifier in self.entries:
+            self.warnings.append(
+                f"query identifier {identifier!r} redefined; keeping the latest definition"
+            )
+            self.order.remove(identifier)
+        self.entries[identifier] = parsed_query
+        self.order.append(identifier)
+        return parsed_query
+
+    def add_ddl(self, statement):
+        """Record a non-query DDL statement (CREATE TABLE / DROP)."""
+        self.ddl_statements.append(statement)
+
+    # ------------------------------------------------------------------
+    def __contains__(self, identifier):
+        return normalize_name(identifier) in self.entries
+
+    def __getitem__(self, identifier):
+        return self.entries[normalize_name(identifier)]
+
+    def get(self, identifier, default=None):
+        return self.entries.get(normalize_name(identifier), default)
+
+    def __len__(self):
+        return len(self.entries)
+
+    def __iter__(self):
+        for identifier in self.order:
+            yield self.entries[identifier]
+
+    def identifiers(self):
+        """Identifiers in insertion order."""
+        return list(self.order)
+
+    def items(self):
+        for identifier in self.order:
+            yield identifier, self.entries[identifier]
+
+
+def preprocess(source, id_generator=None):
+    """Build a :class:`QueryDictionary` from ``source``.
+
+    ``source`` may be:
+
+    * a SQL script string (possibly containing many statements),
+    * a list of SQL script strings,
+    * a mapping ``{name: sql}`` (dbt-style: the key names bare SELECTs),
+    * a path to a ``.sql`` file or to a directory of ``.sql`` files.
+
+    ``id_generator`` customises how anonymous SELECT statements are named;
+    it is called with a running counter and must return a string.  The
+    default produces deterministic ``query_1``, ``query_2``, ... identifiers
+    (the paper uses randomly generated ids; determinism is friendlier to
+    tests and caching and does not change the algorithm).
+    """
+    if id_generator is None:
+        id_generator = lambda counter: f"query_{counter}"  # noqa: E731
+
+    dictionary = QueryDictionary()
+    counter = 0
+    for default_name, sql in _iter_sources(source):
+        for statement in parse(sql):
+            entry_kind, identifier, column_names = _classify(statement)
+            if entry_kind == "ddl":
+                dictionary.add_ddl(statement)
+                continue
+            if entry_kind == "skip":
+                dictionary.warnings.append(
+                    f"statement of type {type(statement).__name__} does not produce lineage; skipped"
+                )
+                continue
+            if identifier is None:
+                if default_name is not None:
+                    identifier = default_name
+                else:
+                    counter += 1
+                    identifier = id_generator(counter)
+            if entry_kind in ("update", "delete") and identifier in dictionary:
+                # A CREATE already defines this relation's lineage; an UPDATE
+                # or DELETE later in the log must not overwrite it.
+                dictionary.warnings.append(
+                    f"{entry_kind.upper()} on {identifier!r} ignored: the relation is "
+                    "already defined by an earlier statement"
+                )
+                continue
+            dictionary.add(
+                ParsedQuery(
+                    identifier=normalize_name(identifier),
+                    statement=statement,
+                    query=_query_for(statement),
+                    sql=sql if default_name is not None else _statement_sql(statement),
+                    kind=entry_kind,
+                    column_names=column_names,
+                )
+            )
+    return dictionary
+
+
+def _query_for(statement):
+    """The query expression whose lineage describes ``statement``.
+
+    ``SELECT``/``CREATE``/``INSERT`` statements embed one directly.  An
+    ``UPDATE`` is rewritten into an equivalent SELECT over the target table
+    (plus any FROM sources): each ``SET col = expr`` becomes a projection, so
+    the assigned columns obtain contribution lineage and the WHERE / join
+    columns become references.  A ``DELETE`` contributes no columns but its
+    USING / WHERE columns are references that affect the target's contents.
+    """
+    if isinstance(statement, ast.UpdateStatement):
+        target = ast.TableRef(name=statement.table, alias=statement.alias)
+        projections = [
+            ast.Projection(expression=expression, alias=column)
+            for column, expression in statement.assignments
+        ]
+        return ast.Select(
+            projections=projections,
+            from_sources=[target] + list(statement.from_sources),
+            where=statement.where,
+        )
+    if isinstance(statement, ast.DeleteStatement):
+        target = ast.TableRef(name=statement.table, alias=statement.alias)
+        return ast.Select(
+            projections=[],
+            from_sources=[target] + list(statement.using_sources),
+            where=statement.where,
+        )
+    return query_of(statement)
+
+
+# ----------------------------------------------------------------------
+# Helpers
+# ----------------------------------------------------------------------
+def _iter_sources(source):
+    """Yield ``(default_name, sql_text)`` pairs from the supported inputs."""
+    if isinstance(source, str):
+        if _looks_like_path(source):
+            yield from _iter_path(source)
+        else:
+            yield None, source
+        return
+    if isinstance(source, os.PathLike):
+        yield from _iter_path(os.fspath(source))
+        return
+    if isinstance(source, dict):
+        for name, sql in source.items():
+            yield normalize_name(str(name)), sql
+        return
+    if isinstance(source, (list, tuple)):
+        for item in source:
+            yield None, item
+        return
+    raise TypeError(
+        "unsupported source type for preprocess(): expected str, path, list or dict, "
+        f"got {type(source).__name__}"
+    )
+
+
+def _looks_like_path(text):
+    """Heuristic: treat short, existing filesystem paths as paths, not SQL."""
+    if "\n" in text or ";" in text:
+        return False
+    if text.strip().upper().startswith(("SELECT", "CREATE", "INSERT", "WITH", "DROP")):
+        return False
+    return os.path.exists(text)
+
+
+def _iter_path(path):
+    if os.path.isdir(path):
+        for filename in sorted(os.listdir(path)):
+            if filename.endswith(".sql"):
+                full = os.path.join(path, filename)
+                with open(full, "r", encoding="utf-8") as handle:
+                    yield normalize_name(os.path.splitext(filename)[0]), handle.read()
+        return
+    with open(path, "r", encoding="utf-8") as handle:
+        yield None, handle.read()
+
+
+def _classify(statement):
+    """Map a statement to (kind, identifier, declared column names)."""
+    if isinstance(statement, ast.CreateView):
+        return "view", created_name(statement), list(statement.column_names)
+    if isinstance(statement, ast.CreateTableAs):
+        return "table", created_name(statement), []
+    if isinstance(statement, ast.InsertStatement):
+        if statement.query is None:
+            # INSERT ... VALUES carries no column lineage from other relations
+            return "skip", None, []
+        return "insert", created_name(statement), list(statement.columns)
+    if isinstance(statement, ast.UpdateStatement):
+        return "update", statement.table.dotted(), []
+    if isinstance(statement, ast.DeleteStatement):
+        return "delete", statement.table.dotted(), []
+    if isinstance(statement, ast.QueryStatement):
+        return "select", None, []
+    if isinstance(statement, (ast.CreateTable, ast.DropStatement)):
+        return "ddl", None, []
+    return "skip", None, []
+
+
+def _statement_sql(statement):
+    from ..sqlparser.printer import to_sql
+
+    return to_sql(statement)

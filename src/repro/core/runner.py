@@ -1,0 +1,222 @@
+"""The user-facing orchestration API.
+
+``lineagex(sql)`` mirrors the paper's one-call workflow (Figure 5, Step 1):
+feed it SQL text, a list of statements, a ``{name: sql}`` mapping, or a path
+to ``.sql`` files, and get back a :class:`LineageXResult` holding the lineage
+graph, which can be saved as a JSON document and an interactive HTML page.
+
+Pipeline: :mod:`preprocess <repro.core.preprocess>` builds the Query
+Dictionary, ``CREATE TABLE`` DDL seeds the schema catalog, the
+:mod:`auto-inference scheduler <repro.core.scheduler>` extracts every entry
+(deferring across dependencies as needed), and the relations that are only
+ever read — the base tables — are materialised as graph nodes whose column
+sets are taken from the catalog or accumulated from usage.
+"""
+
+import os
+from dataclasses import dataclass, field
+
+from .lineage import LineageGraph
+from .preprocess import preprocess
+from .scheduler import AutoInferenceScheduler
+from ..catalog.catalog import Catalog
+from ..catalog.introspect import catalog_from_statements
+
+
+@dataclass
+class LineageXResult:
+    """Everything produced by one LineageX run."""
+
+    graph: LineageGraph
+    query_dictionary: object
+    catalog: Catalog
+    report: object
+    warnings: list = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    def stats(self):
+        """Graph-level summary statistics."""
+        stats = self.graph.stats()
+        stats["num_queries"] = len(self.query_dictionary)
+        stats["num_deferrals"] = self.report.deferral_count
+        stats["num_unresolved"] = len(self.report.unresolved)
+        return stats
+
+    def to_dict(self):
+        """The JSON document shape (relations, table edges, column edges)."""
+        payload = self.graph.to_dict()
+        payload["stats"] = self.stats()
+        payload["warnings"] = list(self.warnings)
+        return payload
+
+    def to_json(self, path=None, indent=2):
+        """Serialise to JSON text; write it to ``path`` when given."""
+        from ..output.json_output import graph_to_json
+
+        text = graph_to_json(self.graph, stats=self.stats(), indent=indent)
+        if path is not None:
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(text)
+        return text
+
+    def to_html(self, path=None, title="LineageX lineage graph"):
+        """Render the interactive HTML page; write it to ``path`` when given."""
+        from ..output.html_output import graph_to_html
+
+        text = graph_to_html(self.graph, title=title)
+        if path is not None:
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(text)
+        return text
+
+    def to_dot(self):
+        """Render a Graphviz DOT document of the column lineage."""
+        from ..output.dot_output import graph_to_dot
+
+        return graph_to_dot(self.graph)
+
+    def to_text(self):
+        """Render a plain-text summary (one block per relation)."""
+        from ..output.text_output import graph_to_text
+
+        return graph_to_text(self.graph)
+
+    def save(self, output_dir, basename="lineagex"):
+        """Write ``<basename>.json`` and ``<basename>.html`` into ``output_dir``."""
+        os.makedirs(output_dir, exist_ok=True)
+        json_path = os.path.join(output_dir, f"{basename}.json")
+        html_path = os.path.join(output_dir, f"{basename}.html")
+        self.to_json(json_path)
+        self.to_html(html_path)
+        return json_path, html_path
+
+    def impact_analysis(self, column, direction="downstream"):
+        """Convenience hook into :func:`repro.analysis.impact.impact_analysis`."""
+        from ..analysis.impact import impact_analysis
+
+        return impact_analysis(self.graph, column, direction=direction)
+
+
+class LineageXRunner:
+    """Configurable end-to-end lineage extraction."""
+
+    def __init__(
+        self,
+        catalog=None,
+        strict=False,
+        use_stack=True,
+        collect_traces=False,
+        id_generator=None,
+    ):
+        self.catalog = catalog
+        self.strict = strict
+        self.use_stack = use_stack
+        self.collect_traces = collect_traces
+        self.id_generator = id_generator
+
+    # ------------------------------------------------------------------
+    def run(self, source):
+        """Run the full pipeline over ``source`` and return a result."""
+        query_dictionary = preprocess(source, id_generator=self.id_generator)
+        catalog = self._build_catalog(query_dictionary)
+        scheduler = AutoInferenceScheduler(
+            query_dictionary,
+            catalog=catalog,
+            strict=self.strict,
+            use_stack=self.use_stack,
+            collect_traces=self.collect_traces,
+        )
+        graph, report = scheduler.run()
+        self._attach_base_tables(graph, catalog)
+        return LineageXResult(
+            graph=graph,
+            query_dictionary=query_dictionary,
+            catalog=catalog,
+            report=report,
+            warnings=list(query_dictionary.warnings),
+        )
+
+    # ------------------------------------------------------------------
+    def _build_catalog(self, query_dictionary):
+        """Merge the user-provided catalog with CREATE TABLE DDL from the input."""
+        ddl_catalog = catalog_from_statements(query_dictionary.ddl_statements)
+        if self.catalog is None:
+            return ddl_catalog
+        merged = self.catalog.copy()
+        for table in ddl_catalog.tables.values():
+            merged.add_table(table, replace=True)
+        return merged
+
+    @staticmethod
+    def _attach_base_tables(graph, catalog):
+        """Create base-table nodes for every relation that is only read.
+
+        Column sets come from the catalog when available and are otherwise
+        accumulated from usage (every contribution or reference that points
+        at the relation), which is how Example 1's ``web`` node obtains its
+        ``cid``/``date``/``page``/``reg`` columns without any metadata.
+        """
+        used_columns = []
+        for lineage in list(graph):
+            for sources in lineage.contributions.values():
+                used_columns.extend(sources)
+            used_columns.extend(lineage.referenced)
+        view_names = {lineage.name for lineage in graph.views}
+        for column_name in used_columns:
+            if column_name.table in view_names:
+                continue
+            if column_name.column == "*":
+                graph.ensure_base_table(column_name.table)
+                continue
+            graph.register_usage(column_name)
+        # add full catalog schemas for base tables that were touched
+        for entry in graph.base_tables:
+            table = catalog.get(entry.name) if catalog is not None else None
+            if table is not None:
+                for column in table.column_names():
+                    entry.add_output_column(column)
+
+
+def lineagex(
+    source,
+    catalog=None,
+    strict=False,
+    use_stack=True,
+    collect_traces=False,
+    output_dir=None,
+):
+    """Extract column-level lineage from SQL (the paper's one-call API).
+
+    Parameters
+    ----------
+    source:
+        SQL text, a list of SQL texts, a ``{name: sql}`` mapping, or a path
+        to a ``.sql`` file or directory.
+    catalog:
+        Optional :class:`repro.catalog.Catalog` with base-table schemas
+        (plays the role of a database connection's metadata).
+    strict:
+        Raise :class:`~repro.core.errors.AmbiguousColumnError` on ambiguous
+        unqualified columns instead of attributing them conservatively.
+    use_stack:
+        Enable the Table/View Auto-Inference stack (disable only for the
+        ablation study).
+    collect_traces:
+        Record per-query extraction traces (rule firings).
+    output_dir:
+        When given, write ``lineagex.json`` and ``lineagex.html`` there.
+
+    Returns
+    -------
+    LineageXResult
+    """
+    runner = LineageXRunner(
+        catalog=catalog,
+        strict=strict,
+        use_stack=use_stack,
+        collect_traces=collect_traces,
+    )
+    result = runner.run(source)
+    if output_dir is not None:
+        result.save(output_dir)
+    return result

@@ -1,0 +1,175 @@
+"""Table/View Auto-Inference: stack-based reordering of query processing.
+
+Section III of the paper: the extraction module "gives priority to SQL
+statements identified by keys in QD"; when a traversal encounters a table or
+view that has not been processed yet, the current traversal is deferred onto
+a stack, the missing dependency is processed first, and the deferred work is
+resumed in LIFO order.  This is what makes ``SELECT *`` over a later-defined
+view and unprefixed column references resolvable without DBMS metadata.
+
+The scheduler also supports ``use_stack=False`` for the ablation benchmark
+(ABL-STACK in DESIGN.md): queries are then processed strictly in Query
+Dictionary order and any not-yet-known relation is treated as an external
+table of unknown schema, reproducing the failure modes of single-pass tools.
+"""
+
+from dataclasses import dataclass, field
+
+from .errors import CyclicDependencyError, UnknownRelationError
+from .extractor import LineageExtractor, SchemaProvider
+from .lineage import LineageGraph
+from ..sqlparser.dialect import normalize_name
+
+
+@dataclass
+class DeferralEvent:
+    """One stack operation, recorded for tests and the ablation bench."""
+
+    kind: str            # "defer" | "resume" | "done"
+    identifier: str
+    missing: str = ""
+
+
+@dataclass
+class ScheduleReport:
+    """What the scheduler did: processing order and deferral events."""
+
+    order: list = field(default_factory=list)
+    events: list = field(default_factory=list)
+    unresolved: dict = field(default_factory=dict)   # identifier -> error message
+    traces: dict = field(default_factory=dict)       # identifier -> ExtractionTrace
+
+    @property
+    def deferral_count(self):
+        return sum(1 for event in self.events if event.kind == "defer")
+
+
+class _SchedulerProvider(SchemaProvider):
+    """Schema provider that reflects the scheduler's progress.
+
+    Column lookups consult, in order: lineage already extracted for a Query
+    Dictionary entry, the optional catalog, and finally — when the relation
+    is a *pending* Query Dictionary entry and the stack is enabled — raise
+    :class:`UnknownRelationError` so the scheduler defers to it.
+    """
+
+    def __init__(self, scheduler):
+        self.scheduler = scheduler
+
+    def get_columns(self, name):
+        name = normalize_name(name)
+        lineage = self.scheduler.results.get(name)
+        if lineage is not None:
+            return list(lineage.output_columns)
+        if self.scheduler.catalog is not None:
+            table = self.scheduler.catalog.get(name)
+            if table is not None:
+                return table.column_names()
+        if (
+            self.scheduler.use_stack
+            and name in self.scheduler.pending
+            and name != self.scheduler.current
+        ):
+            raise UnknownRelationError(
+                name, reason="defined by a not-yet-processed query"
+            )
+        return None
+
+
+class AutoInferenceScheduler:
+    """Drive lineage extraction over a whole Query Dictionary."""
+
+    def __init__(
+        self,
+        query_dictionary,
+        catalog=None,
+        strict=False,
+        use_stack=True,
+        collect_traces=False,
+        max_deferrals=None,
+    ):
+        self.query_dictionary = query_dictionary
+        self.catalog = catalog
+        self.strict = strict
+        self.use_stack = use_stack
+        self.collect_traces = collect_traces
+        self.max_deferrals = max_deferrals
+        self.results = {}
+        self.pending = set(query_dictionary.identifiers())
+        #: identifier currently being extracted; a query reading the relation
+        #: it also writes (UPDATE ... FROM, self-referencing INSERT) must not
+        #: be treated as a missing dependency on itself.
+        self.current = None
+        self.extractor = LineageExtractor(
+            provider=_SchedulerProvider(self),
+            strict=strict,
+            collect_trace=collect_traces,
+        )
+
+    # ------------------------------------------------------------------
+    def run(self):
+        """Process every Query Dictionary entry; return (graph, report)."""
+        report = ScheduleReport()
+        for identifier in self.query_dictionary.identifiers():
+            if identifier not in self.pending:
+                continue
+            self._process_with_stack(identifier, report)
+
+        graph = LineageGraph()
+        for identifier in report.order:
+            lineage = self.results.get(identifier)
+            if lineage is not None:
+                graph.add(lineage)
+        return graph, report
+
+    # ------------------------------------------------------------------
+    def _process_with_stack(self, identifier, report):
+        stack = [identifier]
+        deferrals = 0
+        limit = self.max_deferrals or (10 * max(len(self.query_dictionary), 1))
+        while stack:
+            current = stack[-1]
+            if current not in self.pending:
+                stack.pop()
+                continue
+            entry = self.query_dictionary.get(current)
+            self.current = current
+            try:
+                lineage, trace = self.extractor.extract_statement(entry)
+            except UnknownRelationError as error:
+                missing = normalize_name(error.relation)
+                if not self.use_stack:
+                    # Without the stack we cannot recover; record and move on.
+                    report.unresolved[current] = str(error)
+                    self.pending.discard(current)
+                    stack.pop()
+                    continue
+                if missing in stack:
+                    raise CyclicDependencyError(stack[stack.index(missing):] + [missing])
+                if missing not in self.pending:
+                    # The dependency failed previously; give up on this entry.
+                    report.unresolved[current] = str(error)
+                    self.pending.discard(current)
+                    stack.pop()
+                    continue
+                deferrals += 1
+                if deferrals > limit:
+                    raise CyclicDependencyError(stack)
+                report.events.append(
+                    DeferralEvent(kind="defer", identifier=current, missing=missing)
+                )
+                stack.append(missing)
+                continue
+            # Success: record the result and resume whatever was deferred.
+            self.results[current] = lineage
+            self.pending.discard(current)
+            report.order.append(current)
+            if self.collect_traces:
+                report.traces[current] = trace
+            stack.pop()
+            report.events.append(DeferralEvent(kind="done", identifier=current))
+            if stack:
+                report.events.append(
+                    DeferralEvent(kind="resume", identifier=stack[-1], missing=current)
+                )
+        return report

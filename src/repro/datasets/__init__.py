@@ -1,0 +1,17 @@
+"""Datasets and workloads used by the examples, tests, and benchmarks.
+
+* :mod:`repro.datasets.example1` -- the paper's running example (an online
+  shop warehouse with the ``info`` / ``webact`` / ``webinfo`` views) plus
+  its hand-written ground-truth lineage;
+* :mod:`repro.datasets.retail` -- a larger online-retail warehouse with a
+  realistic multi-layer view pipeline;
+* :mod:`repro.datasets.mimic` -- a synthetic MIMIC-like clinical schema (26
+  base tables / ~300 columns) with 70 view definitions (~700 columns),
+  matching the scale reported in Section IV;
+* :mod:`repro.datasets.workload` -- a seeded random view-pipeline generator
+  for scalability experiments and property-based tests.
+"""
+
+from . import example1, retail, mimic, workload
+
+__all__ = ["example1", "retail", "mimic", "workload"]

@@ -1,0 +1,166 @@
+"""The paper's running example (Example 1) and its ground-truth lineage.
+
+An online shop stores customer, order, and web-activity data.  Three views
+are defined:
+
+* ``webinfo`` joins ``customers`` and ``web`` and renames the columns;
+* ``webact`` intersects ``webinfo`` with ``web``;
+* ``info`` joins ``customers``, ``orders`` and ``webact`` and uses
+  ``SELECT w.*`` over the ``webact`` view.
+
+The ground truth below is the correct lineage a human would derive (the
+yellow graph of Figure 2), used by the tests and the Figure 2 / Figure 5
+benchmarks.
+"""
+
+from ..catalog import Catalog
+from ..core.column_refs import ColumnName
+from ..core.lineage import LineageGraph, TableLineage
+
+#: Q1 of Example 1 — uses SELECT w.* over the webact view.
+Q1 = """
+CREATE VIEW info AS
+SELECT c.name, c.age, o.oid, w.*
+FROM customers c JOIN orders o ON c.cid = o.cid
+JOIN webact w ON c.cid = w.wcid;
+"""
+
+#: Q2 of Example 1 — a set operation (INTERSECT) without table prefixes on
+#: the output side.
+Q2 = """
+CREATE VIEW webact AS
+SELECT w.wcid, w.wdate, w.wpage, w.wreg
+FROM webinfo w
+INTERSECT
+SELECT w1.cid, w1.date, w1.page, w1.reg
+FROM web w1;
+"""
+
+#: Q3 of Example 1 — renaming projection over a join with a WHERE filter.
+Q3 = """
+CREATE VIEW webinfo AS
+SELECT c.cid AS wcid, w.date AS wdate,
+       w.page AS wpage, w.reg AS wreg
+FROM customers c JOIN web w ON c.cid = w.cid
+WHERE EXTRACT(YEAR from w.date) = 2022;
+"""
+
+#: The full query log, in the order the paper presents it (note that the
+#: definition of ``info`` comes *before* the views it depends on — this is
+#: what exercises the auto-inference stack).
+QUERY_LOG = Q1 + Q2 + Q3
+
+#: Statements in dependency order (used by the ablation benchmark to show
+#: that the stack makes the processing order irrelevant).
+QUERY_LOG_ORDERED = Q3 + Q2 + Q1
+
+
+def queries():
+    """The three view definitions as a list, in paper order."""
+    return [Q1, Q2, Q3]
+
+
+def base_table_catalog():
+    """Schemas of the base tables (optional; Example 1 works without them)."""
+    catalog = Catalog()
+    catalog.create_table(
+        "customers",
+        [("cid", "integer"), ("name", "text"), ("age", "integer")],
+    )
+    catalog.create_table(
+        "orders",
+        [("oid", "integer"), ("cid", "integer"), ("amount", "numeric")],
+    )
+    catalog.create_table(
+        "web",
+        [("cid", "integer"), ("date", "timestamp"), ("page", "text"), ("reg", "boolean")],
+    )
+    return catalog
+
+
+def _column(table, column):
+    return ColumnName.of(table, column)
+
+
+def ground_truth():
+    """The correct lineage graph for Example 1 (the yellow graph of Figure 2).
+
+    Only the three views are included; base-table nodes are added by the
+    runner from usage and are checked separately in the tests.
+    """
+    graph = LineageGraph()
+
+    webinfo = TableLineage(name="webinfo")
+    webinfo.add_contribution("wcid", _column("customers", "cid"))
+    webinfo.add_contribution("wdate", _column("web", "date"))
+    webinfo.add_contribution("wpage", _column("web", "page"))
+    webinfo.add_contribution("wreg", _column("web", "reg"))
+    webinfo.add_reference(_column("customers", "cid"))
+    webinfo.add_reference(_column("web", "cid"))
+    webinfo.add_reference(_column("web", "date"))
+    graph.add(webinfo)
+
+    webact = TableLineage(name="webact")
+    webact.add_contribution("wcid", _column("webinfo", "wcid"))
+    webact.add_contribution("wcid", _column("web", "cid"))
+    webact.add_contribution("wdate", _column("webinfo", "wdate"))
+    webact.add_contribution("wdate", _column("web", "date"))
+    webact.add_contribution("wpage", _column("webinfo", "wpage"))
+    webact.add_contribution("wpage", _column("web", "page"))
+    webact.add_contribution("wreg", _column("webinfo", "wreg"))
+    webact.add_contribution("wreg", _column("web", "reg"))
+    # The INTERSECT compares whole rows: every input projection column is
+    # referenced by the set operation.
+    for table, columns in (
+        ("webinfo", ("wcid", "wdate", "wpage", "wreg")),
+        ("web", ("cid", "date", "page", "reg")),
+    ):
+        for column in columns:
+            webact.add_reference(_column(table, column))
+    graph.add(webact)
+
+    info = TableLineage(name="info")
+    info.add_contribution("name", _column("customers", "name"))
+    info.add_contribution("age", _column("customers", "age"))
+    info.add_contribution("oid", _column("orders", "oid"))
+    # SELECT w.* expands to the four webact columns.
+    info.add_contribution("wcid", _column("webact", "wcid"))
+    info.add_contribution("wdate", _column("webact", "wdate"))
+    info.add_contribution("wpage", _column("webact", "wpage"))
+    info.add_contribution("wreg", _column("webact", "wreg"))
+    # Join predicates reference customers.cid, orders.cid and webact.wcid.
+    info.add_reference(_column("customers", "cid"))
+    info.add_reference(_column("orders", "cid"))
+    info.add_reference(_column("webact", "wcid"))
+    graph.add(info)
+
+    return graph
+
+
+#: Column sets the paper's Step 4 derives for the impact analysis of
+#: ``web.page``: ``webinfo.wpage`` is directly contributed to, and every
+#: column of ``webact`` and ``info`` is impacted through the set operation
+#: and the join.
+IMPACT_OF_WEB_PAGE = {
+    "webinfo.wpage",
+    "webact.wcid",
+    "webact.wdate",
+    "webact.wpage",
+    "webact.wreg",
+    "info.name",
+    "info.age",
+    "info.oid",
+    "info.wcid",
+    "info.wdate",
+    "info.wpage",
+    "info.wreg",
+}
+
+#: The subset of the impact set that is *contributed to* (directly or
+#: transitively through contribution edges only) — what the simulated LLM
+#: assistant is able to find (Section IV).
+CONTRIBUTED_IMPACT_OF_WEB_PAGE = {
+    "webinfo.wpage",
+    "webact.wpage",
+    "info.wpage",
+}

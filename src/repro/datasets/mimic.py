@@ -1,0 +1,426 @@
+"""A synthetic MIMIC-like clinical warehouse.
+
+Section IV of the paper demonstrates LineageX on the MIMIC dataset, whose
+schema has "more than 300 columns in 26 base tables and 700 columns in 70
+view definitions".  The real MIMIC-III data requires credentialed access, so
+this module reproduces the *shape* of that workload: the 26 base tables
+below follow the real MIMIC-III table names with realistic column lists
+(~300 columns in total), and :func:`view_definitions` generates 70 view
+definitions (~700 output columns) exercising the SQL features the extraction
+module must handle — joins, CTEs, aggregation, window functions, set
+operations, ``SELECT *`` over earlier views, and unprefixed columns.
+
+Everything is deterministic, so tests and benchmarks can assert exact
+counts.
+"""
+
+from ..catalog import Catalog
+
+#: The 26 MIMIC-III base tables and their (abridged but realistic) columns.
+BASE_TABLES = {
+    "patients": [
+        "row_id", "subject_id", "gender", "dob", "dod", "dod_hosp", "dod_ssn", "expire_flag",
+    ],
+    "admissions": [
+        "row_id", "subject_id", "hadm_id", "admittime", "dischtime", "deathtime",
+        "admission_type", "admission_location", "discharge_location", "insurance",
+        "language", "religion", "marital_status", "ethnicity", "diagnosis",
+        "hospital_expire_flag", "has_chartevents_data",
+    ],
+    "icustays": [
+        "row_id", "subject_id", "hadm_id", "icustay_id", "dbsource", "first_careunit",
+        "last_careunit", "first_wardid", "last_wardid", "intime", "outtime", "los",
+    ],
+    "callout": [
+        "row_id", "subject_id", "hadm_id", "submit_wardid", "curr_wardid", "callout_wardid",
+        "callout_service", "request_tele", "request_resp", "request_cdiff", "request_mrsa",
+        "callout_status", "callout_outcome", "createtime", "outcometime",
+    ],
+    "caregivers": ["row_id", "cgid", "label", "description"],
+    "chartevents": [
+        "row_id", "subject_id", "hadm_id", "icustay_id", "itemid", "charttime", "storetime",
+        "cgid", "value", "valuenum", "valueuom", "warning", "error", "stopped",
+    ],
+    "cptevents": [
+        "row_id", "subject_id", "hadm_id", "costcenter", "chartdate", "cpt_cd",
+        "cpt_number", "cpt_suffix", "ticket_id_seq", "sectionheader", "subsectionheader",
+    ],
+    "d_cpt": [
+        "row_id", "category", "sectionrange", "sectionheader", "subsectionrange",
+        "subsectionheader", "codesuffix", "mincodeinsubsection", "maxcodeinsubsection",
+    ],
+    "d_icd_diagnoses": ["row_id", "icd9_code", "short_title", "long_title"],
+    "d_icd_procedures": ["row_id", "icd9_code", "short_title", "long_title"],
+    "d_items": [
+        "row_id", "itemid", "label", "abbreviation", "dbsource", "linksto", "category",
+        "unitname", "param_type", "conceptid",
+    ],
+    "d_labitems": ["row_id", "itemid", "label", "fluid", "category", "loinc_code"],
+    "datetimeevents": [
+        "row_id", "subject_id", "hadm_id", "icustay_id", "itemid", "charttime", "storetime",
+        "cgid", "value", "valueuom", "warning", "error", "stopped",
+    ],
+    "diagnoses_icd": ["row_id", "subject_id", "hadm_id", "seq_num", "icd9_code"],
+    "drgcodes": [
+        "row_id", "subject_id", "hadm_id", "drg_type", "drg_code", "description",
+        "drg_severity", "drg_mortality",
+    ],
+    "inputevents_cv": [
+        "row_id", "subject_id", "hadm_id", "icustay_id", "charttime", "itemid", "amount",
+        "amountuom", "rate", "rateuom", "cgid", "orderid", "linkorderid", "stopped",
+        "newbottle", "originalamount", "originalroute",
+    ],
+    "inputevents_mv": [
+        "row_id", "subject_id", "hadm_id", "icustay_id", "starttime", "endtime", "itemid",
+        "amount", "amountuom", "rate", "rateuom", "cgid", "orderid", "linkorderid",
+        "ordercategoryname", "patientweight", "totalamount", "statusdescription",
+    ],
+    "labevents": [
+        "row_id", "subject_id", "hadm_id", "itemid", "charttime", "value", "valuenum",
+        "valueuom", "flag",
+    ],
+    "microbiologyevents": [
+        "row_id", "subject_id", "hadm_id", "chartdate", "charttime", "spec_itemid",
+        "spec_type_desc", "org_itemid", "org_name", "isolate_num", "ab_itemid", "ab_name",
+        "dilution_text", "dilution_comparison", "dilution_value", "interpretation",
+    ],
+    "noteevents": [
+        "row_id", "subject_id", "hadm_id", "chartdate", "charttime", "storetime",
+        "category", "description", "cgid", "iserror", "text",
+    ],
+    "outputevents": [
+        "row_id", "subject_id", "hadm_id", "icustay_id", "charttime", "itemid", "value",
+        "valueuom", "storetime", "cgid", "stopped", "newbottle", "iserror",
+    ],
+    "prescriptions": [
+        "row_id", "subject_id", "hadm_id", "icustay_id", "startdate", "enddate", "drug_type",
+        "drug", "drug_name_poe", "drug_name_generic", "formulary_drug_cd", "gsn", "ndc",
+        "prod_strength", "dose_val_rx", "dose_unit_rx", "form_val_disp", "form_unit_disp",
+        "route",
+    ],
+    "procedureevents_mv": [
+        "row_id", "subject_id", "hadm_id", "icustay_id", "starttime", "endtime", "itemid",
+        "value", "valueuom", "location", "locationcategory", "cgid", "orderid",
+        "statusdescription",
+    ],
+    "procedures_icd": ["row_id", "subject_id", "hadm_id", "seq_num", "icd9_code"],
+    "services": [
+        "row_id", "subject_id", "hadm_id", "transfertime", "prev_service", "curr_service",
+    ],
+    "transfers": [
+        "row_id", "subject_id", "hadm_id", "icustay_id", "dbsource", "eventtype",
+        "prev_careunit", "curr_careunit", "prev_wardid", "curr_wardid", "intime", "outtime",
+        "los",
+    ],
+}
+
+#: Event tables that share the (subject_id, hadm_id, itemid, charttime) shape;
+#: used by the generated per-event staging and aggregate views.
+EVENT_TABLES = [
+    "chartevents",
+    "labevents",
+    "datetimeevents",
+    "outputevents",
+    "microbiologyevents",
+]
+
+
+def base_table_catalog():
+    """The 26 base tables as a :class:`repro.catalog.Catalog`."""
+    catalog = Catalog()
+    for table, columns in BASE_TABLES.items():
+        catalog.create_table(table, [(column, "text") for column in columns])
+    return catalog
+
+
+def base_table_ddl():
+    """CREATE TABLE DDL for every base table."""
+    statements = []
+    for table, columns in BASE_TABLES.items():
+        body = ",\n  ".join(f"{column} text" for column in columns)
+        statements.append(f"CREATE TABLE {table} (\n  {body}\n);")
+    return "\n\n".join(statements) + "\n"
+
+
+# ----------------------------------------------------------------------
+# View generation
+# ----------------------------------------------------------------------
+def view_definitions():
+    """Return the 70 view definitions as an ordered ``{name: sql}`` mapping.
+
+    The views form four layers:
+
+    1. *staging* views (one per base table, 26 views): rename ``row_id`` and
+       keep a cleaned projection;
+    2. *event summary* views (one per event table, 5 views): per-admission
+       aggregation with GROUP BY/HAVING;
+    3. *cohort* views (joins, CTEs, window functions, 30 views);
+    4. *report* views (set operations and ``SELECT *`` over earlier views,
+       9 views).
+    """
+    views = {}
+
+    # Layer 1: staging views -------------------------------------------------
+    for table, columns in BASE_TABLES.items():
+        projected = ", ".join(f"t.{column}" for column in columns if column != "row_id")
+        views[f"stg_{table}"] = (
+            f"CREATE VIEW stg_{table} AS SELECT t.row_id AS {table}_id, {projected} "
+            f"FROM {table} t"
+        )
+
+    # Layer 2: per-event-table admission summaries ---------------------------
+    for table in EVENT_TABLES:
+        time_column = "chartdate" if table == "microbiologyevents" else "charttime"
+        views[f"adm_{table}_summary"] = (
+            f"CREATE VIEW adm_{table}_summary AS "
+            f"SELECT e.subject_id, e.hadm_id, count(*) AS event_count, "
+            f"min(e.{time_column}) AS first_event_time, max(e.{time_column}) AS last_event_time "
+            f"FROM {table} e "
+            f"GROUP BY e.subject_id, e.hadm_id "
+            f"HAVING count(*) > 0"
+        )
+
+    # Layer 3: cohort views ---------------------------------------------------
+    views["patient_admissions"] = (
+        "CREATE VIEW patient_admissions AS "
+        "SELECT p.subject_id, p.gender, p.dob, a.hadm_id, a.admittime, a.dischtime, "
+        "a.admission_type, a.admission_location, a.discharge_location, a.insurance, "
+        "a.ethnicity, a.marital_status, a.diagnosis, a.hospital_expire_flag "
+        "FROM stg_patients p JOIN stg_admissions a ON p.subject_id = a.subject_id"
+    )
+    views["icu_admissions"] = (
+        "CREATE VIEW icu_admissions AS "
+        "SELECT pa.subject_id, pa.hadm_id, pa.admission_type, pa.insurance, i.icustay_id, "
+        "i.first_careunit, i.last_careunit, i.dbsource, i.intime, i.outtime, i.los "
+        "FROM patient_admissions pa JOIN stg_icustays i ON pa.hadm_id = i.hadm_id"
+    )
+    views["admission_diagnoses"] = (
+        "CREATE VIEW admission_diagnoses AS "
+        "SELECT d.subject_id, d.hadm_id, d.seq_num, d.icd9_code, dd.short_title, dd.long_title "
+        "FROM stg_diagnoses_icd d LEFT JOIN stg_d_icd_diagnoses dd ON d.icd9_code = dd.icd9_code"
+    )
+    views["admission_procedures"] = (
+        "CREATE VIEW admission_procedures AS "
+        "SELECT pr.subject_id, pr.hadm_id, pr.seq_num, pr.icd9_code, dp.short_title, dp.long_title "
+        "FROM stg_procedures_icd pr LEFT JOIN stg_d_icd_procedures dp ON pr.icd9_code = dp.icd9_code"
+    )
+    views["primary_diagnosis"] = (
+        "CREATE VIEW primary_diagnosis AS "
+        "SELECT ad.subject_id, ad.hadm_id, ad.icd9_code, ad.short_title "
+        "FROM admission_diagnoses ad WHERE ad.seq_num = 1"
+    )
+    views["lab_abnormal"] = (
+        "CREATE VIEW lab_abnormal AS "
+        "SELECT l.subject_id, l.hadm_id, l.itemid, li.label, li.fluid, li.category, "
+        "l.charttime, l.value, l.valuenum, l.valueuom, l.flag "
+        "FROM stg_labevents l JOIN stg_d_labitems li ON l.itemid = li.itemid "
+        "WHERE l.flag = 'abnormal'"
+    )
+    views["first_icu_stay"] = (
+        "CREATE VIEW first_icu_stay AS "
+        "SELECT i.subject_id, i.hadm_id, i.icustay_id, i.intime, i.outtime, i.los "
+        "FROM (SELECT s.subject_id, s.hadm_id, s.icustay_id, s.intime, s.outtime, s.los, "
+        "row_number() OVER (PARTITION BY s.subject_id ORDER BY s.intime) AS stay_rank "
+        "FROM stg_icustays s) i WHERE i.stay_rank = 1"
+    )
+    views["admission_los"] = (
+        "CREATE VIEW admission_los AS "
+        "SELECT a.subject_id, a.hadm_id, a.admittime, a.dischtime, "
+        "EXTRACT(EPOCH FROM a.dischtime) - EXTRACT(EPOCH FROM a.admittime) AS los_seconds "
+        "FROM stg_admissions a"
+    )
+    views["mortality_flags"] = (
+        "CREATE VIEW mortality_flags AS "
+        "SELECT pa.subject_id, pa.hadm_id, pa.hospital_expire_flag, "
+        "CASE WHEN p.dod IS NOT NULL THEN 1 ELSE 0 END AS died_ever "
+        "FROM patient_admissions pa JOIN stg_patients p ON pa.subject_id = p.subject_id"
+    )
+    views["admission_drugs"] = (
+        "CREATE VIEW admission_drugs AS "
+        "SELECT pr.subject_id, pr.hadm_id, pr.icustay_id, pr.drug, pr.drug_type, "
+        "pr.drug_name_generic, pr.route, pr.dose_val_rx, pr.dose_unit_rx, "
+        "pr.startdate, pr.enddate "
+        "FROM stg_prescriptions pr"
+    )
+    views["vasopressor_orders"] = (
+        "CREATE VIEW vasopressor_orders AS "
+        "SELECT ad.subject_id, ad.hadm_id, ad.drug, ad.startdate "
+        "FROM admission_drugs ad "
+        "WHERE lower(ad.drug) IN ('norepinephrine', 'epinephrine', 'vasopressin', 'dopamine')"
+    )
+    views["ventilation_events"] = (
+        "CREATE VIEW ventilation_events AS "
+        "WITH vent_items AS (SELECT di.itemid FROM stg_d_items di WHERE di.category = 'Ventilation') "
+        "SELECT c.subject_id, c.hadm_id, c.icustay_id, c.charttime, c.valuenum "
+        "FROM stg_chartevents c WHERE c.itemid IN (SELECT v.itemid FROM vent_items v)"
+    )
+    views["icu_service_transfers"] = (
+        "CREATE VIEW icu_service_transfers AS "
+        "SELECT t.subject_id, t.hadm_id, t.icustay_id, t.eventtype, t.prev_careunit, "
+        "t.curr_careunit, t.intime, s.curr_service "
+        "FROM stg_transfers t LEFT JOIN stg_services s ON t.hadm_id = s.hadm_id"
+    )
+    views["caregiver_notes"] = (
+        "CREATE VIEW caregiver_notes AS "
+        "SELECT n.subject_id, n.hadm_id, n.chartdate, n.category, n.description, cg.label AS caregiver_role "
+        "FROM stg_noteevents n LEFT JOIN stg_caregivers cg ON n.cgid = cg.cgid"
+    )
+    views["fluid_balance"] = (
+        "CREATE VIEW fluid_balance AS "
+        "WITH intake AS (SELECT i.subject_id, i.hadm_id, sum(i.amount) AS total_in "
+        "FROM stg_inputevents_cv i GROUP BY i.subject_id, i.hadm_id), "
+        "output AS (SELECT o.subject_id, o.hadm_id, sum(o.value) AS total_out "
+        "FROM stg_outputevents o GROUP BY o.subject_id, o.hadm_id) "
+        "SELECT intake.subject_id, intake.hadm_id, intake.total_in, output.total_out, "
+        "intake.total_in - output.total_out AS balance "
+        "FROM intake JOIN output ON intake.hadm_id = output.hadm_id"
+    )
+
+    # Cohort views project the full width of their source view (mirroring how
+    # clinical cohort extracts are defined in practice) and filter on one
+    # predicate; several sources appear in multiple cohorts.
+    _cohort_source_columns = {
+        "patient_admissions": [
+            "subject_id", "gender", "dob", "hadm_id", "admittime", "dischtime",
+            "admission_type", "admission_location", "discharge_location", "insurance",
+            "ethnicity", "marital_status", "diagnosis", "hospital_expire_flag",
+        ],
+        "icu_admissions": [
+            "subject_id", "hadm_id", "admission_type", "insurance", "icustay_id",
+            "first_careunit", "last_careunit", "dbsource", "intime", "outtime", "los",
+        ],
+        "mortality_flags": ["subject_id", "hadm_id", "hospital_expire_flag", "died_ever"],
+        "admission_diagnoses": [
+            "subject_id", "hadm_id", "seq_num", "icd9_code", "short_title", "long_title",
+        ],
+        "admission_procedures": [
+            "subject_id", "hadm_id", "seq_num", "icd9_code", "short_title", "long_title",
+        ],
+        "lab_abnormal": [
+            "subject_id", "hadm_id", "itemid", "label", "fluid", "category",
+            "charttime", "value", "valuenum", "valueuom", "flag",
+        ],
+        "admission_drugs": [
+            "subject_id", "hadm_id", "icustay_id", "drug", "drug_type",
+            "drug_name_generic", "route", "dose_val_rx", "dose_unit_rx",
+            "startdate", "enddate",
+        ],
+    }
+    cohort_templates = [
+        ("elderly_admissions", "patient_admissions", "pa",
+         "EXTRACT(YEAR FROM pa.admittime) - EXTRACT(YEAR FROM pa.dob) > 65"),
+        ("emergency_admissions", "patient_admissions", "pa",
+         "pa.admission_type = 'EMERGENCY'"),
+        ("elective_admissions", "patient_admissions", "pa",
+         "pa.admission_type = 'ELECTIVE'"),
+        ("long_icu_stays", "icu_admissions", "ia", "ia.los > 7"),
+        ("short_icu_stays", "icu_admissions", "ia", "ia.los <= 1"),
+        ("micu_stays", "icu_admissions", "ia", "ia.first_careunit = 'MICU'"),
+        ("died_in_hospital", "mortality_flags", "mf", "mf.hospital_expire_flag = 1"),
+        ("survived_admissions", "mortality_flags", "mf", "mf.hospital_expire_flag = 0"),
+        ("sepsis_diagnoses", "admission_diagnoses", "ad", "ad.icd9_code LIKE '038%'"),
+        ("cardiac_diagnoses", "admission_diagnoses", "ad", "ad.icd9_code LIKE '410%'"),
+        ("renal_diagnoses", "admission_diagnoses", "ad", "ad.icd9_code LIKE '584%'"),
+        ("surgical_procedures", "admission_procedures", "ap", "ap.seq_num = 1"),
+        ("abnormal_creatinine", "lab_abnormal", "la", "la.label = 'Creatinine'"),
+        ("abnormal_lactate", "lab_abnormal", "la", "la.label = 'Lactate'"),
+        ("iv_medications", "admission_drugs", "ad", "ad.route = 'IV'"),
+    ]
+    for name, source, alias, predicate in cohort_templates:
+        columns = _cohort_source_columns[source]
+        projected = ", ".join(f"{alias}.{column}" for column in columns)
+        views[name] = (
+            f"CREATE VIEW {name} AS SELECT {projected} FROM {source} {alias} WHERE {predicate}"
+        )
+
+    # Layer 4: report views (aggregation, set operations, stars) --------------
+    views["admission_event_profile"] = (
+        "CREATE VIEW admission_event_profile AS "
+        "SELECT c.subject_id, c.hadm_id, c.event_count AS chart_events, "
+        "l.event_count AS lab_events, o.event_count AS output_events "
+        "FROM adm_chartevents_summary c "
+        "LEFT JOIN adm_labevents_summary l ON c.hadm_id = l.hadm_id "
+        "LEFT JOIN adm_outputevents_summary o ON c.hadm_id = o.hadm_id"
+    )
+    views["high_acuity_admissions"] = (
+        "CREATE VIEW high_acuity_admissions AS "
+        "SELECT v.subject_id, v.hadm_id FROM vasopressor_orders v "
+        "INTERSECT "
+        "SELECT ve.subject_id, ve.hadm_id FROM ventilation_events ve"
+    )
+    views["any_critical_admissions"] = (
+        "CREATE VIEW any_critical_admissions AS "
+        "SELECT v.subject_id, v.hadm_id FROM vasopressor_orders v "
+        "UNION "
+        "SELECT ve.subject_id, ve.hadm_id FROM ventilation_events ve "
+        "UNION "
+        "SELECT s.subject_id, s.hadm_id FROM sepsis_diagnoses s"
+    )
+    views["stable_admissions"] = (
+        "CREATE VIEW stable_admissions AS "
+        "SELECT pa.subject_id, pa.hadm_id FROM patient_admissions pa "
+        "EXCEPT "
+        "SELECT ac.subject_id, ac.hadm_id FROM any_critical_admissions ac"
+    )
+    views["icu_mortality_report"] = (
+        "CREATE VIEW icu_mortality_report AS "
+        "SELECT ia.first_careunit, count(*) AS stays, sum(mf.hospital_expire_flag) AS deaths, "
+        "avg(ia.los) AS avg_los "
+        "FROM icu_admissions ia JOIN mortality_flags mf ON ia.hadm_id = mf.hadm_id "
+        "GROUP BY ia.first_careunit"
+    )
+    views["insurance_mix_report"] = (
+        "CREATE VIEW insurance_mix_report AS "
+        "SELECT pa.insurance, count(*) AS admissions, "
+        "sum(CASE WHEN pa.hospital_expire_flag = 1 THEN 1 ELSE 0 END) AS deaths "
+        "FROM patient_admissions pa GROUP BY pa.insurance"
+    )
+    views["sepsis_cohort_detail"] = (
+        "CREATE VIEW sepsis_cohort_detail AS "
+        "SELECT s.*, f.balance, ep.chart_events "
+        "FROM sepsis_diagnoses s "
+        "LEFT JOIN fluid_balance f ON s.hadm_id = f.hadm_id "
+        "LEFT JOIN admission_event_profile ep ON s.hadm_id = ep.hadm_id"
+    )
+    views["critical_care_overview"] = (
+        "CREATE VIEW critical_care_overview AS "
+        "SELECT h.*, ia.first_careunit, ia.los "
+        "FROM high_acuity_admissions h JOIN icu_admissions ia ON h.hadm_id = ia.hadm_id"
+    )
+    views["research_cohort"] = (
+        "CREATE VIEW research_cohort AS "
+        "WITH eligible AS (SELECT e.subject_id, e.hadm_id FROM elderly_admissions e "
+        "UNION SELECT s.subject_id, s.hadm_id FROM sepsis_diagnoses s) "
+        "SELECT el.subject_id, el.hadm_id, pd.icd9_code, pd.short_title, al.los_seconds "
+        "FROM eligible el "
+        "LEFT JOIN primary_diagnosis pd ON el.hadm_id = pd.hadm_id "
+        "LEFT JOIN admission_los al ON el.hadm_id = al.hadm_id"
+    )
+    return views
+
+
+def view_script(shuffle_seed=None):
+    """All 70 views as one SQL script, optionally in a shuffled order."""
+    views = view_definitions()
+    statements = list(views.values())
+    if shuffle_seed is not None:
+        import random
+
+        rng = random.Random(shuffle_seed)
+        rng.shuffle(statements)
+    return ";\n\n".join(statements) + ";\n"
+
+
+def full_script(shuffle_seed=None):
+    """Base-table DDL followed by every view definition."""
+    return base_table_ddl() + "\n" + view_script(shuffle_seed=shuffle_seed)
+
+
+def expected_counts():
+    """The scale the paper reports for MIMIC (used in benchmark output)."""
+    views = view_definitions()
+    return {
+        "base_tables": len(BASE_TABLES),
+        "base_columns": sum(len(columns) for columns in BASE_TABLES.values()),
+        "views": len(views),
+    }

@@ -1,0 +1,221 @@
+"""An online-retail warehouse with a multi-layer view pipeline.
+
+This dataset extends the paper's motivating scenario (Section I: "An online
+shop uses a data warehouse to store and analyze its customer and transaction
+data") into a realistic analytics stack:
+
+* 8 base tables (customers, addresses, products, categories, orders,
+  order_items, payments, web_events);
+* a staging layer of cleaned views;
+* a mart layer of aggregated / joined views using CTEs, window functions,
+  set operations and ``SELECT *`` — the SQL features Section III calls out.
+
+It is used by the pipeline-stage benchmark (FIG3), the database-connection
+benchmark (DBCONN), several integration tests, and the ``retail_pipeline``
+example script.
+"""
+
+from ..catalog import Catalog
+
+BASE_TABLE_DDL = """
+CREATE TABLE customers (
+  cid integer PRIMARY KEY,
+  name text NOT NULL,
+  email text,
+  age integer,
+  created_at timestamp,
+  country text
+);
+
+CREATE TABLE addresses (
+  aid integer PRIMARY KEY,
+  cid integer,
+  street text,
+  city text,
+  postal_code text,
+  country text
+);
+
+CREATE TABLE categories (
+  catid integer PRIMARY KEY,
+  cat_name text,
+  parent_catid integer
+);
+
+CREATE TABLE products (
+  pid integer PRIMARY KEY,
+  catid integer,
+  product_name text,
+  price numeric,
+  cost numeric,
+  active boolean
+);
+
+CREATE TABLE orders (
+  oid integer PRIMARY KEY,
+  cid integer,
+  odate timestamp,
+  status text,
+  shipping_aid integer
+);
+
+CREATE TABLE order_items (
+  oid integer,
+  pid integer,
+  quantity integer,
+  unit_price numeric,
+  discount numeric
+);
+
+CREATE TABLE payments (
+  payid integer PRIMARY KEY,
+  oid integer,
+  amount numeric,
+  method text,
+  paid_at timestamp
+);
+
+CREATE TABLE web_events (
+  event_id integer PRIMARY KEY,
+  cid integer,
+  event_time timestamp,
+  page text,
+  referrer text,
+  session_id text
+);
+"""
+
+#: Staging layer: light cleaning / renaming views over the base tables.
+STAGING_VIEWS = """
+CREATE VIEW stg_customers AS
+SELECT c.cid, c.name, lower(c.email) AS email, c.age, c.country, c.created_at
+FROM customers c
+WHERE c.email IS NOT NULL;
+
+CREATE VIEW stg_orders AS
+SELECT o.oid, o.cid, o.odate, o.status, o.shipping_aid
+FROM orders o
+WHERE o.status <> 'cancelled';
+
+CREATE VIEW stg_order_items AS
+SELECT i.oid, i.pid, i.quantity, i.unit_price, i.discount,
+       i.quantity * (i.unit_price - i.discount) AS line_total
+FROM order_items i;
+
+CREATE VIEW stg_web_events AS
+SELECT w.event_id, w.cid, w.event_time, w.page, w.session_id
+FROM web_events w
+WHERE w.page IS NOT NULL;
+
+CREATE VIEW stg_products AS
+SELECT p.pid, p.catid, p.product_name, p.price, p.cost, c.cat_name
+FROM products p LEFT JOIN categories c ON p.catid = c.catid
+WHERE p.active;
+"""
+
+#: Mart layer: aggregation, CTEs, window functions, set operations, stars.
+MART_VIEWS = """
+CREATE VIEW order_revenue AS
+WITH item_totals AS (
+  SELECT i.oid, sum(i.line_total) AS revenue, count(*) AS item_count
+  FROM stg_order_items i
+  GROUP BY i.oid
+)
+SELECT o.oid, o.cid, o.odate, t.revenue, t.item_count, p.amount AS paid_amount
+FROM stg_orders o
+JOIN item_totals t ON o.oid = t.oid
+LEFT JOIN payments p ON o.oid = p.oid;
+
+CREATE VIEW customer_orders AS
+SELECT c.cid, c.name, c.country, r.oid, r.odate, r.revenue,
+       row_number() OVER (PARTITION BY c.cid ORDER BY r.odate DESC) AS order_rank
+FROM stg_customers c JOIN order_revenue r ON c.cid = r.cid;
+
+CREATE VIEW customer_ltv AS
+SELECT co.cid, co.name, co.country,
+       sum(co.revenue) AS lifetime_value,
+       count(co.oid) AS order_count,
+       max(co.odate) AS last_order_at
+FROM customer_orders co
+GROUP BY co.cid, co.name, co.country;
+
+CREATE VIEW active_audience AS
+SELECT w.cid FROM stg_web_events w WHERE w.event_time > CURRENT_DATE - INTERVAL '30 days'
+UNION
+SELECT o.cid FROM stg_orders o WHERE o.odate > CURRENT_DATE - INTERVAL '30 days';
+
+CREATE VIEW churn_candidates AS
+SELECT l.*
+FROM customer_ltv l
+WHERE l.cid NOT IN (SELECT a.cid FROM active_audience a);
+
+CREATE VIEW product_performance AS
+WITH sales AS (
+  SELECT i.pid, sum(i.line_total) AS revenue, sum(i.quantity) AS units
+  FROM stg_order_items i
+  JOIN stg_orders o ON i.oid = o.oid
+  GROUP BY i.pid
+)
+SELECT p.pid, p.product_name, p.cat_name, s.revenue, s.units,
+       s.revenue - p.cost * s.units AS margin
+FROM stg_products p JOIN sales s ON p.pid = s.pid;
+
+CREATE VIEW country_daily_revenue AS
+SELECT c.country, r.odate, sum(r.revenue) AS revenue
+FROM order_revenue r JOIN stg_customers c ON r.cid = c.cid
+GROUP BY c.country, r.odate;
+
+CREATE VIEW top_pages AS
+SELECT w.page, count(*) AS visits, count(DISTINCT w.cid) AS visitors
+FROM stg_web_events w
+GROUP BY w.page
+HAVING count(*) > 10
+ORDER BY visits DESC;
+"""
+
+#: The full pipeline script (base DDL + staging + marts) in one log.
+FULL_SCRIPT = BASE_TABLE_DDL + STAGING_VIEWS + MART_VIEWS
+
+#: Only the view definitions (for runs that take the catalog separately).
+VIEW_SCRIPT = STAGING_VIEWS + MART_VIEWS
+
+#: View names by layer, for assertions and reporting.
+STAGING_VIEW_NAMES = [
+    "stg_customers",
+    "stg_orders",
+    "stg_order_items",
+    "stg_web_events",
+    "stg_products",
+]
+MART_VIEW_NAMES = [
+    "order_revenue",
+    "customer_orders",
+    "customer_ltv",
+    "active_audience",
+    "churn_candidates",
+    "product_performance",
+    "country_daily_revenue",
+    "top_pages",
+]
+ALL_VIEW_NAMES = STAGING_VIEW_NAMES + MART_VIEW_NAMES
+
+
+def base_table_catalog():
+    """The base-table schemas as a :class:`repro.catalog.Catalog`."""
+    from ..catalog.introspect import catalog_from_sql
+
+    return catalog_from_sql(BASE_TABLE_DDL)
+
+
+def shuffled_view_script(seed=7):
+    """The view definitions in a deterministic shuffled order.
+
+    Useful for exercising the auto-inference stack: several views appear
+    before the views they depend on.
+    """
+    import random
+
+    statements = [s.strip() for s in VIEW_SCRIPT.split(";") if s.strip()]
+    rng = random.Random(seed)
+    rng.shuffle(statements)
+    return ";\n".join(statements) + ";"

@@ -1,0 +1,180 @@
+"""A seeded random view-pipeline generator.
+
+Used by the scalability benchmark (how does extraction time grow with the
+number of views?) and by property-based tests (every generated pipeline must
+extract without errors and every view column must trace back to base-table
+columns).
+
+The generator builds layered warehouses: a configurable number of base
+tables, then successive layers of views where each view reads one or two
+relations from earlier layers through a randomly chosen template
+(projection, filter, join, aggregation, union, or ``SELECT *``).  All
+randomness flows from an explicit seed, so a given configuration always
+produces the same SQL.
+"""
+
+import random
+from dataclasses import dataclass, field
+
+from ..catalog import Catalog
+
+_COLUMN_POOL = [
+    "id", "key", "code", "name", "status", "amount", "price", "quantity", "category",
+    "region", "created_at", "updated_at", "value", "score", "flag", "type", "owner",
+    "source", "priority", "total",
+]
+
+
+@dataclass
+class GeneratedWarehouse:
+    """The output of :func:`generate_warehouse`."""
+
+    base_tables: dict = field(default_factory=dict)   # name -> list of columns
+    views: dict = field(default_factory=dict)          # name -> SQL (ordered)
+    seed: int = 0
+
+    @property
+    def script(self):
+        """All view definitions as one SQL script (dependency order)."""
+        return ";\n".join(self.views.values()) + ";"
+
+    def shuffled_script(self, seed=None):
+        """The view definitions in a deterministically shuffled order."""
+        rng = random.Random(self.seed if seed is None else seed)
+        statements = list(self.views.values())
+        rng.shuffle(statements)
+        return ";\n".join(statements) + ";"
+
+    def catalog(self):
+        """Base tables as a :class:`repro.catalog.Catalog`."""
+        catalog = Catalog()
+        for name, columns in self.base_tables.items():
+            catalog.create_table(name, [(column, "text") for column in columns])
+        return catalog
+
+    def total_statements(self):
+        return len(self.views)
+
+
+def generate_warehouse(
+    num_base_tables=5,
+    num_views=20,
+    columns_per_table=6,
+    seed=42,
+    star_probability=0.15,
+    join_probability=0.45,
+    aggregate_probability=0.2,
+    union_probability=0.1,
+):
+    """Generate a layered warehouse of ``num_views`` view definitions.
+
+    Probabilities select the template for each view (star / join / aggregate
+    / union, falling back to a filtered projection); they are applied in
+    that order on independent draws, so they need not sum to one.
+    """
+    rng = random.Random(seed)
+    warehouse = GeneratedWarehouse(seed=seed)
+
+    for table_index in range(num_base_tables):
+        name = f"base_{table_index}"
+        count = max(2, columns_per_table + rng.randint(-2, 2))
+        columns = ["id"] + rng.sample(_COLUMN_POOL[1:], min(count - 1, len(_COLUMN_POOL) - 1))
+        warehouse.base_tables[name] = columns
+
+    #: relations available to build on: name -> visible column list
+    available = dict(warehouse.base_tables)
+
+    for view_index in range(num_views):
+        name = f"view_{view_index}"
+        draw = rng.random()
+        if draw < star_probability:
+            sql, columns = _star_view(name, available, rng)
+        elif draw < star_probability + join_probability and len(available) >= 2:
+            sql, columns = _join_view(name, available, rng)
+        elif draw < star_probability + join_probability + aggregate_probability:
+            sql, columns = _aggregate_view(name, available, rng)
+        elif draw < star_probability + join_probability + aggregate_probability + union_probability:
+            sql, columns = _union_view(name, available, rng)
+        else:
+            sql, columns = _filter_view(name, available, rng)
+        warehouse.views[name] = sql
+        available[name] = columns
+    return warehouse
+
+
+# ----------------------------------------------------------------------
+# View templates
+# ----------------------------------------------------------------------
+def _pick_source(available, rng):
+    name = rng.choice(sorted(available))
+    return name, available[name]
+
+
+def _star_view(name, available, rng):
+    source, columns = _pick_source(available, rng)
+    sql = f"CREATE VIEW {name} AS SELECT s.* FROM {source} s"
+    return sql, list(columns)
+
+
+def _filter_view(name, available, rng):
+    source, columns = _pick_source(available, rng)
+    kept = columns[: max(2, len(columns) - rng.randint(0, 2))]
+    projected = ", ".join(f"s.{column}" for column in kept)
+    predicate_column = rng.choice(columns)
+    sql = (
+        f"CREATE VIEW {name} AS SELECT {projected} FROM {source} s "
+        f"WHERE s.{predicate_column} IS NOT NULL"
+    )
+    return sql, kept
+
+
+def _join_view(name, available, rng):
+    left, left_columns = _pick_source(available, rng)
+    right, right_columns = _pick_source(available, rng)
+    attempts = 0
+    while right == left and attempts < 5:
+        right, right_columns = _pick_source(available, rng)
+        attempts += 1
+    left_kept = left_columns[: max(1, len(left_columns) // 2)]
+    right_kept = [column for column in right_columns if column not in left_kept][:3]
+    projections = [f"l.{column}" for column in left_kept] + [
+        f"r.{column} AS r_{column}" for column in right_kept
+    ]
+    join_left = rng.choice(left_columns)
+    join_right = rng.choice(right_columns)
+    sql = (
+        f"CREATE VIEW {name} AS SELECT {', '.join(projections)} "
+        f"FROM {left} l JOIN {right} r ON l.{join_left} = r.{join_right}"
+    )
+    output = list(left_kept) + [f"r_{column}" for column in right_kept]
+    return sql, output
+
+
+def _aggregate_view(name, available, rng):
+    source, columns = _pick_source(available, rng)
+    group_column = rng.choice(columns)
+    value_column = rng.choice(columns)
+    sql = (
+        f"CREATE VIEW {name} AS SELECT s.{group_column}, count(*) AS row_count, "
+        f"max(s.{value_column}) AS max_{value_column} "
+        f"FROM {source} s GROUP BY s.{group_column}"
+    )
+    return sql, [group_column, "row_count", f"max_{value_column}"]
+
+
+def _union_view(name, available, rng):
+    first, first_columns = _pick_source(available, rng)
+    second, second_columns = _pick_source(available, rng)
+    column_first = rng.choice(first_columns)
+    column_second = rng.choice(second_columns)
+    sql = (
+        f"CREATE VIEW {name} AS "
+        f"SELECT a.{column_first} AS merged_key FROM {first} a "
+        f"UNION SELECT b.{column_second} FROM {second} b"
+    )
+    return sql, ["merged_key"]
+
+
+def sweep_configurations():
+    """The (num_views, num_base_tables) grid used by the scalability bench."""
+    return [(10, 4), (25, 6), (50, 8), (100, 10), (200, 12), (400, 16)]

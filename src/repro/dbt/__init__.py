@@ -1,0 +1,19 @@
+"""dbt integration.
+
+The paper's footnote 1: "For some systems like dbt, queries containing only
+SELECT statements are stored in separate files.  In this case, we will use
+the file name as the query identifier.  We also provide a dbt-specific
+wrapper for LineageX."
+
+* :mod:`repro.dbt.project` -- a minimal dbt project model: discovers model
+  files, resolves ``{{ ref('...') }}`` / ``{{ source('...', '...') }}``
+  macros, and strips ``{{ config(...) }}`` blocks;
+* :mod:`repro.dbt.wrapper` -- ``lineagex_dbt()``, the wrapper that compiles
+  a project into a ``{model_name: sql}`` mapping and runs the standard
+  pipeline over it.
+"""
+
+from .project import DbtModel, DbtProject, compile_jinja_refs
+from .wrapper import lineagex_dbt
+
+__all__ = ["DbtModel", "DbtProject", "compile_jinja_refs", "lineagex_dbt"]

@@ -1,0 +1,127 @@
+"""A minimal model of a dbt project.
+
+dbt stores one ``SELECT`` statement per model file and wires models together
+with ``{{ ref('other_model') }}`` and ``{{ source('source_name', 'table') }}``
+macros.  For lineage purposes the only compilation step that matters is
+resolving those macros to relation names, so this module implements exactly
+that (a tiny, dependency-free subset of dbt's Jinja handling):
+
+* ``{{ ref('x') }}``            -> ``x``
+* ``{{ ref('pkg', 'x') }}``     -> ``x``
+* ``{{ source('raw', 'web') }}`` -> ``raw.web`` (or a custom mapping)
+* ``{{ config(...) }}``          -> removed
+* ``{# comments #}``             -> removed
+"""
+
+import os
+import re
+from dataclasses import dataclass, field
+
+_REF_PATTERN = re.compile(
+    r"\{\{\s*ref\(\s*'(?P<first>[^']+)'\s*(?:,\s*'(?P<second>[^']+)'\s*)?\)\s*\}\}"
+)
+_SOURCE_PATTERN = re.compile(
+    r"\{\{\s*source\(\s*'(?P<source>[^']+)'\s*,\s*'(?P<table>[^']+)'\s*\)\s*\}\}"
+)
+_CONFIG_PATTERN = re.compile(r"\{\{\s*config\([^)]*\)\s*\}\}")
+_COMMENT_PATTERN = re.compile(r"\{#.*?#\}", re.DOTALL)
+
+
+def compile_jinja_refs(sql, source_mapping=None):
+    """Resolve the dbt macros in a model body and return plain SQL.
+
+    ``source_mapping`` optionally maps ``(source_name, table_name)`` to a
+    relation name; the default is ``"<source_name>.<table_name>"``.
+    """
+    source_mapping = source_mapping or {}
+
+    def replace_ref(match):
+        return match.group("second") or match.group("first")
+
+    def replace_source(match):
+        key = (match.group("source"), match.group("table"))
+        if key in source_mapping:
+            return source_mapping[key]
+        return f"{match.group('source')}.{match.group('table')}"
+
+    compiled = _COMMENT_PATTERN.sub("", sql)
+    compiled = _CONFIG_PATTERN.sub("", compiled)
+    compiled = _REF_PATTERN.sub(replace_ref, compiled)
+    compiled = _SOURCE_PATTERN.sub(replace_source, compiled)
+    return compiled.strip()
+
+
+@dataclass
+class DbtModel:
+    """One model file of a dbt project."""
+
+    name: str
+    raw_sql: str
+    path: str = ""
+    compiled_sql: str = ""
+
+    def refs(self):
+        """Names of the models this model ``ref()``s."""
+        return [match.group("second") or match.group("first")
+                for match in _REF_PATTERN.finditer(self.raw_sql)]
+
+    def sources(self):
+        """``(source, table)`` pairs this model ``source()``s."""
+        return [
+            (match.group("source"), match.group("table"))
+            for match in _SOURCE_PATTERN.finditer(self.raw_sql)
+        ]
+
+
+@dataclass
+class DbtProject:
+    """A collection of dbt models (typically loaded from ``models/``)."""
+
+    models: dict = field(default_factory=dict)     # name -> DbtModel
+    source_mapping: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_directory(cls, project_dir, source_mapping=None):
+        """Load every ``*.sql`` file under ``<project_dir>/models`` (or the dir itself)."""
+        models_dir = os.path.join(project_dir, "models")
+        if not os.path.isdir(models_dir):
+            models_dir = project_dir
+        project = cls(source_mapping=dict(source_mapping or {}))
+        for root, _, files in os.walk(models_dir):
+            for filename in sorted(files):
+                if not filename.endswith(".sql"):
+                    continue
+                path = os.path.join(root, filename)
+                with open(path, "r", encoding="utf-8") as handle:
+                    raw_sql = handle.read()
+                name = os.path.splitext(filename)[0]
+                project.add_model(name, raw_sql, path=path)
+        return project
+
+    @classmethod
+    def from_models(cls, models, source_mapping=None):
+        """Build a project from an in-memory ``{name: raw_sql}`` mapping."""
+        project = cls(source_mapping=dict(source_mapping or {}))
+        for name, raw_sql in models.items():
+            project.add_model(name, raw_sql)
+        return project
+
+    # ------------------------------------------------------------------
+    def add_model(self, name, raw_sql, path=""):
+        model = DbtModel(name=name, raw_sql=raw_sql, path=path)
+        model.compiled_sql = compile_jinja_refs(raw_sql, self.source_mapping)
+        self.models[name] = model
+        return model
+
+    def compiled(self):
+        """``{model_name: compiled_sql}`` — the Query Dictionary input shape."""
+        return {name: model.compiled_sql for name, model in self.models.items()}
+
+    def dependency_edges(self):
+        """``(upstream_model, downstream_model)`` pairs implied by ``ref()``."""
+        edges = []
+        for name, model in self.models.items():
+            for ref in model.refs():
+                edges.append((ref, name))
+        return edges

@@ -1,0 +1,32 @@
+"""The dbt-specific wrapper around :func:`repro.core.runner.lineagex`.
+
+dbt models are bare ``SELECT`` statements stored one per file, so the Query
+Dictionary uses the file (model) name as the query identifier — exactly the
+behaviour footnote 1 of the paper describes.
+"""
+
+from .project import DbtProject
+from ..core.runner import lineagex
+
+
+def lineagex_dbt(project, catalog=None, strict=False, output_dir=None):
+    """Run LineageX over a dbt project.
+
+    Parameters
+    ----------
+    project:
+        A :class:`DbtProject`, a path to a dbt project directory, or an
+        in-memory ``{model_name: raw_sql}`` mapping.
+    catalog:
+        Optional :class:`repro.catalog.Catalog` with the source-table schemas.
+    strict / output_dir:
+        Forwarded to :func:`repro.core.runner.lineagex`.
+    """
+    if isinstance(project, str):
+        project = DbtProject.from_directory(project)
+    elif isinstance(project, dict):
+        project = DbtProject.from_models(project)
+    compiled = project.compiled()
+    return lineagex(
+        compiled, catalog=catalog, strict=strict, output_dir=output_dir
+    )

@@ -1,0 +1,27 @@
+"""Serialisation and visualization of lineage graphs.
+
+* :mod:`repro.output.json_output` -- the JSON lineage document (Step 1 of the
+  demonstration returns one of these);
+* :mod:`repro.output.html_output` -- a self-contained interactive HTML page
+  (the lineage graph UI of Figure 5);
+* :mod:`repro.output.dot_output` -- Graphviz DOT export;
+* :mod:`repro.output.text_output` -- a terminal-friendly rendering;
+* :mod:`repro.output.graph_ops` -- conversion to :mod:`networkx` graphs used
+  by the impact analysis and the graph metrics.
+"""
+
+from .json_output import graph_to_json, graph_from_json
+from .html_output import graph_to_html
+from .dot_output import graph_to_dot
+from .text_output import graph_to_text
+from .graph_ops import to_column_digraph, to_table_digraph
+
+__all__ = [
+    "graph_to_json",
+    "graph_from_json",
+    "graph_to_html",
+    "graph_to_dot",
+    "graph_to_text",
+    "to_column_digraph",
+    "to_table_digraph",
+]

@@ -1,0 +1,59 @@
+"""Bridges between the lineage model and :mod:`networkx`.
+
+The impact analysis, the graph diff, and the scalability benchmarks all work
+over directed graphs; converting once into networkx keeps that code simple
+and well-tested.
+"""
+
+import networkx as nx
+
+from ..core.lineage import EDGE_BOTH, EDGE_CONTRIBUTE, EDGE_REFERENCE
+
+
+def to_column_digraph(graph, include_reference_edges=True):
+    """Build a column-level :class:`networkx.DiGraph` from a lineage graph.
+
+    Nodes are ``"table.column"`` strings carrying ``table`` and ``column``
+    attributes; edges carry a ``kind`` attribute (``contribute``,
+    ``reference`` or ``both``).  Reference edges can be excluded to obtain
+    the contribution-only graph (what an LLM-style assistant reasons about,
+    per the paper's Section IV comparison).
+    """
+    digraph = nx.DiGraph()
+    for relation in graph:
+        for column in relation.output_columns:
+            digraph.add_node(
+                f"{relation.name}.{column}",
+                table=relation.name,
+                column=column,
+                is_base_table=relation.is_base_table,
+            )
+    for edge in graph.edges():
+        if not include_reference_edges and edge.kind == EDGE_REFERENCE:
+            continue
+        digraph.add_node(
+            str(edge.source), table=edge.source.table, column=edge.source.column
+        )
+        digraph.add_node(
+            str(edge.target), table=edge.target.table, column=edge.target.column
+        )
+        digraph.add_edge(str(edge.source), str(edge.target), kind=edge.kind)
+    return digraph
+
+
+def to_table_digraph(graph):
+    """Build the table-level :class:`networkx.DiGraph` (data flows left to right)."""
+    digraph = nx.DiGraph()
+    for relation in graph:
+        digraph.add_node(relation.name, is_base_table=relation.is_base_table)
+    for source, target in graph.table_edges():
+        digraph.add_edge(source, target)
+    return digraph
+
+
+def edge_kind_counts(graph):
+    """Count edges by kind — used by tests and the metrics module."""
+    counts = {EDGE_CONTRIBUTE: 0, EDGE_REFERENCE: 0, EDGE_BOTH: 0}
+    for edge in graph.edges():
+        counts[edge.kind] += 1
+    return counts

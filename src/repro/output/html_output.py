@@ -1,0 +1,200 @@
+"""Self-contained interactive HTML rendering of a lineage graph.
+
+The generated page reproduces the workflow of Figure 5 without any external
+assets or network access:
+
+* a dropdown to locate a table of interest (Step 2),
+* an *explore* action that reveals a table's direct upstreams and
+  downstreams, data flowing left to right (Step 3),
+* hovering a column highlights its downstream columns; contribution edges
+  are blue, reference edges grey, and both-kind edges orange (Step 4).
+
+The lineage JSON document is embedded in the page and a small vanilla-JS
+renderer lays relations out by topological depth.
+"""
+
+import json
+
+
+def graph_to_html(graph, title="LineageX lineage graph"):
+    """Render ``graph`` into a single self-contained HTML document string."""
+    payload = json.dumps(graph.to_dict(), indent=None)
+    return _TEMPLATE.replace("__TITLE__", title).replace("__LINEAGE_JSON__", payload)
+
+
+_TEMPLATE = """<!DOCTYPE html>
+<html>
+<head>
+<meta charset="utf-8">
+<title>__TITLE__</title>
+<style>
+  body { font-family: Helvetica, Arial, sans-serif; margin: 16px; background: #fafafa; }
+  h1 { font-size: 18px; }
+  #controls { margin-bottom: 12px; }
+  #graph { display: flex; align-items: flex-start; gap: 48px; overflow-x: auto; }
+  .level { display: flex; flex-direction: column; gap: 24px; }
+  .table-card { border: 1px solid #888; border-radius: 6px; background: #fff;
+                min-width: 180px; box-shadow: 0 1px 3px rgba(0,0,0,0.15); }
+  .table-card.hidden { display: none; }
+  .table-card h2 { margin: 0; padding: 6px 10px; font-size: 13px; background: #e8f0fe;
+                   border-bottom: 1px solid #bbb; border-radius: 6px 6px 0 0; }
+  .table-card.base h2 { background: #f2f2f2; }
+  .table-card .explore { float: right; cursor: pointer; font-size: 11px; color: #1a73e8; }
+  .column { padding: 3px 10px; font-size: 12px; border-bottom: 1px solid #eee; cursor: pointer; }
+  .column:last-child { border-bottom: none; }
+  .column.highlight-contribute { background: #d2e3fc; }
+  .column.highlight-reference { background: #fce8b2; }
+  .column.highlight-both { background: #fad2cf; }
+  .column.highlight-origin { background: #c8e6c9; }
+  #legend { font-size: 12px; margin-top: 10px; color: #555; }
+  svg#edges { position: absolute; top: 0; left: 0; pointer-events: none; }
+</style>
+</head>
+<body>
+<h1>__TITLE__</h1>
+<div id="controls">
+  Locate table:
+  <select id="table-select"><option value="">(choose a table)</option></select>
+  <button id="show-all">Show all</button>
+  <label><input type="checkbox" id="show-reference" checked> show reference edges</label>
+</div>
+<div id="graph"></div>
+<div id="legend">
+  Hover a column to highlight its downstream columns —
+  <span style="background:#d2e3fc">contributed</span>,
+  <span style="background:#fce8b2">referenced</span>,
+  <span style="background:#fad2cf">both</span>.
+  Data flows from left to right.
+</div>
+<script>
+const LINEAGE = __LINEAGE_JSON__;
+
+function buildAdjacency(includeReference) {
+  const downstream = {};
+  for (const edge of LINEAGE.column_edges) {
+    if (!includeReference && edge.kind === "reference") continue;
+    if (!(edge.source in downstream)) downstream[edge.source] = [];
+    downstream[edge.source].push(edge);
+  }
+  return downstream;
+}
+
+function tableDepths() {
+  // longest-path layering over table edges so data flows left to right
+  const depths = {};
+  const incoming = {};
+  for (const name of Object.keys(LINEAGE.relations)) { depths[name] = 0; incoming[name] = []; }
+  for (const [src, dst] of LINEAGE.table_edges) {
+    if (dst in incoming) incoming[dst].push(src);
+  }
+  let changed = true; let guard = 0;
+  while (changed && guard < 1000) {
+    changed = false; guard += 1;
+    for (const name of Object.keys(depths)) {
+      for (const src of incoming[name]) {
+        if (src in depths && depths[src] + 1 > depths[name]) { depths[name] = depths[src] + 1; changed = true; }
+      }
+    }
+  }
+  return depths;
+}
+
+function render() {
+  const graphDiv = document.getElementById("graph");
+  graphDiv.innerHTML = "";
+  const depths = tableDepths();
+  const maxDepth = Math.max(0, ...Object.values(depths));
+  const levels = [];
+  for (let i = 0; i <= maxDepth; i++) levels.push([]);
+  for (const [name, rel] of Object.entries(LINEAGE.relations)) levels[depths[name]].push(rel);
+  for (const level of levels) {
+    const levelDiv = document.createElement("div");
+    levelDiv.className = "level";
+    for (const rel of level) {
+      const card = document.createElement("div");
+      card.className = "table-card" + (rel.is_base_table ? " base" : "");
+      card.dataset.table = rel.name;
+      const header = document.createElement("h2");
+      header.textContent = rel.name;
+      const explore = document.createElement("span");
+      explore.className = "explore";
+      explore.textContent = "explore";
+      explore.onclick = () => exploreTable(rel.name);
+      header.appendChild(explore);
+      card.appendChild(header);
+      for (const column of rel.columns) {
+        const div = document.createElement("div");
+        div.className = "column";
+        div.dataset.column = rel.name + "." + column;
+        div.textContent = column;
+        const expr = (rel.column_expressions || {})[column];
+        if (expr && expr !== column) div.title = expr;
+        div.onmouseenter = () => highlightDownstream(rel.name + "." + column);
+        div.onmouseleave = clearHighlights;
+        card.appendChild(div);
+      }
+      levelDiv.appendChild(card);
+    }
+    graphDiv.appendChild(levelDiv);
+  }
+}
+
+function exploreTable(name) {
+  // reveal direct upstream and downstream tables of `name`, hide the rest
+  const related = new Set([name]);
+  for (const [src, dst] of LINEAGE.table_edges) {
+    if (src === name) related.add(dst);
+    if (dst === name) related.add(src);
+  }
+  for (const card of document.querySelectorAll(".table-card")) {
+    card.classList.toggle("hidden", !related.has(card.dataset.table));
+  }
+}
+
+function highlightDownstream(start) {
+  const includeReference = document.getElementById("show-reference").checked;
+  const downstream = buildAdjacency(includeReference);
+  const kinds = {};
+  const queue = [start];
+  const seen = new Set([start]);
+  while (queue.length) {
+    const current = queue.shift();
+    for (const edge of downstream[current] || []) {
+      const previous = kinds[edge.target];
+      const next = edge.kind;
+      kinds[edge.target] = previous && previous !== next ? "both" : (previous || next);
+      if (!seen.has(edge.target)) { seen.add(edge.target); queue.push(edge.target); }
+    }
+  }
+  const origin = document.querySelector('[data-column="' + CSS.escape(start) + '"]');
+  if (origin) origin.classList.add("highlight-origin");
+  for (const [column, kind] of Object.entries(kinds)) {
+    const el = document.querySelector('[data-column="' + CSS.escape(column) + '"]');
+    if (el) el.classList.add("highlight-" + kind);
+  }
+}
+
+function clearHighlights() {
+  for (const el of document.querySelectorAll(".column")) {
+    el.classList.remove("highlight-contribute", "highlight-reference", "highlight-both", "highlight-origin");
+  }
+}
+
+function init() {
+  const select = document.getElementById("table-select");
+  for (const name of Object.keys(LINEAGE.relations).sort()) {
+    const option = document.createElement("option");
+    option.value = name; option.textContent = name;
+    select.appendChild(option);
+  }
+  select.onchange = () => { if (select.value) exploreTable(select.value); };
+  document.getElementById("show-all").onclick = () => {
+    for (const card of document.querySelectorAll(".table-card")) card.classList.remove("hidden");
+  };
+  render();
+}
+init();
+</script>
+</body>
+</html>
+"""

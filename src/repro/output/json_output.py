@@ -1,0 +1,33 @@
+"""JSON serialisation of lineage graphs.
+
+The document layout follows the library's public contract:
+
+.. code-block:: json
+
+    {
+      "relations": { "<name>": { "columns": [...], "column_lineage": {...},
+                                  "referenced_columns": [...], "tables": [...] } },
+      "table_edges": [["web", "webinfo"], ...],
+      "column_edges": [{"source": "web.page", "target": "webinfo.wpage",
+                         "kind": "contribute"}, ...],
+      "stats": { ... }
+    }
+"""
+
+import json
+
+from ..core.lineage import LineageGraph
+
+
+def graph_to_json(graph, stats=None, indent=2):
+    """Serialise ``graph`` (a :class:`LineageGraph`) to a JSON string."""
+    payload = graph.to_dict()
+    if stats is not None:
+        payload["stats"] = stats
+    return json.dumps(payload, indent=indent, sort_keys=False)
+
+
+def graph_from_json(text):
+    """Rebuild a :class:`LineageGraph` from :func:`graph_to_json` output."""
+    payload = json.loads(text)
+    return LineageGraph.from_dict(payload)

@@ -1,0 +1,45 @@
+"""Terminal-friendly rendering of a lineage graph.
+
+Used by the example scripts and the benchmark harnesses to print the same
+information the interactive UI shows: one block per relation listing its
+columns, the upstream tables, and the per-column lineage.
+"""
+
+
+def graph_to_text(graph):
+    """Render the whole graph as readable plain text."""
+    blocks = []
+    for relation in sorted(graph, key=lambda entry: (entry.is_base_table, entry.name)):
+        blocks.append(relation_to_text(relation))
+    return "\n\n".join(blocks)
+
+
+def relation_to_text(relation):
+    """Render one relation (view or base table) as a text block."""
+    kind = "base table" if relation.is_base_table else "view"
+    lines = [f"{relation.name} ({kind})"]
+    if relation.source_tables:
+        lines.append("  reads: " + ", ".join(sorted(relation.source_tables)))
+    for column in relation.output_columns:
+        sources = relation.contributions.get(column, set())
+        if sources:
+            rendered = ", ".join(sorted(str(source) for source in sources))
+            lines.append(f"  {column} <- {rendered}")
+        else:
+            lines.append(f"  {column}")
+    referenced_only = relation.referenced_only_columns
+    if referenced_only:
+        lines.append(
+            "  references: " + ", ".join(sorted(str(source) for source in referenced_only))
+        )
+    return "\n".join(lines)
+
+
+def edges_to_text(graph, kinds=None):
+    """Render column edges as ``source -> target [kind]`` lines."""
+    lines = []
+    for edge in graph.edges():
+        if kinds is not None and edge.kind not in kinds:
+            continue
+        lines.append(f"{edge.source} -> {edge.target} [{edge.kind}]")
+    return "\n".join(lines)

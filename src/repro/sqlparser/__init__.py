@@ -1,0 +1,43 @@
+"""A from-scratch SQL tokenizer and parser.
+
+This package is the substrate that replaces SQLGlot in the original
+LineageX implementation.  It provides:
+
+* :mod:`repro.sqlparser.lexer` -- a tokenizer for a PostgreSQL-flavoured
+  SQL dialect.
+* :mod:`repro.sqlparser.parser` -- a recursive-descent parser producing
+  typed abstract-syntax trees (:mod:`repro.sqlparser.ast_nodes`).
+* :mod:`repro.sqlparser.printer` -- regeneration of SQL text from an AST.
+* :mod:`repro.sqlparser.visitor` -- generic tree walking utilities used by
+  the lineage extraction module.
+
+The public convenience entry points are :func:`parse` (parse a script into
+a list of statements) and :func:`parse_one` (parse exactly one statement).
+"""
+
+from .errors import SQLError, TokenizeError, ParseError
+from .tokens import Token, TokenType
+from .lexer import Lexer, tokenize
+from . import ast_nodes as ast
+from .parser import Parser, parse, parse_one
+from .printer import to_sql
+from .visitor import walk, walk_postorder, find_all, transform
+
+__all__ = [
+    "SQLError",
+    "TokenizeError",
+    "ParseError",
+    "Token",
+    "TokenType",
+    "Lexer",
+    "tokenize",
+    "ast",
+    "Parser",
+    "parse",
+    "parse_one",
+    "to_sql",
+    "walk",
+    "walk_postorder",
+    "find_all",
+    "transform",
+]

@@ -1,0 +1,543 @@
+"""Typed abstract-syntax-tree nodes produced by the SQL parser.
+
+Every node derives from :class:`Node`, a small dataclass base that knows how
+to enumerate its child nodes generically (used by the visitor utilities in
+:mod:`repro.sqlparser.visitor`).  The node taxonomy mirrors the relational
+structure the lineage extractor cares about:
+
+* statements: :class:`CreateView`, :class:`CreateTableAs`, :class:`CreateTable`,
+  :class:`InsertStatement`, and bare query expressions;
+* query expressions: :class:`Select` and :class:`SetOperation` (with optional
+  :class:`CTE` lists attached);
+* table sources: :class:`TableRef`, :class:`SubquerySource`, :class:`Join`,
+  :class:`ValuesSource`;
+* scalar expressions: :class:`ColumnRef`, :class:`Star`, :class:`Literal`,
+  :class:`FunctionCall`, :class:`BinaryOp`, :class:`Case`, :class:`Cast`,
+  :class:`ExtractExpr`, :class:`SubqueryExpr`, :class:`ExistsExpr`,
+  :class:`InExpr`, :class:`BetweenExpr`, :class:`IsNullExpr`, ...
+"""
+
+from dataclasses import dataclass, field, fields
+from typing import List, Optional, Tuple
+
+
+# ----------------------------------------------------------------------
+# Base node
+# ----------------------------------------------------------------------
+@dataclass
+class Node:
+    """Base class for all AST nodes."""
+
+    def children(self):
+        """Yield every direct child :class:`Node` of this node.
+
+        Children are discovered generically from the dataclass fields: any
+        field whose value is a :class:`Node`, or a list/tuple containing
+        :class:`Node` instances, contributes its nodes in declaration order.
+        """
+        for item in fields(self):
+            value = getattr(self, item.name)
+            if isinstance(value, Node):
+                yield value
+            elif isinstance(value, (list, tuple)):
+                for element in value:
+                    if isinstance(element, Node):
+                        yield element
+                    elif isinstance(element, (list, tuple)):
+                        for nested in element:
+                            if isinstance(nested, Node):
+                                yield nested
+
+    @property
+    def node_name(self):
+        """The class name of this node; handy for debugging and tracing."""
+        return type(self).__name__
+
+
+# ----------------------------------------------------------------------
+# Names
+# ----------------------------------------------------------------------
+@dataclass
+class QualifiedName(Node):
+    """A possibly schema-qualified object name, e.g. ``public.orders``."""
+
+    parts: List[str] = field(default_factory=list)
+
+    @property
+    def name(self):
+        """The unqualified (last) part of the name."""
+        return self.parts[-1] if self.parts else ""
+
+    @property
+    def schema(self):
+        """The schema part if present, else ``None``."""
+        return self.parts[-2] if len(self.parts) >= 2 else None
+
+    def dotted(self):
+        """Return the dotted string form of the name."""
+        return ".".join(self.parts)
+
+    def __str__(self):
+        return self.dotted()
+
+
+# ----------------------------------------------------------------------
+# Scalar expressions
+# ----------------------------------------------------------------------
+@dataclass
+class Expression(Node):
+    """Marker base class for scalar expressions."""
+
+
+@dataclass
+class ColumnRef(Expression):
+    """A column reference, optionally qualified: ``c``, ``t.c``, ``s.t.c``."""
+
+    name: str = ""
+    qualifier: List[str] = field(default_factory=list)
+
+    @property
+    def table(self):
+        """The table/alias qualifier immediately before the column name."""
+        return self.qualifier[-1] if self.qualifier else None
+
+    def dotted(self):
+        return ".".join(self.qualifier + [self.name])
+
+    def __str__(self):
+        return self.dotted()
+
+
+@dataclass
+class Star(Expression):
+    """A star projection: ``*`` or ``alias.*``."""
+
+    qualifier: List[str] = field(default_factory=list)
+
+    @property
+    def table(self):
+        return self.qualifier[-1] if self.qualifier else None
+
+    def __str__(self):
+        if self.qualifier:
+            return ".".join(self.qualifier) + ".*"
+        return "*"
+
+
+@dataclass
+class Literal(Expression):
+    """A literal constant (string, number, boolean, NULL, interval)."""
+
+    value: object = None
+    kind: str = "string"  # one of: string, number, boolean, null, interval
+
+
+@dataclass
+class Parameter(Expression):
+    """A query parameter placeholder such as ``$1`` or ``:name``."""
+
+    name: str = ""
+
+
+@dataclass
+class OrderByItem(Node):
+    """One element of an ORDER BY list."""
+
+    expression: Expression = None
+    descending: bool = False
+    nulls: Optional[str] = None  # "FIRST" | "LAST" | None
+
+
+@dataclass
+class WindowFrame(Node):
+    """A window frame clause (``ROWS BETWEEN ... AND ...``), kept as text."""
+
+    kind: str = "ROWS"  # ROWS | RANGE
+    text: str = ""
+
+
+@dataclass
+class WindowSpec(Node):
+    """An OVER (...) window specification."""
+
+    name: Optional[str] = None
+    partition_by: List[Expression] = field(default_factory=list)
+    order_by: List[OrderByItem] = field(default_factory=list)
+    frame: Optional[WindowFrame] = None
+
+
+@dataclass
+class FunctionCall(Expression):
+    """A function or aggregate call, optionally with DISTINCT/FILTER/OVER."""
+
+    name: str = ""
+    args: List[Expression] = field(default_factory=list)
+    distinct: bool = False
+    is_star_arg: bool = False          # e.g. COUNT(*)
+    filter_clause: Optional[Expression] = None
+    over: Optional[WindowSpec] = None
+
+
+@dataclass
+class BinaryOp(Expression):
+    """A binary operation: comparisons, arithmetic, AND/OR, ||, ..."""
+
+    operator: str = ""
+    left: Expression = None
+    right: Expression = None
+
+
+@dataclass
+class UnaryOp(Expression):
+    """A unary operation: NOT, -, +."""
+
+    operator: str = ""
+    operand: Expression = None
+
+
+@dataclass
+class CaseWhen(Node):
+    """A single WHEN ... THEN ... arm of a CASE expression."""
+
+    condition: Expression = None
+    result: Expression = None
+
+
+@dataclass
+class Case(Expression):
+    """A CASE expression (simple or searched)."""
+
+    operand: Optional[Expression] = None
+    whens: List[CaseWhen] = field(default_factory=list)
+    else_result: Optional[Expression] = None
+
+
+@dataclass
+class Cast(Expression):
+    """CAST(expr AS type) or the PostgreSQL ``expr::type`` shorthand."""
+
+    operand: Expression = None
+    type_name: str = ""
+
+
+@dataclass
+class ExtractExpr(Expression):
+    """EXTRACT(field FROM expr)."""
+
+    part: str = ""
+    operand: Expression = None
+
+
+@dataclass
+class SubqueryExpr(Expression):
+    """A scalar subquery used inside an expression."""
+
+    query: "QueryExpression" = None
+
+
+@dataclass
+class ExistsExpr(Expression):
+    """EXISTS (subquery)."""
+
+    query: "QueryExpression" = None
+    negated: bool = False
+
+
+@dataclass
+class InExpr(Expression):
+    """``expr IN (list)`` or ``expr IN (subquery)``."""
+
+    operand: Expression = None
+    values: List[Expression] = field(default_factory=list)
+    query: Optional["QueryExpression"] = None
+    negated: bool = False
+
+
+@dataclass
+class BetweenExpr(Expression):
+    """``expr BETWEEN low AND high``."""
+
+    operand: Expression = None
+    low: Expression = None
+    high: Expression = None
+    negated: bool = False
+
+
+@dataclass
+class IsNullExpr(Expression):
+    """``expr IS [NOT] NULL``."""
+
+    operand: Expression = None
+    negated: bool = False
+
+
+@dataclass
+class LikeExpr(Expression):
+    """``expr [NOT] LIKE/ILIKE/SIMILAR TO pattern``."""
+
+    operand: Expression = None
+    pattern: Expression = None
+    operator: str = "LIKE"
+    negated: bool = False
+
+
+@dataclass
+class ExpressionList(Expression):
+    """A parenthesised tuple of expressions, e.g. ``(a, b)`` in row comparisons."""
+
+    items: List[Expression] = field(default_factory=list)
+
+
+# ----------------------------------------------------------------------
+# Table sources
+# ----------------------------------------------------------------------
+@dataclass
+class TableSource(Node):
+    """Marker base class for anything that can appear in FROM."""
+
+
+@dataclass
+class TableRef(TableSource):
+    """A reference to a base table or view in FROM."""
+
+    name: QualifiedName = None
+    alias: Optional[str] = None
+    column_aliases: List[str] = field(default_factory=list)
+
+    @property
+    def effective_name(self):
+        """The name this source is visible as inside the query."""
+        return self.alias or self.name.name
+
+
+@dataclass
+class SubquerySource(TableSource):
+    """A derived table: ``(SELECT ...) AS alias``."""
+
+    query: "QueryExpression" = None
+    alias: Optional[str] = None
+    column_aliases: List[str] = field(default_factory=list)
+    lateral: bool = False
+
+    @property
+    def effective_name(self):
+        return self.alias
+
+
+@dataclass
+class ValuesSource(TableSource):
+    """A VALUES list used as a table source."""
+
+    rows: List[List[Expression]] = field(default_factory=list)
+    alias: Optional[str] = None
+    column_aliases: List[str] = field(default_factory=list)
+
+    @property
+    def effective_name(self):
+        return self.alias
+
+
+@dataclass
+class FunctionSource(TableSource):
+    """A set-returning function in FROM, e.g. ``generate_series(1, 10) g``."""
+
+    function: FunctionCall = None
+    alias: Optional[str] = None
+    column_aliases: List[str] = field(default_factory=list)
+
+    @property
+    def effective_name(self):
+        return self.alias or (self.function.name if self.function else None)
+
+
+@dataclass
+class Join(TableSource):
+    """A join between two table sources."""
+
+    left: TableSource = None
+    right: TableSource = None
+    join_type: str = "INNER"  # INNER | LEFT | RIGHT | FULL | CROSS
+    condition: Optional[Expression] = None
+    using_columns: List[str] = field(default_factory=list)
+    natural: bool = False
+
+
+# ----------------------------------------------------------------------
+# Query expressions
+# ----------------------------------------------------------------------
+@dataclass
+class QueryExpression(Node):
+    """Marker base class for SELECT-like query expressions."""
+
+
+@dataclass
+class Projection(Node):
+    """One item of the SELECT list."""
+
+    expression: Expression = None
+    alias: Optional[str] = None
+
+    @property
+    def output_name(self):
+        """The output column name if statically determinable, else None."""
+        if self.alias:
+            return self.alias
+        if isinstance(self.expression, ColumnRef):
+            return self.expression.name
+        if isinstance(self.expression, FunctionCall):
+            return self.expression.name.lower()
+        if isinstance(self.expression, ExtractExpr):
+            return "extract"
+        if isinstance(self.expression, Cast):
+            inner = self.expression.operand
+            if isinstance(inner, ColumnRef):
+                return inner.name
+        return None
+
+
+@dataclass
+class CTE(Node):
+    """One common table expression of a WITH clause."""
+
+    name: str = ""
+    column_names: List[str] = field(default_factory=list)
+    query: QueryExpression = None
+    materialized: Optional[bool] = None
+
+
+@dataclass
+class Select(QueryExpression):
+    """A single SELECT block."""
+
+    ctes: List[CTE] = field(default_factory=list)
+    recursive: bool = False
+    distinct: bool = False
+    distinct_on: List[Expression] = field(default_factory=list)
+    projections: List[Projection] = field(default_factory=list)
+    from_sources: List[TableSource] = field(default_factory=list)
+    where: Optional[Expression] = None
+    group_by: List[Expression] = field(default_factory=list)
+    having: Optional[Expression] = None
+    order_by: List[OrderByItem] = field(default_factory=list)
+    limit: Optional[Expression] = None
+    offset: Optional[Expression] = None
+    windows: List[Tuple] = field(default_factory=list)  # (name, WindowSpec)
+
+
+@dataclass
+class SetOperation(QueryExpression):
+    """A set operation combining two query expressions."""
+
+    operator: str = "UNION"  # UNION | INTERSECT | EXCEPT
+    all: bool = False
+    left: QueryExpression = None
+    right: QueryExpression = None
+    ctes: List[CTE] = field(default_factory=list)
+    order_by: List[OrderByItem] = field(default_factory=list)
+    limit: Optional[Expression] = None
+    offset: Optional[Expression] = None
+
+    def leaves(self):
+        """Yield the non-set-operation leaf query blocks, left to right."""
+        for side in (self.left, self.right):
+            if isinstance(side, SetOperation):
+                for leaf in side.leaves():
+                    yield leaf
+            elif side is not None:
+                yield side
+
+
+# ----------------------------------------------------------------------
+# Statements
+# ----------------------------------------------------------------------
+@dataclass
+class Statement(Node):
+    """Marker base class for top-level statements."""
+
+
+@dataclass
+class QueryStatement(Statement):
+    """A bare query used as a statement (a plain SELECT)."""
+
+    query: QueryExpression = None
+
+
+@dataclass
+class ColumnDef(Node):
+    """A column definition in CREATE TABLE."""
+
+    name: str = ""
+    type_name: str = ""
+    constraints: List[str] = field(default_factory=list)
+
+
+@dataclass
+class CreateTable(Statement):
+    """CREATE TABLE with an explicit column list (DDL, no query)."""
+
+    name: QualifiedName = None
+    columns: List[ColumnDef] = field(default_factory=list)
+    temporary: bool = False
+    if_not_exists: bool = False
+
+
+@dataclass
+class CreateView(Statement):
+    """CREATE [OR REPLACE] [MATERIALIZED] VIEW name AS query."""
+
+    name: QualifiedName = None
+    column_names: List[str] = field(default_factory=list)
+    query: QueryExpression = None
+    or_replace: bool = False
+    materialized: bool = False
+
+
+@dataclass
+class CreateTableAs(Statement):
+    """CREATE [TEMP] TABLE name AS query."""
+
+    name: QualifiedName = None
+    query: QueryExpression = None
+    temporary: bool = False
+    if_not_exists: bool = False
+
+
+@dataclass
+class InsertStatement(Statement):
+    """INSERT INTO table [(cols)] query|VALUES."""
+
+    table: QualifiedName = None
+    columns: List[str] = field(default_factory=list)
+    query: Optional[QueryExpression] = None
+    values: List[List[Expression]] = field(default_factory=list)
+
+
+@dataclass
+class UpdateStatement(Statement):
+    """UPDATE table SET col = expr, ... [FROM ...] [WHERE ...]."""
+
+    table: QualifiedName = None
+    alias: Optional[str] = None
+    assignments: List[Tuple] = field(default_factory=list)  # (column, Expression)
+    from_sources: List[TableSource] = field(default_factory=list)
+    where: Optional[Expression] = None
+
+
+@dataclass
+class DeleteStatement(Statement):
+    """DELETE FROM table [USING ...] [WHERE ...]."""
+
+    table: QualifiedName = None
+    alias: Optional[str] = None
+    using_sources: List[TableSource] = field(default_factory=list)
+    where: Optional[Expression] = None
+
+
+@dataclass
+class DropStatement(Statement):
+    """DROP TABLE/VIEW name (recorded but ignored by lineage extraction)."""
+
+    object_type: str = "TABLE"
+    name: QualifiedName = None
+    if_exists: bool = False
+    cascade: bool = False

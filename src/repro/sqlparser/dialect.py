@@ -1,0 +1,45 @@
+"""Dialect-level helpers: identifier folding and quoting.
+
+LineageX targets PostgreSQL-style semantics: unquoted identifiers fold to
+lower case, quoted identifiers preserve case.  The lineage code normalises
+every table and column name through :func:`normalize_identifier` so that
+``Orders.OID``, ``orders.oid`` and ``"orders".oid`` all refer to the same
+column.
+"""
+
+import re
+
+_SAFE_IDENTIFIER = re.compile(r"^[a-z_][a-z0-9_$]*$")
+
+
+def normalize_identifier(name):
+    """Fold an identifier to its canonical (lower-case) form.
+
+    ``None`` is passed through so optional qualifiers stay optional.
+    """
+    if name is None:
+        return None
+    return name.lower()
+
+
+def normalize_name(name):
+    """Normalise a possibly-dotted object name (``Schema.Table`` style)."""
+    if name is None:
+        return None
+    return ".".join(normalize_identifier(part) for part in str(name).split("."))
+
+
+def quote_identifier(name):
+    """Quote an identifier for SQL output if it needs quoting."""
+    if name is None:
+        return ""
+    if _SAFE_IDENTIFIER.match(name):
+        return name
+    escaped = name.replace('"', '""')
+    return f'"{escaped}"'
+
+
+def quote_literal(value):
+    """Render a Python string as a SQL string literal."""
+    escaped = str(value).replace("'", "''")
+    return f"'{escaped}'"

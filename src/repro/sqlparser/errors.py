@@ -1,0 +1,48 @@
+"""Exception hierarchy for the SQL parsing substrate."""
+
+
+class SQLError(Exception):
+    """Base class for all errors raised by :mod:`repro.sqlparser`."""
+
+
+class TokenizeError(SQLError):
+    """Raised when the lexer encounters an invalid character sequence.
+
+    Attributes
+    ----------
+    position:
+        Character offset into the source text where tokenization failed.
+    line:
+        1-based line number of the failure.
+    column:
+        1-based column number of the failure.
+    """
+
+    def __init__(self, message, position=None, line=None, column=None):
+        location = ""
+        if line is not None and column is not None:
+            location = f" at line {line}, column {column}"
+        super().__init__(f"{message}{location}")
+        self.position = position
+        self.line = line
+        self.column = column
+
+
+class ParseError(SQLError):
+    """Raised when the parser cannot build an AST from a token stream.
+
+    Attributes
+    ----------
+    token:
+        The :class:`~repro.sqlparser.tokens.Token` at which parsing failed,
+        if available.
+    """
+
+    def __init__(self, message, token=None):
+        if token is not None:
+            message = (
+                f"{message} (near {token.value!r} at line {token.line}, "
+                f"column {token.column})"
+            )
+        super().__init__(message)
+        self.token = token

@@ -1,0 +1,325 @@
+"""Tokenizer for a PostgreSQL-flavoured SQL dialect.
+
+The lexer turns a SQL string into a list of :class:`~repro.sqlparser.tokens.Token`
+objects.  It understands:
+
+* line comments (``-- ...``) and block comments (``/* ... */``),
+* single-quoted string literals with ``''`` escaping and ``E'...'`` strings,
+* double-quoted identifiers with ``""`` escaping,
+* dollar-quoted strings (``$$ ... $$`` and ``$tag$ ... $tag$``),
+* numeric literals (integers, decimals, scientific notation),
+* multi-character operators (``::``, ``<=``, ``||``, ``->>`` ...),
+* positional (``$1``) and named (``:name``, ``%(name)s``) parameters.
+
+Comments are skipped by default but can be preserved with
+``Lexer(sql, keep_comments=True)``.
+"""
+
+from .errors import TokenizeError
+from .tokens import (
+    KEYWORDS,
+    MULTI_CHAR_OPERATORS,
+    SINGLE_CHAR_OPERATORS,
+    Token,
+    TokenType,
+)
+
+
+def tokenize(sql, keep_comments=False):
+    """Tokenize ``sql`` and return a list of tokens ending with an EOF token."""
+    return Lexer(sql, keep_comments=keep_comments).tokenize()
+
+
+class Lexer:
+    """A hand-written scanner over a SQL source string."""
+
+    def __init__(self, sql, keep_comments=False):
+        if sql is None:
+            raise TokenizeError("cannot tokenize None")
+        self.sql = sql
+        self.length = len(sql)
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+        self.keep_comments = keep_comments
+        self.tokens = []
+
+    # ------------------------------------------------------------------
+    # Character helpers
+    # ------------------------------------------------------------------
+    def _peek(self, offset=0):
+        index = self.pos + offset
+        if index < self.length:
+            return self.sql[index]
+        return ""
+
+    def _advance(self, count=1):
+        for _ in range(count):
+            if self.pos >= self.length:
+                return
+            if self.sql[self.pos] == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+            self.pos += 1
+
+    def _starts_with(self, text):
+        return self.sql.startswith(text, self.pos)
+
+    def _error(self, message):
+        raise TokenizeError(message, self.pos, self.line, self.column)
+
+    def _emit(self, token_type, value, position, line, column):
+        self.tokens.append(Token(token_type, value, position, line, column))
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def tokenize(self):
+        """Scan the whole input and return the token list (ending with EOF)."""
+        while self.pos < self.length:
+            char = self._peek()
+            if char in " \t\r\n":
+                self._advance()
+                continue
+            if char == "-" and self._peek(1) == "-":
+                self._scan_line_comment()
+                continue
+            if char == "/" and self._peek(1) == "*":
+                self._scan_block_comment()
+                continue
+            if char == "'" or (
+                char in "eE" and self._peek(1) == "'"
+            ):
+                self._scan_string()
+                continue
+            if char == '"':
+                self._scan_quoted_identifier()
+                continue
+            if char == "$" and self._is_dollar_quote_start():
+                self._scan_dollar_string()
+                continue
+            if char.isdigit() or (char == "." and self._peek(1).isdigit()):
+                self._scan_number()
+                continue
+            if char.isalpha() or char == "_":
+                self._scan_word()
+                continue
+            if char == "$" and self._peek(1).isdigit():
+                self._scan_positional_parameter()
+                continue
+            if char == ":" and (self._peek(1).isalpha() or self._peek(1) == "_"):
+                self._scan_named_parameter()
+                continue
+            if char == "%" and self._peek(1) == "(":
+                self._scan_pyformat_parameter()
+                continue
+            self._scan_punctuation()
+        self._emit(TokenType.EOF, "", self.pos, self.line, self.column)
+        return self.tokens
+
+    # ------------------------------------------------------------------
+    # Scanners for individual token classes
+    # ------------------------------------------------------------------
+    def _scan_line_comment(self):
+        start, line, column = self.pos, self.line, self.column
+        while self.pos < self.length and self._peek() != "\n":
+            self._advance()
+        if self.keep_comments:
+            self._emit(
+                TokenType.COMMENT, self.sql[start : self.pos], start, line, column
+            )
+
+    def _scan_block_comment(self):
+        start, line, column = self.pos, self.line, self.column
+        self._advance(2)
+        depth = 1
+        while self.pos < self.length and depth > 0:
+            if self._starts_with("/*"):
+                depth += 1
+                self._advance(2)
+            elif self._starts_with("*/"):
+                depth -= 1
+                self._advance(2)
+            else:
+                self._advance()
+        if depth > 0:
+            self._error("unterminated block comment")
+        if self.keep_comments:
+            self._emit(
+                TokenType.COMMENT, self.sql[start : self.pos], start, line, column
+            )
+
+    def _scan_string(self):
+        start, line, column = self.pos, self.line, self.column
+        if self._peek() in "eE":
+            self._advance()
+        # consume the opening quote
+        self._advance()
+        value_chars = []
+        while True:
+            if self.pos >= self.length:
+                self._error("unterminated string literal")
+            char = self._peek()
+            if char == "'":
+                if self._peek(1) == "'":
+                    value_chars.append("'")
+                    self._advance(2)
+                    continue
+                self._advance()
+                break
+            value_chars.append(char)
+            self._advance()
+        self._emit(TokenType.STRING, "".join(value_chars), start, line, column)
+
+    def _scan_quoted_identifier(self):
+        start, line, column = self.pos, self.line, self.column
+        self._advance()
+        value_chars = []
+        while True:
+            if self.pos >= self.length:
+                self._error("unterminated quoted identifier")
+            char = self._peek()
+            if char == '"':
+                if self._peek(1) == '"':
+                    value_chars.append('"')
+                    self._advance(2)
+                    continue
+                self._advance()
+                break
+            value_chars.append(char)
+            self._advance()
+        self._emit(
+            TokenType.QUOTED_IDENTIFIER, "".join(value_chars), start, line, column
+        )
+
+    def _is_dollar_quote_start(self):
+        # $$ or $tag$ where tag is alphanumeric/underscore
+        if self._peek(1) == "$":
+            return True
+        offset = 1
+        while True:
+            char = self._peek(offset)
+            if char == "$":
+                return offset > 1
+            if not (char.isalnum() or char == "_"):
+                return False
+            offset += 1
+
+    def _scan_dollar_string(self):
+        start, line, column = self.pos, self.line, self.column
+        end_of_tag = self.sql.index("$", self.pos + 1)
+        tag = self.sql[self.pos : end_of_tag + 1]
+        self._advance(len(tag))
+        closing = self.sql.find(tag, self.pos)
+        if closing < 0:
+            self._error("unterminated dollar-quoted string")
+        value = self.sql[self.pos : closing]
+        self._advance(len(value) + len(tag))
+        self._emit(TokenType.STRING, value, start, line, column)
+
+    def _scan_number(self):
+        start, line, column = self.pos, self.line, self.column
+        seen_dot = False
+        seen_exponent = False
+        while self.pos < self.length:
+            char = self._peek()
+            if char.isdigit():
+                self._advance()
+            elif char == "." and not seen_dot and not seen_exponent:
+                seen_dot = True
+                self._advance()
+            elif char in "eE" and not seen_exponent and self._peek(1).isdigit():
+                seen_exponent = True
+                self._advance(2)
+            elif (
+                char in "eE"
+                and not seen_exponent
+                and self._peek(1) in "+-"
+                and self._peek(2).isdigit()
+            ):
+                seen_exponent = True
+                self._advance(3)
+            else:
+                break
+        self._emit(TokenType.NUMBER, self.sql[start : self.pos], start, line, column)
+
+    def _scan_word(self):
+        start, line, column = self.pos, self.line, self.column
+        while self.pos < self.length and (
+            self._peek().isalnum() or self._peek() in "_$"
+        ):
+            self._advance()
+        word = self.sql[start : self.pos]
+        upper = word.upper()
+        if upper in KEYWORDS:
+            self._emit(TokenType.KEYWORD, upper, start, line, column)
+        else:
+            self._emit(TokenType.IDENTIFIER, word, start, line, column)
+
+    def _scan_positional_parameter(self):
+        start, line, column = self.pos, self.line, self.column
+        self._advance()
+        while self.pos < self.length and self._peek().isdigit():
+            self._advance()
+        self._emit(
+            TokenType.PARAMETER, self.sql[start : self.pos], start, line, column
+        )
+
+    def _scan_named_parameter(self):
+        start, line, column = self.pos, self.line, self.column
+        self._advance()
+        while self.pos < self.length and (self._peek().isalnum() or self._peek() == "_"):
+            self._advance()
+        self._emit(
+            TokenType.PARAMETER, self.sql[start : self.pos], start, line, column
+        )
+
+    def _scan_pyformat_parameter(self):
+        start, line, column = self.pos, self.line, self.column
+        closing = self.sql.find(")s", self.pos)
+        if closing < 0:
+            self._error("unterminated pyformat parameter")
+        self._advance(closing + 2 - self.pos)
+        self._emit(
+            TokenType.PARAMETER, self.sql[start : self.pos], start, line, column
+        )
+
+    def _scan_punctuation(self):
+        start, line, column = self.pos, self.line, self.column
+        char = self._peek()
+        if char == ",":
+            self._advance()
+            self._emit(TokenType.COMMA, ",", start, line, column)
+            return
+        if char == ".":
+            self._advance()
+            self._emit(TokenType.DOT, ".", start, line, column)
+            return
+        if char == "(":
+            self._advance()
+            self._emit(TokenType.LPAREN, "(", start, line, column)
+            return
+        if char == ")":
+            self._advance()
+            self._emit(TokenType.RPAREN, ")", start, line, column)
+            return
+        if char == ";":
+            self._advance()
+            self._emit(TokenType.SEMICOLON, ";", start, line, column)
+            return
+        if char == "*":
+            self._advance()
+            self._emit(TokenType.STAR, "*", start, line, column)
+            return
+        for operator in MULTI_CHAR_OPERATORS:
+            if self._starts_with(operator):
+                self._advance(len(operator))
+                self._emit(TokenType.OPERATOR, operator, start, line, column)
+                return
+        if char in SINGLE_CHAR_OPERATORS or char == ":":
+            self._advance()
+            self._emit(TokenType.OPERATOR, char, start, line, column)
+            return
+        self._error(f"unexpected character {char!r}")

@@ -1,0 +1,1292 @@
+"""A recursive-descent parser for a PostgreSQL-flavoured SQL dialect.
+
+The parser consumes the token stream produced by
+:mod:`repro.sqlparser.lexer` and builds the AST defined in
+:mod:`repro.sqlparser.ast_nodes`.  It supports the SQL surface the LineageX
+lineage extractor needs:
+
+* ``SELECT`` with ``DISTINCT [ON]``, arbitrary projections, aliases, ``*``
+  and ``table.*`` stars;
+* ``FROM`` with base tables, derived tables, ``VALUES`` lists, set-returning
+  functions, and all join types (``INNER``/``LEFT``/``RIGHT``/``FULL``/
+  ``CROSS``, ``ON``/``USING``/``NATURAL``);
+* ``WHERE``, ``GROUP BY``, ``HAVING``, ``ORDER BY``, ``LIMIT``/``OFFSET``,
+  named ``WINDOW`` clauses;
+* ``WITH [RECURSIVE]`` common table expressions;
+* set operations ``UNION [ALL]``, ``INTERSECT [ALL]``, ``EXCEPT [ALL]`` with
+  standard precedence (``INTERSECT`` binds tighter);
+* scalar expressions: operators, ``CASE``, ``CAST``/``::``, ``EXTRACT``,
+  ``EXISTS``, ``IN``, ``BETWEEN``, ``LIKE``/``ILIKE``, ``IS NULL``, function
+  calls with ``DISTINCT``/``FILTER``/``OVER`` windows, subqueries;
+* statements: ``CREATE [OR REPLACE] [MATERIALIZED] VIEW``, ``CREATE TABLE``
+  (DDL column list), ``CREATE [TEMP] TABLE ... AS``, ``INSERT INTO ...
+  SELECT/VALUES``, ``DROP TABLE/VIEW``, and bare queries.
+"""
+
+from .errors import ParseError
+from .lexer import tokenize
+from .tokens import Token, TokenType
+from . import ast_nodes as ast
+
+
+def parse(sql, keep_comments=False):
+    """Parse a SQL script and return a list of statements."""
+    return Parser(sql, keep_comments=keep_comments).parse_script()
+
+
+def parse_one(sql):
+    """Parse exactly one statement; raise :class:`ParseError` otherwise."""
+    statements = parse(sql)
+    if len(statements) != 1:
+        raise ParseError(
+            f"expected exactly one statement, found {len(statements)}"
+        )
+    return statements[0]
+
+
+#: Join-introducing keywords used when deciding whether a FROM item continues.
+_JOIN_KEYWORDS = ("JOIN", "INNER", "LEFT", "RIGHT", "FULL", "CROSS", "NATURAL")
+
+#: Keywords that may legally follow an aliased FROM item, hence are never
+#: themselves treated as implicit aliases.
+_NOT_ALIAS_KEYWORDS = {
+    "WHERE",
+    "GROUP",
+    "HAVING",
+    "ORDER",
+    "LIMIT",
+    "OFFSET",
+    "UNION",
+    "INTERSECT",
+    "EXCEPT",
+    "ON",
+    "USING",
+    "JOIN",
+    "INNER",
+    "LEFT",
+    "RIGHT",
+    "FULL",
+    "CROSS",
+    "NATURAL",
+    "WINDOW",
+    "FETCH",
+    "FOR",
+    "WITH",
+    "SET",
+    "AND",
+    "OR",
+    "WHEN",
+    "THEN",
+    "ELSE",
+    "END",
+    "AS",
+    "ASC",
+    "DESC",
+    "NULLS",
+    "FROM",
+    "SELECT",
+    "INTO",
+    "VALUES",
+    "RETURNING",
+}
+
+
+class Parser:
+    """Recursive-descent parser over a token list."""
+
+    def __init__(self, sql, keep_comments=False):
+        self.sql = sql
+        self.tokens = [
+            token
+            for token in tokenize(sql, keep_comments=keep_comments)
+            if token.type != TokenType.COMMENT
+        ]
+        self.index = 0
+
+    # ------------------------------------------------------------------
+    # Token-stream helpers
+    # ------------------------------------------------------------------
+    def _peek(self, offset=0):
+        index = min(self.index + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def _current(self):
+        return self._peek(0)
+
+    def _advance(self):
+        token = self._current()
+        if self.index < len(self.tokens) - 1:
+            self.index += 1
+        return token
+
+    def _at_keyword(self, *names):
+        return self._current().is_keyword(*names)
+
+    def _at_type(self, token_type):
+        return self._current().type == token_type
+
+    def _match_keyword(self, *names):
+        if self._at_keyword(*names):
+            return self._advance()
+        return None
+
+    def _match_type(self, token_type):
+        if self._at_type(token_type):
+            return self._advance()
+        return None
+
+    def _expect_keyword(self, *names):
+        token = self._match_keyword(*names)
+        if token is None:
+            raise ParseError(
+                f"expected keyword {' or '.join(names)}", self._current()
+            )
+        return token
+
+    def _expect_type(self, token_type, description=None):
+        token = self._match_type(token_type)
+        if token is None:
+            raise ParseError(
+                f"expected {description or token_type.name}", self._current()
+            )
+        return token
+
+    def _error(self, message):
+        raise ParseError(message, self._current())
+
+    # ------------------------------------------------------------------
+    # Identifiers and names
+    # ------------------------------------------------------------------
+    def _parse_identifier(self):
+        token = self._current()
+        if token.type in (TokenType.IDENTIFIER, TokenType.QUOTED_IDENTIFIER):
+            self._advance()
+            return token.value
+        # Allow non-reserved-looking keywords to double as identifiers in a
+        # pinch (e.g. a column called "year" would be an IDENTIFIER already,
+        # but things like "row" or "key" are keywords in our list).
+        if token.type == TokenType.KEYWORD and token.value in (
+            "ROW",
+            "KEY",
+            "SET",
+            "FIRST",
+            "LAST",
+            "IF",
+            "REPLACE",
+            "TEMP",
+            "RANGE",
+        ):
+            self._advance()
+            return token.value.lower()
+        self._error("expected identifier")
+
+    def _parse_qualified_name(self):
+        parts = [self._parse_identifier()]
+        while self._at_type(TokenType.DOT):
+            self._advance()
+            if self._at_type(TokenType.STAR):
+                # caller handles stars; put the dot back conceptually by
+                # returning what we have (only reachable from expressions)
+                break
+            parts.append(self._parse_identifier())
+        return ast.QualifiedName(parts=parts)
+
+    # ------------------------------------------------------------------
+    # Script / statements
+    # ------------------------------------------------------------------
+    def parse_script(self):
+        """Parse the full input into a list of statements."""
+        statements = []
+        while not self._at_type(TokenType.EOF):
+            if self._match_type(TokenType.SEMICOLON):
+                continue
+            statements.append(self.parse_statement())
+            if not self._at_type(TokenType.EOF):
+                if not self._match_type(TokenType.SEMICOLON):
+                    self._error("expected ';' between statements")
+        return statements
+
+    def parse_statement(self):
+        """Parse a single statement."""
+        if self._at_keyword("CREATE"):
+            return self._parse_create()
+        if self._at_keyword("INSERT"):
+            return self._parse_insert()
+        if self._at_keyword("UPDATE"):
+            return self._parse_update()
+        if self._at_keyword("DELETE"):
+            return self._parse_delete()
+        if self._at_keyword("DROP"):
+            return self._parse_drop()
+        if (
+            self._at_keyword("SELECT", "WITH", "VALUES")
+            or self._at_type(TokenType.LPAREN)
+        ):
+            query = self.parse_query_expression()
+            return ast.QueryStatement(query=query)
+        self._error("expected a statement")
+
+    # -- CREATE ---------------------------------------------------------
+    def _parse_create(self):
+        self._expect_keyword("CREATE")
+        or_replace = False
+        if self._match_keyword("OR"):
+            self._expect_keyword("REPLACE")
+            or_replace = True
+        temporary = bool(self._match_keyword("TEMP", "TEMPORARY"))
+        materialized = bool(self._match_keyword("MATERIALIZED"))
+        if self._match_keyword("VIEW"):
+            return self._parse_create_view(or_replace, materialized)
+        if self._match_keyword("TABLE"):
+            return self._parse_create_table(temporary)
+        self._error("expected VIEW or TABLE after CREATE")
+
+    def _parse_create_view(self, or_replace, materialized):
+        name = self._parse_qualified_name()
+        column_names = []
+        if self._at_type(TokenType.LPAREN):
+            column_names = self._parse_name_list()
+        self._expect_keyword("AS")
+        query = self.parse_query_expression()
+        return ast.CreateView(
+            name=name,
+            column_names=column_names,
+            query=query,
+            or_replace=or_replace,
+            materialized=materialized,
+        )
+
+    def _parse_create_table(self, temporary):
+        if_not_exists = False
+        if self._match_keyword("IF"):
+            self._expect_keyword("NOT")
+            # NOT EXISTS
+            self._expect_keyword("EXISTS")
+            if_not_exists = True
+        name = self._parse_qualified_name()
+        if self._match_keyword("AS"):
+            query = self.parse_query_expression()
+            return ast.CreateTableAs(
+                name=name,
+                query=query,
+                temporary=temporary,
+                if_not_exists=if_not_exists,
+            )
+        if self._at_type(TokenType.LPAREN):
+            columns = self._parse_column_defs()
+            return ast.CreateTable(
+                name=name,
+                columns=columns,
+                temporary=temporary,
+                if_not_exists=if_not_exists,
+            )
+        self._error("expected AS or a column list in CREATE TABLE")
+
+    def _parse_column_defs(self):
+        self._expect_type(TokenType.LPAREN, "'('")
+        columns = []
+        while True:
+            if self._at_keyword("PRIMARY", "UNIQUE", "FOREIGN") or (
+                self._at_type(TokenType.IDENTIFIER)
+                and self._current().value.upper() in ("CONSTRAINT", "CHECK", "FOREIGN")
+            ):
+                # table-level constraint: consume until the matching comma or
+                # the closing parenthesis at depth zero.
+                self._skip_balanced_until_comma_or_rparen()
+            else:
+                column_name = self._parse_identifier()
+                type_name = self._parse_type_name()
+                constraints = self._parse_column_constraints()
+                columns.append(
+                    ast.ColumnDef(
+                        name=column_name,
+                        type_name=type_name,
+                        constraints=constraints,
+                    )
+                )
+            if self._match_type(TokenType.COMMA):
+                continue
+            self._expect_type(TokenType.RPAREN, "')'")
+            break
+        return columns
+
+    def _parse_type_name(self):
+        parts = []
+        token = self._current()
+        if token.type in (TokenType.IDENTIFIER, TokenType.KEYWORD):
+            parts.append(self._advance().value)
+        else:
+            self._error("expected a type name")
+        # multi-word types: double precision, character varying, timestamp
+        # with time zone, etc.
+        while self._at_type(TokenType.IDENTIFIER) and self._current().value.lower() in (
+            "precision",
+            "varying",
+            "zone",
+        ):
+            parts.append(self._advance().value)
+        if self._at_keyword("WITH"):
+            save = self.index
+            self._advance()
+            if (
+                self._at_type(TokenType.IDENTIFIER)
+                and self._current().value.lower() in ("time", "timezone")
+            ):
+                parts.append("with")
+                while self._at_type(TokenType.IDENTIFIER) and self._current().value.lower() in (
+                    "time",
+                    "zone",
+                    "timezone",
+                ):
+                    parts.append(self._advance().value)
+            else:
+                self.index = save
+        if self._at_type(TokenType.LPAREN):
+            # length/precision arguments, e.g. varchar(255), numeric(10, 2)
+            depth = 0
+            text = ""
+            while True:
+                token = self._advance()
+                if token.type == TokenType.LPAREN:
+                    depth += 1
+                elif token.type == TokenType.RPAREN:
+                    depth -= 1
+                text += token.value
+                if depth == 0:
+                    break
+            parts.append(text)
+        return " ".join(parts)
+
+    def _parse_column_constraints(self):
+        constraints = []
+        while not self._at_type(TokenType.COMMA) and not self._at_type(
+            TokenType.RPAREN
+        ) and not self._at_type(TokenType.EOF):
+            token = self._advance()
+            if token.type == TokenType.LPAREN:
+                # skip balanced parens inside constraints (CHECK, DEFAULT fn)
+                depth = 1
+                while depth > 0 and not self._at_type(TokenType.EOF):
+                    inner = self._advance()
+                    if inner.type == TokenType.LPAREN:
+                        depth += 1
+                    elif inner.type == TokenType.RPAREN:
+                        depth -= 1
+                constraints.append("(...)")
+            else:
+                constraints.append(token.value)
+        return constraints
+
+    def _skip_balanced_until_comma_or_rparen(self):
+        depth = 0
+        while not self._at_type(TokenType.EOF):
+            token = self._current()
+            if token.type == TokenType.LPAREN:
+                depth += 1
+            elif token.type == TokenType.RPAREN:
+                if depth == 0:
+                    return
+                depth -= 1
+            elif token.type == TokenType.COMMA and depth == 0:
+                return
+            self._advance()
+
+    # -- INSERT ---------------------------------------------------------
+    def _parse_insert(self):
+        self._expect_keyword("INSERT")
+        self._expect_keyword("INTO")
+        table = self._parse_qualified_name()
+        columns = []
+        if self._at_type(TokenType.LPAREN):
+            save = self.index
+            try:
+                columns = self._parse_name_list()
+            except ParseError:
+                self.index = save
+        if self._at_keyword("VALUES"):
+            self._advance()
+            rows = self._parse_values_rows()
+            return ast.InsertStatement(table=table, columns=columns, values=rows)
+        query = self.parse_query_expression()
+        return ast.InsertStatement(table=table, columns=columns, query=query)
+
+    def _parse_values_rows(self):
+        rows = []
+        while True:
+            self._expect_type(TokenType.LPAREN, "'('")
+            row = [self.parse_expression()]
+            while self._match_type(TokenType.COMMA):
+                row.append(self.parse_expression())
+            self._expect_type(TokenType.RPAREN, "')'")
+            rows.append(row)
+            if not self._match_type(TokenType.COMMA):
+                break
+        return rows
+
+    # -- UPDATE / DELETE --------------------------------------------------
+    def _parse_update(self):
+        self._expect_keyword("UPDATE")
+        table = self._parse_qualified_name()
+        alias = None
+        if self._match_keyword("AS"):
+            alias = self._parse_identifier()
+        elif self._at_type(TokenType.IDENTIFIER) and not self._at_keyword("SET"):
+            alias = self._parse_identifier()
+        self._expect_keyword("SET")
+        assignments = [self._parse_assignment()]
+        while self._match_type(TokenType.COMMA):
+            assignments.append(self._parse_assignment())
+        from_sources = []
+        if self._match_keyword("FROM"):
+            from_sources = self._parse_from_list()
+        where = None
+        if self._match_keyword("WHERE"):
+            where = self.parse_expression()
+        return ast.UpdateStatement(
+            table=table,
+            alias=alias,
+            assignments=assignments,
+            from_sources=from_sources,
+            where=where,
+        )
+
+    def _parse_assignment(self):
+        column = self._parse_identifier()
+        token = self._current()
+        if token.type == TokenType.OPERATOR and token.value == "=":
+            self._advance()
+        else:
+            self._error("expected '=' in UPDATE assignment")
+        return (column, self.parse_expression())
+
+    def _parse_delete(self):
+        self._expect_keyword("DELETE")
+        self._expect_keyword("FROM")
+        table = self._parse_qualified_name()
+        alias = None
+        if self._match_keyword("AS"):
+            alias = self._parse_identifier()
+        elif self._at_type(TokenType.IDENTIFIER):
+            alias = self._parse_identifier()
+        using_sources = []
+        if self._match_keyword("USING"):
+            using_sources = self._parse_from_list()
+        where = None
+        if self._match_keyword("WHERE"):
+            where = self.parse_expression()
+        return ast.DeleteStatement(
+            table=table, alias=alias, using_sources=using_sources, where=where
+        )
+
+    # -- DROP -----------------------------------------------------------
+    def _parse_drop(self):
+        self._expect_keyword("DROP")
+        materialized = bool(self._match_keyword("MATERIALIZED"))
+        token = self._expect_keyword("TABLE", "VIEW")
+        object_type = token.value
+        if materialized:
+            object_type = "MATERIALIZED VIEW"
+        if_exists = False
+        if self._match_keyword("IF"):
+            self._expect_keyword("EXISTS")
+            if_exists = True
+        name = self._parse_qualified_name()
+        cascade = False
+        if self._at_type(TokenType.IDENTIFIER) and self._current().value.upper() in (
+            "CASCADE",
+            "RESTRICT",
+        ):
+            cascade = self._advance().value.upper() == "CASCADE"
+        return ast.DropStatement(
+            object_type=object_type, name=name, if_exists=if_exists, cascade=cascade
+        )
+
+    # ------------------------------------------------------------------
+    # Query expressions
+    # ------------------------------------------------------------------
+    def parse_query_expression(self):
+        """Parse a query expression: WITH, set operations, ORDER BY, LIMIT."""
+        ctes = []
+        recursive = False
+        if self._match_keyword("WITH"):
+            recursive = bool(self._match_keyword("RECURSIVE"))
+            ctes.append(self._parse_cte())
+            while self._match_type(TokenType.COMMA):
+                ctes.append(self._parse_cte())
+        query = self._parse_set_expression()
+        order_by, limit, offset = self._parse_trailing_clauses()
+        query = self._attach_query_extras(query, ctes, recursive, order_by, limit, offset)
+        return query
+
+    def _attach_query_extras(self, query, ctes, recursive, order_by, limit, offset):
+        if isinstance(query, ast.Select):
+            if ctes:
+                query.ctes = ctes + query.ctes
+                query.recursive = query.recursive or recursive
+            if order_by:
+                query.order_by = order_by
+            if limit is not None:
+                query.limit = limit
+            if offset is not None:
+                query.offset = offset
+        elif isinstance(query, ast.SetOperation):
+            if ctes:
+                query.ctes = ctes + query.ctes
+            if order_by:
+                query.order_by = order_by
+            if limit is not None:
+                query.limit = limit
+            if offset is not None:
+                query.offset = offset
+        return query
+
+    def _parse_cte(self):
+        name = self._parse_identifier()
+        column_names = []
+        if self._at_type(TokenType.LPAREN):
+            column_names = self._parse_name_list()
+        self._expect_keyword("AS")
+        materialized = None
+        if self._match_keyword("MATERIALIZED"):
+            materialized = True
+        elif self._at_keyword("NOT"):
+            save = self.index
+            self._advance()
+            if self._match_keyword("MATERIALIZED"):
+                materialized = False
+            else:
+                self.index = save
+        self._expect_type(TokenType.LPAREN, "'('")
+        query = self.parse_query_expression()
+        self._expect_type(TokenType.RPAREN, "')'")
+        return ast.CTE(
+            name=name, column_names=column_names, query=query, materialized=materialized
+        )
+
+    def _parse_name_list(self):
+        self._expect_type(TokenType.LPAREN, "'('")
+        names = [self._parse_identifier()]
+        while self._match_type(TokenType.COMMA):
+            names.append(self._parse_identifier())
+        self._expect_type(TokenType.RPAREN, "')'")
+        return names
+
+    def _parse_trailing_clauses(self):
+        order_by = []
+        limit = None
+        offset = None
+        while True:
+            if self._match_keyword("ORDER"):
+                self._expect_keyword("BY")
+                order_by = self._parse_order_by_list()
+            elif self._match_keyword("LIMIT"):
+                if self._match_keyword("ALL"):
+                    limit = ast.Literal(value=None, kind="null")
+                else:
+                    limit = self.parse_expression()
+            elif self._match_keyword("OFFSET"):
+                offset = self.parse_expression()
+                self._match_keyword("ROW", "ROWS")
+            elif self._match_keyword("FETCH"):
+                self._expect_keyword("FIRST", "NEXT") if self._at_keyword(
+                    "FIRST", "NEXT"
+                ) else None
+                if not self._at_keyword("ROW", "ROWS"):
+                    limit = self.parse_expression()
+                self._match_keyword("ROW", "ROWS")
+                self._match_keyword("ONLY") if self._at_keyword("ONLY") else None
+                # tolerate the non-keyword ONLY as identifier
+                if self._at_type(TokenType.IDENTIFIER) and self._current().value.upper() == "ONLY":
+                    self._advance()
+            else:
+                break
+        return order_by, limit, offset
+
+    def _parse_order_by_list(self):
+        items = [self._parse_order_by_item()]
+        while self._match_type(TokenType.COMMA):
+            items.append(self._parse_order_by_item())
+        return items
+
+    def _parse_order_by_item(self):
+        expression = self.parse_expression()
+        descending = False
+        if self._match_keyword("ASC"):
+            descending = False
+        elif self._match_keyword("DESC"):
+            descending = True
+        nulls = None
+        if self._match_keyword("NULLS"):
+            nulls = self._expect_keyword("FIRST", "LAST").value
+        return ast.OrderByItem(expression=expression, descending=descending, nulls=nulls)
+
+    def _parse_set_expression(self):
+        """Parse set operations with INTERSECT binding tighter than UNION/EXCEPT."""
+        left = self._parse_intersect_expression()
+        while self._at_keyword("UNION", "EXCEPT"):
+            operator = self._advance().value
+            all_flag = bool(self._match_keyword("ALL"))
+            self._match_keyword("DISTINCT")
+            right = self._parse_intersect_expression()
+            left = ast.SetOperation(
+                operator=operator, all=all_flag, left=left, right=right
+            )
+        return left
+
+    def _parse_intersect_expression(self):
+        left = self._parse_query_primary()
+        while self._at_keyword("INTERSECT"):
+            self._advance()
+            all_flag = bool(self._match_keyword("ALL"))
+            self._match_keyword("DISTINCT")
+            right = self._parse_query_primary()
+            left = ast.SetOperation(
+                operator="INTERSECT", all=all_flag, left=left, right=right
+            )
+        return left
+
+    def _parse_query_primary(self):
+        if self._at_type(TokenType.LPAREN):
+            self._advance()
+            query = self.parse_query_expression()
+            self._expect_type(TokenType.RPAREN, "')'")
+            return query
+        if self._at_keyword("SELECT"):
+            return self._parse_select_block()
+        if self._at_keyword("VALUES"):
+            self._advance()
+            rows = self._parse_values_rows()
+            # represent a top-level VALUES as a Select over a ValuesSource
+            source = ast.ValuesSource(rows=rows, alias="values")
+            projections = [ast.Projection(expression=ast.Star())]
+            return ast.Select(projections=projections, from_sources=[source])
+        if self._at_keyword("WITH"):
+            return self.parse_query_expression()
+        self._error("expected SELECT, VALUES or a parenthesised query")
+
+    def _parse_select_block(self):
+        self._expect_keyword("SELECT")
+        select = ast.Select()
+        if self._match_keyword("ALL"):
+            pass
+        elif self._match_keyword("DISTINCT"):
+            select.distinct = True
+            if self._match_keyword("ON"):
+                self._expect_type(TokenType.LPAREN, "'('")
+                select.distinct_on.append(self.parse_expression())
+                while self._match_type(TokenType.COMMA):
+                    select.distinct_on.append(self.parse_expression())
+                self._expect_type(TokenType.RPAREN, "')'")
+        select.projections = self._parse_projection_list()
+        if self._match_keyword("INTO"):
+            # SELECT ... INTO target: record target as a create-table-as at a
+            # higher level is not needed; skip the target name.
+            self._parse_qualified_name()
+        if self._match_keyword("FROM"):
+            select.from_sources = self._parse_from_list()
+        if self._match_keyword("WHERE"):
+            select.where = self.parse_expression()
+        if self._match_keyword("GROUP"):
+            self._expect_keyword("BY")
+            select.group_by = self._parse_group_by_list()
+        if self._match_keyword("HAVING"):
+            select.having = self.parse_expression()
+        if self._match_keyword("WINDOW"):
+            select.windows = self._parse_window_definitions()
+        return select
+
+    def _parse_group_by_list(self):
+        items = []
+        while True:
+            if self._match_keyword("ALL"):
+                pass
+            elif self._at_type(TokenType.IDENTIFIER) and self._current().value.upper() in (
+                "ROLLUP",
+                "CUBE",
+                "GROUPING",
+            ):
+                self._advance()
+                if self._at_type(TokenType.IDENTIFIER) and self._current().value.upper() == "SETS":
+                    self._advance()
+                self._expect_type(TokenType.LPAREN, "'('")
+                depth = 1
+                start = self.index
+                # parse inner expressions separated by commas / parens
+                while depth > 0 and not self._at_type(TokenType.EOF):
+                    if self._at_type(TokenType.LPAREN):
+                        depth += 1
+                        self._advance()
+                    elif self._at_type(TokenType.RPAREN):
+                        depth -= 1
+                        self._advance()
+                    elif self._at_type(TokenType.COMMA):
+                        self._advance()
+                    else:
+                        items.append(self.parse_expression())
+            else:
+                items.append(self.parse_expression())
+            if not self._match_type(TokenType.COMMA):
+                break
+        return items
+
+    def _parse_window_definitions(self):
+        definitions = []
+        while True:
+            name = self._parse_identifier()
+            self._expect_keyword("AS")
+            self._expect_type(TokenType.LPAREN, "'('")
+            spec = self._parse_window_spec_body()
+            self._expect_type(TokenType.RPAREN, "')'")
+            definitions.append((name, spec))
+            if not self._match_type(TokenType.COMMA):
+                break
+        return definitions
+
+    # -- Projections ------------------------------------------------------
+    def _parse_projection_list(self):
+        projections = [self._parse_projection()]
+        while self._match_type(TokenType.COMMA):
+            projections.append(self._parse_projection())
+        return projections
+
+    def _parse_projection(self):
+        if self._at_type(TokenType.STAR):
+            self._advance()
+            return ast.Projection(expression=ast.Star())
+        expression = self.parse_expression()
+        alias = self._parse_optional_alias()
+        return ast.Projection(expression=expression, alias=alias)
+
+    def _parse_optional_alias(self):
+        if self._match_keyword("AS"):
+            return self._parse_identifier()
+        token = self._current()
+        if token.type in (TokenType.IDENTIFIER, TokenType.QUOTED_IDENTIFIER):
+            self._advance()
+            return token.value
+        return None
+
+    # -- FROM clause ------------------------------------------------------
+    def _parse_from_list(self):
+        sources = [self._parse_table_source()]
+        while self._match_type(TokenType.COMMA):
+            sources.append(self._parse_table_source())
+        return sources
+
+    def _parse_table_source(self):
+        left = self._parse_table_primary()
+        while True:
+            natural = False
+            join_type = None
+            if self._at_keyword("NATURAL"):
+                natural = True
+                self._advance()
+            if self._match_keyword("CROSS"):
+                self._expect_keyword("JOIN")
+                join_type = "CROSS"
+            elif self._match_keyword("INNER"):
+                self._expect_keyword("JOIN")
+                join_type = "INNER"
+            elif self._at_keyword("LEFT", "RIGHT", "FULL"):
+                join_type = self._advance().value
+                self._match_keyword("OUTER")
+                self._expect_keyword("JOIN")
+            elif self._match_keyword("JOIN"):
+                join_type = "INNER"
+            elif natural:
+                self._error("expected JOIN after NATURAL")
+            else:
+                break
+            right = self._parse_table_primary()
+            condition = None
+            using_columns = []
+            if join_type != "CROSS" and not natural:
+                if self._match_keyword("ON"):
+                    condition = self.parse_expression()
+                elif self._match_keyword("USING"):
+                    using_columns = self._parse_name_list()
+            left = ast.Join(
+                left=left,
+                right=right,
+                join_type=join_type,
+                condition=condition,
+                using_columns=using_columns,
+                natural=natural,
+            )
+        return left
+
+    def _parse_table_primary(self):
+        lateral = bool(self._match_keyword("LATERAL"))
+        if self._at_type(TokenType.LPAREN):
+            save = self.index
+            self._advance()
+            if self._at_keyword("VALUES"):
+                self._advance()
+                rows = self._parse_values_rows()
+                self._expect_type(TokenType.RPAREN, "')'")
+                alias, column_aliases = self._parse_source_alias()
+                return ast.ValuesSource(
+                    rows=rows, alias=alias, column_aliases=column_aliases
+                )
+            if self._at_keyword("SELECT", "WITH") or self._at_type(TokenType.LPAREN):
+                query = self.parse_query_expression()
+                self._expect_type(TokenType.RPAREN, "')'")
+                alias, column_aliases = self._parse_source_alias()
+                return ast.SubquerySource(
+                    query=query,
+                    alias=alias,
+                    column_aliases=column_aliases,
+                    lateral=lateral,
+                )
+            # parenthesised join: ( a JOIN b ON ... )
+            self.index = save
+            self._advance()
+            source = self._parse_table_source()
+            self._expect_type(TokenType.RPAREN, "')'")
+            return source
+        if self._at_keyword("VALUES"):
+            self._advance()
+            rows = self._parse_values_rows()
+            alias, column_aliases = self._parse_source_alias()
+            return ast.ValuesSource(rows=rows, alias=alias, column_aliases=column_aliases)
+        name = self._parse_qualified_name()
+        if self._at_type(TokenType.LPAREN):
+            # a set-returning function used as a table source
+            arguments, is_star = self._parse_call_arguments()
+            function = ast.FunctionCall(
+                name=name.dotted(), args=arguments, is_star_arg=is_star
+            )
+            alias, column_aliases = self._parse_source_alias()
+            return ast.FunctionSource(
+                function=function, alias=alias, column_aliases=column_aliases
+            )
+        alias, column_aliases = self._parse_source_alias()
+        return ast.TableRef(name=name, alias=alias, column_aliases=column_aliases)
+
+    def _parse_source_alias(self):
+        alias = None
+        column_aliases = []
+        if self._match_keyword("AS"):
+            alias = self._parse_identifier()
+        else:
+            token = self._current()
+            if token.type in (TokenType.IDENTIFIER, TokenType.QUOTED_IDENTIFIER):
+                alias = self._parse_identifier()
+            elif (
+                token.type == TokenType.KEYWORD
+                and token.value not in _NOT_ALIAS_KEYWORDS
+                and token.value
+                in ("ROW", "KEY", "FIRST", "LAST", "TEMP", "IF", "RANGE")
+            ):
+                alias = self._parse_identifier()
+        if alias is not None and self._at_type(TokenType.LPAREN):
+            save = self.index
+            try:
+                column_aliases = self._parse_name_list()
+            except ParseError:
+                self.index = save
+        return alias, column_aliases
+
+    # ------------------------------------------------------------------
+    # Expressions (precedence climbing)
+    # ------------------------------------------------------------------
+    def parse_expression(self):
+        """Parse a scalar expression (entry point: OR precedence level)."""
+        return self._parse_or()
+
+    def _parse_or(self):
+        left = self._parse_and()
+        while self._at_keyword("OR"):
+            self._advance()
+            right = self._parse_and()
+            left = ast.BinaryOp(operator="OR", left=left, right=right)
+        return left
+
+    def _parse_and(self):
+        left = self._parse_not()
+        while self._at_keyword("AND"):
+            self._advance()
+            right = self._parse_not()
+            left = ast.BinaryOp(operator="AND", left=left, right=right)
+        return left
+
+    def _parse_not(self):
+        if self._at_keyword("NOT") and not self._peek(1).is_keyword("EXISTS"):
+            self._advance()
+            operand = self._parse_not()
+            return ast.UnaryOp(operator="NOT", operand=operand)
+        return self._parse_comparison()
+
+    def _parse_comparison(self):
+        left = self._parse_additive()
+        while True:
+            token = self._current()
+            if token.type == TokenType.OPERATOR and token.value in (
+                "=",
+                "<",
+                ">",
+                "<=",
+                ">=",
+                "<>",
+                "!=",
+                "~",
+                "~*",
+                "!~",
+                "!~*",
+            ):
+                self._advance()
+                right = self._parse_additive()
+                left = ast.BinaryOp(operator=token.value, left=left, right=right)
+                continue
+            if token.is_keyword("IS"):
+                self._advance()
+                negated = bool(self._match_keyword("NOT"))
+                if self._match_keyword("NULL"):
+                    left = ast.IsNullExpr(operand=left, negated=negated)
+                elif self._match_keyword("TRUE", "FALSE"):
+                    left = ast.IsNullExpr(operand=left, negated=negated)
+                elif self._at_type(TokenType.IDENTIFIER) and self._current().value.upper() == "DISTINCT":
+                    self._advance()
+                    self._expect_keyword("FROM")
+                    right = self._parse_additive()
+                    left = ast.BinaryOp(
+                        operator="IS DISTINCT FROM", left=left, right=right
+                    )
+                elif self._match_keyword("DISTINCT"):
+                    self._expect_keyword("FROM")
+                    right = self._parse_additive()
+                    left = ast.BinaryOp(
+                        operator="IS DISTINCT FROM", left=left, right=right
+                    )
+                else:
+                    self._error("unsupported IS expression")
+                continue
+            negated = False
+            save = self.index
+            if token.is_keyword("NOT"):
+                self._advance()
+                negated = True
+                token = self._current()
+            if token.is_keyword("IN"):
+                self._advance()
+                left = self._parse_in_tail(left, negated)
+                continue
+            if token.is_keyword("BETWEEN"):
+                self._advance()
+                low = self._parse_additive()
+                self._expect_keyword("AND")
+                high = self._parse_additive()
+                left = ast.BetweenExpr(operand=left, low=low, high=high, negated=negated)
+                continue
+            if token.is_keyword("LIKE", "ILIKE"):
+                operator = self._advance().value
+                pattern = self._parse_additive()
+                left = ast.LikeExpr(
+                    operand=left, pattern=pattern, operator=operator, negated=negated
+                )
+                continue
+            if token.is_keyword("SIMILAR"):
+                self._advance()
+                # SIMILAR TO — "TO" lexes as an identifier (not reserved)
+                if self._at_type(TokenType.IDENTIFIER) and self._current().value.upper() == "TO":
+                    self._advance()
+                pattern = self._parse_additive()
+                left = ast.LikeExpr(
+                    operand=left, pattern=pattern, operator="SIMILAR TO", negated=negated
+                )
+                continue
+            if negated:
+                self.index = save
+            break
+        return left
+
+    def _parse_in_tail(self, operand, negated):
+        self._expect_type(TokenType.LPAREN, "'('")
+        if self._at_keyword("SELECT", "WITH", "VALUES"):
+            query = self.parse_query_expression()
+            self._expect_type(TokenType.RPAREN, "')'")
+            return ast.InExpr(operand=operand, query=query, negated=negated)
+        values = [self.parse_expression()]
+        while self._match_type(TokenType.COMMA):
+            values.append(self.parse_expression())
+        self._expect_type(TokenType.RPAREN, "')'")
+        return ast.InExpr(operand=operand, values=values, negated=negated)
+
+    def _parse_additive(self):
+        left = self._parse_multiplicative()
+        while True:
+            token = self._current()
+            if token.type == TokenType.OPERATOR and token.value in (
+                "+",
+                "-",
+                "||",
+                "&",
+                "|",
+                "#",
+                "->",
+                "->>",
+                "#>",
+                "#>>",
+            ):
+                self._advance()
+                right = self._parse_multiplicative()
+                left = ast.BinaryOp(operator=token.value, left=left, right=right)
+            else:
+                break
+        return left
+
+    def _parse_multiplicative(self):
+        left = self._parse_unary()
+        while True:
+            token = self._current()
+            if token.type == TokenType.STAR or (
+                token.type == TokenType.OPERATOR and token.value in ("/", "%", "^")
+            ):
+                operator = "*" if token.type == TokenType.STAR else token.value
+                self._advance()
+                right = self._parse_unary()
+                left = ast.BinaryOp(operator=operator, left=left, right=right)
+            else:
+                break
+        return left
+
+    def _parse_unary(self):
+        token = self._current()
+        if token.type == TokenType.OPERATOR and token.value in ("-", "+"):
+            self._advance()
+            operand = self._parse_unary()
+            return ast.UnaryOp(operator=token.value, operand=operand)
+        return self._parse_cast_suffix()
+
+    def _parse_cast_suffix(self):
+        expression = self._parse_primary()
+        while self._at_type(TokenType.OPERATOR) and self._current().value == "::":
+            self._advance()
+            type_name = self._parse_type_name()
+            expression = ast.Cast(operand=expression, type_name=type_name)
+        return expression
+
+    # -- Primary expressions ---------------------------------------------
+    def _parse_primary(self):
+        token = self._current()
+
+        if token.type == TokenType.STRING:
+            self._advance()
+            return ast.Literal(value=token.value, kind="string")
+        if token.type == TokenType.NUMBER:
+            self._advance()
+            value = float(token.value) if "." in token.value or "e" in token.value.lower() else int(token.value)
+            return ast.Literal(value=value, kind="number")
+        if token.type == TokenType.PARAMETER:
+            self._advance()
+            return ast.Parameter(name=token.value)
+        if token.type == TokenType.STAR:
+            self._advance()
+            return ast.Star()
+
+        if token.type == TokenType.KEYWORD:
+            if token.value in ("TRUE", "FALSE"):
+                self._advance()
+                return ast.Literal(value=token.value == "TRUE", kind="boolean")
+            if token.value == "NULL":
+                self._advance()
+                return ast.Literal(value=None, kind="null")
+            if token.value in ("CURRENT_DATE", "CURRENT_TIME", "CURRENT_TIMESTAMP"):
+                self._advance()
+                return ast.FunctionCall(name=token.value.lower())
+            if token.value == "INTERVAL":
+                self._advance()
+                literal = self._expect_type(TokenType.STRING, "interval literal")
+                return ast.Literal(value=literal.value, kind="interval")
+            if token.value == "CASE":
+                return self._parse_case()
+            if token.value == "CAST":
+                return self._parse_cast_call()
+            if token.value == "EXTRACT":
+                return self._parse_extract()
+            if token.value == "EXISTS":
+                self._advance()
+                self._expect_type(TokenType.LPAREN, "'('")
+                query = self.parse_query_expression()
+                self._expect_type(TokenType.RPAREN, "')'")
+                return ast.ExistsExpr(query=query)
+            if token.value == "NOT" and self._peek(1).is_keyword("EXISTS"):
+                self._advance()
+                self._advance()
+                self._expect_type(TokenType.LPAREN, "'('")
+                query = self.parse_query_expression()
+                self._expect_type(TokenType.RPAREN, "')'")
+                return ast.ExistsExpr(query=query, negated=True)
+            if token.value in ("ANY", "ALL", "SOME"):
+                # ANY(subquery/array) used on the right of comparisons
+                self._advance()
+                self._expect_type(TokenType.LPAREN, "'('")
+                if self._at_keyword("SELECT", "WITH"):
+                    query = self.parse_query_expression()
+                    self._expect_type(TokenType.RPAREN, "')'")
+                    return ast.SubqueryExpr(query=query)
+                inner = self.parse_expression()
+                self._expect_type(TokenType.RPAREN, "')'")
+                return inner
+            if token.value in ("LEFT", "RIGHT", "REPLACE", "IF") and self._peek(1).type == TokenType.LPAREN:
+                # functions whose names collide with keywords: LEFT(s, n), ...
+                self._advance()
+                arguments, is_star = self._parse_call_arguments()
+                return ast.FunctionCall(
+                    name=token.value.lower(), args=arguments, is_star_arg=is_star
+                )
+
+        if token.type == TokenType.LPAREN:
+            self._advance()
+            if self._at_keyword("SELECT", "WITH", "VALUES"):
+                query = self.parse_query_expression()
+                self._expect_type(TokenType.RPAREN, "')'")
+                return ast.SubqueryExpr(query=query)
+            first = self.parse_expression()
+            if self._match_type(TokenType.COMMA):
+                items = [first, self.parse_expression()]
+                while self._match_type(TokenType.COMMA):
+                    items.append(self.parse_expression())
+                self._expect_type(TokenType.RPAREN, "')'")
+                return ast.ExpressionList(items=items)
+            self._expect_type(TokenType.RPAREN, "')'")
+            return first
+
+        if token.type in (TokenType.IDENTIFIER, TokenType.QUOTED_IDENTIFIER):
+            return self._parse_identifier_expression()
+
+        self._error("unexpected token in expression")
+
+    def _parse_identifier_expression(self):
+        parts = [self._parse_identifier()]
+        while self._at_type(TokenType.DOT):
+            self._advance()
+            if self._at_type(TokenType.STAR):
+                self._advance()
+                return ast.Star(qualifier=parts)
+            parts.append(self._parse_identifier())
+        if self._at_type(TokenType.LPAREN):
+            arguments, is_star = self._parse_call_arguments()
+            call = ast.FunctionCall(
+                name=".".join(parts), args=arguments, is_star_arg=is_star
+            )
+            return self._parse_call_suffix(call)
+        return ast.ColumnRef(name=parts[-1], qualifier=parts[:-1])
+
+    def _parse_call_arguments(self):
+        self._expect_type(TokenType.LPAREN, "'('")
+        arguments = []
+        is_star = False
+        distinct = False
+        if self._match_keyword("DISTINCT"):
+            distinct = True
+        if self._at_type(TokenType.STAR):
+            self._advance()
+            is_star = True
+        elif not self._at_type(TokenType.RPAREN):
+            arguments.append(self.parse_expression())
+            while self._match_type(TokenType.COMMA):
+                arguments.append(self.parse_expression())
+            # ORDER BY inside aggregate calls, e.g. string_agg(x, ',' ORDER BY y)
+            if self._match_keyword("ORDER"):
+                self._expect_keyword("BY")
+                self._parse_order_by_list()
+        self._expect_type(TokenType.RPAREN, "')'")
+        # propagate DISTINCT through a small hack: the caller builds the node
+        self._last_call_distinct = distinct
+        return arguments, is_star
+
+    def _parse_call_suffix(self, call):
+        call.distinct = getattr(self, "_last_call_distinct", False)
+        self._last_call_distinct = False
+        if self._match_keyword("WITHIN"):
+            # WITHIN GROUP (ORDER BY ...)
+            self._expect_keyword("GROUP")
+            self._expect_type(TokenType.LPAREN, "'('")
+            self._expect_keyword("ORDER")
+            self._expect_keyword("BY")
+            items = self._parse_order_by_list()
+            call.args.extend(item.expression for item in items)
+            self._expect_type(TokenType.RPAREN, "')'")
+        if self._match_keyword("FILTER"):
+            self._expect_type(TokenType.LPAREN, "'('")
+            self._expect_keyword("WHERE")
+            call.filter_clause = self.parse_expression()
+            self._expect_type(TokenType.RPAREN, "')'")
+        if self._match_keyword("OVER"):
+            call.over = self._parse_over_clause()
+        return call
+
+    def _parse_over_clause(self):
+        if self._at_type(TokenType.LPAREN):
+            self._advance()
+            spec = self._parse_window_spec_body()
+            self._expect_type(TokenType.RPAREN, "')'")
+            return spec
+        name = self._parse_identifier()
+        return ast.WindowSpec(name=name)
+
+    def _parse_window_spec_body(self):
+        spec = ast.WindowSpec()
+        if self._at_type(TokenType.IDENTIFIER) and not self._at_keyword(
+            "PARTITION", "ORDER", "ROWS", "RANGE"
+        ):
+            # reference to a named window
+            spec.name = self._parse_identifier()
+        if self._match_keyword("PARTITION"):
+            self._expect_keyword("BY")
+            spec.partition_by.append(self.parse_expression())
+            while self._match_type(TokenType.COMMA):
+                spec.partition_by.append(self.parse_expression())
+        if self._match_keyword("ORDER"):
+            self._expect_keyword("BY")
+            spec.order_by = self._parse_order_by_list()
+        if self._at_keyword("ROWS", "RANGE"):
+            kind = self._advance().value
+            text_tokens = []
+            while not self._at_type(TokenType.RPAREN) and not self._at_type(
+                TokenType.EOF
+            ):
+                text_tokens.append(self._advance().value)
+            spec.frame = ast.WindowFrame(kind=kind, text=" ".join(text_tokens))
+        return spec
+
+    def _parse_case(self):
+        self._expect_keyword("CASE")
+        operand = None
+        if not self._at_keyword("WHEN"):
+            operand = self.parse_expression()
+        whens = []
+        while self._match_keyword("WHEN"):
+            condition = self.parse_expression()
+            self._expect_keyword("THEN")
+            result = self.parse_expression()
+            whens.append(ast.CaseWhen(condition=condition, result=result))
+        else_result = None
+        if self._match_keyword("ELSE"):
+            else_result = self.parse_expression()
+        self._expect_keyword("END")
+        return ast.Case(operand=operand, whens=whens, else_result=else_result)
+
+    def _parse_cast_call(self):
+        self._expect_keyword("CAST")
+        self._expect_type(TokenType.LPAREN, "'('")
+        operand = self.parse_expression()
+        self._expect_keyword("AS")
+        type_name = self._parse_type_name()
+        self._expect_type(TokenType.RPAREN, "')'")
+        return ast.Cast(operand=operand, type_name=type_name)
+
+    def _parse_extract(self):
+        self._expect_keyword("EXTRACT")
+        self._expect_type(TokenType.LPAREN, "'('")
+        token = self._current()
+        if token.type in (TokenType.IDENTIFIER, TokenType.KEYWORD, TokenType.STRING):
+            part = token.value
+            self._advance()
+        else:
+            self._error("expected a field name in EXTRACT")
+        self._expect_keyword("FROM")
+        operand = self.parse_expression()
+        self._expect_type(TokenType.RPAREN, "')'")
+        return ast.ExtractExpr(part=part, operand=operand)

@@ -1,0 +1,391 @@
+"""Regenerate SQL text from an AST.
+
+The printer produces canonical, single-line SQL that can be re-parsed by
+:mod:`repro.sqlparser.parser`.  It is used by the round-trip property tests,
+by the EXPLAIN simulator (to display plan steps), and by the dbt wrapper when
+it materialises compiled model text.
+"""
+
+from . import ast_nodes as ast
+from .dialect import quote_identifier, quote_literal
+
+
+def to_sql(node):
+    """Render ``node`` (a statement, query or expression) as SQL text."""
+    return _Printer().render(node)
+
+
+class _Printer:
+    """Stateless recursive SQL renderer."""
+
+    # ------------------------------------------------------------------
+    def render(self, node):
+        if node is None:
+            return ""
+        method = getattr(self, f"_render_{type(node).__name__}", None)
+        if method is None:
+            raise TypeError(f"cannot render node of type {type(node).__name__}")
+        return method(node)
+
+    # -- names -----------------------------------------------------------
+    def _render_QualifiedName(self, node):
+        return ".".join(quote_identifier(part) for part in node.parts)
+
+    # -- statements -------------------------------------------------------
+    def _render_QueryStatement(self, node):
+        return self.render(node.query)
+
+    def _render_CreateView(self, node):
+        pieces = ["CREATE"]
+        if node.or_replace:
+            pieces.append("OR REPLACE")
+        if node.materialized:
+            pieces.append("MATERIALIZED")
+        pieces.append("VIEW")
+        pieces.append(self.render(node.name))
+        if node.column_names:
+            pieces.append("(" + ", ".join(quote_identifier(c) for c in node.column_names) + ")")
+        pieces.append("AS")
+        pieces.append(self.render(node.query))
+        return " ".join(pieces)
+
+    def _render_CreateTableAs(self, node):
+        pieces = ["CREATE"]
+        if node.temporary:
+            pieces.append("TEMP")
+        pieces.append("TABLE")
+        if node.if_not_exists:
+            pieces.append("IF NOT EXISTS")
+        pieces.append(self.render(node.name))
+        pieces.append("AS")
+        pieces.append(self.render(node.query))
+        return " ".join(pieces)
+
+    def _render_CreateTable(self, node):
+        columns = ", ".join(
+            f"{quote_identifier(column.name)} {column.type_name}".strip()
+            for column in node.columns
+        )
+        prefix = "CREATE TEMP TABLE" if node.temporary else "CREATE TABLE"
+        if node.if_not_exists:
+            prefix += " IF NOT EXISTS"
+        return f"{prefix} {self.render(node.name)} ({columns})"
+
+    def _render_InsertStatement(self, node):
+        pieces = ["INSERT INTO", self.render(node.table)]
+        if node.columns:
+            pieces.append("(" + ", ".join(quote_identifier(c) for c in node.columns) + ")")
+        if node.query is not None:
+            pieces.append(self.render(node.query))
+        elif node.values:
+            rows = ", ".join(
+                "(" + ", ".join(self.render(v) for v in row) + ")" for row in node.values
+            )
+            pieces.append("VALUES " + rows)
+        return " ".join(pieces)
+
+    def _render_UpdateStatement(self, node):
+        pieces = ["UPDATE", self.render(node.table)]
+        if node.alias:
+            pieces.append(f"AS {quote_identifier(node.alias)}")
+        assignments = ", ".join(
+            f"{quote_identifier(column)} = {self.render(expression)}"
+            for column, expression in node.assignments
+        )
+        pieces.append("SET " + assignments)
+        if node.from_sources:
+            pieces.append("FROM " + ", ".join(self.render(s) for s in node.from_sources))
+        if node.where is not None:
+            pieces.append("WHERE " + self.render(node.where))
+        return " ".join(pieces)
+
+    def _render_DeleteStatement(self, node):
+        pieces = ["DELETE FROM", self.render(node.table)]
+        if node.alias:
+            pieces.append(f"AS {quote_identifier(node.alias)}")
+        if node.using_sources:
+            pieces.append("USING " + ", ".join(self.render(s) for s in node.using_sources))
+        if node.where is not None:
+            pieces.append("WHERE " + self.render(node.where))
+        return " ".join(pieces)
+
+    def _render_DropStatement(self, node):
+        pieces = ["DROP", node.object_type]
+        if node.if_exists:
+            pieces.append("IF EXISTS")
+        pieces.append(self.render(node.name))
+        if node.cascade:
+            pieces.append("CASCADE")
+        return " ".join(pieces)
+
+    # -- query expressions --------------------------------------------------
+    def _render_Select(self, node):
+        pieces = []
+        if node.ctes:
+            pieces.append(self._render_with(node.ctes, node.recursive))
+        pieces.append("SELECT")
+        if node.distinct:
+            if node.distinct_on:
+                pieces.append(
+                    "DISTINCT ON ("
+                    + ", ".join(self.render(e) for e in node.distinct_on)
+                    + ")"
+                )
+            else:
+                pieces.append("DISTINCT")
+        pieces.append(", ".join(self.render(p) for p in node.projections))
+        if node.from_sources:
+            pieces.append("FROM")
+            pieces.append(", ".join(self.render(s) for s in node.from_sources))
+        if node.where is not None:
+            pieces.append("WHERE " + self.render(node.where))
+        if node.group_by:
+            pieces.append("GROUP BY " + ", ".join(self.render(e) for e in node.group_by))
+        if node.having is not None:
+            pieces.append("HAVING " + self.render(node.having))
+        if node.windows:
+            rendered = ", ".join(
+                f"{quote_identifier(name)} AS ({self._render_window_body(spec)})"
+                for name, spec in node.windows
+            )
+            pieces.append("WINDOW " + rendered)
+        pieces.append(self._render_trailing(node))
+        return " ".join(piece for piece in pieces if piece)
+
+    def _render_SetOperation(self, node):
+        pieces = []
+        if node.ctes:
+            pieces.append(self._render_with(node.ctes, False))
+        operator = node.operator + (" ALL" if node.all else "")
+        left = self.render(node.left)
+        right = self.render(node.right)
+        if isinstance(node.right, ast.SetOperation):
+            right = f"({right})"
+        pieces.append(f"{left} {operator} {right}")
+        pieces.append(self._render_trailing(node))
+        return " ".join(piece for piece in pieces if piece)
+
+    def _render_with(self, ctes, recursive):
+        keyword = "WITH RECURSIVE" if recursive else "WITH"
+        rendered = []
+        for cte in ctes:
+            header = quote_identifier(cte.name)
+            if cte.column_names:
+                header += "(" + ", ".join(quote_identifier(c) for c in cte.column_names) + ")"
+            rendered.append(f"{header} AS ({self.render(cte.query)})")
+        return f"{keyword} " + ", ".join(rendered)
+
+    def _render_trailing(self, node):
+        pieces = []
+        if getattr(node, "order_by", None):
+            pieces.append(
+                "ORDER BY " + ", ".join(self.render(item) for item in node.order_by)
+            )
+        if getattr(node, "limit", None) is not None:
+            pieces.append("LIMIT " + self.render(node.limit))
+        if getattr(node, "offset", None) is not None:
+            pieces.append("OFFSET " + self.render(node.offset))
+        return " ".join(pieces)
+
+    def _render_CTE(self, node):
+        return f"{quote_identifier(node.name)} AS ({self.render(node.query)})"
+
+    def _render_Projection(self, node):
+        text = self.render(node.expression)
+        if node.alias:
+            text += f" AS {quote_identifier(node.alias)}"
+        return text
+
+    def _render_OrderByItem(self, node):
+        text = self.render(node.expression)
+        if node.descending:
+            text += " DESC"
+        if node.nulls:
+            text += f" NULLS {node.nulls}"
+        return text
+
+    # -- table sources --------------------------------------------------------
+    def _render_TableRef(self, node):
+        text = self.render(node.name)
+        if node.alias:
+            text += f" AS {quote_identifier(node.alias)}"
+            if node.column_aliases:
+                text += "(" + ", ".join(quote_identifier(c) for c in node.column_aliases) + ")"
+        return text
+
+    def _render_SubquerySource(self, node):
+        text = f"({self.render(node.query)})"
+        if node.lateral:
+            text = "LATERAL " + text
+        if node.alias:
+            text += f" AS {quote_identifier(node.alias)}"
+            if node.column_aliases:
+                text += "(" + ", ".join(quote_identifier(c) for c in node.column_aliases) + ")"
+        return text
+
+    def _render_ValuesSource(self, node):
+        rows = ", ".join(
+            "(" + ", ".join(self.render(v) for v in row) + ")" for row in node.rows
+        )
+        text = f"(VALUES {rows})"
+        if node.alias:
+            text += f" AS {quote_identifier(node.alias)}"
+            if node.column_aliases:
+                text += "(" + ", ".join(quote_identifier(c) for c in node.column_aliases) + ")"
+        return text
+
+    def _render_FunctionSource(self, node):
+        text = self.render(node.function)
+        if node.alias:
+            text += f" AS {quote_identifier(node.alias)}"
+            if node.column_aliases:
+                text += "(" + ", ".join(quote_identifier(c) for c in node.column_aliases) + ")"
+        return text
+
+    def _render_Join(self, node):
+        left = self.render(node.left)
+        right = self.render(node.right)
+        if node.join_type == "CROSS":
+            return f"{left} CROSS JOIN {right}"
+        keyword = "JOIN" if node.join_type == "INNER" else f"{node.join_type} JOIN"
+        if node.natural:
+            keyword = "NATURAL " + keyword
+        text = f"{left} {keyword} {right}"
+        if node.condition is not None:
+            text += f" ON {self.render(node.condition)}"
+        elif node.using_columns:
+            text += " USING (" + ", ".join(quote_identifier(c) for c in node.using_columns) + ")"
+        return text
+
+    # -- expressions --------------------------------------------------------
+    def _render_ColumnRef(self, node):
+        parts = list(node.qualifier) + [node.name]
+        return ".".join(quote_identifier(part) for part in parts)
+
+    def _render_Star(self, node):
+        if node.qualifier:
+            return ".".join(quote_identifier(part) for part in node.qualifier) + ".*"
+        return "*"
+
+    def _render_Literal(self, node):
+        if node.kind == "null":
+            return "NULL"
+        if node.kind == "boolean":
+            return "TRUE" if node.value else "FALSE"
+        if node.kind == "number":
+            return str(node.value)
+        if node.kind == "interval":
+            return f"INTERVAL {quote_literal(node.value)}"
+        return quote_literal(node.value)
+
+    def _render_Parameter(self, node):
+        return node.name
+
+    def _render_FunctionCall(self, node):
+        if (
+            node.name.lower() in ("current_date", "current_time", "current_timestamp")
+            and not node.args
+            and node.over is None
+            and node.filter_clause is None
+        ):
+            return node.name.upper()
+        if node.is_star_arg:
+            inner = "*"
+        else:
+            inner = ", ".join(self.render(a) for a in node.args)
+        if node.distinct:
+            inner = "DISTINCT " + inner
+        text = f"{node.name}({inner})"
+        if node.filter_clause is not None:
+            text += f" FILTER (WHERE {self.render(node.filter_clause)})"
+        if node.over is not None:
+            text += f" OVER ({self._render_window_body(node.over)})"
+        return text
+
+    def _render_window_body(self, spec):
+        pieces = []
+        if spec.name:
+            pieces.append(quote_identifier(spec.name))
+        if spec.partition_by:
+            pieces.append(
+                "PARTITION BY " + ", ".join(self.render(e) for e in spec.partition_by)
+            )
+        if spec.order_by:
+            pieces.append(
+                "ORDER BY " + ", ".join(self.render(i) for i in spec.order_by)
+            )
+        if spec.frame is not None:
+            pieces.append(f"{spec.frame.kind} {spec.frame.text}".strip())
+        return " ".join(pieces)
+
+    def _render_WindowSpec(self, node):
+        return self._render_window_body(node)
+
+    def _render_WindowFrame(self, node):
+        return f"{node.kind} {node.text}".strip()
+
+    def _render_BinaryOp(self, node):
+        left = self.render(node.left)
+        right = self.render(node.right)
+        if node.operator in ("AND", "OR"):
+            return f"({left} {node.operator} {right})"
+        return f"{left} {node.operator} {right}"
+
+    def _render_UnaryOp(self, node):
+        if node.operator == "NOT":
+            return f"NOT ({self.render(node.operand)})"
+        return f"{node.operator}{self.render(node.operand)}"
+
+    def _render_Case(self, node):
+        pieces = ["CASE"]
+        if node.operand is not None:
+            pieces.append(self.render(node.operand))
+        for when in node.whens:
+            pieces.append(f"WHEN {self.render(when.condition)} THEN {self.render(when.result)}")
+        if node.else_result is not None:
+            pieces.append(f"ELSE {self.render(node.else_result)}")
+        pieces.append("END")
+        return " ".join(pieces)
+
+    def _render_CaseWhen(self, node):
+        return f"WHEN {self.render(node.condition)} THEN {self.render(node.result)}"
+
+    def _render_Cast(self, node):
+        return f"CAST({self.render(node.operand)} AS {node.type_name})"
+
+    def _render_ExtractExpr(self, node):
+        return f"EXTRACT({node.part} FROM {self.render(node.operand)})"
+
+    def _render_SubqueryExpr(self, node):
+        return f"({self.render(node.query)})"
+
+    def _render_ExistsExpr(self, node):
+        prefix = "NOT EXISTS" if node.negated else "EXISTS"
+        return f"{prefix} ({self.render(node.query)})"
+
+    def _render_InExpr(self, node):
+        keyword = "NOT IN" if node.negated else "IN"
+        if node.query is not None:
+            return f"{self.render(node.operand)} {keyword} ({self.render(node.query)})"
+        values = ", ".join(self.render(v) for v in node.values)
+        return f"{self.render(node.operand)} {keyword} ({values})"
+
+    def _render_BetweenExpr(self, node):
+        keyword = "NOT BETWEEN" if node.negated else "BETWEEN"
+        return (
+            f"{self.render(node.operand)} {keyword} "
+            f"{self.render(node.low)} AND {self.render(node.high)}"
+        )
+
+    def _render_IsNullExpr(self, node):
+        keyword = "IS NOT NULL" if node.negated else "IS NULL"
+        return f"{self.render(node.operand)} {keyword}"
+
+    def _render_LikeExpr(self, node):
+        keyword = node.operator
+        if node.negated:
+            keyword = "NOT " + keyword
+        return f"{self.render(node.operand)} {keyword} {self.render(node.pattern)}"
+
+    def _render_ExpressionList(self, node):
+        return "(" + ", ".join(self.render(item) for item in node.items) + ")"

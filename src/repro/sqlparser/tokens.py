@@ -1,0 +1,181 @@
+"""Token definitions for the SQL lexer.
+
+A :class:`Token` is a small value object carrying the token type, the raw
+text, and its location in the source.  :class:`TokenType` enumerates the
+lexical categories the parser distinguishes.
+"""
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+
+class TokenType(Enum):
+    """Lexical categories produced by :class:`repro.sqlparser.lexer.Lexer`."""
+
+    KEYWORD = auto()        # reserved SQL keywords (SELECT, FROM, ...)
+    IDENTIFIER = auto()     # unquoted identifiers (table, column names)
+    QUOTED_IDENTIFIER = auto()  # "double quoted" identifiers
+    STRING = auto()         # 'single quoted' string literals
+    NUMBER = auto()         # integer and decimal literals
+    OPERATOR = auto()       # + - * / % = <> != < <= > >= || :: etc.
+    COMMA = auto()
+    DOT = auto()
+    LPAREN = auto()
+    RPAREN = auto()
+    SEMICOLON = auto()
+    STAR = auto()           # the * character (projection star or multiply)
+    PARAMETER = auto()      # positional ($1) or named (:name, %(name)s) params
+    COMMENT = auto()        # -- line comments and /* block comments */
+    EOF = auto()
+
+
+#: Reserved words recognised by the lexer.  Matching is case-insensitive; the
+#: lexer upper-cases keyword token values so the parser can compare directly.
+KEYWORDS = frozenset(
+    {
+        "ALL",
+        "AND",
+        "ANY",
+        "AS",
+        "ASC",
+        "BETWEEN",
+        "BY",
+        "CASE",
+        "CAST",
+        "CREATE",
+        "CROSS",
+        "CURRENT_DATE",
+        "CURRENT_TIME",
+        "CURRENT_TIMESTAMP",
+        "DELETE",
+        "DESC",
+        "DISTINCT",
+        "DROP",
+        "ELSE",
+        "END",
+        "EXCEPT",
+        "EXISTS",
+        "EXTRACT",
+        "FALSE",
+        "FETCH",
+        "FILTER",
+        "FIRST",
+        "FOLLOWING",
+        "FOR",
+        "FROM",
+        "FULL",
+        "GROUP",
+        "HAVING",
+        "IF",
+        "ILIKE",
+        "IN",
+        "INNER",
+        "INSERT",
+        "INTERSECT",
+        "INTERVAL",
+        "INTO",
+        "IS",
+        "JOIN",
+        "LAST",
+        "LATERAL",
+        "LEFT",
+        "LIKE",
+        "LIMIT",
+        "MATERIALIZED",
+        "NATURAL",
+        "NOT",
+        "NULL",
+        "NULLS",
+        "OFFSET",
+        "ON",
+        "OR",
+        "ORDER",
+        "OUTER",
+        "OVER",
+        "PARTITION",
+        "PRECEDING",
+        "PRIMARY",
+        "KEY",
+        "RANGE",
+        "RECURSIVE",
+        "REPLACE",
+        "RIGHT",
+        "ROW",
+        "ROWS",
+        "SELECT",
+        "SET",
+        "SIMILAR",
+        "SOME",
+        "TABLE",
+        "TEMP",
+        "TEMPORARY",
+        "THEN",
+        "TRUE",
+        "UNBOUNDED",
+        "UNION",
+        "UNIQUE",
+        "UPDATE",
+        "USING",
+        "VALUES",
+        "VIEW",
+        "WHEN",
+        "WHERE",
+        "WINDOW",
+        "WITH",
+        "WITHIN",
+    }
+)
+
+#: Multi-character operators, longest first so the lexer can greedily match.
+MULTI_CHAR_OPERATORS = (
+    "::",
+    "<=",
+    ">=",
+    "<>",
+    "!=",
+    "||",
+    "->>",
+    "->",
+    "#>>",
+    "#>",
+    "~*",
+    "!~*",
+    "!~",
+)
+
+#: Single-character operators.
+SINGLE_CHAR_OPERATORS = frozenset("+-/%=<>^~&|#")
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token.
+
+    Parameters
+    ----------
+    type:
+        The :class:`TokenType` of this token.
+    value:
+        The token text.  Keywords are upper-cased; identifiers preserve the
+        original casing (SQL identifier folding is applied later, by the
+        parser / name resolution code).
+    position:
+        0-based character offset of the first character in the source text.
+    line:
+        1-based line number.
+    column:
+        1-based column number.
+    """
+
+    type: TokenType
+    value: str
+    position: int = 0
+    line: int = 1
+    column: int = 1
+
+    def is_keyword(self, *names):
+        """Return True if this token is a keyword with one of ``names``."""
+        return self.type == TokenType.KEYWORD and self.value in names
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return f"Token({self.type.name}, {self.value!r})"

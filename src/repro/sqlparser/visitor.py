@@ -1,0 +1,124 @@
+"""Generic AST traversal utilities.
+
+The lineage extractor performs a post-order depth-first traversal of query
+ASTs (Section III of the paper); these helpers provide the reusable walking
+primitives, plus a few conveniences used across the code base.
+"""
+
+from . import ast_nodes as ast
+
+
+def walk(node):
+    """Yield ``node`` and every descendant in pre-order (root first)."""
+    if node is None:
+        return
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        yield current
+        children = list(current.children())
+        # push reversed so the leftmost child is yielded first
+        stack.extend(reversed(children))
+
+
+def walk_postorder(node):
+    """Yield every descendant of ``node`` in post-order (children first)."""
+    if node is None:
+        return
+    for child in node.children():
+        for descendant in walk_postorder(child):
+            yield descendant
+    yield node
+
+
+def find_all(node, node_type, stop_at=None):
+    """Find every descendant of ``node`` that is an instance of ``node_type``.
+
+    Parameters
+    ----------
+    node:
+        The root node to search from (inclusive).
+    node_type:
+        A node class or tuple of classes to match.
+    stop_at:
+        Optional class or tuple of classes; traversal does not descend *into*
+        nodes of these types (the matching node itself is still tested).  This
+        is how the extractor collects column references of a query block
+        without descending into its subqueries.
+    """
+    results = []
+    if node is None:
+        return results
+
+    def _visit(current):
+        if isinstance(current, node_type):
+            results.append(current)
+        if stop_at is not None and isinstance(current, stop_at) and current is not node:
+            return
+        for child in current.children():
+            _visit(child)
+
+    _visit(node)
+    return results
+
+
+def transform(node, function):
+    """Apply ``function`` to every node bottom-up and return the result.
+
+    ``function`` receives a node and must return a node (possibly the same
+    one).  Children are transformed before their parents.  Lists of child
+    nodes are rebuilt in place.
+    """
+    if node is None:
+        return None
+    from dataclasses import fields
+
+    for item in fields(node):
+        value = getattr(node, item.name)
+        if isinstance(value, ast.Node):
+            setattr(node, item.name, transform(value, function))
+        elif isinstance(value, list):
+            new_list = []
+            for element in value:
+                if isinstance(element, ast.Node):
+                    new_list.append(transform(element, function))
+                else:
+                    new_list.append(element)
+            setattr(node, item.name, new_list)
+    return function(node)
+
+
+def query_of(statement):
+    """Return the query expression embedded in a statement, if any."""
+    if isinstance(statement, (ast.Select, ast.SetOperation)):
+        return statement
+    if isinstance(statement, ast.QueryStatement):
+        return statement.query
+    if isinstance(statement, (ast.CreateView, ast.CreateTableAs)):
+        return statement.query
+    if isinstance(statement, ast.InsertStatement):
+        return statement.query
+    return None
+
+
+def created_name(statement):
+    """Return the object name a statement creates/populates, if any."""
+    if isinstance(statement, (ast.CreateView, ast.CreateTableAs, ast.CreateTable)):
+        return statement.name.dotted()
+    if isinstance(statement, ast.InsertStatement):
+        return statement.table.dotted()
+    return None
+
+
+def referenced_tables(query):
+    """Return the set of table names referenced anywhere under ``query``.
+
+    CTE names defined within the query are *not* excluded here; callers that
+    need only external references should subtract the CTE names themselves
+    (see :mod:`repro.core.extractor`).
+    """
+    names = set()
+    for node in walk(query):
+        if isinstance(node, ast.TableRef):
+            names.add(node.name.dotted())
+    return names

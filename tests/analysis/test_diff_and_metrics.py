@@ -1,0 +1,139 @@
+"""Tests for graph diffing and the accuracy metrics."""
+
+import pytest
+
+from repro.analysis.diff import diff_graphs
+from repro.analysis.metrics import (
+    MetricReport,
+    column_metrics,
+    edge_metrics,
+    impact_metrics,
+    set_metrics,
+)
+from repro.core.column_refs import ColumnName
+from repro.core.lineage import LineageGraph, TableLineage
+from repro.datasets import example1
+
+
+def small_graph(extra_column=False, wrong_edge=False):
+    graph = LineageGraph()
+    view = TableLineage(name="v")
+    view.add_contribution("x", ColumnName.of("t", "a"))
+    if extra_column:
+        view.add_output_column("y")
+    if wrong_edge:
+        view.add_contribution("x", ColumnName.of("t", "wrong"))
+    view.add_reference(ColumnName.of("t", "b"))
+    graph.add(view)
+    return graph
+
+
+class TestGraphDiff:
+    def test_identical_graphs(self):
+        diff = diff_graphs(small_graph(), small_graph())
+        assert diff.is_identical
+        assert diff.matching_edges
+
+    def test_extra_column_detected(self):
+        diff = diff_graphs(small_graph(extra_column=True), small_graph())
+        assert diff.extra_columns == {"v": {"y"}}
+        assert not diff.is_identical
+
+    def test_missing_column_detected(self):
+        diff = diff_graphs(small_graph(), small_graph(extra_column=True))
+        assert diff.missing_columns == {"v": {"y"}}
+
+    def test_extra_edge_detected(self):
+        diff = diff_graphs(small_graph(wrong_edge=True), small_graph())
+        assert any("t.wrong" in edge[0] for edge in diff.extra_edges)
+
+    def test_missing_relation_detected(self):
+        reference = small_graph()
+        reference.add(TableLineage(name="other"))
+        diff = diff_graphs(small_graph(), reference)
+        assert diff.missing_relations == {"other"}
+
+    def test_ignore_kind_collapses_edge_kinds(self):
+        candidate = small_graph()
+        reference = small_graph()
+        strict_diff = diff_graphs(candidate, reference, ignore_kind=False)
+        loose_diff = diff_graphs(candidate, reference, ignore_kind=True)
+        assert strict_diff.is_identical and loose_diff.is_identical
+
+    def test_summary_text(self):
+        summary = diff_graphs(small_graph(extra_column=True), small_graph()).summary()
+        assert "columns" in summary and "+1" in summary
+
+    def test_lineagex_vs_ground_truth_is_identical(self, example1_graph):
+        truth = example1.ground_truth()
+        diff = diff_graphs(example1_graph, truth)
+        assert not diff.missing_relations
+        assert not diff.missing_edges
+        assert not any(diff.missing_columns.values())
+        view_names = {"info", "webact", "webinfo"}
+        extra_view_edges = {
+            edge for edge in diff.extra_edges if edge[1].split(".")[0] in view_names
+        }
+        assert not extra_view_edges
+
+
+class TestMetricReport:
+    def test_perfect_scores(self):
+        report = MetricReport(true_positives=5, false_positives=0, false_negatives=0)
+        assert report.precision == 1.0
+        assert report.recall == 1.0
+        assert report.f1 == 1.0
+
+    def test_zero_denominators(self):
+        report = MetricReport(true_positives=0, false_positives=0, false_negatives=0)
+        assert report.precision == 1.0
+        assert report.recall == 1.0
+        assert report.f1 == 1.0  # vacuously perfect: nothing expected, nothing predicted
+
+    def test_precision_recall_values(self):
+        report = MetricReport(true_positives=3, false_positives=1, false_negatives=2)
+        assert report.precision == pytest.approx(0.75)
+        assert report.recall == pytest.approx(0.6)
+        assert report.f1 == pytest.approx(2 * 0.75 * 0.6 / 1.35)
+
+    def test_as_row(self):
+        row = MetricReport(3, 1, 2).as_row()
+        assert row[:3] == (3, 1, 2)
+        assert len(row) == 6
+
+    def test_set_metrics(self):
+        report = set_metrics({"a", "b"}, {"b", "c"})
+        assert (report.true_positives, report.false_positives, report.false_negatives) == (1, 1, 1)
+
+
+class TestGraphMetrics:
+    def test_edge_metrics_perfect_on_ground_truth(self, example1_graph):
+        report = edge_metrics(example1_graph, example1.ground_truth(), kinds=None)
+        # every ground-truth edge is found
+        assert report.recall == 1.0
+
+    def test_column_metrics_single_relation(self, example1_graph):
+        report = column_metrics(example1_graph, example1.ground_truth(), relation="webact")
+        assert report.precision == 1.0 and report.recall == 1.0
+
+    def test_column_metrics_all_relations(self, example1_graph):
+        report = column_metrics(example1_graph, example1.ground_truth())
+        assert report.recall == 1.0
+
+    def test_baseline_scores_below_lineagex(self, example1_graph):
+        from repro.baselines import SQLLineageBaseline
+
+        baseline_graph = SQLLineageBaseline().run(example1.QUERY_LOG)
+        truth = example1.ground_truth()
+        lineagex_edges = edge_metrics(example1_graph, truth)
+        baseline_edges = edge_metrics(baseline_graph, truth)
+        assert baseline_edges.recall < lineagex_edges.recall
+        baseline_columns = column_metrics(baseline_graph, truth, relation="webact")
+        assert baseline_columns.precision < 1.0
+
+    def test_impact_metrics(self):
+        predicted = {ColumnName.of("a", "x")}
+        expected = {ColumnName.of("a", "x"), ColumnName.of("b", "y")}
+        report = impact_metrics(predicted, expected)
+        assert report.recall == 0.5
+        assert report.precision == 1.0

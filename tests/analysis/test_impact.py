@@ -1,0 +1,128 @@
+"""Tests for the impact analysis (the demonstration's Steps 3-4)."""
+
+import pytest
+
+from repro.analysis.impact import (
+    explore,
+    downstream_columns,
+    impact_analysis,
+    impact_report,
+    upstream_columns,
+)
+from repro.core.column_refs import ColumnName
+from repro.core.lineage import EDGE_BOTH, EDGE_CONTRIBUTE, EDGE_REFERENCE
+from repro.datasets import example1
+
+
+def names(columns):
+    return {str(column) for column in columns}
+
+
+class TestExample1Impact:
+    """Step 4 of the demonstration: the impact of editing ``web.page``."""
+
+    def test_full_impact_set_matches_paper(self, example1_graph):
+        result = impact_analysis(example1_graph, "web.page")
+        assert names(result.all_columns) == example1.IMPACT_OF_WEB_PAGE
+
+    def test_wpage_is_directly_contributed(self, example1_graph):
+        result = impact_analysis(example1_graph, "web.page")
+        assert result.kind_of(ColumnName.of("webinfo", "wpage")) in (
+            EDGE_CONTRIBUTE,
+            EDGE_BOTH,
+        )
+
+    def test_webact_columns_reached_through_set_operation(self, example1_graph):
+        result = impact_analysis(example1_graph, "web.page")
+        for column in ("wcid", "wdate", "wreg"):
+            kind = result.kind_of(ColumnName.of("webact", column))
+            assert kind in (EDGE_REFERENCE, EDGE_BOTH)
+
+    def test_webact_wpage_is_both(self, example1_graph):
+        # contributed positionally by the INTERSECT and referenced by the row
+        # comparison -> "both" (the orange highlighting of Figure 5).
+        result = impact_analysis(example1_graph, "web.page")
+        assert result.kind_of(ColumnName.of("webact", "wpage")) == EDGE_BOTH
+
+    def test_info_columns_all_impacted(self, example1_graph):
+        result = impact_analysis(example1_graph, "web.page")
+        info_columns = {c for c in result.all_columns if c.table == "info"}
+        assert len(info_columns) == 7
+
+    def test_impacted_tables(self, example1_graph):
+        result = impact_analysis(example1_graph, "web.page")
+        assert result.impacted_tables() == ["info", "webact", "webinfo"]
+
+    def test_impact_of_web_date_also_covers_webinfo_filter(self, example1_graph):
+        # web.date is used in webinfo's WHERE clause -> every webinfo column
+        # is impacted, and everything downstream of webinfo follows.
+        result = impact_analysis(example1_graph, "web.date")
+        assert names(result.all_columns) >= {
+            "webinfo.wcid", "webinfo.wdate", "webinfo.wpage", "webinfo.wreg",
+        }
+
+    def test_unused_column_has_no_impact(self, example1_with_catalog):
+        result = impact_analysis(example1_with_catalog.graph, "orders.amount")
+        assert result.all_columns == set()
+
+    def test_unknown_start_column_is_empty(self, example1_graph):
+        result = impact_analysis(example1_graph, "nowhere.nothing")
+        assert result.all_columns == set()
+
+    def test_rows_are_sorted_and_labelled(self, example1_graph):
+        rows = impact_analysis(example1_graph, "web.page").to_rows()
+        assert rows == sorted(rows)
+        assert all(kind in (EDGE_CONTRIBUTE, EDGE_REFERENCE, EDGE_BOTH) for _, _, kind in rows)
+
+    def test_report_text(self, example1_graph):
+        text = impact_report(example1_graph, "web.page")
+        assert "webinfo.wpage" in text
+        assert "impacted tables" in text
+
+
+class TestDirections:
+    def test_downstream_vs_upstream(self, example1_graph):
+        downstream = downstream_columns(example1_graph, "web.page")
+        upstream = upstream_columns(example1_graph, "info.wpage")
+        assert ColumnName.of("info", "wpage") in downstream
+        assert ColumnName.of("web", "page") in upstream
+
+    def test_upstream_of_view_column_reaches_base_tables(self, example1_graph):
+        upstream = upstream_columns(example1_graph, "info.name")
+        assert ColumnName.of("customers", "name") in upstream
+
+    def test_invalid_direction_raises(self, example1_graph):
+        with pytest.raises(ValueError):
+            impact_analysis(example1_graph, "web.page", direction="sideways")
+
+    def test_upstream_is_inverse_reachability(self, example1_graph):
+        # if Y is downstream of X then X is upstream of Y
+        downstream = downstream_columns(example1_graph, "web.page")
+        for column in downstream:
+            assert ColumnName.of("web", "page") in upstream_columns(
+                example1_graph, column
+            )
+
+
+class TestExplore:
+    """Step 3 of the demonstration: explore reveals adjacent tables."""
+
+    def test_first_explore_from_web(self, example1_graph):
+        upstream, downstream = explore(example1_graph, "web")
+        assert downstream == {"webinfo", "webact"}
+        assert upstream == set()
+
+    def test_second_explore_reaches_info(self, example1_graph):
+        _, downstream = explore(example1_graph, "web", hops=2)
+        assert downstream == {"webinfo", "webact", "info"}
+
+    def test_info_has_no_downstream(self, example1_graph):
+        _, downstream = explore(example1_graph, "info")
+        assert downstream == set()
+
+    def test_upstream_of_info(self, example1_graph):
+        upstream, _ = explore(example1_graph, "info")
+        assert upstream == {"customers", "orders", "webact"}
+
+    def test_unknown_table(self, example1_graph):
+        assert explore(example1_graph, "ghost") == (set(), set())

@@ -1,0 +1,85 @@
+"""Tests for dependency ordering and warehouse hygiene reports."""
+
+import pytest
+
+from repro.analysis.ordering import (
+    creation_order,
+    drop_order,
+    migration_script,
+    root_tables,
+    terminal_views,
+    unused_base_columns,
+)
+from repro.core.runner import lineagex
+from repro.datasets import example1, retail
+
+
+class TestCreationOrder:
+    def test_example1_dependencies_first(self, example1_graph):
+        order = creation_order(example1_graph)
+        assert order.index("webinfo") < order.index("webact") < order.index("info")
+
+    def test_only_views_listed(self, example1_graph):
+        order = creation_order(example1_graph)
+        assert set(order) == {"info", "webact", "webinfo"}
+
+    def test_drop_order_is_reverse(self, example1_graph):
+        assert drop_order(example1_graph) == list(reversed(creation_order(example1_graph)))
+
+    def test_retail_staging_before_marts(self, retail_result):
+        order = creation_order(retail_result.graph)
+        assert order.index("stg_order_items") < order.index("order_revenue")
+        assert order.index("order_revenue") < order.index("customer_ltv")
+        assert set(order) == set(retail.ALL_VIEW_NAMES)
+
+    def test_replaying_migration_script_gives_same_lineage(self, retail_result):
+        script = migration_script(retail_result.graph)
+        replayed = lineagex(retail.BASE_TABLE_DDL + script)
+        # the replay is already in dependency order: no deferrals needed
+        assert replayed.report.deferral_count == 0
+        assert {v.name for v in replayed.graph.views} == {
+            v.name for v in retail_result.graph.views
+        }
+
+    def test_migration_script_statements_end_with_semicolons(self, example1_graph):
+        script = migration_script(example1_graph)
+        assert script.count("CREATE") == 3
+        assert script.strip().endswith(";")
+
+
+class TestHygieneReports:
+    def test_terminal_views_example1(self, example1_graph):
+        assert terminal_views(example1_graph) == ["info"]
+
+    def test_terminal_views_retail_include_reports(self, retail_result):
+        terminals = terminal_views(retail_result.graph)
+        assert "churn_candidates" in terminals
+        assert "top_pages" in terminals
+        assert "stg_orders" not in terminals
+
+    def test_root_tables(self, example1_graph):
+        assert root_tables(example1_graph) == ["customers", "orders", "web"]
+
+    def test_unused_base_columns_example1(self, example1_with_catalog):
+        report = unused_base_columns(
+            example1_with_catalog.graph, example1.base_table_catalog()
+        )
+        assert report == {"orders": ["amount"]}
+
+    def test_unused_base_columns_retail(self, retail_result):
+        report = unused_base_columns(retail_result.graph, retail.base_table_catalog())
+        # the addresses table is never read by any view in the pipeline
+        assert set(report.get("addresses", [])) == {
+            "aid", "cid", "street", "city", "postal_code", "country",
+        }
+
+    def test_every_unused_column_is_really_unused(self, retail_result):
+        from repro.analysis.impact import downstream_columns
+        from repro.core.column_refs import ColumnName
+
+        report = unused_base_columns(retail_result.graph, retail.base_table_catalog())
+        for table, columns in report.items():
+            for column in columns:
+                assert not downstream_columns(
+                    retail_result.graph, ColumnName.of(table, column)
+                )

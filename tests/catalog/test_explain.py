@@ -1,0 +1,162 @@
+"""Tests for the EXPLAIN simulator (database-connection substrate)."""
+
+import pytest
+
+from repro.catalog import Catalog, ExplainSimulator, UndefinedTableError
+from repro.catalog.provider import StrictCatalogProvider
+from repro.datasets import example1
+
+
+@pytest.fixture
+def catalog():
+    return example1.base_table_catalog()
+
+
+@pytest.fixture
+def simulator(catalog):
+    return ExplainSimulator(catalog)
+
+
+class TestBasicPlans:
+    def test_seq_scan_plan(self, simulator):
+        plan = simulator.explain("SELECT cid, name FROM customers")
+        assert plan.node_type == "Seq Scan"
+        assert plan.relation == "customers"
+        assert plan.output == ["cid, name"] or plan.output  # output recorded
+
+    def test_missing_relation_raises_undefined_table(self, simulator):
+        with pytest.raises(UndefinedTableError) as excinfo:
+            simulator.explain("SELECT a FROM not_a_table")
+        assert excinfo.value.name == "not_a_table"
+
+    def test_join_plan_structure(self, simulator):
+        plan = simulator.explain(
+            "SELECT c.name, o.oid FROM customers c JOIN orders o ON c.cid = o.cid"
+        )
+        assert plan.node_type == "Hash Join"
+        assert "Hash Cond" in plan.details
+        scans = plan.scans()
+        assert {scan.relation for scan in scans} == {"customers", "orders"}
+
+    def test_left_join_node_type(self, simulator):
+        plan = simulator.explain(
+            "SELECT c.name FROM customers c LEFT JOIN orders o ON c.cid = o.cid"
+        )
+        assert plan.node_type == "Hash Left Join"
+
+    def test_filter_node(self, simulator):
+        plan = simulator.explain("SELECT cid FROM web WHERE page = 'home'")
+        assert plan.node_type == "Filter"
+        assert plan.children[0].node_type == "Seq Scan"
+
+    def test_aggregate_node(self, simulator):
+        plan = simulator.explain(
+            "SELECT cid, count(*) FROM orders GROUP BY cid HAVING count(*) > 1"
+        )
+        assert plan.node_type == "HashAggregate"
+        assert "Group Key" in plan.details
+        assert "Having" in plan.details
+
+    def test_sort_and_limit(self, simulator):
+        plan = simulator.explain("SELECT cid FROM orders ORDER BY cid LIMIT 3")
+        assert plan.node_type == "Limit"
+        assert plan.children[0].node_type == "Sort"
+
+    def test_distinct_unique_node(self, simulator):
+        plan = simulator.explain("SELECT DISTINCT cid FROM orders")
+        assert plan.node_type == "Unique"
+
+    def test_window_aggregate_node(self, simulator):
+        plan = simulator.explain(
+            "SELECT cid, row_number() OVER (ORDER BY oid) FROM orders"
+        )
+        assert plan.node_type == "WindowAgg"
+
+    def test_set_operation_node(self, simulator):
+        plan = simulator.explain(
+            "SELECT cid FROM customers INTERSECT SELECT cid FROM web"
+        )
+        assert plan.node_type == "HashSetOp Intersect"
+        assert len(plan.children) == 2
+
+    def test_union_all_append_node(self, simulator):
+        plan = simulator.explain(
+            "SELECT cid FROM customers UNION ALL SELECT cid FROM web"
+        )
+        assert plan.node_type == "Append"
+
+    def test_cte_scan(self, simulator):
+        plan = simulator.explain(
+            "WITH recent AS (SELECT cid FROM orders) SELECT cid FROM recent"
+        )
+        node_types = {node.node_type for node in plan.walk()}
+        assert "CTE Scan" in node_types
+        assert "CTE" in node_types
+
+    def test_subquery_scan(self, simulator):
+        plan = simulator.explain("SELECT s.cid FROM (SELECT cid FROM orders) s")
+        node_types = {node.node_type for node in plan.walk()}
+        assert "Subquery Scan" in node_types
+
+    def test_values_scan(self, simulator):
+        plan = simulator.explain("SELECT v.a FROM (VALUES (1), (2)) AS v(a)")
+        assert "Values Scan" in {node.node_type for node in plan.walk()}
+
+    def test_plan_text_format(self, simulator):
+        text = simulator.explain_text(
+            "SELECT c.name FROM customers c JOIN orders o ON c.cid = o.cid WHERE c.age > 30"
+        )
+        assert "Hash Join" in text
+        assert "->" in text
+        assert "Seq Scan on customers" in text
+
+
+class TestViewLifecycle:
+    def test_create_view_registers_schema(self, simulator, catalog):
+        simulator.create_view("adults", "SELECT cid, name FROM customers WHERE age >= 18")
+        assert catalog.get("adults").is_view is True
+        assert catalog.columns_of("adults") == ["cid", "name"]
+
+    def test_view_scan_by_default(self, simulator):
+        simulator.create_view("adults", "SELECT cid, name FROM customers WHERE age >= 18")
+        plan = simulator.explain("SELECT name FROM adults")
+        assert "View Scan" in {node.node_type for node in plan.walk()}
+
+    def test_inline_views_option_expands_definition(self, catalog):
+        simulator = ExplainSimulator(catalog, inline_views=True)
+        simulator.create_view("adults", "SELECT cid, name FROM customers WHERE age >= 18")
+        plan = simulator.explain("SELECT name FROM adults")
+        relations = plan.relations()
+        assert "customers" in relations
+
+    def test_view_over_missing_dependency_raises(self, simulator):
+        with pytest.raises(UndefinedTableError):
+            simulator.create_view("bad", "SELECT x FROM missing_table")
+
+    def test_create_view_star_expansion_uses_catalog(self, simulator, catalog):
+        simulator.create_view("web_copy", "SELECT w.* FROM web w")
+        assert catalog.columns_of("web_copy") == ["cid", "date", "page", "reg"]
+
+    def test_drop_view(self, simulator, catalog):
+        simulator.create_view("tmp", "SELECT cid FROM customers")
+        simulator.drop_view("tmp")
+        assert "tmp" not in catalog
+
+    def test_example1_views_in_dependency_order(self, simulator, catalog):
+        simulator.create_view("webinfo", example1.Q3.split("AS", 1)[1])
+        simulator.create_view("webact", example1.Q2.split("AS", 1)[1])
+        simulator.create_view("info", example1.Q1.split("AS", 1)[1])
+        assert catalog.columns_of("info") == [
+            "name", "age", "oid", "wcid", "wdate", "wpage", "wreg",
+        ]
+
+
+class TestStrictProvider:
+    def test_known_relation_columns(self, catalog):
+        provider = StrictCatalogProvider(catalog)
+        assert provider.get_columns("web") == ["cid", "date", "page", "reg"]
+
+    def test_missing_relation_raises(self, catalog):
+        provider = StrictCatalogProvider(catalog)
+        with pytest.raises(UndefinedTableError):
+            provider.get_columns("missing")

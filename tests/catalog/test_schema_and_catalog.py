@@ -1,0 +1,194 @@
+"""Tests for schema objects, the in-memory catalog, and DDL introspection."""
+
+import pytest
+
+from repro.catalog import (
+    Catalog,
+    ColumnSchema,
+    DuplicateTableError,
+    TableSchema,
+    UndefinedTableError,
+    catalog_from_sql,
+)
+
+
+class TestColumnSchema:
+    def test_name_is_normalised(self):
+        assert ColumnSchema(name="OID").name == "oid"
+
+    def test_defaults(self):
+        column = ColumnSchema(name="x")
+        assert column.type_name == "text"
+        assert column.nullable is True
+
+    def test_to_dict(self):
+        payload = ColumnSchema(name="x", type_name="integer", nullable=False).to_dict()
+        assert payload == {
+            "name": "x",
+            "type": "integer",
+            "nullable": False,
+            "description": "",
+        }
+
+
+class TestTableSchema:
+    def test_columns_from_tuples(self):
+        table = TableSchema(name="t", columns=[("a", "integer"), ("b", "text")])
+        assert table.column_names() == ["a", "b"]
+        assert table.column("a").type_name == "integer"
+
+    def test_columns_from_strings(self):
+        table = TableSchema(name="t", columns=["a", "b"])
+        assert table.column_names() == ["a", "b"]
+
+    def test_name_normalised(self):
+        assert TableSchema(name="Public.Orders").name == "public.orders"
+
+    def test_has_column_case_insensitive(self):
+        table = TableSchema(name="t", columns=["Amount"])
+        assert table.has_column("AMOUNT")
+        assert not table.has_column("missing")
+
+    def test_add_column_idempotent(self):
+        table = TableSchema(name="t", columns=["a"])
+        table.add_column("a")
+        table.add_column("b", type_name="integer")
+        assert table.column_names() == ["a", "b"]
+
+    def test_ddl_rendering(self):
+        table = TableSchema(name="t", columns=[("a", "integer"), ("b", "text")])
+        ddl = table.ddl()
+        assert ddl.startswith("CREATE TABLE t")
+        assert "a integer" in ddl
+
+
+class TestCatalog:
+    def test_create_and_lookup(self):
+        catalog = Catalog()
+        catalog.create_table("orders", [("oid", "integer"), ("cid", "integer")])
+        assert "orders" in catalog
+        assert catalog.columns_of("orders") == ["oid", "cid"]
+
+    def test_lookup_is_case_insensitive(self):
+        catalog = Catalog()
+        catalog.create_table("Orders", ["oid"])
+        assert catalog.get("ORDERS") is not None
+
+    def test_search_path_resolution(self):
+        catalog = Catalog(search_path=("analytics", "public"))
+        catalog.create_table("analytics.daily", ["d"])
+        assert catalog.resolve_name("daily") == "analytics.daily"
+        assert catalog["daily"].column_names() == ["d"]
+
+    def test_qualified_lookup_falls_back_to_bare_name(self):
+        catalog = Catalog()
+        catalog.create_table("orders", ["oid"])
+        assert catalog.get("public.orders") is not None
+
+    def test_duplicate_registration_raises(self):
+        catalog = Catalog()
+        catalog.create_table("t", ["a"])
+        with pytest.raises(DuplicateTableError):
+            catalog.create_table("t", ["b"])
+
+    def test_replace_allows_redefinition(self):
+        catalog = Catalog()
+        catalog.create_table("t", ["a"])
+        catalog.create_table("t", ["b"], replace=True)
+        assert catalog.columns_of("t") == ["b"]
+
+    def test_missing_relation_raises(self):
+        catalog = Catalog()
+        with pytest.raises(UndefinedTableError):
+            catalog["nope"]
+
+    def test_drop_table(self):
+        catalog = Catalog()
+        catalog.create_table("t", ["a"])
+        assert catalog.drop_table("t") is True
+        assert "t" not in catalog
+
+    def test_drop_missing_without_if_exists_raises(self):
+        catalog = Catalog()
+        with pytest.raises(UndefinedTableError):
+            catalog.drop_table("nope")
+
+    def test_drop_missing_with_if_exists(self):
+        assert Catalog().drop_table("nope", if_exists=True) is False
+
+    def test_views_and_base_tables_partition(self):
+        catalog = Catalog()
+        catalog.create_table("t", ["a"])
+        catalog.create_table("v", ["a"], is_view=True)
+        assert [t.name for t in catalog.base_tables()] == ["t"]
+        assert [v.name for v in catalog.views()] == ["v"]
+
+    def test_copy_is_independent(self):
+        catalog = Catalog()
+        catalog.create_table("t", ["a"])
+        clone = catalog.copy()
+        clone.create_table("u", ["b"])
+        assert "u" not in catalog
+        assert "t" in clone
+
+    def test_round_trip_through_dict(self):
+        catalog = Catalog()
+        catalog.create_table("t", [("a", "integer")])
+        rebuilt = Catalog.from_dict(catalog.to_dict())
+        assert rebuilt.columns_of("t") == ["a"]
+
+    def test_ddl_script_contains_base_tables_only(self):
+        catalog = Catalog()
+        catalog.create_table("t", ["a"])
+        catalog.create_table("v", ["b"], is_view=True)
+        script = catalog.ddl_script()
+        assert "CREATE TABLE t" in script
+        assert "v" not in script.replace("CREATE TABLE t", "")
+
+
+class TestIntrospection:
+    def test_catalog_from_create_table_sql(self):
+        catalog = catalog_from_sql(
+            "CREATE TABLE web (cid integer, page varchar(255) NOT NULL);"
+            "CREATE TABLE customers (cid integer, name text);"
+        )
+        assert sorted(catalog.relation_names()) == ["customers", "web"]
+        assert catalog.columns_of("web") == ["cid", "page"]
+
+    def test_not_null_detection(self):
+        catalog = catalog_from_sql("CREATE TABLE t (a integer NOT NULL, b text)")
+        table = catalog.get("t")
+        assert table.column("a").nullable is False
+        assert table.column("b").nullable is True
+
+    def test_drop_statements_remove_tables(self):
+        catalog = catalog_from_sql(
+            "CREATE TABLE t (a integer); DROP TABLE t; CREATE TABLE u (b integer)"
+        )
+        assert "t" not in catalog
+        assert "u" in catalog
+
+    def test_non_ddl_statements_ignored(self):
+        catalog = catalog_from_sql(
+            "CREATE TABLE t (a integer); CREATE VIEW v AS SELECT a FROM t"
+        )
+        assert "t" in catalog
+        assert "v" not in catalog
+
+    def test_retail_ddl_introspection(self):
+        from repro.datasets import retail
+
+        catalog = catalog_from_sql(retail.BASE_TABLE_DDL)
+        assert len(catalog.relation_names()) == 8
+        assert "line_total" not in catalog.columns_of("order_items")
+        assert catalog.columns_of("order_items") == [
+            "oid", "pid", "quantity", "unit_price", "discount",
+        ]
+
+    def test_mimic_ddl_matches_declared_schema(self):
+        from repro.datasets import mimic
+
+        catalog = catalog_from_sql(mimic.base_table_ddl())
+        assert len(catalog.relation_names()) == len(mimic.BASE_TABLES)
+        for table, columns in mimic.BASE_TABLES.items():
+            assert catalog.columns_of(table) == columns

@@ -1,0 +1,46 @@
+"""Shared fixtures for the test suite.
+
+Expensive end-to-end extractions (Example 1, the retail warehouse, the
+synthetic MIMIC warehouse) are computed once per session and shared across
+test modules.
+"""
+
+import pytest
+
+from repro.core.runner import lineagex
+from repro.datasets import example1, mimic, retail, workload
+
+
+@pytest.fixture(scope="session")
+def example1_result():
+    """LineageX output for the paper's Example 1 (paper statement order)."""
+    return lineagex(example1.QUERY_LOG)
+
+
+@pytest.fixture(scope="session")
+def example1_graph(example1_result):
+    return example1_result.graph
+
+
+@pytest.fixture(scope="session")
+def example1_with_catalog():
+    """Example 1 with the base-table catalog supplied (exact metadata)."""
+    return lineagex(example1.QUERY_LOG, catalog=example1.base_table_catalog())
+
+
+@pytest.fixture(scope="session")
+def retail_result():
+    """LineageX output for the retail warehouse (DDL + staging + marts)."""
+    return lineagex(retail.FULL_SCRIPT)
+
+
+@pytest.fixture(scope="session")
+def mimic_result():
+    """LineageX output for the synthetic MIMIC warehouse (shuffled order)."""
+    return lineagex(mimic.full_script(shuffle_seed=11))
+
+
+@pytest.fixture(scope="session")
+def small_warehouse():
+    """A small deterministic generated warehouse."""
+    return workload.generate_warehouse(num_base_tables=4, num_views=12, seed=5)

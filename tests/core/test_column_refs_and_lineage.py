@@ -1,0 +1,193 @@
+"""Tests for ColumnName and the TableLineage / LineageGraph data model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.column_refs import ColumnName
+from repro.core.lineage import (
+    EDGE_BOTH,
+    EDGE_CONTRIBUTE,
+    EDGE_REFERENCE,
+    ColumnEdge,
+    LineageGraph,
+    TableLineage,
+)
+
+
+class TestColumnName:
+    def test_of_normalises(self):
+        name = ColumnName.of("Web", "Page")
+        assert name.table == "web"
+        assert name.column == "page"
+
+    def test_parse_two_parts(self):
+        assert ColumnName.parse("web.page") == ColumnName.of("web", "page")
+
+    def test_parse_three_parts(self):
+        name = ColumnName.parse("public.web.page")
+        assert name.table == "public.web"
+        assert name.column == "page"
+
+    def test_parse_rejects_unqualified(self):
+        with pytest.raises(ValueError):
+            ColumnName.parse("page")
+
+    def test_dotted_and_str(self):
+        name = ColumnName.of("web", "page")
+        assert name.dotted() == "web.page"
+        assert str(name) == "web.page"
+
+    def test_hashable_and_ordered(self):
+        a = ColumnName.of("a", "x")
+        b = ColumnName.of("b", "x")
+        assert len({a, b, ColumnName.of("a", "x")}) == 2
+        assert sorted([b, a]) == [a, b]
+
+    @given(
+        st.sampled_from(["web", "orders", "Customers", "Public.Orders"]),
+        st.sampled_from(["page", "OID", "Name"]),
+    )
+    def test_round_trip_through_parse(self, table, column):
+        name = ColumnName.of(table, column)
+        assert ColumnName.parse(str(name)) == name
+
+
+class TestTableLineage:
+    def make_webinfo(self):
+        lineage = TableLineage(name="webinfo")
+        lineage.add_contribution("wpage", ColumnName.of("web", "page"))
+        lineage.add_contribution("wcid", ColumnName.of("customers", "cid"))
+        lineage.add_reference(ColumnName.of("web", "cid"))
+        lineage.add_reference(ColumnName.of("customers", "cid"))
+        return lineage
+
+    def test_output_columns_preserve_order_without_duplicates(self):
+        lineage = TableLineage(name="v")
+        lineage.add_output_column("a")
+        lineage.add_output_column("b")
+        lineage.add_output_column("a")
+        assert lineage.output_columns == ["a", "b"]
+
+    def test_contributions_accumulate(self):
+        lineage = TableLineage(name="v")
+        lineage.add_contribution("x", ColumnName.of("t", "a"))
+        lineage.add_contribution("x", ColumnName.of("u", "b"))
+        assert lineage.contributions["x"] == {
+            ColumnName.of("t", "a"),
+            ColumnName.of("u", "b"),
+        }
+
+    def test_source_tables_tracked(self):
+        lineage = self.make_webinfo()
+        assert lineage.source_tables == {"web", "customers"}
+
+    def test_both_columns(self):
+        lineage = self.make_webinfo()
+        assert lineage.both_columns == {ColumnName.of("customers", "cid")}
+
+    def test_referenced_only_columns(self):
+        lineage = self.make_webinfo()
+        assert lineage.referenced_only_columns == {ColumnName.of("web", "cid")}
+
+    def test_edges_include_reference_fanout(self):
+        lineage = self.make_webinfo()
+        edges = list(lineage.edges())
+        # web.cid is referenced-only -> one reference edge per output column
+        reference_targets = {
+            edge.target.column
+            for edge in edges
+            if edge.source == ColumnName.of("web", "cid")
+        }
+        assert reference_targets == {"wpage", "wcid"}
+
+    def test_contribute_and_reference_merge_to_both(self):
+        lineage = self.make_webinfo()
+        kinds = {
+            (str(edge.source), str(edge.target)): edge.kind for edge in lineage.edges()
+        }
+        assert kinds[("customers.cid", "webinfo.wcid")] == EDGE_BOTH
+        assert kinds[("web.page", "webinfo.wpage")] == EDGE_CONTRIBUTE
+        assert kinds[("web.cid", "webinfo.wpage")] == EDGE_REFERENCE
+
+    def test_to_dict_shape(self):
+        payload = self.make_webinfo().to_dict()
+        assert payload["name"] == "webinfo"
+        assert payload["columns"] == ["wpage", "wcid"]
+        assert payload["column_lineage"]["wpage"] == ["web.page"]
+        assert "customers.cid" in payload["referenced_columns"]
+
+    def test_column_names_qualified(self):
+        lineage = self.make_webinfo()
+        assert ColumnName.of("webinfo", "wpage") in lineage.column_names()
+
+
+class TestLineageGraph:
+    def build(self):
+        graph = LineageGraph()
+        view = TableLineage(name="v")
+        view.add_contribution("x", ColumnName.of("t", "a"))
+        view.add_reference(ColumnName.of("t", "b"))
+        graph.add(view)
+        graph.register_usage(ColumnName.of("t", "a"))
+        graph.register_usage(ColumnName.of("t", "b"))
+        return graph
+
+    def test_contains_and_getitem(self):
+        graph = self.build()
+        assert "v" in graph
+        assert graph["v"].name == "v"
+        assert graph.get("missing") is None
+
+    def test_views_and_base_tables(self):
+        graph = self.build()
+        assert [entry.name for entry in graph.views] == ["v"]
+        assert [entry.name for entry in graph.base_tables] == ["t"]
+
+    def test_register_usage_accumulates_columns(self):
+        graph = self.build()
+        assert graph.columns_of("t") == ["a", "b"]
+
+    def test_register_usage_does_not_touch_views(self):
+        graph = self.build()
+        graph.register_usage(ColumnName.of("t", "c"))
+        assert graph.columns_of("t") == ["a", "b", "c"]
+        assert graph.columns_of("v") == ["x"]
+
+    def test_table_edges(self):
+        graph = self.build()
+        assert list(graph.table_edges()) == [("t", "v")]
+
+    def test_edge_filters(self):
+        graph = self.build()
+        contribute = list(graph.contribution_edges())
+        reference = list(graph.reference_edges())
+        assert all(edge.kind in (EDGE_CONTRIBUTE, EDGE_BOTH) for edge in contribute)
+        assert all(edge.kind in (EDGE_REFERENCE, EDGE_BOTH) for edge in reference)
+
+    def test_stats_counts(self):
+        stats = self.build().stats()
+        assert stats["num_views"] == 1
+        assert stats["num_base_tables"] == 1
+        assert stats["num_view_columns"] == 1
+        assert stats["num_column_edges"] == 2
+
+    def test_round_trip_through_dict(self):
+        graph = self.build()
+        rebuilt = LineageGraph.from_dict(graph.to_dict())
+        assert {entry.name for entry in rebuilt} == {entry.name for entry in graph}
+        assert sorted(map(str, rebuilt["v"].referenced)) == sorted(
+            map(str, graph["v"].referenced)
+        )
+        assert [
+            (str(e.source), str(e.target), e.kind) for e in rebuilt.edges()
+        ] == [(str(e.source), str(e.target), e.kind) for e in graph.edges()]
+
+    def test_len_and_iter(self):
+        graph = self.build()
+        assert len(graph) == 2
+        assert {entry.name for entry in graph} == {"v", "t"}
+
+    def test_column_edge_ordering(self):
+        edge_a = ColumnEdge(ColumnName.of("a", "x"), ColumnName.of("b", "y"))
+        edge_b = ColumnEdge(ColumnName.of("a", "x"), ColumnName.of("b", "z"))
+        assert sorted([edge_b, edge_a])[0] == edge_a

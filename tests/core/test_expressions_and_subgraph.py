@@ -1,0 +1,82 @@
+"""Tests for the per-column expression capture and graph subgraph extraction."""
+
+import json
+
+import pytest
+
+from repro.core.runner import lineagex
+from repro.datasets import example1
+from repro.output import graph_from_json, graph_to_json
+
+
+class TestColumnExpressions:
+    def test_simple_projection_expressions(self, example1_graph):
+        assert example1_graph["webinfo"].expressions == {
+            "wcid": "c.cid",
+            "wdate": "w.date",
+            "wpage": "w.page",
+            "wreg": "w.reg",
+        }
+
+    def test_computed_expression_text(self):
+        result = lineagex(
+            "CREATE VIEW v AS SELECT t.a * t.b AS area, CAST(t.c AS text) AS c_text FROM t"
+        )
+        expressions = result.graph["v"].expressions
+        assert expressions["area"] == "t.a * t.b"
+        assert expressions["c_text"] == "CAST(t.c AS text)"
+
+    def test_star_expansion_records_star(self, example1_graph):
+        info = example1_graph["info"]
+        assert info.expressions["wpage"] == "w.*"
+        assert info.expressions["name"] == "c.name"
+
+    def test_set_operation_uses_left_leaf_expression(self, example1_graph):
+        assert example1_graph["webact"].expressions["wpage"] == "w.wpage"
+
+    def test_declared_column_names_rename_expressions(self):
+        result = lineagex("CREATE VIEW v (x) AS SELECT t.a + 1 FROM t")
+        assert result.graph["v"].expressions["x"] == "t.a + 1"
+
+    def test_expressions_survive_json_round_trip(self, example1_graph):
+        rebuilt = graph_from_json(graph_to_json(example1_graph))
+        assert rebuilt["webinfo"].expressions == example1_graph["webinfo"].expressions
+
+    def test_expressions_in_json_document(self, example1_graph):
+        payload = json.loads(graph_to_json(example1_graph))
+        assert payload["relations"]["webinfo"]["column_expressions"]["wpage"] == "w.page"
+
+    def test_expressions_surface_in_html_tooltips(self, example1_result):
+        html = example1_result.to_html()
+        assert "column_expressions" in html
+        assert "div.title = expr" in html
+
+
+class TestSubgraph:
+    def test_subgraph_keeps_only_requested_relations(self, example1_graph):
+        sub = example1_graph.subgraph(["web", "webinfo"])
+        assert {entry.name for entry in sub} == {"web", "webinfo"}
+
+    def test_subgraph_filters_edges_to_members(self, example1_graph):
+        sub = example1_graph.subgraph(["web", "webinfo"])
+        sources = {edge.source.table for edge in sub.edges()}
+        assert sources == {"web"}
+        # customers.cid edges are gone because customers is outside the set
+        assert all(edge.source.table != "customers" for edge in sub.edges())
+
+    def test_subgraph_preserves_columns_and_expressions(self, example1_graph):
+        sub = example1_graph.subgraph(["web", "webinfo"])
+        assert sub["webinfo"].output_columns == ["wcid", "wdate", "wpage", "wreg"]
+        assert sub["webinfo"].expressions["wpage"] == "w.page"
+
+    def test_subgraph_of_everything_matches_original_edges(self, example1_graph):
+        names = [entry.name for entry in example1_graph]
+        sub = example1_graph.subgraph(names)
+        assert len(list(sub.edges())) == len(list(example1_graph.edges()))
+
+    def test_subgraph_empty_selection(self, example1_graph):
+        assert len(example1_graph.subgraph([])) == 0
+
+    def test_subgraph_source_tables_restricted(self, example1_graph):
+        sub = example1_graph.subgraph(["info", "webact"])
+        assert sub["info"].source_tables == {"webact"}

@@ -1,0 +1,274 @@
+"""Tests for the Lineage Information Extraction Module: basic rules.
+
+These exercise the Table I keyword rules on small, hand-checkable queries.
+"""
+
+import pytest
+
+from repro.catalog import Catalog
+from repro.core.column_refs import ColumnName
+from repro.core.extractor import (
+    RULE_FROM_CTE,
+    RULE_FROM_TABLE,
+    RULE_OTHER,
+    RULE_SELECT,
+    RULE_SET_OPERATION,
+    RULE_WITH,
+    CatalogSchemaProvider,
+    LineageExtractor,
+    SchemaProvider,
+)
+from repro.sqlparser import parse_one
+from repro.sqlparser.visitor import query_of
+
+
+def extract(sql, provider=None, name="v", declared_columns=None, strict=False):
+    extractor = LineageExtractor(provider=provider, strict=strict)
+    statement = parse_one(sql)
+    lineage, trace = extractor.extract(
+        name, query_of(statement), declared_columns=declared_columns
+    )
+    return lineage, trace
+
+
+def col(table, column):
+    return ColumnName.of(table, column)
+
+
+class TestSelectRule:
+    def test_single_column_contribution(self):
+        lineage, _ = extract("SELECT t.a FROM t")
+        assert lineage.output_columns == ["a"]
+        assert lineage.contributions["a"] == {col("t", "a")}
+
+    def test_alias_renames_output(self):
+        lineage, _ = extract("SELECT t.a AS renamed FROM t")
+        assert lineage.output_columns == ["renamed"]
+        assert lineage.contributions["renamed"] == {col("t", "a")}
+
+    def test_expression_collects_all_columns(self):
+        lineage, _ = extract("SELECT t.a + t.b AS total FROM t")
+        assert lineage.contributions["total"] == {col("t", "a"), col("t", "b")}
+
+    def test_function_arguments_contribute(self):
+        lineage, _ = extract("SELECT coalesce(t.a, t.b) AS x FROM t")
+        assert lineage.contributions["x"] == {col("t", "a"), col("t", "b")}
+
+    def test_case_expression_contributes_all_branches(self):
+        lineage, _ = extract(
+            "SELECT CASE WHEN t.flag THEN t.a ELSE t.b END AS x FROM t"
+        )
+        assert lineage.contributions["x"] == {
+            col("t", "flag"),
+            col("t", "a"),
+            col("t", "b"),
+        }
+
+    def test_literal_projection_has_no_sources(self):
+        lineage, _ = extract("SELECT 42 AS answer, t.a FROM t")
+        assert lineage.contributions["answer"] == set()
+        assert lineage.contributions["a"] == {col("t", "a")}
+
+    def test_unnamed_expression_gets_positional_name(self):
+        lineage, _ = extract("SELECT t.a + 1 FROM t")
+        assert lineage.output_columns == ["column_1"]
+
+    def test_cast_and_extract_trace_to_operand(self):
+        lineage, _ = extract(
+            "SELECT CAST(t.a AS text) AS a_text, EXTRACT(YEAR FROM t.d) AS y FROM t"
+        )
+        assert lineage.contributions["a_text"] == {col("t", "a")}
+        assert lineage.contributions["y"] == {col("t", "d")}
+
+    def test_count_star_has_no_column_sources(self):
+        lineage, _ = extract("SELECT count(*) AS n FROM t")
+        assert lineage.contributions["n"] == set()
+
+    def test_declared_column_names_rename_positionally(self):
+        lineage, _ = extract(
+            "SELECT t.a, t.b FROM t", declared_columns=["x", "y"]
+        )
+        assert lineage.output_columns == ["x", "y"]
+        assert lineage.contributions["x"] == {col("t", "a")}
+
+    def test_duplicate_output_names_merge(self):
+        lineage, _ = extract("SELECT t.a AS x, u.b AS x FROM t, u")
+        assert lineage.output_columns == ["x"]
+        assert lineage.contributions["x"] == {col("t", "a"), col("u", "b")}
+
+    def test_select_rule_fires_per_projection(self):
+        _, trace = extract("SELECT t.a, t.b, t.c FROM t")
+        assert trace.rule_counts()[RULE_SELECT] == 3
+
+
+class TestFromRule:
+    def test_table_added_to_table_lineage(self):
+        lineage, trace = extract("SELECT t.a FROM t")
+        assert lineage.source_tables == {"t"}
+        assert trace.rule_counts()[RULE_FROM_TABLE] == 1
+
+    def test_alias_resolution(self):
+        lineage, _ = extract("SELECT c.name FROM customers c")
+        assert lineage.contributions["name"] == {col("customers", "name")}
+
+    def test_multiple_tables(self):
+        lineage, trace = extract("SELECT a.x, b.y FROM a, b")
+        assert lineage.source_tables == {"a", "b"}
+        assert trace.rule_counts()[RULE_FROM_TABLE] == 2
+
+    def test_schema_qualified_table(self):
+        lineage, _ = extract("SELECT o.oid FROM sales.orders o")
+        assert lineage.contributions["oid"] == {col("sales.orders", "oid")}
+
+    def test_catalog_provider_expands_unprefixed_columns(self):
+        catalog = Catalog()
+        catalog.create_table("customers", ["cid", "name"])
+        catalog.create_table("orders", ["oid", "cid"])
+        lineage, _ = extract(
+            "SELECT name, oid FROM customers, orders",
+            provider=CatalogSchemaProvider(catalog),
+        )
+        assert lineage.contributions["name"] == {col("customers", "name")}
+        assert lineage.contributions["oid"] == {col("orders", "oid")}
+
+    def test_table_column_aliases(self):
+        lineage, _ = extract(
+            "SELECT r.x FROM t AS r(x, y)",
+            provider=CatalogSchemaProvider(_catalog_with("t", ["a", "b"])),
+        )
+        assert lineage.contributions["x"] == {col("t", "a")}
+
+
+class TestOtherKeywordsRule:
+    def test_where_columns_referenced(self):
+        lineage, trace = extract("SELECT t.a FROM t WHERE t.b > 1")
+        assert col("t", "b") in lineage.referenced
+        assert col("t", "b") not in lineage.contributing_columns
+        assert trace.rule_counts()[RULE_OTHER] >= 1
+
+    def test_join_condition_referenced(self):
+        lineage, _ = extract(
+            "SELECT c.name FROM customers c JOIN orders o ON c.cid = o.cid"
+        )
+        assert {col("customers", "cid"), col("orders", "cid")} <= lineage.referenced
+
+    def test_using_columns_referenced(self):
+        catalog = Catalog()
+        catalog.create_table("t", ["id", "a"])
+        catalog.create_table("u", ["id", "b"])
+        lineage, _ = extract(
+            "SELECT t.a FROM t JOIN u USING (id)",
+            provider=CatalogSchemaProvider(catalog),
+        )
+        assert {col("t", "id"), col("u", "id")} <= lineage.referenced
+
+    def test_group_by_and_having_referenced(self):
+        lineage, _ = extract(
+            "SELECT t.a, count(*) AS n FROM t GROUP BY t.a HAVING max(t.b) > 2"
+        )
+        assert col("t", "a") in lineage.referenced
+        assert col("t", "b") in lineage.referenced
+
+    def test_order_by_referenced(self):
+        lineage, _ = extract("SELECT t.a FROM t ORDER BY t.z DESC")
+        assert col("t", "z") in lineage.referenced
+
+    def test_order_by_projection_alias_maps_to_contributions(self):
+        lineage, _ = extract("SELECT t.a AS total FROM t ORDER BY total")
+        assert col("t", "a") in lineage.referenced
+
+    def test_window_partition_referenced(self):
+        lineage, _ = extract(
+            "SELECT sum(t.x) OVER (PARTITION BY t.grp ORDER BY t.d) AS s FROM t"
+        )
+        assert lineage.contributions["s"] == {col("t", "x")}
+        assert {col("t", "grp"), col("t", "d")} <= lineage.referenced
+
+    def test_filter_clause_referenced(self):
+        lineage, _ = extract(
+            "SELECT count(*) FILTER (WHERE t.status = 'ok') AS n FROM t"
+        )
+        assert col("t", "status") in lineage.referenced
+
+    def test_both_contributed_and_referenced(self):
+        lineage, _ = extract("SELECT t.a FROM t WHERE t.a > 0")
+        assert lineage.both_columns == {col("t", "a")}
+
+    def test_distinct_on_referenced(self):
+        lineage, _ = extract("SELECT DISTINCT ON (t.k) t.a FROM t")
+        assert col("t", "k") in lineage.referenced
+
+    def test_limit_expression_ignored_for_plain_literals(self):
+        lineage, _ = extract("SELECT t.a FROM t LIMIT 5")
+        assert lineage.referenced == set()
+
+
+class TestSetOperationRule:
+    def test_output_names_from_left_leaf(self):
+        lineage, _ = extract(
+            "SELECT w.wcid FROM webinfo w INTERSECT SELECT w1.cid FROM web w1"
+        )
+        assert lineage.output_columns == ["wcid"]
+
+    def test_positional_contributions_from_all_leaves(self):
+        lineage, _ = extract(
+            "SELECT w.wcid FROM webinfo w INTERSECT SELECT w1.cid FROM web w1"
+        )
+        assert lineage.contributions["wcid"] == {
+            col("webinfo", "wcid"),
+            col("web", "cid"),
+        }
+
+    def test_all_projection_columns_referenced(self):
+        lineage, trace = extract(
+            "SELECT w.wcid, w.wpage FROM webinfo w INTERSECT SELECT w1.cid, w1.page FROM web w1"
+        )
+        assert {
+            col("webinfo", "wcid"),
+            col("webinfo", "wpage"),
+            col("web", "cid"),
+            col("web", "page"),
+        } <= lineage.referenced
+        assert trace.rule_counts()[RULE_SET_OPERATION] == 1
+
+    def test_three_way_union(self):
+        lineage, _ = extract(
+            "SELECT a.x FROM a UNION SELECT b.y FROM b UNION SELECT c.z FROM c"
+        )
+        assert lineage.contributions["x"] == {col("a", "x"), col("b", "y"), col("c", "z")}
+        assert lineage.source_tables == {"a", "b", "c"}
+
+    def test_leaf_where_clauses_propagate_to_referenced(self):
+        lineage, _ = extract(
+            "SELECT a.x FROM a WHERE a.flag UNION SELECT b.y FROM b WHERE b.other > 1"
+        )
+        assert {col("a", "flag"), col("b", "other")} <= lineage.referenced
+
+    def test_union_all_follows_same_rule(self):
+        lineage, _ = extract("SELECT a.x FROM a UNION ALL SELECT b.y FROM b")
+        assert col("b", "y") in lineage.referenced
+
+
+class TestTraceOutput:
+    def test_trace_orders_are_sequential(self):
+        _, trace = extract("SELECT t.a FROM t WHERE t.b = 1")
+        orders = [step.order for step in trace.steps]
+        assert orders == list(range(1, len(orders) + 1))
+
+    def test_rule_counts_cover_all_rules(self):
+        _, trace = extract("SELECT t.a FROM t")
+        counts = trace.rule_counts()
+        for rule in (RULE_SELECT, RULE_FROM_TABLE, RULE_FROM_CTE, RULE_WITH,
+                     RULE_SET_OPERATION, RULE_OTHER):
+            assert rule in counts
+
+    def test_as_rows_shape(self):
+        _, trace = extract("SELECT t.a FROM t")
+        rows = trace.as_rows()
+        assert all(len(row) == 4 for row in rows)
+
+
+def _catalog_with(name, columns):
+    catalog = Catalog()
+    catalog.create_table(name, columns)
+    return catalog

@@ -1,0 +1,277 @@
+"""Extractor tests for the harder SQL features the paper calls out:
+CTEs, subqueries, stars, set operations with intermediates, ambiguity.
+"""
+
+import pytest
+
+from repro.catalog import Catalog
+from repro.core.column_refs import ColumnName
+from repro.core.errors import AmbiguousColumnError
+from repro.core.extractor import CatalogSchemaProvider, LineageExtractor
+from repro.sqlparser import parse_one
+from repro.sqlparser.visitor import query_of
+
+
+def col(table, column):
+    return ColumnName.of(table, column)
+
+
+def extract(sql, catalog=None, strict=False, name="v"):
+    provider = CatalogSchemaProvider(catalog) if catalog is not None else None
+    extractor = LineageExtractor(provider=provider, strict=strict)
+    lineage, trace = extractor.extract(name, query_of(parse_one(sql)))
+    return lineage, trace
+
+
+class TestCTEs:
+    def test_cte_is_traced_through_to_real_tables(self):
+        lineage, _ = extract(
+            "WITH recent AS (SELECT o.cid, o.amount FROM orders o WHERE o.odate > '2024-01-01') "
+            "SELECT r.cid, r.amount FROM recent r"
+        )
+        assert lineage.contributions["cid"] == {col("orders", "cid")}
+        assert lineage.contributions["amount"] == {col("orders", "amount")}
+        assert "recent" not in lineage.source_tables
+        assert lineage.source_tables == {"orders"}
+
+    def test_cte_internal_references_propagate(self):
+        lineage, _ = extract(
+            "WITH recent AS (SELECT o.cid FROM orders o WHERE o.odate > '2024-01-01') "
+            "SELECT r.cid FROM recent r"
+        )
+        assert col("orders", "odate") in lineage.referenced
+
+    def test_chained_ctes(self):
+        lineage, _ = extract(
+            "WITH a AS (SELECT t.x FROM t), b AS (SELECT a.x AS y FROM a) "
+            "SELECT b.y FROM b"
+        )
+        assert lineage.contributions["y"] == {col("t", "x")}
+
+    def test_cte_with_declared_columns(self):
+        lineage, _ = extract(
+            "WITH renamed(p, q) AS (SELECT t.a, t.b FROM t) SELECT renamed.p FROM renamed"
+        )
+        assert lineage.contributions["p"] == {col("t", "a")}
+
+    def test_cte_with_aggregate(self):
+        lineage, _ = extract(
+            "WITH totals AS (SELECT i.oid, sum(i.line_total) AS revenue FROM items i GROUP BY i.oid) "
+            "SELECT o.oid, t.revenue FROM orders o JOIN totals t ON o.oid = t.oid"
+        )
+        assert lineage.contributions["revenue"] == {col("items", "line_total")}
+        assert col("items", "oid") in lineage.referenced
+        assert col("orders", "oid") in lineage.referenced
+
+    def test_cte_star_expansion(self):
+        lineage, _ = extract(
+            "WITH x AS (SELECT t.a, t.b FROM t) SELECT x.* FROM x"
+        )
+        assert lineage.output_columns == ["a", "b"]
+        assert lineage.contributions["a"] == {col("t", "a")}
+
+    def test_cte_shadowing_real_table_name(self):
+        catalog = Catalog()
+        catalog.create_table("orders", ["oid", "cid"])
+        lineage, _ = extract(
+            "WITH orders AS (SELECT t.id AS oid FROM t) SELECT orders.oid FROM orders",
+            catalog=catalog,
+        )
+        # The CTE wins: lineage goes to t, not the catalog table.
+        assert lineage.contributions["oid"] == {col("t", "id")}
+
+    def test_cte_used_twice(self):
+        lineage, _ = extract(
+            "WITH x AS (SELECT t.a FROM t) "
+            "SELECT x1.a, x2.a AS a2 FROM x x1 JOIN x x2 ON x1.a = x2.a"
+        )
+        assert lineage.contributions["a"] == {col("t", "a")}
+        assert lineage.contributions["a2"] == {col("t", "a")}
+
+
+class TestSubqueries:
+    def test_derived_table_traced_through(self):
+        lineage, _ = extract(
+            "SELECT s.total FROM (SELECT sum(o.amount) AS total FROM orders o) s"
+        )
+        assert lineage.contributions["total"] == {col("orders", "amount")}
+
+    def test_derived_table_column_aliases(self):
+        lineage, _ = extract(
+            "SELECT v.x FROM (SELECT t.a, t.b FROM t) AS v(x, y)"
+        )
+        assert lineage.contributions["x"] == {col("t", "a")}
+
+    def test_scalar_subquery_contributes(self):
+        lineage, _ = extract(
+            "SELECT (SELECT max(p.price) FROM products p) AS max_price FROM t"
+        )
+        assert lineage.contributions["max_price"] == {col("products", "price")}
+        assert "products" in lineage.source_tables
+
+    def test_in_subquery_is_reference_only(self):
+        lineage, _ = extract(
+            "SELECT t.a FROM t WHERE t.k IN (SELECT u.k FROM u WHERE u.live)"
+        )
+        assert col("u", "k") in lineage.referenced
+        assert col("u", "live") in lineage.referenced
+        assert col("u", "k") not in lineage.contributing_columns
+
+    def test_exists_subquery_is_reference_only(self):
+        lineage, _ = extract(
+            "SELECT t.a FROM t WHERE EXISTS (SELECT 1 FROM u WHERE u.tid = t.id)"
+        )
+        assert col("u", "tid") in lineage.referenced
+        assert col("t", "id") in lineage.referenced
+
+    def test_correlated_subquery_resolves_outer_alias(self):
+        lineage, _ = extract(
+            "SELECT (SELECT max(i.qty) FROM items i WHERE i.oid = o.oid) AS max_qty "
+            "FROM orders o"
+        )
+        assert lineage.contributions["max_qty"] == {col("items", "qty")}
+        assert col("orders", "oid") in lineage.referenced
+
+    def test_nested_subqueries(self):
+        lineage, _ = extract(
+            "SELECT s.v FROM (SELECT (SELECT max(u.x) FROM u) AS v FROM t) s"
+        )
+        assert lineage.contributions["v"] == {col("u", "x")}
+
+    def test_values_source_with_aliases(self):
+        lineage, _ = extract(
+            "SELECT v.a, t.x FROM (VALUES (1, 2), (3, 4)) AS v(a, b) JOIN t ON t.id = v.b"
+        )
+        assert lineage.contributions["a"] == set()
+        assert lineage.contributions["x"] == {col("t", "x")}
+        assert col("t", "id") in lineage.referenced
+
+
+class TestStars:
+    def test_star_with_catalog_expands(self):
+        catalog = Catalog()
+        catalog.create_table("web", ["cid", "date", "page", "reg"])
+        lineage, _ = extract("SELECT * FROM web", catalog=catalog)
+        assert lineage.output_columns == ["cid", "date", "page", "reg"]
+        assert lineage.contributions["page"] == {col("web", "page")}
+
+    def test_qualified_star_expands_only_that_source(self):
+        catalog = Catalog()
+        catalog.create_table("a", ["x", "y"])
+        catalog.create_table("b", ["z"])
+        lineage, _ = extract("SELECT a.* FROM a JOIN b ON a.x = b.z", catalog=catalog)
+        assert lineage.output_columns == ["x", "y"]
+
+    def test_star_over_unknown_table_degrades_to_wildcard(self):
+        lineage, _ = extract("SELECT w.* FROM mystery w")
+        assert lineage.output_columns == ["*"]
+        assert lineage.contributions["*"] == {col("mystery", "*")}
+
+    def test_star_mixed_with_explicit_columns(self):
+        catalog = Catalog()
+        catalog.create_table("a", ["x"])
+        lineage, _ = extract("SELECT a.*, a.x AS copy FROM a", catalog=catalog)
+        assert lineage.output_columns == ["x", "copy"]
+
+    def test_star_over_derived_table(self):
+        lineage, _ = extract(
+            "SELECT d.* FROM (SELECT t.a, t.b AS renamed FROM t) d"
+        )
+        assert lineage.output_columns == ["a", "renamed"]
+        assert lineage.contributions["renamed"] == {col("t", "b")}
+
+
+class TestAmbiguityHandling:
+    def test_unprefixed_column_unique_source(self):
+        catalog = Catalog()
+        catalog.create_table("customers", ["cid", "name"])
+        catalog.create_table("orders", ["oid", "amount"])
+        lineage, _ = extract(
+            "SELECT name, amount FROM customers, orders", catalog=catalog
+        )
+        assert lineage.contributions["name"] == {col("customers", "name")}
+        assert lineage.contributions["amount"] == {col("orders", "amount")}
+
+    def test_ambiguous_column_attributed_to_all_candidates(self):
+        catalog = Catalog()
+        catalog.create_table("a", ["k"])
+        catalog.create_table("b", ["k"])
+        lineage, _ = extract("SELECT k FROM a, b", catalog=catalog)
+        assert lineage.contributions["k"] == {col("a", "k"), col("b", "k")}
+
+    def test_ambiguous_column_raises_in_strict_mode(self):
+        catalog = Catalog()
+        catalog.create_table("a", ["k"])
+        catalog.create_table("b", ["k"])
+        with pytest.raises(AmbiguousColumnError):
+            extract("SELECT k FROM a, b", catalog=catalog, strict=True)
+
+    def test_unprefixed_column_single_unknown_source(self):
+        lineage, _ = extract("SELECT page FROM web")
+        assert lineage.contributions["page"] == {col("web", "page")}
+
+    def test_unresolvable_column_is_dropped_not_invented(self):
+        catalog = Catalog()
+        catalog.create_table("t", ["a"])
+        lineage, _ = extract("SELECT ghost FROM t", catalog=catalog)
+        assert lineage.contributions["ghost"] == set()
+
+
+class TestInsertAndComplexStatements:
+    def test_insert_select_lineage(self):
+        extractor = LineageExtractor()
+        statement = parse_one("INSERT INTO audit (who, what) SELECT u.name, a.action FROM u, a")
+        lineage, _ = extractor.extract(
+            "audit", query_of(statement), declared_columns=statement.columns
+        )
+        assert lineage.name == "audit"
+        assert lineage.contributions["who"] == {col("u", "name")}
+        assert lineage.contributions["what"] == {col("a", "action")}
+
+    def test_set_operation_of_ctes(self):
+        lineage, _ = extract(
+            "WITH a AS (SELECT t.x FROM t), b AS (SELECT u.y FROM u) "
+            "SELECT a.x FROM a UNION SELECT b.y FROM b"
+        )
+        assert lineage.contributions["x"] == {col("t", "x"), col("u", "y")}
+
+    def test_join_of_subqueries(self):
+        lineage, _ = extract(
+            "SELECT l.cid, r.total FROM (SELECT c.cid FROM customers c) l "
+            "JOIN (SELECT o.cid, sum(o.amount) AS total FROM orders o GROUP BY o.cid) r "
+            "ON l.cid = r.cid"
+        )
+        assert lineage.contributions["cid"] == {col("customers", "cid")}
+        assert lineage.contributions["total"] == {col("orders", "amount")}
+        assert col("orders", "cid") in lineage.referenced
+        assert col("customers", "cid") in lineage.referenced
+
+    def test_deeply_nested_query(self):
+        lineage, _ = extract(
+            "SELECT outer_q.v FROM (SELECT mid.v FROM (SELECT t.a AS v FROM t) mid) outer_q"
+        )
+        assert lineage.contributions["v"] == {col("t", "a")}
+
+    def test_window_in_subquery_with_filter_on_rank(self):
+        lineage, _ = extract(
+            "SELECT f.cid FROM ("
+            "SELECT o.cid, row_number() OVER (PARTITION BY o.cid ORDER BY o.odate) AS rn "
+            "FROM orders o) f WHERE f.rn = 1"
+        )
+        assert lineage.contributions["cid"] == {col("orders", "cid")}
+        assert {col("orders", "odate")} <= lineage.referenced
+
+    def test_example1_q1_with_known_webact(self):
+        catalog = Catalog()
+        catalog.create_table("webact", ["wcid", "wdate", "wpage", "wreg"], is_view=True)
+        lineage, _ = extract(
+            "SELECT c.name, c.age, o.oid, w.* FROM customers c "
+            "JOIN orders o ON c.cid = o.cid JOIN webact w ON c.cid = w.wcid",
+            catalog=catalog,
+            name="info",
+        )
+        assert lineage.output_columns == [
+            "name", "age", "oid", "wcid", "wdate", "wpage", "wreg",
+        ]
+        assert lineage.contributions["wpage"] == {col("webact", "wpage")}
+        assert col("webact", "wcid") in lineage.referenced

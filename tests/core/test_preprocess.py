@@ -1,0 +1,129 @@
+"""Tests for the SQL Preprocessing Module (Query Dictionary construction)."""
+
+import os
+
+import pytest
+
+from repro.core.preprocess import preprocess
+from repro.datasets import example1
+from repro.sqlparser import ast
+
+
+class TestIdentifiers:
+    def test_create_view_uses_view_name(self):
+        qd = preprocess("CREATE VIEW webinfo AS SELECT a FROM t")
+        assert qd.identifiers() == ["webinfo"]
+        assert qd["webinfo"].kind == "view"
+
+    def test_create_table_as_uses_table_name(self):
+        qd = preprocess("CREATE TABLE snapshot AS SELECT a FROM t")
+        assert qd.identifiers() == ["snapshot"]
+        assert qd["snapshot"].kind == "table"
+
+    def test_insert_select_uses_target_table(self):
+        qd = preprocess("INSERT INTO audit SELECT a FROM t")
+        assert qd.identifiers() == ["audit"]
+        assert qd["audit"].kind == "insert"
+
+    def test_bare_select_gets_generated_id(self):
+        qd = preprocess("SELECT a FROM t; SELECT b FROM u")
+        assert qd.identifiers() == ["query_1", "query_2"]
+        assert qd["query_1"].kind == "select"
+
+    def test_custom_id_generator(self):
+        qd = preprocess("SELECT a FROM t", id_generator=lambda n: f"anon_{n:03d}")
+        assert qd.identifiers() == ["anon_001"]
+
+    def test_identifier_normalised(self):
+        qd = preprocess('CREATE VIEW "MyView" AS SELECT a FROM t')
+        assert qd.identifiers() == ["myview"]
+
+    def test_schema_qualified_identifier(self):
+        qd = preprocess("CREATE VIEW analytics.daily AS SELECT a FROM t")
+        assert qd.identifiers() == ["analytics.daily"]
+
+    def test_declared_column_names_recorded(self):
+        qd = preprocess("CREATE VIEW v (x, y) AS SELECT a, b FROM t")
+        assert qd["v"].column_names == ["x", "y"]
+
+    def test_redefinition_keeps_latest_and_warns(self):
+        qd = preprocess(
+            "CREATE VIEW v AS SELECT a FROM t; CREATE VIEW v AS SELECT b FROM u"
+        )
+        assert len(qd) == 1
+        assert qd.warnings
+        assert "u" in str([t.name.dotted() for t in qd["v"].statement.query.from_sources])
+
+
+class TestInputShapes:
+    def test_list_of_scripts(self):
+        qd = preprocess([example1.Q1, example1.Q2, example1.Q3])
+        assert qd.identifiers() == ["info", "webact", "webinfo"]
+
+    def test_dict_uses_keys_for_bare_selects(self):
+        qd = preprocess({"model_a": "SELECT a FROM t", "model_b": "SELECT b FROM u"})
+        assert qd.identifiers() == ["model_a", "model_b"]
+
+    def test_dict_create_statement_still_uses_created_name(self):
+        qd = preprocess({"file_name": "CREATE VIEW real_name AS SELECT a FROM t"})
+        assert qd.identifiers() == ["real_name"]
+
+    def test_sql_file_path(self, tmp_path):
+        path = tmp_path / "customer.sql"
+        path.write_text(example1.QUERY_LOG)
+        qd = preprocess(str(path))
+        assert set(qd.identifiers()) == {"info", "webact", "webinfo"}
+
+    def test_directory_of_sql_files_uses_file_names(self, tmp_path):
+        (tmp_path / "first_model.sql").write_text("SELECT a FROM t")
+        (tmp_path / "second_model.sql").write_text("SELECT b FROM u")
+        qd = preprocess(str(tmp_path))
+        assert qd.identifiers() == ["first_model", "second_model"]
+
+    def test_pathlike_input(self, tmp_path):
+        path = tmp_path / "one.sql"
+        path.write_text("SELECT 1")
+        qd = preprocess(path)
+        assert len(qd) == 1
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(TypeError):
+            preprocess(42)
+
+    def test_plain_sql_not_mistaken_for_path(self):
+        qd = preprocess("SELECT 1")
+        assert len(qd) == 1
+
+
+class TestDDLAndSkips:
+    def test_create_table_ddl_collected_separately(self):
+        qd = preprocess(
+            "CREATE TABLE t (a integer); CREATE VIEW v AS SELECT a FROM t"
+        )
+        assert len(qd) == 1
+        assert len(qd.ddl_statements) == 1
+        assert isinstance(qd.ddl_statements[0], ast.CreateTable)
+
+    def test_drop_statement_is_ddl(self):
+        qd = preprocess("DROP TABLE old; CREATE VIEW v AS SELECT 1")
+        assert len(qd.ddl_statements) == 1
+
+    def test_insert_values_skipped_with_warning(self):
+        qd = preprocess("INSERT INTO t (a) VALUES (1)")
+        assert len(qd) == 0
+        assert qd.warnings
+
+    def test_example1_order_preserved(self):
+        qd = preprocess(example1.QUERY_LOG)
+        assert qd.identifiers() == ["info", "webact", "webinfo"]
+        assert "webact" in qd
+        assert qd.get("nonexistent") is None
+
+    def test_items_iteration(self):
+        qd = preprocess(example1.QUERY_LOG)
+        names = [identifier for identifier, _ in qd.items()]
+        assert names == qd.identifiers()
+
+    def test_entry_sql_is_reproducible(self):
+        qd = preprocess("CREATE VIEW v AS SELECT a FROM t")
+        assert "SELECT" in qd["v"].sql.upper()

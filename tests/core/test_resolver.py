@@ -1,0 +1,196 @@
+"""Tests for scopes, source bindings, ambiguity handling, and star expansion."""
+
+import pytest
+
+from repro.core.column_refs import ColumnName
+from repro.core.errors import AmbiguousColumnError
+from repro.core.resolver import Resolution, Scope, SourceBinding
+
+
+def relation(name, columns, alias=None):
+    return SourceBinding(
+        name=alias or name, kind="relation", relation_name=name, columns=columns
+    )
+
+
+def derived(name, column_map, columns=None):
+    return SourceBinding(
+        name=name,
+        kind="cte",
+        columns=list(column_map) if columns is None else columns,
+        column_map={k: set(v) for k, v in column_map.items()},
+    )
+
+
+class TestSourceBinding:
+    def test_relation_expand_is_identity(self):
+        binding = relation("web", ["cid", "page"])
+        assert binding.expand("page") == {ColumnName.of("web", "page")}
+
+    def test_expand_prefers_column_map(self):
+        binding = derived("w", {"wpage": {ColumnName.of("web", "page")}})
+        assert binding.expand("wpage") == {ColumnName.of("web", "page")}
+
+    def test_unknown_schema_has_column_returns_none(self):
+        binding = relation("ext", None)
+        assert binding.has_column("x") is None
+        assert binding.has_known_columns() is False
+
+    def test_has_column_case_insensitive(self):
+        binding = relation("t", ["Amount"])
+        assert binding.has_column("amount") is True
+        assert binding.has_column("other") is False
+
+    def test_all_tables_for_relation_and_derived(self):
+        assert relation("public.web", ["a"]).all_tables() == {"public.web"}
+        cte = derived("x", {"a": {ColumnName.of("t", "a")}})
+        cte.source_tables = {"t"}
+        assert cte.all_tables() == {"t"}
+
+
+class TestQualifiedResolution:
+    def test_resolve_by_alias(self):
+        scope = Scope()
+        scope.add_binding(relation("customers", ["cid", "name"], alias="c"))
+        resolution = scope.resolve_column("c", "name")
+        assert resolution.sources == {ColumnName.of("customers", "name")}
+        assert not resolution.ambiguous
+
+    def test_resolve_by_bare_table_name_despite_alias(self):
+        scope = Scope()
+        scope.add_binding(relation("public.customers", ["cid"], alias="c"))
+        resolution = scope.resolve_column("customers", "cid")
+        assert resolution.sources == {ColumnName.of("public.customers", "cid")}
+
+    def test_unknown_qualifier_is_treated_as_external_relation(self):
+        scope = Scope()
+        scope.add_binding(relation("t", ["a"]))
+        resolution = scope.resolve_column("mystery", "col")
+        assert resolution.unresolved is True
+        assert resolution.sources == {ColumnName.of("mystery", "col")}
+
+    def test_outer_scope_visible_for_correlated_references(self):
+        outer = Scope()
+        outer.add_binding(relation("orders", ["oid", "cid"], alias="o"))
+        inner = Scope(parent=outer)
+        inner.add_binding(relation("items", ["oid", "pid"], alias="i"))
+        resolution = inner.resolve_column("o", "cid")
+        assert resolution.sources == {ColumnName.of("orders", "cid")}
+
+
+class TestUnqualifiedResolution:
+    def test_unique_known_source(self):
+        scope = Scope()
+        scope.add_binding(relation("customers", ["cid", "name"]))
+        scope.add_binding(relation("orders", ["oid"]))
+        resolution = scope.resolve_column(None, "name")
+        assert resolution.sources == {ColumnName.of("customers", "name")}
+
+    def test_ambiguous_known_sources_attributed_to_all(self):
+        scope = Scope()
+        scope.add_binding(relation("customers", ["cid"]))
+        scope.add_binding(relation("orders", ["cid"]))
+        resolution = scope.resolve_column(None, "cid")
+        assert resolution.ambiguous is True
+        assert resolution.sources == {
+            ColumnName.of("customers", "cid"),
+            ColumnName.of("orders", "cid"),
+        }
+
+    def test_ambiguous_raises_in_strict_mode(self):
+        scope = Scope()
+        scope.add_binding(relation("customers", ["cid"]))
+        scope.add_binding(relation("orders", ["cid"]))
+        with pytest.raises(AmbiguousColumnError):
+            scope.resolve_column(None, "cid", strict=True)
+
+    def test_known_source_wins_over_unknown(self):
+        scope = Scope()
+        scope.add_binding(relation("known", ["amount"]))
+        scope.add_binding(relation("unknown_ext", None))
+        resolution = scope.resolve_column(None, "amount")
+        assert resolution.sources == {ColumnName.of("known", "amount")}
+
+    def test_single_unknown_source_gets_the_column(self):
+        scope = Scope()
+        scope.add_binding(relation("known", ["a"]))
+        scope.add_binding(relation("ext", None))
+        resolution = scope.resolve_column(None, "mystery_col")
+        assert resolution.sources == {ColumnName.of("ext", "mystery_col")}
+
+    def test_nothing_matches_is_unresolved(self):
+        scope = Scope()
+        scope.add_binding(relation("t", ["a"]))
+        resolution = scope.resolve_column(None, "zzz")
+        assert resolution.unresolved is True
+        assert resolution.sources == set()
+
+    def test_multiple_unknown_sources_marked_ambiguous(self):
+        scope = Scope()
+        scope.add_binding(relation("ext1", None))
+        scope.add_binding(relation("ext2", None))
+        resolution = scope.resolve_column(None, "x")
+        assert resolution.ambiguous is True
+        assert len(resolution.sources) == 2
+
+
+class TestStarExpansion:
+    def test_unqualified_star_expands_all_sources_in_order(self):
+        scope = Scope()
+        scope.add_binding(relation("customers", ["cid", "name"], alias="c"))
+        scope.add_binding(relation("orders", ["oid"], alias="o"))
+        expansion = scope.expand_star()
+        assert [column for column, _ in expansion] == ["cid", "name", "oid"]
+
+    def test_qualified_star_expands_single_source(self):
+        scope = Scope()
+        scope.add_binding(relation("customers", ["cid"], alias="c"))
+        scope.add_binding(relation("orders", ["oid"], alias="o"))
+        expansion = scope.expand_star("o")
+        assert expansion == [("oid", {ColumnName.of("orders", "oid")})]
+
+    def test_star_over_derived_source_composes(self):
+        scope = Scope()
+        scope.add_binding(
+            derived("w", {"wpage": {ColumnName.of("web", "page")}}, columns=["wpage"])
+        )
+        expansion = scope.expand_star("w")
+        assert expansion == [("wpage", {ColumnName.of("web", "page")})]
+
+    def test_star_over_unknown_schema_degrades_to_wildcard(self):
+        scope = Scope()
+        scope.add_binding(relation("ext", None))
+        expansion = scope.expand_star("ext")
+        assert expansion == [("*", {ColumnName.of("ext", "*")})]
+
+    def test_star_over_unknown_qualifier_degrades_to_wildcard(self):
+        scope = Scope()
+        expansion = scope.expand_star("ghost")
+        assert expansion == [("*", {ColumnName.of("ghost", "*")})]
+
+    def test_mixed_known_and_unknown_sources(self):
+        scope = Scope()
+        scope.add_binding(relation("known", ["a"]))
+        scope.add_binding(relation("ext", None))
+        expansion = scope.expand_star()
+        assert ("a", {ColumnName.of("known", "a")}) in expansion
+        assert ("*", {ColumnName.of("ext", "*")}) in expansion
+
+
+class TestCTERegistry:
+    def test_find_cte_in_current_scope(self):
+        scope = Scope()
+        binding = derived("recent", {"cid": {ColumnName.of("orders", "cid")}})
+        scope.add_cte("recent", binding)
+        assert scope.find_cte("recent") is binding
+        assert scope.find_cte("RECENT") is binding
+
+    def test_find_cte_in_enclosing_scope(self):
+        outer = Scope()
+        binding = derived("x", {"a": {ColumnName.of("t", "a")}})
+        outer.add_cte("x", binding)
+        inner = Scope(parent=outer)
+        assert inner.find_cte("x") is binding
+
+    def test_missing_cte_returns_none(self):
+        assert Scope().find_cte("nope") is None

@@ -1,0 +1,156 @@
+"""Tests for the public runner API and the database-connection (EXPLAIN) mode."""
+
+import json
+import os
+
+import pytest
+
+from repro import (
+    Catalog,
+    ColumnName,
+    lineagex,
+    lineagex_with_connection,
+)
+from repro.analysis.diff import diff_graphs
+from repro.catalog.errors import UndefinedTableError
+from repro.core.plan_extractor import PlanModeRunner
+from repro.datasets import example1, retail
+
+
+def col(table, column):
+    return ColumnName.of(table, column)
+
+
+class TestRunnerAPI:
+    def test_result_contains_graph_and_report(self, example1_result):
+        assert "info" in example1_result.graph
+        assert example1_result.report.order
+        assert example1_result.catalog is not None
+
+    def test_stats_shape(self, example1_result):
+        stats = example1_result.stats()
+        assert stats["num_queries"] == 3
+        assert stats["num_views"] == 3
+        assert stats["num_base_tables"] == 3
+        assert stats["num_deferrals"] == 2
+        assert stats["num_unresolved"] == 0
+
+    def test_base_tables_accumulate_columns_from_usage(self, example1_graph):
+        assert set(example1_graph.columns_of("web")) == {"cid", "date", "page", "reg"}
+        assert set(example1_graph.columns_of("customers")) == {"cid", "name", "age"}
+
+    def test_catalog_fills_base_table_columns(self, example1_with_catalog):
+        # With the catalog supplied, orders also shows its unused column.
+        assert set(example1_with_catalog.graph.columns_of("orders")) == {
+            "oid", "cid", "amount",
+        }
+
+    def test_ddl_in_input_seeds_catalog(self):
+        result = lineagex(
+            "CREATE TABLE t (a integer, b integer);"
+            "CREATE VIEW v AS SELECT * FROM t"
+        )
+        assert result.graph["v"].output_columns == ["a", "b"]
+        assert result.catalog.columns_of("t") == ["a", "b"]
+
+    def test_list_and_dict_inputs(self):
+        from_list = lineagex([example1.Q1, example1.Q2, example1.Q3])
+        from_dict = lineagex({"a": example1.Q1, "b": example1.Q2, "c": example1.Q3})
+        assert diff_graphs(from_list.graph, from_dict.graph).is_identical
+
+    def test_output_files_written(self, tmp_path):
+        result = lineagex(example1.QUERY_LOG, output_dir=str(tmp_path))
+        json_path = tmp_path / "lineagex.json"
+        html_path = tmp_path / "lineagex.html"
+        assert json_path.exists() and html_path.exists()
+        payload = json.loads(json_path.read_text())
+        assert "relations" in payload and "column_edges" in payload
+
+    def test_save_returns_paths(self, tmp_path, example1_result):
+        json_path, html_path = example1_result.save(str(tmp_path), basename="demo")
+        assert os.path.basename(json_path) == "demo.json"
+        assert os.path.exists(html_path)
+
+    def test_to_dict_includes_stats_and_warnings(self, example1_result):
+        payload = example1_result.to_dict()
+        assert "stats" in payload and "warnings" in payload
+
+    def test_impact_analysis_convenience(self, example1_result):
+        impact = example1_result.impact_analysis("web.page")
+        assert {str(c) for c in impact.all_columns} == example1.IMPACT_OF_WEB_PAGE
+
+    def test_strict_mode_propagates(self):
+        from repro.core.errors import AmbiguousColumnError
+
+        sql = (
+            "CREATE TABLE a (k integer); CREATE TABLE b (k integer);"
+            "CREATE VIEW v AS SELECT k FROM a, b"
+        )
+        with pytest.raises(AmbiguousColumnError):
+            lineagex(sql, strict=True)
+        # non-strict succeeds
+        assert "v" in lineagex(sql).graph
+
+    def test_wildcard_usage_creates_base_table_node(self):
+        result = lineagex("CREATE VIEW v AS SELECT m.* FROM mystery m")
+        assert "mystery" in result.graph
+        assert result.graph["mystery"].is_base_table
+
+
+class TestPlanMode:
+    def test_agreement_with_static_mode_on_example1(self, example1_with_catalog):
+        plan_result = lineagex_with_connection(
+            example1.QUERY_LOG, catalog=example1.base_table_catalog()
+        )
+        diff = diff_graphs(plan_result.graph, example1_with_catalog.graph)
+        assert diff.is_identical, diff.summary()
+
+    def test_agreement_on_retail(self, retail_result):
+        plan_result = lineagex_with_connection(
+            retail.VIEW_SCRIPT, catalog=retail.base_table_catalog()
+        )
+        static_result = lineagex(
+            retail.VIEW_SCRIPT, catalog=retail.base_table_catalog()
+        )
+        assert diff_graphs(plan_result.graph, static_result.graph).is_identical
+
+    def test_views_created_in_catalog_during_run(self):
+        result = lineagex_with_connection(
+            example1.QUERY_LOG, catalog=example1.base_table_catalog()
+        )
+        assert result.catalog.get("webact").is_view
+        assert result.catalog.columns_of("info") == [
+            "name", "age", "oid", "wcid", "wdate", "wpage", "wreg",
+        ]
+
+    def test_deferrals_mirror_static_mode(self):
+        result = lineagex_with_connection(
+            example1.QUERY_LOG, catalog=example1.base_table_catalog()
+        )
+        assert result.report.order == ["webinfo", "webact", "info"]
+        assert result.report.deferral_count == 2
+
+    def test_plans_recorded(self):
+        result = lineagex_with_connection(
+            example1.QUERY_LOG, catalog=example1.base_table_catalog()
+        )
+        assert set(result.report.plans) == {"info", "webact", "webinfo"}
+        webact_plan = result.report.plans["webact"]
+        assert webact_plan.node_type.startswith("HashSetOp")
+
+    def test_missing_base_table_is_reported_unresolved(self):
+        catalog = Catalog()
+        catalog.create_table("known", ["a"])
+        runner = PlanModeRunner(catalog=catalog)
+        result = runner.run(
+            "CREATE VIEW v AS SELECT known.a FROM known;"
+            "CREATE VIEW w AS SELECT m.x FROM missing m"
+        )
+        assert "v" in result.graph
+        assert "w" in result.report.unresolved
+        assert "w" not in result.graph
+
+    def test_empty_catalog_reports_everything_unresolved(self):
+        result = lineagex_with_connection(example1.QUERY_LOG)
+        # every view depends (transitively) on base tables absent from the DB
+        assert set(result.report.unresolved) == {"info", "webact", "webinfo"}

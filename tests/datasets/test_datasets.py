@@ -1,0 +1,171 @@
+"""Tests for the bundled datasets: Example 1, retail, MIMIC, random workloads."""
+
+import pytest
+
+from repro.core.column_refs import ColumnName
+from repro.datasets import example1, mimic, retail, workload
+from repro.sqlparser import ast, parse
+
+
+def col(table, column):
+    return ColumnName.of(table, column)
+
+
+class TestExample1Dataset:
+    def test_query_log_parses_into_three_views(self):
+        statements = parse(example1.QUERY_LOG)
+        assert [s.name.dotted() for s in statements] == ["info", "webact", "webinfo"]
+
+    def test_ordered_log_is_reverse_dependency_order(self):
+        statements = parse(example1.QUERY_LOG_ORDERED)
+        assert [s.name.dotted() for s in statements] == ["webinfo", "webact", "info"]
+
+    def test_queries_helper_matches_log(self):
+        assert "".join(example1.queries()) == example1.QUERY_LOG
+
+    def test_base_table_catalog_schemas(self):
+        catalog = example1.base_table_catalog()
+        assert catalog.columns_of("web") == ["cid", "date", "page", "reg"]
+        assert catalog.columns_of("customers") == ["cid", "name", "age"]
+        assert catalog.columns_of("orders") == ["oid", "cid", "amount"]
+
+    def test_ground_truth_is_consistent(self):
+        truth = example1.ground_truth()
+        assert {entry.name for entry in truth} == {"info", "webact", "webinfo"}
+        assert truth["webact"].output_columns == ["wcid", "wdate", "wpage", "wreg"]
+        # contributed impact is a subset of the full impact
+        assert example1.CONTRIBUTED_IMPACT_OF_WEB_PAGE <= example1.IMPACT_OF_WEB_PAGE
+
+    def test_ground_truth_impact_matches_reference_closure(self):
+        # recomputing the closure over the hand-written ground truth must give
+        # the same answer as the constant (guards against editing mistakes)
+        from repro.analysis.impact import impact_analysis
+
+        truth = example1.ground_truth()
+        result = impact_analysis(truth, "web.page")
+        assert {str(c) for c in result.all_columns} == example1.IMPACT_OF_WEB_PAGE
+
+
+class TestRetailDataset:
+    def test_ddl_defines_eight_tables(self):
+        statements = parse(retail.BASE_TABLE_DDL)
+        assert len([s for s in statements if isinstance(s, ast.CreateTable)]) == 8
+
+    def test_view_names_lists_match_script(self):
+        statements = parse(retail.VIEW_SCRIPT)
+        names = [s.name.dotted() for s in statements]
+        assert names == retail.ALL_VIEW_NAMES
+
+    def test_full_script_extraction(self, retail_result):
+        graph = retail_result.graph
+        assert len(graph.views) == len(retail.ALL_VIEW_NAMES)
+        assert not retail_result.report.unresolved
+
+    def test_mart_views_trace_to_staging_not_base(self, retail_result):
+        ltv = retail_result.graph["customer_ltv"]
+        assert "customer_orders" in ltv.source_tables
+        assert "orders" not in ltv.source_tables
+
+    def test_cte_traced_through_in_order_revenue(self, retail_result):
+        revenue = retail_result.graph["order_revenue"]
+        assert revenue.contributions["revenue"] == {col("stg_order_items", "line_total")}
+
+    def test_star_over_view_in_churn_candidates(self, retail_result):
+        churn = retail_result.graph["churn_candidates"]
+        ltv_columns = retail_result.graph["customer_ltv"].output_columns
+        assert churn.output_columns == ltv_columns
+
+    def test_shuffled_script_still_resolves(self):
+        from repro.core.runner import lineagex
+
+        result = lineagex(retail.BASE_TABLE_DDL + retail.shuffled_view_script())
+        assert not result.report.unresolved
+        assert result.graph["churn_candidates"].output_columns
+
+    def test_base_table_catalog(self):
+        catalog = retail.base_table_catalog()
+        assert len(catalog.relation_names()) == 8
+
+
+class TestMimicDataset:
+    def test_scale_matches_declared_counts(self):
+        counts = mimic.expected_counts()
+        assert counts["base_tables"] == 26
+        assert counts["views"] == 70
+        assert counts["base_columns"] >= 275
+
+    def test_all_views_parse(self):
+        statements = parse(mimic.view_script())
+        assert len(statements) == 70
+        assert all(isinstance(s, ast.CreateView) for s in statements)
+
+    def test_base_ddl_parses(self):
+        statements = parse(mimic.base_table_ddl())
+        assert len(statements) == 26
+
+    def test_full_extraction_resolves_everything(self, mimic_result):
+        assert len(mimic_result.graph.views) == 70
+        assert not mimic_result.report.unresolved
+        stats = mimic_result.stats()
+        assert stats["num_view_columns"] > 500
+        assert stats["num_base_tables"] == 26
+
+    def test_shuffling_requires_deferrals(self, mimic_result):
+        assert mimic_result.report.deferral_count > 0
+
+    def test_star_views_resolve_to_source_width(self, mimic_result):
+        detail = mimic_result.graph["sepsis_cohort_detail"]
+        sepsis_columns = mimic_result.graph["sepsis_diagnoses"].output_columns
+        assert len(detail.output_columns) == len(sepsis_columns) + 2
+
+    def test_event_summary_views_reference_group_keys(self, mimic_result):
+        summary = mimic_result.graph["adm_labevents_summary"]
+        assert col("labevents", "subject_id") in summary.referenced
+
+    def test_catalog_matches_base_tables(self):
+        catalog = mimic.base_table_catalog()
+        assert len(catalog.relation_names()) == 26
+        assert catalog.columns_of("patients") == mimic.BASE_TABLES["patients"]
+
+
+class TestGeneratedWorkloads:
+    def test_generation_is_deterministic(self):
+        first = workload.generate_warehouse(num_views=20, seed=3)
+        second = workload.generate_warehouse(num_views=20, seed=3)
+        assert first.views == second.views
+        assert first.base_tables == second.base_tables
+
+    def test_different_seeds_differ(self):
+        first = workload.generate_warehouse(num_views=20, seed=3)
+        second = workload.generate_warehouse(num_views=20, seed=4)
+        assert first.views != second.views
+
+    def test_requested_sizes(self):
+        warehouse = workload.generate_warehouse(num_base_tables=7, num_views=33, seed=1)
+        assert len(warehouse.base_tables) == 7
+        assert len(warehouse.views) == 33
+
+    def test_all_views_parse(self, small_warehouse):
+        statements = parse(small_warehouse.script)
+        assert len(statements) == len(small_warehouse.views)
+
+    def test_catalog_contains_base_tables(self, small_warehouse):
+        catalog = small_warehouse.catalog()
+        assert set(catalog.relation_names()) == set(small_warehouse.base_tables)
+
+    def test_shuffled_script_same_statements(self, small_warehouse):
+        ordered = {s.strip() for s in small_warehouse.script.split(";") if s.strip()}
+        shuffled = {s.strip() for s in small_warehouse.shuffled_script().split(";") if s.strip()}
+        assert ordered == shuffled
+
+    def test_extraction_of_generated_pipeline(self, small_warehouse):
+        from repro.core.runner import lineagex
+
+        result = lineagex(small_warehouse.shuffled_script(), catalog=small_warehouse.catalog())
+        assert not result.report.unresolved
+        assert len(result.graph.views) == len(small_warehouse.views)
+
+    def test_sweep_configurations_are_increasing(self):
+        sizes = [views for views, _ in workload.sweep_configurations()]
+        assert sizes == sorted(sizes)
+        assert len(sizes) >= 4

@@ -1,0 +1,129 @@
+"""Tests for the dbt project model and the dbt wrapper."""
+
+import pytest
+
+from repro.core.column_refs import ColumnName
+from repro.dbt import DbtProject, compile_jinja_refs, lineagex_dbt
+
+
+def col(table, column):
+    return ColumnName.of(table, column)
+
+
+class TestJinjaCompilation:
+    def test_ref_resolves_to_model_name(self):
+        assert compile_jinja_refs("SELECT * FROM {{ ref('orders_clean') }}") == (
+            "SELECT * FROM orders_clean"
+        )
+
+    def test_two_argument_ref_uses_model_name(self):
+        assert (
+            compile_jinja_refs("SELECT * FROM {{ ref('pkg', 'orders_clean') }}")
+            == "SELECT * FROM orders_clean"
+        )
+
+    def test_source_resolves_to_qualified_name(self):
+        compiled = compile_jinja_refs("SELECT * FROM {{ source('raw', 'web') }}")
+        assert compiled == "SELECT * FROM raw.web"
+
+    def test_source_mapping_override(self):
+        compiled = compile_jinja_refs(
+            "SELECT * FROM {{ source('raw', 'web') }}",
+            source_mapping={("raw", "web"): "landing.web_events"},
+        )
+        assert compiled == "SELECT * FROM landing.web_events"
+
+    def test_config_block_removed(self):
+        compiled = compile_jinja_refs(
+            "{{ config(materialized='view') }}\nSELECT a FROM t"
+        )
+        assert compiled == "SELECT a FROM t"
+
+    def test_jinja_comments_removed(self):
+        compiled = compile_jinja_refs("{# note #}SELECT a FROM t")
+        assert compiled == "SELECT a FROM t"
+
+    def test_whitespace_variants(self):
+        compiled = compile_jinja_refs("SELECT * FROM {{ref( 'm1' )}}")
+        assert compiled == "SELECT * FROM m1"
+
+
+class TestDbtProject:
+    MODELS = {
+        "stg_web": "SELECT w.cid, w.page FROM {{ source('raw', 'web') }} w",
+        "page_stats": (
+            "{{ config(materialized='table') }}\n"
+            "SELECT s.page, count(*) AS views FROM {{ ref('stg_web') }} s GROUP BY s.page"
+        ),
+    }
+
+    def test_from_models_compiles_everything(self):
+        project = DbtProject.from_models(self.MODELS)
+        assert set(project.compiled()) == {"stg_web", "page_stats"}
+        assert "{{" not in project.compiled()["page_stats"]
+
+    def test_refs_and_sources_extracted(self):
+        project = DbtProject.from_models(self.MODELS)
+        assert project.models["page_stats"].refs() == ["stg_web"]
+        assert project.models["stg_web"].sources() == [("raw", "web")]
+
+    def test_dependency_edges(self):
+        project = DbtProject.from_models(self.MODELS)
+        assert ("stg_web", "page_stats") in project.dependency_edges()
+
+    def test_from_directory_reads_model_files(self, tmp_path):
+        models_dir = tmp_path / "models"
+        models_dir.mkdir()
+        (models_dir / "stg_web.sql").write_text(self.MODELS["stg_web"])
+        (models_dir / "page_stats.sql").write_text(self.MODELS["page_stats"])
+        project = DbtProject.from_directory(str(tmp_path))
+        assert set(project.models) == {"stg_web", "page_stats"}
+        assert project.models["stg_web"].path.endswith("stg_web.sql")
+
+    def test_from_directory_without_models_subdir(self, tmp_path):
+        (tmp_path / "only_model.sql").write_text("SELECT 1 AS x")
+        project = DbtProject.from_directory(str(tmp_path))
+        assert set(project.models) == {"only_model"}
+
+
+class TestDbtWrapper:
+    MODELS = TestDbtProject.MODELS
+
+    def test_model_names_become_query_identifiers(self):
+        result = lineagex_dbt(self.MODELS)
+        assert {"stg_web", "page_stats"} <= {entry.name for entry in result.graph.views}
+
+    def test_cross_model_lineage(self):
+        result = lineagex_dbt(self.MODELS)
+        stats = result.graph["page_stats"]
+        assert stats.contributions["page"] == {col("stg_web", "page")}
+        assert "stg_web" in stats.source_tables
+
+    def test_source_macro_becomes_base_table(self):
+        result = lineagex_dbt(self.MODELS)
+        assert "raw.web" in result.graph
+        assert result.graph["raw.web"].is_base_table
+
+    def test_wrapper_accepts_project_instance_and_directory(self, tmp_path):
+        project = DbtProject.from_models(self.MODELS)
+        from_instance = lineagex_dbt(project)
+        models_dir = tmp_path / "models"
+        models_dir.mkdir()
+        for name, sql in self.MODELS.items():
+            (models_dir / f"{name}.sql").write_text(sql)
+        from_directory = lineagex_dbt(str(tmp_path))
+        assert {e.name for e in from_instance.graph.views} == {
+            e.name for e in from_directory.graph.views
+        }
+
+    def test_catalog_enables_star_models(self):
+        from repro.catalog import Catalog
+
+        catalog = Catalog()
+        catalog.create_table("raw.web", ["cid", "date", "page", "reg"])
+        models = {
+            "stg_web": "SELECT w.* FROM {{ source('raw', 'web') }} w",
+            "downstream": "SELECT s.* FROM {{ ref('stg_web') }} s",
+        }
+        result = lineagex_dbt(models, catalog=catalog)
+        assert result.graph["downstream"].output_columns == ["cid", "date", "page", "reg"]

@@ -1,0 +1,156 @@
+"""End-to-end integration tests across modules.
+
+These reproduce the paper's worked example and the demonstration steps as a
+single pipeline: preprocess -> auto-inference extraction -> graph -> impact
+analysis -> serialisation, and check the static and database-connection
+modes agree.
+"""
+
+import json
+
+import pytest
+
+from repro import Catalog, ColumnName, lineagex, lineagex_with_connection
+from repro.analysis.diff import diff_graphs
+from repro.analysis.impact import explore, impact_analysis
+from repro.baselines import SQLLineageBaseline
+from repro.datasets import example1, mimic, retail
+from repro.output import graph_from_json
+
+
+def col(table, column):
+    return ColumnName.of(table, column)
+
+
+class TestExample1EndToEnd:
+    """The full Figure 1 / Figure 2 / Figure 5 story on Example 1."""
+
+    def test_lineage_matches_ground_truth_exactly(self, example1_graph):
+        diff = diff_graphs(example1_graph, example1.ground_truth())
+        assert not diff.missing_relations
+        assert not any(diff.missing_columns.values())
+        assert not diff.missing_edges
+
+    def test_paper_figure2_webinfo_lineage(self, example1_graph):
+        webinfo = example1_graph["webinfo"]
+        assert webinfo.contributions == {
+            "wcid": {col("customers", "cid")},
+            "wdate": {col("web", "date")},
+            "wpage": {col("web", "page")},
+            "wreg": {col("web", "reg")},
+        }
+
+    def test_paper_figure2_webact_lineage(self, example1_graph):
+        webact = example1_graph["webact"]
+        assert webact.output_columns == ["wcid", "wdate", "wpage", "wreg"]
+        assert webact.contributions["wpage"] == {
+            col("webinfo", "wpage"),
+            col("web", "page"),
+        }
+        # the set operation references every input projection column
+        assert col("web", "reg") in webact.referenced
+        assert col("webinfo", "wcid") in webact.referenced
+
+    def test_paper_figure2_info_lineage(self, example1_graph):
+        info = example1_graph["info"]
+        assert info.output_columns == [
+            "name", "age", "oid", "wcid", "wdate", "wpage", "wreg",
+        ]
+        # the w.* columns point at webact (the adjacent view), not at web
+        assert info.contributions["wdate"] == {col("webact", "wdate")}
+        assert col("webact", "wcid") in info.referenced
+
+    def test_step3_explore_sequence(self, example1_graph):
+        _, first_hop = explore(example1_graph, "web")
+        assert first_hop == {"webinfo", "webact"}
+        _, second_hop = explore(example1_graph, "web", hops=2)
+        assert "info" in second_hop
+        _, third_hop = explore(example1_graph, "info")
+        assert third_hop == set()
+
+    def test_step4_impact_analysis(self, example1_graph):
+        result = impact_analysis(example1_graph, "web.page")
+        assert {str(c) for c in result.all_columns} == example1.IMPACT_OF_WEB_PAGE
+
+    def test_json_and_html_round_trip(self, example1_result, tmp_path):
+        json_path, html_path = example1_result.save(str(tmp_path))
+        rebuilt = graph_from_json(open(json_path).read())
+        assert diff_graphs(rebuilt, example1_result.graph).is_identical
+        html = open(html_path).read()
+        assert "webact" in html
+
+    def test_comparison_with_sqllineage_baseline(self, example1_graph):
+        baseline = SQLLineageBaseline().run(example1.QUERY_LOG)
+        # LineageX finds the webact -> info edges the baseline misses entirely
+        lineagex_edges = {
+            (str(e.source), str(e.target))
+            for e in example1_graph.edges()
+            if e.source.table == "webact" and e.target.table == "info"
+        }
+        baseline_edges = {
+            (str(e.source), str(e.target))
+            for e in baseline.edges()
+            if e.source.table == "webact" and e.target.table == "info"
+        }
+        assert lineagex_edges and all("*" not in s for s, _ in lineagex_edges)
+        assert baseline_edges == {("webact.*", "info.*")}
+
+    def test_static_and_connection_modes_agree(self, example1_with_catalog):
+        connected = lineagex_with_connection(
+            example1.QUERY_LOG, catalog=example1.base_table_catalog()
+        )
+        assert diff_graphs(connected.graph, example1_with_catalog.graph).is_identical
+
+
+class TestWarehouseIntegration:
+    def test_retail_every_view_column_traces_to_something(self, retail_result):
+        for view in retail_result.graph.views:
+            # every staging/mart column either has contributions or is a
+            # computed aggregate over them; no view may be empty
+            assert view.output_columns
+            assert view.source_tables
+
+    def test_retail_transitive_impact_of_order_items_discount(self, retail_result):
+        result = impact_analysis(retail_result.graph, "order_items.discount")
+        tables = set(result.impacted_tables())
+        assert {"stg_order_items", "order_revenue", "customer_ltv"} <= tables
+
+    def test_retail_upstream_of_ltv(self, retail_result):
+        from repro.analysis.impact import upstream_columns
+
+        upstream = upstream_columns(retail_result.graph, "customer_ltv.lifetime_value")
+        assert col("order_items", "unit_price") in upstream
+        assert col("order_items", "quantity") in upstream
+
+    def test_mimic_scale_and_correctness_spot_checks(self, mimic_result):
+        graph = mimic_result.graph
+        assert len(graph.views) == 70
+        # a deep chain: research_cohort <- elderly_admissions <- patient_admissions <- stg_*
+        research = graph["research_cohort"]
+        assert "primary_diagnosis" in research.source_tables
+        result = impact_analysis(graph, "patients.dob")
+        assert "research_cohort" in result.impacted_tables()
+
+    def test_mimic_order_independence(self):
+        first = lineagex(mimic.full_script(shuffle_seed=1))
+        second = lineagex(mimic.full_script(shuffle_seed=2))
+        diff = diff_graphs(first.graph, second.graph)
+        assert diff.is_identical, diff.summary()
+
+    def test_retail_connection_mode_agreement(self):
+        static = lineagex(retail.VIEW_SCRIPT, catalog=retail.base_table_catalog())
+        connected = lineagex_with_connection(
+            retail.VIEW_SCRIPT, catalog=retail.base_table_catalog()
+        )
+        assert diff_graphs(connected.graph, static.graph).is_identical
+
+    def test_incremental_catalog_knowledge_only_adds_columns(self):
+        without_catalog = lineagex(example1.QUERY_LOG)
+        with_catalog = lineagex(example1.QUERY_LOG, catalog=example1.base_table_catalog())
+        for entry in without_catalog.graph.base_tables:
+            enriched = with_catalog.graph[entry.name]
+            assert set(entry.output_columns) <= set(enriched.output_columns)
+
+    def test_stats_serialise_to_json(self, mimic_result):
+        payload = json.loads(json.dumps(mimic_result.stats()))
+        assert payload["num_views"] == 70

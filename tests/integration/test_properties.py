@@ -1,0 +1,135 @@
+"""Property-based tests over generated warehouses and core invariants.
+
+The key invariants LineageX promises:
+
+* extraction never fails on a well-formed pipeline, regardless of the order
+  the statements arrive in (the auto-inference stack makes order irrelevant);
+* every lineage edge points from a *source* relation of the view (table
+  lineage and column lineage are consistent);
+* views only ever depend on relations that exist in the pipeline (base
+  tables or other views) — never on their own intermediates (CTE names must
+  not leak);
+* the JSON document round-trips losslessly;
+* impact analysis closures are monotone (downstream sets only grow as edges
+  are added) and consistent with upstream closures.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.analysis.diff import diff_graphs
+from repro.analysis.impact import downstream_columns, upstream_columns
+from repro.core.column_refs import ColumnName
+from repro.core.runner import lineagex
+from repro.datasets import workload
+from repro.output import graph_from_json, graph_to_json
+
+
+warehouse_settings = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+warehouse_strategy = st.builds(
+    workload.generate_warehouse,
+    num_base_tables=st.integers(min_value=2, max_value=6),
+    num_views=st.integers(min_value=3, max_value=25),
+    columns_per_table=st.integers(min_value=3, max_value=8),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+
+
+class TestGeneratedPipelines:
+    @warehouse_settings
+    @given(warehouse=warehouse_strategy)
+    def test_extraction_always_resolves_all_views(self, warehouse):
+        result = lineagex(warehouse.shuffled_script(), catalog=warehouse.catalog())
+        assert not result.report.unresolved
+        assert len(result.graph.views) == len(warehouse.views)
+
+    @warehouse_settings
+    @given(warehouse=warehouse_strategy)
+    def test_order_independence(self, warehouse):
+        ordered = lineagex(warehouse.script, catalog=warehouse.catalog())
+        shuffled = lineagex(warehouse.shuffled_script(), catalog=warehouse.catalog())
+        diff = diff_graphs(shuffled.graph, ordered.graph)
+        assert diff.is_identical, diff.summary()
+
+    @warehouse_settings
+    @given(warehouse=warehouse_strategy)
+    def test_column_lineage_consistent_with_table_lineage(self, warehouse):
+        result = lineagex(warehouse.script, catalog=warehouse.catalog())
+        for view in result.graph.views:
+            for sources in view.contributions.values():
+                for source in sources:
+                    assert source.table in view.source_tables
+            for source in view.referenced:
+                assert source.table in view.source_tables
+
+    @warehouse_settings
+    @given(warehouse=warehouse_strategy)
+    def test_edges_only_point_at_known_relations(self, warehouse):
+        result = lineagex(warehouse.script, catalog=warehouse.catalog())
+        known = set(warehouse.base_tables) | set(warehouse.views)
+        for view in result.graph.views:
+            assert view.source_tables <= known, "no CTE or alias names may leak"
+
+    @warehouse_settings
+    @given(warehouse=warehouse_strategy)
+    def test_json_round_trip_lossless(self, warehouse):
+        result = lineagex(warehouse.script, catalog=warehouse.catalog())
+        rebuilt = graph_from_json(graph_to_json(result.graph))
+        assert diff_graphs(rebuilt, result.graph).is_identical
+
+    @warehouse_settings
+    @given(warehouse=warehouse_strategy)
+    def test_every_view_column_reaches_a_base_table_upstream(self, warehouse):
+        result = lineagex(warehouse.script, catalog=warehouse.catalog())
+        base_tables = set(warehouse.base_tables)
+        for view in result.graph.views:
+            for column in view.output_columns:
+                sources = view.contributions.get(column, set())
+                if not sources:
+                    continue  # purely computed columns (count(*), literals)
+                upstream = upstream_columns(
+                    result.graph, ColumnName.of(view.name, column)
+                )
+                assert any(c.table in base_tables for c in upstream), (
+                    f"{view.name}.{column} never reaches a base table"
+                )
+
+    @warehouse_settings
+    @given(warehouse=warehouse_strategy, column_index=st.integers(min_value=0, max_value=200))
+    def test_impact_closure_consistency(self, warehouse, column_index):
+        result = lineagex(warehouse.script, catalog=warehouse.catalog())
+        all_base_columns = [
+            ColumnName.of(name, column)
+            for name, columns in sorted(warehouse.base_tables.items())
+            for column in columns
+        ]
+        start = all_base_columns[column_index % len(all_base_columns)]
+        downstream = downstream_columns(result.graph, start)
+        for reached in downstream:
+            assert start in upstream_columns(result.graph, reached)
+
+
+class TestStrictModeProperty:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        num_views=st.integers(min_value=2, max_value=10),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_strict_mode_never_changes_successful_results(self, num_views, seed):
+        """When strict extraction succeeds, it agrees with the default mode."""
+        from repro.core.errors import AmbiguousColumnError
+
+        warehouse = workload.generate_warehouse(
+            num_base_tables=3, num_views=num_views, seed=seed
+        )
+        relaxed = lineagex(warehouse.script, catalog=warehouse.catalog())
+        try:
+            strict = lineagex(warehouse.script, catalog=warehouse.catalog(), strict=True)
+        except AmbiguousColumnError:
+            return  # ambiguity found: strictness is allowed to refuse
+        assert diff_graphs(strict.graph, relaxed.graph).is_identical

@@ -1,0 +1,133 @@
+"""Tests for the JSON / HTML / DOT / text renderers and the networkx bridge."""
+
+import json
+
+import networkx as nx
+import pytest
+
+from repro.analysis.diff import diff_graphs
+from repro.core.lineage import EDGE_BOTH, EDGE_CONTRIBUTE, EDGE_REFERENCE
+from repro.output import (
+    graph_from_json,
+    graph_to_dot,
+    graph_to_html,
+    graph_to_json,
+    graph_to_text,
+    to_column_digraph,
+    to_table_digraph,
+)
+from repro.output.graph_ops import edge_kind_counts
+from repro.output.text_output import edges_to_text, relation_to_text
+
+
+class TestJSONOutput:
+    def test_document_shape(self, example1_graph):
+        payload = json.loads(graph_to_json(example1_graph))
+        assert set(payload) >= {"relations", "table_edges", "column_edges"}
+        assert "info" in payload["relations"]
+        assert payload["relations"]["webact"]["columns"] == [
+            "wcid", "wdate", "wpage", "wreg",
+        ]
+
+    def test_column_edges_have_kind(self, example1_graph):
+        payload = json.loads(graph_to_json(example1_graph))
+        kinds = {edge["kind"] for edge in payload["column_edges"]}
+        assert kinds <= {EDGE_CONTRIBUTE, EDGE_REFERENCE, EDGE_BOTH}
+        assert EDGE_CONTRIBUTE in kinds and EDGE_REFERENCE in kinds
+
+    def test_stats_embedded_when_given(self, example1_graph):
+        payload = json.loads(graph_to_json(example1_graph, stats={"answer": 42}))
+        assert payload["stats"]["answer"] == 42
+
+    def test_round_trip(self, example1_graph):
+        rebuilt = graph_from_json(graph_to_json(example1_graph))
+        assert diff_graphs(rebuilt, example1_graph).is_identical
+
+    def test_round_trip_preserves_base_table_flag(self, example1_graph):
+        rebuilt = graph_from_json(graph_to_json(example1_graph))
+        assert rebuilt["web"].is_base_table is True
+        assert rebuilt["info"].is_base_table is False
+
+
+class TestHTMLOutput:
+    def test_html_is_self_contained(self, example1_graph):
+        html = graph_to_html(example1_graph, title="Example 1")
+        assert html.startswith("<!DOCTYPE html>")
+        assert "Example 1" in html
+        assert "http://" not in html and "https://" not in html, "no external assets"
+
+    def test_html_embeds_lineage_json(self, example1_graph):
+        html = graph_to_html(example1_graph)
+        assert '"webact.wpage"' in html
+        assert "column_edges" in html
+
+    def test_html_contains_interaction_hooks(self, example1_graph):
+        html = graph_to_html(example1_graph)
+        for hook in ("explore", "highlightDownstream", "table-select", "show-reference"):
+            assert hook in html
+
+
+class TestDotAndText:
+    def test_dot_structure(self, example1_graph):
+        dot = graph_to_dot(example1_graph)
+        assert dot.startswith("digraph")
+        assert 'rankdir=LR' in dot
+        assert '"web"' in dot and '"info"' in dot
+        assert '"web":"page" -> "webinfo":"wpage"' in dot
+
+    def test_dot_escapes_special_characters(self):
+        from repro.core.column_refs import ColumnName
+        from repro.core.lineage import LineageGraph, TableLineage
+
+        graph = LineageGraph()
+        view = TableLineage(name="v")
+        view.add_contribution("*", ColumnName.of("t", "*"))
+        graph.add(view)
+        dot = graph_to_dot(graph)
+        assert "digraph" in dot
+
+    def test_text_output_lists_relations_and_lineage(self, example1_graph):
+        text = graph_to_text(example1_graph)
+        assert "info (view)" in text
+        assert "web (base table)" in text
+        assert "wpage <- web.page" in text
+
+    def test_relation_to_text_referenced_only_line(self, example1_graph):
+        block = relation_to_text(example1_graph["info"])
+        assert "references:" in block
+        assert "customers.cid" in block
+
+    def test_edges_to_text_filters_by_kind(self, example1_graph):
+        contribute_only = edges_to_text(example1_graph, kinds={EDGE_CONTRIBUTE})
+        assert "[contribute]" in contribute_only
+        assert "[reference]" not in contribute_only
+
+
+class TestGraphOps:
+    def test_column_digraph_nodes_and_edges(self, example1_graph):
+        digraph = to_column_digraph(example1_graph)
+        assert "web.page" in digraph
+        assert digraph.has_edge("web.page", "webinfo.wpage")
+        assert digraph.nodes["web.page"]["table"] == "web"
+
+    def test_reference_edges_can_be_excluded(self, example1_graph):
+        full = to_column_digraph(example1_graph, include_reference_edges=True)
+        contribute_only = to_column_digraph(example1_graph, include_reference_edges=False)
+        assert full.number_of_edges() > contribute_only.number_of_edges()
+        kinds = {data["kind"] for _, _, data in contribute_only.edges(data=True)}
+        assert EDGE_REFERENCE not in kinds
+
+    def test_table_digraph(self, example1_graph):
+        digraph = to_table_digraph(example1_graph)
+        assert digraph.has_edge("web", "webinfo")
+        assert digraph.has_edge("webact", "info")
+        assert digraph.nodes["web"]["is_base_table"] is True
+
+    def test_table_digraph_is_acyclic_for_example1(self, example1_graph):
+        assert nx.is_directed_acyclic_graph(to_table_digraph(example1_graph))
+
+    def test_edge_kind_counts(self, example1_graph):
+        counts = edge_kind_counts(example1_graph)
+        assert sum(counts.values()) == len(list(example1_graph.edges()))
+        assert counts[EDGE_CONTRIBUTE] > 0
+        assert counts[EDGE_REFERENCE] > 0

@@ -1,0 +1,56 @@
+"""Tests for identifier normalisation and quoting helpers."""
+
+from hypothesis import given, strategies as st
+
+from repro.sqlparser.dialect import (
+    normalize_identifier,
+    normalize_name,
+    quote_identifier,
+    quote_literal,
+)
+
+
+class TestNormalization:
+    def test_identifiers_fold_to_lowercase(self):
+        assert normalize_identifier("Orders") == "orders"
+        assert normalize_identifier("OID") == "oid"
+
+    def test_none_passes_through(self):
+        assert normalize_identifier(None) is None
+        assert normalize_name(None) is None
+
+    def test_dotted_names(self):
+        assert normalize_name("Public.Orders") == "public.orders"
+
+    def test_already_lowercase_unchanged(self):
+        assert normalize_name("web.page") == "web.page"
+
+
+class TestQuoting:
+    def test_safe_identifier_not_quoted(self):
+        assert quote_identifier("orders") == "orders"
+        assert quote_identifier("order_items_2") == "order_items_2"
+
+    def test_unsafe_identifier_quoted(self):
+        assert quote_identifier("My Table") == '"My Table"'
+        assert quote_identifier("select") == "select"  # keywords are caller's concern
+
+    def test_uppercase_identifier_quoted(self):
+        assert quote_identifier("Orders") == '"Orders"'
+
+    def test_embedded_quote_escaped(self):
+        assert quote_identifier('a"b') == '"a""b"'
+
+    def test_literal_quoting(self):
+        assert quote_literal("abc") == "'abc'"
+        assert quote_literal("it's") == "'it''s'"
+
+    def test_quote_identifier_none(self):
+        assert quote_identifier(None) == ""
+
+    @given(st.text(alphabet=st.characters(blacklist_categories=("Cs",)), max_size=20))
+    def test_quoted_literals_always_balanced(self, value):
+        quoted = quote_literal(value)
+        assert quoted.startswith("'") and quoted.endswith("'")
+        # interior single quotes are always doubled
+        assert quoted[1:-1].count("'") % 2 == 0

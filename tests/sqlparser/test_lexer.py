@@ -1,0 +1,191 @@
+"""Unit tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.sqlparser import Lexer, TokenizeError, TokenType, tokenize
+
+
+def token_values(sql, **kwargs):
+    return [(t.type, t.value) for t in tokenize(sql, **kwargs) if t.type != TokenType.EOF]
+
+
+class TestBasicTokens:
+    def test_keywords_are_uppercased(self):
+        tokens = token_values("select from where")
+        assert tokens == [
+            (TokenType.KEYWORD, "SELECT"),
+            (TokenType.KEYWORD, "FROM"),
+            (TokenType.KEYWORD, "WHERE"),
+        ]
+
+    def test_keywords_case_insensitive(self):
+        assert token_values("SeLeCt") == [(TokenType.KEYWORD, "SELECT")]
+
+    def test_identifiers_preserve_case(self):
+        tokens = token_values("MyTable other_col")
+        assert tokens == [
+            (TokenType.IDENTIFIER, "MyTable"),
+            (TokenType.IDENTIFIER, "other_col"),
+        ]
+
+    def test_punctuation(self):
+        tokens = token_values("( ) , . ; *")
+        assert [t for t, _ in tokens] == [
+            TokenType.LPAREN,
+            TokenType.RPAREN,
+            TokenType.COMMA,
+            TokenType.DOT,
+            TokenType.SEMICOLON,
+            TokenType.STAR,
+        ]
+
+    def test_eof_token_always_present(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].type == TokenType.EOF
+
+    def test_whitespace_and_newlines_skipped(self):
+        assert token_values("a\n\t b  \r\n c") == [
+            (TokenType.IDENTIFIER, "a"),
+            (TokenType.IDENTIFIER, "b"),
+            (TokenType.IDENTIFIER, "c"),
+        ]
+
+    def test_positions_track_lines_and_columns(self):
+        tokens = tokenize("select\n  col")
+        col_token = tokens[1]
+        assert col_token.line == 2
+        assert col_token.column == 3
+
+
+class TestLiterals:
+    def test_string_literal(self):
+        assert token_values("'hello'") == [(TokenType.STRING, "hello")]
+
+    def test_string_with_escaped_quote(self):
+        assert token_values("'it''s'") == [(TokenType.STRING, "it's")]
+
+    def test_e_string(self):
+        assert token_values("E'abc'") == [(TokenType.STRING, "abc")]
+
+    def test_dollar_quoted_string(self):
+        assert token_values("$$some text$$") == [(TokenType.STRING, "some text")]
+
+    def test_tagged_dollar_quoted_string(self):
+        assert token_values("$tag$a 'b' c$tag$") == [(TokenType.STRING, "a 'b' c")]
+
+    def test_integer_literal(self):
+        assert token_values("42") == [(TokenType.NUMBER, "42")]
+
+    def test_decimal_literal(self):
+        assert token_values("3.14") == [(TokenType.NUMBER, "3.14")]
+
+    def test_leading_dot_decimal(self):
+        assert token_values(".5") == [(TokenType.NUMBER, ".5")]
+
+    def test_scientific_notation(self):
+        assert token_values("1e6 2.5E-3") == [
+            (TokenType.NUMBER, "1e6"),
+            (TokenType.NUMBER, "2.5E-3"),
+        ]
+
+    def test_quoted_identifier(self):
+        assert token_values('"My Column"') == [(TokenType.QUOTED_IDENTIFIER, "My Column")]
+
+    def test_quoted_identifier_with_escaped_quote(self):
+        assert token_values('"a""b"') == [(TokenType.QUOTED_IDENTIFIER, 'a"b')]
+
+
+class TestOperatorsAndParameters:
+    def test_single_char_operators(self):
+        values = [v for _, v in token_values("a + b - c / d % e")]
+        assert values == ["a", "+", "b", "-", "c", "/", "d", "%", "e"]
+
+    def test_multi_char_operators(self):
+        tokens = token_values("a <= b >= c <> d != e || f :: g")
+        operators = [v for t, v in tokens if t == TokenType.OPERATOR]
+        assert operators == ["<=", ">=", "<>", "!=", "||", "::"]
+
+    def test_json_operators(self):
+        operators = [v for t, v in token_values("a -> b ->> c") if t == TokenType.OPERATOR]
+        assert operators == ["->", "->>"]
+
+    def test_positional_parameter(self):
+        assert token_values("$1") == [(TokenType.PARAMETER, "$1")]
+
+    def test_named_parameter(self):
+        assert token_values(":name") == [(TokenType.PARAMETER, ":name")]
+
+    def test_pyformat_parameter(self):
+        assert token_values("%(key)s") == [(TokenType.PARAMETER, "%(key)s")]
+
+    def test_star_is_distinct_token(self):
+        tokens = token_values("count(*)")
+        assert (TokenType.STAR, "*") in tokens
+
+
+class TestComments:
+    def test_line_comment_skipped(self):
+        assert token_values("a -- comment\n b") == [
+            (TokenType.IDENTIFIER, "a"),
+            (TokenType.IDENTIFIER, "b"),
+        ]
+
+    def test_block_comment_skipped(self):
+        assert token_values("a /* comment */ b") == [
+            (TokenType.IDENTIFIER, "a"),
+            (TokenType.IDENTIFIER, "b"),
+        ]
+
+    def test_nested_block_comment(self):
+        assert token_values("a /* x /* y */ z */ b") == [
+            (TokenType.IDENTIFIER, "a"),
+            (TokenType.IDENTIFIER, "b"),
+        ]
+
+    def test_keep_comments_option(self):
+        tokens = token_values("a -- note", keep_comments=True)
+        assert (TokenType.COMMENT, "-- note") in tokens
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(TokenizeError):
+            tokenize("a /* never closed")
+
+
+class TestErrors:
+    def test_unterminated_string_raises(self):
+        with pytest.raises(TokenizeError):
+            tokenize("'oops")
+
+    def test_unterminated_quoted_identifier_raises(self):
+        with pytest.raises(TokenizeError):
+            tokenize('"oops')
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(TokenizeError) as excinfo:
+            tokenize("a ` b")
+        assert excinfo.value.line == 1
+
+    def test_none_input_raises(self):
+        with pytest.raises(TokenizeError):
+            Lexer(None)
+
+    def test_error_carries_position(self):
+        with pytest.raises(TokenizeError) as excinfo:
+            tokenize("ab\ncd `")
+        assert excinfo.value.line == 2
+
+
+class TestRealQueries:
+    def test_example1_q3_token_stream(self):
+        sql = "SELECT c.cid AS wcid FROM customers c WHERE EXTRACT(YEAR from w.date) = 2022"
+        types = [t.type for t in tokenize(sql)]
+        assert TokenType.KEYWORD in types
+        assert types[-1] == TokenType.EOF
+
+    def test_keyword_boundary_not_greedy(self):
+        # "selection" must not be split into the SELECT keyword plus "ion"
+        assert token_values("selection") == [(TokenType.IDENTIFIER, "selection")]
+
+    def test_identifier_with_digits_and_dollar(self):
+        assert token_values("tab1e_2") == [(TokenType.IDENTIFIER, "tab1e_2")]

@@ -1,0 +1,258 @@
+"""Parser tests for scalar expressions."""
+
+import pytest
+
+from repro.sqlparser import ast, parse_one
+
+
+def expr_of(sql_fragment):
+    statement = parse_one(f"SELECT {sql_fragment} FROM t")
+    return statement.query.projections[0].expression
+
+
+def where_of(sql_fragment):
+    statement = parse_one(f"SELECT a FROM t WHERE {sql_fragment}")
+    return statement.query.where
+
+
+class TestLiterals:
+    def test_integer(self):
+        literal = expr_of("42")
+        assert literal.kind == "number"
+        assert literal.value == 42
+
+    def test_float(self):
+        assert expr_of("3.5").value == 3.5
+
+    def test_string(self):
+        literal = expr_of("'abc'")
+        assert literal.kind == "string"
+        assert literal.value == "abc"
+
+    def test_boolean_true(self):
+        assert expr_of("TRUE").value is True
+
+    def test_boolean_false(self):
+        assert expr_of("FALSE").value is False
+
+    def test_null(self):
+        assert expr_of("NULL").kind == "null"
+
+    def test_interval(self):
+        literal = expr_of("INTERVAL '30 days'")
+        assert literal.kind == "interval"
+        assert literal.value == "30 days"
+
+    def test_parameter(self):
+        assert isinstance(expr_of("$1"), ast.Parameter)
+
+
+class TestOperators:
+    def test_arithmetic_precedence(self):
+        expression = expr_of("a + b * c")
+        assert expression.operator == "+"
+        assert expression.right.operator == "*"
+
+    def test_parentheses_override_precedence(self):
+        expression = expr_of("(a + b) * c")
+        assert expression.operator == "*"
+        assert expression.left.operator == "+"
+
+    def test_unary_minus(self):
+        expression = expr_of("-a")
+        assert isinstance(expression, ast.UnaryOp)
+        assert expression.operator == "-"
+
+    def test_comparison(self):
+        expression = where_of("a >= 10")
+        assert expression.operator == ">="
+
+    def test_and_or_precedence(self):
+        expression = where_of("a = 1 OR b = 2 AND c = 3")
+        assert expression.operator == "OR"
+        assert expression.right.operator == "AND"
+
+    def test_not(self):
+        expression = where_of("NOT a = 1")
+        assert isinstance(expression, ast.UnaryOp)
+        assert expression.operator == "NOT"
+
+    def test_concatenation(self):
+        expression = expr_of("a || '-' || b")
+        assert expression.operator == "||"
+
+    def test_postgres_cast_operator(self):
+        expression = expr_of("a::text")
+        assert isinstance(expression, ast.Cast)
+        assert expression.type_name == "text"
+
+    def test_chained_cast(self):
+        expression = expr_of("a::text::varchar(10)")
+        assert isinstance(expression, ast.Cast)
+        assert isinstance(expression.operand, ast.Cast)
+
+    def test_is_null(self):
+        expression = where_of("a IS NULL")
+        assert isinstance(expression, ast.IsNullExpr)
+        assert expression.negated is False
+
+    def test_is_not_null(self):
+        expression = where_of("a IS NOT NULL")
+        assert expression.negated is True
+
+    def test_between(self):
+        expression = where_of("a BETWEEN 1 AND 10")
+        assert isinstance(expression, ast.BetweenExpr)
+        assert expression.low.value == 1
+        assert expression.high.value == 10
+
+    def test_not_between(self):
+        assert where_of("a NOT BETWEEN 1 AND 10").negated is True
+
+    def test_like(self):
+        expression = where_of("name LIKE 'A%'")
+        assert isinstance(expression, ast.LikeExpr)
+        assert expression.operator == "LIKE"
+
+    def test_ilike(self):
+        assert where_of("name ILIKE 'a%'").operator == "ILIKE"
+
+    def test_not_like(self):
+        assert where_of("name NOT LIKE 'A%'").negated is True
+
+    def test_in_list(self):
+        expression = where_of("a IN (1, 2, 3)")
+        assert isinstance(expression, ast.InExpr)
+        assert len(expression.values) == 3
+        assert expression.query is None
+
+    def test_not_in_list(self):
+        assert where_of("a NOT IN (1, 2)").negated is True
+
+    def test_in_subquery(self):
+        expression = where_of("a IN (SELECT id FROM u)")
+        assert expression.query is not None
+        assert expression.values == []
+
+
+class TestFunctionsAndCase:
+    def test_function_call(self):
+        call = expr_of("lower(name)")
+        assert isinstance(call, ast.FunctionCall)
+        assert call.name == "lower"
+        assert len(call.args) == 1
+
+    def test_count_star(self):
+        call = expr_of("count(*)")
+        assert call.is_star_arg is True
+
+    def test_count_distinct(self):
+        call = expr_of("count(DISTINCT cid)")
+        assert call.distinct is True
+
+    def test_nested_function_calls(self):
+        call = expr_of("coalesce(nullif(a, ''), b)")
+        assert call.name == "coalesce"
+        assert isinstance(call.args[0], ast.FunctionCall)
+
+    def test_zero_argument_function(self):
+        call = expr_of("now()")
+        assert call.args == []
+
+    def test_current_date_keyword_function(self):
+        call = expr_of("CURRENT_DATE")
+        assert isinstance(call, ast.FunctionCall)
+        assert call.name == "current_date"
+
+    def test_window_function(self):
+        call = expr_of("row_number() OVER (PARTITION BY a ORDER BY b DESC)")
+        assert call.over is not None
+        assert len(call.over.partition_by) == 1
+        assert call.over.order_by[0].descending is True
+
+    def test_window_frame(self):
+        call = expr_of(
+            "sum(x) OVER (ORDER BY d ROWS BETWEEN 2 PRECEDING AND CURRENT ROW)"
+        )
+        assert call.over.frame is not None
+        assert call.over.frame.kind == "ROWS"
+
+    def test_named_window_reference(self):
+        call = expr_of("rank() OVER w")
+        assert call.over.name == "w"
+
+    def test_filter_clause(self):
+        call = expr_of("count(*) FILTER (WHERE status = 'ok')")
+        assert call.filter_clause is not None
+
+    def test_cast_call(self):
+        cast = expr_of("CAST(a AS numeric(10, 2))")
+        assert isinstance(cast, ast.Cast)
+        assert "numeric" in cast.type_name
+
+    def test_extract(self):
+        extract = expr_of("EXTRACT(YEAR FROM created_at)")
+        assert isinstance(extract, ast.ExtractExpr)
+        assert extract.part.upper() == "YEAR"
+        assert isinstance(extract.operand, ast.ColumnRef)
+
+    def test_searched_case(self):
+        case = expr_of("CASE WHEN a > 1 THEN 'hi' WHEN a > 0 THEN 'mid' ELSE 'lo' END")
+        assert isinstance(case, ast.Case)
+        assert len(case.whens) == 2
+        assert case.else_result is not None
+        assert case.operand is None
+
+    def test_simple_case(self):
+        case = expr_of("CASE status WHEN 'a' THEN 1 ELSE 0 END")
+        assert case.operand is not None
+
+    def test_keyword_named_functions(self):
+        call = expr_of("left(name, 3)")
+        assert call.name == "left"
+        assert len(call.args) == 2
+
+
+class TestSubqueryExpressions:
+    def test_scalar_subquery(self):
+        expression = expr_of("(SELECT max(x) FROM u)")
+        assert isinstance(expression, ast.SubqueryExpr)
+
+    def test_exists(self):
+        expression = where_of("EXISTS (SELECT 1 FROM u WHERE u.id = t.id)")
+        assert isinstance(expression, ast.ExistsExpr)
+        assert expression.negated is False
+
+    def test_not_exists(self):
+        expression = where_of("NOT EXISTS (SELECT 1 FROM u)")
+        assert isinstance(expression, ast.ExistsExpr)
+        assert expression.negated is True
+
+    def test_row_tuple(self):
+        expression = where_of("(a, b) IN (SELECT x, y FROM u)")
+        assert isinstance(expression, ast.InExpr)
+        assert isinstance(expression.operand, ast.ExpressionList)
+
+
+class TestNodeHelpers:
+    def test_children_enumeration(self):
+        expression = expr_of("a + b")
+        children = list(expression.children())
+        assert len(children) == 2
+        assert all(isinstance(child, ast.ColumnRef) for child in children)
+
+    def test_column_ref_str(self):
+        assert str(ast.ColumnRef(name="c", qualifier=["t"])) == "t.c"
+
+    def test_star_str(self):
+        assert str(ast.Star(qualifier=["w"])) == "w.*"
+        assert str(ast.Star()) == "*"
+
+    def test_qualified_name_helpers(self):
+        name = ast.QualifiedName(parts=["public", "orders"])
+        assert name.name == "orders"
+        assert name.schema == "public"
+        assert name.dotted() == "public.orders"
+
+    def test_node_name(self):
+        assert expr_of("a").node_name == "ColumnRef"

@@ -1,0 +1,312 @@
+"""Parser tests for SELECT queries: projections, FROM, joins, clauses."""
+
+import pytest
+
+from repro.sqlparser import ParseError, ast, parse_one
+
+
+def select_of(sql):
+    statement = parse_one(sql)
+    assert isinstance(statement, ast.QueryStatement)
+    return statement.query
+
+
+class TestProjections:
+    def test_single_column(self):
+        select = select_of("SELECT a FROM t")
+        assert len(select.projections) == 1
+        expression = select.projections[0].expression
+        assert isinstance(expression, ast.ColumnRef)
+        assert expression.name == "a"
+
+    def test_qualified_column(self):
+        select = select_of("SELECT t.a FROM t")
+        expression = select.projections[0].expression
+        assert expression.qualifier == ["t"]
+        assert expression.table == "t"
+
+    def test_schema_qualified_column(self):
+        select = select_of("SELECT s.t.a FROM s.t")
+        expression = select.projections[0].expression
+        assert expression.qualifier == ["s", "t"]
+
+    def test_alias_with_as(self):
+        select = select_of("SELECT a AS b FROM t")
+        assert select.projections[0].alias == "b"
+
+    def test_alias_without_as(self):
+        select = select_of("SELECT a b FROM t")
+        assert select.projections[0].alias == "b"
+
+    def test_bare_star(self):
+        select = select_of("SELECT * FROM t")
+        assert isinstance(select.projections[0].expression, ast.Star)
+        assert select.projections[0].expression.qualifier == []
+
+    def test_qualified_star(self):
+        select = select_of("SELECT w.* FROM webact w")
+        star = select.projections[0].expression
+        assert isinstance(star, ast.Star)
+        assert star.table == "w"
+
+    def test_multiple_projections(self):
+        select = select_of("SELECT a, b AS x, t.c, count(*) FROM t")
+        assert len(select.projections) == 4
+
+    def test_output_name_from_alias(self):
+        select = select_of("SELECT a + 1 AS total FROM t")
+        assert select.projections[0].output_name == "total"
+
+    def test_output_name_from_column(self):
+        select = select_of("SELECT t.amount FROM t")
+        assert select.projections[0].output_name == "amount"
+
+    def test_output_name_from_function(self):
+        select = select_of("SELECT count(*) FROM t")
+        assert select.projections[0].output_name == "count"
+
+    def test_distinct(self):
+        select = select_of("SELECT DISTINCT a FROM t")
+        assert select.distinct is True
+
+    def test_distinct_on(self):
+        select = select_of("SELECT DISTINCT ON (a, b) a, b, c FROM t")
+        assert select.distinct is True
+        assert len(select.distinct_on) == 2
+
+
+class TestFromAndJoins:
+    def test_simple_table(self):
+        select = select_of("SELECT a FROM customers")
+        source = select.from_sources[0]
+        assert isinstance(source, ast.TableRef)
+        assert source.name.dotted() == "customers"
+
+    def test_schema_qualified_table(self):
+        select = select_of("SELECT a FROM public.customers")
+        assert select.from_sources[0].name.dotted() == "public.customers"
+
+    def test_table_alias(self):
+        select = select_of("SELECT c.a FROM customers c")
+        assert select.from_sources[0].alias == "c"
+        assert select.from_sources[0].effective_name == "c"
+
+    def test_table_alias_with_as(self):
+        select = select_of("SELECT c.a FROM customers AS c")
+        assert select.from_sources[0].alias == "c"
+
+    def test_comma_join(self):
+        select = select_of("SELECT a FROM t1, t2")
+        assert len(select.from_sources) == 2
+
+    def test_inner_join_on(self):
+        select = select_of("SELECT a FROM t1 JOIN t2 ON t1.id = t2.id")
+        join = select.from_sources[0]
+        assert isinstance(join, ast.Join)
+        assert join.join_type == "INNER"
+        assert isinstance(join.condition, ast.BinaryOp)
+
+    def test_left_outer_join(self):
+        select = select_of("SELECT a FROM t1 LEFT OUTER JOIN t2 ON t1.id = t2.id")
+        assert select.from_sources[0].join_type == "LEFT"
+
+    def test_right_join(self):
+        select = select_of("SELECT a FROM t1 RIGHT JOIN t2 ON t1.id = t2.id")
+        assert select.from_sources[0].join_type == "RIGHT"
+
+    def test_full_join(self):
+        select = select_of("SELECT a FROM t1 FULL JOIN t2 ON t1.id = t2.id")
+        assert select.from_sources[0].join_type == "FULL"
+
+    def test_cross_join(self):
+        select = select_of("SELECT a FROM t1 CROSS JOIN t2")
+        join = select.from_sources[0]
+        assert join.join_type == "CROSS"
+        assert join.condition is None
+
+    def test_join_using(self):
+        select = select_of("SELECT a FROM t1 JOIN t2 USING (id, code)")
+        assert select.from_sources[0].using_columns == ["id", "code"]
+
+    def test_natural_join(self):
+        select = select_of("SELECT a FROM t1 NATURAL JOIN t2")
+        assert select.from_sources[0].natural is True
+
+    def test_chained_joins(self):
+        select = select_of(
+            "SELECT a FROM t1 JOIN t2 ON t1.id = t2.id JOIN t3 ON t2.id = t3.id"
+        )
+        outer = select.from_sources[0]
+        assert isinstance(outer, ast.Join)
+        assert isinstance(outer.left, ast.Join)
+        assert isinstance(outer.right, ast.TableRef)
+        assert outer.right.name.dotted() == "t3"
+
+    def test_derived_table(self):
+        select = select_of("SELECT v.a FROM (SELECT a FROM t) v")
+        source = select.from_sources[0]
+        assert isinstance(source, ast.SubquerySource)
+        assert source.alias == "v"
+
+    def test_derived_table_with_column_aliases(self):
+        select = select_of("SELECT v.x FROM (SELECT a, b FROM t) AS v(x, y)")
+        source = select.from_sources[0]
+        assert source.column_aliases == ["x", "y"]
+
+    def test_values_source(self):
+        select = select_of("SELECT v.a FROM (VALUES (1, 2), (3, 4)) AS v(a, b)")
+        source = select.from_sources[0]
+        assert isinstance(source, ast.ValuesSource)
+        assert len(source.rows) == 2
+
+    def test_function_source(self):
+        select = select_of("SELECT g FROM generate_series(1, 10) g")
+        source = select.from_sources[0]
+        assert isinstance(source, ast.FunctionSource)
+        assert source.function.name == "generate_series"
+
+    def test_lateral_subquery(self):
+        select = select_of(
+            "SELECT x.a FROM t, LATERAL (SELECT a FROM u WHERE u.id = t.id) x"
+        )
+        assert select.from_sources[1].lateral is True
+
+    def test_parenthesised_join(self):
+        select = select_of("SELECT a FROM (t1 JOIN t2 ON t1.id = t2.id)")
+        assert isinstance(select.from_sources[0], ast.Join)
+
+
+class TestClauses:
+    def test_where(self):
+        select = select_of("SELECT a FROM t WHERE a > 5")
+        assert isinstance(select.where, ast.BinaryOp)
+
+    def test_group_by(self):
+        select = select_of("SELECT a, count(*) FROM t GROUP BY a, b")
+        assert len(select.group_by) == 2
+
+    def test_having(self):
+        select = select_of("SELECT a, count(*) FROM t GROUP BY a HAVING count(*) > 1")
+        assert select.having is not None
+
+    def test_order_by_directions(self):
+        select = select_of("SELECT a FROM t ORDER BY a DESC, b ASC")
+        assert select.order_by[0].descending is True
+        assert select.order_by[1].descending is False
+
+    def test_order_by_nulls(self):
+        select = select_of("SELECT a FROM t ORDER BY a DESC NULLS LAST")
+        assert select.order_by[0].nulls == "LAST"
+
+    def test_limit_offset(self):
+        select = select_of("SELECT a FROM t LIMIT 10 OFFSET 20")
+        assert select.limit.value == 10
+        assert select.offset.value == 20
+
+    def test_limit_all(self):
+        select = select_of("SELECT a FROM t LIMIT ALL")
+        assert select.limit.kind == "null"
+
+    def test_named_window(self):
+        select = select_of(
+            "SELECT rank() OVER w FROM t WINDOW w AS (PARTITION BY a ORDER BY b)"
+        )
+        assert len(select.windows) == 1
+        name, spec = select.windows[0]
+        assert name == "w"
+        assert len(spec.partition_by) == 1
+
+    def test_select_without_from(self):
+        select = select_of("SELECT 1, 'x'")
+        assert select.from_sources == []
+        assert len(select.projections) == 2
+
+
+class TestCTEsAndSetOperations:
+    def test_single_cte(self):
+        select = select_of("WITH x AS (SELECT a FROM t) SELECT a FROM x")
+        assert len(select.ctes) == 1
+        assert select.ctes[0].name == "x"
+
+    def test_multiple_ctes(self):
+        select = select_of(
+            "WITH x AS (SELECT a FROM t), y AS (SELECT a FROM x) SELECT a FROM y"
+        )
+        assert [cte.name for cte in select.ctes] == ["x", "y"]
+
+    def test_recursive_cte(self):
+        select = select_of(
+            "WITH RECURSIVE r AS (SELECT 1 AS n UNION ALL SELECT n + 1 FROM r) SELECT n FROM r"
+        )
+        assert select.recursive is True
+
+    def test_cte_with_column_list(self):
+        select = select_of("WITH x(p, q) AS (SELECT a, b FROM t) SELECT p FROM x")
+        assert select.ctes[0].column_names == ["p", "q"]
+
+    def test_union(self):
+        query = select_of("SELECT a FROM t UNION SELECT b FROM u")
+        assert isinstance(query, ast.SetOperation)
+        assert query.operator == "UNION"
+        assert query.all is False
+
+    def test_union_all(self):
+        query = select_of("SELECT a FROM t UNION ALL SELECT b FROM u")
+        assert query.all is True
+
+    def test_intersect(self):
+        query = select_of("SELECT a FROM t INTERSECT SELECT b FROM u")
+        assert query.operator == "INTERSECT"
+
+    def test_except(self):
+        query = select_of("SELECT a FROM t EXCEPT SELECT b FROM u")
+        assert query.operator == "EXCEPT"
+
+    def test_intersect_binds_tighter_than_union(self):
+        query = select_of(
+            "SELECT a FROM t UNION SELECT b FROM u INTERSECT SELECT c FROM v"
+        )
+        assert query.operator == "UNION"
+        assert isinstance(query.right, ast.SetOperation)
+        assert query.right.operator == "INTERSECT"
+
+    def test_set_operation_leaves(self):
+        query = select_of(
+            "SELECT a FROM t UNION SELECT b FROM u UNION SELECT c FROM v"
+        )
+        leaves = list(query.leaves())
+        assert len(leaves) == 3
+        assert all(isinstance(leaf, ast.Select) for leaf in leaves)
+
+    def test_set_operation_with_order_and_limit(self):
+        query = select_of("SELECT a FROM t UNION SELECT b FROM u ORDER BY 1 LIMIT 5")
+        assert isinstance(query, ast.SetOperation)
+        assert len(query.order_by) == 1
+        assert query.limit.value == 5
+
+    def test_parenthesised_query(self):
+        query = select_of("(SELECT a FROM t)")
+        assert isinstance(query, ast.Select)
+
+
+class TestParseErrors:
+    def test_missing_from_table(self):
+        with pytest.raises(ParseError):
+            parse_one("SELECT a FROM")
+
+    def test_unbalanced_parenthesis(self):
+        with pytest.raises(ParseError):
+            parse_one("SELECT a FROM (SELECT b FROM t")
+
+    def test_garbage_statement(self):
+        with pytest.raises(ParseError):
+            parse_one("FOO BAR BAZ")
+
+    def test_two_statements_in_parse_one(self):
+        with pytest.raises(ParseError):
+            parse_one("SELECT 1; SELECT 2")
+
+    def test_error_mentions_location(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_one("SELECT a FROM t WHERE")
+        assert "line" in str(excinfo.value)

@@ -1,0 +1,145 @@
+"""Parser tests for top-level statements: CREATE, INSERT, DROP, scripts."""
+
+import pytest
+
+from repro.sqlparser import ParseError, ast, parse, parse_one
+
+
+class TestCreateView:
+    def test_basic_create_view(self):
+        statement = parse_one("CREATE VIEW v AS SELECT a FROM t")
+        assert isinstance(statement, ast.CreateView)
+        assert statement.name.dotted() == "v"
+        assert isinstance(statement.query, ast.Select)
+
+    def test_or_replace(self):
+        statement = parse_one("CREATE OR REPLACE VIEW v AS SELECT a FROM t")
+        assert statement.or_replace is True
+
+    def test_materialized_view(self):
+        statement = parse_one("CREATE MATERIALIZED VIEW v AS SELECT a FROM t")
+        assert statement.materialized is True
+
+    def test_view_with_column_list(self):
+        statement = parse_one("CREATE VIEW v (x, y) AS SELECT a, b FROM t")
+        assert statement.column_names == ["x", "y"]
+
+    def test_schema_qualified_view(self):
+        statement = parse_one("CREATE VIEW analytics.v AS SELECT a FROM t")
+        assert statement.name.dotted() == "analytics.v"
+
+    def test_view_over_set_operation(self):
+        statement = parse_one(
+            "CREATE VIEW v AS SELECT a FROM t INTERSECT SELECT b FROM u"
+        )
+        assert isinstance(statement.query, ast.SetOperation)
+
+
+class TestCreateTable:
+    def test_create_table_as(self):
+        statement = parse_one("CREATE TABLE t2 AS SELECT a, b FROM t")
+        assert isinstance(statement, ast.CreateTableAs)
+        assert statement.name.dotted() == "t2"
+
+    def test_create_temp_table_as(self):
+        statement = parse_one("CREATE TEMP TABLE t2 AS SELECT a FROM t")
+        assert statement.temporary is True
+
+    def test_create_table_ddl(self):
+        statement = parse_one(
+            "CREATE TABLE web (cid integer PRIMARY KEY, page varchar(255) NOT NULL, reg boolean)"
+        )
+        assert isinstance(statement, ast.CreateTable)
+        assert [c.name for c in statement.columns] == ["cid", "page", "reg"]
+        assert statement.columns[0].type_name == "integer"
+
+    def test_create_table_multiword_types(self):
+        statement = parse_one(
+            "CREATE TABLE x (d double precision, ts timestamp with time zone, v character varying(20))"
+        )
+        types = [c.type_name for c in statement.columns]
+        assert types[0] == "double precision"
+        assert "with time zone" in types[1]
+
+    def test_create_table_if_not_exists(self):
+        statement = parse_one("CREATE TABLE IF NOT EXISTS x (a integer)")
+        assert statement.if_not_exists is True
+
+    def test_create_table_with_table_constraint(self):
+        statement = parse_one(
+            "CREATE TABLE x (a integer, b integer, PRIMARY KEY (a, b))"
+        )
+        assert [c.name for c in statement.columns] == ["a", "b"]
+
+    def test_create_table_with_default_expression(self):
+        statement = parse_one("CREATE TABLE x (a integer DEFAULT 0, b text DEFAULT 'y')")
+        assert len(statement.columns) == 2
+
+
+class TestInsertAndDrop:
+    def test_insert_select(self):
+        statement = parse_one("INSERT INTO target (a, b) SELECT x, y FROM src")
+        assert isinstance(statement, ast.InsertStatement)
+        assert statement.columns == ["a", "b"]
+        assert statement.query is not None
+
+    def test_insert_select_without_columns(self):
+        statement = parse_one("INSERT INTO target SELECT x FROM src")
+        assert statement.columns == []
+
+    def test_insert_values(self):
+        statement = parse_one("INSERT INTO target (a, b) VALUES (1, 'x'), (2, 'y')")
+        assert statement.query is None
+        assert len(statement.values) == 2
+
+    def test_drop_table(self):
+        statement = parse_one("DROP TABLE old_table")
+        assert isinstance(statement, ast.DropStatement)
+        assert statement.object_type == "TABLE"
+
+    def test_drop_view_if_exists_cascade(self):
+        statement = parse_one("DROP VIEW IF EXISTS v CASCADE")
+        assert statement.if_exists is True
+        assert statement.cascade is True
+
+    def test_drop_materialized_view(self):
+        statement = parse_one("DROP MATERIALIZED VIEW mv")
+        assert statement.object_type == "MATERIALIZED VIEW"
+
+
+class TestScripts:
+    def test_multiple_statements(self):
+        statements = parse("SELECT 1; SELECT 2; SELECT 3")
+        assert len(statements) == 3
+
+    def test_trailing_semicolon(self):
+        assert len(parse("SELECT 1;")) == 1
+
+    def test_empty_statements_skipped(self):
+        assert len(parse(";;SELECT 1;;")) == 1
+
+    def test_missing_semicolon_between_statements(self):
+        with pytest.raises(ParseError):
+            parse("SELECT 1 SELECT 2")
+
+    def test_example1_script(self):
+        from repro.datasets import example1
+
+        statements = parse(example1.QUERY_LOG)
+        assert len(statements) == 3
+        assert all(isinstance(s, ast.CreateView) for s in statements)
+        assert [s.name.dotted() for s in statements] == ["info", "webact", "webinfo"]
+
+    def test_mixed_ddl_and_queries(self):
+        statements = parse(
+            "CREATE TABLE t (a integer); CREATE VIEW v AS SELECT a FROM t; SELECT a FROM v"
+        )
+        assert isinstance(statements[0], ast.CreateTable)
+        assert isinstance(statements[1], ast.CreateView)
+        assert isinstance(statements[2], ast.QueryStatement)
+
+    def test_comments_in_script(self):
+        statements = parse(
+            "-- header comment\nSELECT 1; /* block */ SELECT 2"
+        )
+        assert len(statements) == 2

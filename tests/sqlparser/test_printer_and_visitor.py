@@ -1,0 +1,207 @@
+"""Tests for the SQL printer (round-trips) and the visitor utilities."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sqlparser import ast, parse, parse_one, to_sql
+from repro.sqlparser.visitor import (
+    created_name,
+    find_all,
+    query_of,
+    referenced_tables,
+    transform,
+    walk,
+    walk_postorder,
+)
+
+
+ROUND_TRIP_QUERIES = [
+    "SELECT a FROM t",
+    "SELECT DISTINCT a, b AS x FROM t WHERE a > 1",
+    "SELECT t.a, u.b FROM t JOIN u ON t.id = u.id",
+    "SELECT a FROM t LEFT JOIN u USING (id)",
+    "SELECT a FROM t CROSS JOIN u",
+    "SELECT count(*) AS n FROM t GROUP BY a HAVING count(*) > 2 ORDER BY n DESC LIMIT 5 OFFSET 2",
+    "SELECT w.* FROM webact AS w",
+    "SELECT * FROM t",
+    "WITH x AS (SELECT a FROM t) SELECT a FROM x",
+    "WITH x AS (SELECT a FROM t), y AS (SELECT a FROM x) SELECT y.a FROM y",
+    "SELECT a FROM t UNION ALL SELECT b FROM u",
+    "SELECT a FROM t INTERSECT SELECT b FROM u",
+    "SELECT a FROM t EXCEPT SELECT b FROM u ORDER BY a LIMIT 1",
+    "SELECT CASE WHEN a > 1 THEN 'hi' ELSE 'lo' END AS bucket FROM t",
+    "SELECT CAST(a AS text) FROM t",
+    "SELECT EXTRACT(YEAR FROM d) FROM t",
+    "SELECT sum(x) OVER (PARTITION BY a ORDER BY b) FROM t",
+    "SELECT count(*) FILTER (WHERE a > 0) FROM t",
+    "SELECT a FROM t WHERE b IN (SELECT id FROM u)",
+    "SELECT a FROM t WHERE EXISTS (SELECT 1 FROM u WHERE u.id = t.id)",
+    "SELECT a FROM t WHERE NOT EXISTS (SELECT 1 FROM u)",
+    "SELECT a FROM t WHERE b BETWEEN 1 AND 10 AND c LIKE 'x%'",
+    "SELECT a FROM t WHERE b IS NOT NULL",
+    "SELECT a FROM (SELECT a FROM t) AS sub",
+    "SELECT v.x FROM (SELECT a, b FROM t) AS v(x, y)",
+    "SELECT a FROM (VALUES (1, 2), (3, 4)) AS v(a, b)",
+    "CREATE VIEW v AS SELECT a FROM t",
+    "CREATE OR REPLACE MATERIALIZED VIEW v AS SELECT a FROM t",
+    "CREATE TABLE t2 AS SELECT a FROM t",
+    "CREATE TABLE x (a integer, b text)",
+    "INSERT INTO target (a, b) SELECT x, y FROM src",
+    "DROP VIEW IF EXISTS v CASCADE",
+]
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("sql", ROUND_TRIP_QUERIES)
+    def test_printed_sql_reparses(self, sql):
+        statement = parse_one(sql)
+        printed = to_sql(statement)
+        reparsed = parse_one(printed)
+        assert to_sql(reparsed) == printed, "printing must be a fixpoint after one round"
+
+    def test_example1_round_trip(self):
+        from repro.datasets import example1
+
+        for statement in parse(example1.QUERY_LOG):
+            printed = to_sql(statement)
+            assert to_sql(parse_one(printed)) == printed
+
+    def test_unknown_node_type_raises(self):
+        with pytest.raises(TypeError):
+            to_sql(object())
+
+    def test_quoted_identifier_rendering(self):
+        statement = parse_one('SELECT "Weird Name" FROM "My Table"')
+        printed = to_sql(statement)
+        assert '"Weird Name"' in printed
+        assert '"My Table"' in printed
+
+    def test_string_literal_escaping(self):
+        printed = to_sql(parse_one("SELECT 'it''s' FROM t"))
+        assert "'it''s'" in printed
+
+
+class TestPropertyBasedRoundTrip:
+    """Property-based round-trips over a small generated query space."""
+
+    identifiers = st.sampled_from(["a", "b", "c", "total", "x1"])
+    tables = st.sampled_from(["t", "u", "orders", "web_events"])
+
+    @st.composite
+    def simple_queries(draw):
+        columns = draw(
+            st.lists(
+                st.sampled_from(["a", "b", "c", "total", "x1"]), min_size=1, max_size=4, unique=True
+            )
+        )
+        table = draw(st.sampled_from(["t", "u", "orders", "web_events"]))
+        alias = draw(st.sampled_from(["", "src", "z"]))
+        use_where = draw(st.booleans())
+        use_limit = draw(st.booleans())
+        prefix = alias or table
+        projection = ", ".join(f"{prefix}.{column}" for column in columns)
+        sql = f"SELECT {projection} FROM {table}"
+        if alias:
+            sql += f" AS {alias}"
+        if use_where:
+            sql += f" WHERE {prefix}.{columns[0]} > 0"
+        if use_limit:
+            sql += " LIMIT 10"
+        return sql
+
+    @settings(max_examples=60, deadline=None)
+    @given(simple_queries())
+    def test_generated_queries_round_trip(self, sql):
+        printed = to_sql(parse_one(sql))
+        assert to_sql(parse_one(printed)) == printed
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.sampled_from(["a", "b", "c", "d"]), min_size=1, max_size=4, unique=True
+        ),
+        st.sampled_from(["UNION", "UNION ALL", "INTERSECT", "EXCEPT"]),
+    )
+    def test_set_operations_round_trip(self, columns, operator):
+        projection = ", ".join(columns)
+        sql = f"SELECT {projection} FROM t {operator} SELECT {projection} FROM u"
+        printed = to_sql(parse_one(sql))
+        assert to_sql(parse_one(printed)) == printed
+
+
+class TestVisitor:
+    def test_walk_visits_all_column_refs(self):
+        statement = parse_one("SELECT a, b FROM t WHERE c > 1")
+        refs = [node for node in walk(statement) if isinstance(node, ast.ColumnRef)]
+        assert {ref.name for ref in refs} == {"a", "b", "c"}
+
+    def test_walk_preorder_root_first(self):
+        statement = parse_one("SELECT a FROM t")
+        nodes = list(walk(statement))
+        assert nodes[0] is statement
+
+    def test_walk_postorder_root_last(self):
+        statement = parse_one("SELECT a FROM t")
+        nodes = list(walk_postorder(statement))
+        assert nodes[-1] is statement
+
+    def test_walk_postorder_children_before_parent(self):
+        statement = parse_one("SELECT a + b FROM t")
+        nodes = list(walk_postorder(statement))
+        binary_index = next(
+            i for i, node in enumerate(nodes) if isinstance(node, ast.BinaryOp)
+        )
+        ref_indexes = [
+            i for i, node in enumerate(nodes) if isinstance(node, ast.ColumnRef)
+        ]
+        assert all(index < binary_index for index in ref_indexes)
+
+    def test_walk_none_is_empty(self):
+        assert list(walk(None)) == []
+        assert list(walk_postorder(None)) == []
+
+    def test_find_all_with_stop_at(self):
+        statement = parse_one(
+            "SELECT a, (SELECT max(x) FROM u) FROM t WHERE b > 1"
+        )
+        refs = find_all(
+            statement.query, ast.ColumnRef, stop_at=ast.QueryExpression
+        )
+        # 'x' lives inside the nested subquery, which is not descended into
+        names = {ref.name for ref in refs}
+        assert "a" in names and "b" in names
+        assert "x" not in names
+
+    def test_find_all_without_stop(self):
+        statement = parse_one("SELECT a, (SELECT max(x) FROM u) FROM t")
+        names = {ref.name for ref in find_all(statement, ast.ColumnRef)}
+        assert "x" in names
+
+    def test_transform_rewrites_nodes(self):
+        statement = parse_one("SELECT a FROM old_table")
+
+        def rename(node):
+            if isinstance(node, ast.QualifiedName) and node.name == "old_table":
+                return ast.QualifiedName(parts=["new_table"])
+            return node
+
+        rewritten = transform(statement, rename)
+        assert "new_table" in to_sql(rewritten)
+
+    def test_query_of_statements(self):
+        assert isinstance(query_of(parse_one("SELECT 1")), ast.Select)
+        assert isinstance(
+            query_of(parse_one("CREATE VIEW v AS SELECT 1")), ast.Select
+        )
+        assert query_of(parse_one("DROP TABLE t")) is None
+
+    def test_created_name(self):
+        assert created_name(parse_one("CREATE VIEW v AS SELECT 1")) == "v"
+        assert created_name(parse_one("INSERT INTO t SELECT 1")) == "t"
+        assert created_name(parse_one("SELECT 1")) is None
+
+    def test_referenced_tables(self):
+        statement = parse_one(
+            "SELECT a FROM t JOIN u ON t.id = u.id WHERE b IN (SELECT id FROM v)"
+        )
+        assert referenced_tables(statement) == {"t", "u", "v"}

@@ -1,0 +1,137 @@
+"""Tests for the command-line interface."""
+
+import io
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import build_parser, run
+from repro.datasets import example1, retail
+
+
+@pytest.fixture
+def example1_file(tmp_path):
+    path = tmp_path / "customer.sql"
+    path.write_text(example1.QUERY_LOG)
+    return str(path)
+
+
+@pytest.fixture
+def catalog_file(tmp_path):
+    path = tmp_path / "schema.sql"
+    path.write_text(retail.BASE_TABLE_DDL)
+    return str(path)
+
+
+def run_cli(*argv):
+    buffer = io.StringIO()
+    code = run(list(argv), stdout=buffer)
+    return code, buffer.getvalue()
+
+
+class TestArgumentParsing:
+    def test_defaults(self):
+        args = build_parser().parse_args(["input.sql"])
+        assert args.format == "text"
+        assert args.strict is False
+        assert args.no_stack is False
+
+    def test_all_flags(self):
+        args = build_parser().parse_args(
+            ["models/", "--dbt", "--strict", "--no-stack", "--format", "json",
+             "--impact", "web.page", "--catalog", "ddl.sql", "--output", "out/"]
+        )
+        assert args.dbt and args.strict and args.no_stack
+        assert args.impact == "web.page"
+
+    def test_invalid_format_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["x.sql", "--format", "yaml"])
+
+
+class TestExecution:
+    def test_text_output(self, example1_file):
+        code, output = run_cli(example1_file)
+        assert code == 0
+        assert "webinfo (view)" in output
+        assert "wpage <- web.page" in output
+
+    def test_json_output(self, example1_file):
+        code, output = run_cli(example1_file, "--format", "json")
+        assert code == 0
+        payload = json.loads(output)
+        assert "relations" in payload
+
+    def test_stats_output(self, example1_file):
+        code, output = run_cli(example1_file, "--format", "stats")
+        assert code == 0
+        assert "num_views: 3" in output
+
+    def test_dot_output(self, example1_file):
+        code, output = run_cli(example1_file, "--format", "dot")
+        assert output.startswith("digraph")
+
+    def test_html_output(self, example1_file):
+        code, output = run_cli(example1_file, "--format", "html")
+        assert output.startswith("<!DOCTYPE html>")
+
+    def test_impact_analysis(self, example1_file):
+        code, output = run_cli(example1_file, "--impact", "web.page")
+        assert code == 0
+        assert "webinfo.wpage" in output
+        assert "impacted tables:  info, webact, webinfo" in output
+
+    def test_upstream_analysis(self, example1_file):
+        code, output = run_cli(example1_file, "--upstream", "info.wpage")
+        assert "web.page" in output
+
+    def test_output_directory(self, example1_file, tmp_path):
+        out_dir = tmp_path / "out"
+        code, _ = run_cli(example1_file, "--output", str(out_dir))
+        assert (out_dir / "lineagex.json").exists()
+        assert (out_dir / "lineagex.html").exists()
+
+    def test_catalog_flag(self, tmp_path, catalog_file):
+        sql = tmp_path / "views.sql"
+        sql.write_text("CREATE VIEW v AS SELECT * FROM customers")
+        code, output = run_cli(str(sql), "--catalog", catalog_file)
+        assert code == 0
+        assert "email" in output  # star expanded through the catalog schema
+
+    def test_directory_input(self, tmp_path):
+        (tmp_path / "a_model.sql").write_text("SELECT t.x FROM t")
+        (tmp_path / "b_model.sql").write_text("SELECT u.y FROM u")
+        code, output = run_cli(str(tmp_path))
+        assert code == 0
+        assert "a_model" in output and "b_model" in output
+
+    def test_dbt_mode(self, tmp_path):
+        models = tmp_path / "models"
+        models.mkdir()
+        (models / "stg.sql").write_text("SELECT w.page FROM {{ source('raw', 'web') }} w")
+        (models / "report.sql").write_text("SELECT s.page FROM {{ ref('stg') }} s")
+        code, output = run_cli(str(tmp_path), "--dbt")
+        assert code == 0
+        assert "report" in output and "raw.web" in output
+
+    def test_strict_mode_propagates(self, tmp_path):
+        sql = tmp_path / "ambiguous.sql"
+        sql.write_text(
+            "CREATE TABLE a (k integer); CREATE TABLE b (k integer);"
+            "CREATE VIEW v AS SELECT k FROM a, b"
+        )
+        from repro.core.errors import AmbiguousColumnError
+
+        with pytest.raises(AmbiguousColumnError):
+            run_cli(str(sql), "--strict")
+
+    def test_module_invocation(self, example1_file):
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", example1_file, "--format", "stats"],
+            capture_output=True,
+            text=True,
+        )
+        assert completed.returncode == 0
+        assert "num_views: 3" in completed.stdout

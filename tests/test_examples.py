@@ -1,0 +1,50 @@
+"""Smoke tests: every example script must run end to end."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+EXAMPLE_SCRIPTS = sorted(
+    name for name in os.listdir(EXAMPLES_DIR) if name.endswith(".py")
+)
+
+
+def test_at_least_three_examples_exist():
+    assert len(EXAMPLE_SCRIPTS) >= 3
+    assert "quickstart.py" in EXAMPLE_SCRIPTS
+
+
+@pytest.mark.parametrize("script", EXAMPLE_SCRIPTS)
+def test_example_runs_cleanly(script):
+    completed = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert completed.stdout.strip(), "examples must print something useful"
+
+
+def test_quickstart_mentions_output_files():
+    completed = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert "lineagex.html" in completed.stdout
+
+
+def test_impact_analysis_example_reports_step4_answer():
+    completed = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, "impact_analysis.py")],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert "webinfo.wpage" in completed.stdout
+    assert "Step 4" in completed.stdout
