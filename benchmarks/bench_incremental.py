@@ -1,0 +1,124 @@
+"""INCR — incremental re-extraction vs full re-run (interactivity claim).
+
+The paper positions LineageX as interactive: a user edits one query and the
+UI refreshes.  With the dependency DAG the runner can re-extract only the
+changed Query Dictionary entry plus its transitive dependents, splicing the
+cached lineage for everything else.  This benchmark edits a single view in
+generated warehouses of increasing size and reports full-run vs
+single-change-update wall time; the update must touch only the dirty set
+and be at least 5x faster than the full run at scale.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.analysis.diff import diff_graphs
+from repro.core.dag import DependencyDAG
+from repro.core.preprocess import preprocess
+from repro.core.runner import LineageXRunner
+from repro.datasets import workload
+
+from _report import emit, table
+
+SWEEP = [50, 100, 200, 400]
+SEED = 97
+
+
+def _setup(num_views):
+    """Build a warehouse, a baseline result, and a one-view change delta."""
+    warehouse = workload.generate_warehouse(
+        num_base_tables=max(3, num_views // 10), num_views=num_views, seed=SEED
+    )
+    sources = dict(warehouse.views)
+    runner = LineageXRunner(catalog=warehouse.catalog())
+    baseline = runner.run(sources)
+    # edit a view from the first quarter of the pipeline (it has downstream
+    # dependents) into a projection of a base table — a realistic "rewrote
+    # one staging view" change
+    target = f"view_{num_views // 4}"
+    changes = {target: f"CREATE VIEW {target} AS SELECT b.id FROM base_0 b"}
+    merged = dict(sources)
+    merged.update(changes)
+    return runner, baseline, changes, merged, target
+
+
+def test_incremental_report():
+    rows = []
+    speedups = []
+    for num_views in SWEEP:
+        runner, baseline, changes, merged, target = _setup(num_views)
+
+        started = time.perf_counter()
+        full = runner.run(merged)
+        full_elapsed = time.perf_counter() - started
+
+        started = time.perf_counter()
+        incremental = runner.run_incremental(baseline, changes)
+        incremental_elapsed = time.perf_counter() - started
+
+        # correctness: the spliced graph equals the full re-run
+        diff = diff_graphs(incremental.graph, full.graph)
+        assert diff.is_identical, diff.summary()
+
+        # the update re-extracts exactly the changed entry + DAG dependents
+        dag = DependencyDAG.from_query_dictionary(preprocess(merged))
+        expected_dirty = {target} | dag.transitive_dependents({target})
+        assert set(incremental.report.order) == expected_dirty
+        assert len(incremental.report.reused) == num_views - len(expected_dirty)
+
+        speedup = full_elapsed / max(incremental_elapsed, 1e-9)
+        speedups.append((num_views, speedup))
+        rows.append(
+            (
+                num_views,
+                len(expected_dirty),
+                len(incremental.report.reused),
+                f"{full_elapsed * 1000:.1f}",
+                f"{incremental_elapsed * 1000:.1f}",
+                f"{speedup:.1f}x",
+            )
+        )
+
+    lines = table(
+        [
+            "#views",
+            "#re-extracted",
+            "#reused",
+            "full run (ms)",
+            "update (ms)",
+            "speedup",
+        ],
+        rows,
+    )
+    lines.append("")
+    lines.append(
+        "A single-view edit re-extracts only the changed entry and its DAG "
+        "dependents; everything else is spliced from the cached graph."
+    )
+    emit("incremental", "Incremental — single-change update vs full re-run", lines)
+
+    # the headline claim: at the largest size the update is >= 5x faster.
+    # Wall-clock assertions are inherently flaky on shared CI runners, so
+    # there the structural checks above (exact dirty set, graph equality)
+    # stand in; the timing gate runs locally and under BENCH_STRICT=1.
+    if not os.environ.get("CI") or os.environ.get("BENCH_STRICT"):
+        assert speedups[-1][1] >= 5.0, (
+            f"incremental update only {speedups[-1][1]:.1f}x faster at "
+            f"{speedups[-1][0]} views"
+        )
+
+
+@pytest.mark.parametrize("num_views", [200], ids=["200-views"])
+def test_incremental_update_benchmark(benchmark, num_views):
+    runner, baseline, changes, _, _ = _setup(num_views)
+    result = benchmark(runner.run_incremental, baseline, changes)
+    assert result.report.reused
+
+
+@pytest.mark.parametrize("num_views", [200], ids=["200-views"])
+def test_full_rerun_benchmark(benchmark, num_views):
+    runner, _, _, merged, _ = _setup(num_views)
+    result = benchmark(runner.run, merged)
+    assert not result.report.unresolved

@@ -26,9 +26,11 @@ Package map
 from .core.runner import LineageXResult, LineageXRunner, lineagex
 from .core.lineage import ColumnEdge, LineageGraph, TableLineage
 from .core.column_refs import ColumnName
+from .core.dag import DependencyDAG
 from .core.errors import (
     AmbiguousColumnError,
     CyclicDependencyError,
+    DeferralLimitExceededError,
     LineageError,
     UnknownRelationError,
 )
@@ -50,6 +52,7 @@ __all__ = [
     "TableLineage",
     "ColumnEdge",
     "ColumnName",
+    "DependencyDAG",
     "Catalog",
     "catalog_from_sql",
     "impact_analysis",
@@ -57,5 +60,6 @@ __all__ = [
     "UnknownRelationError",
     "AmbiguousColumnError",
     "CyclicDependencyError",
+    "DeferralLimitExceededError",
     "__version__",
 ]

@@ -9,15 +9,19 @@ This module implements the demonstration workflow of Section IV:
   *referenced by* the change, transitively.  The closure distinguishes how
   each affected column is reached, matching the red / blue / orange
   highlighting of the UI.
+
+All traversals run directly over the graph's cached adjacency index
+(:meth:`LineageGraph.column_adjacency <repro.core.lineage.LineageGraph>`);
+no intermediate networkx graph is constructed, which keeps repeated
+interactive queries cheap.  Use :mod:`repro.output.graph_ops` when an
+actual networkx object is needed for export.
 """
 
+from collections import deque
 from dataclasses import dataclass, field
-
-import networkx as nx
 
 from ..core.column_refs import ColumnName
 from ..core.lineage import EDGE_BOTH, EDGE_CONTRIBUTE, EDGE_REFERENCE
-from ..output.graph_ops import to_column_digraph
 
 
 @dataclass
@@ -85,37 +89,29 @@ def impact_analysis(graph, column, direction="downstream"):
         ``both`` — matching the orange highlighting of the paper's UI.
     """
     start = _as_column_name(column)
-    digraph = to_column_digraph(graph, include_reference_edges=True)
-    if direction == "upstream":
-        digraph = digraph.reverse(copy=False)
-    elif direction != "downstream":
-        raise ValueError(f"direction must be 'downstream' or 'upstream', got {direction!r}")
+    adjacency = graph.column_adjacency(direction)
 
-    start_key = str(start)
-    if start_key not in digraph:
-        return ImpactResult(start=start, direction=direction)
-
-    # BFS that tracks the *kinds* of edges on the paths used to reach a node.
+    # BFS that tracks the *kinds* of edges on the paths used to reach a
+    # column; a column is re-expanded whenever its kind set grows.
     reached_kinds = {}
-    queue = [start_key]
-    visited = {start_key}
+    queue = deque([start])
     while queue:
-        current = queue.pop(0)
-        for _, target, data in digraph.out_edges(current, data=True):
-            kind = data.get("kind", EDGE_CONTRIBUTE)
-            kinds = reached_kinds.setdefault(target, set())
-            before = set(kinds)
+        current = queue.popleft()
+        for target, kind in (adjacency.get(current) or {}).items():
+            kinds = reached_kinds.get(target)
+            if kinds is None:
+                kinds = reached_kinds[target] = set()
+            before = len(kinds)
             if kind == EDGE_BOTH:
-                kinds |= {EDGE_CONTRIBUTE, EDGE_REFERENCE}
+                kinds.add(EDGE_CONTRIBUTE)
+                kinds.add(EDGE_REFERENCE)
             else:
                 kinds.add(kind)
-            if target not in visited or kinds != before:
-                visited.add(target)
+            if len(kinds) != before:
                 queue.append(target)
 
     result = ImpactResult(start=start, direction=direction)
-    for key, kinds in reached_kinds.items():
-        name = ColumnName.parse(key)
+    for name, kinds in reached_kinds.items():
         if kinds >= {EDGE_CONTRIBUTE, EDGE_REFERENCE}:
             result.both.add(name)
         elif EDGE_CONTRIBUTE in kinds:
@@ -135,6 +131,23 @@ def upstream_columns(graph, column):
     return impact_analysis(graph, column, direction="upstream").all_columns
 
 
+def _tables_within(adjacency, table, hops):
+    """Tables reachable from ``table`` within ``hops`` steps (excl. itself)."""
+    reached = set()
+    frontier = [table]
+    for _ in range(hops):
+        next_frontier = []
+        for current in frontier:
+            for neighbor in adjacency.get(current, ()):
+                if neighbor != table and neighbor not in reached:
+                    reached.add(neighbor)
+                    next_frontier.append(neighbor)
+        if not next_frontier:
+            break
+        frontier = next_frontier
+    return reached
+
+
 def explore(graph, table, hops=1):
     """The *explore* action of the UI: tables within ``hops`` of ``table``.
 
@@ -142,17 +155,8 @@ def explore(graph, table, hops=1):
     names reachable within the requested number of hops over table-level
     edges, excluding ``table`` itself.
     """
-    digraph = nx.DiGraph()
-    for source, target in graph.table_edges():
-        digraph.add_edge(source, target)
-    if table not in digraph:
-        return set(), set()
-    downstream = set(
-        nx.single_source_shortest_path_length(digraph, table, cutoff=hops)
-    ) - {table}
-    upstream = set(
-        nx.single_source_shortest_path_length(digraph.reverse(copy=False), table, cutoff=hops)
-    ) - {table}
+    downstream = _tables_within(graph.table_successors(), table, hops)
+    upstream = _tables_within(graph.table_predecessors(), table, hops)
     return upstream, downstream
 
 

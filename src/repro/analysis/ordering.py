@@ -3,7 +3,8 @@
 The paper's introduction motivates column lineage with "storage refactoring
 and workflow migration": both need to know in which order views can be
 (re)created and which objects nothing depends on.  These helpers answer that
-from a :class:`~repro.core.lineage.LineageGraph`:
+from a :class:`~repro.core.lineage.LineageGraph`, traversing its cached
+table-level adjacency index directly (no networkx graph is built):
 
 * :func:`creation_order` — a topological order of the views (dependencies
   first), i.e. the order a migration script must replay them in;
@@ -14,25 +15,56 @@ from a :class:`~repro.core.lineage.LineageGraph`:
   catalog), candidates for storage cleanup.
 """
 
-import networkx as nx
+from ..core.errors import CyclicDependencyError
 
-from ..output.graph_ops import to_table_digraph
+
+def _topological_tables(graph):
+    """All relations in dependency order (Kahn's algorithm, deterministic).
+
+    Ties are broken by the graph's relation insertion order.  Raises
+    :class:`~repro.core.errors.CyclicDependencyError` if the table-level
+    dependencies are cyclic (which the extractor itself would normally have
+    rejected).
+    """
+    successors = graph.table_successors()
+    predecessors = graph.table_predecessors()
+    names = list(graph.relations)
+    known = set(names)
+    # a source table may be referenced without ever being materialised as a
+    # relation node (e.g. no column reference hits it); such phantom edges
+    # must not count towards the indegree or everything downstream of them
+    # would be reported as cyclic
+    indegree = {
+        name: sum(1 for source in predecessors.get(name, ()) if source in known)
+        for name in names
+    }
+    queue = [name for name in names if indegree[name] == 0]
+    order = []
+    cursor = 0
+    while cursor < len(queue):
+        name = queue[cursor]
+        cursor += 1
+        order.append(name)
+        for dependent in successors.get(name, ()):
+            indegree[dependent] -= 1
+            if indegree[dependent] == 0:
+                queue.append(dependent)
+    if len(order) != len(names):
+        raise CyclicDependencyError(
+            sorted(name for name in names if indegree[name] > 0)
+        )
+    return order
 
 
 def creation_order(graph):
     """Views in dependency order (every view appears after its sources).
 
-    Raises :class:`networkx.NetworkXUnfeasible` if the view dependencies are
-    cyclic (which the extractor itself would normally have rejected).
+    Raises :class:`~repro.core.errors.CyclicDependencyError` if the view
+    dependencies are cyclic (which the extractor itself would normally have
+    rejected).
     """
-    digraph = to_table_digraph(graph)
     view_names = {entry.name for entry in graph.views}
-    order = [name for name in nx.topological_sort(digraph) if name in view_names]
-    # views that have no table edges at all still need to appear
-    for entry in graph.views:
-        if entry.name not in order:
-            order.append(entry.name)
-    return order
+    return [name for name in _topological_tables(graph) if name in view_names]
 
 
 def drop_order(graph):
@@ -42,21 +74,17 @@ def drop_order(graph):
 
 def terminal_views(graph):
     """Views that no other relation reads (the "leaves" of the warehouse)."""
-    digraph = to_table_digraph(graph)
-    view_names = {entry.name for entry in graph.views}
+    successors = graph.table_successors()
     return sorted(
-        name
-        for name in view_names
-        if name not in digraph or digraph.out_degree(name) == 0
+        entry.name for entry in graph.views if not successors.get(entry.name)
     )
 
 
 def root_tables(graph):
     """Base tables that at least one view reads directly."""
-    digraph = to_table_digraph(graph)
-    base_names = {entry.name for entry in graph.base_tables}
+    successors = graph.table_successors()
     return sorted(
-        name for name in base_names if name in digraph and digraph.out_degree(name) > 0
+        entry.name for entry in graph.base_tables if successors.get(entry.name)
     )
 
 

@@ -76,6 +76,23 @@ def build_parser():
         action="store_true",
         help="disable the auto-inference stack (ablation / debugging)",
     )
+    parser.add_argument(
+        "--mode",
+        choices=["dag", "stack"],
+        default="dag",
+        help="scheduling mode: plan a dependency DAG and extract in "
+        "topological waves (default) or use the purely reactive "
+        "LIFO-deferral stack",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        metavar="N",
+        default=None,
+        help="in dag mode, extract independent queries of each wave on a "
+        "thread pool of N workers (default: sequential; output is identical "
+        "either way — on GIL-bound CPython builds expect little speedup)",
+    )
     return parser
 
 
@@ -107,6 +124,8 @@ def run(argv=None, stdout=None):
             strict=args.strict,
             use_stack=not args.no_stack,
             output_dir=args.output,
+            mode=args.mode,
+            workers=args.workers,
         )
 
     if args.impact:

@@ -1,0 +1,199 @@
+"""The relation dependency DAG — a cheap pre-pass over parsed statements.
+
+The Table/View Auto-Inference stack (Section III of the paper) discovers
+dependencies *reactively*: it starts extracting a query, hits an unknown
+relation, and defers.  For whole-warehouse extraction the dependency
+structure is static and can be read directly off the parsed statements: the
+relations a query reads are exactly the ``FROM`` / ``JOIN`` / set-operation
+sources appearing anywhere in its AST (minus the CTE names it defines
+itself).
+
+:class:`DependencyDAG` materialises that structure once, in a pass that is
+orders of magnitude cheaper than full extraction.  It backs three features:
+
+* the scheduler's *plan-first* mode — topologically sort the Query
+  Dictionary into :meth:`waves` and extract in dependency order, so the
+  deferral stack is only ever needed for references the pre-pass cannot see;
+* wave-level parallelism — entries within one wave are mutually independent
+  and can be extracted concurrently;
+* incremental re-extraction — :meth:`transitive_dependents` is the dirty
+  set of a source change.
+
+The pre-pass deliberately over-approximates (it collects every table
+reference under a statement, including those inside subqueries); an
+over-approximation can only make the plan more conservative, never wrong,
+and any reference it *misses* is still recovered by the stack fallback.
+"""
+
+from ..sqlparser import ast
+from ..sqlparser.dialect import normalize_name
+
+
+def _scoped_table_refs(node, active_ctes, referenced):
+    """Collect table references, resolving CTE names *lexically*.
+
+    A CTE name only shadows table references within the query expression
+    that defines it (and nested subqueries) — exactly the scoping the
+    extractor applies.  Stripping CTE names globally would hide a genuine
+    dependency whenever a subquery-local CTE shares its name with a real
+    relation, which is merely conservative for scheduling (the stack
+    fallback recovers) but unsound for incremental invalidation.
+    """
+    if node is None:
+        return
+    if isinstance(node, ast.TableRef):
+        name = normalize_name(node.name.dotted())
+        if name not in active_ctes:
+            referenced.add(name)
+        return
+    if isinstance(node, (ast.Select, ast.SetOperation)):
+        scope = set(active_ctes)
+        for cte in node.ctes:
+            # a CTE body sees the preceding CTEs and (if recursive) itself
+            _scoped_table_refs(
+                cte.query, scope | {normalize_name(cte.name)}, referenced
+            )
+            scope.add(normalize_name(cte.name))
+        # walk the remaining children through Node.children() — it knows
+        # about tuple-valued fields (e.g. named WINDOW clauses) — skipping
+        # the CTE nodes handled above
+        cte_ids = {id(cte) for cte in node.ctes}
+        for child in node.children():
+            if id(child) in cte_ids:
+                continue
+            _scoped_table_refs(child, scope, referenced)
+        return
+    for child in node.children():
+        _scoped_table_refs(child, active_ctes, referenced)
+
+
+def statement_dependencies(entry):
+    """Relations read by one Query Dictionary entry (CTE names excluded).
+
+    Returns a set of normalised relation names referenced anywhere under the
+    entry's statement, minus the names of CTEs in scope at the reference
+    (lexical scoping, matching the extractor) and minus the entry's own
+    identifier (a query reading the relation it writes — ``UPDATE ... FROM``,
+    self-referencing ``INSERT`` — is not a dependency on another entry).
+    """
+    referenced = set()
+    _scoped_table_refs(entry.statement, frozenset(), referenced)
+    referenced.discard(entry.identifier)
+    return referenced
+
+
+class DependencyDAG:
+    """Dependency structure of a Query Dictionary.
+
+    ``dependencies`` maps an identifier to the *internal* relations it reads
+    (other Query Dictionary entries); ``readers`` maps every referenced
+    relation name — internal or external base table — to the identifiers
+    that read it.  The latter powers incremental invalidation: dependents of
+    a *removed* relation still need re-extraction even though the relation
+    is no longer a node.
+    """
+
+    def __init__(self):
+        self.nodes = []            # QD identifiers, insertion order
+        self.dependencies = {}     # identifier -> set of internal identifiers read
+        self.dependents = {}       # identifier -> set of internal identifiers reading it
+        self.readers = {}          # any relation name -> set of identifiers reading it
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_query_dictionary(cls, query_dictionary):
+        """Build the DAG with one cheap AST walk per entry."""
+        dag = cls()
+        dag.nodes = list(query_dictionary.identifiers())
+        node_set = set(dag.nodes)
+        for identifier in dag.nodes:
+            dag.dependencies[identifier] = set()
+            dag.dependents[identifier] = set()
+        for identifier, entry in query_dictionary.items():
+            for name in statement_dependencies(entry):
+                dag.readers.setdefault(name, set()).add(identifier)
+                if name in node_set:
+                    dag.dependencies[identifier].add(name)
+                    dag.dependents[name].add(identifier)
+        return dag
+
+    # ------------------------------------------------------------------
+    def waves(self):
+        """Layer the DAG into parallel-safe waves (Kahn's algorithm by level).
+
+        Returns ``(waves, deferred)``: ``waves`` is a list of lists of
+        identifiers — every entry in wave *k* depends only on entries in
+        waves ``< k``, so entries within one wave are mutually independent;
+        ``deferred`` holds the identifiers that could not be scheduled
+        because they sit on (or downstream of) a dependency cycle.  Both are
+        deterministic: Query Dictionary insertion order breaks all ties.
+        """
+        position = {identifier: index for index, identifier in enumerate(self.nodes)}
+        indegree = {
+            identifier: len(self.dependencies[identifier]) for identifier in self.nodes
+        }
+        current = sorted(
+            (identifier for identifier in self.nodes if indegree[identifier] == 0),
+            key=position.__getitem__,
+        )
+        waves = []
+        scheduled = 0
+        while current:
+            waves.append(current)
+            scheduled += len(current)
+            ready = []
+            for identifier in current:
+                for dependent in self.dependents[identifier]:
+                    indegree[dependent] -= 1
+                    if indegree[dependent] == 0:
+                        ready.append(dependent)
+            current = sorted(ready, key=position.__getitem__)
+        deferred = [
+            identifier for identifier in self.nodes if indegree[identifier] > 0
+        ]
+        return waves, deferred
+
+    def topological_order(self):
+        """A flat topological order (waves concatenated, cyclic leftovers last)."""
+        waves, deferred = self.waves()
+        order = [identifier for wave in waves for identifier in wave]
+        order.extend(deferred)
+        return order
+
+    # ------------------------------------------------------------------
+    def transitive_dependents(self, names):
+        """Every entry that transitively reads any relation in ``names``.
+
+        ``names`` may include external relations or identifiers no longer
+        present (removed entries): the first hop goes through ``readers``,
+        which records every observed reference.  The result never contains
+        members of ``names`` unless they also read another member.
+        """
+        result = set()
+        frontier = list(names)
+        while frontier:
+            name = frontier.pop()
+            for reader in self.readers.get(name, ()):
+                if reader not in result:
+                    result.add(reader)
+                    frontier.append(reader)
+        return result
+
+    # ------------------------------------------------------------------
+    def stats(self):
+        """Summary counters (used by the CLI and the benchmarks)."""
+        waves, deferred = self.waves()
+        return {
+            "num_nodes": len(self.nodes),
+            "num_edges": sum(len(deps) for deps in self.dependencies.values()),
+            "num_waves": len(waves),
+            "max_wave_width": max((len(wave) for wave in waves), default=0),
+            "num_cyclic": len(deferred),
+        }
+
+    def to_dict(self):
+        """Plain-data form: ``{identifier: sorted dependencies}``."""
+        return {
+            identifier: sorted(self.dependencies[identifier])
+            for identifier in self.nodes
+        }

@@ -66,3 +66,32 @@ class CyclicDependencyError(LineageError):
     def __init__(self, cycle):
         self.cycle = list(cycle)
         super().__init__("cyclic dependency among queries: " + " -> ".join(self.cycle))
+
+
+class DeferralLimitExceededError(CyclicDependencyError):
+    """Raised when the auto-inference stack exceeds its deferral budget.
+
+    Distinguishes "the scheduler gave up after ``max_deferrals`` stack
+    operations" from a genuine dependency cycle (which is detected eagerly
+    when a relation re-enters the stack).  Subclasses
+    :class:`CyclicDependencyError` so existing ``except`` clauses keep
+    working.
+
+    Attributes
+    ----------
+    stack:
+        The deferral stack at the moment the limit was hit (outermost
+        first).
+    limit:
+        The deferral budget that was exceeded.
+    """
+
+    def __init__(self, stack, limit):
+        self.stack = list(stack)
+        self.limit = limit
+        LineageError.__init__(
+            self,
+            f"deferral limit of {limit} exceeded; stack at limit: "
+            + " -> ".join(self.stack),
+        )
+        self.cycle = list(stack)

@@ -52,6 +52,10 @@ class TableLineage:
     expressions: dict = field(default_factory=dict)        # column -> defining SQL text
     is_base_table: bool = False
     sql: str = ""
+    #: mutation counter; lets :class:`LineageGraph` detect entries mutated
+    #: *after* being added (e.g. base tables gaining columns from usage) and
+    #: invalidate its adjacency index.
+    _version: int = field(default=0, compare=False, repr=False)
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -61,21 +65,25 @@ class TableLineage:
         if column not in self.output_columns:
             self.output_columns.append(column)
         self.contributions.setdefault(column, set())
+        self._version += 1
 
     def add_contribution(self, column, source):
         """Record that ``source`` contributes to output ``column``."""
         self.add_output_column(column)
         self.contributions[column].add(source)
         self.source_tables.add(source.table)
+        self._version += 1
 
     def add_reference(self, source):
         """Record that the defining query references ``source``."""
         self.referenced.add(source)
         self.source_tables.add(source.table)
+        self._version += 1
 
     def add_source_table(self, table):
         """Record a table-level dependency without a column edge."""
         self.source_tables.add(table)
+        self._version += 1
 
     # ------------------------------------------------------------------
     # Views over the stored lineage
@@ -144,11 +152,84 @@ class TableLineage:
         }
 
 
+class _GraphIndex:
+    """Cached adjacency structures derived from a :class:`LineageGraph`.
+
+    Built once per graph state (see ``LineageGraph._ensure_index``) and
+    shared by every traversal consumer: ``edges()``, ``table_edges()``,
+    ``neighbors()``, the impact analysis, and the dependency-ordering
+    reports.  All members are treated as immutable by consumers.
+    """
+
+    __slots__ = (
+        "edges",            # list[ColumnEdge], in the canonical iteration order
+        "forward",          # ColumnName -> {ColumnName: kind} (source -> targets)
+        "reverse",          # ColumnName -> {ColumnName: kind} (target -> sources)
+        "table_edges",      # list[(source_table, target_table)]
+        "table_forward",    # table -> [downstream tables]
+        "table_reverse",    # table -> [upstream tables]
+    )
+
+    def __init__(self, relations):
+        self.edges = []
+        self.forward = {}
+        self.reverse = {}
+        self.table_edges = []
+        self.table_forward = {}
+        self.table_reverse = {}
+        seen_table_edges = set()
+        for entry in relations.values():
+            for edge in entry.edges():
+                self.edges.append(edge)
+                self.forward.setdefault(edge.source, {})[edge.target] = edge.kind
+                self.reverse.setdefault(edge.target, {})[edge.source] = edge.kind
+            for source in sorted(entry.source_tables):
+                key = (source, entry.name)
+                if key not in seen_table_edges:
+                    seen_table_edges.add(key)
+                    self.table_edges.append(key)
+                    self.table_forward.setdefault(source, []).append(entry.name)
+                    self.table_reverse.setdefault(entry.name, []).append(source)
+
+
 class LineageGraph:
-    """The combined lineage of a set of queries (one warehouse)."""
+    """The combined lineage of a set of queries (one warehouse).
+
+    Besides the per-relation lineage entries, the graph maintains a cached
+    forward/reverse column adjacency index.  The index is built lazily on
+    the first traversal and invalidated automatically on mutation — both
+    structural mutation (:meth:`add`, :meth:`ensure_base_table`) and
+    in-place mutation of an already-added :class:`TableLineage` (tracked
+    through its ``_version`` counter).  Hot-path consumers (``edges()``,
+    ``neighbors()``, the impact analysis, dependency ordering) therefore
+    never re-derive the edge set per call.
+    """
 
     def __init__(self):
         self.relations = {}
+        self._mutations = 0
+        self._index = None
+        self._index_token = None
+
+    # ------------------------------------------------------------------
+    # Index maintenance
+    # ------------------------------------------------------------------
+    def _invalidate(self):
+        self._mutations += 1
+
+    def _state_token(self):
+        """A cheap fingerprint of the graph's mutable state."""
+        total = 0
+        for entry in self.relations.values():
+            total += entry._version
+        return (self._mutations, len(self.relations), total)
+
+    def _ensure_index(self):
+        token = self._state_token()
+        if self._index is None or self._index_token != token:
+            self._index = _GraphIndex(self.relations)
+            self._index_token = token
+        return self._index
 
     # ------------------------------------------------------------------
     # Population
@@ -156,6 +237,7 @@ class LineageGraph:
     def add(self, lineage):
         """Add (or replace) the lineage entry for one relation."""
         self.relations[lineage.name] = lineage
+        self._invalidate()
         return lineage
 
     def ensure_base_table(self, name, columns=()):
@@ -164,6 +246,7 @@ class LineageGraph:
         if entry is None:
             entry = TableLineage(name=name, is_base_table=True)
             self.relations[name] = entry
+            self._invalidate()
         for column in columns:
             entry.add_output_column(column)
         return entry
@@ -173,12 +256,16 @@ class LineageGraph:
 
         Base tables are not defined by any query in the Query Dictionary, so
         their visible column set is accumulated from usage across queries —
-        this is how the ``web`` node of Example 1 obtains its columns.
+        this is how the ``web`` node of Example 1 obtains its columns.  When
+        the relation is already present as a *view* (defined by a query),
+        that entry is returned unchanged: a view's column set comes from its
+        defining query, never from usage.
         """
         entry = self.relations.get(column_name.table)
-        if entry is None or entry.is_base_table:
-            entry = self.ensure_base_table(column_name.table)
-            entry.add_output_column(column_name.column)
+        if entry is not None and not entry.is_base_table:
+            return entry
+        entry = self.ensure_base_table(column_name.table)
+        entry.add_output_column(column_name.column)
         return entry
 
     # ------------------------------------------------------------------
@@ -217,23 +304,52 @@ class LineageGraph:
         return list(entry.output_columns)
 
     # ------------------------------------------------------------------
-    # Edge / graph views
+    # Edge / graph views (all backed by the cached adjacency index)
     # ------------------------------------------------------------------
     def edges(self):
         """Yield every column-level edge in the graph."""
-        for entry in self.relations.values():
-            for edge in entry.edges():
-                yield edge
+        yield from self._ensure_index().edges
 
     def table_edges(self):
         """Yield table-level edges ``(source_table, target_table)``."""
-        seen = set()
-        for entry in self.relations.values():
-            for source in sorted(entry.source_tables):
-                key = (source, entry.name)
-                if key not in seen:
-                    seen.add(key)
-                    yield key
+        yield from self._ensure_index().table_edges
+
+    def neighbors(self, column, direction="downstream"):
+        """Adjacent columns of ``column`` with their edge kinds.
+
+        Returns a sorted list of ``(ColumnName, kind)`` pairs: the columns
+        directly fed by ``column`` (``direction="downstream"``) or directly
+        feeding it (``direction="upstream"``).  A column with no edges in
+        the requested direction — or absent from the graph — yields ``[]``.
+        """
+        adjacency = self.column_adjacency(direction)
+        if not isinstance(column, ColumnName):
+            column = ColumnName.parse(column)
+        return sorted((adjacency.get(column) or {}).items())
+
+    def column_adjacency(self, direction="downstream"):
+        """The raw cached adjacency mapping for ``direction``.
+
+        ``{ColumnName: {ColumnName: kind}}`` — the traversal substrate used
+        by :mod:`repro.analysis.impact`.  Treat as read-only: it is a shared
+        cache, rebuilt only when the graph mutates.
+        """
+        index = self._ensure_index()
+        if direction == "downstream":
+            return index.forward
+        if direction == "upstream":
+            return index.reverse
+        raise ValueError(
+            f"direction must be 'downstream' or 'upstream', got {direction!r}"
+        )
+
+    def table_successors(self):
+        """Cached ``{table: [downstream tables]}`` adjacency (read-only)."""
+        return self._ensure_index().table_forward
+
+    def table_predecessors(self):
+        """Cached ``{table: [upstream tables]}`` adjacency (read-only)."""
+        return self._ensure_index().table_reverse
 
     def contribution_edges(self):
         """Only the edges whose kind is ``contribute`` or ``both``."""

@@ -9,6 +9,7 @@ its own file, the file name).  The resulting key/value pairs form the
 modules.
 """
 
+import hashlib
 import os
 from dataclasses import dataclass, field
 
@@ -27,11 +28,40 @@ class ParsedQuery:
     sql: str = ""
     kind: str = "select"  # view | table | insert | select
     column_names: list = field(default_factory=list)
+    #: the named source (dict key / file stem) this entry was parsed from, or
+    #: ``None`` for anonymous script input.  Incremental merging uses it to
+    #: purge entries whose source was replaced by a fragment that no longer
+    #: produces them.
+    source_name: str = None
+    #: this entry's statement alone, pretty-printed from the AST.  Unlike
+    #: ``sql`` (which for named sources holds the whole source text), this is
+    #: always exactly one statement in canonical form — the basis of
+    #: :attr:`content_hash` and of incremental source reconstruction.
+    statement_sql: str = ""
 
     @property
     def creates_relation(self):
         """True if this entry defines/extends a named relation."""
         return self.kind in ("view", "table", "insert")
+
+    @property
+    def content_hash(self):
+        """A stable fingerprint of this entry's semantic content.
+
+        Computed over the canonical printed statement (so whitespace and
+        comment changes do not count as changes) plus the statement kind.
+        Incremental re-extraction compares these hashes to find the entries
+        that actually changed between runs.  Cached: an entry's statement is
+        never mutated after preprocessing.
+        """
+        cached = self.__dict__.get("_content_hash")
+        if cached is None:
+            digest = hashlib.sha256()
+            digest.update(self.kind.encode("utf-8"))
+            digest.update(b"\0")
+            digest.update(self.statement_sql.encode("utf-8"))
+            cached = self.__dict__["_content_hash"] = digest.hexdigest()
+        return cached
 
 
 class QueryDictionary:
@@ -47,6 +77,9 @@ class QueryDictionary:
         self.entries = {}
         self.order = []
         self.ddl_statements = []
+        #: parallel to ``ddl_statements``: the named source each DDL
+        #: statement came from (``None`` for anonymous script input)
+        self.ddl_sources = []
         self.warnings = []
 
     # ------------------------------------------------------------------
@@ -62,9 +95,10 @@ class QueryDictionary:
         self.order.append(identifier)
         return parsed_query
 
-    def add_ddl(self, statement):
+    def add_ddl(self, statement, source=None):
         """Record a non-query DDL statement (CREATE TABLE / DROP)."""
         self.ddl_statements.append(statement)
+        self.ddl_sources.append(source)
 
     # ------------------------------------------------------------------
     def __contains__(self, identifier):
@@ -117,7 +151,7 @@ def preprocess(source, id_generator=None):
         for statement in parse(sql):
             entry_kind, identifier, column_names = _classify(statement)
             if entry_kind == "ddl":
-                dictionary.add_ddl(statement)
+                dictionary.add_ddl(statement, source=default_name)
                 continue
             if entry_kind == "skip":
                 dictionary.warnings.append(
@@ -138,14 +172,17 @@ def preprocess(source, id_generator=None):
                     "already defined by an earlier statement"
                 )
                 continue
+            statement_sql = _statement_sql(statement)
             dictionary.add(
                 ParsedQuery(
                     identifier=normalize_name(identifier),
                     statement=statement,
                     query=_query_for(statement),
-                    sql=sql if default_name is not None else _statement_sql(statement),
+                    sql=sql if default_name is not None else statement_sql,
                     kind=entry_kind,
                     column_names=column_names,
+                    statement_sql=statement_sql,
+                    source_name=default_name,
                 )
             )
     return dictionary

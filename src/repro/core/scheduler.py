@@ -1,4 +1,4 @@
-"""Table/View Auto-Inference: stack-based reordering of query processing.
+"""Table/View Auto-Inference: planned and stack-based query scheduling.
 
 Section III of the paper: the extraction module "gives priority to SQL
 statements identified by keys in QD"; when a traversal encounters a table or
@@ -7,15 +7,44 @@ a stack, the missing dependency is processed first, and the deferred work is
 resumed in LIFO order.  This is what makes ``SELECT *`` over a later-defined
 view and unprefixed column references resolvable without DBMS metadata.
 
+This module supports two scheduling modes:
+
+* ``mode="dag"`` (the default) — *plan-first*: a cheap pre-pass
+  (:class:`~repro.core.dag.DependencyDAG`) reads each statement's
+  ``FROM``/``JOIN``/set-operation sources, topologically sorts the Query
+  Dictionary into waves, and extracts in dependency order.  The LIFO
+  deferral stack is retained only as a fallback for references the pre-pass
+  cannot see; on well-formed input it never fires.  Entries within a wave
+  are mutually independent, so they can optionally be extracted on a
+  ``ThreadPoolExecutor`` (``workers=N``) — results are recorded in wave
+  order, so the output is identical for any worker count.  (Extraction is
+  CPU-bound pure Python; under the GIL the threads mostly serialize, so
+  this is a determinism-preserving seam for free-threaded builds and a
+  future process-based backend rather than a speedup on stock CPython.)
+* ``mode="stack"`` — the paper's reactive behaviour: process entries in
+  Query Dictionary order and discover dependencies via thrown
+  :class:`UnknownRelationError`.
+
 The scheduler also supports ``use_stack=False`` for the ablation benchmark
 (ABL-STACK in DESIGN.md): queries are then processed strictly in Query
 Dictionary order and any not-yet-known relation is treated as an external
 table of unknown schema, reproducing the failure modes of single-pass tools.
+(``use_stack=False`` forces the reactive mode — planning would mask exactly
+the failure modes the ablation measures.)
+
+``seed_results`` pre-populates extraction results (keyed by identifier) and
+is the substrate of incremental re-extraction: seeded entries are treated as
+already processed and spliced into the output graph unchanged.
 """
 
 from dataclasses import dataclass, field
 
-from .errors import CyclicDependencyError, UnknownRelationError
+from .dag import DependencyDAG
+from .errors import (
+    CyclicDependencyError,
+    DeferralLimitExceededError,
+    UnknownRelationError,
+)
 from .extractor import LineageExtractor, SchemaProvider
 from .lineage import LineageGraph
 from ..sqlparser.dialect import normalize_name
@@ -32,12 +61,15 @@ class DeferralEvent:
 
 @dataclass
 class ScheduleReport:
-    """What the scheduler did: processing order and deferral events."""
+    """What the scheduler did: plan, processing order, and deferral events."""
 
     order: list = field(default_factory=list)
     events: list = field(default_factory=list)
     unresolved: dict = field(default_factory=dict)   # identifier -> error message
     traces: dict = field(default_factory=dict)       # identifier -> ExtractionTrace
+    mode: str = "stack"
+    waves: list = field(default_factory=list)        # the topological plan (dag mode)
+    reused: list = field(default_factory=list)       # identifiers spliced from a cache
 
     @property
     def deferral_count(self):
@@ -51,10 +83,17 @@ class _SchedulerProvider(SchemaProvider):
     Dictionary entry, the optional catalog, and finally — when the relation
     is a *pending* Query Dictionary entry and the stack is enabled — raise
     :class:`UnknownRelationError` so the scheduler defers to it.
+
+    ``current`` is the identifier being extracted through this provider; a
+    query reading the relation it also writes (``UPDATE ... FROM``,
+    self-referencing ``INSERT``) must not be treated as a missing dependency
+    on itself.  Parallel wave extraction gives each worker its own provider
+    with ``current`` fixed, so no shared mutable state is involved.
     """
 
-    def __init__(self, scheduler):
+    def __init__(self, scheduler, current=None):
         self.scheduler = scheduler
+        self.current = current
 
     def get_columns(self, name):
         name = normalize_name(name)
@@ -68,7 +107,7 @@ class _SchedulerProvider(SchemaProvider):
         if (
             self.scheduler.use_stack
             and name in self.scheduler.pending
-            and name != self.scheduler.current
+            and name != self.current
         ):
             raise UnknownRelationError(
                 name, reason="defined by a not-yet-processed query"
@@ -87,21 +126,38 @@ class AutoInferenceScheduler:
         use_stack=True,
         collect_traces=False,
         max_deferrals=None,
+        mode="dag",
+        workers=None,
+        seed_results=None,
+        dag=None,
     ):
+        if mode not in ("dag", "stack"):
+            raise ValueError(f"mode must be 'dag' or 'stack', got {mode!r}")
         self.query_dictionary = query_dictionary
         self.catalog = catalog
         self.strict = strict
         self.use_stack = use_stack
         self.collect_traces = collect_traces
         self.max_deferrals = max_deferrals
+        self.mode = mode if use_stack else "stack"
+        self.workers = workers
         self.results = {}
         self.pending = set(query_dictionary.identifiers())
-        #: identifier currently being extracted; a query reading the relation
-        #: it also writes (UPDATE ... FROM, self-referencing INSERT) must not
-        #: be treated as a missing dependency on itself.
-        self.current = None
+        self.seeded = []
+        if seed_results:
+            for identifier in query_dictionary.identifiers():
+                lineage = seed_results.get(identifier)
+                if lineage is not None:
+                    self.results[identifier] = lineage
+                    self.pending.discard(identifier)
+                    self.seeded.append(identifier)
+        #: a pre-built DependencyDAG for this Query Dictionary may be passed
+        #: in (the incremental runner already computed one for its dirty
+        #: set); otherwise the plan-first mode builds it on demand.
+        self.dag = dag
+        self.provider = _SchedulerProvider(self)
         self.extractor = LineageExtractor(
-            provider=_SchedulerProvider(self),
+            provider=self.provider,
             strict=strict,
             collect_trace=collect_traces,
         )
@@ -109,19 +165,105 @@ class AutoInferenceScheduler:
     # ------------------------------------------------------------------
     def run(self):
         """Process every Query Dictionary entry; return (graph, report)."""
-        report = ScheduleReport()
-        for identifier in self.query_dictionary.identifiers():
-            if identifier not in self.pending:
-                continue
-            self._process_with_stack(identifier, report)
+        report = ScheduleReport(mode=self.mode, reused=list(self.seeded))
+        if self.mode == "dag":
+            self._run_planned(report)
+        else:
+            for identifier in self.query_dictionary.identifiers():
+                if identifier not in self.pending:
+                    continue
+                self._process_with_stack(identifier, report)
 
         graph = LineageGraph()
+        for identifier in self.seeded:
+            graph.add(self.results[identifier])
         for identifier in report.order:
             lineage = self.results.get(identifier)
             if lineage is not None:
                 graph.add(lineage)
         return graph, report
 
+    # ------------------------------------------------------------------
+    # Plan-first (DAG) mode
+    # ------------------------------------------------------------------
+    def _run_planned(self, report):
+        if self.dag is None:
+            self.dag = DependencyDAG.from_query_dictionary(self.query_dictionary)
+        waves, deferred = self.dag.waves()
+        report.waves = [list(wave) for wave in waves]
+        parallel = self.workers and self.workers > 1
+        pool = None
+        try:
+            for wave in waves:
+                todo = [identifier for identifier in wave if identifier in self.pending]
+                if parallel and len(todo) > 1:
+                    if pool is None:
+                        # one executor for the whole run — waves are already
+                        # barriers, so spawning threads per wave would only
+                        # pay startup cost repeatedly
+                        from concurrent.futures import ThreadPoolExecutor
+
+                        pool = ThreadPoolExecutor(max_workers=self.workers)
+                    fallback = self._run_wave_parallel(pool, todo, report)
+                else:
+                    fallback = todo
+                for identifier in fallback:
+                    if identifier in self.pending:
+                        self._process_with_stack(identifier, report)
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=True)
+        # Entries the plan could not order (dependency cycles): hand them to
+        # the stack, which reports genuine cycles with the participant list.
+        for identifier in deferred:
+            if identifier in self.pending:
+                self._process_with_stack(identifier, report)
+
+    def _run_wave_parallel(self, pool, todo, report):
+        """Extract one wave's entries concurrently; return pre-pass misses.
+
+        Each worker gets its own extractor and provider (no shared mutable
+        state); results are recorded in wave order after the wave completes,
+        so the report and graph are identical for any worker count.  An
+        entry whose extraction hits an :class:`UnknownRelationError` — a
+        dependency the pre-pass could not see — is returned for sequential
+        re-processing with the deferral stack.
+        """
+
+        def extract(identifier):
+            extractor = LineageExtractor(
+                provider=_SchedulerProvider(self, current=identifier),
+                strict=self.strict,
+                collect_trace=self.collect_traces,
+            )
+            return extractor.extract_statement(self.query_dictionary.get(identifier))
+
+        futures = [(identifier, pool.submit(extract, identifier)) for identifier in todo]
+        # Drain every future BEFORE recording anything: workers read
+        # scheduler.results through their providers, so recording mid-wave
+        # would let a sibling racily observe a same-wave result and make the
+        # report (order, deferral events) timing-dependent.
+        fallback = []
+        outcomes = []
+        for identifier, future in futures:
+            try:
+                outcomes.append((identifier, future.result()))
+            except UnknownRelationError:
+                fallback.append(identifier)
+        for identifier, (lineage, trace) in outcomes:
+            self._record(identifier, lineage, trace, report)
+        return fallback
+
+    def _record(self, identifier, lineage, trace, report):
+        self.results[identifier] = lineage
+        self.pending.discard(identifier)
+        report.order.append(identifier)
+        if self.collect_traces:
+            report.traces[identifier] = trace
+        report.events.append(DeferralEvent(kind="done", identifier=identifier))
+
+    # ------------------------------------------------------------------
+    # Reactive (stack) mode — also the fallback for pre-pass misses
     # ------------------------------------------------------------------
     def _process_with_stack(self, identifier, report):
         stack = [identifier]
@@ -133,7 +275,7 @@ class AutoInferenceScheduler:
                 stack.pop()
                 continue
             entry = self.query_dictionary.get(current)
-            self.current = current
+            self.provider.current = current
             try:
                 lineage, trace = self.extractor.extract_statement(entry)
             except UnknownRelationError as error:
@@ -154,20 +296,17 @@ class AutoInferenceScheduler:
                     continue
                 deferrals += 1
                 if deferrals > limit:
-                    raise CyclicDependencyError(stack)
+                    raise DeferralLimitExceededError(stack, limit)
                 report.events.append(
                     DeferralEvent(kind="defer", identifier=current, missing=missing)
                 )
                 stack.append(missing)
                 continue
+            finally:
+                self.provider.current = None
             # Success: record the result and resume whatever was deferred.
-            self.results[current] = lineage
-            self.pending.discard(current)
-            report.order.append(current)
-            if self.collect_traces:
-                report.traces[current] = trace
+            self._record(current, lineage, trace, report)
             stack.pop()
-            report.events.append(DeferralEvent(kind="done", identifier=current))
             if stack:
                 report.events.append(
                     DeferralEvent(kind="resume", identifier=stack[-1], missing=current)

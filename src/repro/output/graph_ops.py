@@ -1,13 +1,20 @@
-"""Bridges between the lineage model and :mod:`networkx`.
+"""Bridges between the lineage model and :mod:`networkx` (export only).
 
-The impact analysis, the graph diff, and the scalability benchmarks all work
-over directed graphs; converting once into networkx keeps that code simple
-and well-tested.
+The hot analytical paths (impact analysis, dependency ordering, the graph
+diff) traverse :class:`~repro.core.lineage.LineageGraph`'s cached adjacency
+index directly and never construct a networkx graph.  These converters
+remain for *export*: handing a standard ``DiGraph`` to plotting libraries,
+notebooks, or downstream graph algorithms.  networkx is imported lazily so
+the core pipeline works without it.
 """
 
-import networkx as nx
-
 from ..core.lineage import EDGE_BOTH, EDGE_CONTRIBUTE, EDGE_REFERENCE
+
+
+def _networkx():
+    import networkx as nx
+
+    return nx
 
 
 def to_column_digraph(graph, include_reference_edges=True):
@@ -19,7 +26,7 @@ def to_column_digraph(graph, include_reference_edges=True):
     the contribution-only graph (what an LLM-style assistant reasons about,
     per the paper's Section IV comparison).
     """
-    digraph = nx.DiGraph()
+    digraph = _networkx().DiGraph()
     for relation in graph:
         for column in relation.output_columns:
             digraph.add_node(
@@ -43,7 +50,7 @@ def to_column_digraph(graph, include_reference_edges=True):
 
 def to_table_digraph(graph):
     """Build the table-level :class:`networkx.DiGraph` (data flows left to right)."""
-    digraph = nx.DiGraph()
+    digraph = _networkx().DiGraph()
     for relation in graph:
         digraph.add_node(relation.name, is_base_table=relation.is_base_table)
     for source, target in graph.table_edges():

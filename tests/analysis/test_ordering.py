@@ -41,6 +41,15 @@ class TestCreationOrder:
             v.name for v in retail_result.graph.views
         }
 
+    def test_unmaterialised_source_table_is_not_a_cycle(self):
+        # a view can read a table that never becomes a relation node (no
+        # column reference ever hits it); the phantom edge must not make
+        # the topological sort report a cycle
+        result = lineagex("CREATE VIEW v AS SELECT 1 AS one FROM t")
+        assert "t" not in result.graph
+        assert creation_order(result.graph) == ["v"]
+        assert drop_order(result.graph) == ["v"]
+
     def test_migration_script_statements_end_with_semicolons(self, example1_graph):
         script = migration_script(example1_graph)
         assert script.count("CREATE") == 3

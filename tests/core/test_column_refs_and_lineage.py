@@ -153,6 +153,23 @@ class TestLineageGraph:
         assert graph.columns_of("t") == ["a", "b", "c"]
         assert graph.columns_of("v") == ["x"]
 
+    def test_register_usage_on_view_returns_the_view_entry(self):
+        # Usage hitting an existing *view* must return that entry (so
+        # callers can inspect it), but never add usage-derived columns: a
+        # view's column set comes from its defining query only.
+        graph = self.build()
+        entry = graph.register_usage(ColumnName.of("v", "phantom"))
+        assert entry is graph["v"]
+        assert not entry.is_base_table
+        assert graph.columns_of("v") == ["x"]
+
+    def test_register_usage_on_base_table_returns_the_base_entry(self):
+        graph = self.build()
+        entry = graph.register_usage(ColumnName.of("t", "new_col"))
+        assert entry is graph["t"]
+        assert entry.is_base_table
+        assert "new_col" in graph.columns_of("t")
+
     def test_table_edges(self):
         graph = self.build()
         assert list(graph.table_edges()) == [("t", "v")]
@@ -170,6 +187,44 @@ class TestLineageGraph:
         assert stats["num_base_tables"] == 1
         assert stats["num_view_columns"] == 1
         assert stats["num_column_edges"] == 2
+
+    def test_neighbors_downstream_and_upstream(self):
+        graph = self.build()
+        downstream = graph.neighbors(ColumnName.of("t", "a"))
+        assert [(str(c), kind) for c, kind in downstream] == [("v.x", EDGE_CONTRIBUTE)]
+        upstream = graph.neighbors("v.x", direction="upstream")
+        assert {str(c) for c, _ in upstream} == {"t.a", "t.b"}
+
+    def test_neighbors_unknown_column_is_empty(self):
+        graph = self.build()
+        assert graph.neighbors("ghost.col") == []
+
+    def test_neighbors_invalid_direction(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            self.build().neighbors("t.a", direction="sideways")
+
+    def test_index_invalidated_by_graph_mutation(self):
+        graph = self.build()
+        assert graph.neighbors("t.a")  # build the index
+        extra = TableLineage(name="w")
+        extra.add_contribution("y", ColumnName.of("v", "x"))
+        graph.add(extra)
+        assert [(str(c), k) for c, k in graph.neighbors("v.x")] == [
+            ("w.y", EDGE_CONTRIBUTE)
+        ]
+
+    def test_index_invalidated_by_entry_mutation_after_add(self):
+        # base tables gain columns from usage *after* being added to the
+        # graph; the cached adjacency must observe those in-place mutations
+        graph = self.build()
+        assert ("t", "v") in list(graph.table_edges())
+        graph["v"].add_contribution("x", ColumnName.of("u", "z"))
+        assert ("u", "v") in list(graph.table_edges())
+        assert [(str(c), k) for c, k in graph.neighbors("u.z")] == [
+            ("v.x", EDGE_CONTRIBUTE)
+        ]
 
     def test_round_trip_through_dict(self):
         graph = self.build()

@@ -1,0 +1,442 @@
+"""Tests for incremental re-extraction (content hashing + DAG dirty sets).
+
+``LineageXRunner.run_incremental`` / ``LineageXResult.update`` take a
+*delta* — ``{identifier: new_sql}`` with ``None`` meaning removal — and must
+produce a graph identical to a full re-run over the merged sources while
+re-extracting only the changed entries plus their transitive DAG dependents.
+"""
+
+import pytest
+
+from repro.analysis.diff import diff_graphs
+from repro.core.runner import LineageXRunner, lineagex
+from repro.datasets import example1, workload
+
+
+SOURCES = {
+    "info": example1.Q1,
+    "webact": example1.Q2,
+    "webinfo": example1.Q3,
+}
+
+
+def apply_changes(sources, changes):
+    merged = dict(sources)
+    for key, sql in changes.items():
+        if sql is None:
+            merged.pop(key, None)
+        else:
+            merged[key] = sql
+    return merged
+
+
+def full_and_incremental(prev_result, changes, runner=None, sources=SOURCES):
+    runner = runner or LineageXRunner()
+    incremental = runner.run_incremental(prev_result, changes)
+    full = runner.run(apply_changes(sources, changes))
+    return incremental, full
+
+
+class TestContentHashing:
+    def test_hashes_recorded_per_entry(self):
+        result = lineagex(dict(SOURCES))
+        assert set(result.source_hashes) == {"webinfo", "webact", "info"}
+
+    def test_whitespace_change_is_not_a_change(self):
+        result = lineagex(dict(SOURCES))
+        reformatted = "  " + SOURCES["webact"].replace("SELECT", "SELECT\n  ", 1)
+        updated = LineageXRunner().run_incremental(result, {"webact": reformatted})
+        # canonical-form hashing: nothing is dirty, everything is spliced
+        assert sorted(updated.report.reused) == ["info", "webact", "webinfo"]
+        assert updated.report.order == []
+        assert diff_graphs(updated.graph, result.graph).is_identical
+
+
+class TestIncrementalCorrectness:
+    def test_update_one_query_equals_full_rerun(self):
+        prev = lineagex(dict(SOURCES))
+        # narrow webinfo to three columns; webact and info must follow
+        changes = {
+            "webinfo": (
+                "CREATE VIEW webinfo AS SELECT web.cid, web.date, web.page "
+                "FROM web WHERE web.date > 5"
+            )
+        }
+        incremental, full = full_and_incremental(prev, changes)
+        diff = diff_graphs(incremental.graph, full.graph)
+        assert diff.is_identical, diff.summary()
+
+    def test_only_dirty_entries_re_extracted(self):
+        prev = lineagex(dict(SOURCES))
+        changes = {
+            "webact": (
+                "CREATE VIEW webact AS SELECT webinfo.wcid, webinfo.wpage "
+                "FROM webinfo"
+            )
+        }
+        incremental = LineageXRunner().run_incremental(prev, changes)
+        # webinfo is upstream of the change: spliced, not re-extracted
+        assert incremental.report.reused == ["webinfo"]
+        assert set(incremental.report.order) == {"webact", "info"}
+
+    def test_changing_a_leaf_reuses_everything_else(self):
+        prev = lineagex(dict(SOURCES))
+        changes = {
+            "info": (
+                "CREATE VIEW info AS SELECT c.name FROM customers c, webact w "
+                "WHERE c.cid = w.wcid"
+            )
+        }
+        incremental, full = full_and_incremental(prev, changes)
+        assert sorted(incremental.report.reused) == ["webact", "webinfo"]
+        assert incremental.report.order == ["info"]
+        assert diff_graphs(incremental.graph, full.graph).is_identical
+
+    def test_adding_a_new_query(self):
+        prev = lineagex(dict(SOURCES))
+        changes = {
+            "report_view": (
+                "CREATE VIEW report_view AS SELECT info.name, info.wpage FROM info"
+            )
+        }
+        incremental, full = full_and_incremental(prev, changes)
+        assert incremental.report.order == ["report_view"]
+        assert sorted(incremental.report.reused) == ["info", "webact", "webinfo"]
+        assert diff_graphs(incremental.graph, full.graph).is_identical
+
+    def test_removing_a_query_invalidates_its_dependents(self):
+        prev = lineagex(dict(SOURCES))
+        incremental, full = full_and_incremental(prev, {"webinfo": None})
+        # webact read webinfo, info reads webact: both must be re-extracted
+        # (webinfo becomes an external table of unknown schema)
+        assert incremental.report.reused == []
+        assert "webinfo" not in {v.name for v in incremental.graph.views}
+        assert diff_graphs(incremental.graph, full.graph).is_identical
+
+    def test_unchanged_entries_are_not_reparsed(self):
+        prev = lineagex(dict(SOURCES))
+        updated = prev.update(
+            {"info": "CREATE VIEW info AS SELECT webact.wcid FROM webact"}
+        )
+        # the untouched entries reuse the very same parsed statements
+        for name in ("webinfo", "webact"):
+            assert updated.query_dictionary.get(name) is prev.query_dictionary.get(name)
+        assert updated.query_dictionary.get("info") is not prev.query_dictionary.get("info")
+
+    def test_ddl_change_dirties_readers(self):
+        # widening a CREATE TABLE must re-extract the views reading it even
+        # though no Query Dictionary entry changed
+        prev = lineagex(
+            {
+                "ddl": "CREATE TABLE t (a integer, b integer)",
+                "v": "CREATE VIEW v AS SELECT * FROM t",
+            }
+        )
+        assert prev.graph["v"].output_columns == ["a", "b"]
+        updated = prev.update(
+            {"ddl": "CREATE TABLE t (a integer, b integer, c integer)"}
+        )
+        assert updated.graph["v"].output_columns == ["a", "b", "c"]
+        assert updated.catalog.columns_of("t") == ["a", "b", "c"]
+        full = lineagex(
+            {
+                "ddl": "CREATE TABLE t (a integer, b integer, c integer)",
+                "v": "CREATE VIEW v AS SELECT * FROM t",
+            }
+        )
+        assert diff_graphs(updated.graph, full.graph).is_identical
+
+    def test_warnings_survive_an_unrelated_update(self):
+        prev = lineagex(
+            {
+                "a": "CREATE VIEW a AS SELECT t.x FROM t; UPDATE a SET x = 1",
+                "b": "CREATE VIEW b AS SELECT t.y FROM t",
+            }
+        )
+        assert any("UPDATE" in warning for warning in prev.warnings)
+        updated = prev.update({"b": "CREATE VIEW b AS SELECT t.z FROM t"})
+        assert any("UPDATE" in warning for warning in updated.warnings)
+
+    def test_ddl_dropped_from_replaced_source(self):
+        # a replaced source that no longer declares its CREATE TABLE must
+        # drop the schema from the catalog and dirty the readers
+        prev = lineagex(
+            {"v": "CREATE TABLE t (x integer, y integer); "
+                  "CREATE VIEW v AS SELECT * FROM t"}
+        )
+        assert prev.graph["v"].output_columns == ["x", "y"]
+        updated = prev.update({"v": "CREATE VIEW v AS SELECT * FROM t"})
+        full = lineagex({"v": "CREATE VIEW v AS SELECT * FROM t"})
+        assert updated.catalog.get("t") is None
+        assert diff_graphs(updated.graph, full.graph).is_identical
+
+    def test_replaced_source_purges_orphaned_entries(self):
+        # shrinking a multi-statement source must not leave stale entries
+        prev = lineagex(
+            {"s": "CREATE VIEW a AS SELECT t.x FROM t; "
+                  "CREATE VIEW b AS SELECT t.y FROM t"}
+        )
+        assert {"a", "b"} <= set(prev.graph.relations)
+        updated = prev.update({"s": "CREATE VIEW a AS SELECT t.x FROM t"})
+        full = lineagex({"s": "CREATE VIEW a AS SELECT t.x FROM t"})
+        assert "b" not in updated.graph
+        assert diff_graphs(updated.graph, full.graph).is_identical
+
+    def test_removing_a_ddl_bearing_source(self):
+        prev = lineagex(
+            {
+                "schema": "CREATE TABLE t (a integer, b integer)",
+                "v": "CREATE VIEW v AS SELECT * FROM t",
+            }
+        )
+        updated = prev.update({"schema": None})
+        full = lineagex({"v": "CREATE VIEW v AS SELECT * FROM t"})
+        assert updated.catalog.get("t") is None
+        assert diff_graphs(updated.graph, full.graph).is_identical
+
+    def test_shadowed_cte_does_not_hide_a_dependency(self):
+        # a subquery-local CTE named like the changed view must not stop
+        # the incremental layer from dirtying the real dependent
+        prev = lineagex(
+            {
+                "sales": "CREATE VIEW sales AS SELECT t.a AS amount FROM t",
+                "rpt": "CREATE VIEW rpt AS SELECT s.* FROM sales s JOIN "
+                       "(WITH sales AS (SELECT 1 AS one) SELECT one FROM sales) z "
+                       "ON 1 = 1",
+            }
+        )
+        updated = prev.update(
+            {"sales": "CREATE VIEW sales AS SELECT t.b AS amount2 FROM t"}
+        )
+        assert "rpt" in updated.report.order
+        assert updated.graph["rpt"].output_columns[0] == "amount2"
+
+    def test_removed_source_does_not_erase_unchanged_duplicate_ddl(self):
+        # two sources declare the same table; removing one must keep the
+        # schema the unchanged source still declares
+        prev = lineagex(
+            {
+                "a": "CREATE TABLE t (x integer, y integer)",
+                "b": "CREATE TABLE t (x integer, y integer)",
+                "v": "CREATE VIEW v AS SELECT * FROM t",
+            }
+        )
+        updated = prev.update({"a": None})
+        full = lineagex(
+            {
+                "b": "CREATE TABLE t (x integer, y integer)",
+                "v": "CREATE VIEW v AS SELECT * FROM t",
+            }
+        )
+        assert updated.catalog.columns_of("t") == ["x", "y"]
+        assert diff_graphs(updated.graph, full.graph).is_identical
+
+    def test_cross_source_update_statement_still_deduped(self):
+        # an UPDATE arriving via a *different* source must not overwrite the
+        # CREATE that defines the relation (mirrors the full-run dedup)
+        prev = lineagex(
+            {
+                "a": "CREATE TABLE t (x integer); CREATE VIEW v AS SELECT x FROM t",
+                "b": "UPDATE v SET x = 1",
+            }
+        )
+        updated = prev.update({"b": "UPDATE v SET x = 2"})
+        full = lineagex(
+            {
+                "a": "CREATE TABLE t (x integer); CREATE VIEW v AS SELECT x FROM t",
+                "b": "UPDATE v SET x = 2",
+            }
+        )
+        assert updated.query_dictionary.get("v").kind == "view"
+        assert any("UPDATE" in warning for warning in updated.warnings)
+        assert diff_graphs(updated.graph, full.graph).is_identical
+
+    def test_removed_relation_redefined_by_another_source(self):
+        # removing source 'a' while source 'c' redefines the same relation
+        # must keep the new definition
+        prev = lineagex(
+            {
+                "a": "CREATE VIEW a AS SELECT 1 AS x",
+                "b": "CREATE VIEW b AS SELECT a.x FROM a",
+            }
+        )
+        updated = prev.update({"a": None, "c": "CREATE VIEW a AS SELECT 2 AS x"})
+        full = lineagex(
+            {
+                "b": "CREATE VIEW b AS SELECT a.x FROM a",
+                "c": "CREATE VIEW a AS SELECT 2 AS x",
+            }
+        )
+        assert "a" in updated.graph
+        assert not updated.graph["a"].is_base_table
+        assert diff_graphs(updated.graph, full.graph).is_identical
+
+    def test_window_clause_dependency_dirties_reader(self):
+        # a relation referenced only inside a named WINDOW clause (a
+        # tuple-valued AST field) must still count as a DAG dependency
+        prev = lineagex(
+            {
+                "dim": "CREATE VIEW dim AS SELECT 1 AS m",
+                "v": "CREATE VIEW v AS SELECT sum(a) OVER w AS s FROM t "
+                     "WINDOW w AS (PARTITION BY (SELECT m FROM dim))",
+            }
+        )
+        updated = prev.update({"dim": "CREATE VIEW dim AS SELECT 2 AS m, 3 AS n"})
+        assert "v" in updated.report.order
+        assert "v" not in updated.report.reused
+
+    def test_drop_in_changed_fragment_does_not_supersede_unchanged_create(self):
+        # a DROP TABLE in a changed fragment must not erase the CREATE TABLE
+        # an unchanged source still declares from the merged dictionary; the
+        # delta's DDL applies *after* the carried-over DDL (migration-style),
+        # so the equivalent full run orders the changed source last
+        prev = lineagex(
+            {
+                "a": "CREATE VIEW v AS SELECT t.x FROM t",
+                "b": "CREATE TABLE t (x integer, y integer)",
+            }
+        )
+        updated = prev.update(
+            {"a": "DROP TABLE t; CREATE VIEW v AS SELECT t.x FROM t"}
+        )
+        # the unchanged CREATE TABLE is still in the merged dictionary ...
+        from repro.sqlparser import ast
+
+        assert any(
+            isinstance(s, ast.CreateTable)
+            for s in updated.query_dictionary.ddl_statements
+        )
+        # ... and the result equals a full run with the delta's DDL last
+        full = lineagex(
+            {
+                "b": "CREATE TABLE t (x integer, y integer)",
+                "a": "DROP TABLE t; CREATE VIEW v AS SELECT t.x FROM t",
+            }
+        )
+        assert updated.catalog.get("t") == full.catalog.get("t")
+        assert diff_graphs(updated.graph, full.graph).is_identical
+
+    def test_create_in_changed_fragment_supersedes_only_same_relation(self):
+        # a CREATE TABLE in a delta replaces the prior schema of that
+        # relation but leaves other relations' DDL untouched
+        prev = lineagex(
+            {
+                "ddl": "CREATE TABLE t (x integer); CREATE TABLE u (k integer)",
+                "v": "CREATE VIEW v AS SELECT * FROM t",
+                "w": "CREATE VIEW w AS SELECT * FROM u",
+            }
+        )
+        updated = prev.update(
+            {"patch": "CREATE TABLE t (x integer, z integer)"}
+        )
+        assert updated.catalog.columns_of("t") == ["x", "z"]
+        assert updated.catalog.columns_of("u") == ["k"]
+        assert updated.graph["v"].output_columns == ["x", "z"]
+        assert updated.graph["w"].output_columns == ["k"]
+
+    def test_cross_source_update_never_overwrites_another_sources_entry(self):
+        # the full-run dedup ignores a later UPDATE whenever the identifier
+        # is already defined — even when the earlier entry is itself an
+        # UPDATE from a different source
+        prev = lineagex(
+            {
+                "a": "UPDATE r SET x = s.a FROM s",
+                "b": "CREATE VIEW w AS SELECT t.k FROM t",
+            }
+        )
+        updated = prev.update(
+            {"b": "CREATE VIEW w AS SELECT t.k FROM t; UPDATE r SET x = z.q FROM z"}
+        )
+        full = lineagex(
+            {
+                "a": "UPDATE r SET x = s.a FROM s",
+                "b": "CREATE VIEW w AS SELECT t.k FROM t; UPDATE r SET x = z.q FROM z",
+            }
+        )
+        assert diff_graphs(updated.graph, full.graph).is_identical
+        assert any("UPDATE" in warning for warning in updated.warnings)
+
+    def test_ddl_carried_over(self):
+        prev = lineagex(
+            "CREATE TABLE t (a integer, b integer);"
+            "CREATE VIEW v AS SELECT * FROM t;"
+            "CREATE VIEW w AS SELECT v.a FROM v"
+        )
+        updated = prev.update({"w": "CREATE VIEW w AS SELECT v.b FROM v"})
+        # the CREATE TABLE DDL still seeds the catalog of the new run
+        assert updated.catalog.columns_of("t") == ["a", "b"]
+        assert updated.graph["v"].output_columns == ["a", "b"]
+        assert updated.report.reused == ["v"]
+
+    def test_incremental_on_generated_warehouse(self):
+        warehouse = workload.generate_warehouse(
+            num_base_tables=4, num_views=30, seed=13
+        )
+        sources = dict(warehouse.views)
+        runner = LineageXRunner(catalog=warehouse.catalog())
+        prev = runner.run(sources)
+        # replace one mid-pipeline view with a projection of a base table
+        target = "view_5"
+        changes = {target: f"CREATE VIEW {target} AS SELECT b.id FROM base_0 b"}
+        incremental, full = full_and_incremental(
+            prev, changes, runner=runner, sources=sources
+        )
+        diff = diff_graphs(incremental.graph, full.graph)
+        assert diff.is_identical, diff.summary()
+        # the dirty set is exactly the change plus its transitive dependents
+        from repro.core.dag import DependencyDAG
+        from repro.core.preprocess import preprocess
+
+        dag = DependencyDAG.from_query_dictionary(
+            preprocess(apply_changes(sources, changes))
+        )
+        expected_dirty = {target} | dag.transitive_dependents({target})
+        assert set(incremental.report.order) == expected_dirty
+        assert set(incremental.report.reused) == set(sources) - expected_dirty
+
+
+class TestResultUpdate:
+    def test_update_convenience_matches_run_incremental(self):
+        prev = lineagex(dict(SOURCES))
+        new_sql = (
+            "CREATE VIEW info AS SELECT c.name FROM customers c, webact w "
+            "WHERE c.cid = w.wcid"
+        )
+        updated = prev.update({"info": new_sql})
+        full = lineagex({**SOURCES, "info": new_sql})
+        assert diff_graphs(updated.graph, full.graph).is_identical
+        assert updated.report.order == ["info"]
+
+    def test_update_with_none_removes_the_entry(self):
+        prev = lineagex(dict(SOURCES))
+        updated = prev.update({"info": None})
+        assert "info" not in updated.graph
+        full = lineagex({k: v for k, v in SOURCES.items() if k != "info"})
+        assert diff_graphs(updated.graph, full.graph).is_identical
+
+    def test_update_adds_new_queries(self):
+        prev = lineagex(dict(SOURCES))
+        updated = prev.update(
+            {"extra": "CREATE VIEW extra AS SELECT info.name FROM info"}
+        )
+        assert "extra" in updated.graph
+        assert updated.report.order == ["extra"]
+
+    def test_update_chain(self):
+        # incremental results are themselves updatable
+        step1 = lineagex(dict(SOURCES))
+        step2 = step1.update(
+            {"extra": "CREATE VIEW extra AS SELECT info.name FROM info"}
+        )
+        step3 = step2.update({"extra": None})
+        assert diff_graphs(step3.graph, step1.graph).is_identical
+
+    def test_update_works_from_script_sources(self):
+        # the original run need not come from a mapping; deltas are keyed by
+        # Query Dictionary identifier either way
+        prev = lineagex(example1.QUERY_LOG)
+        updated = prev.update(
+            {"info": "CREATE VIEW info AS SELECT webact.wcid FROM webact"}
+        )
+        assert sorted(updated.report.reused) == ["webact", "webinfo"]
+        assert updated.graph["info"].output_columns == ["wcid"]

@@ -32,8 +32,21 @@ class TestRunnerAPI:
         assert stats["num_queries"] == 3
         assert stats["num_views"] == 3
         assert stats["num_base_tables"] == 3
-        assert stats["num_deferrals"] == 2
+        # the DAG plan orders dependencies first, so the stack never fires
+        assert stats["num_deferrals"] == 0
         assert stats["num_unresolved"] == 0
+        assert stats["num_reused"] == 0
+
+    def test_stack_mode_still_defers(self):
+        result = lineagex(example1.QUERY_LOG, mode="stack")
+        assert result.stats()["num_deferrals"] == 2
+        assert result.report.mode == "stack"
+
+    def test_dag_plan_recorded(self, example1_result):
+        assert example1_result.report.mode == "dag"
+        # Example 1's chain: webinfo -> webact -> info, one entry per wave
+        assert example1_result.report.waves == [["webinfo"], ["webact"], ["info"]]
+        assert example1_result.report.order == ["webinfo", "webact", "info"]
 
     def test_base_tables_accumulate_columns_from_usage(self, example1_graph):
         assert set(example1_graph.columns_of("web")) == {"cid", "date", "page", "reg"}

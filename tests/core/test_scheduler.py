@@ -1,20 +1,28 @@
-"""Tests for the Table/View Auto-Inference scheduler (the stack mechanism)."""
+"""Tests for the Table/View Auto-Inference scheduler (the stack mechanism).
+
+These tests exercise the reactive ``mode="stack"`` scheduler — the paper's
+LIFO-deferral behaviour, which also serves as the fallback of the plan-first
+DAG mode.  The DAG mode itself is covered in ``test_dag.py``.
+"""
 
 import pytest
 
 from repro.catalog import Catalog
-from repro.core.errors import CyclicDependencyError
+from repro.core.errors import CyclicDependencyError, DeferralLimitExceededError
 from repro.core.preprocess import preprocess
 from repro.core.scheduler import AutoInferenceScheduler
 from repro.datasets import example1
 
 
-def run_scheduler(sql, catalog=None, use_stack=True, collect_traces=False):
+def run_scheduler(sql, catalog=None, use_stack=True, collect_traces=False,
+                  mode="stack", **kwargs):
     scheduler = AutoInferenceScheduler(
         preprocess(sql),
         catalog=catalog,
         use_stack=use_stack,
         collect_traces=collect_traces,
+        mode=mode,
+        **kwargs,
     )
     return scheduler.run()
 
@@ -108,6 +116,32 @@ class TestCyclesAndFailures:
         with pytest.raises(CyclicDependencyError) as excinfo:
             run_scheduler(sql)
         assert set(excinfo.value.cycle) >= {"a", "b"}
+
+    def test_deferral_limit_raises_dedicated_error(self):
+        # A two-deep dependency chain needs two deferrals when processed in
+        # reverse order; max_deferrals=1 must trip the dedicated error (not
+        # a plain cycle report) and carry the stack at the moment of failure.
+        sql = """
+        CREATE VIEW c AS SELECT b.* FROM b;
+        CREATE VIEW b AS SELECT a.* FROM a;
+        CREATE VIEW a AS SELECT t.x FROM t;
+        """
+        with pytest.raises(DeferralLimitExceededError) as excinfo:
+            run_scheduler(sql, max_deferrals=1)
+        assert excinfo.value.limit == 1
+        assert excinfo.value.stack == ["c", "b"]
+        # it still subclasses CyclicDependencyError for existing handlers
+        assert isinstance(excinfo.value, CyclicDependencyError)
+
+    def test_deferral_limit_not_hit_when_budget_suffices(self):
+        sql = """
+        CREATE VIEW c AS SELECT b.* FROM b;
+        CREATE VIEW b AS SELECT a.* FROM a;
+        CREATE VIEW a AS SELECT t.x FROM t;
+        """
+        graph, report = run_scheduler(sql, max_deferrals=2)
+        assert report.order == ["a", "b", "c"]
+        assert report.deferral_count == 2
 
 
 class TestStackAblation:

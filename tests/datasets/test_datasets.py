@@ -110,8 +110,18 @@ class TestMimicDataset:
         assert stats["num_view_columns"] > 500
         assert stats["num_base_tables"] == 26
 
-    def test_shuffling_requires_deferrals(self, mimic_result):
-        assert mimic_result.report.deferral_count > 0
+    def test_shuffling_requires_deferrals_in_stack_mode(self):
+        from repro.core.runner import lineagex
+
+        result = lineagex(mimic.full_script(shuffle_seed=11), mode="stack")
+        assert result.report.deferral_count > 0
+
+    def test_shuffling_needs_no_deferrals_with_dag_plan(self, mimic_result):
+        # the plan-first scheduler orders the shuffled script topologically,
+        # so the reactive fallback never fires
+        assert mimic_result.report.mode == "dag"
+        assert mimic_result.report.deferral_count == 0
+        assert len(mimic_result.report.waves) > 1
 
     def test_star_views_resolve_to_source_width(self, mimic_result):
         detail = mimic_result.graph["sepsis_cohort_detail"]
