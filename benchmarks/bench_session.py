@@ -1,0 +1,104 @@
+"""SESS — the Session façade must be free (<5% over the raw runner).
+
+The Session API wraps every extraction in source detection, adapter
+loading, config handling and fingerprint bookkeeping.  None of that may
+cost anything at scale: this benchmark extracts a 400-view generated
+warehouse through ``LineageXRunner.run`` directly and through
+``LineageSession(...).extract()`` (building a fresh session each
+iteration, so the façade's full construction cost is charged to it) and
+asserts the façade overhead stays under 5%.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.analysis.diff import diff_graphs
+from repro.core.runner import LineageXRunner
+from repro.datasets import workload
+from repro.session import LineageSession, SessionConfig
+
+from _report import emit, table
+
+NUM_VIEWS = 400
+SEED = 131
+REPEATS = 3
+MAX_OVERHEAD = 0.05
+
+
+def _warehouse():
+    warehouse = workload.generate_warehouse(
+        num_base_tables=max(3, NUM_VIEWS // 10), num_views=NUM_VIEWS, seed=SEED
+    )
+    return dict(warehouse.views), warehouse.catalog()
+
+
+def _best_of(repeats, func):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = func()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def test_session_facade_overhead():
+    sources, catalog = _warehouse()
+
+    def run_direct():
+        return LineageXRunner(catalog=catalog).run(sources)
+
+    def run_session():
+        return LineageSession(sources, catalog=catalog).extract()
+
+    # warm up parsers/caches once so neither side pays first-run costs
+    run_direct()
+
+    direct_elapsed, direct_result = _best_of(REPEATS, run_direct)
+    session_elapsed, session_result = _best_of(REPEATS, run_session)
+
+    # correctness: the façade changes nothing about the output
+    diff = diff_graphs(session_result.graph, direct_result.graph)
+    assert diff.is_identical, diff.summary()
+
+    overhead = session_elapsed / direct_elapsed - 1.0
+    lines = table(
+        ["#views", "direct (ms)", "session (ms)", "overhead"],
+        [
+            (
+                NUM_VIEWS,
+                f"{direct_elapsed * 1000:.1f}",
+                f"{session_elapsed * 1000:.1f}",
+                f"{overhead * 100:+.2f}%",
+            )
+        ],
+    )
+    lines.append("")
+    lines.append(
+        "LineageSession(...).extract() vs LineageXRunner.run directly "
+        f"(best of {REPEATS}); the façade must add < {MAX_OVERHEAD:.0%}."
+    )
+    emit("session", "Session façade overhead at 400 views", lines)
+
+    # Wall-clock assertions are inherently flaky on shared CI runners, so
+    # there the graph-equality check above stands in; the timing gate runs
+    # locally and under BENCH_STRICT=1.
+    if not os.environ.get("CI") or os.environ.get("BENCH_STRICT"):
+        assert overhead < MAX_OVERHEAD, (
+            f"session façade adds {overhead:.1%} over the direct runner "
+            f"(limit {MAX_OVERHEAD:.0%})"
+        )
+
+
+@pytest.mark.parametrize("engine", ["static"])
+def test_session_extract_benchmark(benchmark, engine):
+    sources, catalog = _warehouse()
+    config = SessionConfig(engine=engine)
+
+    def extract():
+        return LineageSession(sources, catalog=catalog, config=config).extract()
+
+    result = benchmark(extract)
+    assert not result.report.unresolved

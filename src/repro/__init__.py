@@ -11,13 +11,26 @@ public API mirrors the paper's one-call workflow:
 >>> sorted(str(c) for c in impact.all_columns)[:3]
 ['info.age', 'info.name', 'info.oid']
 
+The one-call functions are shims over the **Session API**, which unifies
+source handling (auto-detected adapters for text, files, directories, dbt
+projects and JSONL query logs), engine selection (``static`` AST pipeline
+vs ``plan`` database-connection mode) and output rendering (a named
+renderer registry):
+
+>>> session = repro.LineageSession("warehouse/", workers=4)
+>>> result = session.extract()
+>>> print(result.render("markdown"))
+>>> session.refresh()               # rescan + incremental re-extraction
+
 Package map
 -----------
 ``repro.sqlparser``   the SQL tokenizer/parser substrate (replaces SQLGlot)
 ``repro.core``        the lineage extraction pipeline (the paper's contribution)
+``repro.session``     the LineageSession façade (sources x engines x renderers)
+``repro.sources``     input adapters + the auto-detection registry
 ``repro.catalog``     schema catalog + simulated EXPLAIN (database-connection mode)
 ``repro.analysis``    impact analysis, graph diff, accuracy metrics
-``repro.output``      JSON / HTML / DOT / text renderings
+``repro.output``      JSON / HTML / DOT / text / CSV / Markdown renderers + registry
 ``repro.baselines``   SQLLineage-like, SQLGlot-like and LLM-like baselines
 ``repro.datasets``    Example 1, retail, synthetic MIMIC, random workloads
 ``repro.dbt``         dbt project wrapper
@@ -38,13 +51,43 @@ from .core.plan_extractor import PlanModeRunner, lineagex_with_connection
 from .catalog import Catalog, catalog_from_sql
 from .analysis.impact import impact_analysis
 from .dbt import lineagex_dbt
+from .session import LineageResult, LineageSession, SessionConfig
+from .sources import (
+    DbtSource,
+    DirectorySource,
+    FileSource,
+    QueryLogSource,
+    Source,
+    TextSource,
+    detect_source,
+    register_source,
+)
+from .output.registry import (
+    UnknownFormatError,
+    register_renderer,
+    renderer_names,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "lineagex",
     "lineagex_with_connection",
     "lineagex_dbt",
+    "LineageSession",
+    "SessionConfig",
+    "LineageResult",
+    "Source",
+    "TextSource",
+    "FileSource",
+    "DirectorySource",
+    "DbtSource",
+    "QueryLogSource",
+    "detect_source",
+    "register_source",
+    "register_renderer",
+    "renderer_names",
+    "UnknownFormatError",
     "LineageXResult",
     "LineageXRunner",
     "PlanModeRunner",

@@ -1,65 +1,86 @@
-"""Command-line interface.
+"""Command-line interface, rebuilt on the Session API.
 
-The paper exposes LineageX as a one-call Python API; for pipeline and CI use
-this module adds an equivalent command line:
+Subcommand form (preferred):
+
+.. code-block:: console
+
+    $ python -m repro extract warehouse.sql --format markdown
+    $ python -m repro extract logs/queries.jsonl --output out/
+    $ python -m repro impact models/ web.page --catalog schema.sql
+    $ python -m repro render models/ --format csv --out edges.csv
+    $ python -m repro render --list-formats
+    $ python -m repro refresh models/ --edit staging='CREATE VIEW staging AS ...'
+
+Every subcommand accepts the shared extraction flags (``--engine``,
+``--catalog``, ``--strict``, ``--mode``, ``--workers``, ...) and every
+``--format`` value resolves through the renderer registry, so formats
+added with :func:`repro.output.register_renderer` are immediately
+available here.
+
+The legacy flag form keeps working unchanged:
 
 .. code-block:: console
 
     $ python -m repro warehouse.sql --output out/
     $ python -m repro models/ --catalog schema.sql --impact web.page
-    $ python -m repro customer.sql --format text
     $ python -m repro models/ --dbt --format json > lineage.json
 
-Positional input: a ``.sql`` file, a directory of ``.sql`` files, or ``-``
-for stdin.  The lineage graph can be written as JSON/HTML (``--output``) or
-printed in one of several formats; ``--impact`` runs the Step 4 impact
-analysis for a ``table.column`` and prints the affected columns.
+Positional input: a ``.sql`` file, a directory of ``.sql`` files, a dbt
+project, a ``.jsonl`` query log, or ``-`` for SQL on stdin (source kinds
+are auto-detected; ``--dbt`` forces the dbt adapter).
+
+Dispatch: a first argument equal to a subcommand name selects the
+subcommand form; an input path that happens to be named like one can be
+passed to the legacy form as ``./extract`` (any path spelling that is not
+the bare name).
 """
 
 import argparse
 import sys
 
+from . import __version__
 from .analysis.impact import impact_report
 from .catalog.introspect import catalog_from_sql
-from .core.runner import lineagex
-from .dbt.wrapper import lineagex_dbt
+from .output.registry import renderer_names
+from .session import ENGINES, LineageSession, SessionConfig
+from .sources import DbtSource, Source
+
+SUBCOMMANDS = ("extract", "impact", "render", "refresh")
 
 
-def build_parser():
-    """Construct the argument parser (exposed for testing and docs)."""
-    parser = argparse.ArgumentParser(
-        prog="repro",
-        description="Extract column-level lineage from SQL query logs (LineageX reproduction).",
-    )
+def _positive_int(text):
+    """argparse type for ``--workers``: an integer >= 1."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"--workers must be >= 1 (a thread-pool size), got {value}"
+        )
+    return value
+
+
+def _add_version(parser):
     parser.add_argument(
-        "input",
-        help="a .sql file, a directory of .sql files, or '-' to read SQL from stdin",
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
+
+
+def _add_extraction_options(parser):
+    """The shared extraction flags (identical across all command forms)."""
     parser.add_argument(
         "--catalog",
         metavar="DDL_FILE",
         help="CREATE TABLE script providing base-table schemas (optional)",
     )
     parser.add_argument(
-        "--output",
-        metavar="DIR",
-        help="write lineagex.json and lineagex.html into this directory",
-    )
-    parser.add_argument(
-        "--format",
-        choices=["text", "json", "dot", "html", "stats"],
-        default="text",
-        help="what to print to stdout (default: text)",
-    )
-    parser.add_argument(
-        "--impact",
-        metavar="TABLE.COLUMN",
-        help="print the downstream impact analysis of this column",
-    )
-    parser.add_argument(
-        "--upstream",
-        metavar="TABLE.COLUMN",
-        help="print the upstream lineage of this column",
+        "--engine",
+        choices=list(ENGINES),
+        default="static",
+        help="extraction engine: 'static' AST pipeline (default) or 'plan' "
+        "database-connection mode (simulated EXPLAIN; needs --catalog for "
+        "the base tables)",
     )
     parser.add_argument(
         "--dbt",
@@ -77,6 +98,11 @@ def build_parser():
         help="disable the auto-inference stack (ablation / debugging)",
     )
     parser.add_argument(
+        "--collect-traces",
+        action="store_true",
+        help="record per-query extraction traces (rule firings)",
+    )
+    parser.add_argument(
         "--mode",
         choices=["dag", "stack"],
         default="dag",
@@ -86,69 +112,267 @@ def build_parser():
     )
     parser.add_argument(
         "--workers",
-        type=int,
+        type=_positive_int,
         metavar="N",
         default=None,
         help="in dag mode, extract independent queries of each wave on a "
         "thread pool of N workers (default: sequential; output is identical "
         "either way — on GIL-bound CPython builds expect little speedup)",
     )
+
+
+def build_parser():
+    """The legacy flag-form argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Extract column-level lineage from SQL query logs (LineageX reproduction).",
+        epilog="Subcommand form: repro {extract,impact,render,refresh} ... "
+        "(see 'repro extract --help').",
+    )
+    _add_version(parser)
+    parser.add_argument(
+        "input",
+        help="a .sql file, a directory of .sql files, a .jsonl query log, "
+        "or '-' to read SQL from stdin",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="DIR",
+        help="write lineagex.json and lineagex.html into this directory",
+    )
+    parser.add_argument(
+        "--format",
+        choices=renderer_names(),
+        default="text",
+        help="what to print to stdout (default: text)",
+    )
+    parser.add_argument(
+        "--impact",
+        metavar="TABLE.COLUMN",
+        help="print the downstream impact analysis of this column",
+    )
+    parser.add_argument(
+        "--upstream",
+        metavar="TABLE.COLUMN",
+        help="print the upstream lineage of this column",
+    )
+    _add_extraction_options(parser)
     return parser
 
 
+def build_subcommand_parser():
+    """The subcommand-form parser (``repro extract|impact|render|refresh``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Extract column-level lineage from SQL query logs (LineageX reproduction).",
+    )
+    _add_version(parser)
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    extract = commands.add_parser(
+        "extract", help="extract lineage and print/save it"
+    )
+    extract.add_argument("input", help="SQL file/dir, dbt project, .jsonl log, or '-'")
+    extract.add_argument(
+        "--format", choices=renderer_names(), default="text",
+        help="what to print to stdout (default: text)",
+    )
+    extract.add_argument(
+        "--output", metavar="DIR",
+        help="write lineagex.json and lineagex.html into this directory",
+    )
+    _add_extraction_options(extract)
+    extract.set_defaults(handler=_cmd_extract)
+
+    impact = commands.add_parser(
+        "impact", help="transitive impact analysis of one column"
+    )
+    impact.add_argument("input", help="SQL file/dir, dbt project, .jsonl log, or '-'")
+    impact.add_argument("column", metavar="TABLE.COLUMN", help="the starting column")
+    impact.add_argument(
+        "--direction", choices=["downstream", "upstream"], default="downstream",
+        help="traversal direction (default: downstream)",
+    )
+    _add_extraction_options(impact)
+    impact.set_defaults(handler=_cmd_impact)
+
+    render = commands.add_parser(
+        "render", help="render the lineage graph in any registered format"
+    )
+    render.add_argument(
+        "input", nargs="?",
+        help="SQL file/dir, dbt project, .jsonl log, or '-'",
+    )
+    render.add_argument(
+        "--format", choices=renderer_names(), default="text",
+        help="output format (default: text)",
+    )
+    render.add_argument(
+        "--out", metavar="FILE",
+        help="write the rendered document to FILE instead of stdout",
+    )
+    render.add_argument(
+        "--list-formats", action="store_true",
+        help="list the registered output formats and exit",
+    )
+    _add_extraction_options(render)
+    render.set_defaults(handler=_cmd_render)
+
+    refresh = commands.add_parser(
+        "refresh",
+        help="extract, apply query edits, and incrementally re-extract",
+    )
+    refresh.add_argument("input", help="SQL file/dir, dbt project, .jsonl log, or '-'")
+    refresh.add_argument(
+        "--edit", metavar="NAME=SQL", action="append", default=[],
+        help="replace the named query with new SQL (prefix the value with @ "
+        "to read it from a file; an empty value removes the query); "
+        "repeatable",
+    )
+    refresh.add_argument(
+        "--format", choices=renderer_names(), default="stats",
+        help="what to print after the refresh (default: stats)",
+    )
+    _add_extraction_options(refresh)
+    refresh.set_defaults(handler=_cmd_refresh)
+
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Shared plumbing
+# ----------------------------------------------------------------------
 def _load_source(path):
     if path == "-":
         return sys.stdin.read()
     return path
 
 
-def run(argv=None, stdout=None):
-    """Entry point; returns the process exit code."""
-    stdout = stdout if stdout is not None else sys.stdout
-    parser = build_parser()
-    args = parser.parse_args(argv)
-
+def _session_from_args(args):
+    """Build a configured :class:`LineageSession` from parsed arguments."""
     catalog = None
     if args.catalog:
         with open(args.catalog, "r", encoding="utf-8") as handle:
             catalog = catalog_from_sql(handle.read())
+    raw = _load_source(args.input)
+    source = DbtSource(raw) if args.dbt else Source.detect(raw)
+    config = SessionConfig(
+        strict=args.strict,
+        use_stack=not args.no_stack,
+        collect_traces=args.collect_traces,
+        mode=args.mode,
+        workers=args.workers,
+        engine=args.engine,
+    )
+    return LineageSession(source, catalog=catalog, config=config)
 
-    source = _load_source(args.input)
-    if args.dbt:
-        result = lineagex_dbt(source, catalog=catalog, strict=args.strict,
-                              output_dir=args.output)
-    else:
-        result = lineagex(
-            source,
-            catalog=catalog,
-            strict=args.strict,
-            use_stack=not args.no_stack,
-            output_dir=args.output,
-            mode=args.mode,
-            workers=args.workers,
-        )
 
-    if args.impact:
-        print(impact_report(result.graph, args.impact, direction="downstream"), file=stdout)
-    elif args.upstream:
-        print(impact_report(result.graph, args.upstream, direction="upstream"), file=stdout)
-    elif args.format == "json":
-        print(result.to_json(), file=stdout)
-    elif args.format == "dot":
-        print(result.to_dot(), file=stdout)
-    elif args.format == "html":
-        print(result.to_html(), file=stdout)
-    elif args.format == "stats":
-        for key, value in sorted(result.stats().items()):
-            print(f"{key}: {value}", file=stdout)
-    else:
-        print(result.to_text(), file=stdout)
-
+def _warn_unresolved(result):
+    """Print unresolved-query warnings; the exit code they imply."""
     if result.report.unresolved:
         for identifier, reason in result.report.unresolved.items():
             print(f"warning: could not resolve {identifier}: {reason}", file=sys.stderr)
         return 1
     return 0
+
+
+# ----------------------------------------------------------------------
+# Subcommand handlers
+# ----------------------------------------------------------------------
+def _cmd_extract(args, stdout):
+    session = _session_from_args(args)
+    result = session.extract()
+    if args.output:
+        result.save(args.output)
+    print(result.render(args.format), file=stdout)
+    return _warn_unresolved(result)
+
+
+def _cmd_impact(args, stdout):
+    session = _session_from_args(args)
+    result = session.extract()
+    print(impact_report(result.graph, args.column, direction=args.direction), file=stdout)
+    return _warn_unresolved(result)
+
+
+def _cmd_render(args, stdout):
+    if args.list_formats:
+        print("\n".join(renderer_names()), file=stdout)
+        return 0
+    if args.input is None:
+        print("error: an input is required unless --list-formats is given", file=sys.stderr)
+        return 2
+    session = _session_from_args(args)
+    result = session.extract()
+    rendered = result.render(args.format)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+    else:
+        print(rendered, file=stdout)
+    return _warn_unresolved(result)
+
+
+def _parse_edits(pairs):
+    changes = {}
+    for pair in pairs:
+        name, separator, value = pair.partition("=")
+        if not separator or not name:
+            raise SystemExit(f"error: --edit expects NAME=SQL, got {pair!r}")
+        if value.startswith("@"):
+            with open(value[1:], "r", encoding="utf-8") as handle:
+                value = handle.read()
+        changes[name] = value if value else None
+    return changes
+
+
+def _cmd_refresh(args, stdout):
+    session = _session_from_args(args)
+    session.extract()
+    try:
+        result = session.refresh(_parse_edits(args.edit) or None)
+    except ValueError as error:
+        # e.g. a single-file or stdin source without --edit: nothing to rescan
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    reused = len(getattr(result.report, "reused", ()))
+    total = len(result.query_dictionary)
+    print(
+        f"refresh: re-extracted {total - reused} of {total} queries "
+        f"({reused} reused)",
+        file=sys.stderr,
+    )
+    print(result.render(args.format), file=stdout)
+    return _warn_unresolved(result)
+
+
+# ----------------------------------------------------------------------
+# Legacy flag form
+# ----------------------------------------------------------------------
+def _legacy_run(args, stdout):
+    session = _session_from_args(args)
+    result = session.extract()
+    if args.output:
+        result.save(args.output)
+
+    if args.impact:
+        print(impact_report(result.graph, args.impact, direction="downstream"), file=stdout)
+    elif args.upstream:
+        print(impact_report(result.graph, args.upstream, direction="upstream"), file=stdout)
+    else:
+        print(result.render(args.format), file=stdout)
+    return _warn_unresolved(result)
+
+
+def run(argv=None, stdout=None):
+    """Entry point; returns the process exit code."""
+    stdout = stdout if stdout is not None else sys.stdout
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] in SUBCOMMANDS:
+        args = build_subcommand_parser().parse_args(argv)
+        return args.handler(args, stdout)
+    args = build_parser().parse_args(argv)
+    return _legacy_run(args, stdout)
 
 
 def main():  # pragma: no cover - thin wrapper

@@ -38,16 +38,41 @@ from ..sqlparser.dialect import normalize_name
 
 @dataclass
 class PlanModeReport:
-    """What the plan-mode runner did (mirrors the static ScheduleReport)."""
+    """What the plan-mode runner did (mirrors the static ScheduleReport).
+
+    Carries the same surface the static :class:`ScheduleReport` exposes
+    (``mode``, ``reused``, ``deferral_count``, ``to_dict``) so result
+    consumers — ``stats()``, the CLI, the Session API — never branch on
+    the engine that produced a report.
+    """
 
     order: list = field(default_factory=list)
     events: list = field(default_factory=list)       # (kind, identifier, missing)
     plans: dict = field(default_factory=dict)          # identifier -> PlanNode
     unresolved: dict = field(default_factory=dict)
+    mode: str = "plan"
+    #: plan mode re-validates everything through EXPLAIN, so nothing is
+    #: ever spliced from a cache; present for static-report parity.
+    reused: list = field(default_factory=list)
 
     @property
     def deferral_count(self):
         return sum(1 for kind, _, _ in self.events if kind == "defer")
+
+    def to_dict(self):
+        """A JSON-friendly summary of the run (plans reduced to node types)."""
+        return {
+            "mode": self.mode,
+            "order": list(self.order),
+            "events": [list(event) for event in self.events],
+            "unresolved": dict(self.unresolved),
+            "deferral_count": self.deferral_count,
+            "reused": list(self.reused),
+            "plan_node_types": {
+                identifier: getattr(plan, "node_type", None)
+                for identifier, plan in self.plans.items()
+            },
+        }
 
 
 class PlanModeRunner:
@@ -152,7 +177,17 @@ def lineagex_with_connection(source, catalog=None):
     tables the queries read (use :func:`repro.catalog.catalog_from_sql` on a
     schema dump, or a dataset's ``base_table_catalog()``).  Views defined by
     the input are created in a copy of the catalog as extraction proceeds.
+
+    This is a thin shim over the Session API: it is equivalent to
+    ``LineageSession(source, catalog=catalog, engine="plan").extract()``,
+    with the input pinned to the pass-through text adapter (no source
+    auto-detection) so historical input handling is preserved exactly.
     """
+    from ..session import LineageSession
+    from ..sources import Source, TextSource
+
     if catalog is None:
         catalog = Catalog()
-    return PlanModeRunner(catalog=catalog).run(source)
+    if not isinstance(source, Source):
+        source = TextSource(source)
+    return LineageSession(source, catalog=catalog, engine="plan").extract()

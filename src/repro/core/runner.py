@@ -97,6 +97,20 @@ class LineageXResult:
 
         return graph_to_text(self.graph)
 
+    def render(self, fmt, **options):
+        """Render through the named renderer registry.
+
+        ``fmt`` is any registered format name (``json``, ``html``, ``dot``,
+        ``text``, ``csv``, ``markdown``, ``stats``, plus anything added via
+        :func:`repro.output.register_renderer`); ``options`` are forwarded
+        to the renderer.  Raises
+        :class:`~repro.output.registry.UnknownFormatError` for unknown
+        names.
+        """
+        from ..output.registry import render
+
+        return render(self, fmt, **options)
+
     def save(self, output_dir, basename="lineagex"):
         """Write ``<basename>.json`` and ``<basename>.html`` into ``output_dir``."""
         os.makedirs(output_dir, exist_ok=True)
@@ -452,16 +466,34 @@ def lineagex(
     Returns
     -------
     LineageXResult
+
+    Notes
+    -----
+    This is a thin shim over the Session API: it is equivalent to
+    ``LineageSession(source, catalog=catalog, ...).extract()`` and exists
+    for backwards compatibility with the paper's original one-call shape.
+    The input is pinned to the pass-through text adapter (no source
+    auto-detection) so historical input handling is preserved exactly;
+    use :class:`~repro.session.LineageSession` directly for auto-detected
+    dbt projects and JSONL query logs.
     """
-    runner = LineageXRunner(
+    from ..session import LineageSession, SessionConfig
+    from ..sources import Source, TextSource
+
+    if not isinstance(source, Source):
+        source = TextSource(source)
+    session = LineageSession(
+        source,
         catalog=catalog,
-        strict=strict,
-        use_stack=use_stack,
-        collect_traces=collect_traces,
-        mode=mode,
-        workers=workers,
+        config=SessionConfig(
+            strict=strict,
+            use_stack=use_stack,
+            collect_traces=collect_traces,
+            mode=mode,
+            workers=workers,
+        ),
     )
-    result = runner.run(source)
+    result = session.extract()
     if output_dir is not None:
         result.save(output_dir)
     return result

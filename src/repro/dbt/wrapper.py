@@ -1,4 +1,4 @@
-"""The dbt-specific wrapper around :func:`repro.core.runner.lineagex`.
+"""The dbt-specific wrapper around the Session API.
 
 dbt models are bare ``SELECT`` statements stored one per file, so the Query
 Dictionary uses the file (model) name as the query identifier — exactly the
@@ -6,10 +6,18 @@ behaviour footnote 1 of the paper describes.
 """
 
 from .project import DbtProject
-from ..core.runner import lineagex
 
 
-def lineagex_dbt(project, catalog=None, strict=False, output_dir=None):
+def lineagex_dbt(
+    project,
+    catalog=None,
+    strict=False,
+    output_dir=None,
+    use_stack=True,
+    collect_traces=False,
+    mode="dag",
+    workers=None,
+):
     """Run LineageX over a dbt project.
 
     Parameters
@@ -19,14 +27,35 @@ def lineagex_dbt(project, catalog=None, strict=False, output_dir=None):
         in-memory ``{model_name: raw_sql}`` mapping.
     catalog:
         Optional :class:`repro.catalog.Catalog` with the source-table schemas.
-    strict / output_dir:
-        Forwarded to :func:`repro.core.runner.lineagex`.
+    strict / use_stack / collect_traces / mode / workers:
+        Extraction options, identical to :func:`repro.core.runner.lineagex`
+        (historically ``mode``, ``workers`` and ``collect_traces`` were
+        silently dropped by this wrapper; they are forwarded now).
+    output_dir:
+        When given, write ``lineagex.json`` and ``lineagex.html`` there.
+
+    This is a thin shim over the Session API: it is equivalent to
+    ``LineageSession(DbtSource(project), catalog=catalog, ...).extract()``.
     """
+    from ..session import LineageSession, SessionConfig
+    from ..sources import DbtSource
+
     if isinstance(project, str):
         project = DbtProject.from_directory(project)
     elif isinstance(project, dict):
         project = DbtProject.from_models(project)
-    compiled = project.compiled()
-    return lineagex(
-        compiled, catalog=catalog, strict=strict, output_dir=output_dir
+    session = LineageSession(
+        DbtSource(project),
+        catalog=catalog,
+        config=SessionConfig(
+            strict=strict,
+            use_stack=use_stack,
+            collect_traces=collect_traces,
+            mode=mode,
+            workers=workers,
+        ),
     )
+    result = session.extract()
+    if output_dir is not None:
+        result.save(output_dir)
+    return result

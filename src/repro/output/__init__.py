@@ -6,6 +6,10 @@
   (the lineage graph UI of Figure 5);
 * :mod:`repro.output.dot_output` -- Graphviz DOT export;
 * :mod:`repro.output.text_output` -- a terminal-friendly rendering;
+* :mod:`repro.output.csv_output` -- column-edge / per-column CSV tables;
+* :mod:`repro.output.markdown_output` -- a Markdown lineage document;
+* :mod:`repro.output.registry` -- the named renderer registry behind
+  ``result.render(fmt)`` and the CLI's ``--format`` flag;
 * :mod:`repro.output.graph_ops` -- conversion to :mod:`networkx` graphs used
   by the impact analysis and the graph metrics.
 """
@@ -14,7 +18,16 @@ from .json_output import graph_to_json, graph_from_json
 from .html_output import graph_to_html
 from .dot_output import graph_to_dot
 from .text_output import graph_to_text
+from .csv_output import graph_to_csv
+from .markdown_output import graph_to_markdown
 from .graph_ops import to_column_digraph, to_table_digraph
+from .registry import (
+    UnknownFormatError,
+    get_renderer,
+    register_renderer,
+    render,
+    renderer_names,
+)
 
 __all__ = [
     "graph_to_json",
@@ -22,6 +35,13 @@ __all__ = [
     "graph_to_html",
     "graph_to_dot",
     "graph_to_text",
+    "graph_to_csv",
+    "graph_to_markdown",
     "to_column_digraph",
     "to_table_digraph",
+    "render",
+    "register_renderer",
+    "get_renderer",
+    "renderer_names",
+    "UnknownFormatError",
 ]

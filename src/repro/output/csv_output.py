@@ -1,0 +1,47 @@
+"""CSV rendering of lineage graphs — the spreadsheet/BI-import shape.
+
+Two layouts:
+
+* ``graph_to_csv(graph)`` — one row per **column edge**
+  (``source,target,kind``), the shape lineage audits join against
+  warehouse metadata;
+* ``graph_to_csv(graph, layout="columns")`` — one row per **column**
+  (``relation,relation_kind,column,sources``) for completeness reports.
+"""
+
+import csv
+import io
+
+
+def graph_to_csv(graph, layout="edges"):
+    """Render ``graph`` as CSV text in the requested ``layout``."""
+    if layout == "edges":
+        return _edges_csv(graph)
+    if layout == "columns":
+        return _columns_csv(graph)
+    raise ValueError(f"unknown CSV layout {layout!r}; expected 'edges' or 'columns'")
+
+
+def _writer():
+    buffer = io.StringIO()
+    return buffer, csv.writer(buffer, lineterminator="\n")
+
+
+def _edges_csv(graph):
+    buffer, writer = _writer()
+    writer.writerow(["source", "target", "kind"])
+    for edge in graph.edges():
+        writer.writerow([str(edge.source), str(edge.target), edge.kind])
+    return buffer.getvalue()
+
+
+def _columns_csv(graph):
+    buffer, writer = _writer()
+    writer.writerow(["relation", "relation_kind", "column", "sources"])
+    for relation in sorted(graph, key=lambda entry: (entry.is_base_table, entry.name)):
+        kind = "base_table" if relation.is_base_table else "view"
+        for column in relation.output_columns:
+            sources = relation.contributions.get(column, set())
+            rendered = ";".join(sorted(str(source) for source in sources))
+            writer.writerow([relation.name, kind, column, rendered])
+    return buffer.getvalue()

@@ -1,0 +1,54 @@
+"""Markdown rendering of lineage graphs — for PRs, wikis and docs.
+
+One section per relation (views first, then base tables), each with its
+upstream tables and a ``column -> sources`` table, followed by an optional
+summary-statistics table.  The output is plain GitHub-flavoured Markdown
+with no external assets.
+"""
+
+
+def graph_to_markdown(graph, stats=None, title="Lineage"):
+    """Render ``graph`` as a Markdown document string."""
+    lines = [f"# {title}", ""]
+    for relation in sorted(graph, key=lambda entry: (entry.is_base_table, entry.name)):
+        lines.extend(_relation_section(relation))
+    if stats:
+        lines.append("## Summary")
+        lines.append("")
+        lines.append("| statistic | value |")
+        lines.append("| --- | --- |")
+        for key, value in sorted(stats.items()):
+            lines.append(f"| {_escape(key)} | {_escape(value)} |")
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def _relation_section(relation):
+    kind = "base table" if relation.is_base_table else "view"
+    lines = [f"## `{relation.name}` ({kind})", ""]
+    if relation.source_tables:
+        reads = ", ".join(f"`{name}`" for name in sorted(relation.source_tables))
+        lines.append(f"Reads: {reads}")
+        lines.append("")
+    if relation.output_columns:
+        lines.append("| column | sources |")
+        lines.append("| --- | --- |")
+        for column in relation.output_columns:
+            sources = relation.contributions.get(column, set())
+            rendered = ", ".join(
+                f"`{source}`" for source in sorted(str(s) for s in sources)
+            )
+            lines.append(f"| `{_escape(column)}` | {rendered} |")
+        lines.append("")
+    referenced_only = relation.referenced_only_columns
+    if referenced_only:
+        rendered = ", ".join(
+            f"`{source}`" for source in sorted(str(s) for s in referenced_only)
+        )
+        lines.append(f"References (filters/joins): {rendered}")
+        lines.append("")
+    return lines
+
+
+def _escape(value):
+    return str(value).replace("|", "\\|")

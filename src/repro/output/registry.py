@@ -1,0 +1,123 @@
+"""The named renderer registry — one lookup table for every output shape.
+
+Every way a lineage graph can be turned into text lives here under a
+format name: ``result.render("csv")``, the CLI's ``--format`` flag and the
+``repro render`` subcommand all resolve through the same table, so adding
+a renderer in one place makes it available everywhere.
+
+A renderer is ``callable(graph, stats=None, **options) -> str``; register
+one with::
+
+    from repro.output.registry import register_renderer
+
+    @register_renderer("mermaid")
+    def render_mermaid(graph, stats=None, **options):
+        ...
+
+:func:`render` accepts either a bare :class:`~repro.core.lineage.LineageGraph`
+or any result object exposing ``.graph`` (and optionally ``.stats()``),
+which is how :meth:`LineageXResult.render` hooks in.
+"""
+
+_RENDERERS = {}
+
+
+class UnknownFormatError(LookupError):
+    """Requested format has no registered renderer."""
+
+    def __init__(self, name):
+        self.name = name
+        super().__init__(
+            f"unknown output format {name!r}; registered formats: "
+            + ", ".join(renderer_names())
+        )
+
+
+def register_renderer(name, renderer=None):
+    """Register ``renderer`` under ``name`` (usable as a decorator).
+
+    Re-registering a name replaces the previous renderer, which lets
+    applications override a built-in format.
+    """
+    def _register(function):
+        _RENDERERS[str(name)] = function
+        return function
+
+    if renderer is not None:
+        return _register(renderer)
+    return _register
+
+
+def get_renderer(name):
+    """The renderer registered under ``name`` (:class:`UnknownFormatError` if absent)."""
+    try:
+        return _RENDERERS[str(name)]
+    except KeyError:
+        raise UnknownFormatError(name) from None
+
+
+def renderer_names():
+    """Registered format names, sorted."""
+    return sorted(_RENDERERS)
+
+
+def render(target, fmt, **options):
+    """Render ``target`` (a result object or a graph) in format ``fmt``."""
+    graph = getattr(target, "graph", target)
+    stats = options.pop("stats", None)
+    if stats is None:
+        stats_hook = getattr(target, "stats", None)
+        stats = stats_hook() if callable(stats_hook) else None
+    return get_renderer(fmt)(graph, stats=stats, **options)
+
+
+# ----------------------------------------------------------------------
+# Built-in renderers
+# ----------------------------------------------------------------------
+@register_renderer("json")
+def _render_json(graph, stats=None, indent=2):
+    from .json_output import graph_to_json
+
+    return graph_to_json(graph, stats=stats, indent=indent)
+
+
+@register_renderer("html")
+def _render_html(graph, stats=None, title="LineageX lineage graph"):
+    from .html_output import graph_to_html
+
+    return graph_to_html(graph, title=title)
+
+
+@register_renderer("dot")
+def _render_dot(graph, stats=None, name="lineage", rankdir="LR"):
+    from .dot_output import graph_to_dot
+
+    return graph_to_dot(graph, name=name, rankdir=rankdir)
+
+
+@register_renderer("text")
+def _render_text(graph, stats=None):
+    from .text_output import graph_to_text
+
+    return graph_to_text(graph)
+
+
+@register_renderer("csv")
+def _render_csv(graph, stats=None, layout="edges"):
+    from .csv_output import graph_to_csv
+
+    return graph_to_csv(graph, layout=layout)
+
+
+@register_renderer("markdown")
+def _render_markdown(graph, stats=None, title="Lineage"):
+    from .markdown_output import graph_to_markdown
+
+    return graph_to_markdown(graph, stats=stats, title=title)
+
+
+@register_renderer("stats")
+def _render_stats(graph, stats=None):
+    if stats is None:
+        stats = graph.stats()
+    return "\n".join(f"{key}: {value}" for key, value in sorted(stats.items()))

@@ -1,0 +1,308 @@
+"""The unified Session API — one façade over sources, engines and renderers.
+
+Historically the library grew three parallel entry points (``lineagex``,
+``lineagex_with_connection``, ``lineagex_dbt``), each with its own kwargs
+and input handling.  :class:`LineageSession` replaces them with a single
+configured object:
+
+>>> import repro
+>>> session = repro.LineageSession("models/", workers=4)
+>>> result = session.extract()               # auto-detected source adapter
+>>> print(result.render("markdown"))         # any registered format
+>>> # ... edit files under models/ ...
+>>> refreshed = session.refresh()            # content-hash diff -> incremental
+
+Three orthogonal axes compose:
+
+* **sources** — input handling is delegated to the adapter registry in
+  :mod:`repro.sources` (``Source.detect``): raw text, ``.sql`` files,
+  directories, dbt projects and JSONL query logs all work, and adapters
+  backed by a re-scannable store power :meth:`LineageSession.refresh`;
+* **engines** — ``engine="static"`` runs the AST pipeline
+  (:class:`~repro.core.runner.LineageXRunner`), ``engine="plan"`` runs the
+  database-connection mode
+  (:class:`~repro.core.plan_extractor.PlanModeRunner`); both produce the
+  same :class:`LineageResult` surface;
+* **renderers** — every output format resolves through
+  :mod:`repro.output.registry`, so ``result.render(fmt)`` and the CLI share
+  one table.
+
+The legacy one-call functions are thin shims over this class and keep
+working unchanged.
+"""
+
+from dataclasses import dataclass, replace as dataclass_replace
+from typing import Protocol, runtime_checkable
+
+from .core.plan_extractor import PlanModeRunner
+from .core.runner import LineageXRunner
+from .sources import Source, diff_fingerprints
+
+#: engine name -> builder; the seam future engines plug into.
+ENGINES = ("static", "plan")
+_MODES = ("dag", "stack")
+_DIALECTS = {"postgres": "postgres", "postgresql": "postgres"}
+
+
+@runtime_checkable
+class LineageResult(Protocol):
+    """What every engine's result exposes (the engine-parity contract).
+
+    Both the static and the plan engine return
+    :class:`~repro.core.runner.LineageXResult`, which satisfies this
+    protocol; any future engine must as well, so downstream code (CLI,
+    renderers, impact analysis) never branches on the engine.
+    """
+
+    def stats(self): ...
+
+    def to_dict(self): ...
+
+    def save(self, output_dir, basename="lineagex"): ...
+
+    def impact_analysis(self, column, direction="downstream"): ...
+
+    def render(self, fmt, **options): ...
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """Immutable extraction configuration for a :class:`LineageSession`.
+
+    Parameters
+    ----------
+    strict:
+        Raise on ambiguous unqualified columns instead of attributing them
+        conservatively.
+    mode:
+        Static-engine scheduling: ``"dag"`` (topological waves, default) or
+        ``"stack"`` (the paper's reactive LIFO deferral).
+    workers:
+        Thread-pool width for DAG-wave extraction (``None``/1 = sequential).
+        Must be a positive integer.
+    use_stack:
+        Enable the auto-inference deferral stack (disable only for the
+        ablation study).
+    collect_traces:
+        Record per-query extraction traces (rule firings).
+    engine:
+        ``"static"`` (AST pipeline) or ``"plan"`` (simulated-EXPLAIN
+        database-connection mode).  The plan engine validates every
+        dependency against the catalog, needs no scheduling plan, and
+        therefore ignores ``mode``/``workers``/``use_stack``.
+    dialect:
+        SQL dialect for parsing and identifier folding.  Only
+        PostgreSQL semantics are implemented today (``"postgres"``,
+        with ``"postgresql"`` accepted as an alias); the field exists so
+        adding a dialect is a config value, not an API change.
+    """
+
+    strict: bool = False
+    mode: str = "dag"
+    workers: int = None
+    use_stack: bool = True
+    collect_traces: bool = False
+    engine: str = "static"
+    dialect: str = "postgres"
+
+    def __post_init__(self):
+        if self.engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; expected one of {', '.join(ENGINES)}"
+            )
+        if self.mode not in _MODES:
+            raise ValueError(
+                f"unknown scheduling mode {self.mode!r}; expected one of {', '.join(_MODES)}"
+            )
+        if self.workers is not None:
+            if not isinstance(self.workers, int) or isinstance(self.workers, bool) \
+                    or self.workers < 1:
+                raise ValueError(
+                    f"workers must be a positive integer (>= 1), got {self.workers!r}"
+                )
+        canonical = _DIALECTS.get(str(self.dialect).lower())
+        if canonical is None:
+            raise ValueError(
+                f"unsupported dialect {self.dialect!r}; supported: "
+                + ", ".join(sorted(set(_DIALECTS.values())))
+            )
+        object.__setattr__(self, "dialect", canonical)
+
+    def replace(self, **overrides):
+        """A copy of this config with ``overrides`` applied (re-validated)."""
+        return dataclass_replace(self, **overrides)
+
+
+class LineageSession:
+    """A configured lineage workspace over one source.
+
+    Parameters
+    ----------
+    source:
+        Anything the source-adapter registry accepts (SQL text, a
+        ``{name: sql}`` mapping, a ``.sql`` file or directory path, a dbt
+        project, a JSONL query log) or an explicit
+        :class:`~repro.sources.Source` instance.  May be omitted and
+        supplied to :meth:`extract` instead.
+    catalog:
+        Optional :class:`~repro.catalog.Catalog` with base-table schemas.
+        For the plan engine this plays the role of the live database.
+    config:
+        A :class:`SessionConfig`; keyword ``overrides`` (``strict=True``,
+        ``engine="plan"``, ...) are applied on top of it (or on top of the
+        default config when omitted).
+    """
+
+    def __init__(self, source=None, *, catalog=None, config=None, **overrides):
+        if config is None:
+            config = SessionConfig(**overrides)
+        elif overrides:
+            config = config.replace(**overrides)
+        self.config = config
+        self.catalog = catalog
+        self.source = Source.detect(source) if source is not None else None
+        self._payload = None       # what load() produced at extract time
+        self._fingerprint = None   # {name: hash} snapshot for rescan diffs
+        self._result = None
+
+    # ------------------------------------------------------------------
+    @property
+    def result(self):
+        """The most recent extraction result (``None`` before extract())."""
+        return self._result
+
+    @property
+    def engine(self):
+        """The configured engine name."""
+        return self.config.engine
+
+    def _build_engine(self):
+        if self.config.engine == "plan":
+            return PlanModeRunner(catalog=self.catalog)
+        return LineageXRunner(
+            catalog=self.catalog,
+            strict=self.config.strict,
+            use_stack=self.config.use_stack,
+            collect_traces=self.config.collect_traces,
+            mode=self.config.mode,
+            workers=self.config.workers,
+        )
+
+    # ------------------------------------------------------------------
+    def extract(self, source=None):
+        """Run the configured engine over the session's source.
+
+        ``source`` (when given) replaces the session's source for this and
+        subsequent calls.  Returns the engine's :class:`LineageResult`.
+        """
+        if source is not None:
+            self.source = Source.detect(source)
+        if self.source is None:
+            raise ValueError(
+                "no source to extract: pass one to LineageSession(...) or extract(...)"
+            )
+        self._payload = self.source.load()
+        # the snapshot only feeds rescan-based change detection, so don't
+        # charge in-memory sources (which cannot rescan) for hashing it;
+        # hash the payload in hand rather than calling source.fingerprint()
+        # (which would load() a second time and could race a file edit)
+        if self.source.supports_rescan and isinstance(self._payload, dict):
+            from .sources.base import fingerprint_mapping
+
+            self._fingerprint = fingerprint_mapping(self._payload)
+        else:
+            self._fingerprint = None
+        self._result = self._build_engine().run(self._payload)
+        return self._result
+
+    def refresh(self, changes=None):
+        """Re-extract after source changes, reusing everything unaffected.
+
+        Parameters
+        ----------
+        changes:
+            ``{name: new_sql}`` delta (``None`` value removes the entry).
+            When omitted, the source is **re-scanned** and the delta is
+            computed by content-hash diff against the snapshot taken at
+            extraction time — supported for directory, dbt-directory and
+            query-log-file sources.
+
+        With the static engine this feeds the delta into the incremental
+        layer (:meth:`LineageXResult.update`): only changed entries and
+        their transitive DAG dependents are re-extracted.  The plan engine
+        has no incremental path (EXPLAIN revalidates every dependency), so
+        a full re-run over the merged sources is performed instead.
+        """
+        if self._result is None:
+            return self.extract()
+        if changes is None:
+            changes = self._detect_changes()
+        if not changes:
+            return self._result
+        if self.config.engine == "plan":
+            merged = self._merged_payload(changes)
+            self._payload = merged
+            self._result = self._build_engine().run(merged)
+        else:
+            self._result = self._result.update(changes)
+            if isinstance(self._payload, dict):
+                self._payload = self._merged_payload(changes)
+        if self.source.supports_rescan and isinstance(self._payload, dict):
+            from .sources.base import fingerprint_mapping
+
+            self._fingerprint = fingerprint_mapping(self._payload)
+        return self._result
+
+    def _detect_changes(self):
+        if self.source is None or not self.source.supports_rescan:
+            raise ValueError(
+                "this source cannot be re-scanned for changes "
+                f"({'no source' if self.source is None else self.source.kind!r}); "
+                "pass the changes to refresh() explicitly"
+            )
+        if self._fingerprint is None:
+            raise ValueError(
+                "no fingerprint snapshot from the last extract(); "
+                "pass the changes to refresh() explicitly"
+            )
+        return diff_fingerprints(self._fingerprint, self.source.rescan())
+
+    def _merged_payload(self, changes):
+        if not isinstance(self._payload, dict):
+            raise ValueError(
+                "refresh() with the plan engine needs a name-addressable "
+                "source (directory, dbt project, query log, or {name: sql} "
+                "mapping); re-run extract() instead"
+            )
+        merged = dict(self._payload)
+        for name, sql in changes.items():
+            if sql is None:
+                merged.pop(name, None)
+            else:
+                merged[name] = sql
+        return merged
+
+    # ------------------------------------------------------------------
+    def render(self, fmt, **options):
+        """Render the last result through the renderer registry."""
+        return self._require_result().render(fmt, **options)
+
+    def impact(self, column, direction="downstream"):
+        """Impact analysis over the last result's graph."""
+        return self._require_result().impact_analysis(column, direction=direction)
+
+    def save(self, output_dir, basename="lineagex"):
+        """Write the last result's JSON + HTML documents into ``output_dir``."""
+        return self._require_result().save(output_dir, basename=basename)
+
+    def _require_result(self):
+        if self._result is None:
+            raise ValueError("nothing extracted yet: call extract() first")
+        return self._result
+
+    def __repr__(self):
+        source = self.source.kind if self.source is not None else None
+        return (
+            f"LineageSession(engine={self.config.engine!r}, source={source!r}, "
+            f"extracted={self._result is not None})"
+        )

@@ -1,0 +1,52 @@
+"""Source adapters: pluggable input handling for the Session API.
+
+``Source.detect(raw)`` (also exported as :func:`detect_source`) dispatches
+any supported raw input to the right adapter:
+
+=================  ==========================================================
+adapter            claims
+=================  ==========================================================
+``QueryLogSource`` ``.jsonl``/``.ndjson`` paths and inline JSONL query logs
+``DbtSource``      dbt projects (directory with dbt markers, DbtProject,
+                   or a mapping whose bodies use ``ref()``/``source()``)
+``DirectorySource`` a directory of ``.sql`` files
+``FileSource``     a single ``.sql`` file
+``TextSource``     everything else preprocess() accepts (scripts, lists,
+                   plain ``{name: sql}`` mappings)
+=================  ==========================================================
+
+Third-party adapters subclass :class:`Source` and call
+:func:`register_source`; detection order follows ``Source.priority``.
+"""
+
+from .base import (
+    Source,
+    SourceDetectionError,
+    content_hash,
+    detect as detect_source,
+    diff_fingerprints,
+    register_source,
+    registered_sources,
+)
+from .text import TextSource
+from .filesystem import DirectorySource, FileSource
+from .dbt_source import DbtSource
+from .query_log import QueryLogFormatError, QueryLogRecord, QueryLogSource, parse_query_log
+
+__all__ = [
+    "Source",
+    "SourceDetectionError",
+    "TextSource",
+    "FileSource",
+    "DirectorySource",
+    "DbtSource",
+    "QueryLogSource",
+    "QueryLogRecord",
+    "QueryLogFormatError",
+    "parse_query_log",
+    "detect_source",
+    "register_source",
+    "registered_sources",
+    "content_hash",
+    "diff_fingerprints",
+]

@@ -1,0 +1,80 @@
+"""dbt-project input: resolve ``ref()``/``source()`` macros before extraction.
+
+Accepts a :class:`~repro.dbt.project.DbtProject`, a path to a project
+directory, or an in-memory ``{model: raw_sql}`` mapping whose bodies use
+dbt macros.  Detection claims a directory only when it carries dbt markers
+(a ``dbt_project.yml`` or a ``models/`` subdirectory) so plain directories
+of ``.sql`` files still go to :class:`~repro.sources.filesystem.DirectorySource`;
+an in-memory mapping is claimed when any model body contains a macro.
+Construct :class:`DbtSource` explicitly to force dbt handling either way.
+"""
+
+import os
+import re
+
+from .base import Source, fingerprint_mapping, register_source
+from ..dbt.project import DbtProject
+
+_MACRO_PATTERN = re.compile(r"\{\{\s*(ref|source|config)\s*\(")
+
+
+def _has_dbt_markers(path):
+    return (
+        os.path.isfile(os.path.join(path, "dbt_project.yml"))
+        or os.path.isdir(os.path.join(path, "models"))
+    )
+
+
+@register_source
+class DbtSource(Source):
+    """A dbt project, compiled down to a ``{model: sql}`` Query Dictionary."""
+
+    kind = "dbt"
+    priority = 20
+
+    def __init__(self, raw, source_mapping=None):
+        super().__init__(raw)
+        self.source_mapping = source_mapping
+
+    @classmethod
+    def matches(cls, raw):
+        if isinstance(raw, DbtProject):
+            return True
+        if isinstance(raw, dict):
+            return any(
+                isinstance(sql, str) and _MACRO_PATTERN.search(sql)
+                for sql in raw.values()
+            )
+        if isinstance(raw, (str, os.PathLike)):
+            path = os.fspath(raw)
+            if "\n" in path or ";" in path:
+                return False
+            return os.path.isdir(path) and _has_dbt_markers(path)
+        return False
+
+    # ------------------------------------------------------------------
+    def project(self):
+        """The input materialised as a :class:`DbtProject`."""
+        raw = self.raw
+        if isinstance(raw, DbtProject):
+            return raw
+        if isinstance(raw, dict):
+            return DbtProject.from_models(raw, source_mapping=self.source_mapping)
+        return DbtProject.from_directory(
+            os.fspath(raw), source_mapping=self.source_mapping
+        )
+
+    def load(self):
+        return self.project().compiled()
+
+    def fingerprint(self):
+        return fingerprint_mapping(self.load())
+
+    @property
+    def supports_rescan(self):
+        return isinstance(self.raw, (str, os.PathLike))
+
+    def rescan(self):
+        if not self.supports_rescan:
+            return super().rescan()
+        return self.project().compiled()

@@ -1,0 +1,193 @@
+"""JSONL query-log input — the captured-workload workload class.
+
+Database proxies and warehouse audit logs commonly emit one JSON object per
+executed statement.  :class:`QueryLogSource` ingests that shape directly:
+each line is an object with
+
+``sql``        the statement text (required; ``query`` is accepted as an alias),
+``name``       an optional stable identifier for the statement (plays the
+               dbt-model role for bare ``SELECT`` statements),
+``timestamp``  an optional sort key (ISO-8601 string or epoch number).
+
+Any other keys are preserved on the parsed record for callers that want
+them.  When every record carries a *parseable* timestamp (ISO-8601 string,
+offset-aware or naive, or an epoch number) the log is replayed in
+chronological order (ties keep file order); if any timestamp is missing or
+unparseable, file order is used for the whole log.
+Re-executions of the same ``name`` are collapsed to the **latest**
+definition, which turns an append-only log into the warehouse's current
+state.  The input may be a path to a ``.jsonl``/``.ndjson`` file (re-scannable,
+so ``session.refresh()`` picks up appended lines) or the log text itself.
+"""
+
+import json
+import os
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+
+from .base import Source, fingerprint_mapping, register_source
+from ..sqlparser.dialect import normalize_name
+
+_LOG_SUFFIXES = (".jsonl", ".ndjson")
+
+
+class QueryLogFormatError(ValueError):
+    """A line of the JSONL query log is malformed."""
+
+
+def _timestamp_key(value):
+    """A comparable chronological key for a timestamp, or ``None``.
+
+    Epoch numbers and ISO-8601 strings (with or without a UTC offset; a
+    trailing ``Z`` is accepted) all reduce to an epoch float so mixed
+    timestamp styles within one log still order correctly.  Naive
+    datetimes are interpreted as UTC.
+    """
+    if isinstance(value, bool):
+        return None
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, str):
+        text = value.strip()
+        if text.endswith(("Z", "z")):
+            text = text[:-1] + "+00:00"
+        try:
+            parsed = datetime.fromisoformat(text)
+        except ValueError:
+            return None
+        if parsed.tzinfo is None:
+            parsed = parsed.replace(tzinfo=timezone.utc)
+        return parsed.timestamp()
+    return None
+
+
+@dataclass
+class QueryLogRecord:
+    """One parsed line of the query log."""
+
+    name: str
+    sql: str
+    timestamp: object = None
+    line_number: int = 0
+    extra: dict = field(default_factory=dict)
+
+
+def parse_query_log(text):
+    """Parse JSONL query-log text into a list of :class:`QueryLogRecord`."""
+    records = []
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise QueryLogFormatError(
+                f"query log line {line_number} is not valid JSON: {error}"
+            ) from None
+        if not isinstance(payload, dict):
+            raise QueryLogFormatError(
+                f"query log line {line_number} must be a JSON object, "
+                f"got {type(payload).__name__}"
+            )
+        sql = payload.get("sql", payload.get("query"))
+        if not isinstance(sql, str) or not sql.strip():
+            raise QueryLogFormatError(
+                f"query log line {line_number} has no 'sql' (or 'query') string"
+            )
+        name = payload.get("name")
+        if name is None:
+            name = f"query_log_{line_number}"
+        extra = {
+            key: value
+            for key, value in payload.items()
+            if key not in ("sql", "query", "name", "timestamp")
+        }
+        records.append(
+            QueryLogRecord(
+                name=normalize_name(str(name)),
+                sql=sql,
+                timestamp=payload.get("timestamp"),
+                line_number=line_number,
+                extra=extra,
+            )
+        )
+    keys = [_timestamp_key(record.timestamp) for record in records]
+    if records and all(key is not None for key in keys):
+        order = {id(record): key for record, key in zip(records, keys)}
+        records.sort(key=lambda record: (order[id(record)], record.line_number))
+    return records
+
+
+@register_source
+class QueryLogSource(Source):
+    """A JSONL query log (file path or inline text)."""
+
+    kind = "query_log"
+    priority = 10
+
+    @classmethod
+    def matches(cls, raw):
+        if isinstance(raw, os.PathLike):
+            raw = os.fspath(raw)
+        if not isinstance(raw, str):
+            return False
+        if "\n" not in raw and raw.endswith(_LOG_SUFFIXES):
+            return os.path.isfile(raw)
+        return cls._looks_like_log_text(raw)
+
+    @staticmethod
+    def _looks_like_log_text(text):
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            if not line.startswith("{"):
+                return False
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError:
+                return False
+            return isinstance(payload, dict) and (
+                "sql" in payload or "query" in payload
+            )
+        return False
+
+    # ------------------------------------------------------------------
+    @property
+    def is_file_backed(self):
+        raw = self.raw
+        if isinstance(raw, os.PathLike):
+            return True
+        return isinstance(raw, str) and "\n" not in raw and os.path.isfile(raw)
+
+    def _text(self):
+        if self.is_file_backed:
+            with open(os.fspath(self.raw), "r", encoding="utf-8") as handle:
+                return handle.read()
+        return self.raw
+
+    def records(self):
+        """The parsed :class:`QueryLogRecord` list, in replay order."""
+        return parse_query_log(self._text())
+
+    def load(self):
+        mapping = {}
+        for record in self.records():
+            # the latest definition per name wins (re-created views in an
+            # append-only log collapse to the current state)
+            mapping.pop(record.name, None)
+            mapping[record.name] = record.sql
+        return mapping
+
+    def fingerprint(self):
+        return fingerprint_mapping(self.load())
+
+    @property
+    def supports_rescan(self):
+        return self.is_file_backed
+
+    def rescan(self):
+        if not self.supports_rescan:
+            return super().rescan()
+        return self.load()

@@ -1,0 +1,37 @@
+"""In-memory SQL input: scripts, lists of scripts, ``{name: sql}`` mappings.
+
+This is the catch-all adapter (highest priority number): anything the more
+specific adapters do not claim is handed to :func:`repro.core.preprocess`
+verbatim, which preserves the historical behaviour of the one-call API for
+every input shape it ever accepted — including filesystem paths, so the
+legacy entry points can wrap *any* raw input in a :class:`TextSource` and
+behave exactly as before.
+"""
+
+from .base import Source, fingerprint_mapping, register_source
+
+
+@register_source
+class TextSource(Source):
+    """Raw SQL text, a list of texts, or a ``{name: sql}`` mapping."""
+
+    kind = "text"
+    priority = 100
+
+    @classmethod
+    def matches(cls, raw):
+        if isinstance(raw, str):
+            return True
+        if isinstance(raw, dict):
+            return all(isinstance(sql, str) for sql in raw.values())
+        if isinstance(raw, (list, tuple)):
+            return all(isinstance(item, str) for item in raw)
+        return False
+
+    def load(self):
+        return self.raw
+
+    def fingerprint(self):
+        if isinstance(self.raw, dict):
+            return fingerprint_mapping(self.raw)
+        return None

@@ -1,0 +1,98 @@
+"""Tests for the named renderer registry and the CSV/Markdown renderers."""
+
+import csv
+import io
+
+import pytest
+
+from repro.output.registry import (
+    UnknownFormatError,
+    get_renderer,
+    register_renderer,
+    render,
+    renderer_names,
+)
+
+
+class TestRegistry:
+    def test_builtin_formats_registered(self):
+        assert {"json", "html", "dot", "text", "csv", "markdown", "stats"} <= set(
+            renderer_names()
+        )
+
+    def test_get_renderer_returns_callable(self):
+        assert callable(get_renderer("csv"))
+
+    def test_unknown_format_error_lists_known_formats(self):
+        with pytest.raises(UnknownFormatError) as excinfo:
+            get_renderer("yaml")
+        message = str(excinfo.value)
+        assert "yaml" in message and "json" in message and "csv" in message
+
+    def test_unknown_format_is_a_lookup_error(self):
+        with pytest.raises(LookupError):
+            get_renderer("nope")
+
+    def test_custom_renderer_registration(self, example1_graph):
+        @register_renderer("test-edge-count")
+        def edge_count(graph, stats=None, **options):
+            return str(len(list(graph.edges())))
+
+        try:
+            assert render(example1_graph, "test-edge-count").isdigit()
+        finally:
+            from repro.output import registry
+
+            registry._RENDERERS.pop("test-edge-count")
+
+    def test_render_accepts_result_objects(self, example1_result):
+        # result objects contribute their stats() to stats-aware renderers
+        assert "num_views: 3" in render(example1_result, "stats")
+
+    def test_render_accepts_bare_graphs(self, example1_graph):
+        assert "num_views: 3" in render(example1_graph, "stats")
+
+    def test_result_render_method_matches_registry(self, example1_result):
+        assert example1_result.render("dot") == render(example1_result, "dot")
+
+    def test_every_builtin_renders_example1(self, example1_result):
+        for name in renderer_names():
+            text = example1_result.render(name)
+            assert isinstance(text, str) and text
+
+
+class TestCsvRenderer:
+    def test_edge_rows_parse_as_csv(self, example1_result):
+        rows = list(csv.reader(io.StringIO(example1_result.render("csv"))))
+        assert rows[0] == ["source", "target", "kind"]
+        assert ["web.page", "webinfo.wpage", "contribute"] in rows
+
+    def test_columns_layout(self, example1_result):
+        rows = list(
+            csv.reader(io.StringIO(example1_result.render("csv", layout="columns")))
+        )
+        assert rows[0] == ["relation", "relation_kind", "column", "sources"]
+        by_key = {(row[0], row[2]): row for row in rows[1:]}
+        assert by_key[("webinfo", "wpage")][3] == "web.page"
+        assert by_key[("web", "page")][1] == "base_table"
+
+    def test_unknown_layout_rejected(self, example1_result):
+        with pytest.raises(ValueError, match="unknown CSV layout"):
+            example1_result.render("csv", layout="sideways")
+
+
+class TestMarkdownRenderer:
+    def test_sections_and_tables(self, example1_result):
+        text = example1_result.render("markdown")
+        assert "## `webinfo` (view)" in text
+        assert "| `wpage` | `web.page` |" in text
+        assert "## `web` (base table)" in text
+
+    def test_stats_summary_included_for_results(self, example1_result):
+        text = example1_result.render("markdown")
+        assert "## Summary" in text and "| num_views | 3 |" in text
+
+    def test_custom_title(self, example1_result):
+        assert example1_result.render("markdown", title="Warehouse").startswith(
+            "# Warehouse"
+        )

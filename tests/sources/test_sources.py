@@ -1,0 +1,258 @@
+"""Tests for the source-adapter registry (detection, loading, rescan)."""
+
+import json
+import os
+
+import pytest
+
+from repro.dbt.project import DbtProject
+from repro.sources import (
+    DbtSource,
+    DirectorySource,
+    FileSource,
+    QueryLogFormatError,
+    QueryLogSource,
+    Source,
+    SourceDetectionError,
+    TextSource,
+    detect_source,
+    diff_fingerprints,
+    parse_query_log,
+    registered_sources,
+)
+
+
+SQL = "CREATE VIEW v AS SELECT t.a FROM t"
+
+
+class TestDetection:
+    def test_raw_sql_text(self):
+        assert isinstance(detect_source(SQL), TextSource)
+
+    def test_multi_statement_script(self):
+        source = detect_source("CREATE TABLE t (a int); " + SQL)
+        assert source.kind == "text"
+
+    def test_list_of_scripts(self):
+        assert detect_source([SQL, "SELECT u.x FROM u"]).kind == "text"
+
+    def test_plain_mapping(self):
+        assert detect_source({"v": SQL}).kind == "text"
+
+    def test_sql_file(self, tmp_path):
+        path = tmp_path / "view.sql"
+        path.write_text(SQL)
+        source = detect_source(str(path))
+        assert isinstance(source, FileSource)
+
+    def test_directory(self, tmp_path):
+        (tmp_path / "a.sql").write_text(SQL)
+        source = detect_source(str(tmp_path))
+        assert isinstance(source, DirectorySource)
+
+    def test_dbt_directory_with_models_subdir(self, tmp_path):
+        models = tmp_path / "models"
+        models.mkdir()
+        (models / "stg.sql").write_text("SELECT w.a FROM {{ source('raw', 'w') }} w")
+        source = detect_source(str(tmp_path))
+        assert isinstance(source, DbtSource)
+
+    def test_dbt_directory_with_project_file(self, tmp_path):
+        (tmp_path / "dbt_project.yml").write_text("name: demo\n")
+        (tmp_path / "stg.sql").write_text("SELECT 1 AS one")
+        assert detect_source(str(tmp_path)).kind == "dbt"
+
+    def test_plain_directory_is_not_dbt(self, tmp_path):
+        (tmp_path / "a.sql").write_text(SQL)
+        assert detect_source(str(tmp_path)).kind == "directory"
+
+    def test_mapping_with_macros_is_dbt(self):
+        models = {"stg": "SELECT w.a FROM {{ source('raw', 'w') }} w"}
+        assert isinstance(detect_source(models), DbtSource)
+
+    def test_dbt_project_instance(self):
+        project = DbtProject.from_models({"m": "SELECT t.a FROM t"})
+        assert detect_source(project).kind == "dbt"
+
+    def test_jsonl_file(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        path.write_text(json.dumps({"name": "v", "sql": SQL}) + "\n")
+        assert isinstance(detect_source(str(path)), QueryLogSource)
+
+    def test_jsonl_inline_text(self):
+        text = json.dumps({"sql": SQL}) + "\n" + json.dumps({"sql": "SELECT u.x FROM u"})
+        assert detect_source(text).kind == "query_log"
+
+    def test_source_instance_passes_through(self):
+        source = TextSource(SQL)
+        assert detect_source(source) is source
+
+    def test_unsupported_input_raises(self):
+        with pytest.raises(SourceDetectionError, match="no source adapter"):
+            detect_source(42)
+
+    def test_detection_order_is_priority_sorted(self):
+        priorities = [cls.priority for cls in registered_sources()]
+        assert priorities == sorted(priorities)
+
+    def test_detect_also_reachable_via_source_class(self):
+        assert Source.detect(SQL).kind == "text"
+
+
+class TestLoading:
+    def test_text_load_is_identity(self):
+        assert TextSource(SQL).load() == SQL
+
+    def test_file_load_returns_path(self, tmp_path):
+        path = tmp_path / "view.sql"
+        path.write_text(SQL)
+        assert FileSource(str(path)).load() == str(path)
+
+    def test_directory_load_maps_stems(self, tmp_path):
+        (tmp_path / "First.sql").write_text(SQL)
+        (tmp_path / "second.sql").write_text("SELECT u.x FROM u")
+        (tmp_path / "ignored.txt").write_text("not sql")
+        mapping = DirectorySource(str(tmp_path)).load()
+        assert list(mapping) == ["first", "second"]
+
+    def test_dbt_load_compiles_macros(self):
+        source = DbtSource({"stg": "SELECT w.a FROM {{ source('raw', 'w') }} w"})
+        assert source.load() == {"stg": "SELECT w.a FROM raw.w w"}
+
+    def test_query_log_load_orders_and_dedupes(self):
+        lines = [
+            {"name": "v", "sql": "CREATE VIEW v AS SELECT t.a FROM t",
+             "timestamp": "2026-07-01T10:00:00Z"},
+            {"name": "w", "sql": "CREATE VIEW w AS SELECT v.a FROM v",
+             "timestamp": "2026-07-01T09:00:00Z"},
+            # v re-created later: the latest definition must win
+            {"name": "v", "sql": "CREATE VIEW v AS SELECT t.b FROM t",
+             "timestamp": "2026-07-02T08:00:00Z"},
+        ]
+        text = "\n".join(json.dumps(line) for line in lines)
+        mapping = QueryLogSource(text).load()
+        assert mapping["v"] == "CREATE VIEW v AS SELECT t.b FROM t"
+        # timestamp order: w (09:00) before the final v (next day)
+        assert list(mapping) == ["w", "v"]
+
+
+class TestQueryLogParsing:
+    def test_query_alias_and_autonaming(self):
+        text = json.dumps({"query": "SELECT t.a FROM t"})
+        records = parse_query_log(text)
+        assert records[0].sql == "SELECT t.a FROM t"
+        assert records[0].name == "query_log_1"
+
+    def test_extra_keys_preserved(self):
+        text = json.dumps({"sql": SQL, "name": "v", "user": "etl", "duration_ms": 12})
+        record = parse_query_log(text)[0]
+        assert record.extra == {"user": "etl", "duration_ms": 12}
+
+    def test_blank_lines_skipped(self):
+        text = "\n" + json.dumps({"sql": SQL}) + "\n\n"
+        assert len(parse_query_log(text)) == 1
+
+    def test_invalid_json_line_raises(self):
+        with pytest.raises(QueryLogFormatError, match="line 1"):
+            parse_query_log("{not json}")
+
+    def test_non_object_line_raises(self):
+        with pytest.raises(QueryLogFormatError, match="JSON object"):
+            parse_query_log("[1, 2]")
+
+    def test_missing_sql_raises(self):
+        with pytest.raises(QueryLogFormatError, match="no 'sql'"):
+            parse_query_log(json.dumps({"name": "v"}))
+
+    def test_mixed_epoch_and_iso_timestamps_order_chronologically(self):
+        lines = [
+            {"name": "late", "sql": "SELECT t.a FROM t",
+             "timestamp": "2026-01-01T00:00:00Z"},
+            {"name": "early", "sql": "SELECT t.b FROM t", "timestamp": 1},
+        ]
+        text = "\n".join(json.dumps(line) for line in lines)
+        assert [record.name for record in parse_query_log(text)] == ["early", "late"]
+
+    def test_utc_offsets_compared_chronologically_not_lexically(self):
+        lines = [
+            # 10:00+02:00 is 08:00Z — chronologically BEFORE 09:00Z even
+            # though it sorts after it lexically
+            {"name": "second", "sql": "SELECT t.a FROM t",
+             "timestamp": "2026-07-01T09:00:00Z"},
+            {"name": "first", "sql": "SELECT t.b FROM t",
+             "timestamp": "2026-07-01T10:00:00+02:00"},
+        ]
+        text = "\n".join(json.dumps(line) for line in lines)
+        assert [record.name for record in parse_query_log(text)] == ["first", "second"]
+
+    def test_unparseable_timestamp_falls_back_to_file_order(self):
+        lines = [
+            {"name": "a", "sql": "SELECT t.a FROM t", "timestamp": "yesterday-ish"},
+            {"name": "b", "sql": "SELECT t.b FROM t", "timestamp": "2026-01-01T00:00:00Z"},
+        ]
+        text = "\n".join(json.dumps(line) for line in lines)
+        assert [record.name for record in parse_query_log(text)] == ["a", "b"]
+
+    def test_file_backed_records(self, tmp_path):
+        path = tmp_path / "log.ndjson"
+        path.write_text(json.dumps({"name": "v", "sql": SQL}) + "\n")
+        source = QueryLogSource(str(path))
+        assert source.is_file_backed
+        assert [record.name for record in source.records()] == ["v"]
+
+
+class TestRescanAndFingerprints:
+    def test_directory_rescan_reflects_edits(self, tmp_path):
+        (tmp_path / "a.sql").write_text(SQL)
+        source = DirectorySource(str(tmp_path))
+        before = source.fingerprint()
+        (tmp_path / "a.sql").write_text("CREATE VIEW v AS SELECT t.b FROM t")
+        (tmp_path / "b.sql").write_text("SELECT u.x FROM u")
+        changes = diff_fingerprints(before, source.rescan())
+        assert set(changes) == {"a", "b"}
+        assert changes["a"] == "CREATE VIEW v AS SELECT t.b FROM t"
+
+    def test_diff_reports_removals_as_none(self, tmp_path):
+        (tmp_path / "a.sql").write_text(SQL)
+        (tmp_path / "b.sql").write_text("SELECT u.x FROM u")
+        source = DirectorySource(str(tmp_path))
+        before = source.fingerprint()
+        os.remove(tmp_path / "b.sql")
+        changes = diff_fingerprints(before, source.rescan())
+        assert changes == {"b": None}
+
+    def test_unchanged_scan_yields_no_changes(self, tmp_path):
+        (tmp_path / "a.sql").write_text(SQL)
+        source = DirectorySource(str(tmp_path))
+        assert diff_fingerprints(source.fingerprint(), source.rescan()) == {}
+
+    def test_text_source_has_no_fingerprint_for_scripts(self):
+        assert TextSource(SQL).fingerprint() is None
+
+    def test_text_source_fingerprints_mappings(self):
+        assert set(TextSource({"v": SQL}).fingerprint()) == {"v"}
+
+    def test_non_rescannable_source_raises(self):
+        with pytest.raises(SourceDetectionError, match="re-scannable"):
+            TextSource(SQL).rescan()
+
+    def test_dbt_directory_rescan(self, tmp_path):
+        models = tmp_path / "models"
+        models.mkdir()
+        (models / "stg.sql").write_text("SELECT w.a FROM {{ source('raw', 'w') }} w")
+        source = DbtSource(str(tmp_path))
+        before = source.fingerprint()
+        (models / "stg.sql").write_text("SELECT w.b FROM {{ source('raw', 'w') }} w")
+        changes = diff_fingerprints(before, source.rescan())
+        assert list(changes) == ["stg"]
+        assert "raw.w" in changes["stg"]
+
+    def test_query_log_file_rescan_sees_appends(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        path.write_text(json.dumps({"name": "v", "sql": SQL}) + "\n")
+        source = QueryLogSource(str(path))
+        before = source.fingerprint()
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps({"name": "w", "sql": "SELECT v.a FROM v"}) + "\n")
+        changes = diff_fingerprints(before, source.rescan())
+        assert set(changes) == {"w"}

@@ -135,3 +135,170 @@ class TestExecution:
         )
         assert completed.returncode == 0
         assert "num_views: 3" in completed.stdout
+
+
+class TestWorkersValidation:
+    def test_zero_workers_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["x.sql", "--workers", "0"])
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["x.sql", "--workers", "-3"])
+
+    def test_non_integer_workers_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["x.sql", "--workers", "many"])
+
+    def test_valid_workers_accepted(self):
+        assert build_parser().parse_args(["x.sql", "--workers", "4"]).workers == 4
+
+    def test_subcommand_workers_validated_too(self, capsys):
+        from repro.cli import build_subcommand_parser
+
+        with pytest.raises(SystemExit):
+            build_subcommand_parser().parse_args(["extract", "x.sql", "--workers", "0"])
+        assert "--workers must be >= 1" in capsys.readouterr().err
+
+
+class TestVersionFlag:
+    def test_version_exits_zero(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            run(["--version"])
+        assert excinfo.value.code == 0
+        import repro
+
+        assert repro.__version__ in capsys.readouterr().out
+
+
+class TestSubcommands:
+    def test_extract_text(self, example1_file):
+        code, output = run_cli("extract", example1_file)
+        assert code == 0
+        assert "webinfo (view)" in output
+
+    def test_extract_markdown(self, example1_file):
+        code, output = run_cli("extract", example1_file, "--format", "markdown")
+        assert code == 0
+        assert "## `webinfo` (view)" in output
+
+    def test_extract_csv(self, example1_file):
+        code, output = run_cli("extract", example1_file, "--format", "csv")
+        assert output.splitlines()[0] == "source,target,kind"
+
+    def test_extract_output_dir(self, example1_file, tmp_path):
+        out_dir = tmp_path / "out"
+        code, _ = run_cli("extract", example1_file, "--output", str(out_dir))
+        assert code == 0
+        assert (out_dir / "lineagex.json").exists()
+
+    def test_extract_plan_engine(self, example1_file, tmp_path):
+        catalog = tmp_path / "catalog.sql"
+        catalog.write_text(
+            "CREATE TABLE customers (cid integer, name text, age integer);"
+            "CREATE TABLE orders (oid integer, cid integer, amount numeric);"
+            "CREATE TABLE web (cid integer, date timestamp, page text, reg boolean);"
+        )
+        code, output = run_cli(
+            "extract", example1_file, "--engine", "plan", "--catalog", str(catalog)
+        )
+        assert code == 0
+        assert "webinfo (view)" in output
+
+    def test_extract_query_log(self, tmp_path):
+        log = tmp_path / "queries.jsonl"
+        log.write_text(
+            json.dumps({"name": "v", "sql": "CREATE VIEW v AS SELECT t.a FROM t"})
+        )
+        code, output = run_cli("extract", str(log))
+        assert code == 0
+        assert "v (view)" in output
+
+    def test_impact_subcommand(self, example1_file):
+        code, output = run_cli("impact", example1_file, "web.page")
+        assert code == 0
+        assert "webinfo.wpage" in output
+
+    def test_impact_upstream_direction(self, example1_file):
+        code, output = run_cli(
+            "impact", example1_file, "info.wpage", "--direction", "upstream"
+        )
+        assert "web.page" in output
+
+    def test_render_to_file(self, example1_file, tmp_path):
+        out = tmp_path / "lineage.dot"
+        code, output = run_cli("render", example1_file, "--format", "dot",
+                               "--out", str(out))
+        assert code == 0
+        assert output == ""
+        assert out.read_text().startswith("digraph")
+
+    def test_render_list_formats(self):
+        code, output = run_cli("render", "--list-formats")
+        assert code == 0
+        formats = output.split()
+        assert "csv" in formats and "markdown" in formats
+
+    def test_refresh_with_edit(self, tmp_path, capsys):
+        (tmp_path / "v.sql").write_text("CREATE VIEW v AS SELECT t.a FROM t")
+        (tmp_path / "w.sql").write_text("CREATE VIEW w AS SELECT u.b FROM u")
+        code, output = run_cli(
+            "refresh", str(tmp_path),
+            "--edit", "v=CREATE VIEW v AS SELECT t.c FROM t",
+            "--format", "text",
+        )
+        assert code == 0
+        assert "c <- t.c" in output
+        assert "1 reused" in capsys.readouterr().err
+
+    def test_refresh_edit_from_file(self, tmp_path):
+        (tmp_path / "models").mkdir()
+        (tmp_path / "models" / "v.sql").write_text("CREATE VIEW v AS SELECT t.a FROM t")
+        edit = tmp_path / "new_v.sql"
+        edit.write_text("CREATE VIEW v AS SELECT t.b FROM t")
+        code, output = run_cli(
+            "refresh", str(tmp_path / "models"), "--edit", f"v=@{edit}",
+            "--format", "text",
+        )
+        assert code == 0
+        assert "b <- t.b" in output
+
+    def test_refresh_edit_removal(self, tmp_path):
+        (tmp_path / "v.sql").write_text("CREATE VIEW v AS SELECT t.a FROM t")
+        (tmp_path / "w.sql").write_text("CREATE VIEW w AS SELECT u.b FROM u")
+        code, output = run_cli("refresh", str(tmp_path), "--edit", "v=",
+                               "--format", "text")
+        assert code == 0
+        assert "v (view)" not in output and "w (view)" in output
+
+    def test_refresh_without_edit_on_file_input_errors_cleanly(
+        self, example1_file, capsys
+    ):
+        # a single .sql file cannot be rescanned; expect a clean error,
+        # not a traceback
+        code, _ = run_cli("refresh", example1_file)
+        assert code == 2
+        assert "cannot be re-scanned" in capsys.readouterr().err
+
+    def test_refresh_malformed_edit(self, tmp_path):
+        (tmp_path / "v.sql").write_text("CREATE VIEW v AS SELECT t.a FROM t")
+        with pytest.raises(SystemExit):
+            run_cli("refresh", str(tmp_path), "--edit", "no-equals-sign")
+
+    def test_unresolved_still_exits_one(self, tmp_path):
+        log = tmp_path / "orphan.sql"
+        log.write_text("CREATE VIEW v AS SELECT m.x FROM missing m")
+        from repro.datasets import retail
+
+        catalog = tmp_path / "schema.sql"
+        catalog.write_text(retail.BASE_TABLE_DDL)
+        code, _ = run_cli(
+            "extract", str(log), "--engine", "plan", "--catalog", str(catalog)
+        )
+        assert code == 1
+
+    def test_legacy_form_still_works_alongside(self, example1_file):
+        legacy_code, legacy_output = run_cli(example1_file, "--format", "stats")
+        sub_code, sub_output = run_cli("extract", example1_file, "--format", "stats")
+        assert legacy_code == sub_code == 0
+        assert legacy_output == sub_output

@@ -1,0 +1,357 @@
+"""Tests for the unified Session API (config, engines, refresh, shims)."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro import (
+    LineageResult,
+    LineageSession,
+    SessionConfig,
+    lineagex,
+    lineagex_dbt,
+    lineagex_with_connection,
+)
+from repro.analysis.diff import diff_graphs
+from repro.datasets import example1
+from repro.sources import DbtSource, TextSource
+
+
+class TestSessionConfig:
+    def test_defaults(self):
+        config = SessionConfig()
+        assert config.engine == "static"
+        assert config.mode == "dag"
+        assert config.workers is None
+        assert config.use_stack is True
+        assert config.collect_traces is False
+        assert config.dialect == "postgres"
+
+    def test_frozen(self):
+        config = SessionConfig()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            config.engine = "plan"
+
+    def test_replace_revalidates(self):
+        config = SessionConfig().replace(engine="plan")
+        assert config.engine == "plan"
+        with pytest.raises(ValueError):
+            config.replace(engine="quantum")
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            SessionConfig(engine="llm")
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown scheduling mode"):
+            SessionConfig(mode="random")
+
+    @pytest.mark.parametrize("workers", [0, -1, 2.5, True])
+    def test_invalid_workers_rejected(self, workers):
+        with pytest.raises(ValueError, match="positive integer"):
+            SessionConfig(workers=workers)
+
+    def test_postgresql_dialect_alias(self):
+        assert SessionConfig(dialect="postgresql").dialect == "postgres"
+
+    def test_unsupported_dialect_rejected(self):
+        with pytest.raises(ValueError, match="unsupported dialect"):
+            SessionConfig(dialect="tsql")
+
+    def test_kwarg_overrides_on_session(self):
+        session = LineageSession(example1.QUERY_LOG, strict=True, workers=2)
+        assert session.config.strict is True
+        assert session.config.workers == 2
+
+    def test_config_plus_overrides(self):
+        config = SessionConfig(strict=True)
+        session = LineageSession(example1.QUERY_LOG, config=config, mode="stack")
+        assert session.config.strict is True and session.config.mode == "stack"
+
+
+class TestExtractOverAdapters:
+    """extract() works over every source adapter with identical lineage."""
+
+    EXPECTED = {"webinfo", "webact", "info"}
+
+    def _views(self, result):
+        return {entry.name for entry in result.graph.views}
+
+    def test_text(self):
+        result = LineageSession(example1.QUERY_LOG).extract()
+        assert self._views(result) == self.EXPECTED
+
+    def test_file(self, tmp_path):
+        path = tmp_path / "log.sql"
+        path.write_text(example1.QUERY_LOG)
+        session = LineageSession(str(path))
+        assert session.source.kind == "file"
+        assert self._views(session.extract()) == self.EXPECTED
+
+    def test_directory(self, tmp_path):
+        for name, sql in (("q1", example1.Q1), ("q2", example1.Q2), ("q3", example1.Q3)):
+            (tmp_path / f"{name}.sql").write_text(sql)
+        session = LineageSession(str(tmp_path))
+        assert session.source.kind == "directory"
+        assert self._views(session.extract()) == self.EXPECTED
+
+    def test_dbt(self):
+        models = {
+            "stg": "SELECT w.page, w.cid FROM {{ source('raw', 'web') }} w",
+            "rpt": "SELECT s.page FROM {{ ref('stg') }} s",
+        }
+        session = LineageSession(models)
+        assert session.source.kind == "dbt"
+        result = session.extract()
+        assert {entry.name for entry in result.graph.views} == {"stg", "rpt"}
+        assert "raw.web" in result.graph
+
+    def test_query_log(self, tmp_path):
+        path = tmp_path / "queries.jsonl"
+        lines = [
+            {"name": f"q{i}", "sql": sql, "timestamp": f"2026-07-0{i}T00:00:00Z"}
+            for i, sql in enumerate((example1.Q1, example1.Q2, example1.Q3), start=1)
+        ]
+        path.write_text("\n".join(json.dumps(line) for line in lines))
+        session = LineageSession(str(path))
+        assert session.source.kind == "query_log"
+        result = session.extract()
+        assert self._views(result) == self.EXPECTED
+        baseline = lineagex(example1.QUERY_LOG)
+        assert diff_graphs(result.graph, baseline.graph).is_identical
+
+    def test_extract_without_source_raises(self):
+        with pytest.raises(ValueError, match="no source"):
+            LineageSession().extract()
+
+    def test_extract_argument_replaces_source(self):
+        session = LineageSession("SELECT t.a FROM t")
+        result = session.extract(example1.QUERY_LOG)
+        assert self._views(result) == self.EXPECTED
+
+
+class TestEngineSelection:
+    def test_static_and_plan_agree_on_example1(self):
+        catalog = example1.base_table_catalog()
+        static = LineageSession(example1.QUERY_LOG, catalog=catalog).extract()
+        plan = LineageSession(
+            example1.QUERY_LOG, catalog=catalog, engine="plan"
+        ).extract()
+        diff = diff_graphs(plan.graph, static.graph)
+        assert diff.is_identical, diff.summary()
+        assert static.report.mode == "dag"
+        assert plan.report.mode == "plan"
+
+    def test_both_engines_satisfy_the_result_protocol(self):
+        catalog = example1.base_table_catalog()
+        for engine in ("static", "plan"):
+            result = LineageSession(
+                example1.QUERY_LOG, catalog=catalog, engine=engine
+            ).extract()
+            assert isinstance(result, LineageResult)
+            assert "relations" in result.to_dict()
+            assert result.render("stats")
+
+    def test_plan_report_parity_fields(self):
+        result = LineageSession(
+            example1.QUERY_LOG,
+            catalog=example1.base_table_catalog(),
+            engine="plan",
+        ).extract()
+        assert result.report.reused == []
+        payload = result.report.to_dict()
+        assert payload["mode"] == "plan"
+        assert payload["order"] == ["webinfo", "webact", "info"]
+        assert payload["deferral_count"] == 2
+
+    def test_plan_engine_renders_through_registry(self):
+        result = LineageSession(
+            example1.QUERY_LOG,
+            catalog=example1.base_table_catalog(),
+            engine="plan",
+        ).extract()
+        assert "source,target,kind" in result.render("csv")
+        assert result.render("markdown").startswith("# Lineage")
+
+
+class TestShimEquivalence:
+    def test_lineagex_equals_session_extract(self):
+        legacy = lineagex(example1.QUERY_LOG)
+        session = LineageSession(example1.QUERY_LOG).extract()
+        assert diff_graphs(legacy.graph, session.graph).is_identical
+        assert legacy.stats() == session.stats()
+
+    def test_lineagex_with_connection_equals_plan_session(self):
+        catalog = example1.base_table_catalog()
+        legacy = lineagex_with_connection(example1.QUERY_LOG, catalog=catalog)
+        session = LineageSession(
+            example1.QUERY_LOG, catalog=catalog, engine="plan"
+        ).extract()
+        assert diff_graphs(legacy.graph, session.graph).is_identical
+
+    def test_lineagex_dbt_equals_dbt_session(self):
+        models = {
+            "stg": "SELECT w.page FROM {{ source('raw', 'web') }} w",
+            "rpt": "SELECT s.page FROM {{ ref('stg') }} s",
+        }
+        legacy = lineagex_dbt(dict(models))
+        session = LineageSession(DbtSource(dict(models))).extract()
+        assert diff_graphs(legacy.graph, session.graph).is_identical
+
+    def test_lineagex_dbt_forwards_mode(self):
+        models = {
+            "rpt": "SELECT s.page FROM {{ ref('stg') }} s",
+            "stg": "SELECT w.page FROM {{ source('raw', 'web') }} w",
+        }
+        result = lineagex_dbt(models, mode="stack")
+        assert result.report.mode == "stack"
+        assert lineagex_dbt(models).report.mode == "dag"
+
+    def test_lineagex_dbt_forwards_collect_traces(self):
+        models = {"stg": "SELECT w.page FROM {{ source('raw', 'web') }} w"}
+        traced = lineagex_dbt(models, collect_traces=True)
+        assert traced.report.traces
+        assert not lineagex_dbt(models).report.traces
+
+    def test_lineagex_pins_legacy_input_handling(self, tmp_path):
+        # a directory with BOTH top-level .sql files and dbt markers:
+        # the legacy shim must keep reading the top-level files (no source
+        # auto-detection), while the session auto-detects a dbt project
+        (tmp_path / "top.sql").write_text("CREATE VIEW top AS SELECT t.a FROM t")
+        models = tmp_path / "models"
+        models.mkdir()
+        (models / "inner.sql").write_text("SELECT u.b FROM u")
+        legacy = lineagex(str(tmp_path))
+        assert {entry.name for entry in legacy.graph.views} == {"top"}
+        session = LineageSession(str(tmp_path))
+        assert session.source.kind == "dbt"
+        assert {entry.name for entry in session.extract().graph.views} == {"inner"}
+
+    def test_lineagex_dbt_forwards_workers(self):
+        models = {
+            "stg": "SELECT w.page FROM {{ source('raw', 'web') }} w",
+            "rpt": "SELECT s.page FROM {{ ref('stg') }} s",
+        }
+        parallel = lineagex_dbt(dict(models), workers=2)
+        sequential = lineagex_dbt(dict(models))
+        assert diff_graphs(parallel.graph, sequential.graph).is_identical
+
+
+class TestRefresh:
+    def _directory_session(self, tmp_path):
+        (tmp_path / "v.sql").write_text("CREATE VIEW v AS SELECT t.a FROM t")
+        (tmp_path / "w.sql").write_text("CREATE VIEW w AS SELECT v.a FROM v")
+        (tmp_path / "x.sql").write_text("CREATE VIEW x AS SELECT u.b FROM u")
+        return LineageSession(str(tmp_path))
+
+    def test_rescan_refresh_matches_full_rerun(self, tmp_path):
+        session = self._directory_session(tmp_path)
+        session.extract()
+        (tmp_path / "v.sql").write_text("CREATE VIEW v AS SELECT t.c FROM t")
+        refreshed = session.refresh()
+        full = lineagex(str(tmp_path))
+        diff = diff_graphs(refreshed.graph, full.graph)
+        assert diff.is_identical, diff.summary()
+        # x is independent of v and must have been spliced, not re-extracted
+        assert "x" in refreshed.report.reused
+        assert set(refreshed.report.order) == {"v", "w"}
+
+    def test_rescan_refresh_picks_up_new_and_deleted_files(self, tmp_path):
+        session = self._directory_session(tmp_path)
+        session.extract()
+        (tmp_path / "y.sql").write_text("CREATE VIEW y AS SELECT w.a FROM w")
+        (tmp_path / "x.sql").unlink()
+        refreshed = session.refresh()
+        assert "y" in refreshed.graph
+        assert "x" not in refreshed.graph
+
+    def test_refresh_without_changes_returns_last_result(self, tmp_path):
+        session = self._directory_session(tmp_path)
+        result = session.extract()
+        assert session.refresh() is result
+
+    def test_whitespace_only_edit_splices_everything(self, tmp_path):
+        session = self._directory_session(tmp_path)
+        session.extract()
+        # raw-text hash changes, but the canonical statement hash does not
+        (tmp_path / "v.sql").write_text("CREATE   VIEW v AS\nSELECT t.a FROM t")
+        refreshed = session.refresh()
+        assert set(refreshed.report.reused) == {"v", "w", "x"}
+
+    def test_explicit_changes_on_text_source(self):
+        new_webinfo = (
+            "CREATE VIEW webinfo AS "
+            "SELECT c.cid AS wcid, w.date AS wdate, w.page AS wpage, w.reg AS wreg "
+            "FROM customers c JOIN web w ON c.cid = w.cid"
+        )
+        session = LineageSession(example1.QUERY_LOG)
+        session.extract()
+        refreshed = session.refresh({"webinfo": new_webinfo})
+        # equivalent full run: changed sources apply after the carried ones
+        full = lineagex(example1.Q1 + example1.Q2 + new_webinfo)
+        assert diff_graphs(refreshed.graph, full.graph).is_identical
+
+    def test_rescan_requires_rescannable_source(self):
+        session = LineageSession(example1.QUERY_LOG)
+        session.extract()
+        with pytest.raises(ValueError, match="cannot be re-scanned"):
+            session.refresh()
+
+    def test_refresh_before_extract_extracts(self):
+        session = LineageSession(example1.QUERY_LOG)
+        result = session.refresh()
+        assert "info" in result.graph
+        assert session.result is result
+
+    def test_plan_engine_refresh_reruns_fully(self, tmp_path):
+        (tmp_path / "v.sql").write_text("CREATE VIEW v AS SELECT web.page FROM web")
+        session = LineageSession(
+            str(tmp_path), catalog=example1.base_table_catalog(), engine="plan"
+        )
+        session.extract()
+        (tmp_path / "w.sql").write_text("CREATE VIEW w AS SELECT v.page FROM v")
+        refreshed = session.refresh()
+        assert set(refreshed.report.order) == {"v", "w"}
+        assert refreshed.report.reused == []
+
+    def test_successive_refreshes(self, tmp_path):
+        session = self._directory_session(tmp_path)
+        session.extract()
+        (tmp_path / "v.sql").write_text("CREATE VIEW v AS SELECT t.c FROM t")
+        session.refresh()
+        (tmp_path / "x.sql").write_text("CREATE VIEW x AS SELECT u.d FROM u")
+        refreshed = session.refresh()
+        assert set(refreshed.report.order) == {"x"}
+        assert set(refreshed.report.reused) == {"v", "w"}
+        assert diff_graphs(refreshed.graph, lineagex(str(tmp_path)).graph).is_identical
+
+
+class TestSessionConveniences:
+    def test_render_requires_extract(self):
+        with pytest.raises(ValueError, match="extract"):
+            LineageSession(example1.QUERY_LOG).render("text")
+
+    def test_render_and_impact(self):
+        session = LineageSession(example1.QUERY_LOG)
+        session.extract()
+        assert "webinfo (view)" in session.render("text")
+        impact = session.impact("web.page")
+        assert {str(c) for c in impact.all_columns} == example1.IMPACT_OF_WEB_PAGE
+
+    def test_save(self, tmp_path):
+        session = LineageSession(example1.QUERY_LOG)
+        session.extract()
+        json_path, html_path = session.save(str(tmp_path))
+        assert json_path.endswith("lineagex.json") and html_path.endswith("lineagex.html")
+
+    def test_repr(self):
+        session = LineageSession(example1.QUERY_LOG, engine="static")
+        assert "engine='static'" in repr(session)
+        assert "extracted=False" in repr(session)
+
+    def test_top_level_importability(self):
+        import repro
+
+        assert repro.LineageSession is LineageSession
+        assert repro.SessionConfig is SessionConfig
