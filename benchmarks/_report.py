@@ -7,9 +7,24 @@ also written to ``benchmarks/results/<name>.txt`` so the numbers survive the
 run and can be pasted into EXPERIMENTS.md.
 """
 
+import json
 import os
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def emit_json(name, payload):
+    """Persist machine-readable results as ``benchmarks/results/<name>.json``.
+
+    CI uploads ``benchmarks/results/*.json`` as workflow artifacts, so the
+    numbers of every run are downloadable without scraping logs.
+    """
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
 
 
 def emit(name, title, lines):

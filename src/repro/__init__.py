@@ -28,6 +28,7 @@ Package map
 ``repro.core``        the lineage extraction pipeline (the paper's contribution)
 ``repro.session``     the LineageSession façade (sources x engines x renderers)
 ``repro.sources``     input adapters + the auto-detection registry
+``repro.store``       persistent content-addressed lineage store (warm starts)
 ``repro.catalog``     schema catalog + simulated EXPLAIN (database-connection mode)
 ``repro.analysis``    impact analysis, graph diff, accuracy metrics
 ``repro.output``      JSON / HTML / DOT / text / CSV / Markdown renderers + registry
@@ -45,9 +46,11 @@ from .core.errors import (
     CyclicDependencyError,
     DeferralLimitExceededError,
     LineageError,
+    LineageRecordError,
     UnknownRelationError,
 )
 from .core.plan_extractor import PlanModeRunner, lineagex_with_connection
+from .store import LineageStore
 from .catalog import Catalog, catalog_from_sql
 from .analysis.impact import impact_analysis
 from .dbt import lineagex_dbt
@@ -68,7 +71,7 @@ from .output.registry import (
     renderer_names,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "lineagex",
@@ -100,6 +103,8 @@ __all__ = [
     "catalog_from_sql",
     "impact_analysis",
     "LineageError",
+    "LineageRecordError",
+    "LineageStore",
     "UnknownRelationError",
     "AmbiguousColumnError",
     "CyclicDependencyError",

@@ -10,12 +10,16 @@ Subcommand form (preferred):
     $ python -m repro render models/ --format csv --out edges.csv
     $ python -m repro render --list-formats
     $ python -m repro refresh models/ --edit staging='CREATE VIEW staging AS ...'
+    $ python -m repro extract models/ --cache-dir .lineage-cache
+    $ python -m repro cache stats --cache-dir .lineage-cache
 
-Every subcommand accepts the shared extraction flags (``--engine``,
-``--catalog``, ``--strict``, ``--mode``, ``--workers``, ...) and every
-``--format`` value resolves through the renderer registry, so formats
-added with :func:`repro.output.register_renderer` are immediately
-available here.
+Every extraction subcommand accepts the shared extraction flags
+(``--engine``, ``--catalog``, ``--strict``, ``--mode``, ``--workers``,
+``--executor``, ``--cache-dir``, ...) and every ``--format`` value
+resolves through the renderer registry, so formats added with
+:func:`repro.output.register_renderer` are immediately available here.
+The ``cache`` subcommand inspects and maintains a persistent lineage
+store (``stats`` / ``clear`` / ``gc``).
 
 The legacy flag form keeps working unchanged:
 
@@ -45,7 +49,7 @@ from .output.registry import renderer_names
 from .session import ENGINES, LineageSession, SessionConfig
 from .sources import DbtSource, Source
 
-SUBCOMMANDS = ("extract", "impact", "render", "refresh")
+SUBCOMMANDS = ("extract", "impact", "render", "refresh", "cache")
 
 
 def _positive_int(text):
@@ -116,8 +120,25 @@ def _add_extraction_options(parser):
         metavar="N",
         default=None,
         help="in dag mode, extract independent queries of each wave on a "
-        "thread pool of N workers (default: sequential; output is identical "
-        "either way — on GIL-bound CPython builds expect little speedup)",
+        "pool of N workers (default: sequential; output is identical "
+        "either way — see --executor)",
+    )
+    parser.add_argument(
+        "--executor",
+        choices=["thread", "process"],
+        default="thread",
+        help="worker-pool backend for --workers: 'thread' (default; "
+        "GIL-bound on stock CPython) or 'process' (uses the cores; "
+        "byte-identical output, falls back to threads where process pools "
+        "are unavailable)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="persistent lineage store: splice unchanged statements from "
+        "this directory's cache and persist new extractions (warm starts "
+        "across runs; see the 'cache' subcommand for maintenance)",
     )
 
 
@@ -161,7 +182,7 @@ def build_parser():
 
 
 def build_subcommand_parser():
-    """The subcommand-form parser (``repro extract|impact|render|refresh``)."""
+    """The subcommand parser (``repro extract|impact|render|refresh|cache``)."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Extract column-level lineage from SQL query logs (LineageX reproduction).",
@@ -236,6 +257,28 @@ def build_subcommand_parser():
     _add_extraction_options(refresh)
     refresh.set_defaults(handler=_cmd_refresh)
 
+    cache = commands.add_parser(
+        "cache", help="inspect or maintain a persistent lineage store"
+    )
+    cache.add_argument(
+        "action", choices=["stats", "clear", "gc"],
+        help="stats: print store counters; clear: delete every record; "
+        "gc: evict stale records",
+    )
+    cache.add_argument(
+        "--cache-dir", metavar="DIR", required=True,
+        help="the store directory (as passed to extract/refresh)",
+    )
+    cache.add_argument(
+        "--max-age-days", type=float, metavar="DAYS", default=None,
+        help="gc: drop records not used within this many days",
+    )
+    cache.add_argument(
+        "--max-entries", type=_positive_int, metavar="N", default=None,
+        help="gc: keep only the N most recently used lineage records",
+    )
+    cache.set_defaults(handler=_cmd_cache)
+
     return parser
 
 
@@ -263,6 +306,8 @@ def _session_from_args(args):
         mode=args.mode,
         workers=args.workers,
         engine=args.engine,
+        executor=args.executor,
+        cache_dir=args.cache_dir,
     )
     return LineageSession(source, catalog=catalog, config=config)
 
@@ -280,19 +325,19 @@ def _warn_unresolved(result):
 # Subcommand handlers
 # ----------------------------------------------------------------------
 def _cmd_extract(args, stdout):
-    session = _session_from_args(args)
-    result = session.extract()
-    if args.output:
-        result.save(args.output)
-    print(result.render(args.format), file=stdout)
-    return _warn_unresolved(result)
+    with _session_from_args(args) as session:
+        result = session.extract()
+        if args.output:
+            result.save(args.output)
+        print(result.render(args.format), file=stdout)
+        return _warn_unresolved(result)
 
 
 def _cmd_impact(args, stdout):
-    session = _session_from_args(args)
-    result = session.extract()
-    print(impact_report(result.graph, args.column, direction=args.direction), file=stdout)
-    return _warn_unresolved(result)
+    with _session_from_args(args) as session:
+        result = session.extract()
+        print(impact_report(result.graph, args.column, direction=args.direction), file=stdout)
+        return _warn_unresolved(result)
 
 
 def _cmd_render(args, stdout):
@@ -302,15 +347,15 @@ def _cmd_render(args, stdout):
     if args.input is None:
         print("error: an input is required unless --list-formats is given", file=sys.stderr)
         return 2
-    session = _session_from_args(args)
-    result = session.extract()
-    rendered = result.render(args.format)
-    if args.out:
-        with open(args.out, "w", encoding="utf-8") as handle:
-            handle.write(rendered)
-    else:
-        print(rendered, file=stdout)
-    return _warn_unresolved(result)
+    with _session_from_args(args) as session:
+        result = session.extract()
+        rendered = result.render(args.format)
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(rendered)
+        else:
+            print(rendered, file=stdout)
+        return _warn_unresolved(result)
 
 
 def _parse_edits(pairs):
@@ -327,41 +372,67 @@ def _parse_edits(pairs):
 
 
 def _cmd_refresh(args, stdout):
-    session = _session_from_args(args)
-    session.extract()
+    with _session_from_args(args) as session:
+        session.extract()
+        try:
+            result = session.refresh(_parse_edits(args.edit) or None)
+        except ValueError as error:
+            # e.g. a single-file or stdin source without --edit: nothing to rescan
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        reused = len(getattr(result.report, "reused", ()))
+        total = len(result.query_dictionary)
+        print(
+            f"refresh: re-extracted {total - reused} of {total} queries "
+            f"({reused} reused)",
+            file=sys.stderr,
+        )
+        print(result.render(args.format), file=stdout)
+        return _warn_unresolved(result)
+
+
+def _cmd_cache(args, stdout):
+    from .store import LineageStore
+
+    store = LineageStore(args.cache_dir)
     try:
-        result = session.refresh(_parse_edits(args.edit) or None)
-    except ValueError as error:
-        # e.g. a single-file or stdin source without --edit: nothing to rescan
-        print(f"error: {error}", file=sys.stderr)
-        return 2
-    reused = len(getattr(result.report, "reused", ()))
-    total = len(result.query_dictionary)
-    print(
-        f"refresh: re-extracted {total - reused} of {total} queries "
-        f"({reused} reused)",
-        file=sys.stderr,
-    )
-    print(result.render(args.format), file=stdout)
-    return _warn_unresolved(result)
+        if args.action == "stats":
+            for key, value in sorted(store.stats().items()):
+                print(f"{key}: {value}", file=stdout)
+        elif args.action == "clear":
+            print(f"removed {store.clear()} records", file=stdout)
+        else:  # gc
+            if args.max_age_days is None and args.max_entries is None:
+                print(
+                    "error: cache gc needs --max-age-days and/or --max-entries",
+                    file=sys.stderr,
+                )
+                return 2
+            removed = store.gc(
+                max_age_days=args.max_age_days, max_entries=args.max_entries
+            )
+            print(f"evicted {removed} records", file=stdout)
+    finally:
+        store.close()
+    return 0
 
 
 # ----------------------------------------------------------------------
 # Legacy flag form
 # ----------------------------------------------------------------------
 def _legacy_run(args, stdout):
-    session = _session_from_args(args)
-    result = session.extract()
-    if args.output:
-        result.save(args.output)
+    with _session_from_args(args) as session:
+        result = session.extract()
+        if args.output:
+            result.save(args.output)
 
-    if args.impact:
-        print(impact_report(result.graph, args.impact, direction="downstream"), file=stdout)
-    elif args.upstream:
-        print(impact_report(result.graph, args.upstream, direction="upstream"), file=stdout)
-    else:
-        print(result.render(args.format), file=stdout)
-    return _warn_unresolved(result)
+        if args.impact:
+            print(impact_report(result.graph, args.impact, direction="downstream"), file=stdout)
+        elif args.upstream:
+            print(impact_report(result.graph, args.upstream, direction="upstream"), file=stdout)
+        else:
+            print(result.render(args.format), file=stdout)
+        return _warn_unresolved(result)
 
 
 def run(argv=None, stdout=None):

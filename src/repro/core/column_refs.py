@@ -8,6 +8,7 @@ output in JSON documents and test assertions.
 
 from dataclasses import dataclass
 
+from .errors import LineageRecordError
 from ..sqlparser.dialect import normalize_identifier, normalize_name
 
 
@@ -37,6 +38,33 @@ class ColumnName:
 
     def __str__(self):
         return self.dotted()
+
+    # ------------------------------------------------------------------
+    # Loss-free record round-trip (persistent lineage store)
+    # ------------------------------------------------------------------
+    def to_record(self):
+        """A plain-data form that survives serialisation exactly.
+
+        Unlike :meth:`dotted`, the record keeps the table and column parts
+        separate, so identifiers containing dots round-trip without being
+        re-split on parse.
+        """
+        return [self.table, self.column]
+
+    @classmethod
+    def from_record(cls, record):
+        """Rebuild from :meth:`to_record` output (no re-normalisation).
+
+        Raises :class:`~repro.core.errors.LineageRecordError` for anything
+        that is not a two-element ``[table, column]`` pair of strings.
+        """
+        if (
+            not isinstance(record, (list, tuple))
+            or len(record) != 2
+            or not all(isinstance(part, str) for part in record)
+        ):
+            raise LineageRecordError(f"not a column record: {record!r}")
+        return cls(table=record[0], column=record[1])
 
 
 def normalize_column(name):

@@ -67,6 +67,19 @@ def _scoped_table_refs(node, active_ctes, referenced):
         _scoped_table_refs(child, active_ctes, referenced)
 
 
+def statement_table_refs(statement):
+    """Every relation name referenced anywhere under ``statement``.
+
+    CTE names are resolved lexically (matching the extractor) and excluded;
+    the statement's own target relation is *not* excluded — callers that
+    need dependencies subtract it (see
+    :meth:`repro.core.preprocess.ParsedQuery.dependencies`).
+    """
+    referenced = set()
+    _scoped_table_refs(statement, frozenset(), referenced)
+    return referenced
+
+
 def statement_dependencies(entry):
     """Relations read by one Query Dictionary entry (CTE names excluded).
 
@@ -75,11 +88,10 @@ def statement_dependencies(entry):
     (lexical scoping, matching the extractor) and minus the entry's own
     identifier (a query reading the relation it writes — ``UPDATE ... FROM``,
     self-referencing ``INSERT`` — is not a dependency on another entry).
+    The reference set is cached on the entry (and replayed from the parse
+    cache for warm starts), so repeated DAG builds never re-walk the AST.
     """
-    referenced = set()
-    _scoped_table_refs(entry.statement, frozenset(), referenced)
-    referenced.discard(entry.identifier)
-    return referenced
+    return set(entry.dependencies())
 
 
 class DependencyDAG:
@@ -98,6 +110,7 @@ class DependencyDAG:
         self.dependencies = {}     # identifier -> set of internal identifiers read
         self.dependents = {}       # identifier -> set of internal identifiers reading it
         self.readers = {}          # any relation name -> set of identifiers reading it
+        self.references = {}       # identifier -> every relation name it reads
 
     # ------------------------------------------------------------------
     @classmethod
@@ -110,7 +123,9 @@ class DependencyDAG:
             dag.dependencies[identifier] = set()
             dag.dependents[identifier] = set()
         for identifier, entry in query_dictionary.items():
-            for name in statement_dependencies(entry):
+            referenced = statement_dependencies(entry)
+            dag.references[identifier] = set(referenced)
+            for name in referenced:
                 dag.readers.setdefault(name, set()).add(identifier)
                 if name in node_set:
                     dag.dependencies[identifier].add(name)

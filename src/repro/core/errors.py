@@ -30,6 +30,12 @@ class UnknownRelationError(LineageError):
             message += f": {reason}"
         super().__init__(message)
 
+    def __reduce__(self):
+        # default exception pickling would re-init with the formatted message
+        # as ``relation``; process-pool workers hand this error back to the
+        # scheduler, so the attributes must survive the round trip
+        return (type(self), (self.relation, self.reason))
+
 
 class AmbiguousColumnError(LineageError):
     """Raised when a column reference cannot be attributed to a single source.
@@ -53,6 +59,9 @@ class AmbiguousColumnError(LineageError):
             f"column {column!r} is ambiguous among sources: {', '.join(self.candidates)}"
         )
 
+    def __reduce__(self):
+        return (type(self), (self.column, self.candidates))
+
 
 class CyclicDependencyError(LineageError):
     """Raised when query definitions form a dependency cycle.
@@ -66,6 +75,9 @@ class CyclicDependencyError(LineageError):
     def __init__(self, cycle):
         self.cycle = list(cycle)
         super().__init__("cyclic dependency among queries: " + " -> ".join(self.cycle))
+
+    def __reduce__(self):
+        return (type(self), (self.cycle,))
 
 
 class DeferralLimitExceededError(CyclicDependencyError):
@@ -95,3 +107,17 @@ class DeferralLimitExceededError(CyclicDependencyError):
             + " -> ".join(self.stack),
         )
         self.cycle = list(stack)
+
+    def __reduce__(self):
+        return (type(self), (self.stack, self.limit))
+
+
+class LineageRecordError(LineageError):
+    """A serialized lineage record is malformed or of an unsupported version.
+
+    Raised by :meth:`repro.core.lineage.TableLineage.from_record` and
+    :meth:`repro.core.column_refs.ColumnName.from_record`.  The persistent
+    lineage store catches it and treats the entry as a cold miss, so a
+    corrupted or version-skewed cache degrades to re-extraction instead of
+    failing the run.
+    """

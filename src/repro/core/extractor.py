@@ -45,6 +45,14 @@ from ..sqlparser import ast
 from ..sqlparser.dialect import normalize_identifier, normalize_name
 
 
+#: Version of the extraction algorithm's observable output.  It is one of
+#: the four components of the persistent lineage store's cache key, so any
+#: change to the rules in Table I (or to how results are attributed) must
+#: bump it — stale records then become silent cold misses instead of wrong
+#: warm hits.
+EXTRACTOR_VERSION = 1
+
+
 # ----------------------------------------------------------------------
 # Schema providers
 # ----------------------------------------------------------------------
@@ -78,6 +86,40 @@ class CatalogSchemaProvider(SchemaProvider):
         if table is None:
             return None
         return table.column_names()
+
+
+class MappingSchemaProvider(SchemaProvider):
+    """A provider over a plain ``{relation: [columns]}`` snapshot.
+
+    This is the *pure* provider behind wave-parallel extraction: the
+    scheduler snapshots the schemas visible to one statement (results of
+    already-extracted entries plus catalog tables) into a plain dict, so
+    the whole extraction job — provider included — pickles cleanly into a
+    worker process and touches no shared mutable state.
+
+    ``pending`` names relations that *will* be defined by a
+    not-yet-processed Query Dictionary entry; looking one up raises
+    :class:`UnknownRelationError` exactly like the live scheduler provider,
+    which the scheduler turns into a deferral-stack fallback.  ``current``
+    is the identifier being extracted (a self-reference is never treated
+    as a missing dependency).
+    """
+
+    def __init__(self, schemas, pending=frozenset(), current=None):
+        self.schemas = dict(schemas)
+        self.pending = frozenset(pending)
+        self.current = current
+
+    def get_columns(self, name):
+        name = normalize_name(name)
+        columns = self.schemas.get(name)
+        if columns is not None:
+            return list(columns)
+        if name in self.pending and name != self.current:
+            raise UnknownRelationError(
+                name, reason="defined by a not-yet-processed query"
+            )
+        return None
 
 
 # ----------------------------------------------------------------------

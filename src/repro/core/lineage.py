@@ -20,15 +20,23 @@ per Query Dictionary item plus the inferred base tables) and exposes the
 combined column-edge view used by the visualizer and the impact analysis.
 """
 
+import weakref
 from dataclasses import dataclass, field
 
 from .column_refs import ColumnName
+from .errors import LineageRecordError
 
 
 #: Edge kinds, ordered so that "both" wins when merging.
 EDGE_CONTRIBUTE = "contribute"
 EDGE_REFERENCE = "reference"
 EDGE_BOTH = "both"
+
+#: Version of the :meth:`TableLineage.to_record` serialisation format.
+#: Bump whenever the record shape changes; :meth:`TableLineage.from_record`
+#: rejects records of any other version, which the persistent store turns
+#: into a silent cold miss (re-extraction) instead of loading skewed data.
+LINEAGE_RECORD_VERSION = 1
 
 
 @dataclass(frozen=True, order=True)
@@ -52,10 +60,47 @@ class TableLineage:
     expressions: dict = field(default_factory=dict)        # column -> defining SQL text
     is_base_table: bool = False
     sql: str = ""
-    #: mutation counter; lets :class:`LineageGraph` detect entries mutated
-    #: *after* being added (e.g. base tables gaining columns from usage) and
-    #: invalidate its adjacency index.
+    #: mutation counter; kept for observability, but index invalidation now
+    #: flows through the observer hooks (see :meth:`_bump`), so graphs never
+    #: have to re-sum the counters of every entry per traversal.
     _version: int = field(default=0, compare=False, repr=False)
+
+    # ------------------------------------------------------------------
+    # Mutation notification
+    # ------------------------------------------------------------------
+    def _bump(self):
+        """Record a mutation and notify every subscribed graph.
+
+        Entries can be mutated *after* being added to a graph (base tables
+        gain columns from usage) and one entry may live in several graphs at
+        once (incremental splicing shares :class:`TableLineage` objects
+        between the previous and the new result).  Each mutation pushes an
+        O(1) invalidation to every subscriber instead of graphs polling
+        every entry's counter on each traversal.
+        """
+        self._version += 1
+        observers = self.__dict__.get("_observers")
+        if observers:
+            alive = [ref for ref in observers if ref() is not None]
+            for ref in alive:
+                ref()._invalidate()
+            if len(alive) != len(observers):
+                self.__dict__["_observers"] = alive
+
+    def _subscribe(self, graph):
+        """Register ``graph`` for mutation notifications (weakly, once)."""
+        observers = self.__dict__.setdefault("_observers", [])
+        for ref in observers:
+            if ref() is graph:
+                return
+        observers.append(weakref.ref(graph))
+
+    def __getstate__(self):
+        # weak observer references are neither picklable nor meaningful in
+        # another process; a worker-returned copy starts unsubscribed
+        state = dict(self.__dict__)
+        state.pop("_observers", None)
+        return state
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -65,25 +110,25 @@ class TableLineage:
         if column not in self.output_columns:
             self.output_columns.append(column)
         self.contributions.setdefault(column, set())
-        self._version += 1
+        self._bump()
 
     def add_contribution(self, column, source):
         """Record that ``source`` contributes to output ``column``."""
         self.add_output_column(column)
         self.contributions[column].add(source)
         self.source_tables.add(source.table)
-        self._version += 1
+        self._bump()
 
     def add_reference(self, source):
         """Record that the defining query references ``source``."""
         self.referenced.add(source)
         self.source_tables.add(source.table)
-        self._version += 1
+        self._bump()
 
     def add_source_table(self, table):
         """Record a table-level dependency without a column edge."""
         self.source_tables.add(table)
-        self._version += 1
+        self._bump()
 
     # ------------------------------------------------------------------
     # Views over the stored lineage
@@ -150,6 +195,75 @@ class TableLineage:
             "column_expressions": dict(self.expressions),
             "sql": self.sql,
         }
+
+    # ------------------------------------------------------------------
+    # Loss-free record round-trip (persistent lineage store)
+    # ------------------------------------------------------------------
+    def to_record(self):
+        """Serialise to a versioned plain-data record.
+
+        Unlike :meth:`to_dict` (a display shape that renders column names as
+        dotted strings), the record keeps every :class:`ColumnName` as an
+        explicit ``[table, column]`` pair and is guaranteed loss-free:
+        ``TableLineage.from_record(t.to_record()) == t`` for any entry.
+        The persistent lineage store serialises exactly this shape.
+        """
+        return {
+            "record_version": LINEAGE_RECORD_VERSION,
+            "name": self.name,
+            "is_base_table": self.is_base_table,
+            "sql": self.sql,
+            "output_columns": list(self.output_columns),
+            "contributions": {
+                column: sorted(source.to_record() for source in sources)
+                for column, sources in self.contributions.items()
+            },
+            "referenced": sorted(source.to_record() for source in self.referenced),
+            "source_tables": sorted(self.source_tables),
+            "expressions": dict(self.expressions),
+        }
+
+    @classmethod
+    def from_record(cls, record):
+        """Rebuild a :class:`TableLineage` from :meth:`to_record` output.
+
+        Raises :class:`~repro.core.errors.LineageRecordError` when the
+        record is malformed or its ``record_version`` does not match — the
+        store treats either as a cold miss and re-extracts.
+        """
+        if not isinstance(record, dict):
+            raise LineageRecordError(f"not a lineage record: {type(record).__name__}")
+        version = record.get("record_version")
+        if version != LINEAGE_RECORD_VERSION:
+            raise LineageRecordError(
+                f"unsupported lineage record version {version!r} "
+                f"(expected {LINEAGE_RECORD_VERSION})"
+            )
+        try:
+            entry = cls(
+                name=record["name"],
+                is_base_table=bool(record["is_base_table"]),
+                sql=record["sql"],
+            )
+            if not isinstance(entry.name, str) or not isinstance(entry.sql, str):
+                raise LineageRecordError("name and sql must be strings")
+            entry.output_columns = [str(column) for column in record["output_columns"]]
+            entry.contributions = {
+                str(column): {ColumnName.from_record(source) for source in sources}
+                for column, sources in record["contributions"].items()
+            }
+            entry.referenced = {
+                ColumnName.from_record(source) for source in record["referenced"]
+            }
+            entry.source_tables = {str(table) for table in record["source_tables"]}
+            entry.expressions = {
+                str(column): str(text) for column, text in record["expressions"].items()
+            }
+        except LineageRecordError:
+            raise
+        except (KeyError, TypeError, ValueError, AttributeError) as error:
+            raise LineageRecordError(f"malformed lineage record: {error}") from None
+        return entry
 
 
 class _GraphIndex:
@@ -218,11 +332,14 @@ class LineageGraph:
         self._mutations += 1
 
     def _state_token(self):
-        """A cheap fingerprint of the graph's mutable state."""
-        total = 0
-        for entry in self.relations.values():
-            total += entry._version
-        return (self._mutations, len(self.relations), total)
+        """An O(1) fingerprint of the graph's mutable state.
+
+        Structural mutations bump ``_mutations`` directly; in-place entry
+        mutations arrive through the entries' observer notifications
+        (:meth:`TableLineage._bump`), so the token is a single counter read
+        instead of a per-traversal sweep over every entry's version.
+        """
+        return self._mutations
 
     def _ensure_index(self):
         token = self._state_token()
@@ -237,6 +354,7 @@ class LineageGraph:
     def add(self, lineage):
         """Add (or replace) the lineage entry for one relation."""
         self.relations[lineage.name] = lineage
+        lineage._subscribe(self)
         self._invalidate()
         return lineage
 
@@ -246,6 +364,7 @@ class LineageGraph:
         if entry is None:
             entry = TableLineage(name=name, is_base_table=True)
             self.relations[name] = entry
+            entry._subscribe(self)
             self._invalidate()
         for column in columns:
             entry.add_output_column(column)

@@ -11,33 +11,120 @@ modules.
 
 import hashlib
 import os
-from dataclasses import dataclass, field
 
+from .errors import LineageRecordError
 from ..sqlparser import ast, parse
 from ..sqlparser.dialect import normalize_name
 from ..sqlparser.visitor import created_name, query_of
 
+#: Version of the serialized per-source parse record (the store's parse
+#: cache).  Bump whenever :func:`_statement_record` / statement
+#: classification changes shape or semantics; old records become misses.
+PARSE_RECORD_VERSION = 1
 
-@dataclass
+
 class ParsedQuery:
-    """One entry of the Query Dictionary."""
+    """One entry of the Query Dictionary.
 
-    identifier: str
-    statement: ast.Statement
-    query: ast.QueryExpression
-    sql: str = ""
-    kind: str = "select"  # view | table | insert | select
-    column_names: list = field(default_factory=list)
-    #: the named source (dict key / file stem) this entry was parsed from, or
-    #: ``None`` for anonymous script input.  Incremental merging uses it to
-    #: purge entries whose source was replaced by a fragment that no longer
-    #: produces them.
-    source_name: str = None
-    #: this entry's statement alone, pretty-printed from the AST.  Unlike
-    #: ``sql`` (which for named sources holds the whole source text), this is
-    #: always exactly one statement in canonical form — the basis of
-    #: :attr:`content_hash` and of incremental source reconstruction.
-    statement_sql: str = ""
+    The AST (``statement`` / ``query``) is materialised *lazily*: entries
+    replayed from the persistent parse cache carry only the canonical
+    ``statement_sql`` and re-parse it on first AST access.  A warm-start
+    run whose extractions all splice from the lineage store therefore never
+    parses a single statement — ``content_hash`` and ``dependencies()``
+    are served from the cached record.
+    """
+
+    def __init__(
+        self,
+        identifier,
+        statement=None,
+        query=None,
+        sql="",
+        kind="select",  # view | table | insert | update | delete | select
+        column_names=None,
+        source_name=None,
+        statement_sql="",
+        table_refs=None,
+    ):
+        self.identifier = identifier
+        self._statement = statement
+        self._query = query
+        #: for named sources, the whole source text this entry came from;
+        #: for anonymous script input, this entry's statement alone.
+        self.sql = sql
+        self.kind = kind
+        self.column_names = list(column_names or [])
+        #: the named source (dict key / file stem) this entry was parsed
+        #: from, or ``None`` for anonymous script input.  Incremental
+        #: merging uses it to purge entries whose source was replaced by a
+        #: fragment that no longer produces them.
+        self.source_name = source_name
+        #: this entry's statement alone, pretty-printed from the AST.
+        #: Unlike ``sql`` this is always exactly one statement in canonical
+        #: form — the basis of :attr:`content_hash`, of incremental source
+        #: reconstruction, and of lazy re-parsing.
+        self.statement_sql = statement_sql
+        #: every relation name the statement references (before discarding
+        #: the self-reference); computed on demand and cached, or replayed
+        #: from the parse cache.
+        self._table_refs = frozenset(table_refs) if table_refs is not None else None
+
+    def __repr__(self):
+        return (
+            f"ParsedQuery(identifier={self.identifier!r}, kind={self.kind!r}, "
+            f"parsed={self._statement is not None})"
+        )
+
+    @property
+    def statement(self):
+        """The statement AST (re-parsed from ``statement_sql`` on demand).
+
+        A lazy entry only exists when the statement was replayed from the
+        persistent parse cache, so a re-parse failure means the cached
+        canonical SQL is corrupt or version-skewed; it surfaces as
+        :class:`~repro.core.errors.LineageRecordError`, which the runner
+        turns into a cold retry without the parse cache.
+        """
+        if self._statement is None:
+            try:
+                statements = parse(self.statement_sql)
+            except Exception as error:
+                raise LineageRecordError(
+                    f"cached canonical SQL of {self.identifier!r} no longer "
+                    f"parses ({error}); the parse cache is corrupt or was "
+                    "written by an incompatible version"
+                ) from None
+            if len(statements) != 1:
+                raise LineageRecordError(
+                    f"cached canonical SQL of {self.identifier!r} holds "
+                    f"{len(statements)} statements, expected exactly 1"
+                )
+            self._statement = statements[0]
+        return self._statement
+
+    @property
+    def query(self):
+        """The query expression whose lineage describes this entry."""
+        if self._query is None:
+            self._query = _query_for(self.statement)
+        return self._query
+
+    @property
+    def is_parsed(self):
+        """True when the AST is already materialised (no parse on access)."""
+        return self._statement is not None
+
+    def table_refs(self):
+        """Every relation name referenced by the statement (incl. self)."""
+        if self._table_refs is None:
+            from .dag import statement_table_refs
+
+            self._table_refs = frozenset(statement_table_refs(self.statement))
+        return self._table_refs
+
+    def dependencies(self):
+        """Relations this entry reads (the self-reference excluded)."""
+        return self.table_refs() - {self.identifier}
 
     @property
     def creates_relation(self):
@@ -126,7 +213,7 @@ class QueryDictionary:
             yield identifier, self.entries[identifier]
 
 
-def preprocess(source, id_generator=None):
+def preprocess(source, id_generator=None, parse_cache=None):
     """Build a :class:`QueryDictionary` from ``source``.
 
     ``source`` may be:
@@ -141,6 +228,13 @@ def preprocess(source, id_generator=None):
     default produces deterministic ``query_1``, ``query_2``, ... identifiers
     (the paper uses randomly generated ids; determinism is friendlier to
     tests and caching and does not change the algorithm).
+
+    ``parse_cache`` (optional) is an object with ``get(sql) -> records``
+    and ``put(sql, records)`` — typically
+    :meth:`repro.store.LineageStore.parse_cache`.  Source fragments found
+    in the cache are *replayed* from their serialized statement records
+    instead of being parsed; the resulting entries materialise their ASTs
+    lazily, so a fully warm run never parses at all.
     """
     if id_generator is None:
         id_generator = lambda counter: f"query_{counter}"  # noqa: E731
@@ -148,44 +242,141 @@ def preprocess(source, id_generator=None):
     dictionary = QueryDictionary()
     counter = 0
     for default_name, sql in _iter_sources(source):
-        for statement in parse(sql):
-            entry_kind, identifier, column_names = _classify(statement)
-            if entry_kind == "ddl":
-                dictionary.add_ddl(statement, source=default_name)
-                continue
-            if entry_kind == "skip":
-                dictionary.warnings.append(
-                    f"statement of type {type(statement).__name__} does not produce lineage; skipped"
-                )
-                continue
-            if identifier is None:
-                if default_name is not None:
-                    identifier = default_name
-                else:
-                    counter += 1
-                    identifier = id_generator(counter)
-            if entry_kind in ("update", "delete") and identifier in dictionary:
-                # A CREATE already defines this relation's lineage; an UPDATE
-                # or DELETE later in the log must not overwrite it.
-                dictionary.warnings.append(
-                    f"{entry_kind.upper()} on {identifier!r} ignored: the relation is "
-                    "already defined by an earlier statement"
-                )
-                continue
-            statement_sql = _statement_sql(statement)
-            dictionary.add(
-                ParsedQuery(
-                    identifier=normalize_name(identifier),
-                    statement=statement,
-                    query=_query_for(statement),
-                    sql=sql if default_name is not None else statement_sql,
-                    kind=entry_kind,
-                    column_names=column_names,
-                    statement_sql=statement_sql,
-                    source_name=default_name,
-                )
+        statements = None
+        records = parse_cache.get(sql) if parse_cache is not None else None
+        if records is not None:
+            records = _validated_fragment(records)
+        if records is None:
+            statements = parse(sql)
+            records = [_statement_record(statement) for statement in statements]
+            if parse_cache is not None:
+                parse_cache.put(sql, records)
+        for index, record in enumerate(records):
+            statement = statements[index] if statements is not None else None
+            counter = _apply_record(
+                dictionary, record, statement, default_name, sql, counter, id_generator
             )
     return dictionary
+
+
+def _statement_record(statement):
+    """Serialise one parsed statement's preprocessing outcome.
+
+    The record carries everything the downstream pipeline needs without
+    the AST: the classification, the canonical single-statement SQL (the
+    substrate of ``content_hash`` and of lazy re-parsing), the declared
+    column list, and the referenced relation names (the dependency-DAG
+    input).  ``skip`` records keep only their warning text.
+    """
+    entry_kind, identifier, column_names = _classify(statement)
+    record = {
+        "kind": entry_kind,
+        "identifier": identifier,
+        "column_names": list(column_names),
+    }
+    if entry_kind == "skip":
+        record["warning"] = (
+            f"statement of type {type(statement).__name__} does not produce lineage; skipped"
+        )
+        return record
+    record["statement_sql"] = _statement_sql(statement)
+    if entry_kind != "ddl":
+        from .dag import statement_table_refs
+
+        record["table_refs"] = sorted(statement_table_refs(statement))
+    return record
+
+
+_RECORD_KINDS = ("view", "table", "insert", "update", "delete", "select", "ddl", "skip")
+
+
+def _validated_fragment(records):
+    """Structurally validate replayed parse records; ``None`` = cold miss."""
+    if not isinstance(records, list):
+        return None
+    for record in records:
+        if not isinstance(record, dict) or record.get("kind") not in _RECORD_KINDS:
+            return None
+        kind = record["kind"]
+        if kind == "skip":
+            if not isinstance(record.get("warning"), str):
+                return None
+            continue
+        if not isinstance(record.get("statement_sql"), str) or not record["statement_sql"]:
+            return None
+        identifier = record.get("identifier")
+        if identifier is not None and not isinstance(identifier, str):
+            return None
+        if not isinstance(record.get("column_names"), list):
+            return None
+        if kind != "ddl" and not (
+            isinstance(record.get("table_refs"), list)
+            and all(isinstance(name, str) for name in record["table_refs"])
+        ):
+            return None
+        if kind == "ddl":
+            # DDL ASTs are needed eagerly (they seed the schema catalog);
+            # prove the cached text re-parses before applying anything and
+            # keep the AST so _apply_record does not parse a second time
+            try:
+                statements = parse(record["statement_sql"])
+            except Exception:
+                return None
+            if len(statements) != 1:
+                return None
+            record["_parsed_ddl"] = statements[0]
+    return records
+
+
+def _apply_record(dictionary, record, statement, default_name, sql, counter, id_generator):
+    """Apply one statement record to the dictionary (cold or replayed path).
+
+    ``statement`` is the live AST on the cold path and ``None`` on replay,
+    in which case lineage-bearing entries stay lazy and DDL is re-parsed
+    eagerly (the schema catalog needs it up front).
+    """
+    kind = record["kind"]
+    if kind == "skip":
+        dictionary.warnings.append(record["warning"])
+        return counter
+    if kind == "ddl":
+        if statement is None:
+            # attached by _validated_fragment on the replay path (records
+            # are decoded fresh per replay, so the AST is never shared)
+            statement = record.pop("_parsed_ddl", None)
+        if statement is None:
+            statement = parse(record["statement_sql"])[0]
+        dictionary.add_ddl(statement, source=default_name)
+        return counter
+    identifier = record["identifier"]
+    if identifier is None:
+        if default_name is not None:
+            identifier = default_name
+        else:
+            counter += 1
+            identifier = id_generator(counter)
+    if kind in ("update", "delete") and identifier in dictionary:
+        # A CREATE already defines this relation's lineage; an UPDATE
+        # or DELETE later in the log must not overwrite it.
+        dictionary.warnings.append(
+            f"{kind.upper()} on {identifier!r} ignored: the relation is "
+            "already defined by an earlier statement"
+        )
+        return counter
+    statement_sql = record["statement_sql"]
+    dictionary.add(
+        ParsedQuery(
+            identifier=normalize_name(identifier),
+            statement=statement,
+            sql=sql if default_name is not None else statement_sql,
+            kind=kind,
+            column_names=record["column_names"],
+            statement_sql=statement_sql,
+            source_name=default_name,
+            table_refs=record.get("table_refs"),
+        )
+    )
+    return counter
 
 
 def _query_for(statement):

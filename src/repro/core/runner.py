@@ -24,6 +24,8 @@ import os
 from dataclasses import dataclass, field
 
 from .dag import DependencyDAG
+from .errors import LineageRecordError
+from .extractor import EXTRACTOR_VERSION
 from .lineage import LineageGraph
 from .preprocess import QueryDictionary, preprocess
 from .scheduler import AutoInferenceScheduler
@@ -56,6 +58,13 @@ class LineageXResult:
         stats["num_deferrals"] = self.report.deferral_count
         stats["num_unresolved"] = len(self.report.unresolved)
         stats["num_reused"] = len(getattr(self.report, "reused", ()))
+        reused_from = getattr(self.report, "reused_from", None) or {}
+        stats["num_reused_memory"] = sum(
+            1 for origin in reused_from.values() if origin == "memory"
+        )
+        stats["num_reused_store"] = sum(
+            1 for origin in reused_from.values() if origin == "store"
+        )
         return stats
 
     def to_dict(self):
@@ -150,6 +159,25 @@ class LineageXResult:
         return runner.run_incremental(self, changes)
 
 
+class _PutOnlyParseCache:
+    """A parse cache that never replays — used for the cold-retry path.
+
+    After a poisoned fragment record is detected, the retry must re-parse
+    everything (no ``get``) while still overwriting the cached records with
+    fresh ones (``put``), so the corruption heals instead of forcing a cold
+    retry on every subsequent run.
+    """
+
+    def __init__(self, inner):
+        self._inner = inner
+
+    def get(self, sql):
+        return None
+
+    def put(self, sql, records):
+        return self._inner.put(sql, records)
+
+
 class LineageXRunner:
     """Configurable end-to-end lineage extraction."""
 
@@ -162,6 +190,9 @@ class LineageXRunner:
         id_generator=None,
         mode="dag",
         workers=None,
+        executor="thread",
+        store=None,
+        dialect="postgres",
     ):
         self.catalog = catalog
         self.strict = strict
@@ -170,12 +201,39 @@ class LineageXRunner:
         self.id_generator = id_generator
         self.mode = mode
         self.workers = workers
+        self.executor = executor
+        #: optional :class:`repro.store.LineageStore`; when set, extraction
+        #: consults it before scheduling and persists new results after.
+        self.store = store
+        self.dialect = dialect
 
     # ------------------------------------------------------------------
     def run(self, source):
         """Run the full pipeline over ``source`` and return a result."""
-        query_dictionary = preprocess(source, id_generator=self.id_generator)
+        parse_cache = self._parse_cache()
+        if parse_cache is not None:
+            try:
+                query_dictionary = preprocess(
+                    source, id_generator=self.id_generator, parse_cache=parse_cache
+                )
+                return self._run_scheduler(query_dictionary)
+            except LineageRecordError:
+                # a replayed statement no longer parses: the parse cache is
+                # corrupt or version-skewed — degrade to one cold retry that
+                # bypasses cache reads but still writes, so the poisoned
+                # fragment records are overwritten with fresh ones
+                parse_cache = _PutOnlyParseCache(parse_cache)
+        query_dictionary = preprocess(
+            source, id_generator=self.id_generator, parse_cache=parse_cache
+        )
         return self._run_scheduler(query_dictionary)
+
+    def _parse_cache(self):
+        """The store-backed parse cache, when a usable store is configured."""
+        store = self._usable_store()
+        if store is None:
+            return None
+        return store.parse_cache(self.dialect)
 
     def run_incremental(self, prev_result, changed_sources):
         """Re-extract only what ``changed_sources`` dirties.
@@ -274,7 +332,11 @@ class LineageXRunner:
             if sql is None:
                 removed.add(key)
                 continue
-            fragment = preprocess({name: sql}, id_generator=self.id_generator)
+            fragment = preprocess(
+                {name: sql},
+                id_generator=self.id_generator,
+                parse_cache=self._parse_cache(),
+            )
             extra_ddl.extend(fragment.ddl_statements)
             extra_ddl_sources.extend(fragment.ddl_sources)
             warnings.extend(fragment.warnings)
@@ -354,6 +416,15 @@ class LineageXRunner:
     # ------------------------------------------------------------------
     def _run_scheduler(self, query_dictionary, seed_results=None, dag=None):
         catalog = self._build_catalog(query_dictionary)
+        seed_origins = {identifier: "memory" for identifier in (seed_results or ())}
+        store = self._usable_store()
+        if store is not None:
+            if dag is None:
+                dag = DependencyDAG.from_query_dictionary(query_dictionary)
+            seed_results = dict(seed_results or {})
+            self._splice_from_store(
+                store, query_dictionary, catalog, dag, seed_results, seed_origins
+            )
         scheduler = AutoInferenceScheduler(
             query_dictionary,
             catalog=catalog,
@@ -362,11 +433,15 @@ class LineageXRunner:
             collect_traces=self.collect_traces,
             mode=self.mode,
             workers=self.workers,
+            executor=self.executor,
             seed_results=seed_results,
+            seed_origins=seed_origins,
             dag=dag,
         )
         graph, report = scheduler.run()
         self._attach_base_tables(graph, catalog)
+        if store is not None:
+            self._persist_results(store, query_dictionary, catalog, scheduler, report)
         return LineageXResult(
             graph=graph,
             query_dictionary=query_dictionary,
@@ -379,6 +454,153 @@ class LineageXRunner:
             },
             runner=self,
         )
+
+    # ------------------------------------------------------------------
+    # Persistent-store splicing
+    # ------------------------------------------------------------------
+    def _usable_store(self):
+        """The configured store, unless this run cannot use one soundly.
+
+        With ``use_stack=False`` (the ablation mode) an entry may be
+        extracted *before* its dependencies, seeing schemas that differ
+        from the post-run state the cache key is computed from — so the
+        store is disabled rather than risk wrong warm hits.
+        """
+        if self.store is None or not self.use_stack:
+            return None
+        return self.store
+
+    def _dependency_schemas(self, entry, catalog, lookup):
+        """``(name, columns-or-None)`` pairs for an entry's cache key.
+
+        The self-reference (a query reading the relation it writes) is
+        resolved through the *catalog only* — during extraction the entry's
+        own result does not exist yet, so consulting results would stamp a
+        fingerprint the next run's pre-pass could never reconstruct, and
+        ignoring the self-read entirely would let a schema change to the
+        self-read table produce a stale warm hit.
+        """
+        rows = []
+        for name in entry.table_refs():
+            if name == entry.identifier:
+                table = catalog.get(name) if catalog is not None else None
+                rows.append(
+                    (name, table.column_names() if table is not None else None)
+                )
+            else:
+                rows.append((name, lookup(name)))
+        return rows
+
+    def _splice_from_store(
+        self, store, query_dictionary, catalog, dag, seed_results, seed_origins
+    ):
+        """Seed extraction with store hits, walking entries in plan order.
+
+        Mirrors how the incremental layer splices ``prev_result``: a hit
+        becomes a ``seed_result`` the scheduler treats as already
+        processed.  An entry's key needs the column lists of everything it
+        references, so hits resolve in topological order — an upstream
+        miss (changed content, schema drift, version bump) conservatively
+        re-extracts every dependent whose resolved schemas it feeds.
+        """
+        resolved = {}  # relation -> output columns known before extraction
+        store.prime(
+            entry.content_hash
+            for identifier, entry in query_dictionary.items()
+            if identifier not in seed_results
+        )
+
+        def lookup(name):
+            columns = resolved.get(name)
+            if columns is not None:
+                return columns
+            table = catalog.get(name) if catalog is not None else None
+            if table is not None:
+                return table.column_names()
+            return None
+
+        # never splice entries on (or downstream of) a dependency cycle: the
+        # cold path raises CyclicDependencyError for them, and a warm hit
+        # must not change which runs fail
+        waves, deferred = dag.waves()
+        unresolvable = set(deferred)
+        for identifier in (name for wave in waves for name in wave):
+            entry = query_dictionary.get(identifier)
+            if entry is None:
+                continue
+            seeded = seed_results.get(identifier)
+            if seeded is not None:
+                resolved[identifier] = list(seeded.output_columns)
+                continue
+            # a dependency that is itself a pending Query Dictionary entry
+            # makes the key incomputable before extraction -> cold path
+            dependencies = dag.dependencies.get(identifier, ())
+            if any(name in unresolvable for name in dependencies):
+                unresolvable.add(identifier)
+                continue
+            key = self._record_key(entry, catalog, lookup)
+            cached = store.get(key)
+            if cached is None:
+                unresolvable.add(identifier)
+                continue
+            seed_results[identifier] = cached
+            seed_origins[identifier] = "store"
+            resolved[identifier] = list(cached.output_columns)
+
+    def _record_key(self, entry, catalog, lookup):
+        from ..store import make_key, schema_fingerprint
+
+        fingerprint = schema_fingerprint(
+            self._dependency_schemas(entry, catalog, lookup),
+            strict=self.strict,
+        )
+        return make_key(entry.content_hash, self.dialect, EXTRACTOR_VERSION, fingerprint)
+
+    def _persist_results(self, store, query_dictionary, catalog, scheduler, report):
+        """Write every newly extracted entry's record to the store.
+
+        Keys are computed from the *final* resolved schemas — with the
+        deferral stack enabled an entry only completes once every
+        dependency it consulted is resolved, so the post-run view equals
+        what its extraction saw (and what the next run's pre-pass will
+        reconstruct from store hits).
+        """
+        from ..store import make_key, schema_fingerprint
+
+        results = scheduler.results
+
+        def lookup(name):
+            lineage = results.get(name)
+            if lineage is not None:
+                return list(lineage.output_columns)
+            table = catalog.get(name) if catalog is not None else None
+            if table is not None:
+                return table.column_names()
+            return None
+
+        for identifier in report.order:
+            if identifier in report.unresolved:
+                continue
+            lineage = results.get(identifier)
+            entry = query_dictionary.get(identifier)
+            if lineage is None or entry is None:
+                continue
+            fingerprint = schema_fingerprint(
+                self._dependency_schemas(entry, catalog, lookup),
+                strict=self.strict,
+            )
+            key = make_key(
+                entry.content_hash, self.dialect, EXTRACTOR_VERSION, fingerprint
+            )
+            store.put(
+                key,
+                lineage,
+                content_hash=entry.content_hash,
+                dialect=self.dialect,
+                extractor_version=EXTRACTOR_VERSION,
+                schema_fingerprint=fingerprint,
+            )
+        store.flush()
 
     # ------------------------------------------------------------------
     def _build_catalog(self, query_dictionary):
@@ -400,13 +622,16 @@ class LineageXRunner:
         at the relation), which is how Example 1's ``web`` node obtains its
         ``cid``/``date``/``page``/``reg`` columns without any metadata.
         """
-        used_columns = []
+        used_columns = set()
         for lineage in list(graph):
             for sources in lineage.contributions.values():
-                used_columns.extend(sources)
-            used_columns.extend(lineage.referenced)
+                used_columns.update(sources)
+            used_columns.update(lineage.referenced)
         view_names = {lineage.name for lineage in graph.views}
-        for column_name in used_columns:
+        # sorted so the accumulated column order of catalog-less base tables
+        # is identical however the graph was assembled (a warm-spliced run
+        # iterates relations in a different order than a cold one)
+        for column_name in sorted(used_columns):
             if column_name.table in view_names:
                 continue
             if column_name.column == "*":

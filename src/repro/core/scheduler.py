@@ -15,12 +15,17 @@ This module supports two scheduling modes:
   Dictionary into waves, and extracts in dependency order.  The LIFO
   deferral stack is retained only as a fallback for references the pre-pass
   cannot see; on well-formed input it never fires.  Entries within a wave
-  are mutually independent, so they can optionally be extracted on a
-  ``ThreadPoolExecutor`` (``workers=N``) — results are recorded in wave
-  order, so the output is identical for any worker count.  (Extraction is
-  CPU-bound pure Python; under the GIL the threads mostly serialize, so
-  this is a determinism-preserving seam for free-threaded builds and a
-  future process-based backend rather than a speedup on stock CPython.)
+  are mutually independent, so they can optionally be extracted in
+  parallel (``workers=N``) on either executor backend:
+  ``executor="thread"`` (a ``ThreadPoolExecutor`` — extraction is
+  CPU-bound pure Python, so under the GIL this mostly serializes; useful
+  on free-threaded builds) or ``executor="process"`` (a
+  ``ProcessPoolExecutor`` — each wave entry ships to a worker process as
+  a picklable, self-contained :func:`extract_statement_job`, actually
+  using the cores).  Results are recorded in wave order after each wave
+  drains, so the output is byte-identical for any worker count and any
+  executor; a process pool that cannot start (no fork/spawn support,
+  sandboxes) degrades gracefully to threads.
 * ``mode="stack"`` — the paper's reactive behaviour: process entries in
   Query Dictionary order and discover dependencies via thrown
   :class:`UnknownRelationError`.
@@ -37,6 +42,9 @@ is the substrate of incremental re-extraction: seeded entries are treated as
 already processed and spliced into the output graph unchanged.
 """
 
+import contextlib
+import pickle
+from concurrent.futures import BrokenExecutor
 from dataclasses import dataclass, field
 
 from .dag import DependencyDAG
@@ -45,9 +53,58 @@ from .errors import (
     DeferralLimitExceededError,
     UnknownRelationError,
 )
-from .extractor import LineageExtractor, SchemaProvider
+from .extractor import LineageExtractor, MappingSchemaProvider, SchemaProvider
 from .lineage import LineageGraph
 from ..sqlparser.dialect import normalize_name
+
+#: executor kinds accepted by the scheduler (and by SessionConfig/the CLI).
+EXECUTORS = ("thread", "process")
+
+
+def extract_statement_job(entry, schemas, pending, strict, collect_trace):
+    """Extract one Query Dictionary entry against a schema snapshot.
+
+    A module-level *pure* function of picklable inputs: ``entry`` is the
+    :class:`~repro.core.preprocess.ParsedQuery`, ``schemas`` a plain
+    ``{relation: [columns]}`` snapshot of everything visible to it, and
+    ``pending`` the referenced relations that are still unextracted Query
+    Dictionary entries (a lookup of one raises
+    :class:`UnknownRelationError`, which the scheduler turns into a
+    deferral-stack fallback).  Being module-level and self-contained is what
+    makes ``executor="process"`` possible: the job ships to a
+    ``ProcessPoolExecutor`` worker as data, runs without any shared state,
+    and returns a picklable ``(TableLineage, ExtractionTrace)`` pair.
+    """
+    provider = MappingSchemaProvider(
+        schemas, pending=pending, current=entry.identifier
+    )
+    extractor = LineageExtractor(
+        provider=provider, strict=strict, collect_trace=collect_trace
+    )
+    return extractor.extract_statement(entry)
+
+
+def _probe_job():
+    """A no-op shipped through a fresh process pool to prove it works."""
+    return True
+
+
+@contextlib.contextmanager
+def _managed_pool(pool):
+    """Deterministic executor shutdown, success or failure.
+
+    On a clean exit the pool drains normally; when a wave raises, queued
+    futures are cancelled *before* the join so no stray extraction keeps
+    running (or keeps worker threads/processes alive) after the scheduler
+    has already propagated the error.
+    """
+    try:
+        yield pool
+    except BaseException:
+        pool.shutdown(wait=True, cancel_futures=True)
+        raise
+    else:
+        pool.shutdown(wait=True)
 
 
 @dataclass
@@ -70,6 +127,15 @@ class ScheduleReport:
     mode: str = "stack"
     waves: list = field(default_factory=list)        # the topological plan (dag mode)
     reused: list = field(default_factory=list)       # identifiers spliced from a cache
+    #: where each reused identifier was spliced from: ``"memory"`` (the
+    #: previous result's graph, i.e. the incremental layer) or ``"store"``
+    #: (the persistent content-addressed lineage store).
+    reused_from: dict = field(default_factory=dict)
+    #: the wave-execution backend actually used: ``"serial"``, ``"thread"``,
+    #: or ``"process"`` (a requested process pool that could not be started
+    #: degrades to ``"thread"``; a pool that breaks mid-run finishes
+    #: sequentially and is reported as ``"<backend>-degraded-serial"``).
+    executor: str = "serial"
 
     @property
     def deferral_count(self):
@@ -128,11 +194,17 @@ class AutoInferenceScheduler:
         max_deferrals=None,
         mode="dag",
         workers=None,
+        executor="thread",
         seed_results=None,
+        seed_origins=None,
         dag=None,
     ):
         if mode not in ("dag", "stack"):
             raise ValueError(f"mode must be 'dag' or 'stack', got {mode!r}")
+        if executor not in EXECUTORS:
+            raise ValueError(
+                f"executor must be one of {', '.join(EXECUTORS)}, got {executor!r}"
+            )
         self.query_dictionary = query_dictionary
         self.catalog = catalog
         self.strict = strict
@@ -141,16 +213,23 @@ class AutoInferenceScheduler:
         self.max_deferrals = max_deferrals
         self.mode = mode if use_stack else "stack"
         self.workers = workers
+        self.executor = executor
         self.results = {}
         self.pending = set(query_dictionary.identifiers())
         self.seeded = []
+        #: identifier -> "memory" | "store"; where each seed was spliced from
+        self.seed_origins = {}
         if seed_results:
+            seed_origins = seed_origins or {}
             for identifier in query_dictionary.identifiers():
                 lineage = seed_results.get(identifier)
                 if lineage is not None:
                     self.results[identifier] = lineage
                     self.pending.discard(identifier)
                     self.seeded.append(identifier)
+                    self.seed_origins[identifier] = seed_origins.get(
+                        identifier, "memory"
+                    )
         #: a pre-built DependencyDAG for this Query Dictionary may be passed
         #: in (the incremental runner already computed one for its dirty
         #: set); otherwise the plan-first mode builds it on demand.
@@ -165,7 +244,11 @@ class AutoInferenceScheduler:
     # ------------------------------------------------------------------
     def run(self):
         """Process every Query Dictionary entry; return (graph, report)."""
-        report = ScheduleReport(mode=self.mode, reused=list(self.seeded))
+        report = ScheduleReport(
+            mode=self.mode,
+            reused=list(self.seeded),
+            reused_from=dict(self.seed_origins),
+        )
         if self.mode == "dag":
             self._run_planned(report)
         else:
@@ -192,63 +275,156 @@ class AutoInferenceScheduler:
         waves, deferred = self.dag.waves()
         report.waves = [list(wave) for wave in waves]
         parallel = self.workers and self.workers > 1
-        pool = None
-        try:
+        with contextlib.ExitStack() as stack:
+            pool = None
             for wave in waves:
                 todo = [identifier for identifier in wave if identifier in self.pending]
                 if parallel and len(todo) > 1:
                     if pool is None:
                         # one executor for the whole run — waves are already
-                        # barriers, so spawning threads per wave would only
-                        # pay startup cost repeatedly
-                        from concurrent.futures import ThreadPoolExecutor
-
-                        pool = ThreadPoolExecutor(max_workers=self.workers)
-                    fallback = self._run_wave_parallel(pool, todo, report)
+                        # barriers, so spawning workers per wave would only
+                        # pay startup cost repeatedly.  The pool is
+                        # context-managed: a raising wave cancels queued
+                        # futures and joins the workers deterministically.
+                        pool = self._open_pool(stack, report)
+                    if pool is not None:
+                        fallback = self._run_wave_parallel(pool, todo, report)
+                        if self._pool_broken:
+                            # the remainder of the run is sequential; make
+                            # report.executor say so instead of advertising
+                            # a backend that stopped mid-run
+                            report.executor = f"{report.executor}-degraded-serial"
+                            pool = None
+                            parallel = False
+                    else:
+                        fallback = todo
                 else:
                     fallback = todo
                 for identifier in fallback:
                     if identifier in self.pending:
                         self._process_with_stack(identifier, report)
-        finally:
-            if pool is not None:
-                pool.shutdown(wait=True)
         # Entries the plan could not order (dependency cycles): hand them to
         # the stack, which reports genuine cycles with the participant list.
         for identifier in deferred:
             if identifier in self.pending:
                 self._process_with_stack(identifier, report)
 
+    _pool_broken = False
+
+    def _open_pool(self, stack, report):
+        """Open the configured executor pool (registered on ``stack``).
+
+        ``executor="process"`` starts a ``ProcessPoolExecutor`` (preferring
+        the cheap ``fork`` start method where the platform offers it) and
+        proves it with a probe job; any failure — no ``fork``/``spawn``
+        support, sandboxed environments, pickling restrictions — degrades
+        gracefully to the thread pool, recorded in ``report.executor``.
+        """
+        if self.executor == "process":
+            try:
+                import multiprocessing
+                from concurrent.futures import ProcessPoolExecutor
+
+                mp_context = None
+                if "fork" in multiprocessing.get_all_start_methods():
+                    mp_context = multiprocessing.get_context("fork")
+                pool = ProcessPoolExecutor(
+                    max_workers=self.workers, mp_context=mp_context
+                )
+                try:
+                    pool.submit(_probe_job).result(timeout=60)
+                except BaseException:
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    raise
+                report.executor = "process"
+                return stack.enter_context(_managed_pool(pool))
+            except Exception:
+                pass  # fall back to threads below
+        from concurrent.futures import ThreadPoolExecutor
+
+        report.executor = "thread"
+        pool = ThreadPoolExecutor(max_workers=self.workers)
+        return stack.enter_context(_managed_pool(pool))
+
+    def _schema_snapshot(self, identifier):
+        """``(schemas, pending)`` visible to one entry, as plain data.
+
+        Mirrors the live :class:`_SchedulerProvider` lookup order — already
+        extracted results first, then the catalog, then "pending Query
+        Dictionary entry" — restricted to the relations the entry's
+        statement actually references, so the snapshot pickled to a worker
+        process stays small.  The self-reference is included (a query
+        reading the relation it writes resolves it through the catalog,
+        exactly like the live provider with ``current`` set) but is never
+        treated as pending.
+        """
+        entry = self.query_dictionary.get(identifier)
+        schemas = {}
+        pending = set()
+        for name in entry.table_refs():
+            lineage = self.results.get(name)
+            if lineage is not None:
+                schemas[name] = list(lineage.output_columns)
+                continue
+            if self.catalog is not None:
+                table = self.catalog.get(name)
+                if table is not None:
+                    schemas[name] = table.column_names()
+                    continue
+            if self.use_stack and name in self.pending and name != identifier:
+                pending.add(name)
+        return schemas, frozenset(pending)
+
     def _run_wave_parallel(self, pool, todo, report):
         """Extract one wave's entries concurrently; return pre-pass misses.
 
-        Each worker gets its own extractor and provider (no shared mutable
-        state); results are recorded in wave order after the wave completes,
-        so the report and graph are identical for any worker count.  An
-        entry whose extraction hits an :class:`UnknownRelationError` — a
-        dependency the pre-pass could not see — is returned for sequential
-        re-processing with the deferral stack.
+        Every entry is shipped as a self-contained
+        :func:`extract_statement_job` over a per-entry schema snapshot —
+        pure data in, pure data out, for thread and process pools alike —
+        and results are recorded in wave order after the whole wave drains,
+        so the report and graph are identical for any worker count and any
+        executor.  An entry whose extraction hits an
+        :class:`UnknownRelationError` — a dependency the pre-pass could not
+        see — is returned for sequential re-processing with the deferral
+        stack.  A pool that breaks mid-wave (dead worker process, pickling
+        failure) flags ``_pool_broken`` and hands the rest of the wave to
+        the sequential path instead of failing the run.
         """
-
-        def extract(identifier):
-            extractor = LineageExtractor(
-                provider=_SchedulerProvider(self, current=identifier),
-                strict=self.strict,
-                collect_trace=self.collect_traces,
+        futures = []
+        for identifier in todo:
+            entry = self.query_dictionary.get(identifier)
+            schemas, pending = self._schema_snapshot(identifier)
+            futures.append(
+                (
+                    identifier,
+                    pool.submit(
+                        extract_statement_job,
+                        entry,
+                        schemas,
+                        pending,
+                        self.strict,
+                        self.collect_traces,
+                    ),
+                )
             )
-            return extractor.extract_statement(self.query_dictionary.get(identifier))
-
-        futures = [(identifier, pool.submit(extract, identifier)) for identifier in todo]
-        # Drain every future BEFORE recording anything: workers read
-        # scheduler.results through their providers, so recording mid-wave
-        # would let a sibling racily observe a same-wave result and make the
-        # report (order, deferral events) timing-dependent.
+        # Drain every future BEFORE recording anything, so the recorded
+        # order (and with it the report) never depends on worker timing.
         fallback = []
         outcomes = []
         for identifier, future in futures:
             try:
                 outcomes.append((identifier, future.result()))
             except UnknownRelationError:
+                fallback.append(identifier)
+            except BrokenExecutor:
+                self._pool_broken = True
+                fallback.append(identifier)
+            except (pickle.PicklingError, TypeError) as error:
+                # an un-picklable payload means this executor cannot run the
+                # job at all; anything else is a genuine extraction error
+                if "pickle" not in str(error).lower():
+                    raise
+                self._pool_broken = True
                 fallback.append(identifier)
         for identifier, (lineage, trace) in outcomes:
             self._record(identifier, lineage, trace, report)

@@ -30,7 +30,11 @@ def _writer():
 def _edges_csv(graph):
     buffer, writer = _writer()
     writer.writerow(["source", "target", "kind"])
-    for edge in graph.edges():
+    # sorted, not index order: the adjacency index iterates relations in
+    # insertion order, which differs between a cold run and a warm-spliced
+    # one — identical graphs must render byte-identical files (the cache-hit
+    # golden tests depend on it)
+    for edge in sorted(graph.edges()):
         writer.writerow([str(edge.source), str(edge.target), edge.kind])
     return buffer.getvalue()
 

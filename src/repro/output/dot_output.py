@@ -37,7 +37,9 @@ def graph_to_dot(graph, name="lineage", rankdir="LR"):
         lines.append(
             f'  "{_escape(relation.name)}" [label="{label}", style=filled, fillcolor="{color}"];'
         )
-    for edge in graph.edges():
+    # sorted so identical graphs render byte-identically regardless of the
+    # relation insertion order (cold vs warm-spliced runs differ there)
+    for edge in sorted(graph.edges()):
         style = _EDGE_STYLE.get(edge.kind, _EDGE_STYLE["contribute"])
         lines.append(
             f'  "{_escape(edge.source.table)}":"{_escape(edge.source.column)}" -> '

@@ -38,7 +38,9 @@ def relation_to_text(relation):
 def edges_to_text(graph, kinds=None):
     """Render column edges as ``source -> target [kind]`` lines."""
     lines = []
-    for edge in graph.edges():
+    # sorted: identical graphs must render identically whatever the
+    # relation insertion order (cold vs warm-spliced runs differ there)
+    for edge in sorted(graph.edges()):
         if kinds is not None and edge.kind not in kinds:
             continue
         lines.append(f"{edge.source} -> {edge.target} [{edge.kind}]")

@@ -12,6 +12,15 @@ configured object:
 >>> # ... edit files under models/ ...
 >>> refreshed = session.refresh()            # content-hash diff -> incremental
 
+With ``cache_dir`` the session keeps a persistent content-addressed
+lineage store, so a *new process* over an unchanged corpus warm-starts by
+splicing every extraction from disk; ``executor="process"`` runs DAG-wave
+extraction on a process pool (true multi-core, byte-identical output):
+
+>>> session = repro.LineageSession(
+...     "models/", cache_dir=".lineage-cache", workers=8, executor="process"
+... )
+
 Three orthogonal axes compose:
 
 * **sources** — input handling is delegated to the adapter registry in
@@ -31,11 +40,13 @@ The legacy one-call functions are thin shims over this class and keep
 working unchanged.
 """
 
+import os
 from dataclasses import dataclass, replace as dataclass_replace
 from typing import Protocol, runtime_checkable
 
 from .core.plan_extractor import PlanModeRunner
 from .core.runner import LineageXRunner
+from .core.scheduler import EXECUTORS
 from .sources import Source, diff_fingerprints
 
 #: engine name -> builder; the seam future engines plug into.
@@ -78,8 +89,19 @@ class SessionConfig:
         Static-engine scheduling: ``"dag"`` (topological waves, default) or
         ``"stack"`` (the paper's reactive LIFO deferral).
     workers:
-        Thread-pool width for DAG-wave extraction (``None``/1 = sequential).
+        Worker-pool width for DAG-wave extraction (``None``/1 = sequential).
         Must be a positive integer.
+    executor:
+        Wave-parallel backend when ``workers > 1``: ``"thread"`` (default;
+        GIL-bound on stock CPython) or ``"process"`` (a
+        ``ProcessPoolExecutor`` that actually uses the cores; output is
+        byte-identical to serial mode, and environments without working
+        fork/spawn degrade gracefully to threads).
+    cache_dir:
+        Directory of the persistent content-addressed lineage store.  When
+        set, ``extract()``/``refresh()`` splice unchanged statements from
+        disk (warm start across processes) and persist new extractions.
+        ``None`` (default) disables persistence.
     use_stack:
         Enable the auto-inference deferral stack (disable only for the
         ablation study).
@@ -104,6 +126,8 @@ class SessionConfig:
     collect_traces: bool = False
     engine: str = "static"
     dialect: str = "postgres"
+    executor: str = "thread"
+    cache_dir: str = None
 
     def __post_init__(self):
         if self.engine not in ENGINES:
@@ -120,6 +144,19 @@ class SessionConfig:
                 raise ValueError(
                     f"workers must be a positive integer (>= 1), got {self.workers!r}"
                 )
+        if self.executor not in EXECUTORS:
+            raise ValueError(
+                f"unknown executor {self.executor!r}; expected one of "
+                + ", ".join(EXECUTORS)
+            )
+        if self.cache_dir is not None:
+            try:
+                path = os.fsdecode(self.cache_dir)
+            except TypeError:
+                raise ValueError(
+                    f"cache_dir must be a path or None, got {self.cache_dir!r}"
+                ) from None
+            object.__setattr__(self, "cache_dir", path)
         canonical = _DIALECTS.get(str(self.dialect).lower())
         if canonical is None:
             raise ValueError(
@@ -164,6 +201,7 @@ class LineageSession:
         self._payload = None       # what load() produced at extract time
         self._fingerprint = None   # {name: hash} snapshot for rescan diffs
         self._result = None
+        self._store = None         # lazily opened LineageStore (cache_dir)
 
     # ------------------------------------------------------------------
     @property
@@ -176,6 +214,42 @@ class LineageSession:
         """The configured engine name."""
         return self.config.engine
 
+    @property
+    def store(self):
+        """The persistent lineage store (``None`` without ``cache_dir``).
+
+        Opened lazily on first use and shared by every extraction this
+        session runs; :meth:`close` releases it.  Only the static engine
+        consults it — the plan engine re-validates everything through the
+        simulated EXPLAIN by design.
+        """
+        if self.config.cache_dir is None:
+            return None
+        if self._store is None:
+            from .store import LineageStore
+
+            self._store = LineageStore(self.config.cache_dir)
+        return self._store
+
+    def cache_stats(self):
+        """Store counters (see :meth:`repro.store.LineageStore.stats`)."""
+        store = self.store
+        if store is None:
+            raise ValueError("no cache_dir configured: the session has no store")
+        return store.stats()
+
+    def close(self):
+        """Flush and release the persistent store (if one was opened)."""
+        if self._store is not None:
+            self._store.close()
+            self._store = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *_exc):
+        self.close()
+
     def _build_engine(self):
         if self.config.engine == "plan":
             return PlanModeRunner(catalog=self.catalog)
@@ -186,6 +260,9 @@ class LineageSession:
             collect_traces=self.config.collect_traces,
             mode=self.config.mode,
             workers=self.config.workers,
+            executor=self.config.executor,
+            store=self.store,
+            dialect=self.config.dialect,
         )
 
     # ------------------------------------------------------------------

@@ -1,0 +1,500 @@
+"""The persistent, content-addressed lineage store.
+
+:class:`LineageStore` maps a cache key (see :mod:`repro.store.keys`) to a
+serialized :class:`~repro.core.lineage.TableLineage` record behind an
+SQLite backend with an in-memory LRU front.  It is what makes extraction
+results survive the process: a fresh session over an unchanged corpus
+splices every entry straight from disk instead of re-parsing and
+re-extracting it.
+
+Design points:
+
+* **cache, not database** — every failure mode (missing file, corrupted
+  database, malformed JSON, record-version skew) degrades to a cold miss
+  or a dropped write, never an exception on the extraction path;
+* **LRU front** — hot records are served from memory as decoded record
+  dicts; each hit still constructs a fresh ``TableLineage``, so callers
+  can mutate what they are given without poisoning the cache;
+* **deferred commits** — ``put()`` batches; the runner calls ``flush()``
+  once per run (``close()`` flushes too), so a 400-view cold run does not
+  pay 400 fsyncs.
+"""
+
+import json
+import os
+import sqlite3
+import threading
+import time
+
+from ..core.errors import LineageRecordError
+from ..core.lineage import TableLineage
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS lineage_records (
+    cache_key          TEXT PRIMARY KEY,
+    content_hash       TEXT NOT NULL,
+    dialect            TEXT NOT NULL,
+    extractor_version  TEXT NOT NULL,
+    schema_fingerprint TEXT NOT NULL,
+    record             TEXT NOT NULL,
+    created_at         REAL NOT NULL,
+    last_used_at       REAL NOT NULL,
+    use_count          INTEGER NOT NULL DEFAULT 0
+);
+CREATE INDEX IF NOT EXISTS idx_lineage_last_used
+    ON lineage_records (last_used_at);
+CREATE TABLE IF NOT EXISTS source_records (
+    source_key   TEXT PRIMARY KEY,
+    record       TEXT NOT NULL,
+    created_at   REAL NOT NULL,
+    last_used_at REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_source_last_used
+    ON source_records (last_used_at);
+"""
+
+#: filename of the SQLite database inside a cache directory.
+STORE_FILENAME = "lineage.sqlite"
+
+
+class _LRU:
+    """A tiny size-capped LRU over decoded record dicts."""
+
+    def __init__(self, capacity):
+        self.capacity = max(int(capacity), 0)
+        self._entries = {}
+
+    def get(self, key):
+        value = self._entries.pop(key, None)
+        if value is not None:
+            self._entries[key] = value  # re-insert = most recent
+        return value
+
+    def put(self, key, value):
+        if self.capacity <= 0:
+            return
+        self._entries.pop(key, None)
+        self._entries[key] = value
+        while len(self._entries) > self.capacity:
+            self._entries.pop(next(iter(self._entries)))
+
+    def clear(self):
+        self._entries.clear()
+
+    def __len__(self):
+        return len(self._entries)
+
+
+class LineageStore:
+    """Persistent ``cache_key -> TableLineage`` mapping (SQLite + LRU).
+
+    Parameters
+    ----------
+    cache_dir:
+        Directory holding the store (created if missing).  The database
+        lives at ``<cache_dir>/lineage.sqlite``.
+    lru_size:
+        Capacity of the in-memory front (record count); ``0`` disables it.
+    """
+
+    def __init__(self, cache_dir, lru_size=2048):
+        self.cache_dir = os.fspath(cache_dir)
+        self.path = os.path.join(self.cache_dir, STORE_FILENAME)
+        self._lru = _LRU(lru_size)
+        self._lock = threading.Lock()
+        self._connection = None
+        self._dirty = False
+        self._broken = False
+        # usage tracking is batched: reads only mark keys here and flush()
+        # writes last_used_at/use_count in one executemany each
+        self._used_keys = set()
+        self._used_source_keys = set()
+        # session counters (not persisted)
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+        self.corrupt = 0
+
+    # ------------------------------------------------------------------
+    # Connection plumbing
+    # ------------------------------------------------------------------
+    def _connect(self):
+        if self._connection is not None or self._broken:
+            return self._connection
+        try:
+            os.makedirs(self.cache_dir, exist_ok=True)
+            connection = sqlite3.connect(self.path, check_same_thread=False)
+            connection.execute("PRAGMA journal_mode=WAL")
+            connection.execute("PRAGMA synchronous=NORMAL")
+            connection.executescript(_SCHEMA)
+            connection.commit()
+            self._connection = connection
+        except (sqlite3.Error, OSError):
+            # an unusable backing file turns the store into a pure pass-through
+            self._broken = True
+            self._connection = None
+        return self._connection
+
+    def close(self):
+        """Flush pending writes and release the database handle."""
+        self.flush()
+        with self._lock:
+            if self._connection is not None:
+                try:
+                    self._connection.close()
+                except sqlite3.Error:
+                    pass
+                self._connection = None
+                self._dirty = False
+        self._lru.clear()
+
+    def flush(self):
+        """Write batched usage updates and commit (once per run)."""
+        with self._lock:
+            connection = self._connection
+            if connection is None:
+                return
+            try:
+                now = time.time()
+                if self._used_keys:
+                    connection.executemany(
+                        "UPDATE lineage_records SET last_used_at = ?, "
+                        "use_count = use_count + 1 WHERE cache_key = ?",
+                        [(now, key) for key in self._used_keys],
+                    )
+                    self._used_keys.clear()
+                    self._dirty = True
+                if self._used_source_keys:
+                    connection.executemany(
+                        "UPDATE source_records SET last_used_at = ? "
+                        "WHERE source_key = ?",
+                        [(now, key) for key in self._used_source_keys],
+                    )
+                    self._used_source_keys.clear()
+                    self._dirty = True
+                if self._dirty:
+                    connection.commit()
+                    self._dirty = False
+            except sqlite3.Error:
+                pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *_exc):
+        self.close()
+
+    # ------------------------------------------------------------------
+    # The cache surface
+    # ------------------------------------------------------------------
+    def get(self, key):
+        """The stored :class:`TableLineage` for ``key``, or ``None``.
+
+        Every failure — no database, corrupted row, malformed JSON, record
+        version mismatch — is a silent cold miss.
+        """
+        record = self._lru.get(key)
+        if record is None:
+            record = self._fetch(key)
+            if record is None:
+                self.misses += 1
+                return None
+            self._lru.put(key, record)
+        try:
+            lineage = TableLineage.from_record(record)
+        except LineageRecordError:
+            self.corrupt += 1
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._used_keys.add(key)
+        return lineage
+
+    def prime(self, content_hashes):
+        """Bulk-load every record matching ``content_hashes`` into the LRU.
+
+        The warm-start pre-pass resolves keys sequentially (each key needs
+        the upstream hits' schemas), but the *content hashes* of the whole
+        corpus are known up front — one batched SELECT replaces hundreds of
+        point lookups.  Purely an optimisation: keys not primed still
+        resolve through :meth:`get`.
+        """
+        hashes = [str(value) for value in content_hashes]
+        if not hashes or self._lru.capacity <= 0:
+            return 0
+        primed = 0
+        with self._lock:
+            connection = self._connect()
+            if connection is None:
+                return 0
+            rows = []
+            try:
+                for start in range(0, len(hashes), 400):
+                    batch = hashes[start:start + 400]
+                    placeholders = ",".join("?" for _ in batch)
+                    rows.extend(
+                        connection.execute(
+                            "SELECT cache_key, record FROM lineage_records "
+                            f"WHERE content_hash IN ({placeholders})",
+                            batch,
+                        ).fetchall()
+                    )
+            except sqlite3.Error:
+                self.corrupt += 1
+                return 0
+        for key, text in rows:
+            try:
+                record = json.loads(text)
+            except (TypeError, ValueError):
+                self.corrupt += 1
+                continue
+            if isinstance(record, dict):
+                self._lru.put(key, record)
+                primed += 1
+        return primed
+
+    def _fetch(self, key):
+        with self._lock:
+            connection = self._connect()
+            if connection is None:
+                return None
+            try:
+                row = connection.execute(
+                    "SELECT record FROM lineage_records WHERE cache_key = ?",
+                    (key,),
+                ).fetchone()
+                if row is None:
+                    return None
+            except sqlite3.Error:
+                self.corrupt += 1
+                return None
+        try:
+            record = json.loads(row[0])
+        except (TypeError, ValueError):
+            self.corrupt += 1
+            return None
+        return record if isinstance(record, dict) else None
+
+    def put(self, key, lineage, *, content_hash="", dialect="",
+            extractor_version="", schema_fingerprint=""):
+        """Store ``lineage`` under ``key`` (best-effort; commits are batched).
+
+        The individual key components are persisted alongside the record
+        for observability (``cache stats``) and targeted invalidation;
+        they do not participate in lookups — the combined ``key`` does.
+        """
+        try:
+            record = lineage.to_record()
+            # no sort_keys: JSON objects preserve insertion order in Python,
+            # and the record's dict order (e.g. column -> sources) is part of
+            # the loss-free round trip — reordering it would make warm-spliced
+            # graphs render differently from cold ones
+            text = json.dumps(record)
+        except (TypeError, ValueError):
+            return False
+        now = time.time()
+        with self._lock:
+            connection = self._connect()
+            if connection is None:
+                return False
+            try:
+                connection.execute(
+                    "INSERT OR REPLACE INTO lineage_records "
+                    "(cache_key, content_hash, dialect, extractor_version, "
+                    " schema_fingerprint, record, created_at, last_used_at, use_count) "
+                    "VALUES (?, ?, ?, ?, ?, ?, ?, ?, 0)",
+                    (
+                        key,
+                        str(content_hash),
+                        str(dialect),
+                        str(extractor_version),
+                        str(schema_fingerprint),
+                        text,
+                        now,
+                        now,
+                    ),
+                )
+                self._dirty = True
+            except sqlite3.Error:
+                return False
+        self._lru.put(key, record)
+        self.puts += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # The parse cache (per-source preprocessing records)
+    # ------------------------------------------------------------------
+    def get_source(self, key):
+        """The statement records of one source fragment, or ``None``."""
+        with self._lock:
+            connection = self._connect()
+            if connection is None:
+                return None
+            try:
+                row = connection.execute(
+                    "SELECT record FROM source_records WHERE source_key = ?",
+                    (key,),
+                ).fetchone()
+                if row is None:
+                    return None
+            except sqlite3.Error:
+                self.corrupt += 1
+                return None
+        try:
+            records = json.loads(row[0])
+        except (TypeError, ValueError):
+            self.corrupt += 1
+            return None
+        self._used_source_keys.add(key)
+        return records
+
+    def put_source(self, key, records):
+        """Store one source fragment's statement records (best-effort)."""
+        try:
+            text = json.dumps(records, sort_keys=True)
+        except (TypeError, ValueError):
+            return False
+        now = time.time()
+        with self._lock:
+            connection = self._connect()
+            if connection is None:
+                return False
+            try:
+                connection.execute(
+                    "INSERT OR REPLACE INTO source_records "
+                    "(source_key, record, created_at, last_used_at) VALUES (?, ?, ?, ?)",
+                    (key, text, now, now),
+                )
+                self._dirty = True
+            except sqlite3.Error:
+                return False
+        return True
+
+    def parse_cache(self, dialect):
+        """The ``get(sql)/put(sql, records)`` adapter ``preprocess`` consumes."""
+        return _ParseCache(self, dialect)
+
+    # ------------------------------------------------------------------
+    # Maintenance (the CLI ``cache`` subcommand)
+    # ------------------------------------------------------------------
+    def stats(self):
+        """Counters for ``cache stats`` and the benchmark reports."""
+        entries = 0
+        source_entries = 0
+        size_bytes = 0
+        extractor_versions = {}
+        self.flush()
+        with self._lock:
+            connection = self._connect()
+            if connection is not None:
+                try:
+                    entries = connection.execute(
+                        "SELECT COUNT(*) FROM lineage_records"
+                    ).fetchone()[0]
+                    source_entries = connection.execute(
+                        "SELECT COUNT(*) FROM source_records"
+                    ).fetchone()[0]
+                    for version, count in connection.execute(
+                        "SELECT extractor_version, COUNT(*) FROM lineage_records "
+                        "GROUP BY extractor_version"
+                    ):
+                        extractor_versions[version] = count
+                except sqlite3.Error:
+                    pass
+        try:
+            size_bytes = os.path.getsize(self.path)
+        except OSError:
+            pass
+        return {
+            "path": self.path,
+            "entries": entries,
+            "source_entries": source_entries,
+            "size_bytes": size_bytes,
+            "extractor_versions": extractor_versions,
+            "session_hits": self.hits,
+            "session_misses": self.misses,
+            "session_puts": self.puts,
+            "session_corrupt": self.corrupt,
+            "lru_entries": len(self._lru),
+        }
+
+    def clear(self):
+        """Delete every record (lineage and parse); returns the number removed."""
+        removed = 0
+        with self._lock:
+            connection = self._connect()
+            if connection is not None:
+                try:
+                    removed = connection.execute(
+                        "SELECT (SELECT COUNT(*) FROM lineage_records) + "
+                        "       (SELECT COUNT(*) FROM source_records)"
+                    ).fetchone()[0]
+                    connection.execute("DELETE FROM lineage_records")
+                    connection.execute("DELETE FROM source_records")
+                    connection.commit()
+                    self._dirty = False
+                except sqlite3.Error:
+                    removed = 0
+        self._lru.clear()
+        return removed
+
+    def gc(self, max_age_days=None, max_entries=None):
+        """Evict stale records; returns the number removed.
+
+        ``max_age_days`` drops records (lineage and parse) not used within
+        the window; ``max_entries`` then keeps only the most recently used
+        N lineage records.
+        """
+        removed = 0
+        with self._lock:
+            connection = self._connect()
+            if connection is None:
+                return 0
+            try:
+                if max_age_days is not None:
+                    cutoff = time.time() - float(max_age_days) * 86400.0
+                    for table, key in (
+                        ("lineage_records", "cache_key"),
+                        ("source_records", "source_key"),
+                    ):
+                        cursor = connection.execute(
+                            f"DELETE FROM {table} WHERE last_used_at < ?",
+                            (cutoff,),
+                        )
+                        removed += cursor.rowcount
+                if max_entries is not None:
+                    cursor = connection.execute(
+                        "DELETE FROM lineage_records WHERE cache_key NOT IN ("
+                        "  SELECT cache_key FROM lineage_records"
+                        "  ORDER BY last_used_at DESC LIMIT ?)",
+                        (int(max_entries),),
+                    )
+                    removed += cursor.rowcount
+                connection.commit()
+                self._dirty = False
+            except sqlite3.Error:
+                pass
+        self._lru.clear()
+        return removed
+
+    def __repr__(self):
+        return f"LineageStore({self.path!r})"
+
+
+class _ParseCache:
+    """Adapter binding a store + dialect to ``preprocess(parse_cache=...)``."""
+
+    def __init__(self, store, dialect):
+        from ..core.preprocess import PARSE_RECORD_VERSION
+        from .keys import source_key
+
+        self._store = store
+        self._dialect = dialect
+        self._version = PARSE_RECORD_VERSION
+        self._key = source_key
+
+    def get(self, sql):
+        return self._store.get_source(self._key(sql, self._dialect, self._version))
+
+    def put(self, sql, records):
+        return self._store.put_source(self._key(sql, self._dialect, self._version), records)

@@ -1,0 +1,211 @@
+"""The LineageStore backend: persistence, LRU front, corruption handling."""
+
+import json
+import sqlite3
+
+import pytest
+
+from repro.core.column_refs import ColumnName
+from repro.core.lineage import LINEAGE_RECORD_VERSION, TableLineage
+from repro.store import LineageStore, make_key, schema_fingerprint
+from repro.store.store import STORE_FILENAME
+
+
+def _entry(name="v"):
+    entry = TableLineage(name=name, sql=f"CREATE VIEW {name} AS SELECT a FROM t")
+    entry.add_contribution("a", ColumnName.of("t", "a"))
+    entry.add_reference(ColumnName.of("t", "b"))
+    return entry
+
+
+def _key(tag="x"):
+    return make_key(tag, "postgres", 1, schema_fingerprint([("t", ["a", "b"])]))
+
+
+class TestPutGet:
+    def test_round_trip(self, tmp_path):
+        store = LineageStore(tmp_path)
+        entry = _entry()
+        assert store.put(_key(), entry)
+        assert store.get(_key()) == entry
+        store.close()
+
+    def test_miss_returns_none(self, tmp_path):
+        store = LineageStore(tmp_path)
+        assert store.get(_key("absent")) is None
+        assert store.misses == 1
+        store.close()
+
+    def test_survives_process_boundary(self, tmp_path):
+        first = LineageStore(tmp_path)
+        first.put(_key(), _entry())
+        first.close()  # flushes
+        second = LineageStore(tmp_path)
+        assert second.get(_key()) == _entry()
+        second.close()
+
+    def test_returned_objects_are_independent(self, tmp_path):
+        # mutating what get() returned must not poison later hits
+        store = LineageStore(tmp_path)
+        store.put(_key(), _entry())
+        first = store.get(_key())
+        first.add_output_column("sneaky")
+        assert store.get(_key()) == _entry()
+        store.close()
+
+    def test_distinct_keys_are_distinct_records(self, tmp_path):
+        store = LineageStore(tmp_path)
+        store.put(_key("a"), _entry("a"))
+        store.put(_key("b"), _entry("b"))
+        assert store.get(_key("a")).name == "a"
+        assert store.get(_key("b")).name == "b"
+        store.close()
+
+
+class TestLRUFront:
+    def test_hits_served_from_memory(self, tmp_path):
+        store = LineageStore(tmp_path)
+        store.put(_key(), _entry())
+        store.flush()
+        # break the database; the LRU front still serves the record
+        store.get(_key())
+        with open(store.path, "wb") as handle:
+            handle.write(b"garbage")
+        assert store.get(_key()) == _entry()
+        store.close()
+
+    def test_capacity_zero_disables_front(self, tmp_path):
+        store = LineageStore(tmp_path, lru_size=0)
+        store.put(_key(), _entry())
+        assert store.get(_key()) == _entry()  # still served, via sqlite
+        assert store.stats()["lru_entries"] == 0
+        store.close()
+
+    def test_prime_bulk_loads(self, tmp_path):
+        store = LineageStore(tmp_path)
+        store.put(_key("a"), _entry("a"), content_hash="hash-a")
+        store.put(_key("b"), _entry("b"), content_hash="hash-b")
+        store.close()
+        warm = LineageStore(tmp_path)
+        assert warm.prime(["hash-a", "hash-b", "hash-missing"]) == 2
+        assert len(warm._lru) == 2
+        warm.close()
+
+
+class TestCorruption:
+    def test_corrupted_database_file_is_a_cold_miss(self, tmp_path):
+        store = LineageStore(tmp_path)
+        store.put(_key(), _entry())
+        store.close()
+        with open(tmp_path / STORE_FILENAME, "wb") as handle:
+            handle.write(b"not a database at all")
+        reopened = LineageStore(tmp_path)
+        assert reopened.get(_key()) is None
+        reopened.close()
+
+    def test_malformed_json_row_is_a_cold_miss(self, tmp_path):
+        store = LineageStore(tmp_path)
+        store.put(_key(), _entry())
+        store.close()
+        connection = sqlite3.connect(tmp_path / STORE_FILENAME)
+        connection.execute(
+            "UPDATE lineage_records SET record = ?", ("{not json",)
+        )
+        connection.commit()
+        connection.close()
+        reopened = LineageStore(tmp_path)
+        assert reopened.get(_key()) is None
+        assert reopened.corrupt >= 1
+        reopened.close()
+
+    def test_version_mismatch_is_a_cold_miss(self, tmp_path):
+        store = LineageStore(tmp_path)
+        record = _entry().to_record()
+        record["record_version"] = LINEAGE_RECORD_VERSION + 10
+        store.put(_key(), _entry())
+        connection_text = json.dumps(record)
+        store.close()
+        connection = sqlite3.connect(tmp_path / STORE_FILENAME)
+        connection.execute(
+            "UPDATE lineage_records SET record = ?", (connection_text,)
+        )
+        connection.commit()
+        connection.close()
+        reopened = LineageStore(tmp_path)
+        assert reopened.get(_key()) is None
+        assert reopened.corrupt == 1
+        reopened.close()
+
+    def test_unwritable_directory_degrades_to_pass_through(self, tmp_path):
+        blocker = tmp_path / "blocked"
+        blocker.write_text("a file where the store wants a directory")
+        store = LineageStore(blocker / "cache")
+        assert store.get(_key()) is None
+        assert store.put(_key(), _entry()) is False
+        store.close()
+
+
+class TestMaintenance:
+    def test_stats_counts(self, tmp_path):
+        store = LineageStore(tmp_path)
+        store.put(_key("a"), _entry("a"))
+        store.put(_key("b"), _entry("b"))
+        store.get(_key("a"))
+        store.get(_key("missing"))
+        stats = store.stats()
+        assert stats["entries"] == 2
+        assert stats["session_puts"] == 2
+        assert stats["session_hits"] == 1
+        assert stats["session_misses"] == 1
+        assert stats["size_bytes"] > 0
+        store.close()
+
+    def test_clear(self, tmp_path):
+        store = LineageStore(tmp_path)
+        store.put(_key("a"), _entry("a"))
+        store.put_source("source-key", [{"kind": "skip", "warning": "w"}])
+        assert store.clear() == 2
+        assert store.stats()["entries"] == 0
+        assert store.get(_key("a")) is None
+        store.close()
+
+    def test_gc_max_entries(self, tmp_path):
+        store = LineageStore(tmp_path)
+        for index in range(5):
+            store.put(_key(f"k{index}"), _entry(f"v{index}"))
+        removed = store.gc(max_entries=2)
+        assert removed == 3
+        assert store.stats()["entries"] == 2
+        store.close()
+
+    def test_gc_max_age(self, tmp_path):
+        store = LineageStore(tmp_path)
+        store.put(_key("old"), _entry())
+        store.flush()
+        connection = sqlite3.connect(tmp_path / STORE_FILENAME)
+        connection.execute("UPDATE lineage_records SET last_used_at = 0")
+        connection.commit()
+        connection.close()
+        store._lru.clear()
+        assert store.gc(max_age_days=1) == 1
+        assert store.stats()["entries"] == 0
+        store.close()
+
+
+class TestKeys:
+    def test_schema_fingerprint_order_independent(self):
+        pairs = [("a", ["x"]), ("b", None)]
+        assert schema_fingerprint(pairs) == schema_fingerprint(list(reversed(pairs)))
+
+    def test_schema_fingerprint_distinguishes_unknown_from_empty(self):
+        assert schema_fingerprint([("t", None)]) != schema_fingerprint([("t", [])])
+
+    def test_schema_fingerprint_strict_flag(self):
+        assert schema_fingerprint([], strict=True) != schema_fingerprint([], strict=False)
+
+    def test_key_components_all_matter(self):
+        base = make_key("c", "postgres", 1, "f")
+        assert make_key("c2", "postgres", 1, "f") != base
+        assert make_key("c", "mysql", 1, "f") != base
+        assert make_key("c", "postgres", 2, "f") != base
+        assert make_key("c", "postgres", 1, "f2") != base

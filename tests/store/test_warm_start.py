@@ -1,0 +1,269 @@
+"""Warm-start behaviour: store splicing through runner, session and CLI."""
+
+import pytest
+
+from repro.analysis.diff import diff_graphs
+from repro.core.errors import CyclicDependencyError
+from repro.core.runner import LineageXRunner
+from repro.datasets import workload
+from repro.session import LineageSession
+from repro.store import LineageStore
+
+SQL = """
+CREATE TABLE web (cid int, page text, date date);
+CREATE VIEW staging AS SELECT cid, page FROM web WHERE date > '2024-01-01';
+CREATE VIEW report AS SELECT s.page, count(*) AS hits FROM staging s GROUP BY s.page;
+"""
+
+
+def _run(tmp_path, sources=SQL, **kwargs):
+    store = LineageStore(tmp_path / "cache")
+    runner = LineageXRunner(store=store, **kwargs)
+    result = runner.run(sources)
+    store.close()
+    return result
+
+
+class TestRunnerWarmStart:
+    def test_cold_run_stores_then_warm_run_splices(self, tmp_path):
+        cold = _run(tmp_path)
+        warm = _run(tmp_path)
+        assert cold.stats()["num_reused_store"] == 0
+        assert warm.stats()["num_reused_store"] == 2
+        assert set(warm.report.reused) == {"staging", "report"}
+        assert warm.report.reused_from == {"staging": "store", "report": "store"}
+        assert diff_graphs(warm.graph, cold.graph).is_identical
+
+    def test_warm_run_never_parses_lineage_entries(self, tmp_path):
+        _run(tmp_path)
+        store = LineageStore(tmp_path / "cache")
+        result = LineageXRunner(store=store).run(SQL)
+        for _, entry in result.query_dictionary.items():
+            assert not entry.is_parsed, entry.identifier
+        store.close()
+
+    def test_content_change_invalidates_entry_and_dependents(self, tmp_path):
+        _run(tmp_path)
+        changed = SQL.replace("date > '2024-01-01'", "date > '2025-01-01'")
+        warm = _run(tmp_path, sources=changed)
+        # staging changed -> it re-extracts, and the pre-pass conservatively
+        # re-extracts its dependents too (their resolved schemas can only be
+        # trusted once the upstream entry is known again), mirroring how the
+        # incremental layer dirties transitive dependents
+        assert "staging" not in warm.report.reused
+        assert "report" not in warm.report.reused
+        # the second warm run over the changed corpus splices everything
+        second = _run(tmp_path, sources=changed)
+        assert set(second.report.reused) == {"staging", "report"}
+
+    def test_upstream_schema_change_invalidates_dependents(self, tmp_path):
+        _run(tmp_path)
+        changed = SQL.replace(
+            "SELECT cid, page FROM web", "SELECT cid, page, date FROM web"
+        )
+        warm = _run(tmp_path, sources=changed)
+        # staging's output columns changed -> report's schema fingerprint
+        # misses even though report's SQL is untouched
+        assert "report" not in warm.report.reused
+        assert "staging" not in warm.report.reused
+
+    def test_ddl_schema_change_invalidates_readers(self, tmp_path):
+        _run(tmp_path)
+        changed = SQL.replace(
+            "CREATE TABLE web (cid int, page text, date date);",
+            "CREATE TABLE web (cid int, page text, date date, country text);",
+        )
+        warm = _run(tmp_path, sources=changed)
+        assert "staging" not in warm.report.reused
+
+    def test_strict_mode_does_not_reuse_lenient_records(self, tmp_path):
+        _run(tmp_path)
+        warm = _run(tmp_path, strict=True)
+        assert warm.report.reused == []
+
+    def test_ablation_mode_bypasses_the_store(self, tmp_path):
+        _run(tmp_path)
+        warm = _run(tmp_path, use_stack=False)
+        assert warm.report.reused == []
+
+    def test_cycles_still_raise_on_warm_runs(self, tmp_path):
+        cyclic = {
+            "a": "CREATE VIEW a AS SELECT x FROM b",
+            "b": "CREATE VIEW b AS SELECT x FROM a",
+        }
+        store = LineageStore(tmp_path / "cache")
+        runner = LineageXRunner(store=store)
+        with pytest.raises(CyclicDependencyError):
+            runner.run(cyclic)
+        with pytest.raises(CyclicDependencyError):
+            runner.run(cyclic)
+        store.close()
+
+    def test_warm_start_at_scale_splices_everything(self, tmp_path):
+        warehouse = workload.generate_warehouse(
+            num_base_tables=5, num_views=60, seed=13
+        )
+        sources = dict(warehouse.views)
+        cold = _run(tmp_path, sources=sources, catalog=warehouse.catalog())
+        warm = _run(tmp_path, sources=sources, catalog=warehouse.catalog())
+        assert warm.stats()["num_reused_store"] == 60
+        assert diff_graphs(warm.graph, cold.graph).is_identical
+
+    def test_memory_and_store_splices_are_distinguished(self, tmp_path):
+        store = LineageStore(tmp_path / "cache")
+        runner = LineageXRunner(store=store)
+        baseline = runner.run(SQL)
+        updated = baseline.update(
+            {"extra": "CREATE VIEW extra AS SELECT page FROM staging"}
+        )
+        origins = updated.report.reused_from
+        assert origins["staging"] == "memory"
+        assert origins["report"] == "memory"
+        stats = updated.stats()
+        assert stats["num_reused_memory"] == 2
+        assert stats["num_reused_store"] == 0
+        store.close()
+
+    def test_refresh_after_revert_hits_the_store(self, tmp_path):
+        store = LineageStore(tmp_path / "cache")
+        runner = LineageXRunner(store=store)
+        baseline = runner.run(SQL)
+        edited = baseline.update(
+            {"report": "CREATE VIEW report AS SELECT page FROM staging"}
+        )
+        assert "report" not in edited.report.reused
+        reverted = edited.update(
+            {
+                "report": "CREATE VIEW report AS SELECT s.page, count(*) AS hits "
+                "FROM staging s GROUP BY s.page"
+            }
+        )
+        # the original definition's record is still in the store
+        assert reverted.report.reused_from.get("report") == "store"
+        assert diff_graphs(reverted.graph, baseline.graph).is_identical
+        store.close()
+
+
+class TestSessionWarmStart:
+    def test_sessions_share_the_store_across_processes(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        with LineageSession(SQL, cache_dir=str(cache_dir)) as first:
+            cold = first.extract()
+        with LineageSession(SQL, cache_dir=str(cache_dir)) as second:
+            warm = second.extract()
+        assert warm.stats()["num_reused_store"] == 2
+        assert diff_graphs(warm.graph, cold.graph).is_identical
+
+    def test_cache_stats_surface(self, tmp_path):
+        with LineageSession(SQL, cache_dir=str(tmp_path / "cache")) as session:
+            session.extract()
+            stats = session.cache_stats()
+        assert stats["entries"] == 2
+        assert stats["session_puts"] == 2
+
+    def test_cache_stats_without_cache_dir_raises(self):
+        session = LineageSession(SQL)
+        with pytest.raises(ValueError):
+            session.cache_stats()
+
+    def test_plan_engine_ignores_the_store(self, tmp_path):
+        from repro.catalog.introspect import catalog_from_sql
+
+        catalog = catalog_from_sql(
+            "CREATE TABLE web (cid int, page text, date date)"
+        )
+        cache_dir = str(tmp_path / "cache")
+        with LineageSession(
+            SQL, catalog=catalog, engine="plan", cache_dir=cache_dir
+        ) as session:
+            result = session.extract()
+        assert result.report.reused == []
+
+    def test_directory_source_warm_start(self, tmp_path):
+        models = tmp_path / "models"
+        models.mkdir()
+        (models / "staging.sql").write_text(
+            "CREATE VIEW staging AS SELECT cid, page FROM web"
+        )
+        (models / "report.sql").write_text(
+            "CREATE VIEW report AS SELECT page FROM staging"
+        )
+        cache_dir = str(tmp_path / "cache")
+        with LineageSession(str(models), cache_dir=cache_dir) as first:
+            first.extract()
+        with LineageSession(str(models), cache_dir=cache_dir) as second:
+            warm = second.extract()
+        assert warm.stats()["num_reused_store"] == 2
+
+
+class TestSelfReferenceSoundness:
+    """Queries reading the relation they write (INSERT INTO t ... FROM t)."""
+
+    SELF_SQL = (
+        "CREATE TABLE t (x int, y int);\n"
+        "INSERT INTO t SELECT * FROM t;\n"
+    )
+
+    def test_process_executor_matches_serial_on_self_reads(self):
+        # the worker's schema snapshot must include the self-read relation's
+        # catalog schema, like the live provider does
+        sources = {
+            "q1": "CREATE TABLE t (x int, y int); INSERT INTO t SELECT * FROM t",
+            "q2": "CREATE TABLE s (a int); INSERT INTO s SELECT * FROM s",
+        }
+        serial = LineageXRunner().run(sources)
+        parallel = LineageXRunner(workers=2, executor="process").run(sources)
+        assert parallel.render("csv") == serial.render("csv")
+        assert "t.x" in parallel.render("csv")
+
+    def test_self_read_schema_change_invalidates_warm_hit(self, tmp_path):
+        cold = _run(tmp_path, sources=self.SELF_SQL)
+        assert "t.y" in cold.render("csv")
+        changed = self.SELF_SQL.replace("(x int, y int)", "(x int, y int, z int)")
+        warm = _run(tmp_path, sources=changed)
+        # the INSERT's SQL is unchanged, but the self-read table's schema is
+        # part of its fingerprint -> no stale hit, and t.z lineage appears
+        assert "t" not in warm.report.reused
+        assert "t.z" in warm.render("csv")
+        plain = LineageXRunner().run(changed)
+        assert diff_graphs(warm.graph, plain.graph).is_identical
+
+    def test_unchanged_self_read_still_splices(self, tmp_path):
+        _run(tmp_path, sources=self.SELF_SQL)
+        warm = _run(tmp_path, sources=self.SELF_SQL)
+        assert warm.report.reused == ["t"]
+
+
+class TestParseCacheCorruption:
+    def test_poisoned_statement_record_degrades_to_cold_retry(self, tmp_path):
+        import sqlite3
+
+        from repro.store.store import STORE_FILENAME
+
+        cold = _run(tmp_path)
+        # tamper every cached statement_sql into non-SQL that still passes
+        # the structural validation, and drop the lineage records so the
+        # poisoned entries would actually need their ASTs
+        db_path = tmp_path / "cache" / STORE_FILENAME
+        connection = sqlite3.connect(db_path)
+        rows = connection.execute("SELECT source_key, record FROM source_records").fetchall()
+        import json as json_module
+
+        for key, text in rows:
+            records = json_module.loads(text)
+            for record in records:
+                if record.get("statement_sql"):
+                    record["statement_sql"] = "CREATE VIEW broken AS SELEC"
+            connection.execute(
+                "UPDATE source_records SET record = ? WHERE source_key = ?",
+                (json_module.dumps(records), key),
+            )
+        connection.execute("DELETE FROM lineage_records")
+        connection.commit()
+        connection.close()
+
+        recovered = _run(tmp_path)
+        assert diff_graphs(recovered.graph, cold.graph).is_identical
+        # the retry overwrote the poisoned records: the next run is warm again
+        healed = _run(tmp_path)
+        assert set(healed.report.reused) == {"staging", "report"}

@@ -302,3 +302,90 @@ class TestSubcommands:
         sub_code, sub_output = run_cli("extract", example1_file, "--format", "stats")
         assert legacy_code == sub_code == 0
         assert legacy_output == sub_output
+
+
+class TestCacheAndExecutorFlags:
+    def test_cache_dir_warm_start(self, example1_file, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        code, _ = run_cli("extract", example1_file, "--cache-dir", cache_dir)
+        assert code == 0
+        code, output = run_cli(
+            "extract", example1_file, "--cache-dir", cache_dir, "--format", "stats"
+        )
+        assert code == 0
+        assert "num_reused_store: 3" in output
+
+    def test_warm_and_cold_render_identically(self, example1_file, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        code, cold = run_cli(
+            "render", example1_file, "--cache-dir", cache_dir, "--format", "csv"
+        )
+        assert code == 0
+        code, warm = run_cli(
+            "render", example1_file, "--cache-dir", cache_dir, "--format", "csv"
+        )
+        assert code == 0
+        assert warm == cold
+
+    def test_executor_process(self, example1_file):
+        code, output = run_cli(
+            "extract", example1_file, "--workers", "2", "--executor", "process"
+        )
+        assert code == 0
+        assert "webinfo (view)" in output
+
+    def test_invalid_executor_rejected(self, example1_file):
+        with pytest.raises(SystemExit):
+            run_cli("extract", example1_file, "--executor", "fiber")
+
+    def test_legacy_form_accepts_new_flags(self, example1_file, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        code, _ = run_cli(example1_file, "--cache-dir", cache_dir)
+        assert code == 0
+        code, output = run_cli(
+            example1_file, "--cache-dir", cache_dir, "--format", "stats"
+        )
+        assert code == 0
+        assert "num_reused_store: 3" in output
+
+
+class TestCacheSubcommand:
+    def _populate(self, example1_file, cache_dir):
+        code, _ = run_cli("extract", example1_file, "--cache-dir", cache_dir)
+        assert code == 0
+
+    def test_stats(self, example1_file, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        self._populate(example1_file, cache_dir)
+        code, output = run_cli("cache", "stats", "--cache-dir", cache_dir)
+        assert code == 0
+        assert "entries: 3" in output
+        assert "source_entries: 1" in output
+
+    def test_clear(self, example1_file, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        self._populate(example1_file, cache_dir)
+        code, output = run_cli("cache", "clear", "--cache-dir", cache_dir)
+        assert code == 0
+        assert "removed 4 records" in output
+        code, output = run_cli("cache", "stats", "--cache-dir", cache_dir)
+        assert "entries: 0" in output
+
+    def test_gc_max_entries(self, example1_file, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        self._populate(example1_file, cache_dir)
+        code, output = run_cli(
+            "cache", "gc", "--cache-dir", cache_dir, "--max-entries", "1"
+        )
+        assert code == 0
+        assert "evicted 2 records" in output
+
+    def test_gc_without_criteria_errors(self, example1_file, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        self._populate(example1_file, cache_dir)
+        code, _ = run_cli("cache", "gc", "--cache-dir", cache_dir)
+        assert code == 2
+
+    def test_cache_dir_required(self):
+        with pytest.raises(SystemExit):
+            run_cli("cache", "stats")

@@ -355,3 +355,60 @@ class TestSessionConveniences:
 
         assert repro.LineageSession is LineageSession
         assert repro.SessionConfig is SessionConfig
+
+
+class TestCacheAndExecutorConfig:
+    def test_defaults(self):
+        config = SessionConfig()
+        assert config.executor == "thread"
+        assert config.cache_dir is None
+
+    def test_invalid_executor_rejected(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            SessionConfig(executor="fiber")
+
+    def test_cache_dir_accepts_pathlike(self, tmp_path):
+        config = SessionConfig(cache_dir=tmp_path)
+        assert config.cache_dir == str(tmp_path)
+
+    def test_session_without_cache_dir_has_no_store(self):
+        session = LineageSession("SELECT 1 AS one")
+        assert session.store is None
+
+    def test_session_store_is_lazy_and_shared(self, tmp_path):
+        session = LineageSession(
+            "CREATE VIEW v AS SELECT a FROM t", cache_dir=str(tmp_path / "c")
+        )
+        assert session._store is None
+        store = session.store
+        assert store is session.store
+        session.close()
+        assert session._store is None
+
+    def test_process_executor_through_session(self):
+        sources = {
+            "a": "CREATE VIEW a AS SELECT x, y FROM base",
+            "b": "CREATE VIEW b AS SELECT x FROM a",
+            "c": "CREATE VIEW c AS SELECT y FROM a",
+        }
+        serial = LineageSession(dict(sources)).extract()
+        parallel = LineageSession(
+            dict(sources), workers=2, executor="process"
+        ).extract()
+        assert parallel.render("csv") == serial.render("csv")
+
+    def test_refresh_reuses_the_store(self, tmp_path):
+        models = tmp_path / "models"
+        models.mkdir()
+        (models / "a.sql").write_text("CREATE VIEW a AS SELECT x FROM base")
+        (models / "b.sql").write_text("CREATE VIEW b AS SELECT x FROM a")
+        cache_dir = str(tmp_path / "cache")
+        with LineageSession(str(models), cache_dir=cache_dir) as session:
+            session.extract()
+            (models / "b.sql").write_text("CREATE VIEW b AS SELECT x, x AS x2 FROM a")
+            refreshed = session.refresh()
+            assert refreshed.report.reused_from.get("a") == "memory"
+        # a fresh session over the edited corpus is fully store-warm
+        with LineageSession(str(models), cache_dir=cache_dir) as session:
+            warm = session.extract()
+            assert warm.stats()["num_reused_store"] == 2
