@@ -12,6 +12,45 @@ import os
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
+#: the repository root, where the committed ``BENCH_*.json`` trajectory lives.
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def root_bench_path(name):
+    """Path of the committed trajectory file ``BENCH_<name>.json``."""
+    return os.path.join(REPO_ROOT, f"BENCH_{name}.json")
+
+
+def load_root_json(name):
+    """The committed ``BENCH_<name>.json`` payload, or ``None`` if absent."""
+    try:
+        with open(root_bench_path(name), "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, ValueError):
+        return None
+
+
+def emit_root_json(name, payload, keep=("baseline",)):
+    """Write ``BENCH_<name>.json`` at the repo root (the perf trajectory).
+
+    Unlike :func:`emit_json` these files are *committed*: they record the
+    machine-readable performance trajectory across PRs.  Keys named in
+    ``keep`` are preserved from the existing file (the pinned baseline a
+    regression gate compares against); everything else is replaced by
+    ``payload``.  The first emit — no existing file — seeds the kept keys
+    from ``payload`` itself, so a fresh checkout records its own baseline.
+    """
+    existing = load_root_json(name) or {}
+    merged = dict(payload)
+    for key in keep:
+        if key in existing:
+            merged[key] = existing[key]
+    path = root_bench_path(name)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(merged, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
 
 def emit_json(name, payload):
     """Persist machine-readable results as ``benchmarks/results/<name>.json``.

@@ -1,0 +1,198 @@
+"""COLD PATH — first-contact extraction speed and its regression gate.
+
+PR 3 made *warm* sessions splice from the persistent store; this bench
+tracks the other half of the story: the **cold path** every first-contact
+corpus pays — tokenize, parse, canonical-print + content-hash, and
+schema-resolved extraction, with no store and no parse cache.
+
+Two artifacts:
+
+* a stage-level report (``benchmarks/results/cold_path.*``) breaking one
+  cold run into lex / parse / preprocess / extract;
+* the committed trajectory file ``BENCH_cold_path.json`` at the repo root.
+  Its ``baseline`` section is pinned to the pre-optimisation numbers (the
+  state before the master-pattern lexer, slotted AST, fused print+hash and
+  memoized resolution landed) and is *never* overwritten by re-runs; the
+  ``current`` section is refreshed every run.
+
+Gates (skipped on shared CI runners unless ``BENCH_STRICT=1``, like every
+other wall-clock assertion in this suite):
+
+* **speedup** — cold extraction at 400 views must be >= 2.5x faster than
+  the pinned ``baseline``;
+* **regression** — a fresh run must not be >20% slower than the committed
+  ``current`` reference (the number recorded when the optimisation PR
+  landed), so later PRs cannot quietly give the win back.
+
+``BENCH_COLD_QUICK=1`` shrinks the sweep for the CI smoke step (artifact
+upload only — no timing gates fire there).
+"""
+
+import gc
+import os
+import time
+
+from repro.core.preprocess import preprocess
+from repro.core.runner import LineageXRunner
+from repro.core.scheduler import AutoInferenceScheduler
+from repro.datasets import workload
+from repro.sqlparser.lexer import tokenize
+from repro.sqlparser.parser import parse
+
+from _report import emit, emit_root_json, load_root_json, table
+
+SEED = 97
+QUICK = bool(os.environ.get("BENCH_COLD_QUICK"))
+SWEEP = [50, 100] if QUICK else [50, 100, 200, 400]
+# best-of-N; 7 repeats at full scale so one noisy co-tenant burst on a
+# shared host does not poison the measured floor
+REPEATS = 3 if QUICK else 7
+#: the scale the acceptance and regression gates are evaluated at.
+GATE_VIEWS = SWEEP[-1]
+
+
+def _corpus(num_views):
+    warehouse = workload.generate_warehouse(
+        num_base_tables=max(3, num_views // 10), num_views=num_views, seed=SEED
+    )
+    return dict(warehouse.views), warehouse.catalog()
+
+
+def _best_ms(function, repeats=REPEATS):
+    """Best-of-N wall clock in milliseconds (min is robust to noise).
+
+    The collector is paused across the timed region (one collect first, so
+    no run inherits another's garbage) — standard benchmarking hygiene;
+    without it, whether a gen-2 collection lands inside a timing window
+    depends on how much the host process (pytest vs a bare interpreter)
+    has allocated before the bench even starts.  The committed baseline in
+    ``BENCH_cold_path.json`` was recorded under this same protocol.
+    """
+    best = float("inf")
+    gc.collect()
+    gc.disable()
+    try:
+        for _ in range(repeats):
+            started = time.perf_counter()
+            function()
+            best = min(best, time.perf_counter() - started)
+    finally:
+        gc.enable()
+    return best * 1000.0
+
+
+def measure_cold(num_views, repeats=REPEATS):
+    """Stage timings of one fully cold run at ``num_views`` scale."""
+    sources, catalog = _corpus(num_views)
+    script = ";\n".join(sources.values()) + ";"
+
+    lex_ms = _best_ms(lambda: tokenize(script), repeats)
+    parse_ms = _best_ms(lambda: parse(script), repeats)
+    preprocess_ms = _best_ms(lambda: preprocess(sources), repeats)
+
+    dictionary = preprocess(sources)
+
+    def extract_only():
+        AutoInferenceScheduler(dictionary, catalog=catalog).run()
+
+    extract_ms = _best_ms(extract_only, repeats)
+    cold_ms = _best_ms(
+        lambda: LineageXRunner(catalog=catalog).run(sources), repeats
+    )
+    return {
+        "num_views": num_views,
+        "lex_ms": round(lex_ms, 2),
+        "parse_ms": round(parse_ms, 2),
+        "preprocess_ms": round(preprocess_ms, 2),
+        "extract_ms": round(extract_ms, 2),
+        "cold_ms": round(cold_ms, 2),
+    }
+
+
+def _gates_active():
+    """Wall-clock gates run locally and under BENCH_STRICT, never in quick mode.
+
+    The committed baseline/reference numbers are absolute wall-clock values
+    from the machine that recorded them; on different hardware set
+    ``BENCH_NO_GATES=1`` to measure without asserting (or re-seed the
+    trajectory by deleting ``BENCH_cold_path.json`` and re-running on the
+    old and new code in turn).
+    """
+    if QUICK or os.environ.get("BENCH_NO_GATES"):
+        return False
+    return not os.environ.get("CI") or os.environ.get("BENCH_STRICT")
+
+
+def test_cold_path_report():
+    series = [measure_cold(num_views) for num_views in SWEEP]
+    gate_row = series[-1]
+
+    # quick mode shrinks the sweep below the committed gate scale, so the
+    # baseline/reference numbers (measured at 400 views) are not comparable
+    # to this run at all — no speedup math, no gates, no trajectory write
+    committed = {} if QUICK else (load_root_json("cold_path") or {})
+    baseline = committed.get("baseline")
+    reference = committed.get("current")
+
+    payload = {
+        "config": {"seed": SEED, "repeats": REPEATS, "gate_views": GATE_VIEWS},
+        "current": {"series": series, "cold_ms_at_gate": gate_row["cold_ms"]},
+        # pinned on first emit, preserved by emit_root_json() ever after
+        "baseline": {"series": series, "cold_ms_at_gate": gate_row["cold_ms"]},
+    }
+    if baseline is not None:
+        speedup = baseline["cold_ms_at_gate"] / max(gate_row["cold_ms"], 1e-9)
+        payload["speedup_vs_baseline_at_gate"] = round(speedup, 2)
+
+    rows = [
+        (
+            row["num_views"],
+            row["lex_ms"],
+            row["parse_ms"],
+            row["preprocess_ms"],
+            row["extract_ms"],
+            row["cold_ms"],
+        )
+        for row in series
+    ]
+    lines = table(
+        ["#views", "lex (ms)", "parse (ms)", "preprocess (ms)", "extract (ms)", "cold run (ms)"],
+        rows,
+    )
+    lines.append("")
+    if baseline is not None:
+        lines.append(
+            f"baseline cold run at {GATE_VIEWS} views: "
+            f"{baseline['cold_ms_at_gate']:.1f} ms -> now {gate_row['cold_ms']:.1f} ms "
+            f"({payload['speedup_vs_baseline_at_gate']:.2f}x)"
+        )
+    emit("cold_path", "Cold-path extraction — stage breakdown", lines)
+
+    if _gates_active() and baseline is not None:
+        assert payload["speedup_vs_baseline_at_gate"] >= 2.5, (
+            f"cold extraction at {GATE_VIEWS} views is only "
+            f"{payload['speedup_vs_baseline_at_gate']:.2f}x faster than the "
+            f"pre-optimisation baseline ({baseline['cold_ms_at_gate']:.1f} ms "
+            f"-> {gate_row['cold_ms']:.1f} ms); the tentpole promise is >= 2.5x"
+        )
+    if _gates_active() and reference is not None:
+        limit = reference["cold_ms_at_gate"] * 1.2
+        assert gate_row["cold_ms"] <= limit, (
+            f"cold extraction regressed: {gate_row['cold_ms']:.1f} ms at "
+            f"{GATE_VIEWS} views vs committed {reference['cold_ms_at_gate']:.1f} ms "
+            f"(>20% slower than the BENCH_cold_path.json reference)"
+        )
+
+    if not QUICK:
+        # refresh the trajectory only after the gates pass — a failing
+        # regression run must not rewrite the very reference it compares
+        # against (that would let the next run "pass" by self-healing)
+        emit_root_json("cold_path", payload)
+
+
+def test_cold_path_output_unchanged_by_scale():
+    """Sanity: the corpus the timings are taken over actually resolves."""
+    sources, catalog = _corpus(SWEEP[0])
+    result = LineageXRunner(catalog=catalog).run(sources)
+    assert not result.report.unresolved
+    assert len(result.graph.views) == SWEEP[0]

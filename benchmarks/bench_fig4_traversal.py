@@ -21,7 +21,7 @@ from _report import emit, table
 
 def _trace_q3():
     entry = list(preprocess(example1.Q3))[0]
-    extractor = LineageExtractor()
+    extractor = LineageExtractor(collect_trace=True)
     return extractor.extract(entry.identifier, entry.query)
 
 
@@ -66,7 +66,7 @@ def test_fig4_traversal_scales_linearly_with_query_size(benchmark):
         + " AND ".join(f"t.col_{i} > {i}" for i in range(30))
     )
     entry = list(preprocess(big_query))[0]
-    extractor = LineageExtractor()
+    extractor = LineageExtractor(collect_trace=True)
     lineage, trace = benchmark(extractor.extract, entry.identifier, entry.query)
     assert len(lineage.output_columns) == 60
     assert len(trace.steps) >= 60

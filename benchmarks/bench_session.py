@@ -19,7 +19,7 @@ from repro.core.runner import LineageXRunner
 from repro.datasets import workload
 from repro.session import LineageSession, SessionConfig
 
-from _report import emit, table
+from _report import emit, emit_root_json, table
 
 NUM_VIEWS = 400
 SEED = 131
@@ -81,6 +81,15 @@ def test_session_facade_overhead():
         f"(best of {REPEATS}); the façade must add < {MAX_OVERHEAD:.0%}."
     )
     emit("session", "Session façade overhead at 400 views", lines)
+    emit_root_json(
+        "session",
+        {
+            "num_views": NUM_VIEWS,
+            "direct_ms": round(direct_elapsed * 1000, 2),
+            "session_ms": round(session_elapsed * 1000, 2),
+            "overhead_pct": round(overhead * 100, 2),
+        },
+    )
 
     # Wall-clock assertions are inherently flaky on shared CI runners, so
     # there the graph-equality check above stands in; the timing gate runs

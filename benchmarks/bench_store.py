@@ -4,8 +4,9 @@ Two claims of the persistent content-addressed lineage store:
 
 * **warm start** — a second session over an *unchanged* corpus (a fresh
   process: new runner, new store handle, same cache directory) splices
-  ~100% of the entries from disk and is at least 5x faster than the cold
-  run at 400 views;
+  ~100% of the entries from disk and is at least 2x faster than the cold
+  run at 400 views (the bar was 5x before PR 4 made the cold path itself
+  ~2.5x faster);
 * **determinism** — ``executor="process"`` (true multi-core extraction)
   produces byte-identical rendered graphs to serial mode.
 
@@ -25,7 +26,7 @@ from repro.core.runner import LineageXRunner
 from repro.datasets import workload
 from repro.store import LineageStore
 
-from _report import emit, emit_json, table
+from _report import emit, emit_json, emit_root_json, table
 
 SWEEP = [50, 100, 200, 400]
 SEED = 97
@@ -102,13 +103,18 @@ def test_warm_start_report():
     )
     emit("store", "Persistent store — warm start vs cold start", lines)
     emit_json("store", {"warm_start": series})
+    emit_root_json("store", {"warm_start": series})
 
-    # the headline claim: >= 5x at the largest size.  Wall-clock assertions
-    # are flaky on shared CI runners, so there the structural checks above
-    # (100% splice, graph equality) stand in; the timing gate runs locally
-    # and under BENCH_STRICT=1.
+    # the headline claim: warm >= 2x cold at the largest size.  The bar was
+    # 5x against the PR 3 cold path; PR 4 made the cold path itself ~2.5x
+    # faster (master-pattern lexer, slotted AST, fused print+hash, memoized
+    # resolution — see BENCH_cold_path.json), so the warm/cold *ratio*
+    # shrank even though absolute warm time did not regress.  Wall-clock
+    # assertions are flaky on shared CI runners, so there the structural
+    # checks above (100% splice, graph equality) stand in; the timing gate
+    # runs locally and under BENCH_STRICT=1.
     if not os.environ.get("CI") or os.environ.get("BENCH_STRICT"):
-        assert series[-1]["speedup"] >= 5.0, (
+        assert series[-1]["speedup"] >= 2.0, (
             f"warm start only {series[-1]['speedup']:.1f}x faster at "
             f"{series[-1]['num_views']} views"
         )

@@ -37,7 +37,7 @@ RULE_QUERIES = [
 
 
 def _extract_with_trace(sql, name="bench"):
-    extractor = LineageExtractor()
+    extractor = LineageExtractor(collect_trace=True)
     entry = list(preprocess(sql))[0]
     return extractor.extract(name, entry.query, declared_columns=entry.column_names)
 
@@ -74,7 +74,7 @@ def test_tab1_rule_firing_report(benchmark):
     # traversal implies for Q3, extended to Q1-Q3).
     totals = {rule: 0 for rule in ALL_RULES}
     for entry in preprocess(example1.QUERY_LOG):
-        _, trace = LineageExtractor().extract(
+        _, trace = LineageExtractor(collect_trace=True).extract(
             entry.identifier, entry.query, declared_columns=entry.column_names
         )
         for rule, count in trace.rule_counts().items():

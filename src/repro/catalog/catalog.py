@@ -22,6 +22,13 @@ class Catalog:
     def __init__(self, tables=None, search_path=("public",)):
         self.tables = {}
         self.search_path = list(search_path)
+        #: memoized ``resolve_name`` outcomes (hits *and* misses), keyed by
+        #: the normalised lookup name.  Resolution walks the search path and
+        #: is asked the same relation names once per referencing statement,
+        #: so a run over a wide corpus repeats identical lookups thousands
+        #: of times.  Invalidated on every registration change; mutating
+        #: ``search_path`` in place after lookups started is unsupported.
+        self._lookup_cache = {}
         for table in tables or []:
             self.add_table(table)
 
@@ -34,6 +41,7 @@ class Catalog:
         if name in self.tables and not replace:
             raise DuplicateTableError(name)
         self.tables[name] = table
+        self._lookup_cache.clear()
         return table
 
     def create_table(self, name, columns, is_view=False, definition_sql="", replace=False):
@@ -51,6 +59,7 @@ class Catalog:
                 return False
             raise UndefinedTableError(name)
         del self.tables[resolved]
+        self._lookup_cache.clear()
         return True
 
     # ------------------------------------------------------------------
@@ -59,19 +68,26 @@ class Catalog:
     def resolve_name(self, name):
         """Resolve ``name`` to the registered key, or ``None`` if absent."""
         wanted = normalize_name(name)
-        if wanted in self.tables:
+        tables = self.tables
+        if wanted in tables:
             return wanted
+        cache = self._lookup_cache
+        if wanted in cache:
+            return cache[wanted]
+        resolved = None
         if "." not in wanted:
             for schema in self.search_path:
                 qualified = f"{schema}.{wanted}"
-                if qualified in self.tables:
-                    return qualified
+                if qualified in tables:
+                    resolved = qualified
+                    break
         else:
             # allow unqualified registration to satisfy a qualified lookup
-            bare = wanted.split(".")[-1]
-            if bare in self.tables:
-                return bare
-        return None
+            bare = wanted.rsplit(".", 1)[-1]
+            if bare in tables:
+                resolved = bare
+        cache[wanted] = resolved
+        return resolved
 
     def __contains__(self, name):
         return self.resolve_name(name) is not None

@@ -52,11 +52,18 @@ class TableSchema:
             else:
                 normalized.append(ColumnSchema(name=str(column)))
         self.columns = normalized
+        # memoized column_names() backing list; every schema provider asks
+        # for the names once per referencing statement, so wide schemas
+        # would otherwise rebuild this list thousands of times per run
+        self._names = None
 
     # ------------------------------------------------------------------
     def column_names(self):
-        """Ordered list of column names."""
-        return [column.name for column in self.columns]
+        """Ordered list of column names (a fresh list; callers may mutate)."""
+        names = self._names
+        if names is None:
+            names = self._names = [column.name for column in self.columns]
+        return list(names)
 
     def has_column(self, name):
         """True if this table has a column named ``name`` (normalised)."""
@@ -79,6 +86,7 @@ class TableSchema:
             name=name, type_name=type_name, nullable=nullable, description=description
         )
         self.columns.append(column)
+        self._names = None
         return column
 
     def to_dict(self):

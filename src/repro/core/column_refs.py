@@ -6,18 +6,67 @@ it can live in sets, serve as a dictionary key, and produce stable sorted
 output in JSON documents and test assertions.
 """
 
-from dataclasses import dataclass
-
 from .errors import LineageRecordError
 from ..sqlparser.dialect import normalize_identifier, normalize_name
 
 
-@dataclass(frozen=True, order=True)
 class ColumnName:
-    """A fully-qualified column: ``table.column`` after normalisation."""
+    """A fully-qualified column: ``table.column`` after normalisation.
 
-    table: str
-    column: str
+    Implemented as a slotted value class (historically a frozen dataclass):
+    column names live in sets and dict keys throughout the lineage graph,
+    so the hash is computed once at construction instead of on every
+    membership probe, and attribute access is a fixed slot load.  Treat
+    instances as immutable — mutating ``table``/``column`` after
+    construction would desynchronise the cached hash.
+    """
+
+    __slots__ = ("table", "column", "_hash")
+
+    def __init__(self, table, column):
+        self.table = table
+        self.column = column
+        self._hash = hash((table, column))
+
+    # -- value semantics (what @dataclass(frozen=True, order=True) made) --
+    def __hash__(self):
+        return self._hash
+
+    def __eq__(self, other):
+        if type(other) is ColumnName:
+            return self.table == other.table and self.column == other.column
+        return NotImplemented
+
+    def __ne__(self, other):
+        if type(other) is ColumnName:
+            return self.table != other.table or self.column != other.column
+        return NotImplemented
+
+    def __lt__(self, other):
+        if type(other) is ColumnName:
+            return (self.table, self.column) < (other.table, other.column)
+        return NotImplemented
+
+    def __le__(self, other):
+        if type(other) is ColumnName:
+            return (self.table, self.column) <= (other.table, other.column)
+        return NotImplemented
+
+    def __gt__(self, other):
+        if type(other) is ColumnName:
+            return (self.table, self.column) > (other.table, other.column)
+        return NotImplemented
+
+    def __ge__(self, other):
+        if type(other) is ColumnName:
+            return (self.table, self.column) >= (other.table, other.column)
+        return NotImplemented
+
+    def __repr__(self):
+        return f"ColumnName(table={self.table!r}, column={self.column!r})"
+
+    def __reduce__(self):
+        return (ColumnName, (self.table, self.column))
 
     @classmethod
     def of(cls, table, column):

@@ -28,6 +28,20 @@ and any reference it *misses* is still recovered by the stack fallback.
 from ..sqlparser import ast
 from ..sqlparser.dialect import normalize_name
 
+#: node classes that can never contain a TableRef below them — the
+#: reference walk skips their child enumeration outright.
+_ATOMIC_NODES = frozenset(
+    (
+        ast.ColumnRef,
+        ast.Star,
+        ast.Literal,
+        ast.Parameter,
+        ast.QualifiedName,
+        ast.ColumnDef,
+        ast.WindowFrame,
+    )
+)
+
 
 def _scoped_table_refs(node, active_ctes, referenced):
     """Collect table references, resolving CTE names *lexically*.
@@ -38,33 +52,44 @@ def _scoped_table_refs(node, active_ctes, referenced):
     dependency whenever a subquery-local CTE shares its name with a real
     relation, which is merely conservative for scheduling (the stack
     fallback recovers) but unsound for incremental invalidation.
+
+    The common CTE-free path runs on an explicit stack — this pre-pass
+    walks every statement once per cold preprocess, and recursive generator
+    descent was a measurable slice of it.  Scope sets are shared between
+    siblings (they are only replaced, never mutated, when a CTE list forks
+    a new scope), and ``referenced`` is an unordered set, so traversal
+    order does not matter.
     """
-    if node is None:
-        return
-    if isinstance(node, ast.TableRef):
-        name = normalize_name(node.name.dotted())
-        if name not in active_ctes:
-            referenced.add(name)
-        return
-    if isinstance(node, (ast.Select, ast.SetOperation)):
-        scope = set(active_ctes)
-        for cte in node.ctes:
-            # a CTE body sees the preceding CTEs and (if recursive) itself
-            _scoped_table_refs(
-                cte.query, scope | {normalize_name(cte.name)}, referenced
-            )
-            scope.add(normalize_name(cte.name))
-        # walk the remaining children through Node.children() — it knows
-        # about tuple-valued fields (e.g. named WINDOW clauses) — skipping
-        # the CTE nodes handled above
-        cte_ids = {id(cte) for cte in node.ctes}
+    stack = [(node, active_ctes)]
+    atomic = _ATOMIC_NODES
+    while stack:
+        node, scope = stack.pop()
+        if node is None:
+            continue
+        cls = type(node)
+        if cls in atomic:
+            continue
+        if cls is ast.TableRef:
+            name = normalize_name(node.name.dotted())
+            if name not in scope:
+                referenced.add(name)
+            continue
+        if (cls is ast.Select or cls is ast.SetOperation) and node.ctes:
+            forked = set(scope)
+            for cte in node.ctes:
+                # a CTE body sees the preceding CTEs and (if recursive) itself
+                stack.append((cte.query, forked | {normalize_name(cte.name)}))
+                forked = forked | {normalize_name(cte.name)}
+            # walk the remaining children through Node.children() — it
+            # knows about tuple-valued fields (e.g. named WINDOW clauses)
+            # — skipping the CTE nodes handled above
+            cte_ids = {id(cte) for cte in node.ctes}
+            for child in node.children():
+                if id(child) not in cte_ids:
+                    stack.append((child, forked))
+            continue
         for child in node.children():
-            if id(child) in cte_ids:
-                continue
-            _scoped_table_refs(child, scope, referenced)
-        return
-    for child in node.children():
-        _scoped_table_refs(child, active_ctes, referenced)
+            stack.append((child, scope))
 
 
 def statement_table_refs(statement):

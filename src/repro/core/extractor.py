@@ -42,7 +42,8 @@ from .errors import UnknownRelationError
 from .lineage import TableLineage
 from .resolver import Scope, SourceBinding
 from ..sqlparser import ast
-from ..sqlparser.dialect import normalize_identifier, normalize_name
+from ..sqlparser.dialect import normalize_identifier, normalize_name, quote_identifier
+from ..sqlparser.printer import to_sql
 
 
 #: Version of the extraction algorithm's observable output.  It is one of
@@ -158,6 +159,10 @@ class ExtractionTrace:
 
     steps: list = field(default_factory=list)
 
+    #: traces with ``active = False`` (the shared null trace) record
+    #: nothing; hot paths test this before building step detail strings.
+    active = True
+
     def add(self, rule, node, detail=""):
         self.steps.append(
             ExtractionStep(order=len(self.steps) + 1, rule=rule, node=node, detail=detail)
@@ -175,29 +180,65 @@ class ExtractionTrace:
         return [(step.order, step.rule, step.node, step.detail) for step in self.steps]
 
 
+class _NullTrace:
+    """Shared do-nothing trace used when ``collect_trace`` is off.
+
+    Rule firings used to be recorded (and their detail strings formatted)
+    on every extraction and then thrown away unless the caller asked for
+    traces; the null trace makes the non-collecting path free.
+    """
+
+    steps = ()
+    active = False
+
+    def add(self, rule, node, detail=""):
+        pass
+
+    def rule_counts(self):
+        return {rule: 0 for rule in ALL_RULES}
+
+    def as_rows(self):
+        return []
+
+
+_NULL_TRACE = _NullTrace()
+
+
 # ----------------------------------------------------------------------
 # Per-query accumulation
 # ----------------------------------------------------------------------
-@dataclass
 class QueryResult:
-    """The lineage accumulated for one query expression."""
+    """The lineage accumulated for one query expression (slotted: one is
+    built per SELECT block, subquery, and CTE processed)."""
 
-    output_columns: list = field(default_factory=list)
-    column_map: dict = field(default_factory=dict)     # column -> set[ColumnName]
-    referenced: set = field(default_factory=set)        # set[ColumnName]
-    source_tables: set = field(default_factory=set)     # set[str]
-    expressions: dict = field(default_factory=dict)     # column -> defining SQL text
+    __slots__ = (
+        "output_columns",
+        "column_map",
+        "referenced",
+        "source_tables",
+        "expressions",
+    )
+
+    def __init__(self):
+        self.output_columns = []
+        self.column_map = {}        # column -> set[ColumnName]
+        self.referenced = set()     # set[ColumnName]
+        self.source_tables = set()  # set[str]
+        self.expressions = {}       # column -> defining SQL text
 
     def add_output(self, column, sources, expression=None):
         column = normalize_identifier(column)
-        if column not in self.column_map:
+        column_map = self.column_map
+        existing = column_map.get(column)
+        if existing is None:
             self.output_columns.append(column)
-            self.column_map[column] = set()
-        self.column_map[column] |= set(sources)
+            existing = column_map[column] = set()
+        existing.update(sources)
         if expression and column not in self.expressions:
             self.expressions[column] = expression
+        add_table = self.source_tables.add
         for source in sources:
-            self.source_tables.add(source.table)
+            add_table(source.table)
 
     def add_reference(self, sources):
         for source in sources:
@@ -246,21 +287,39 @@ class LineageExtractor:
         Returns ``(TableLineage, ExtractionTrace)``.  ``declared_columns``
         is the optional explicit column list of a ``CREATE VIEW (c1, ...)``
         statement and renames the query's output columns positionally.
+        The trace is only populated when the extractor was built with
+        ``collect_trace=True``; otherwise a shared empty null trace is
+        returned and no rule firings are recorded.
         """
-        trace = ExtractionTrace()
+        trace = ExtractionTrace() if self.collect_trace else _NULL_TRACE
         result = self._process_query(query, None, trace)
         result.rename_columns(declared_columns or [])
+        # Bulk-fill the lineage object: everything in the QueryResult is
+        # already normalised and de-duplicated (QueryResult.add_output /
+        # add_reference maintain those invariants), so the per-item
+        # ``add_*`` helpers — each a membership probe plus an observer
+        # notification — are pure overhead here.  One _bump at the end
+        # keeps subscribed-graph semantics.
         lineage = TableLineage(name=normalize_name(identifier), sql=sql)
+        column_map = result.column_map
+        expressions = result.expressions
+        contributions = lineage.contributions
+        lineage_expressions = lineage.expressions
+        output_columns = lineage.output_columns
         for column in result.output_columns:
-            lineage.add_output_column(column)
-            for source in result.column_map.get(column, set()):
-                lineage.add_contribution(column, source)
-            if column in result.expressions:
-                lineage.expressions[column] = result.expressions[column]
-        for source in result.referenced:
-            lineage.add_reference(source)
-        for table in result.source_tables:
-            lineage.add_source_table(table)
+            if column in contributions:
+                # duplicate declared names (CREATE VIEW v (a, a) AS ...)
+                # collapse to their first occurrence, as add_output_column
+                # always did; column_map already merged their sources
+                continue
+            sources = column_map.get(column)
+            contributions[column] = set(sources) if sources else set()
+            if column in expressions:
+                lineage_expressions[column] = expressions[column]
+            output_columns.append(column)
+        lineage.referenced.update(result.referenced)
+        lineage.source_tables.update(result.source_tables)
+        lineage._bump()
         return lineage, trace
 
     def extract_statement(self, parsed_query):
@@ -361,20 +420,36 @@ class LineageExtractor:
             if name is None:
                 unnamed_counter += 1
                 name = f"column_{len(result.output_columns) + 1}"
-            sources = self._contributions_of(expression, scope, result, trace)
+            if type(expression) is ast.ColumnRef:
+                # fast path for the dominant projection shape — one column
+                # reference, no subqueries/aliases to thread through
+                qualifier = expression.table
+                resolution = scope.resolve_column(
+                    qualifier, expression.name, strict=self.strict
+                )
+                if resolution.unresolved and qualifier is None:
+                    sources = set()
+                else:
+                    sources = resolution.sources
+            else:
+                sources = self._contributions_of(expression, scope, result, trace)
             result.add_output(name, sources, expression=_expression_sql(expression))
-            trace.add(RULE_SELECT, "Projection", f"{name} <- {_format_sources(sources)}")
+            if trace.active:
+                trace.add(
+                    RULE_SELECT, "Projection", f"{name} <- {_format_sources(sources)}"
+                )
 
     def _expand_star_projection(self, star, scope, result, trace):
         expansions = scope.expand_star(star.table)
-        label = f"{star.table}.*" if star.table else "*"
         for column, sources in expansions:
             result.add_output(column, sources, expression=str(star))
-        trace.add(
-            RULE_SELECT,
-            "Projection",
-            f"{label} expanded to {len(expansions)} columns",
-        )
+        if trace.active:
+            label = f"{star.table}.*" if star.table else "*"
+            trace.add(
+                RULE_SELECT,
+                "Projection",
+                f"{label} expanded to {len(expansions)} columns",
+            )
 
     # -- set operations ------------------------------------------------------
     def _process_set_operation(self, operation, parent_scope, trace):
@@ -404,11 +479,12 @@ class LineageExtractor:
                 result.add_reference(sources)
             result.add_reference(leaf_result.referenced)
             result.source_tables |= leaf_result.source_tables
-        trace.add(
-            RULE_SET_OPERATION,
-            operation.operator,
-            f"{len(leaves)} leaves, {len(result.output_columns)} output columns",
-        )
+        if trace.active:
+            trace.add(
+                RULE_SET_OPERATION,
+                operation.operator,
+                f"{len(leaves)} leaves, {len(result.output_columns)} output columns",
+            )
 
         for item in operation.order_by:
             self._collect_references(
@@ -457,7 +533,8 @@ class LineageExtractor:
         raise TypeError(f"unsupported FROM source: {type(source).__name__}")
 
     def _bind_table_ref(self, table_ref, scope, result, trace):
-        relation = normalize_name(table_ref.name.dotted())
+        parts = table_ref.name.parts
+        relation = normalize_name(parts[0] if len(parts) == 1 else ".".join(parts))
         visible_name = normalize_identifier(table_ref.alias) or relation.split(".")[-1]
 
         # FROM (CTE/Subquery) rule: the name may refer to a WITH intermediate.
@@ -480,7 +557,8 @@ class LineageExtractor:
             # The intermediate's own lineage flows into the outer query.
             result.add_reference(binding.referenced)
             result.source_tables |= binding.source_tables
-            trace.add(RULE_FROM_CTE, "FROM", f"{relation} (CTE)")
+            if trace.active:
+                trace.add(RULE_FROM_CTE, "FROM", f"{relation} (CTE)")
             return
 
         # FROM (Table/View) rule: a real relation.
@@ -494,11 +572,12 @@ class LineageExtractor:
         self._apply_column_aliases(binding, table_ref.column_aliases)
         scope.add_binding(binding)
         result.source_tables.add(relation)
-        trace.add(
-            RULE_FROM_TABLE,
-            "FROM",
-            f"{relation}" + (f" AS {visible_name}" if table_ref.alias else ""),
-        )
+        if trace.active:
+            trace.add(
+                RULE_FROM_TABLE,
+                "FROM",
+                f"{relation}" + (f" AS {visible_name}" if table_ref.alias else ""),
+            )
 
     def _bind_subquery_source(self, source, scope, result, trace):
         sub_result = self._process_query(source.query, scope, trace)
@@ -529,7 +608,8 @@ class LineageExtractor:
         if source.function is not None:
             for argument in source.function.args:
                 self._collect_references(argument, scope, result, trace, "FUNCTION")
-        trace.add(RULE_FROM_CTE, "FROM", f"function {binding.name}")
+        if trace.active:
+            trace.add(RULE_FROM_CTE, "FROM", f"function {binding.name}")
 
     @staticmethod
     def _apply_column_aliases(binding, column_aliases):
@@ -588,7 +668,8 @@ class LineageExtractor:
         )
         if found:
             result.add_reference(found)
-            trace.add(RULE_OTHER, clause, _format_sources(found))
+            if trace.active:
+                trace.add(RULE_OTHER, clause, _format_sources(found))
 
     def _collect_window_references(self, window, scope, result, trace):
         for expression in window.partition_by:
@@ -702,8 +783,19 @@ def _format_sources(sources):
 
 def _expression_sql(expression):
     """Best-effort SQL text of a projection expression (for documentation)."""
-    from ..sqlparser.printer import to_sql
-
+    if type(expression) is ast.ColumnRef:
+        # the overwhelmingly common projection shape; matches the printer's
+        # output exactly without spinning up a renderer
+        qualifier = expression.qualifier
+        if not qualifier:
+            return quote_identifier(expression.name)
+        if len(qualifier) == 1:
+            return quote_identifier(qualifier[0]) + "." + quote_identifier(
+                expression.name
+            )
+        return ".".join(
+            quote_identifier(part) for part in (*qualifier, expression.name)
+        )
     try:
         return to_sql(expression)
     except TypeError:

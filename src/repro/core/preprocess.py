@@ -9,18 +9,21 @@ its own file, the file name).  The resulting key/value pairs form the
 modules.
 """
 
-import hashlib
 import os
 
+from .dag import statement_table_refs
 from .errors import LineageRecordError
 from ..sqlparser import ast, parse
 from ..sqlparser.dialect import normalize_name
+from ..sqlparser.printer import canonical_sql_and_hash, content_hash_of, to_sql
 from ..sqlparser.visitor import created_name, query_of
 
 #: Version of the serialized per-source parse record (the store's parse
 #: cache).  Bump whenever :func:`_statement_record` / statement
 #: classification changes shape or semantics; old records become misses.
-PARSE_RECORD_VERSION = 1
+#: v2: records carry the precomputed ``content_hash`` (fused with the
+#: canonical print), so replays never re-hash.
+PARSE_RECORD_VERSION = 2
 
 
 class ParsedQuery:
@@ -45,6 +48,7 @@ class ParsedQuery:
         source_name=None,
         statement_sql="",
         table_refs=None,
+        content_hash=None,
     ):
         self.identifier = identifier
         self._statement = statement
@@ -68,6 +72,10 @@ class ParsedQuery:
         #: the self-reference); computed on demand and cached, or replayed
         #: from the parse cache.
         self._table_refs = frozenset(table_refs) if table_refs is not None else None
+        if content_hash is not None:
+            # fused with the canonical print (or replayed from the parse
+            # cache); the property's lazy fallback covers everything else
+            self._content_hash = content_hash
 
     def __repr__(self):
         return (
@@ -117,8 +125,6 @@ class ParsedQuery:
     def table_refs(self):
         """Every relation name referenced by the statement (incl. self)."""
         if self._table_refs is None:
-            from .dag import statement_table_refs
-
             self._table_refs = frozenset(statement_table_refs(self.statement))
         return self._table_refs
 
@@ -138,16 +144,17 @@ class ParsedQuery:
         Computed over the canonical printed statement (so whitespace and
         comment changes do not count as changes) plus the statement kind.
         Incremental re-extraction compares these hashes to find the entries
-        that actually changed between runs.  Cached: an entry's statement is
-        never mutated after preprocessing.
+        that actually changed between runs.  On the cold path the hash is
+        fused with the canonical print
+        (:func:`repro.sqlparser.printer.canonical_sql_and_hash`); this lazy
+        fallback serves entries built any other way.  Cached: an entry's
+        statement is never mutated after preprocessing.
         """
         cached = self.__dict__.get("_content_hash")
         if cached is None:
-            digest = hashlib.sha256()
-            digest.update(self.kind.encode("utf-8"))
-            digest.update(b"\0")
-            digest.update(self.statement_sql.encode("utf-8"))
-            cached = self.__dict__["_content_hash"] = digest.hexdigest()
+            cached = self.__dict__["_content_hash"] = content_hash_of(
+                self.statement_sql, self.kind
+            )
         return cached
 
 
@@ -241,7 +248,15 @@ def preprocess(source, id_generator=None, parse_cache=None):
 
     dictionary = QueryDictionary()
     counter = 0
-    for default_name, sql in _iter_sources(source):
+    fragments = list(_iter_sources(source))
+    if parse_cache is not None:
+        # announce every fragment up front: a cache that supports batched
+        # reads (the store-backed one does) resolves all keys in O(chunks)
+        # SELECTs instead of one point query per fragment
+        prefetch = getattr(parse_cache, "prefetch", None)
+        if prefetch is not None:
+            prefetch([sql for _, sql in fragments])
+    for default_name, sql in fragments:
         statements = None
         records = parse_cache.get(sql) if parse_cache is not None else None
         if records is not None:
@@ -279,10 +294,13 @@ def _statement_record(statement):
             f"statement of type {type(statement).__name__} does not produce lineage; skipped"
         )
         return record
-    record["statement_sql"] = _statement_sql(statement)
-    if entry_kind != "ddl":
-        from .dag import statement_table_refs
-
+    if entry_kind == "ddl":
+        record["statement_sql"] = _statement_sql(statement)
+    else:
+        # one streaming pass produces the canonical text AND its hash
+        record["statement_sql"], record["content_hash"] = canonical_sql_and_hash(
+            statement, entry_kind
+        )
         record["table_refs"] = sorted(statement_table_refs(statement))
     return record
 
@@ -313,6 +331,8 @@ def _validated_fragment(records):
             isinstance(record.get("table_refs"), list)
             and all(isinstance(name, str) for name in record["table_refs"])
         ):
+            return None
+        if kind != "ddl" and not isinstance(record.get("content_hash"), str):
             return None
         if kind == "ddl":
             # DDL ASTs are needed eagerly (they seed the schema catalog);
@@ -374,6 +394,7 @@ def _apply_record(dictionary, record, statement, default_name, sql, counter, id_
             statement_sql=statement_sql,
             source_name=default_name,
             table_refs=record.get("table_refs"),
+            content_hash=record.get("content_hash"),
         )
     )
     return counter
@@ -482,6 +503,4 @@ def _classify(statement):
 
 
 def _statement_sql(statement):
-    from ..sqlparser.printer import to_sql
-
     return to_sql(statement)

@@ -19,21 +19,22 @@ implements the paper's ambiguity-handling policies:
   auto-inference stack.
 """
 
-from dataclasses import dataclass, field
-
 from .column_refs import ColumnName
 from .errors import AmbiguousColumnError
 from ..sqlparser.dialect import normalize_identifier, normalize_name
 
 
-@dataclass
 class SourceBinding:
     """One table source visible inside a SELECT block.
+
+    A slotted value class (bindings are built per FROM item per statement,
+    so construction weight matters).
 
     Parameters
     ----------
     name:
-        The name the source is visible as (its alias, or its relation name).
+        The name the source is visible as (its alias, or its relation
+        name), normalised by the extractor at construction.
     kind:
         ``"relation"`` for base tables and views, ``"cte"``, ``"subquery"``,
         ``"values"`` or ``"function"`` for derived sources.
@@ -41,8 +42,8 @@ class SourceBinding:
         For ``relation`` bindings, the normalised real relation name (edges
         point at this name).
     columns:
-        Ordered output column names, or ``None`` when the schema is unknown
-        (an external base table with no catalog entry).
+        Ordered output column names (normalised), or ``None`` when the
+        schema is unknown (an external base table with no catalog entry).
     column_map:
         For derived sources, the mapping from an output column to the real
         source columns it is composed of.  For plain relations this is
@@ -55,33 +56,87 @@ class SourceBinding:
         Real relations the derived source reads; propagate into ``T``.
     """
 
-    name: str
-    kind: str = "relation"
-    relation_name: str = None
-    columns: list = None
-    column_map: dict = field(default_factory=dict)
-    referenced: set = field(default_factory=set)
-    source_tables: set = field(default_factory=set)
+    __slots__ = (
+        "name",
+        "kind",
+        "relation_name",
+        "columns",
+        "column_map",
+        "referenced",
+        "source_tables",
+        "_column_set",
+        "_expand_cache",
+    )
+
+    def __init__(
+        self,
+        name,
+        kind="relation",
+        relation_name=None,
+        columns=None,
+        column_map=None,
+        referenced=None,
+        source_tables=None,
+    ):
+        self.name = name
+        self.kind = kind
+        self.relation_name = relation_name
+        self.columns = columns
+        self.column_map = {} if column_map is None else column_map
+        self.referenced = set() if referenced is None else referenced
+        self.source_tables = set() if source_tables is None else source_tables
+        self._column_set = None
+        self._expand_cache = {}
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return (
+            f"SourceBinding(name={self.name!r}, kind={self.kind!r}, "
+            f"relation_name={self.relation_name!r}, columns={self.columns!r})"
+        )
 
     # ------------------------------------------------------------------
     def has_known_columns(self):
         return self.columns is not None
 
     def has_column(self, column):
-        """True / False / None (unknown schema)."""
+        """True / False / None (unknown schema).
+
+        The normalised column set is built once per binding on first use —
+        unqualified resolution probes every visible binding per reference,
+        which on wide schemas used to rebuild the same set per probe.
+        (Bindings are fully configured before resolution starts; a caller
+        replacing ``columns`` afterwards would have to drop
+        ``_column_set`` too, which nothing does.)
+        """
         if self.columns is None:
             return None
-        return normalize_identifier(column) in {
-            normalize_identifier(c) for c in self.columns
-        }
+        members = self._column_set
+        if members is None:
+            members = self._column_set = {
+                normalize_identifier(c) for c in self.columns
+            }
+        return normalize_identifier(column) in members
 
     def expand(self, column):
-        """Return the set of real :class:`ColumnName` behind ``column``."""
-        column = normalize_identifier(column)
+        """Return the set of real :class:`ColumnName` behind ``column``.
+
+        ``column`` must already be normalised — every caller (the resolve
+        paths normalise on entry; star expansion reads ``binding.columns``,
+        which are normalised at construction) satisfies this, so the former
+        re-normalisation here was redundant on the hottest resolve path.
+        ``relation_name`` is likewise normalised at construction, so the
+        :class:`ColumnName` is built directly.
+        """
         if column in self.column_map:
             return set(self.column_map[column])
         if self.kind == "relation":
-            return {ColumnName.of(self.relation_name, column)}
+            # same column expanded repeatedly (projection + WHERE + GROUP
+            # BY...): memoize the ColumnName, return a fresh 1-element set
+            cache = self._expand_cache
+            name = cache.get(column)
+            if name is None:
+                name = cache[column] = ColumnName(self.relation_name, column)
+            return {name}
         return set()
 
     def all_tables(self):
@@ -91,14 +146,17 @@ class SourceBinding:
         return set(self.source_tables)
 
 
-@dataclass
 class Resolution:
-    """The outcome of resolving one column reference."""
+    """The outcome of resolving one column reference (slotted: one is
+    built per column reference resolved)."""
 
-    sources: set = field(default_factory=set)      # set[ColumnName]
-    bindings: list = field(default_factory=list)   # the SourceBindings matched
-    ambiguous: bool = False
-    unresolved: bool = False
+    __slots__ = ("sources", "bindings", "ambiguous", "unresolved")
+
+    def __init__(self):
+        self.sources = set()       # set[ColumnName]
+        self.bindings = []         # the SourceBindings matched
+        self.ambiguous = False
+        self.unresolved = False
 
 
 class Scope:
@@ -135,17 +193,21 @@ class Scope:
     # Lookup
     # ------------------------------------------------------------------
     def find_binding(self, name):
-        """Find the binding visible as ``name`` in this or an outer scope."""
+        """Find the binding visible as ``name`` in this or an outer scope.
+
+        Binding names and relation names are normalised when the extractor
+        constructs them, so only the lookup name is folded here.
+        """
         wanted = normalize_identifier(name)
         scope = self
         while scope is not None:
             for binding in scope.bindings:
-                if normalize_identifier(binding.name) == wanted:
+                if binding.name == wanted:
                     return binding
                 if (
                     binding.kind == "relation"
                     and binding.relation_name is not None
-                    and normalize_name(binding.relation_name).split(".")[-1] == wanted
+                    and binding.relation_name.rsplit(".", 1)[-1] == wanted
                 ):
                     return binding
             scope = scope.parent

@@ -630,8 +630,11 @@ class LineageXRunner:
         view_names = {lineage.name for lineage in graph.views}
         # sorted so the accumulated column order of catalog-less base tables
         # is identical however the graph was assembled (a warm-spliced run
-        # iterates relations in a different order than a cold one)
-        for column_name in sorted(used_columns):
+        # iterates relations in a different order than a cold one); the
+        # explicit key avoids a rich-comparison call per element pair
+        for column_name in sorted(
+            used_columns, key=lambda c: (c.table, c.column)
+        ):
             if column_name.table in view_names:
                 continue
             if column_name.column == "*":

@@ -163,16 +163,35 @@ class _SchedulerProvider(SchemaProvider):
 
     def get_columns(self, name):
         name = normalize_name(name)
-        lineage = self.scheduler.results.get(name)
+        scheduler = self.scheduler
+        lineage = scheduler.results.get(name)
         if lineage is not None:
-            return list(lineage.output_columns)
-        if self.scheduler.catalog is not None:
-            table = self.scheduler.catalog.get(name)
+            # memoized across statements within the run; the cached list is
+            # stamped with the TableLineage version token so a (never
+            # expected) post-record mutation invalidates instead of serving
+            # stale columns.  Wide schemas referenced by many statements
+            # stop rebuilding their column list per reference.
+            cached = scheduler.schema_cache.get(name)
+            if cached is not None and cached[0] == lineage._version:
+                return list(cached[1])
+            columns = list(lineage.output_columns)
+            scheduler.schema_cache[name] = (lineage._version, columns)
+            return list(columns)
+        if scheduler.catalog is not None:
+            # the catalog is frozen for the duration of a run (it is built
+            # before scheduling and only merged/extended between runs), so
+            # its column lists memoize under a version-less token
+            cached = scheduler.schema_cache.get(name)
+            if cached is not None and cached[0] is None:
+                return list(cached[1])
+            table = scheduler.catalog.get(name)
             if table is not None:
-                return table.column_names()
+                columns = table.column_names()
+                scheduler.schema_cache[name] = (None, list(columns))
+                return columns
         if (
-            self.scheduler.use_stack
-            and name in self.scheduler.pending
+            scheduler.use_stack
+            and name in scheduler.pending
             and name != self.current
         ):
             raise UnknownRelationError(
@@ -215,6 +234,9 @@ class AutoInferenceScheduler:
         self.workers = workers
         self.executor = executor
         self.results = {}
+        #: name -> (TableLineage._version, [columns]); the provider's
+        #: per-relation resolved-column memo (see _SchedulerProvider).
+        self.schema_cache = {}
         self.pending = set(query_dictionary.identifiers())
         self.seeded = []
         #: identifier -> "memory" | "store"; where each seed was spliced from

@@ -17,8 +17,69 @@ structure the lineage extractor cares about:
   :class:`InExpr`, :class:`BetweenExpr`, :class:`IsNullExpr`, ...
 """
 
-from dataclasses import dataclass, field, fields
+from dataclasses import dataclass as _dataclass, field, fields
 from typing import List, Optional, Tuple
+
+
+def dataclass(cls):
+    """The node decorator: a slotted dataclass.
+
+    ``__slots__`` (via ``dataclass(slots=True)``) halves the per-node
+    memory footprint and makes field access a fixed-offset load instead of
+    a dict lookup — AST construction and visitor walks are the cold path's
+    hottest loops, and every node in :mod:`repro.sqlparser.ast_nodes` goes
+    through them.
+    """
+    return _dataclass(slots=True)(cls)
+
+
+#: class -> tuple of field names, populated lazily.  ``dataclasses.fields``
+#: rebuilds a tuple of Field objects on every call; visitors enumerate
+#: children once per node per walk, so the names are cached per class.
+_FIELD_NAMES = {}
+
+
+def field_names(cls):
+    """The dataclass field names of ``cls``, cached per class."""
+    names = _FIELD_NAMES.get(cls)
+    if names is None:
+        names = _FIELD_NAMES[cls] = tuple(item.name for item in fields(cls))
+    return names
+
+
+#: class -> compiled children enumerator (see ``_build_children``).
+_CHILDREN_FNS = {}
+
+_CHILDREN_FIELD_TEMPLATE = """
+    value = self.{name}
+    if isinstance(value, Node):
+        append(value)
+    elif value and isinstance(value, (list, tuple)):
+        for element in value:
+            if isinstance(element, Node):
+                append(element)
+            elif isinstance(element, (list, tuple)):
+                for nested in element:
+                    if isinstance(nested, Node):
+                        append(nested)
+"""
+
+
+def _build_children(cls):
+    """Compile a per-class ``children`` enumerator.
+
+    The field list of a node class is static, so each class gets a flat
+    function with direct (slot) attribute loads instead of a generic loop
+    doing ``getattr`` by name — visitor walks call this once per node per
+    pass, making it one of the hottest code paths in the system.
+    """
+    parts = ["def _children(self):\n    found = []\n    append = found.append"]
+    for name in field_names(cls):
+        parts.append(_CHILDREN_FIELD_TEMPLATE.format(name=name))
+    parts.append("    return found")
+    namespace = {"Node": Node}
+    exec("".join(parts), namespace)  # noqa: S102 - static, class-derived source
+    return namespace["_children"]
 
 
 # ----------------------------------------------------------------------
@@ -29,24 +90,25 @@ class Node:
     """Base class for all AST nodes."""
 
     def children(self):
-        """Yield every direct child :class:`Node` of this node.
+        """Every direct child :class:`Node` of this node, in order.
 
         Children are discovered generically from the dataclass fields: any
         field whose value is a :class:`Node`, or a list/tuple containing
         :class:`Node` instances, contributes its nodes in declaration order.
+        Returns a list (historically a generator): visitor walks enumerate
+        children once per node per pass, and an eagerly-built list is
+        measurably cheaper than generator resumption in those loops.
+
+        The first call on each class compiles a specialised enumerator and
+        installs it *as that class's* ``children`` method, so every later
+        call dispatches straight to flat, per-field code.
         """
-        for item in fields(self):
-            value = getattr(self, item.name)
-            if isinstance(value, Node):
-                yield value
-            elif isinstance(value, (list, tuple)):
-                for element in value:
-                    if isinstance(element, Node):
-                        yield element
-                    elif isinstance(element, (list, tuple)):
-                        for nested in element:
-                            if isinstance(nested, Node):
-                                yield nested
+        cls = type(self)
+        fn = _CHILDREN_FNS.get(cls)
+        if fn is None:
+            fn = _CHILDREN_FNS[cls] = _build_children(cls)
+            cls.children = fn
+        return fn(self)
 
     @property
     def node_name(self):

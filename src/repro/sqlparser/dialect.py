@@ -12,31 +12,57 @@ import re
 _SAFE_IDENTIFIER = re.compile(r"^[a-z_][a-z0-9_$]*$")
 
 
+#: identifier -> folded form (same rationale as ``_NAME_CACHE`` below:
+#: the same handful of identifiers is folded tens of thousands of times
+#: per run, and most are already lower-case).
+_IDENTIFIER_CACHE = {}
+_IDENTIFIER_CACHE_LIMIT = 65536
+
+
 def normalize_identifier(name):
     """Fold an identifier to its canonical (lower-case) form.
 
     ``None`` is passed through so optional qualifiers stay optional.
     """
-    if name is None:
-        return None
-    return name.lower()
+    if type(name) is not str:
+        if name is None:
+            return None
+        return str(name).lower()
+    folded = _IDENTIFIER_CACHE.get(name)
+    if folded is None:
+        folded = name.lower()
+        if len(_IDENTIFIER_CACHE) < _IDENTIFIER_CACHE_LIMIT:
+            _IDENTIFIER_CACHE[name] = folded
+    return folded
 
 
-def normalize_name(name):
-    """Normalise a possibly-dotted object name (``Schema.Table`` style)."""
-    if name is None:
-        return None
-    return ".".join(normalize_identifier(part) for part in str(name).split("."))
+#: Case-folding is per character, so lowering a whole dotted name is
+#: exactly equivalent to lowering each dot-separated part — normalising an
+#: object name (``Schema.Table`` style) and normalising a bare identifier
+#: are the same operation, sharing one implementation and one memo cache.
+normalize_name = normalize_identifier
+
+
+#: identifier -> quoted form.  The canonical printer quotes the same small
+#: vocabulary of identifiers over and over; a capped cache skips the regex.
+_QUOTE_CACHE = {}
+_QUOTE_CACHE_LIMIT = 65536
 
 
 def quote_identifier(name):
     """Quote an identifier for SQL output if it needs quoting."""
     if name is None:
         return ""
-    if _SAFE_IDENTIFIER.match(name):
-        return name
-    escaped = name.replace('"', '""')
-    return f'"{escaped}"'
+    quoted = _QUOTE_CACHE.get(name)
+    if quoted is None:
+        if _SAFE_IDENTIFIER.match(name):
+            quoted = name
+        else:
+            escaped = name.replace('"', '""')
+            quoted = f'"{escaped}"'
+        if len(_QUOTE_CACHE) < _QUOTE_CACHE_LIMIT:
+            _QUOTE_CACHE[name] = quoted
+    return quoted
 
 
 def quote_literal(value):

@@ -13,7 +13,22 @@ objects.  It understands:
 
 Comments are skipped by default but can be preserved with
 ``Lexer(sql, keep_comments=True)``.
+
+Implementation: one compiled *master pattern* — an ordered alternation of
+named groups equivalent to the precedence of the old char-by-char scanner —
+drives the whole hot loop.  Each iteration makes a single ``re`` match
+(leading whitespace folded in) and dispatches on the matched group; only
+nested block comments and dollar-quoted bodies (both unmatchable by a
+regular expression) drop into auxiliary scans.  Keyword and operator token values are interned and word
+classification is cached, so a corpus that repeats the same identifiers
+(every real corpus) never re-uppercases or re-hashes them.  Line/column
+bookkeeping is gone from the loop entirely: tokens carry only character
+offsets, and :class:`~repro.sqlparser.tokens.Token` derives line/column
+lazily when an error message asks for them.
 """
+
+import re
+from sys import intern
 
 from .errors import TokenizeError
 from .tokens import (
@@ -22,6 +37,7 @@ from .tokens import (
     SINGLE_CHAR_OPERATORS,
     Token,
     TokenType,
+    source_location,
 )
 
 
@@ -30,296 +46,236 @@ def tokenize(sql, keep_comments=False):
     return Lexer(sql, keep_comments=keep_comments).tokenize()
 
 
+#: The ordered alternation.  Alternatives are tried in order by the regex
+#: engine, so they are arranged by token frequency (words and punctuation
+#: first) subject to the precedence constraints of the old scanner:
+#:
+#: * ``(?![eE]')`` keeps WORD from swallowing the prefix of an E-string;
+#: * NUMBER precedes PUNCT so ``.5`` lexes as a number, not DOT then 5;
+#: * comments, parameters and pyformat precede SOP so ``--``/``/*``/
+#:   ``:name``/``%(`` are not split into single-char operators;
+#: * DOLLAR precedes PPARAM so ``$tag$`` opens a dollar-quote while a
+#:   lone ``$1`` stays a positional parameter; its tag class is ``\w``
+#:   (Unicode-aware) to match the old scanner's ``isalnum() or '_'``.
+#:
+#: Leading whitespace is folded into every match (the ``[ \t\r\n]*``
+#: prefix plus an optional payload), so a whitespace run never costs its
+#: own loop iteration.  String/identifier bodies use the unrolled
+#: ``x[^x]*(?:xx[^x]*)*x`` form, which never backtracks.
+_MASTER = re.compile(
+    r"""[ \t\r\n]*
+    (?:
+      (?P<WORD>(?![eE]')[^\W\d][\w$]*)
+    | (?P<NUMBER>(?:\d+(?:\.\d*)?|\.\d+)(?:[eE][+-]?\d+)?)
+    | (?P<PUNCT>[,.();*])
+    | (?P<OP>"""
+    + "|".join(
+        re.escape(op) for op in sorted(MULTI_CHAR_OPERATORS, key=len, reverse=True)
+    )
+    + r""")
+    | (?P<STRING>[eE]?'[^']*(?:''[^']*)*')
+    | (?P<QIDENT>"[^"]*(?:""[^"]*)*")
+    | (?P<LINE_COMMENT>--[^\n]*)
+    | (?P<BLOCK_COMMENT>/\*)
+    | (?P<DOLLAR>\$\w*\$)
+    | (?P<PPARAM>\$\d+)
+    | (?P<NPARAM>:[^\W\d]\w*)
+    | (?P<PYFORMAT>%\(.*?\)s)
+    | (?P<BADPYFORMAT>%\()
+    | (?P<SOP>["""
+    + "".join(re.escape(char) for char in sorted(SINGLE_CHAR_OPERATORS | {":"}))
+    + r"""])
+    )?
+    """,
+    re.VERBOSE | re.DOTALL,
+).match
+
+#: group indices, for integer dispatch on ``match.lastindex`` (cheaper
+#: than resolving and string-comparing group names per token).
+_GROUPS = _MASTER.__self__.groupindex
+_IDX_WORD = _GROUPS["WORD"]
+_IDX_NUMBER = _GROUPS["NUMBER"]
+_IDX_PUNCT = _GROUPS["PUNCT"]
+_IDX_OP = _GROUPS["OP"]
+_IDX_STRING = _GROUPS["STRING"]
+_IDX_QIDENT = _GROUPS["QIDENT"]
+_IDX_LINE_COMMENT = _GROUPS["LINE_COMMENT"]
+_IDX_BLOCK_COMMENT = _GROUPS["BLOCK_COMMENT"]
+_IDX_DOLLAR = _GROUPS["DOLLAR"]
+_IDX_BADPYFORMAT = _GROUPS["BADPYFORMAT"]
+_IDX_SOP = _GROUPS["SOP"]
+#: the remaining payload groups (positional/named/pyformat parameters)
+_PARAM_INDICES = frozenset(
+    (_GROUPS["PPARAM"], _GROUPS["NPARAM"], _GROUPS["PYFORMAT"])
+)
+
+#: block-comment delimiters, for the nested-depth auxiliary scan.
+_BLOCK_DELIM = re.compile(r"/\*|\*/").search
+
+_PUNCT_TOKENS = {
+    ",": (TokenType.COMMA, ","),
+    ".": (TokenType.DOT, "."),
+    "(": (TokenType.LPAREN, "("),
+    ")": (TokenType.RPAREN, ")"),
+    ";": (TokenType.SEMICOLON, ";"),
+    "*": (TokenType.STAR, "*"),
+}
+
+#: interned canonical values for every fixed-spelling token.
+_OP_VALUES = {op: intern(op) for op in MULTI_CHAR_OPERATORS}
+_SOP_VALUES = {char: intern(char) for char in SINGLE_CHAR_OPERATORS | {":"}}
+
+#: word -> (token_type, canonical_value) classification cache.  Keywords
+#: interned upper-cased once; identifiers interned as spelled.  Capped so a
+#: pathological stream of unique words cannot grow it without bound.
+_WORD_CACHE = {}
+_WORD_CACHE_LIMIT = 65536
+
+
+def _classify_word(word):
+    info = _WORD_CACHE.get(word)
+    if info is None:
+        upper = word.upper()
+        if upper in KEYWORDS:
+            info = (TokenType.KEYWORD, intern(upper))
+        else:
+            info = (TokenType.IDENTIFIER, intern(word))
+        if len(_WORD_CACHE) < _WORD_CACHE_LIMIT:
+            _WORD_CACHE[word] = info
+    return info
+
+
 class Lexer:
-    """A hand-written scanner over a SQL source string."""
+    """A master-pattern scanner over a SQL source string."""
 
     def __init__(self, sql, keep_comments=False):
         if sql is None:
             raise TokenizeError("cannot tokenize None")
         self.sql = sql
         self.length = len(sql)
-        self.pos = 0
-        self.line = 1
-        self.column = 1
         self.keep_comments = keep_comments
         self.tokens = []
 
     # ------------------------------------------------------------------
-    # Character helpers
-    # ------------------------------------------------------------------
-    def _peek(self, offset=0):
-        index = self.pos + offset
-        if index < self.length:
-            return self.sql[index]
-        return ""
+    def _error(self, message, position):
+        line, column = source_location(self.sql, position)
+        raise TokenizeError(message, position, line, column)
 
-    def _advance(self, count=1):
-        for _ in range(count):
-            if self.pos >= self.length:
-                return
-            if self.sql[self.pos] == "\n":
-                self.line += 1
-                self.column = 1
-            else:
-                self.column += 1
-            self.pos += 1
-
-    def _starts_with(self, text):
-        return self.sql.startswith(text, self.pos)
-
-    def _error(self, message):
-        raise TokenizeError(message, self.pos, self.line, self.column)
-
-    def _emit(self, token_type, value, position, line, column):
-        self.tokens.append(Token(token_type, value, position, line, column))
+    def _fail(self, position):
+        """Diagnose the character no alternative matched."""
+        sql = self.sql
+        char = sql[position]
+        if char == "'" or (
+            char in "eE" and sql.startswith("'", position + 1)
+        ):
+            self._error("unterminated string literal", position)
+        if char == '"':
+            self._error("unterminated quoted identifier", position)
+        self._error(f"unexpected character {char!r}", position)
 
     # ------------------------------------------------------------------
     # Main loop
     # ------------------------------------------------------------------
     def tokenize(self):
         """Scan the whole input and return the token list (ending with EOF)."""
-        while self.pos < self.length:
-            char = self._peek()
-            if char in " \t\r\n":
-                self._advance()
+        sql = self.sql
+        length = self.length
+        keep_comments = self.keep_comments
+        append = self.tokens.append
+        classify = _classify_word
+        word_cache = _WORD_CACHE
+        punct = _PUNCT_TOKENS
+        pos = 0
+        while pos < length:
+            match = _MASTER(sql, pos)
+            index = match.lastindex
+            if index is None:
+                # whitespace-only match: either the trailing run of the
+                # input, or whitespace followed by an unmatchable character
+                end = match.end()
+                if end >= length:
+                    break
+                self._fail(end)
+            start = match.start(index)
+            pos = match.end()
+            if index == _IDX_WORD:
+                word = sql[start:pos]
+                info = word_cache.get(word)
+                if info is None:
+                    info = classify(word)
+                append(Token(info[0], info[1], start, sql))
                 continue
-            if char == "-" and self._peek(1) == "-":
-                self._scan_line_comment()
+            if index == _IDX_PUNCT:
+                token_type, value = punct[sql[start]]
+                append(Token(token_type, value, start, sql))
                 continue
-            if char == "/" and self._peek(1) == "*":
-                self._scan_block_comment()
+            if index == _IDX_NUMBER:
+                append(Token(TokenType.NUMBER, sql[start:pos], start, sql))
                 continue
-            if char == "'" or (
-                char in "eE" and self._peek(1) == "'"
-            ):
-                self._scan_string()
+            if index == _IDX_OP:
+                append(
+                    Token(TokenType.OPERATOR, _OP_VALUES[sql[start:pos]], start, sql)
+                )
                 continue
-            if char == '"':
-                self._scan_quoted_identifier()
+            if index == _IDX_SOP:
+                append(
+                    Token(TokenType.OPERATOR, _SOP_VALUES[sql[start]], start, sql)
+                )
                 continue
-            if char == "$" and self._is_dollar_quote_start():
-                self._scan_dollar_string()
+            if index == _IDX_STRING:
+                raw = sql[start:pos]
+                if raw[0] != "'":
+                    raw = raw[1:]  # E'...' prefix
+                value = raw[1:-1]
+                if "''" in value:
+                    value = value.replace("''", "'")
+                append(Token(TokenType.STRING, value, start, sql))
                 continue
-            if char.isdigit() or (char == "." and self._peek(1).isdigit()):
-                self._scan_number()
+            if index == _IDX_QIDENT:
+                value = sql[start + 1 : pos - 1]
+                if '""' in value:
+                    value = value.replace('""', '"')
+                append(Token(TokenType.QUOTED_IDENTIFIER, value, start, sql))
                 continue
-            if char.isalpha() or char == "_":
-                self._scan_word()
+            if index == _IDX_DOLLAR:
+                tag = sql[start:pos]
+                closing = sql.find(tag, pos)
+                if closing < 0:
+                    self._error("unterminated dollar-quoted string", pos)
+                append(Token(TokenType.STRING, sql[pos:closing], start, sql))
+                pos = closing + len(tag)
                 continue
-            if char == "$" and self._peek(1).isdigit():
-                self._scan_positional_parameter()
+            if index == _IDX_LINE_COMMENT:
+                if keep_comments:
+                    append(Token(TokenType.COMMENT, sql[start:pos], start, sql))
                 continue
-            if char == ":" and (self._peek(1).isalpha() or self._peek(1) == "_"):
-                self._scan_named_parameter()
+            if index == _IDX_BLOCK_COMMENT:
+                pos = self._scan_block_comment(start, pos)
                 continue
-            if char == "%" and self._peek(1) == "(":
-                self._scan_pyformat_parameter()
+            if index in _PARAM_INDICES:
+                append(Token(TokenType.PARAMETER, sql[start:pos], start, sql))
                 continue
-            self._scan_punctuation()
-        self._emit(TokenType.EOF, "", self.pos, self.line, self.column)
+            # BADPYFORMAT: "%(" with no ")s" terminator anywhere after it
+            self._error("unterminated pyformat parameter", start)
+        append(Token(TokenType.EOF, "", self.length, sql))
         return self.tokens
 
     # ------------------------------------------------------------------
-    # Scanners for individual token classes
+    # Auxiliary scans (constructs a regular expression cannot match)
     # ------------------------------------------------------------------
-    def _scan_line_comment(self):
-        start, line, column = self.pos, self.line, self.column
-        while self.pos < self.length and self._peek() != "\n":
-            self._advance()
-        if self.keep_comments:
-            self._emit(
-                TokenType.COMMENT, self.sql[start : self.pos], start, line, column
-            )
-
-    def _scan_block_comment(self):
-        start, line, column = self.pos, self.line, self.column
-        self._advance(2)
+    def _scan_block_comment(self, start, body_start):
+        """Consume a (possibly nested) block comment; return the end offset."""
+        sql = self.sql
         depth = 1
-        while self.pos < self.length and depth > 0:
-            if self._starts_with("/*"):
-                depth += 1
-                self._advance(2)
-            elif self._starts_with("*/"):
-                depth -= 1
-                self._advance(2)
-            else:
-                self._advance()
-        if depth > 0:
-            self._error("unterminated block comment")
+        scan = body_start
+        while depth:
+            delimiter = _BLOCK_DELIM(sql, scan)
+            if delimiter is None:
+                self._error("unterminated block comment", self.length)
+            depth += 1 if delimiter.group() == "/*" else -1
+            scan = delimiter.end()
         if self.keep_comments:
-            self._emit(
-                TokenType.COMMENT, self.sql[start : self.pos], start, line, column
+            self.tokens.append(
+                Token(TokenType.COMMENT, sql[start:scan], start, sql)
             )
-
-    def _scan_string(self):
-        start, line, column = self.pos, self.line, self.column
-        if self._peek() in "eE":
-            self._advance()
-        # consume the opening quote
-        self._advance()
-        value_chars = []
-        while True:
-            if self.pos >= self.length:
-                self._error("unterminated string literal")
-            char = self._peek()
-            if char == "'":
-                if self._peek(1) == "'":
-                    value_chars.append("'")
-                    self._advance(2)
-                    continue
-                self._advance()
-                break
-            value_chars.append(char)
-            self._advance()
-        self._emit(TokenType.STRING, "".join(value_chars), start, line, column)
-
-    def _scan_quoted_identifier(self):
-        start, line, column = self.pos, self.line, self.column
-        self._advance()
-        value_chars = []
-        while True:
-            if self.pos >= self.length:
-                self._error("unterminated quoted identifier")
-            char = self._peek()
-            if char == '"':
-                if self._peek(1) == '"':
-                    value_chars.append('"')
-                    self._advance(2)
-                    continue
-                self._advance()
-                break
-            value_chars.append(char)
-            self._advance()
-        self._emit(
-            TokenType.QUOTED_IDENTIFIER, "".join(value_chars), start, line, column
-        )
-
-    def _is_dollar_quote_start(self):
-        # $$ or $tag$ where tag is alphanumeric/underscore
-        if self._peek(1) == "$":
-            return True
-        offset = 1
-        while True:
-            char = self._peek(offset)
-            if char == "$":
-                return offset > 1
-            if not (char.isalnum() or char == "_"):
-                return False
-            offset += 1
-
-    def _scan_dollar_string(self):
-        start, line, column = self.pos, self.line, self.column
-        end_of_tag = self.sql.index("$", self.pos + 1)
-        tag = self.sql[self.pos : end_of_tag + 1]
-        self._advance(len(tag))
-        closing = self.sql.find(tag, self.pos)
-        if closing < 0:
-            self._error("unterminated dollar-quoted string")
-        value = self.sql[self.pos : closing]
-        self._advance(len(value) + len(tag))
-        self._emit(TokenType.STRING, value, start, line, column)
-
-    def _scan_number(self):
-        start, line, column = self.pos, self.line, self.column
-        seen_dot = False
-        seen_exponent = False
-        while self.pos < self.length:
-            char = self._peek()
-            if char.isdigit():
-                self._advance()
-            elif char == "." and not seen_dot and not seen_exponent:
-                seen_dot = True
-                self._advance()
-            elif char in "eE" and not seen_exponent and self._peek(1).isdigit():
-                seen_exponent = True
-                self._advance(2)
-            elif (
-                char in "eE"
-                and not seen_exponent
-                and self._peek(1) in "+-"
-                and self._peek(2).isdigit()
-            ):
-                seen_exponent = True
-                self._advance(3)
-            else:
-                break
-        self._emit(TokenType.NUMBER, self.sql[start : self.pos], start, line, column)
-
-    def _scan_word(self):
-        start, line, column = self.pos, self.line, self.column
-        while self.pos < self.length and (
-            self._peek().isalnum() or self._peek() in "_$"
-        ):
-            self._advance()
-        word = self.sql[start : self.pos]
-        upper = word.upper()
-        if upper in KEYWORDS:
-            self._emit(TokenType.KEYWORD, upper, start, line, column)
-        else:
-            self._emit(TokenType.IDENTIFIER, word, start, line, column)
-
-    def _scan_positional_parameter(self):
-        start, line, column = self.pos, self.line, self.column
-        self._advance()
-        while self.pos < self.length and self._peek().isdigit():
-            self._advance()
-        self._emit(
-            TokenType.PARAMETER, self.sql[start : self.pos], start, line, column
-        )
-
-    def _scan_named_parameter(self):
-        start, line, column = self.pos, self.line, self.column
-        self._advance()
-        while self.pos < self.length and (self._peek().isalnum() or self._peek() == "_"):
-            self._advance()
-        self._emit(
-            TokenType.PARAMETER, self.sql[start : self.pos], start, line, column
-        )
-
-    def _scan_pyformat_parameter(self):
-        start, line, column = self.pos, self.line, self.column
-        closing = self.sql.find(")s", self.pos)
-        if closing < 0:
-            self._error("unterminated pyformat parameter")
-        self._advance(closing + 2 - self.pos)
-        self._emit(
-            TokenType.PARAMETER, self.sql[start : self.pos], start, line, column
-        )
-
-    def _scan_punctuation(self):
-        start, line, column = self.pos, self.line, self.column
-        char = self._peek()
-        if char == ",":
-            self._advance()
-            self._emit(TokenType.COMMA, ",", start, line, column)
-            return
-        if char == ".":
-            self._advance()
-            self._emit(TokenType.DOT, ".", start, line, column)
-            return
-        if char == "(":
-            self._advance()
-            self._emit(TokenType.LPAREN, "(", start, line, column)
-            return
-        if char == ")":
-            self._advance()
-            self._emit(TokenType.RPAREN, ")", start, line, column)
-            return
-        if char == ";":
-            self._advance()
-            self._emit(TokenType.SEMICOLON, ";", start, line, column)
-            return
-        if char == "*":
-            self._advance()
-            self._emit(TokenType.STAR, "*", start, line, column)
-            return
-        for operator in MULTI_CHAR_OPERATORS:
-            if self._starts_with(operator):
-                self._advance(len(operator))
-                self._emit(TokenType.OPERATOR, operator, start, line, column)
-                return
-        if char in SINGLE_CHAR_OPERATORS or char == ":":
-            self._advance()
-            self._emit(TokenType.OPERATOR, char, start, line, column)
-            return
-        self._error(f"unexpected character {char!r}")
+        return scan

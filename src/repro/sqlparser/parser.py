@@ -96,43 +96,62 @@ class Parser:
 
     def __init__(self, sql, keep_comments=False):
         self.sql = sql
-        self.tokens = [
-            token
-            for token in tokenize(sql, keep_comments=keep_comments)
-            if token.type != TokenType.COMMENT
-        ]
+        tokens = tokenize(sql, keep_comments=keep_comments)
+        if keep_comments:
+            # the lexer only emits COMMENT tokens when asked to keep them;
+            # the parser itself never consumes comments either way
+            tokens = [token for token in tokens if token.type != TokenType.COMMENT]
+        self.tokens = tokens
         self.index = 0
 
     # ------------------------------------------------------------------
     # Token-stream helpers
+    #
+    # The stream always ends with an EOF token that ``_advance`` never
+    # moves past, so ``tokens[index]`` is valid without bounds clamping —
+    # these helpers are the parser's innermost loop (hundreds of thousands
+    # of calls per script) and stay branch-minimal on purpose.
     # ------------------------------------------------------------------
     def _peek(self, offset=0):
-        index = min(self.index + offset, len(self.tokens) - 1)
-        return self.tokens[index]
+        tokens = self.tokens
+        index = self.index + offset
+        if index >= len(tokens):
+            return tokens[-1]
+        return tokens[index]
 
     def _current(self):
-        return self._peek(0)
+        return self.tokens[self.index]
 
     def _advance(self):
-        token = self._current()
-        if self.index < len(self.tokens) - 1:
-            self.index += 1
+        index = self.index
+        tokens = self.tokens
+        token = tokens[index]
+        if index < len(tokens) - 1:
+            self.index = index + 1
         return token
 
     def _at_keyword(self, *names):
-        return self._current().is_keyword(*names)
+        token = self.tokens[self.index]
+        return token.type is TokenType.KEYWORD and token.value in names
 
     def _at_type(self, token_type):
-        return self._current().type == token_type
+        return self.tokens[self.index].type is token_type
 
     def _match_keyword(self, *names):
-        if self._at_keyword(*names):
-            return self._advance()
+        token = self.tokens[self.index]
+        if token.type is TokenType.KEYWORD and token.value in names:
+            # a KEYWORD is never the trailing EOF token, so the bounds
+            # guard of _advance is unnecessary
+            self.index += 1
+            return token
         return None
 
     def _match_type(self, token_type):
-        if self._at_type(token_type):
-            return self._advance()
+        token = self.tokens[self.index]
+        if token.type is token_type:
+            if token_type is not TokenType.EOF:
+                self.index += 1
+            return token
         return None
 
     def _expect_keyword(self, *names):
@@ -158,9 +177,13 @@ class Parser:
     # Identifiers and names
     # ------------------------------------------------------------------
     def _parse_identifier(self):
-        token = self._current()
-        if token.type in (TokenType.IDENTIFIER, TokenType.QUOTED_IDENTIFIER):
-            self._advance()
+        token = self.tokens[self.index]
+        token_type = token.type
+        if (
+            token_type is TokenType.IDENTIFIER
+            or token_type is TokenType.QUOTED_IDENTIFIER
+        ):
+            self.index += 1
             return token.value
         # Allow non-reserved-looking keywords to double as identifiers in a
         # pinch (e.g. a column called "year" would be an IDENTIFIER already,
@@ -189,7 +212,7 @@ class Parser:
                 # returning what we have (only reachable from expressions)
                 break
             parts.append(self._parse_identifier())
-        return ast.QualifiedName(parts=parts)
+        return ast.QualifiedName(parts)
 
     # ------------------------------------------------------------------
     # Script / statements
@@ -658,7 +681,7 @@ class Parser:
             rows = self._parse_values_rows()
             # represent a top-level VALUES as a Select over a ValuesSource
             source = ast.ValuesSource(rows=rows, alias="values")
-            projections = [ast.Projection(expression=ast.Star())]
+            projections = [ast.Projection(ast.Star())]
             return ast.Select(projections=projections, from_sources=[source])
         if self._at_keyword("WITH"):
             return self.parse_query_expression()
@@ -752,10 +775,10 @@ class Parser:
     def _parse_projection(self):
         if self._at_type(TokenType.STAR):
             self._advance()
-            return ast.Projection(expression=ast.Star())
+            return ast.Projection(ast.Star())
         expression = self.parse_expression()
         alias = self._parse_optional_alias()
-        return ast.Projection(expression=expression, alias=alias)
+        return ast.Projection(expression, alias)
 
     def _parse_optional_alias(self):
         if self._match_keyword("AS"):
@@ -889,56 +912,81 @@ class Parser:
 
     # ------------------------------------------------------------------
     # Expressions (precedence climbing)
+    #
+    # Boolean keywords (OR < AND) and the plain binary operators
+    # (comparison < additive < multiplicative) each climb a small
+    # precedence table inside one loop instead of one recursion level per
+    # tier — expression parsing is the parser's hottest region, and the
+    # old eight-deep descent paid for every tier on every operand even
+    # when nothing at that tier appeared.  The resulting trees are
+    # identical (left-associative at every level).
     # ------------------------------------------------------------------
     def parse_expression(self):
         """Parse a scalar expression (entry point: OR precedence level)."""
-        return self._parse_or()
+        return self._parse_bool(1)
 
-    def _parse_or(self):
-        left = self._parse_and()
-        while self._at_keyword("OR"):
-            self._advance()
-            right = self._parse_and()
-            left = ast.BinaryOp(operator="OR", left=left, right=right)
-        return left
-
-    def _parse_and(self):
+    def _parse_bool(self, min_precedence):
         left = self._parse_not()
-        while self._at_keyword("AND"):
+        tokens = self.tokens
+        while True:
+            token = tokens[self.index]
+            if token.type is not TokenType.KEYWORD:
+                break
+            if token.value == "AND":
+                precedence = 2
+            elif token.value == "OR":
+                precedence = 1
+            else:
+                break
+            if precedence < min_precedence:
+                break
             self._advance()
-            right = self._parse_not()
-            left = ast.BinaryOp(operator="AND", left=left, right=right)
+            right = self._parse_bool(precedence + 1)
+            left = ast.BinaryOp(token.value, left, right)
         return left
 
     def _parse_not(self):
-        if self._at_keyword("NOT") and not self._peek(1).is_keyword("EXISTS"):
+        token = self.tokens[self.index]
+        if (
+            token.type is TokenType.KEYWORD
+            and token.value == "NOT"
+            and not self._peek(1).is_keyword("EXISTS")
+        ):
             self._advance()
             operand = self._parse_not()
             return ast.UnaryOp(operator="NOT", operand=operand)
         return self._parse_comparison()
 
+    #: comparison (and regex-match) operators handled at the predicate level.
+    _COMPARISON_OPS = frozenset(
+        ("=", "<", ">", "<=", ">=", "<>", "!=", "~", "~*", "!~", "!~*")
+    )
+
+    #: keywords that continue a predicate; anything else ends the level.
+    _PREDICATE_KEYWORDS = frozenset(
+        ("IS", "NOT", "IN", "BETWEEN", "LIKE", "ILIKE", "SIMILAR")
+    )
+
     def _parse_comparison(self):
-        left = self._parse_additive()
+        left = self._parse_binary(2)
+        comparison_ops = self._COMPARISON_OPS
+        predicate_keywords = self._PREDICATE_KEYWORDS
         while True:
             token = self._current()
-            if token.type == TokenType.OPERATOR and token.value in (
-                "=",
-                "<",
-                ">",
-                "<=",
-                ">=",
-                "<>",
-                "!=",
-                "~",
-                "~*",
-                "!~",
-                "!~*",
-            ):
+            token_type = token.type
+            if token_type is TokenType.OPERATOR and token.value in comparison_ops:
                 self._advance()
-                right = self._parse_additive()
-                left = ast.BinaryOp(operator=token.value, left=left, right=right)
+                right = self._parse_binary(2)
+                left = ast.BinaryOp(token.value, left, right)
                 continue
-            if token.is_keyword("IS"):
+            # one membership probe replaces a cascade of is_keyword calls
+            # on the (overwhelmingly common) loop exit
+            if (
+                token_type is not TokenType.KEYWORD
+                or token.value not in predicate_keywords
+            ):
+                break
+            if token.value == "IS":
                 self._advance()
                 negated = bool(self._match_keyword("NOT"))
                 if self._match_keyword("NULL"):
@@ -948,13 +996,13 @@ class Parser:
                 elif self._at_type(TokenType.IDENTIFIER) and self._current().value.upper() == "DISTINCT":
                     self._advance()
                     self._expect_keyword("FROM")
-                    right = self._parse_additive()
+                    right = self._parse_binary(2)
                     left = ast.BinaryOp(
                         operator="IS DISTINCT FROM", left=left, right=right
                     )
                 elif self._match_keyword("DISTINCT"):
                     self._expect_keyword("FROM")
-                    right = self._parse_additive()
+                    right = self._parse_binary(2)
                     left = ast.BinaryOp(
                         operator="IS DISTINCT FROM", left=left, right=right
                     )
@@ -973,14 +1021,14 @@ class Parser:
                 continue
             if token.is_keyword("BETWEEN"):
                 self._advance()
-                low = self._parse_additive()
+                low = self._parse_binary(2)
                 self._expect_keyword("AND")
-                high = self._parse_additive()
+                high = self._parse_binary(2)
                 left = ast.BetweenExpr(operand=left, low=low, high=high, negated=negated)
                 continue
             if token.is_keyword("LIKE", "ILIKE"):
                 operator = self._advance().value
-                pattern = self._parse_additive()
+                pattern = self._parse_binary(2)
                 left = ast.LikeExpr(
                     operand=left, pattern=pattern, operator=operator, negated=negated
                 )
@@ -990,7 +1038,7 @@ class Parser:
                 # SIMILAR TO — "TO" lexes as an identifier (not reserved)
                 if self._at_type(TokenType.IDENTIFIER) and self._current().value.upper() == "TO":
                     self._advance()
-                pattern = self._parse_additive()
+                pattern = self._parse_binary(2)
                 left = ast.LikeExpr(
                     operand=left, pattern=pattern, operator="SIMILAR TO", negated=negated
                 )
@@ -1012,58 +1060,58 @@ class Parser:
         self._expect_type(TokenType.RPAREN, "')'")
         return ast.InExpr(operand=operand, values=values, negated=negated)
 
-    def _parse_additive(self):
-        left = self._parse_multiplicative()
-        while True:
-            token = self._current()
-            if token.type == TokenType.OPERATOR and token.value in (
-                "+",
-                "-",
-                "||",
-                "&",
-                "|",
-                "#",
-                "->",
-                "->>",
-                "#>",
-                "#>>",
-            ):
-                self._advance()
-                right = self._parse_multiplicative()
-                left = ast.BinaryOp(operator=token.value, left=left, right=right)
-            else:
-                break
-        return left
+    #: additive (2) and multiplicative (3) operator precedences; comparison
+    #: operators are handled by :meth:`_parse_comparison` and ``*`` arrives
+    #: as a STAR token (see _parse_binary).
+    _BINARY_PRECEDENCE = {
+        "+": 2, "-": 2, "||": 2, "&": 2, "|": 2, "#": 2,
+        "->": 2, "->>": 2, "#>": 2, "#>>": 2,
+        "/": 3, "%": 3, "^": 3,
+    }
 
-    def _parse_multiplicative(self):
+    def _parse_binary(self, min_precedence):
+        """Precedence-climb the additive/multiplicative operator tiers."""
         left = self._parse_unary()
+        tokens = self.tokens
+        precedences = self._BINARY_PRECEDENCE
         while True:
-            token = self._current()
-            if token.type == TokenType.STAR or (
-                token.type == TokenType.OPERATOR and token.value in ("/", "%", "^")
-            ):
-                operator = "*" if token.type == TokenType.STAR else token.value
-                self._advance()
-                right = self._parse_unary()
-                left = ast.BinaryOp(operator=operator, left=left, right=right)
+            token = tokens[self.index]
+            token_type = token.type
+            if token_type is TokenType.STAR:
+                operator = "*"
+                precedence = 3
+            elif token_type is TokenType.OPERATOR:
+                operator = token.value
+                precedence = precedences.get(operator)
+                if precedence is None:
+                    break
             else:
                 break
+            if precedence < min_precedence:
+                break
+            self._advance()
+            right = self._parse_binary(precedence + 1)
+            left = ast.BinaryOp(operator, left, right)
         return left
 
     def _parse_unary(self):
-        token = self._current()
-        if token.type == TokenType.OPERATOR and token.value in ("-", "+"):
-            self._advance()
-            operand = self._parse_unary()
-            return ast.UnaryOp(operator=token.value, operand=operand)
-        return self._parse_cast_suffix()
-
-    def _parse_cast_suffix(self):
+        token = self.tokens[self.index]
+        if token.type is TokenType.OPERATOR:
+            value = token.value
+            if value == "-" or value == "+":
+                self._advance()
+                operand = self._parse_unary()
+                return ast.UnaryOp(value, operand)
         expression = self._parse_primary()
-        while self._at_type(TokenType.OPERATOR) and self._current().value == "::":
-            self._advance()
-            type_name = self._parse_type_name()
-            expression = ast.Cast(operand=expression, type_name=type_name)
+        # the PostgreSQL ``expr::type`` cast suffix binds tightest of all
+        tokens = self.tokens
+        while True:
+            token = tokens[self.index]
+            if token.type is TokenType.OPERATOR and token.value == "::":
+                self._advance()
+                expression = ast.Cast(expression, self._parse_type_name())
+            else:
+                break
         return expression
 
     # -- Primary expressions ---------------------------------------------
@@ -1072,11 +1120,11 @@ class Parser:
 
         if token.type == TokenType.STRING:
             self._advance()
-            return ast.Literal(value=token.value, kind="string")
+            return ast.Literal(token.value, "string")
         if token.type == TokenType.NUMBER:
             self._advance()
             value = float(token.value) if "." in token.value or "e" in token.value.lower() else int(token.value)
-            return ast.Literal(value=value, kind="number")
+            return ast.Literal(value, "number")
         if token.type == TokenType.PARAMETER:
             self._advance()
             return ast.Parameter(name=token.value)
@@ -1158,20 +1206,21 @@ class Parser:
         self._error("unexpected token in expression")
 
     def _parse_identifier_expression(self):
+        tokens = self.tokens
         parts = [self._parse_identifier()]
-        while self._at_type(TokenType.DOT):
-            self._advance()
-            if self._at_type(TokenType.STAR):
-                self._advance()
-                return ast.Star(qualifier=parts)
+        while tokens[self.index].type is TokenType.DOT:
+            self.index += 1
+            if tokens[self.index].type is TokenType.STAR:
+                self.index += 1
+                return ast.Star(parts)
             parts.append(self._parse_identifier())
-        if self._at_type(TokenType.LPAREN):
+        if tokens[self.index].type is TokenType.LPAREN:
             arguments, is_star = self._parse_call_arguments()
             call = ast.FunctionCall(
                 name=".".join(parts), args=arguments, is_star_arg=is_star
             )
             return self._parse_call_suffix(call)
-        return ast.ColumnRef(name=parts[-1], qualifier=parts[:-1])
+        return ast.ColumnRef(parts[-1], parts[:-1])
 
     def _parse_call_arguments(self):
         self._expect_type(TokenType.LPAREN, "'('")

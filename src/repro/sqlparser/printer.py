@@ -4,7 +4,19 @@ The printer produces canonical, single-line SQL that can be re-parsed by
 :mod:`repro.sqlparser.parser`.  It is used by the round-trip property tests,
 by the EXPLAIN simulator (to display plan steps), and by the dbt wrapper when
 it materialises compiled model text.
+
+Implementation: the renderer *streams* — every method writes string pieces
+into a sink callable instead of composing and returning intermediate
+strings, so one render of a statement allocates a single flat piece list
+joined exactly once.  :func:`canonical_sql_and_hash` rides the same pass to
+produce the canonical text *and* its content hash together (the fingerprint
+the incremental layer and the persistent store key on), eliminating the
+separate print-then-hash passes the cold path used to pay.  The hash input
+is byte-identical to the historical ``sha256(kind + "\\0" + sql)`` form, so
+existing store keys remain valid.
 """
+
+import hashlib
 
 from . import ast_nodes as ast
 from .dialect import quote_identifier, quote_literal
@@ -12,380 +24,545 @@ from .dialect import quote_identifier, quote_literal
 
 def to_sql(node):
     """Render ``node`` (a statement, query or expression) as SQL text."""
-    return _Printer().render(node)
+    pieces = []
+    _Printer(pieces.append).render(node)
+    return "".join(pieces)
+
+
+def canonical_sql_and_hash(node, kind):
+    """One pass over ``node``: ``(canonical_sql, content_hash)``.
+
+    ``content_hash`` is ``sha256(kind || "\\0" || canonical_sql)`` — exactly
+    the fingerprint :attr:`repro.core.preprocess.ParsedQuery.content_hash`
+    exposes, computed here without re-rendering or re-walking the AST.
+    """
+    pieces = []
+    _Printer(pieces.append).render(node)
+    sql = "".join(pieces)
+    return sql, content_hash_of(sql, kind)
+
+
+def content_hash_of(sql, kind):
+    """The content hash of already-canonical SQL text (replayed records)."""
+    digest = hashlib.sha256()
+    digest.update(kind.encode("utf-8"))
+    digest.update(b"\0")
+    digest.update(sql.encode("utf-8"))
+    return digest.hexdigest()
+
+
+#: (node class) -> unbound renderer function, resolved once per class.
+_DISPATCH = {}
 
 
 class _Printer:
-    """Stateless recursive SQL renderer."""
+    """Streaming recursive SQL renderer over a ``write(piece)`` sink."""
+
+    __slots__ = ("_write",)
+
+    def __init__(self, write):
+        self._write = write
 
     # ------------------------------------------------------------------
     def render(self, node):
         if node is None:
-            return ""
-        method = getattr(self, f"_render_{type(node).__name__}", None)
+            return
+        cls = type(node)
+        method = _DISPATCH.get(cls)
         if method is None:
-            raise TypeError(f"cannot render node of type {type(node).__name__}")
-        return method(node)
+            method = getattr(_Printer, f"_render_{cls.__name__}", None)
+            if method is None:
+                raise TypeError(f"cannot render node of type {cls.__name__}")
+            _DISPATCH[cls] = method
+        method(self, node)
+
+    def _render_list(self, items, separator=", "):
+        write = self._write
+        for index, item in enumerate(items):
+            if index:
+                write(separator)
+            self.render(item)
+
+    def _write_identifiers(self, names, separator=", "):
+        write = self._write
+        for index, name in enumerate(names):
+            if index:
+                write(separator)
+            write(quote_identifier(name))
 
     # -- names -----------------------------------------------------------
     def _render_QualifiedName(self, node):
-        return ".".join(quote_identifier(part) for part in node.parts)
+        self._write_identifiers(node.parts, separator=".")
 
     # -- statements -------------------------------------------------------
     def _render_QueryStatement(self, node):
-        return self.render(node.query)
+        self.render(node.query)
 
     def _render_CreateView(self, node):
-        pieces = ["CREATE"]
+        write = self._write
+        write("CREATE ")
         if node.or_replace:
-            pieces.append("OR REPLACE")
+            write("OR REPLACE ")
         if node.materialized:
-            pieces.append("MATERIALIZED")
-        pieces.append("VIEW")
-        pieces.append(self.render(node.name))
+            write("MATERIALIZED ")
+        write("VIEW ")
+        self._render_QualifiedName(node.name)
         if node.column_names:
-            pieces.append("(" + ", ".join(quote_identifier(c) for c in node.column_names) + ")")
-        pieces.append("AS")
-        pieces.append(self.render(node.query))
-        return " ".join(pieces)
+            write(" (")
+            self._write_identifiers(node.column_names)
+            write(")")
+        write(" AS ")
+        self.render(node.query)
 
     def _render_CreateTableAs(self, node):
-        pieces = ["CREATE"]
+        write = self._write
+        write("CREATE ")
         if node.temporary:
-            pieces.append("TEMP")
-        pieces.append("TABLE")
+            write("TEMP ")
+        write("TABLE ")
         if node.if_not_exists:
-            pieces.append("IF NOT EXISTS")
-        pieces.append(self.render(node.name))
-        pieces.append("AS")
-        pieces.append(self.render(node.query))
-        return " ".join(pieces)
+            write("IF NOT EXISTS ")
+        self._render_QualifiedName(node.name)
+        write(" AS ")
+        self.render(node.query)
 
     def _render_CreateTable(self, node):
-        columns = ", ".join(
-            f"{quote_identifier(column.name)} {column.type_name}".strip()
-            for column in node.columns
-        )
-        prefix = "CREATE TEMP TABLE" if node.temporary else "CREATE TABLE"
+        write = self._write
+        write("CREATE TEMP TABLE" if node.temporary else "CREATE TABLE")
         if node.if_not_exists:
-            prefix += " IF NOT EXISTS"
-        return f"{prefix} {self.render(node.name)} ({columns})"
+            write(" IF NOT EXISTS")
+        write(" ")
+        self._render_QualifiedName(node.name)
+        write(" (")
+        for index, column in enumerate(node.columns):
+            if index:
+                write(", ")
+            write(f"{quote_identifier(column.name)} {column.type_name}".strip())
+        write(")")
 
     def _render_InsertStatement(self, node):
-        pieces = ["INSERT INTO", self.render(node.table)]
+        write = self._write
+        write("INSERT INTO ")
+        self._render_QualifiedName(node.table)
         if node.columns:
-            pieces.append("(" + ", ".join(quote_identifier(c) for c in node.columns) + ")")
+            write(" (")
+            self._write_identifiers(node.columns)
+            write(")")
         if node.query is not None:
-            pieces.append(self.render(node.query))
+            write(" ")
+            self.render(node.query)
         elif node.values:
-            rows = ", ".join(
-                "(" + ", ".join(self.render(v) for v in row) + ")" for row in node.values
-            )
-            pieces.append("VALUES " + rows)
-        return " ".join(pieces)
+            write(" VALUES ")
+            self._render_value_rows(node.values)
+
+    def _render_value_rows(self, rows):
+        write = self._write
+        for index, row in enumerate(rows):
+            if index:
+                write(", ")
+            write("(")
+            self._render_list(row)
+            write(")")
 
     def _render_UpdateStatement(self, node):
-        pieces = ["UPDATE", self.render(node.table)]
+        write = self._write
+        write("UPDATE ")
+        self._render_QualifiedName(node.table)
         if node.alias:
-            pieces.append(f"AS {quote_identifier(node.alias)}")
-        assignments = ", ".join(
-            f"{quote_identifier(column)} = {self.render(expression)}"
-            for column, expression in node.assignments
-        )
-        pieces.append("SET " + assignments)
+            write(f" AS {quote_identifier(node.alias)}")
+        write(" SET ")
+        for index, (column, expression) in enumerate(node.assignments):
+            if index:
+                write(", ")
+            write(quote_identifier(column))
+            write(" = ")
+            self.render(expression)
         if node.from_sources:
-            pieces.append("FROM " + ", ".join(self.render(s) for s in node.from_sources))
+            write(" FROM ")
+            self._render_list(node.from_sources)
         if node.where is not None:
-            pieces.append("WHERE " + self.render(node.where))
-        return " ".join(pieces)
+            write(" WHERE ")
+            self.render(node.where)
 
     def _render_DeleteStatement(self, node):
-        pieces = ["DELETE FROM", self.render(node.table)]
+        write = self._write
+        write("DELETE FROM ")
+        self._render_QualifiedName(node.table)
         if node.alias:
-            pieces.append(f"AS {quote_identifier(node.alias)}")
+            write(f" AS {quote_identifier(node.alias)}")
         if node.using_sources:
-            pieces.append("USING " + ", ".join(self.render(s) for s in node.using_sources))
+            write(" USING ")
+            self._render_list(node.using_sources)
         if node.where is not None:
-            pieces.append("WHERE " + self.render(node.where))
-        return " ".join(pieces)
+            write(" WHERE ")
+            self.render(node.where)
 
     def _render_DropStatement(self, node):
-        pieces = ["DROP", node.object_type]
+        write = self._write
+        write("DROP ")
+        write(node.object_type)
         if node.if_exists:
-            pieces.append("IF EXISTS")
-        pieces.append(self.render(node.name))
+            write(" IF EXISTS")
+        write(" ")
+        self._render_QualifiedName(node.name)
         if node.cascade:
-            pieces.append("CASCADE")
-        return " ".join(pieces)
+            write(" CASCADE")
 
     # -- query expressions --------------------------------------------------
     def _render_Select(self, node):
-        pieces = []
+        write = self._write
         if node.ctes:
-            pieces.append(self._render_with(node.ctes, node.recursive))
-        pieces.append("SELECT")
+            self._render_with(node.ctes, node.recursive)
+            write(" ")
+        write("SELECT")
         if node.distinct:
             if node.distinct_on:
-                pieces.append(
-                    "DISTINCT ON ("
-                    + ", ".join(self.render(e) for e in node.distinct_on)
-                    + ")"
-                )
+                write(" DISTINCT ON (")
+                self._render_list(node.distinct_on)
+                write(")")
             else:
-                pieces.append("DISTINCT")
-        pieces.append(", ".join(self.render(p) for p in node.projections))
+                write(" DISTINCT")
+        if node.projections:
+            write(" ")
+            self._render_list(node.projections)
         if node.from_sources:
-            pieces.append("FROM")
-            pieces.append(", ".join(self.render(s) for s in node.from_sources))
+            write(" FROM ")
+            self._render_list(node.from_sources)
         if node.where is not None:
-            pieces.append("WHERE " + self.render(node.where))
+            write(" WHERE ")
+            self.render(node.where)
         if node.group_by:
-            pieces.append("GROUP BY " + ", ".join(self.render(e) for e in node.group_by))
+            write(" GROUP BY ")
+            self._render_list(node.group_by)
         if node.having is not None:
-            pieces.append("HAVING " + self.render(node.having))
+            write(" HAVING ")
+            self.render(node.having)
         if node.windows:
-            rendered = ", ".join(
-                f"{quote_identifier(name)} AS ({self._render_window_body(spec)})"
-                for name, spec in node.windows
-            )
-            pieces.append("WINDOW " + rendered)
-        pieces.append(self._render_trailing(node))
-        return " ".join(piece for piece in pieces if piece)
+            write(" WINDOW ")
+            for index, (name, spec) in enumerate(node.windows):
+                if index:
+                    write(", ")
+                write(quote_identifier(name))
+                write(" AS (")
+                self._render_window_body(spec)
+                write(")")
+        self._render_trailing(node)
 
     def _render_SetOperation(self, node):
-        pieces = []
+        write = self._write
         if node.ctes:
-            pieces.append(self._render_with(node.ctes, False))
-        operator = node.operator + (" ALL" if node.all else "")
-        left = self.render(node.left)
-        right = self.render(node.right)
+            self._render_with(node.ctes, False)
+            write(" ")
+        self.render(node.left)
+        write(" ")
+        write(node.operator)
+        if node.all:
+            write(" ALL")
+        write(" ")
         if isinstance(node.right, ast.SetOperation):
-            right = f"({right})"
-        pieces.append(f"{left} {operator} {right}")
-        pieces.append(self._render_trailing(node))
-        return " ".join(piece for piece in pieces if piece)
+            write("(")
+            self.render(node.right)
+            write(")")
+        else:
+            self.render(node.right)
+        self._render_trailing(node)
 
     def _render_with(self, ctes, recursive):
-        keyword = "WITH RECURSIVE" if recursive else "WITH"
-        rendered = []
-        for cte in ctes:
-            header = quote_identifier(cte.name)
+        write = self._write
+        write("WITH RECURSIVE " if recursive else "WITH ")
+        for index, cte in enumerate(ctes):
+            if index:
+                write(", ")
+            write(quote_identifier(cte.name))
             if cte.column_names:
-                header += "(" + ", ".join(quote_identifier(c) for c in cte.column_names) + ")"
-            rendered.append(f"{header} AS ({self.render(cte.query)})")
-        return f"{keyword} " + ", ".join(rendered)
+                write("(")
+                self._write_identifiers(cte.column_names)
+                write(")")
+            write(" AS (")
+            self.render(cte.query)
+            write(")")
 
     def _render_trailing(self, node):
-        pieces = []
-        if getattr(node, "order_by", None):
-            pieces.append(
-                "ORDER BY " + ", ".join(self.render(item) for item in node.order_by)
-            )
-        if getattr(node, "limit", None) is not None:
-            pieces.append("LIMIT " + self.render(node.limit))
-        if getattr(node, "offset", None) is not None:
-            pieces.append("OFFSET " + self.render(node.offset))
-        return " ".join(pieces)
+        write = self._write
+        order_by = getattr(node, "order_by", None)
+        if order_by:
+            write(" ORDER BY ")
+            self._render_list(order_by)
+        limit = getattr(node, "limit", None)
+        if limit is not None:
+            write(" LIMIT ")
+            self.render(limit)
+        offset = getattr(node, "offset", None)
+        if offset is not None:
+            write(" OFFSET ")
+            self.render(offset)
 
     def _render_CTE(self, node):
-        return f"{quote_identifier(node.name)} AS ({self.render(node.query)})"
+        write = self._write
+        write(quote_identifier(node.name))
+        write(" AS (")
+        self.render(node.query)
+        write(")")
 
     def _render_Projection(self, node):
-        text = self.render(node.expression)
+        self.render(node.expression)
         if node.alias:
-            text += f" AS {quote_identifier(node.alias)}"
-        return text
+            self._write(f" AS {quote_identifier(node.alias)}")
 
     def _render_OrderByItem(self, node):
-        text = self.render(node.expression)
+        self.render(node.expression)
         if node.descending:
-            text += " DESC"
+            self._write(" DESC")
         if node.nulls:
-            text += f" NULLS {node.nulls}"
-        return text
+            self._write(f" NULLS {node.nulls}")
 
     # -- table sources --------------------------------------------------------
+    def _render_alias_suffix(self, alias, column_aliases):
+        write = self._write
+        if alias:
+            write(f" AS {quote_identifier(alias)}")
+            if column_aliases:
+                write("(")
+                self._write_identifiers(column_aliases)
+                write(")")
+
     def _render_TableRef(self, node):
-        text = self.render(node.name)
-        if node.alias:
-            text += f" AS {quote_identifier(node.alias)}"
-            if node.column_aliases:
-                text += "(" + ", ".join(quote_identifier(c) for c in node.column_aliases) + ")"
-        return text
+        self._render_QualifiedName(node.name)
+        self._render_alias_suffix(node.alias, node.column_aliases)
 
     def _render_SubquerySource(self, node):
-        text = f"({self.render(node.query)})"
+        write = self._write
         if node.lateral:
-            text = "LATERAL " + text
-        if node.alias:
-            text += f" AS {quote_identifier(node.alias)}"
-            if node.column_aliases:
-                text += "(" + ", ".join(quote_identifier(c) for c in node.column_aliases) + ")"
-        return text
+            write("LATERAL ")
+        write("(")
+        self.render(node.query)
+        write(")")
+        self._render_alias_suffix(node.alias, node.column_aliases)
 
     def _render_ValuesSource(self, node):
-        rows = ", ".join(
-            "(" + ", ".join(self.render(v) for v in row) + ")" for row in node.rows
-        )
-        text = f"(VALUES {rows})"
-        if node.alias:
-            text += f" AS {quote_identifier(node.alias)}"
-            if node.column_aliases:
-                text += "(" + ", ".join(quote_identifier(c) for c in node.column_aliases) + ")"
-        return text
+        write = self._write
+        write("(VALUES ")
+        self._render_value_rows(node.rows)
+        write(")")
+        self._render_alias_suffix(node.alias, node.column_aliases)
 
     def _render_FunctionSource(self, node):
-        text = self.render(node.function)
-        if node.alias:
-            text += f" AS {quote_identifier(node.alias)}"
-            if node.column_aliases:
-                text += "(" + ", ".join(quote_identifier(c) for c in node.column_aliases) + ")"
-        return text
+        self.render(node.function)
+        self._render_alias_suffix(node.alias, node.column_aliases)
 
     def _render_Join(self, node):
-        left = self.render(node.left)
-        right = self.render(node.right)
+        write = self._write
+        self.render(node.left)
         if node.join_type == "CROSS":
-            return f"{left} CROSS JOIN {right}"
+            write(" CROSS JOIN ")
+            self.render(node.right)
+            return
         keyword = "JOIN" if node.join_type == "INNER" else f"{node.join_type} JOIN"
         if node.natural:
             keyword = "NATURAL " + keyword
-        text = f"{left} {keyword} {right}"
+        write(" ")
+        write(keyword)
+        write(" ")
+        self.render(node.right)
         if node.condition is not None:
-            text += f" ON {self.render(node.condition)}"
+            write(" ON ")
+            self.render(node.condition)
         elif node.using_columns:
-            text += " USING (" + ", ".join(quote_identifier(c) for c in node.using_columns) + ")"
-        return text
+            write(" USING (")
+            self._write_identifiers(node.using_columns)
+            write(")")
 
     # -- expressions --------------------------------------------------------
     def _render_ColumnRef(self, node):
-        parts = list(node.qualifier) + [node.name]
-        return ".".join(quote_identifier(part) for part in parts)
+        write = self._write
+        for part in node.qualifier:
+            write(quote_identifier(part))
+            write(".")
+        write(quote_identifier(node.name))
 
     def _render_Star(self, node):
-        if node.qualifier:
-            return ".".join(quote_identifier(part) for part in node.qualifier) + ".*"
-        return "*"
+        write = self._write
+        for part in node.qualifier:
+            write(quote_identifier(part))
+            write(".")
+        write("*")
 
     def _render_Literal(self, node):
-        if node.kind == "null":
-            return "NULL"
-        if node.kind == "boolean":
-            return "TRUE" if node.value else "FALSE"
-        if node.kind == "number":
-            return str(node.value)
-        if node.kind == "interval":
-            return f"INTERVAL {quote_literal(node.value)}"
-        return quote_literal(node.value)
+        write = self._write
+        kind = node.kind
+        if kind == "null":
+            write("NULL")
+        elif kind == "boolean":
+            write("TRUE" if node.value else "FALSE")
+        elif kind == "number":
+            write(str(node.value))
+        elif kind == "interval":
+            write(f"INTERVAL {quote_literal(node.value)}")
+        else:
+            write(quote_literal(node.value))
 
     def _render_Parameter(self, node):
-        return node.name
+        self._write(node.name)
 
     def _render_FunctionCall(self, node):
+        write = self._write
         if (
             node.name.lower() in ("current_date", "current_time", "current_timestamp")
             and not node.args
             and node.over is None
             and node.filter_clause is None
         ):
-            return node.name.upper()
-        if node.is_star_arg:
-            inner = "*"
-        else:
-            inner = ", ".join(self.render(a) for a in node.args)
+            write(node.name.upper())
+            return
+        write(node.name)
+        write("(")
         if node.distinct:
-            inner = "DISTINCT " + inner
-        text = f"{node.name}({inner})"
+            write("DISTINCT ")
+        if node.is_star_arg:
+            write("*")
+        else:
+            self._render_list(node.args)
+        write(")")
         if node.filter_clause is not None:
-            text += f" FILTER (WHERE {self.render(node.filter_clause)})"
+            write(" FILTER (WHERE ")
+            self.render(node.filter_clause)
+            write(")")
         if node.over is not None:
-            text += f" OVER ({self._render_window_body(node.over)})"
-        return text
+            write(" OVER (")
+            self._render_window_body(node.over)
+            write(")")
 
     def _render_window_body(self, spec):
-        pieces = []
+        write = self._write
+        first = True
         if spec.name:
-            pieces.append(quote_identifier(spec.name))
+            write(quote_identifier(spec.name))
+            first = False
         if spec.partition_by:
-            pieces.append(
-                "PARTITION BY " + ", ".join(self.render(e) for e in spec.partition_by)
-            )
+            if not first:
+                write(" ")
+            write("PARTITION BY ")
+            self._render_list(spec.partition_by)
+            first = False
         if spec.order_by:
-            pieces.append(
-                "ORDER BY " + ", ".join(self.render(i) for i in spec.order_by)
-            )
+            if not first:
+                write(" ")
+            write("ORDER BY ")
+            self._render_list(spec.order_by)
+            first = False
         if spec.frame is not None:
-            pieces.append(f"{spec.frame.kind} {spec.frame.text}".strip())
-        return " ".join(pieces)
+            if not first:
+                write(" ")
+            write(f"{spec.frame.kind} {spec.frame.text}".strip())
 
     def _render_WindowSpec(self, node):
-        return self._render_window_body(node)
+        self._render_window_body(node)
 
     def _render_WindowFrame(self, node):
-        return f"{node.kind} {node.text}".strip()
+        self._write(f"{node.kind} {node.text}".strip())
 
     def _render_BinaryOp(self, node):
-        left = self.render(node.left)
-        right = self.render(node.right)
-        if node.operator in ("AND", "OR"):
-            return f"({left} {node.operator} {right})"
-        return f"{left} {node.operator} {right}"
+        write = self._write
+        wrap = node.operator in ("AND", "OR")
+        if wrap:
+            write("(")
+        self.render(node.left)
+        write(" ")
+        write(node.operator)
+        write(" ")
+        self.render(node.right)
+        if wrap:
+            write(")")
 
     def _render_UnaryOp(self, node):
+        write = self._write
         if node.operator == "NOT":
-            return f"NOT ({self.render(node.operand)})"
-        return f"{node.operator}{self.render(node.operand)}"
+            write("NOT (")
+            self.render(node.operand)
+            write(")")
+            return
+        write(node.operator)
+        self.render(node.operand)
 
     def _render_Case(self, node):
-        pieces = ["CASE"]
+        write = self._write
+        write("CASE")
         if node.operand is not None:
-            pieces.append(self.render(node.operand))
+            write(" ")
+            self.render(node.operand)
         for when in node.whens:
-            pieces.append(f"WHEN {self.render(when.condition)} THEN {self.render(when.result)}")
+            write(" WHEN ")
+            self.render(when.condition)
+            write(" THEN ")
+            self.render(when.result)
         if node.else_result is not None:
-            pieces.append(f"ELSE {self.render(node.else_result)}")
-        pieces.append("END")
-        return " ".join(pieces)
+            write(" ELSE ")
+            self.render(node.else_result)
+        write(" END")
 
     def _render_CaseWhen(self, node):
-        return f"WHEN {self.render(node.condition)} THEN {self.render(node.result)}"
+        write = self._write
+        write("WHEN ")
+        self.render(node.condition)
+        write(" THEN ")
+        self.render(node.result)
 
     def _render_Cast(self, node):
-        return f"CAST({self.render(node.operand)} AS {node.type_name})"
+        write = self._write
+        write("CAST(")
+        self.render(node.operand)
+        write(f" AS {node.type_name})")
 
     def _render_ExtractExpr(self, node):
-        return f"EXTRACT({node.part} FROM {self.render(node.operand)})"
+        write = self._write
+        write(f"EXTRACT({node.part} FROM ")
+        self.render(node.operand)
+        write(")")
 
     def _render_SubqueryExpr(self, node):
-        return f"({self.render(node.query)})"
+        write = self._write
+        write("(")
+        self.render(node.query)
+        write(")")
 
     def _render_ExistsExpr(self, node):
-        prefix = "NOT EXISTS" if node.negated else "EXISTS"
-        return f"{prefix} ({self.render(node.query)})"
+        write = self._write
+        write("NOT EXISTS (" if node.negated else "EXISTS (")
+        self.render(node.query)
+        write(")")
 
     def _render_InExpr(self, node):
-        keyword = "NOT IN" if node.negated else "IN"
+        write = self._write
+        self.render(node.operand)
+        write(" NOT IN (" if node.negated else " IN (")
         if node.query is not None:
-            return f"{self.render(node.operand)} {keyword} ({self.render(node.query)})"
-        values = ", ".join(self.render(v) for v in node.values)
-        return f"{self.render(node.operand)} {keyword} ({values})"
+            self.render(node.query)
+        else:
+            self._render_list(node.values)
+        write(")")
 
     def _render_BetweenExpr(self, node):
-        keyword = "NOT BETWEEN" if node.negated else "BETWEEN"
-        return (
-            f"{self.render(node.operand)} {keyword} "
-            f"{self.render(node.low)} AND {self.render(node.high)}"
-        )
+        write = self._write
+        self.render(node.operand)
+        write(" NOT BETWEEN " if node.negated else " BETWEEN ")
+        self.render(node.low)
+        write(" AND ")
+        self.render(node.high)
 
     def _render_IsNullExpr(self, node):
-        keyword = "IS NOT NULL" if node.negated else "IS NULL"
-        return f"{self.render(node.operand)} {keyword}"
+        self.render(node.operand)
+        self._write(" IS NOT NULL" if node.negated else " IS NULL")
 
     def _render_LikeExpr(self, node):
-        keyword = node.operator
-        if node.negated:
-            keyword = "NOT " + keyword
-        return f"{self.render(node.operand)} {keyword} {self.render(node.pattern)}"
+        write = self._write
+        self.render(node.operand)
+        write(" NOT " if node.negated else " ")
+        write(node.operator)
+        write(" ")
+        self.render(node.pattern)
 
     def _render_ExpressionList(self, node):
-        return "(" + ", ".join(self.render(item) for item in node.items) + ")"
+        write = self._write
+        write("(")
+        self._render_list(node.items)
+        write(")")

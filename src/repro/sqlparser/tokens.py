@@ -5,8 +5,18 @@ text, and its location in the source.  :class:`TokenType` enumerates the
 lexical categories the parser distinguishes.
 """
 
-from dataclasses import dataclass
 from enum import Enum, auto
+
+
+def source_location(source, position):
+    """``(line, column)`` (1-based) of character ``position`` in ``source``.
+
+    Computed on demand from the offset — the lexer's hot path only carries
+    offsets and defers line/column bookkeeping to error reporting.
+    """
+    line = source.count("\n", 0, position) + 1
+    column = position - source.rfind("\n", 0, position)
+    return line, column
 
 
 class TokenType(Enum):
@@ -147,7 +157,6 @@ MULTI_CHAR_OPERATORS = (
 SINGLE_CHAR_OPERATORS = frozenset("+-/%=<>^~&|#")
 
 
-@dataclass(frozen=True)
 class Token:
     """A single lexical token.
 
@@ -161,21 +170,64 @@ class Token:
         parser / name resolution code).
     position:
         0-based character offset of the first character in the source text.
-    line:
-        1-based line number.
-    column:
-        1-based column number.
+    line / column:
+        1-based source location.  Lazily derived from ``position`` against
+        the ``source`` text the lexer attaches — the scanner never pays for
+        per-character line tracking; the numbers only materialise when an
+        error message (or a caller) asks for them.  Explicit values may be
+        passed for tokens constructed without a source.
     """
 
-    type: TokenType
-    value: str
-    position: int = 0
-    line: int = 1
-    column: int = 1
+    __slots__ = ("type", "value", "position", "_source", "_line", "_column")
+
+    def __init__(self, type, value, position=0, source=None, line=None, column=None):
+        # the hot path (one call per token) stores exactly four slots;
+        # _line/_column stay unset until a property materialises them
+        self.type = type
+        self.value = value
+        self.position = position
+        self._source = source
+        if line is not None or column is not None:
+            # explicit location (tokens built without a source); the old
+            # dataclass defaulted each to 1
+            self._line = 1 if line is None else line
+            self._column = 1 if column is None else column
+
+    @property
+    def line(self):
+        try:
+            return self._line
+        except AttributeError:
+            self._line, self._column = source_location(
+                self._source or "", self.position
+            )
+        return self._line
+
+    @property
+    def column(self):
+        try:
+            return self._column
+        except AttributeError:
+            self._line, self._column = source_location(
+                self._source or "", self.position
+            )
+        return self._column
 
     def is_keyword(self, *names):
         """Return True if this token is a keyword with one of ``names``."""
         return self.type == TokenType.KEYWORD and self.value in names
+
+    def __eq__(self, other):
+        if not isinstance(other, Token):
+            return NotImplemented
+        return (
+            self.type == other.type
+            and self.value == other.value
+            and self.position == other.position
+        )
+
+    def __hash__(self):
+        return hash((self.type, self.value, self.position))
 
     def __repr__(self):  # pragma: no cover - debugging aid
         return f"Token({self.type.name}, {self.value!r})"

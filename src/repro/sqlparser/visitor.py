@@ -16,9 +16,8 @@ def walk(node):
     while stack:
         current = stack.pop()
         yield current
-        children = list(current.children())
         # push reversed so the leftmost child is yielded first
-        stack.extend(reversed(children))
+        stack.extend(reversed(current.children()))
 
 
 def walk_postorder(node):
@@ -71,12 +70,12 @@ def transform(node, function):
     """
     if node is None:
         return None
-    from dataclasses import fields
+    from .ast_nodes import field_names
 
-    for item in fields(node):
-        value = getattr(node, item.name)
+    for name in field_names(type(node)):
+        value = getattr(node, name)
         if isinstance(value, ast.Node):
-            setattr(node, item.name, transform(value, function))
+            setattr(node, name, transform(value, function))
         elif isinstance(value, list):
             new_list = []
             for element in value:
@@ -84,7 +83,7 @@ def transform(node, function):
                     new_list.append(transform(element, function))
                 else:
                     new_list.append(element)
-            setattr(node, item.name, new_list)
+            setattr(node, name, new_list)
     return function(node)
 
 

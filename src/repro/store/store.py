@@ -348,6 +348,48 @@ class LineageStore:
         self._used_source_keys.add(key)
         return records
 
+    def get_sources(self, keys):
+        """Batch-fetch parse-cache records: ``{key: records}`` for hits.
+
+        One chunked ``IN (...)`` SELECT per 400 keys replaces the
+        per-fragment point lookups of :meth:`get_source` — a warm start
+        over an N-fragment corpus costs ``ceil(N / 400)`` queries instead
+        of N.  Missing keys are simply absent from the result; decode
+        failures count as corrupt and are dropped (cold miss semantics).
+        """
+        keys = [str(key) for key in keys]
+        found = {}
+        if not keys:
+            return found
+        rows = []
+        with self._lock:
+            connection = self._connect()
+            if connection is None:
+                return found
+            try:
+                for start in range(0, len(keys), 400):
+                    batch = keys[start:start + 400]
+                    placeholders = ",".join("?" for _ in batch)
+                    rows.extend(
+                        connection.execute(
+                            "SELECT source_key, record FROM source_records "
+                            f"WHERE source_key IN ({placeholders})",
+                            batch,
+                        ).fetchall()
+                    )
+            except sqlite3.Error:
+                self.corrupt += 1
+                return found
+        for key, text in rows:
+            try:
+                records = json.loads(text)
+            except (TypeError, ValueError):
+                self.corrupt += 1
+                continue
+            found[key] = records
+            self._used_source_keys.add(key)
+        return found
+
     def put_source(self, key, records):
         """Store one source fragment's statement records (best-effort)."""
         try:
@@ -482,7 +524,14 @@ class LineageStore:
 
 
 class _ParseCache:
-    """Adapter binding a store + dialect to ``preprocess(parse_cache=...)``."""
+    """Adapter binding a store + dialect to ``preprocess(parse_cache=...)``.
+
+    ``preprocess`` announces the whole fragment list up front via
+    :meth:`prefetch`, which resolves every key in one batched read; the
+    subsequent per-fragment :meth:`get` calls are then pure dictionary
+    lookups (a key absent after a prefetch is a definitive miss — no
+    point query is issued for it).
+    """
 
     def __init__(self, store, dialect):
         from ..core.preprocess import PARSE_RECORD_VERSION
@@ -492,9 +541,19 @@ class _ParseCache:
         self._dialect = dialect
         self._version = PARSE_RECORD_VERSION
         self._key = source_key
+        self._prefetched = None
+
+    def prefetch(self, sqls):
+        """Bulk-resolve the parse records of every fragment in ``sqls``."""
+        keys = {self._key(sql, self._dialect, self._version) for sql in sqls}
+        self._prefetched = self._store.get_sources(keys)
+        return len(self._prefetched)
 
     def get(self, sql):
-        return self._store.get_source(self._key(sql, self._dialect, self._version))
+        key = self._key(sql, self._dialect, self._version)
+        if self._prefetched is not None:
+            return self._prefetched.get(key)
+        return self._store.get_source(key)
 
     def put(self, sql, records):
         return self._store.put_source(self._key(sql, self._dialect, self._version), records)

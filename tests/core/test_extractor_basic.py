@@ -23,7 +23,7 @@ from repro.sqlparser.visitor import query_of
 
 
 def extract(sql, provider=None, name="v", declared_columns=None, strict=False):
-    extractor = LineageExtractor(provider=provider, strict=strict)
+    extractor = LineageExtractor(provider=provider, strict=strict, collect_trace=True)
     statement = parse_one(sql)
     lineage, trace = extractor.extract(
         name, query_of(statement), declared_columns=declared_columns
@@ -95,6 +95,16 @@ class TestSelectRule:
         lineage, _ = extract("SELECT t.a AS x, u.b AS x FROM t, u")
         assert lineage.output_columns == ["x"]
         assert lineage.contributions["x"] == {col("t", "a"), col("u", "b")}
+
+    def test_duplicate_declared_column_names_collapse(self):
+        # a declared list can rename two projections to the same name; the
+        # lineage keeps one output column (the positional rename is
+        # last-wins for its sources, like a dict rebuild)
+        lineage, _ = extract(
+            "SELECT t.a, t.b FROM t", declared_columns=["x", "x"]
+        )
+        assert lineage.output_columns == ["x"]
+        assert lineage.contributions["x"] == {col("t", "b")}
 
     def test_select_rule_fires_per_projection(self):
         _, trace = extract("SELECT t.a, t.b, t.c FROM t")

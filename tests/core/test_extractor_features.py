@@ -18,7 +18,7 @@ def col(table, column):
 
 def extract(sql, catalog=None, strict=False, name="v"):
     provider = CatalogSchemaProvider(catalog) if catalog is not None else None
-    extractor = LineageExtractor(provider=provider, strict=strict)
+    extractor = LineageExtractor(provider=provider, strict=strict, collect_trace=True)
     lineage, trace = extractor.extract(name, query_of(parse_one(sql)))
     return lineage, trace
 

@@ -74,6 +74,11 @@ class TestLiterals:
     def test_tagged_dollar_quoted_string(self):
         assert token_values("$tag$a 'b' c$tag$") == [(TokenType.STRING, "a 'b' c")]
 
+    def test_unicode_tagged_dollar_quoted_string(self):
+        assert token_values("$étiquette$body$étiquette$") == [
+            (TokenType.STRING, "body")
+        ]
+
     def test_integer_literal(self):
         assert token_values("42") == [(TokenType.NUMBER, "42")]
 
@@ -150,6 +155,76 @@ class TestComments:
     def test_unterminated_block_comment_raises(self):
         with pytest.raises(TokenizeError):
             tokenize("a /* never closed")
+
+
+class TestCommentPositions:
+    """keep_comments=True must carry COMMENT tokens with exact positions.
+
+    The master-pattern scanner folds whitespace into token matches and
+    derives line/column lazily, so these tests pin that comment tokens
+    still report the offset/line/column of their first character and that
+    surrounding tokens are unaffected.
+    """
+
+    def _comments(self, sql):
+        return [t for t in tokenize(sql, keep_comments=True) if t.type == TokenType.COMMENT]
+
+    def test_line_comment_position(self):
+        sql = "SELECT a -- trailing note\nFROM t"
+        (comment,) = self._comments(sql)
+        assert comment.value == "-- trailing note"
+        assert comment.position == sql.index("--")
+        assert comment.line == 1
+        assert comment.column == sql.index("--") + 1
+
+    def test_line_comment_on_later_line(self):
+        sql = "SELECT a\nFROM t\n  -- here\nWHERE a > 1"
+        (comment,) = self._comments(sql)
+        assert comment.position == sql.index("--")
+        assert comment.line == 3
+        assert comment.column == 3
+
+    def test_block_comment_position_and_text(self):
+        sql = "SELECT /* mid\nline */ a FROM t"
+        (comment,) = self._comments(sql)
+        assert comment.value == "/* mid\nline */"
+        assert comment.position == sql.index("/*")
+        assert comment.line == 1
+        assert comment.column == 8
+
+    def test_nested_block_comment_kept_whole(self):
+        sql = "a /* x /* y */ z */ b"
+        (comment,) = self._comments(sql)
+        assert comment.value == "/* x /* y */ z */"
+        assert comment.position == 2
+
+    def test_comment_does_not_shift_following_tokens(self):
+        sql = "SELECT a -- note\nFROM t"
+        with_comments = tokenize(sql, keep_comments=True)
+        without = tokenize(sql)
+        stripped = [t for t in with_comments if t.type != TokenType.COMMENT]
+        assert [(t.type, t.value, t.position) for t in stripped] == [
+            (t.type, t.value, t.position) for t in without
+        ]
+        from_token = next(t for t in stripped if t.value == "FROM")
+        assert from_token.line == 2
+        assert from_token.column == 1
+
+    def test_multiple_comments_in_order(self):
+        sql = "-- first\nSELECT a /* second */ FROM t -- third"
+        comments = self._comments(sql)
+        assert [c.value for c in comments] == ["-- first", "/* second */", "-- third"]
+        assert [c.position for c in comments] == [
+            0,
+            sql.index("/*"),
+            sql.rindex("--"),
+        ]
+        assert [c.line for c in comments] == [1, 2, 2]
+
+    def test_comment_token_dropped_by_default(self):
+        assert self._comments("SELECT a FROM t") == []
+        tokens = tokenize("a -- note\n b")
+        assert all(t.type != TokenType.COMMENT for t in tokens)
 
 
 class TestErrors:
