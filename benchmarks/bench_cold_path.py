@@ -49,11 +49,22 @@ SWEEP = [50, 100] if QUICK else [50, 100, 200, 400]
 REPEATS = 3 if QUICK else 7
 #: the scale the acceptance and regression gates are evaluated at.
 GATE_VIEWS = SWEEP[-1]
+#: BENCH_COLD_EXTENDED=1 additionally measures the warehouse-DML workload
+#: (MERGE / ON CONFLICT / QUALIFY / GROUPING SETS / unnest templates at
+#: this probability).  The extended series is recorded alongside the
+#: classic one in BENCH_cold_path.json; the pinned baseline/regression
+#: gates keep comparing the classic corpus only, so enabling this never
+#: disturbs the trajectory comparison.
+EXTENDED = bool(os.environ.get("BENCH_COLD_EXTENDED"))
+EXTENDED_PROBABILITY = 0.3
 
 
-def _corpus(num_views):
+def _corpus(num_views, extended_probability=0.0):
     warehouse = workload.generate_warehouse(
-        num_base_tables=max(3, num_views // 10), num_views=num_views, seed=SEED
+        num_base_tables=max(3, num_views // 10),
+        num_views=num_views,
+        seed=SEED,
+        extended_probability=extended_probability,
     )
     return dict(warehouse.views), warehouse.catalog()
 
@@ -81,9 +92,9 @@ def _best_ms(function, repeats=REPEATS):
     return best * 1000.0
 
 
-def measure_cold(num_views, repeats=REPEATS):
+def measure_cold(num_views, repeats=REPEATS, extended_probability=0.0):
     """Stage timings of one fully cold run at ``num_views`` scale."""
-    sources, catalog = _corpus(num_views)
+    sources, catalog = _corpus(num_views, extended_probability)
     script = ";\n".join(sources.values()) + ";"
 
     lex_ms = _best_ms(lambda: tokenize(script), repeats)
@@ -140,6 +151,19 @@ def test_cold_path_report():
         # pinned on first emit, preserved by emit_root_json() ever after
         "baseline": {"series": series, "cold_ms_at_gate": gate_row["cold_ms"]},
     }
+    if EXTENDED:
+        # the richer warehouse-DML grammar, tracked but never gated: the
+        # pinned baseline was measured over the classic corpus and stays
+        # comparable only to the classic series above
+        extended_series = [
+            measure_cold(num_views, extended_probability=EXTENDED_PROBABILITY)
+            for num_views in SWEEP
+        ]
+        payload["extended"] = {
+            "extended_probability": EXTENDED_PROBABILITY,
+            "series": extended_series,
+            "cold_ms_at_gate": extended_series[-1]["cold_ms"],
+        }
     if baseline is not None:
         speedup = baseline["cold_ms_at_gate"] / max(gate_row["cold_ms"], 1e-9)
         payload["speedup_vs_baseline_at_gate"] = round(speedup, 2)
@@ -186,13 +210,24 @@ def test_cold_path_report():
     if not QUICK:
         # refresh the trajectory only after the gates pass — a failing
         # regression run must not rewrite the very reference it compares
-        # against (that would let the next run "pass" by self-healing)
-        emit_root_json("cold_path", payload)
+        # against (that would let the next run "pass" by self-healing).
+        # A classic-only run preserves any previously recorded extended
+        # series rather than silently dropping it.
+        keep = ("baseline",) if EXTENDED else ("baseline", "extended")
+        emit_root_json("cold_path", payload, keep=keep)
 
 
 def test_cold_path_output_unchanged_by_scale():
     """Sanity: the corpus the timings are taken over actually resolves."""
     sources, catalog = _corpus(SWEEP[0])
+    result = LineageXRunner(catalog=catalog).run(sources)
+    assert not result.report.unresolved
+    assert len(result.graph.views) == SWEEP[0]
+
+
+def test_extended_corpus_resolves():
+    """Sanity: the warehouse-DML corpus (BENCH_COLD_EXTENDED) resolves too."""
+    sources, catalog = _corpus(SWEEP[0], EXTENDED_PROBABILITY)
     result = LineageXRunner(catalog=catalog).run(sources)
     assert not result.report.unresolved
     assert len(result.graph.views) == SWEEP[0]

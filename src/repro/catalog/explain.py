@@ -191,6 +191,12 @@ class ExplainSimulator:
             plan = PlanNode(node_type="HashAggregate", details=details, children=[plan])
         if self._has_window(select):
             plan = PlanNode(node_type="WindowAgg", children=[plan])
+        if select.qualify is not None:
+            plan = PlanNode(
+                node_type="Filter",
+                details={"Qualify Filter": to_sql(select.qualify)},
+                children=[plan],
+            )
         if select.distinct:
             plan = PlanNode(node_type="Unique", children=[plan])
         if select.order_by:

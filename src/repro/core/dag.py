@@ -99,10 +99,32 @@ def statement_table_refs(statement):
     the statement's own target relation is *not* excluded — callers that
     need dependencies subtract it (see
     :meth:`repro.core.preprocess.ParsedQuery.dependencies`).
+
+    Statements whose lineage rewrite *binds* the written relation — UPDATE,
+    DELETE, MERGE, and upserting INSERTs (``ON CONFLICT``) — include that
+    target here even though it appears only as a bare name in the AST: the
+    extraction resolves columns against it, so schema snapshots (process
+    workers) and store cache keys must see it.  ``dependencies()`` subtracts
+    the entry's own identifier, so this never creates a self-dependency.
     """
     referenced = set()
     _scoped_table_refs(statement, frozenset(), referenced)
+    target = _written_target(statement)
+    if target is not None:
+        referenced.add(target)
     return referenced
+
+
+def _written_target(statement):
+    """The written relation a statement's lineage rewrite binds, if any."""
+    cls = type(statement)
+    if cls is ast.UpdateStatement or cls is ast.DeleteStatement:
+        return normalize_name(statement.table.dotted())
+    if cls is ast.MergeStatement:
+        return normalize_name(statement.target.dotted())
+    if cls is ast.InsertStatement and statement.on_conflict is not None:
+        return normalize_name(statement.table.dotted())
+    return None
 
 
 def statement_dependencies(entry):

@@ -51,7 +51,12 @@ from ..sqlparser.printer import to_sql
 #: change to the rules in Table I (or to how results are attributed) must
 #: bump it — stale records then become silent cold misses instead of wrong
 #: warm hits.
-EXTRACTOR_VERSION = 1
+#:
+#: v2: the warehouse DML surface (MERGE / INSERT ... ON CONFLICT / QUALIFY
+#: / GROUPING SETS) — new reference rules, and the cache-key fingerprint of
+#: UPDATE/DELETE/MERGE/upsert entries now covers the written target's
+#: schema, so every pre-v2 record must miss cleanly.
+EXTRACTOR_VERSION = 2
 
 
 # ----------------------------------------------------------------------
@@ -375,6 +380,12 @@ class LineageExtractor:
         if select.having is not None:
             self._collect_references(
                 select.having, scope, result, trace, "HAVING", result_aliases=result
+            )
+        if select.qualify is not None:
+            # QUALIFY filters on window results and, like ORDER BY, may
+            # name a projection alias — other-keywords rule either way.
+            self._collect_references(
+                select.qualify, scope, result, trace, "QUALIFY", result_aliases=result
             )
         for item in select.order_by:
             self._collect_references(

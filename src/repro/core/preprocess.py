@@ -23,7 +23,11 @@ from ..sqlparser.visitor import created_name, query_of
 #: classification changes shape or semantics; old records become misses.
 #: v2: records carry the precomputed ``content_hash`` (fused with the
 #: canonical print), so replays never re-hash.
-PARSE_RECORD_VERSION = 2
+#: v3: the warehouse DML surface — new ``merge`` kind, ``table_refs``
+#: now includes the written target of UPDATE/DELETE/MERGE and of
+#: upserting INSERTs, and GROUPING SETS/ROLLUP/CUBE/QUALIFY change the
+#: canonical shape of statements that previously parsed loosely.
+PARSE_RECORD_VERSION = 3
 
 
 class ParsedQuery:
@@ -43,7 +47,7 @@ class ParsedQuery:
         statement=None,
         query=None,
         sql="",
-        kind="select",  # view | table | insert | update | delete | select
+        kind="select",  # view | table | insert | update | delete | merge | select
         column_names=None,
         source_name=None,
         statement_sql="",
@@ -305,7 +309,9 @@ def _statement_record(statement):
     return record
 
 
-_RECORD_KINDS = ("view", "table", "insert", "update", "delete", "select", "ddl", "skip")
+_RECORD_KINDS = (
+    "view", "table", "insert", "update", "delete", "merge", "select", "ddl", "skip"
+)
 
 
 def _validated_fragment(records):
@@ -375,9 +381,9 @@ def _apply_record(dictionary, record, statement, default_name, sql, counter, id_
         else:
             counter += 1
             identifier = id_generator(counter)
-    if kind in ("update", "delete") and identifier in dictionary:
-        # A CREATE already defines this relation's lineage; an UPDATE
-        # or DELETE later in the log must not overwrite it.
+    if kind in ("update", "delete", "merge") and identifier in dictionary:
+        # A CREATE already defines this relation's lineage; an UPDATE,
+        # DELETE or MERGE later in the log must not overwrite it.
         dictionary.warnings.append(
             f"{kind.upper()} on {identifier!r} ignored: the relation is "
             "already defined by an earlier statement"
@@ -400,6 +406,16 @@ def _apply_record(dictionary, record, statement, default_name, sql, counter, id_
     return counter
 
 
+def _and_join(left, right):
+    """``left AND right`` treating ``None`` as absent (for reference
+    accumulation — the extractor only walks these, it never evaluates)."""
+    if left is None:
+        return right
+    if right is None:
+        return left
+    return ast.BinaryOp("AND", left, right)
+
+
 def _query_for(statement):
     """The query expression whose lineage describes ``statement``.
 
@@ -409,6 +425,20 @@ def _query_for(statement):
     the assigned columns obtain contribution lineage and the WHERE / join
     columns become references.  A ``DELETE`` contributes no columns but its
     USING / WHERE columns are references that affect the target's contents.
+
+    A ``MERGE`` is rewritten the same way: the target table and the USING
+    source are bound, the ON condition and every ``WHEN ... AND`` condition
+    become references (folded into WHERE), ``UPDATE SET`` assignments and
+    ``INSERT (cols) VALUES (...)`` pairs become projections.  An INSERT
+    action without a declared column list contributes nothing nameable, so
+    its value expressions degrade to references.
+
+    ``INSERT ... SELECT ... ON CONFLICT`` wraps the insert's query as a
+    derived table aliased ``excluded`` (the SQL name of the would-be
+    inserted row), binds the target table, and adds the ``DO UPDATE SET``
+    assignments as projections — so conflict-resolution lineage flows from
+    both the source query and the target, and the conflict-target columns
+    become references.
     """
     if isinstance(statement, ast.UpdateStatement):
         target = ast.TableRef(name=statement.table, alias=statement.alias)
@@ -427,6 +457,63 @@ def _query_for(statement):
             projections=[],
             from_sources=[target] + list(statement.using_sources),
             where=statement.where,
+        )
+    if isinstance(statement, ast.MergeStatement):
+        target = ast.TableRef(name=statement.target, alias=statement.alias)
+        projections = []
+        where = statement.condition
+        for when in statement.when_clauses:
+            where = _and_join(where, when.condition)
+            if when.action == "update":
+                projections.extend(
+                    ast.Projection(expression=expression, alias=column)
+                    for column, expression in when.assignments
+                )
+            elif when.action == "insert":
+                if when.columns:
+                    projections.extend(
+                        ast.Projection(expression=expression, alias=column)
+                        for column, expression in zip(when.columns, when.values)
+                    )
+                else:
+                    # no declared target columns: the values cannot be
+                    # attributed to named outputs; keep them as references
+                    for expression in when.values:
+                        where = _and_join(where, expression)
+        return ast.Select(
+            projections=projections,
+            from_sources=[target, statement.source],
+            where=where,
+        )
+    if (
+        isinstance(statement, ast.InsertStatement)
+        and statement.on_conflict is not None
+        and statement.query is not None
+    ):
+        conflict = statement.on_conflict
+        target = ast.TableRef(name=statement.table)
+        target_name = statement.table.name
+        excluded = ast.SubquerySource(
+            query=statement.query,
+            alias="excluded",
+            column_aliases=list(statement.columns),
+        )
+        projections = [ast.Projection(ast.Star(qualifier=["excluded"]))]
+        where = None
+        for column in conflict.columns:
+            where = _and_join(
+                where, ast.ColumnRef(name=column, qualifier=[target_name])
+            )
+        if conflict.do_update:
+            projections.extend(
+                ast.Projection(expression=expression, alias=column)
+                for column, expression in conflict.assignments
+            )
+            where = _and_join(where, conflict.where)
+        return ast.Select(
+            projections=projections,
+            from_sources=[excluded, target],
+            where=where,
         )
     return query_of(statement)
 
@@ -495,6 +582,8 @@ def _classify(statement):
         return "update", statement.table.dotted(), []
     if isinstance(statement, ast.DeleteStatement):
         return "delete", statement.table.dotted(), []
+    if isinstance(statement, ast.MergeStatement):
+        return "merge", statement.target.dotted(), []
     if isinstance(statement, ast.QueryStatement):
         return "select", None, []
     if isinstance(statement, (ast.CreateTable, ast.DropStatement)):

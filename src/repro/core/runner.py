@@ -389,11 +389,12 @@ class LineageXRunner:
             if replacement is not None:
                 if (
                     owner not in changed_keys
-                    and replacement.kind in ("update", "delete")
+                    and replacement.kind in ("update", "delete", "merge")
                 ):
-                    # mirror the full-run dedup in preprocess(): an UPDATE or
-                    # DELETE never overwrites an entry another (unchanged)
-                    # source still defines, whatever that entry's kind
+                    # mirror the full-run dedup in preprocess(): an UPDATE,
+                    # DELETE or MERGE never overwrites an entry another
+                    # (unchanged) source still defines, whatever that
+                    # entry's kind
                     merged.warnings.append(
                         f"{replacement.kind.upper()} on {identifier!r} ignored: "
                         "the relation is already defined by an earlier statement"

@@ -177,6 +177,20 @@ class _SchedulerProvider(SchemaProvider):
             columns = list(lineage.output_columns)
             scheduler.schema_cache[name] = (lineage._version, columns)
             return list(columns)
+        if (
+            scheduler.use_stack
+            and name in scheduler.pending
+            and name != self.current
+        ):
+            # A pending Query Dictionary entry shadows any same-named
+            # catalog table: a relation that is both a catalog table and a
+            # write target (MERGE/UPDATE/INSERT into a base table) must
+            # resolve to the entry's extracted output columns regardless of
+            # processing order — falling back to the catalog here would
+            # make stack-mode results depend on statement order.
+            raise UnknownRelationError(
+                name, reason="defined by a not-yet-processed query"
+            )
         if scheduler.catalog is not None:
             # the catalog is frozen for the duration of a run (it is built
             # before scheduling and only merged/extended between runs), so
@@ -189,14 +203,6 @@ class _SchedulerProvider(SchemaProvider):
                 columns = table.column_names()
                 scheduler.schema_cache[name] = (None, list(columns))
                 return columns
-        if (
-            scheduler.use_stack
-            and name in scheduler.pending
-            and name != self.current
-        ):
-            raise UnknownRelationError(
-                name, reason="defined by a not-yet-processed query"
-            )
         return None
 
 
@@ -372,13 +378,15 @@ class AutoInferenceScheduler:
         """``(schemas, pending)`` visible to one entry, as plain data.
 
         Mirrors the live :class:`_SchedulerProvider` lookup order — already
-        extracted results first, then the catalog, then "pending Query
-        Dictionary entry" — restricted to the relations the entry's
-        statement actually references, so the snapshot pickled to a worker
-        process stays small.  The self-reference is included (a query
-        reading the relation it writes resolves it through the catalog,
-        exactly like the live provider with ``current`` set) but is never
-        treated as pending.
+        extracted results first, then "pending Query Dictionary entry"
+        (which shadows any same-named catalog table, so a write target of a
+        not-yet-processed MERGE/UPDATE defers instead of silently resolving
+        catalog columns), then the catalog — restricted to the relations
+        the entry's statement actually references, so the snapshot pickled
+        to a worker process stays small.  The self-reference is included (a
+        query reading the relation it writes resolves it through the
+        catalog, exactly like the live provider with ``current`` set) but
+        is never treated as pending.
         """
         entry = self.query_dictionary.get(identifier)
         schemas = {}
@@ -388,13 +396,15 @@ class AutoInferenceScheduler:
             if lineage is not None:
                 schemas[name] = list(lineage.output_columns)
                 continue
+            if self.use_stack and name in self.pending and name != identifier:
+                # mirrors the live provider: a pending entry shadows a
+                # same-named catalog table (write targets of MERGE/UPDATE)
+                pending.add(name)
+                continue
             if self.catalog is not None:
                 table = self.catalog.get(name)
                 if table is not None:
                     schemas[name] = table.column_names()
-                    continue
-            if self.use_stack and name in self.pending and name != identifier:
-                pending.add(name)
         return schemas, frozenset(pending)
 
     def _run_wave_parallel(self, pool, todo, report):

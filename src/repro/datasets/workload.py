@@ -11,6 +11,14 @@ relations from earlier layers through a randomly chosen template
 (projection, filter, join, aggregation, union, or ``SELECT *``).  All
 randomness flows from an explicit seed, so a given configuration always
 produces the same SQL.
+
+``extended_probability`` (default 0, which reproduces the historical
+statement stream bit-for-bit) mixes in the warehouse-DML templates: MERGE
+and ``INSERT ... ON CONFLICT DO UPDATE`` statements into dedicated stage
+tables, plus views using ``QUALIFY``, ``GROUP BY GROUPING
+SETS/ROLLUP/CUBE``, and ``unnest(...)``/``generate_series(...)`` table
+functions.  The differential harness and (optionally) the cold-path
+benchmark run over this richer mix.
 """
 
 import random
@@ -56,6 +64,10 @@ class GeneratedWarehouse:
         return len(self.views)
 
 
+#: the warehouse-DML template mix selected under ``extended_probability``.
+_EXTENDED_TEMPLATES = ("merge", "upsert", "qualify", "grouping", "unnest")
+
+
 def generate_warehouse(
     num_base_tables=5,
     num_views=20,
@@ -65,12 +77,25 @@ def generate_warehouse(
     join_probability=0.45,
     aggregate_probability=0.2,
     union_probability=0.1,
+    extended_probability=0.0,
 ):
-    """Generate a layered warehouse of ``num_views`` view definitions.
+    """Generate a layered warehouse of ``num_views`` statement definitions.
 
     Probabilities select the template for each view (star / join / aggregate
     / union, falling back to a filtered projection); they are applied in
     that order on independent draws, so they need not sum to one.
+
+    ``extended_probability`` is evaluated first: with probability *e* the
+    statement is drawn uniformly from the warehouse-DML templates (MERGE,
+    upsert, QUALIFY, grouping sets, unnest/generate_series); otherwise the
+    classic mix applies to the remaining probability mass unchanged.  With
+    the default ``0.0`` the random stream — and therefore every generated
+    statement — is identical to what this generator always produced.
+
+    MERGE and upsert statements write dedicated ``stage_<i>`` tables that
+    are appended to ``base_tables`` (and hence to :meth:`GeneratedWarehouse.
+    catalog`); the statement is keyed by the stage-table name, since that
+    is its Query Dictionary identifier.
     """
     rng = random.Random(seed)
     warehouse = GeneratedWarehouse(seed=seed)
@@ -78,8 +103,7 @@ def generate_warehouse(
     for table_index in range(num_base_tables):
         name = f"base_{table_index}"
         count = max(2, columns_per_table + rng.randint(-2, 2))
-        columns = ["id"] + rng.sample(_COLUMN_POOL[1:], min(count - 1, len(_COLUMN_POOL) - 1))
-        warehouse.base_tables[name] = columns
+        warehouse.base_tables[name] = _sample_columns(count, rng)
 
     #: relations available to build on: name -> visible column list
     available = dict(warehouse.base_tables)
@@ -87,6 +111,29 @@ def generate_warehouse(
     for view_index in range(num_views):
         name = f"view_{view_index}"
         draw = rng.random()
+        if extended_probability and draw < extended_probability:
+            template = rng.choice(_EXTENDED_TEMPLATES)
+            if template == "merge":
+                name, sql, columns = _merge_statement(
+                    view_index, available, warehouse.base_tables, rng
+                )
+            elif template == "upsert":
+                name, sql, columns = _upsert_statement(
+                    view_index, available, warehouse.base_tables, rng
+                )
+            elif template == "qualify":
+                sql, columns = _qualify_view(name, available, rng)
+            elif template == "grouping":
+                sql, columns = _grouping_view(name, available, rng)
+            else:
+                sql, columns = _unnest_view(name, available, rng)
+            warehouse.views[name] = sql
+            available[name] = columns
+            continue
+        if extended_probability:
+            # rescale so the classic template mix keeps its proportions
+            # within the remaining probability mass
+            draw = (draw - extended_probability) / (1.0 - extended_probability)
         if draw < star_probability:
             sql, columns = _star_view(name, available, rng)
         elif draw < star_probability + join_probability and len(available) >= 2:
@@ -173,6 +220,115 @@ def _union_view(name, available, rng):
         f"UNION SELECT b.{column_second} FROM {second} b"
     )
     return sql, ["merged_key"]
+
+
+# ----------------------------------------------------------------------
+# Warehouse-DML templates (extended_probability)
+# ----------------------------------------------------------------------
+def _sample_columns(count, rng):
+    """An ``id`` column plus ``count - 1`` distinct names from the pool."""
+    return ["id"] + rng.sample(_COLUMN_POOL[1:], min(count - 1, len(_COLUMN_POOL) - 1))
+
+
+def _stage_table(index, base_tables, rng):
+    """Create a fresh stage table for a MERGE/upsert to write into."""
+    name = f"stage_{index}"
+    count = max(3, 4 + rng.randint(-1, 2))
+    columns = _sample_columns(count, rng)
+    base_tables[name] = columns
+    return name, columns
+
+
+def _merge_statement(index, available, base_tables, rng):
+    """MERGE a source relation into a dedicated stage table.
+
+    The statement's Query Dictionary identifier is the stage-table name;
+    its extracted output columns are the UPDATE-assigned column followed by
+    the INSERT columns (duplicates collapse to first occurrence), which is
+    what later readers of the stage table will resolve against.
+    """
+    source, source_columns = _pick_source(available, rng)
+    stage, stage_columns = _stage_table(index, base_tables, rng)
+    set_column = rng.choice(stage_columns[1:])
+    match_column = rng.choice(source_columns)
+    update_source = rng.choice(source_columns)
+    insert_source = rng.choice(source_columns)
+    sql = (
+        f"MERGE INTO {stage} AS t USING {source} AS s ON t.id = s.{match_column} "
+        f"WHEN MATCHED AND s.{update_source} IS NOT NULL "
+        f"THEN UPDATE SET {set_column} = s.{update_source} "
+        f"WHEN NOT MATCHED THEN INSERT (id, {set_column}) "
+        f"VALUES (s.{match_column}, s.{insert_source})"
+    )
+    return stage, sql, [set_column, "id"]
+
+
+def _upsert_statement(index, available, base_tables, rng):
+    """INSERT ... ON CONFLICT (id) DO UPDATE into a dedicated stage table."""
+    source, source_columns = _pick_source(available, rng)
+    stage, stage_columns = _stage_table(index, base_tables, rng)
+    value_column = rng.choice(stage_columns[1:])
+    if len(source_columns) >= 2:
+        src_id, src_value = rng.sample(source_columns, 2)
+    else:
+        src_id = src_value = source_columns[0]
+    sql = (
+        f"INSERT INTO {stage} (id, {value_column}) "
+        f"SELECT s.{src_id}, s.{src_value} FROM {source} s "
+        f"ON CONFLICT (id) DO UPDATE SET {value_column} = excluded.{value_column}"
+    )
+    return stage, sql, ["id", value_column]
+
+
+def _qualify_view(name, available, rng):
+    source, columns = _pick_source(available, rng)
+    kept = columns[: max(2, len(columns) - 1)]
+    partition_column = rng.choice(columns)
+    order_column = rng.choice(columns)
+    projected = ", ".join(f"s.{column}" for column in kept)
+    sql = (
+        f"CREATE VIEW {name} AS SELECT {projected}, "
+        f"row_number() OVER (PARTITION BY s.{partition_column} "
+        f"ORDER BY s.{order_column}) AS rn "
+        f"FROM {source} s QUALIFY rn = 1"
+    )
+    return sql, kept + ["rn"]
+
+
+def _grouping_view(name, available, rng):
+    source, columns = _pick_source(available, rng)
+    if len(columns) >= 2:
+        first, second = rng.sample(columns, 2)
+    else:
+        first = second = columns[0]
+    kind = rng.choice(("GROUPING SETS", "ROLLUP", "CUBE"))
+    if kind == "GROUPING SETS":
+        clause = f"GROUPING SETS ((s.{first}, s.{second}), (s.{first}), ())"
+    else:
+        clause = f"{kind} (s.{first}, s.{second})"
+    sql = (
+        f"CREATE VIEW {name} AS SELECT s.{first}, s.{second}, count(*) AS n "
+        f"FROM {source} s GROUP BY {clause}"
+    )
+    return sql, list(dict.fromkeys([first, second, "n"]))
+
+
+def _unnest_view(name, available, rng):
+    source, columns = _pick_source(available, rng)
+    kept = rng.choice(columns)
+    if rng.random() < 0.5:
+        unnested = rng.choice(columns)
+        sql = (
+            f"CREATE VIEW {name} AS SELECT s.{kept}, u.item "
+            f"FROM {source} s CROSS JOIN unnest(s.{unnested}) AS u(item)"
+        )
+        return sql, [kept, "item"]
+    steps = rng.randint(2, 9)
+    sql = (
+        f"CREATE VIEW {name} AS SELECT s.{kept}, g.step "
+        f"FROM {source} s CROSS JOIN generate_series(1, {steps}) AS g(step)"
+    )
+    return sql, [kept, "step"]
 
 
 def sweep_configurations():

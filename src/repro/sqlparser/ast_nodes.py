@@ -345,8 +345,25 @@ class LikeExpr(Expression):
 
 @dataclass
 class ExpressionList(Expression):
-    """A parenthesised tuple of expressions, e.g. ``(a, b)`` in row comparisons."""
+    """A parenthesised tuple of expressions, e.g. ``(a, b)`` in row comparisons.
 
+    Also used for the grouping elements of :class:`GroupingSetSpec`, where an
+    empty ``items`` list renders as the grand-total grouping set ``()``.
+    """
+
+    items: List[Expression] = field(default_factory=list)
+
+
+@dataclass
+class GroupingSetSpec(Node):
+    """A multi-grouping element of GROUP BY.
+
+    ``kind`` is one of ``"GROUPING SETS"``, ``"ROLLUP"`` or ``"CUBE"``;
+    ``items`` holds the grouping elements in order — plain expressions, or
+    :class:`ExpressionList` for parenthesised composite/empty sets.
+    """
+
+    kind: str = "GROUPING SETS"
     items: List[Expression] = field(default_factory=list)
 
 
@@ -484,6 +501,9 @@ class Select(QueryExpression):
     limit: Optional[Expression] = None
     offset: Optional[Expression] = None
     windows: List[Tuple] = field(default_factory=list)  # (name, WindowSpec)
+    #: post-window row filter (Snowflake/BigQuery/DuckDB QUALIFY); may
+    #: reference projection aliases like ORDER BY does.
+    qualify: Optional[Expression] = None
 
 
 @dataclass
@@ -565,13 +585,30 @@ class CreateTableAs(Statement):
 
 
 @dataclass
+class OnConflictClause(Node):
+    """The upsert tail of an INSERT: ``ON CONFLICT [(cols)] DO ...``.
+
+    ``do_update`` selects between ``DO UPDATE SET`` (with ``assignments``
+    and an optional ``where``) and ``DO NOTHING``.  Assignment expressions
+    may reference the ``excluded`` pseudo-relation (the would-be inserted
+    row) as well as the target table.
+    """
+
+    columns: List[str] = field(default_factory=list)
+    do_update: bool = False
+    assignments: List[Tuple] = field(default_factory=list)  # (column, Expression)
+    where: Optional[Expression] = None
+
+
+@dataclass
 class InsertStatement(Statement):
-    """INSERT INTO table [(cols)] query|VALUES."""
+    """INSERT INTO table [(cols)] query|VALUES [ON CONFLICT ...]."""
 
     table: QualifiedName = None
     columns: List[str] = field(default_factory=list)
     query: Optional[QueryExpression] = None
     values: List[List[Expression]] = field(default_factory=list)
+    on_conflict: Optional[OnConflictClause] = None
 
 
 @dataclass
@@ -593,6 +630,33 @@ class DeleteStatement(Statement):
     alias: Optional[str] = None
     using_sources: List[TableSource] = field(default_factory=list)
     where: Optional[Expression] = None
+
+
+@dataclass
+class MergeWhen(Node):
+    """One ``WHEN [NOT] MATCHED [AND cond] THEN action`` arm of a MERGE.
+
+    ``action`` is ``"update"`` (with ``assignments``), ``"delete"``,
+    ``"insert"`` (with ``columns``/``values``) or ``"nothing"``.
+    """
+
+    matched: bool = True
+    condition: Optional[Expression] = None
+    action: str = "update"
+    assignments: List[Tuple] = field(default_factory=list)  # (column, Expression)
+    columns: List[str] = field(default_factory=list)
+    values: List[Expression] = field(default_factory=list)
+
+
+@dataclass
+class MergeStatement(Statement):
+    """MERGE INTO target USING source ON condition WHEN ... THEN ...."""
+
+    target: QualifiedName = None
+    alias: Optional[str] = None
+    source: TableSource = None
+    condition: Expression = None
+    when_clauses: List[MergeWhen] = field(default_factory=list)
 
 
 @dataclass

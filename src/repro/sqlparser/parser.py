@@ -20,7 +20,12 @@ lineage extractor needs:
   calls with ``DISTINCT``/``FILTER``/``OVER`` windows, subqueries;
 * statements: ``CREATE [OR REPLACE] [MATERIALIZED] VIEW``, ``CREATE TABLE``
   (DDL column list), ``CREATE [TEMP] TABLE ... AS``, ``INSERT INTO ...
-  SELECT/VALUES``, ``DROP TABLE/VIEW``, and bare queries.
+  SELECT/VALUES`` with an optional ``ON CONFLICT [(cols)] DO UPDATE SET
+  .../DO NOTHING`` tail, ``MERGE INTO ... USING ... ON ... WHEN [NOT]
+  MATCHED [AND ...] THEN UPDATE/DELETE/INSERT/DO NOTHING``, ``DROP
+  TABLE/VIEW``, and bare queries;
+* warehouse-grade SELECT clauses: post-window ``QUALIFY`` and ``GROUP BY
+  GROUPING SETS / ROLLUP / CUBE`` grouping elements.
 """
 
 from .errors import ParseError
@@ -226,7 +231,14 @@ class Parser:
             statements.append(self.parse_statement())
             if not self._at_type(TokenType.EOF):
                 if not self._match_type(TokenType.SEMICOLON):
-                    self._error("expected ';' between statements")
+                    # a statement parsed cleanly but tokens remain: this is
+                    # trailing garbage (or a missing semicolon), never
+                    # something to accept silently
+                    token = self._current()
+                    self._error(
+                        f"unexpected token {token.value!r} after end of "
+                        "statement (expected ';' or end of input)"
+                    )
         return statements
 
     def parse_statement(self):
@@ -235,6 +247,11 @@ class Parser:
             return self._parse_create()
         if self._at_keyword("INSERT"):
             return self._parse_insert()
+        if self._at_word("MERGE") and self._peek(1).is_keyword("INTO"):
+            # MERGE is a *soft* keyword: only the 'MERGE INTO' bigram starts
+            # a merge statement, so corpora using 'merge' as a column/table
+            # name keep parsing
+            return self._parse_merge()
         if self._at_keyword("UPDATE"):
             return self._parse_update()
         if self._at_keyword("DELETE"):
@@ -429,9 +446,134 @@ class Parser:
         if self._at_keyword("VALUES"):
             self._advance()
             rows = self._parse_values_rows()
-            return ast.InsertStatement(table=table, columns=columns, values=rows)
+            on_conflict = self._parse_on_conflict()
+            return ast.InsertStatement(
+                table=table, columns=columns, values=rows, on_conflict=on_conflict
+            )
         query = self.parse_query_expression()
-        return ast.InsertStatement(table=table, columns=columns, query=query)
+        on_conflict = self._parse_on_conflict()
+        return ast.InsertStatement(
+            table=table, columns=columns, query=query, on_conflict=on_conflict
+        )
+
+    def _at_word(self, *words, offset=0):
+        """True when the token at ``offset`` is an identifier spelling one of
+        ``words`` case-insensitively (non-reserved keywords like CONFLICT,
+        DO, NOTHING, ROLLUP stay plain identifiers everywhere else)."""
+        token = self._peek(offset)
+        return token.type is TokenType.IDENTIFIER and token.value.upper() in words
+
+    def _parse_on_conflict(self):
+        """The optional ``ON CONFLICT [(cols)] DO ...`` tail of an INSERT."""
+        if not (self._at_keyword("ON") and self._at_word("CONFLICT", offset=1)):
+            return None
+        self._advance()
+        self._advance()
+        columns = []
+        if self._at_type(TokenType.LPAREN):
+            columns = self._parse_name_list()
+        if not self._at_word("DO"):
+            self._error("expected DO in ON CONFLICT clause")
+        self._advance()
+        if self._match_keyword("UPDATE"):
+            self._expect_keyword("SET")
+            assignments = self._parse_assignment_list()
+            where = None
+            if self._match_keyword("WHERE"):
+                where = self.parse_expression()
+            return ast.OnConflictClause(
+                columns=columns, do_update=True, assignments=assignments, where=where
+            )
+        if self._at_word("NOTHING"):
+            self._advance()
+            return ast.OnConflictClause(columns=columns, do_update=False)
+        self._error("expected UPDATE or NOTHING after DO in ON CONFLICT")
+
+    # -- MERGE ----------------------------------------------------------
+    def _parse_merge(self):
+        if not self._at_word("MERGE"):
+            self._error("expected MERGE")
+        self._advance()
+        self._expect_keyword("INTO")
+        target = self._parse_qualified_name()
+        alias = None
+        if self._match_keyword("AS"):
+            alias = self._parse_identifier()
+        elif self._at_type(TokenType.IDENTIFIER):
+            alias = self._parse_identifier()
+        self._expect_keyword("USING")
+        source = self._parse_table_primary()
+        self._expect_keyword("ON")
+        condition = self.parse_expression()
+        when_clauses = []
+        while self._at_keyword("WHEN"):
+            when_clauses.append(self._parse_merge_when())
+        if not when_clauses:
+            self._error("expected at least one WHEN clause in MERGE")
+        return ast.MergeStatement(
+            target=target,
+            alias=alias,
+            source=source,
+            condition=condition,
+            when_clauses=when_clauses,
+        )
+
+    def _parse_merge_when(self):
+        self._expect_keyword("WHEN")
+        matched = not bool(self._match_keyword("NOT"))
+        if not self._at_word("MATCHED"):
+            # MATCHED is a soft keyword: it is only special right here
+            self._error("expected MATCHED after WHEN in MERGE")
+        self._advance()
+        condition = None
+        if self._match_keyword("AND"):
+            condition = self.parse_expression()
+        self._expect_keyword("THEN")
+        if self._match_keyword("UPDATE"):
+            if not matched:
+                self._error("WHEN NOT MATCHED cannot UPDATE (no row to update)")
+            self._expect_keyword("SET")
+            assignments = self._parse_assignment_list()
+            return ast.MergeWhen(
+                matched=matched,
+                condition=condition,
+                action="update",
+                assignments=assignments,
+            )
+        if self._match_keyword("DELETE"):
+            if not matched:
+                self._error("WHEN NOT MATCHED cannot DELETE (no row to delete)")
+            return ast.MergeWhen(matched=matched, condition=condition, action="delete")
+        if self._at_keyword("INSERT") and matched:
+            self._error("WHEN MATCHED cannot INSERT (the row already exists)")
+        if self._match_keyword("INSERT"):
+            columns = []
+            if self._at_type(TokenType.LPAREN):
+                columns = self._parse_name_list()
+            values = []
+            self._expect_keyword("VALUES")
+            self._expect_type(TokenType.LPAREN, "'('")
+            values.append(self.parse_expression())
+            while self._match_type(TokenType.COMMA):
+                values.append(self.parse_expression())
+            self._expect_type(TokenType.RPAREN, "')'")
+            if columns and len(columns) != len(values):
+                self._error(
+                    f"MERGE INSERT declares {len(columns)} columns but "
+                    f"VALUES supplies {len(values)} expressions"
+                )
+            return ast.MergeWhen(
+                matched=matched,
+                condition=condition,
+                action="insert",
+                columns=columns,
+                values=values,
+            )
+        if self._at_word("DO") and self._at_word("NOTHING", offset=1):
+            self._advance()
+            self._advance()
+            return ast.MergeWhen(matched=matched, condition=condition, action="nothing")
+        self._error("expected UPDATE, DELETE, INSERT or DO NOTHING after THEN")
 
     def _parse_values_rows(self):
         rows = []
@@ -456,9 +598,7 @@ class Parser:
         elif self._at_type(TokenType.IDENTIFIER) and not self._at_keyword("SET"):
             alias = self._parse_identifier()
         self._expect_keyword("SET")
-        assignments = [self._parse_assignment()]
-        while self._match_type(TokenType.COMMA):
-            assignments.append(self._parse_assignment())
+        assignments = self._parse_assignment_list()
         from_sources = []
         if self._match_keyword("FROM"):
             from_sources = self._parse_from_list()
@@ -481,6 +621,13 @@ class Parser:
         else:
             self._error("expected '=' in UPDATE assignment")
         return (column, self.parse_expression())
+
+    def _parse_assignment_list(self):
+        """``col = expr [, col = expr ...]`` (UPDATE / ON CONFLICT / MERGE)."""
+        assignments = [self._parse_assignment()]
+        while self._match_type(TokenType.COMMA):
+            assignments.append(self._parse_assignment())
+        return assignments
 
     def _parse_delete(self):
         self._expect_keyword("DELETE")
@@ -714,43 +861,74 @@ class Parser:
             select.group_by = self._parse_group_by_list()
         if self._match_keyword("HAVING"):
             select.having = self.parse_expression()
+        # QUALIFY is accepted before or after a named WINDOW clause; the
+        # canonical printer emits it after WINDOW
+        self._try_parse_qualify(select)
         if self._match_keyword("WINDOW"):
             select.windows = self._parse_window_definitions()
+        self._try_parse_qualify(select)
         return select
+
+    def _try_parse_qualify(self, select):
+        """Consume a QUALIFY clause if one starts here (soft keyword)."""
+        if select.qualify is None and self._at_word("QUALIFY"):
+            self._advance()
+            select.qualify = self.parse_expression()
 
     def _parse_group_by_list(self):
         items = []
         while True:
             if self._match_keyword("ALL"):
                 pass
-            elif self._at_type(TokenType.IDENTIFIER) and self._current().value.upper() in (
-                "ROLLUP",
-                "CUBE",
-                "GROUPING",
-            ):
-                self._advance()
-                if self._at_type(TokenType.IDENTIFIER) and self._current().value.upper() == "SETS":
-                    self._advance()
-                self._expect_type(TokenType.LPAREN, "'('")
-                depth = 1
-                start = self.index
-                # parse inner expressions separated by commas / parens
-                while depth > 0 and not self._at_type(TokenType.EOF):
-                    if self._at_type(TokenType.LPAREN):
-                        depth += 1
-                        self._advance()
-                    elif self._at_type(TokenType.RPAREN):
-                        depth -= 1
-                        self._advance()
-                    elif self._at_type(TokenType.COMMA):
-                        self._advance()
-                    else:
-                        items.append(self.parse_expression())
             else:
-                items.append(self.parse_expression())
+                items.append(self._parse_grouping_element())
             if not self._match_type(TokenType.COMMA):
                 break
         return items
+
+    def _parse_grouping_element(self):
+        """One GROUP BY element: a plain expression, or a structured
+        ``GROUPING SETS (...)`` / ``ROLLUP (...)`` / ``CUBE (...)`` spec."""
+        if self._at_word("ROLLUP", "CUBE") and self._peek(1).type is TokenType.LPAREN:
+            kind = self._advance().value.upper()
+            return ast.GroupingSetSpec(kind=kind, items=self._parse_grouping_items())
+        if (
+            self._at_word("GROUPING")
+            and self._at_word("SETS", offset=1)
+            and self._peek(2).type is TokenType.LPAREN
+        ):
+            self._advance()
+            self._advance()
+            return ast.GroupingSetSpec(
+                kind="GROUPING SETS", items=self._parse_grouping_items()
+            )
+        return self.parse_expression()
+
+    def _parse_grouping_items(self):
+        self._expect_type(TokenType.LPAREN, "'('")
+        items = [self._parse_grouping_item()]
+        while self._match_type(TokenType.COMMA):
+            items.append(self._parse_grouping_item())
+        self._expect_type(TokenType.RPAREN, "')'")
+        return items
+
+    def _parse_grouping_item(self):
+        """One grouping element: ``()``, ``(a, b)``, or a plain expression.
+
+        Parenthesised elements always become :class:`~repro.sqlparser.
+        ast_nodes.ExpressionList` (even single-column ones), so the printed
+        form preserves the grouping structure the user wrote.
+        """
+        if self._at_type(TokenType.LPAREN):
+            self._advance()
+            if self._match_type(TokenType.RPAREN):
+                return ast.ExpressionList(items=[])
+            items = [self.parse_expression()]
+            while self._match_type(TokenType.COMMA):
+                items.append(self.parse_expression())
+            self._expect_type(TokenType.RPAREN, "')'")
+            return ast.ExpressionList(items=items)
+        return self.parse_expression()
 
     def _parse_window_definitions(self):
         definitions = []
@@ -886,6 +1064,13 @@ class Parser:
         alias, column_aliases = self._parse_source_alias()
         return ast.TableRef(name=name, alias=alias, column_aliases=column_aliases)
 
+    #: soft clause-introducing words: a bare identifier spelling one of
+    #: these is never consumed as an *implicit* FROM-item alias (write
+    #: ``AS qualify`` or quote it to alias a source with this name) —
+    #: mirroring _NOT_ALIAS_KEYWORDS for words that stay plain identifiers
+    #: everywhere else.
+    _NOT_ALIAS_WORDS = frozenset(("QUALIFY",))
+
     def _parse_source_alias(self):
         alias = None
         column_aliases = []
@@ -893,7 +1078,12 @@ class Parser:
             alias = self._parse_identifier()
         else:
             token = self._current()
-            if token.type in (TokenType.IDENTIFIER, TokenType.QUOTED_IDENTIFIER):
+            if (
+                token.type is TokenType.IDENTIFIER
+                and token.value.upper() in self._NOT_ALIAS_WORDS
+            ):
+                pass
+            elif token.type in (TokenType.IDENTIFIER, TokenType.QUOTED_IDENTIFIER):
                 alias = self._parse_identifier()
             elif (
                 token.type == TokenType.KEYWORD

@@ -154,6 +154,71 @@ class _Printer:
         elif node.values:
             write(" VALUES ")
             self._render_value_rows(node.values)
+        if node.on_conflict is not None:
+            self._render_OnConflictClause(node.on_conflict)
+
+    def _render_assignments(self, assignments):
+        write = self._write
+        for index, (column, expression) in enumerate(assignments):
+            if index:
+                write(", ")
+            write(quote_identifier(column))
+            write(" = ")
+            self.render(expression)
+
+    def _render_OnConflictClause(self, node):
+        write = self._write
+        write(" ON CONFLICT")
+        if node.columns:
+            write(" (")
+            self._write_identifiers(node.columns)
+            write(")")
+        if not node.do_update:
+            write(" DO NOTHING")
+            return
+        write(" DO UPDATE SET ")
+        self._render_assignments(node.assignments)
+        if node.where is not None:
+            write(" WHERE ")
+            self.render(node.where)
+
+    def _render_MergeStatement(self, node):
+        write = self._write
+        write("MERGE INTO ")
+        self._render_QualifiedName(node.target)
+        if node.alias:
+            write(f" AS {quote_identifier(node.alias)}")
+        write(" USING ")
+        self.render(node.source)
+        write(" ON ")
+        self.render(node.condition)
+        for when in node.when_clauses:
+            self._render_MergeWhen(when)
+
+    def _render_MergeWhen(self, node):
+        write = self._write
+        write(" WHEN MATCHED" if node.matched else " WHEN NOT MATCHED")
+        if node.condition is not None:
+            write(" AND ")
+            self.render(node.condition)
+        write(" THEN ")
+        action = node.action
+        if action == "update":
+            write("UPDATE SET ")
+            self._render_assignments(node.assignments)
+        elif action == "delete":
+            write("DELETE")
+        elif action == "insert":
+            write("INSERT")
+            if node.columns:
+                write(" (")
+                self._write_identifiers(node.columns)
+                write(")")
+            write(" VALUES (")
+            self._render_list(node.values)
+            write(")")
+        else:
+            write("DO NOTHING")
 
     def _render_value_rows(self, rows):
         write = self._write
@@ -246,6 +311,9 @@ class _Printer:
                 write(" AS (")
                 self._render_window_body(spec)
                 write(")")
+        if node.qualify is not None:
+            write(" QUALIFY ")
+            self.render(node.qualify)
         self._render_trailing(node)
 
     def _render_SetOperation(self, node):
@@ -564,5 +632,12 @@ class _Printer:
     def _render_ExpressionList(self, node):
         write = self._write
         write("(")
+        self._render_list(node.items)
+        write(")")
+
+    def _render_GroupingSetSpec(self, node):
+        write = self._write
+        write(node.kind)
+        write(" (")
         self._render_list(node.items)
         write(")")

@@ -1,0 +1,202 @@
+"""End-to-end lineage extraction for the warehouse DML surface.
+
+One extractor test per construct (MERGE, INSERT ... ON CONFLICT DO UPDATE,
+QUALIFY, GROUPING SETS/ROLLUP/CUBE, unnest/generate_series), each verified
+in both the static engine and the plan (simulated-EXPLAIN) engine, plus the
+scheduling semantics the constructs introduce: cross-source dedup for
+MERGE, and write-target shadowing (a pending MERGE/UPDATE entry shadows the
+same-named catalog table regardless of statement order).
+"""
+
+import pytest
+
+from repro.catalog import Catalog
+from repro.core.preprocess import preprocess
+from repro.core.plan_extractor import lineagex_with_connection
+from repro.core.runner import LineageXRunner, lineagex
+
+
+def _catalog():
+    catalog = Catalog()
+    catalog.create_table(
+        "tgt", [("id", "int"), ("amount", "int"), ("status", "text")]
+    )
+    catalog.create_table(
+        "src",
+        [("id", "int"), ("amount", "int"), ("status", "text"), ("flag", "bool")],
+    )
+    return catalog
+
+
+def _edges(result):
+    return sorted(
+        (str(edge.source), str(edge.target), edge.kind)
+        for edge in result.graph.edges()
+    )
+
+
+ENGINES = [
+    pytest.param(lambda sql: lineagex(sql, catalog=_catalog()), id="static"),
+    pytest.param(
+        lambda sql: lineagex_with_connection(sql, catalog=_catalog()), id="plan"
+    ),
+]
+
+
+@pytest.mark.parametrize("run", ENGINES)
+class TestConstructs:
+    def test_merge_lineage(self, run):
+        result = run(
+            "MERGE INTO tgt AS t USING src AS s ON t.id = s.id "
+            "WHEN MATCHED AND s.flag THEN UPDATE SET amount = s.amount "
+            "WHEN NOT MATCHED THEN INSERT (id, amount) VALUES (s.id, s.amount)"
+        )
+        assert not result.report.unresolved
+        edges = _edges(result)
+        # contributions flow from the USING source into the target columns
+        assert ("src.amount", "tgt.amount", "contribute") in edges
+        # the match condition references columns of BOTH source and target
+        assert ("src.id", "tgt.id", "both") in edges
+        assert any(edge[0] == "tgt.id" and edge[2] == "reference" for edge in edges)
+        # the WHEN ... AND guard column is a reference
+        assert any(edge[0] == "src.flag" for edge in edges)
+        entry = result.query_dictionary.get("tgt")
+        assert entry.kind == "merge"
+
+    def test_insert_on_conflict_lineage(self, run):
+        result = run(
+            "INSERT INTO tgt (id, amount) SELECT s.id, s.amount FROM src s "
+            "ON CONFLICT (id) DO UPDATE SET amount = excluded.amount"
+        )
+        assert not result.report.unresolved
+        edges = _edges(result)
+        assert ("src.id", "tgt.id", "contribute") in edges
+        assert ("src.amount", "tgt.amount", "contribute") in edges
+        # the conflict-target column references the target table
+        assert any(edge[0] == "tgt.id" and edge[2] == "reference" for edge in edges)
+
+    def test_qualify_lineage(self, run):
+        result = run(
+            "CREATE VIEW ranked AS SELECT s.id, s.amount, "
+            "row_number() OVER (PARTITION BY s.status ORDER BY s.amount) AS rn "
+            "FROM src s QUALIFY rn = 1"
+        )
+        assert not result.report.unresolved
+        edges = _edges(result)
+        assert ("src.id", "ranked.id", "contribute") in edges
+        # QUALIFY rn = 1 resolves the projection alias -> the window inputs
+        # become references of every column rn depends on
+        assert ("src.status", "ranked.rn", "reference") in edges
+        assert ("src.amount", "ranked.rn", "reference") in edges
+
+    def test_grouping_sets_lineage(self, run):
+        result = run(
+            "CREATE VIEW grouped AS SELECT s.status, s.flag, count(*) AS n "
+            "FROM src s GROUP BY GROUPING SETS ((s.status, s.flag), (s.status), ())"
+        )
+        assert not result.report.unresolved
+        edges = _edges(result)
+        assert ("src.status", "grouped.status", "both") in edges
+        assert ("src.flag", "grouped.flag", "both") in edges
+
+    def test_rollup_and_cube_lineage(self, run):
+        result = run(
+            "CREATE VIEW rolled AS SELECT s.status, sum(s.amount) AS total "
+            "FROM src s GROUP BY ROLLUP (s.status);"
+            "CREATE VIEW cubed AS SELECT s.flag, count(*) AS n "
+            "FROM src s GROUP BY CUBE (s.flag)"
+        )
+        assert not result.report.unresolved
+        edges = _edges(result)
+        assert ("src.status", "rolled.status", "both") in edges
+        assert ("src.flag", "cubed.flag", "both") in edges
+
+    def test_unnest_and_generate_series_lineage(self, run):
+        result = run(
+            "CREATE VIEW expanded AS SELECT s.id, u.item "
+            "FROM src s CROSS JOIN unnest(s.status) AS u(item);"
+            "CREATE VIEW stepped AS SELECT s.id, g.step "
+            "FROM src s CROSS JOIN generate_series(1, 5) AS g(step)"
+        )
+        assert not result.report.unresolved
+        edges = _edges(result)
+        assert ("src.id", "expanded.id", "contribute") in edges
+        # the unnested argument column is referenced by the expansion
+        assert any(
+            edge[0] == "src.status" and edge[1].startswith("expanded.")
+            for edge in edges
+        )
+        assert ("src.id", "stepped.id", "contribute") in edges
+
+
+class TestSchedulingSemantics:
+    def test_merge_never_overwrites_an_earlier_definition(self):
+        dictionary = preprocess(
+            "CREATE VIEW rel AS SELECT s.id FROM src s;"
+            "MERGE INTO rel USING src AS s ON rel.id = s.id "
+            "WHEN MATCHED THEN UPDATE SET id = s.id"
+        )
+        assert dictionary.get("rel").kind == "view"
+        assert any("MERGE on 'rel' ignored" in warning for warning in dictionary.warnings)
+
+    def test_merge_defines_relation_when_nothing_else_does(self):
+        dictionary = preprocess(
+            "MERGE INTO rel USING src AS s ON rel.id = s.id "
+            "WHEN MATCHED THEN UPDATE SET id = s.id"
+        )
+        assert dictionary.get("rel").kind == "merge"
+
+    def test_merge_target_includes_itself_in_table_refs(self):
+        dictionary = preprocess(
+            "MERGE INTO tgt USING src AS s ON tgt.id = s.id "
+            "WHEN MATCHED THEN UPDATE SET id = s.id"
+        )
+        entry = dictionary.get("tgt")
+        assert "tgt" in entry.table_refs()
+        assert entry.dependencies() == {"src"}
+
+    def test_pending_write_target_shadows_catalog_in_stack_mode(self):
+        """A reader processed before the MERGE must defer to it, not fall
+        back to the same-named catalog table — statement order must not
+        change the result (the differential harness's core invariant)."""
+        sql = (
+            # the reader comes FIRST, the MERGE defining tgt's entry second
+            "CREATE VIEW reader AS SELECT t.* FROM tgt t;"
+            "MERGE INTO tgt USING src AS s ON tgt.id = s.id "
+            "WHEN MATCHED THEN UPDATE SET amount = s.amount"
+        )
+        dag_result = LineageXRunner(catalog=_catalog(), mode="dag").run(sql)
+        stack_result = LineageXRunner(catalog=_catalog(), mode="stack").run(sql)
+        assert _edges(dag_result) == _edges(stack_result)
+        # the star expands to the MERGE entry's output columns in both modes
+        reader = dag_result.graph.get("reader")
+        assert reader.output_columns == ["amount"]
+
+    def test_incremental_merge_dedup_mirrors_full_run(self):
+        sources = {
+            "rel": "CREATE VIEW rel AS SELECT s.id FROM src s",
+            "other": "CREATE VIEW other AS SELECT s.flag FROM src s",
+        }
+        runner = LineageXRunner(catalog=_catalog())
+        first = runner.run(sources)
+        # a delta turning 'other' into a MERGE on rel must not overwrite
+        # the view definition another unchanged source still provides
+        updated = first.update(
+            {
+                "other": (
+                    "MERGE INTO rel USING src AS s ON rel.id = s.id "
+                    "WHEN MATCHED THEN UPDATE SET id = s.id"
+                )
+            }
+        )
+        assert updated.query_dictionary.get("rel").kind == "view"
+        assert any(
+            "MERGE on 'rel' ignored" in warning for warning in updated.warnings
+        )
+
+    def test_insert_values_upsert_is_skipped(self):
+        dictionary = preprocess(
+            "INSERT INTO tgt (id) VALUES (1) ON CONFLICT (id) DO UPDATE SET id = 2"
+        )
+        assert len(dictionary) == 0
+        assert dictionary.warnings

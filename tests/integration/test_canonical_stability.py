@@ -44,6 +44,20 @@ HANDWRITTEN = [
     "SELECT a FROM t UNION SELECT b FROM u INTERSECT SELECT c FROM v EXCEPT SELECT d FROM w",
     "SELECT t.a NOT BETWEEN 1 AND 2, t.b NOT LIKE 'x%', t.c IN (1, 2) FROM t",
     "SELECT EXISTS (SELECT 1 FROM u WHERE u.id = t.id) FROM t",
+    # the warehouse DML surface (PR 5)
+    "MERGE INTO tgt AS t USING src AS s ON t.id = s.id "
+    "WHEN MATCHED AND s.flag THEN UPDATE SET a = s.a "
+    "WHEN NOT MATCHED THEN INSERT (id, a) VALUES (s.id, s.a) "
+    "WHEN MATCHED THEN DELETE",
+    "MERGE INTO tgt USING (SELECT a.id FROM a) AS s ON tgt.id = s.id "
+    "WHEN MATCHED THEN DO NOTHING",
+    "INSERT INTO t (a, b) SELECT s.a, s.b FROM s "
+    "ON CONFLICT (a) DO UPDATE SET b = excluded.b WHERE t.a > 0",
+    "INSERT INTO t (a) VALUES (1) ON CONFLICT DO NOTHING",
+    "SELECT s.a, row_number() OVER (ORDER BY s.b) AS rn FROM s QUALIFY rn = 1",
+    "SELECT s.a, s.b, count(*) AS n FROM s GROUP BY GROUPING SETS ((s.a, s.b), (s.a), ())",
+    "SELECT s.a, s.b FROM s GROUP BY ROLLUP (s.a, s.b), CUBE (s.b)",
+    "SELECT s.id, u.item FROM s CROSS JOIN unnest(s.tags) AS u(item)",
 ]
 
 
@@ -72,6 +86,24 @@ def test_handwritten_corpus_is_a_fixed_point():
     )
 )
 def test_generated_pipelines_are_a_fixed_point(warehouse):
+    _assert_fixed_point(warehouse.script)
+
+
+@settings(
+    max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+@given(
+    warehouse=st.builds(
+        workload.generate_warehouse,
+        num_base_tables=st.integers(min_value=2, max_value=5),
+        num_views=st.integers(min_value=5, max_value=25),
+        seed=st.integers(min_value=0, max_value=10_000),
+        extended_probability=st.floats(min_value=0.2, max_value=0.6),
+    )
+)
+def test_extended_pipelines_are_a_fixed_point(warehouse):
+    """The warehouse-DML templates (MERGE/upsert/QUALIFY/grouping/unnest)
+    round-trip through the canonical printer too."""
     _assert_fixed_point(warehouse.script)
 
 
@@ -121,6 +153,35 @@ GOLDEN_CORPUS = {
         "CREATE VIEW windowed AS SELECT w.id, row_number() OVER (PARTITION BY w.g ORDER BY w.id) AS rn "
         "FROM wins w"
     ),
+    # --- the warehouse DML surface; constants produced by the PR 5 code ---
+    "merged": (
+        "MERGE INTO stage AS t USING src AS s ON t.id = s.id "
+        "WHEN MATCHED AND s.flag IS NOT NULL THEN UPDATE SET amount = s.amount "
+        "WHEN NOT MATCHED THEN INSERT (id, amount) VALUES (s.id, s.amount)"
+    ),
+    "upserted": (
+        "INSERT INTO stage (id, val) SELECT s.id, s.val FROM src s "
+        "ON CONFLICT (id) DO UPDATE SET val = excluded.val"
+    ),
+    "qualified": (
+        "CREATE VIEW qualified AS SELECT w.id, row_number() OVER (PARTITION BY w.g ORDER BY w.id) AS rn "
+        "FROM wins w QUALIFY rn = 1"
+    ),
+    "grouping_sets": (
+        "CREATE VIEW grouping_sets AS SELECT t.region, t.kind, count(*) AS n "
+        "FROM metrics t GROUP BY GROUPING SETS ((t.region, t.kind), (t.region), ())"
+    ),
+    "rolled_up": (
+        "CREATE VIEW rolled_up AS SELECT t.region, sum(t.score) AS total "
+        "FROM metrics t GROUP BY ROLLUP (t.region)"
+    ),
+    "unnested": (
+        "CREATE VIEW unnested AS SELECT s.id, u.item FROM src s "
+        "CROSS JOIN unnest(s.tags) AS u(item)"
+    ),
+    "series": (
+        "CREATE VIEW series AS SELECT g.step FROM generate_series(1, 10) AS g(step)"
+    ),
 }
 
 #: (corpus key, statement kind, content_hash) — produced by the PR 3 code
@@ -140,6 +201,14 @@ GOLDEN_HASHES = [
     ("selected", "select", "68ee38d5c0a08ce8a12143d054188e0a3aedc7a04cf6b0ab31e6e498cb2abff0"),
     ("quoted", "view", "8906f258038d33ce8c6cfb2e8d5af30d58b34634847491660dcc27de29560e7a"),
     ("windowed", "view", "9d5db29fa1c07545a6ee8da0254134776a571b5559ac0e17ed0279ad34ac1719"),
+    # warehouse DML kinds, pinned when the PR 5 grammar landed
+    ("merged", "merge", "662dac2f4560b79612823ff63daa819962c588f81867ef433efdb3096c92175c"),
+    ("upserted", "insert", "85b874e7245ba5357f0d47d45b665454b3630125b52442280f54cfe8295d7221"),
+    ("qualified", "view", "e3e1eefcd363083a7e9c3fcb80511921a3d735552e623bca0b1729cf305905a5"),
+    ("grouping_sets", "view", "dcef7ca48abddceaf54f55d71e5ce50c84a02929fe035b598efa1b69fd0cbabc"),
+    ("rolled_up", "view", "a09cd00c780263d75c307b7900f39cd8b2b49ad70a22d4f9b298d04503dfa8d7"),
+    ("unnested", "view", "f28070190cea35273fcbc660e7dfdb80ca5cb3299e4d94d1005a23bffa65d6fc"),
+    ("series", "view", "beed8d6a4cc813ea6c99c2d8c4c864e1cb014ad5c9aedb4b9a2841bf6dbcc281"),
 ]
 
 

@@ -1,0 +1,350 @@
+"""Parser/printer coverage for the warehouse DML surface.
+
+MERGE, INSERT ... ON CONFLICT, QUALIFY and GROUP BY GROUPING
+SETS/ROLLUP/CUBE: structural assertions, canonical-print round trips,
+hypothesis statement strategies, and the trailing-garbage regression tests
+(a statement followed by anything but ``;`` or end of input must raise a
+positioned ParseError, never be accepted silently).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sqlparser import ast, parse, parse_one
+from repro.sqlparser.errors import ParseError
+from repro.sqlparser.printer import to_sql
+
+
+class TestMergeParsing:
+    def test_full_merge_shape(self):
+        statement = parse_one(
+            "MERGE INTO tgt AS t USING src AS s ON t.id = s.id "
+            "WHEN MATCHED AND s.flag THEN UPDATE SET amount = s.amount, status = s.status "
+            "WHEN NOT MATCHED THEN INSERT (id, amount) VALUES (s.id, s.amount) "
+            "WHEN MATCHED THEN DELETE"
+        )
+        assert isinstance(statement, ast.MergeStatement)
+        assert statement.target.dotted() == "tgt"
+        assert statement.alias == "t"
+        assert isinstance(statement.source, ast.TableRef)
+        assert isinstance(statement.condition, ast.BinaryOp)
+        actions = [when.action for when in statement.when_clauses]
+        assert actions == ["update", "insert", "delete"]
+        update = statement.when_clauses[0]
+        assert update.matched and update.condition is not None
+        assert [column for column, _ in update.assignments] == ["amount", "status"]
+        insert = statement.when_clauses[1]
+        assert not insert.matched and insert.columns == ["id", "amount"]
+        assert len(insert.values) == 2
+
+    def test_merge_with_subquery_source_and_do_nothing(self):
+        statement = parse_one(
+            "MERGE INTO tgt USING (SELECT a.id FROM a) AS s ON tgt.id = s.id "
+            "WHEN MATCHED THEN DO NOTHING "
+            "WHEN NOT MATCHED THEN INSERT VALUES (s.id)"
+        )
+        assert isinstance(statement.source, ast.SubquerySource)
+        assert statement.when_clauses[0].action == "nothing"
+        assert statement.when_clauses[1].columns == []
+
+    def test_merge_requires_when_clause(self):
+        with pytest.raises(ParseError):
+            parse("MERGE INTO t USING s ON t.id = s.id")
+
+    def test_merge_and_matched_stay_usable_as_identifiers(self):
+        """MERGE/MATCHED are soft keywords: only 'MERGE INTO' and
+        'WHEN [NOT] MATCHED' are special, so existing corpora naming
+        columns or tables 'merge'/'matched' keep parsing."""
+        statement = parse_one("SELECT t.merge, t.matched AS matched FROM merge t")
+        columns = [p.expression.name for p in statement.query.projections]
+        assert columns == ["merge", "matched"]
+        target = parse_one(
+            "MERGE INTO merge USING matched AS s ON merge.id = s.id "
+            "WHEN MATCHED THEN DELETE"
+        )
+        assert target.target.dotted() == "merge"
+        assert target.source.name.dotted() == "matched"
+
+    def test_invalid_matched_action_combinations_raise(self):
+        """Every real warehouse engine rejects these shapes; accepting them
+        would produce confident-looking lineage for invalid SQL."""
+        with pytest.raises(ParseError, match="cannot UPDATE"):
+            parse(
+                "MERGE INTO t USING s ON t.id = s.id "
+                "WHEN NOT MATCHED THEN UPDATE SET a = s.a"
+            )
+        with pytest.raises(ParseError, match="cannot DELETE"):
+            parse(
+                "MERGE INTO t USING s ON t.id = s.id WHEN NOT MATCHED THEN DELETE"
+            )
+        with pytest.raises(ParseError, match="cannot INSERT"):
+            parse(
+                "MERGE INTO t USING s ON t.id = s.id "
+                "WHEN MATCHED THEN INSERT (a) VALUES (s.a)"
+            )
+
+    def test_merge_insert_arity_mismatch_raises(self):
+        with pytest.raises(ParseError) as exc:
+            parse(
+                "MERGE INTO t USING s ON t.id = s.id "
+                "WHEN NOT MATCHED THEN INSERT (a, b) VALUES (s.a)"
+            )
+        assert "declares 2 columns" in str(exc.value)
+        with pytest.raises(ParseError):
+            parse(
+                "MERGE INTO t USING s ON t.id = s.id "
+                "WHEN NOT MATCHED THEN INSERT (a) VALUES (s.a, s.b)"
+            )
+
+    def test_merge_bare_alias(self):
+        statement = parse_one(
+            "MERGE INTO tgt t USING src s ON t.id = s.id "
+            "WHEN MATCHED THEN DELETE"
+        )
+        assert statement.alias == "t"
+        assert statement.source.alias == "s"
+
+
+class TestOnConflictParsing:
+    def test_do_update(self):
+        statement = parse_one(
+            "INSERT INTO t (a, b) SELECT s.a, s.b FROM s "
+            "ON CONFLICT (a) DO UPDATE SET b = excluded.b WHERE t.a > 0"
+        )
+        clause = statement.on_conflict
+        assert clause is not None and clause.do_update
+        assert clause.columns == ["a"]
+        assert [column for column, _ in clause.assignments] == ["b"]
+        assert clause.where is not None
+
+    def test_do_nothing_without_target(self):
+        statement = parse_one("INSERT INTO t (a) VALUES (1) ON CONFLICT DO NOTHING")
+        clause = statement.on_conflict
+        assert clause is not None and not clause.do_update and clause.columns == []
+
+    def test_plain_insert_has_no_clause(self):
+        assert parse_one("INSERT INTO t (a) VALUES (1)").on_conflict is None
+
+    def test_conflict_requires_do(self):
+        with pytest.raises(ParseError):
+            parse("INSERT INTO t (a) VALUES (1) ON CONFLICT (a) UPDATE SET a = 1")
+
+
+class TestQualifyParsing:
+    def test_qualify_after_having(self):
+        statement = parse_one(
+            "SELECT s.a, count(*) AS n FROM s GROUP BY s.a HAVING count(*) > 1 "
+            "QUALIFY row_number() OVER (ORDER BY s.a) = 1"
+        )
+        assert statement.query.qualify is not None
+
+    def test_qualify_after_window_clause(self):
+        statement = parse_one(
+            "SELECT s.a, rank() OVER w FROM s WINDOW w AS (ORDER BY s.a) QUALIFY rank() OVER w < 3"
+        )
+        assert statement.query.qualify is not None
+        assert statement.query.windows
+
+    def test_qualify_stays_usable_as_an_identifier(self):
+        """QUALIFY is a soft keyword: 'qualify' keeps working as a column
+        or table name, and as an explicit (AS) alias."""
+        statement = parse_one("SELECT t.qualify FROM t")
+        assert statement.query.projections[0].expression.name == "qualify"
+        statement = parse_one("SELECT q.a FROM qualify AS q")
+        assert statement.query.from_sources[0].name.dotted() == "qualify"
+        statement = parse_one("SELECT a AS qualify FROM t")
+        assert statement.query.projections[0].alias == "qualify"
+        # only the *implicit* FROM-item alias position treats the bare word
+        # as the clause introducer (the Snowflake/DuckDB tradeoff)
+        statement = parse_one("SELECT t.a FROM t QUALIFY t.a = 1")
+        assert statement.query.qualify is not None
+        assert statement.query.from_sources[0].alias is None
+
+    def test_qualify_then_order_by(self):
+        statement = parse_one(
+            "SELECT s.a, row_number() OVER (ORDER BY s.a) AS rn FROM s "
+            "QUALIFY rn = 1 ORDER BY s.a LIMIT 5"
+        )
+        query = statement.query
+        assert query.qualify is not None
+        assert query.order_by and query.limit is not None
+
+
+class TestGroupingSets:
+    def test_grouping_sets_structure(self):
+        statement = parse_one(
+            "SELECT s.a, s.b FROM s GROUP BY GROUPING SETS ((s.a, s.b), (s.a), ())"
+        )
+        (spec,) = statement.query.group_by
+        assert isinstance(spec, ast.GroupingSetSpec)
+        assert spec.kind == "GROUPING SETS"
+        assert [len(item.items) for item in spec.items] == [2, 1, 0]
+
+    def test_rollup_and_cube(self):
+        statement = parse_one(
+            "SELECT s.a, s.b FROM s GROUP BY ROLLUP (s.a, s.b), CUBE (s.a), s.b"
+        )
+        rollup, cube, plain = statement.query.group_by
+        assert rollup.kind == "ROLLUP" and len(rollup.items) == 2
+        assert cube.kind == "CUBE" and len(cube.items) == 1
+        assert isinstance(plain, ast.ColumnRef)
+
+    def test_rollup_as_plain_identifier_still_works(self):
+        # without a following '(' the words stay ordinary identifiers
+        statement = parse_one("SELECT t.rollup FROM t GROUP BY t.rollup")
+        (item,) = statement.query.group_by
+        assert isinstance(item, ast.ColumnRef)
+
+
+ROUND_TRIP = [
+    "MERGE INTO tgt AS t USING src AS s ON t.id = s.id WHEN MATCHED THEN UPDATE SET a = s.a",
+    "MERGE INTO tgt USING src AS s ON tgt.id = s.id WHEN NOT MATCHED THEN INSERT (id) VALUES (s.id) WHEN MATCHED THEN DELETE",
+    "MERGE INTO tgt USING (SELECT a.id FROM a) AS s ON tgt.id = s.id WHEN MATCHED THEN DO NOTHING",
+    "INSERT INTO t (a, b) SELECT s.a, s.b FROM s ON CONFLICT (a) DO UPDATE SET b = excluded.b",
+    "INSERT INTO t (a) VALUES (1) ON CONFLICT DO NOTHING",
+    "SELECT s.a, row_number() OVER (PARTITION BY s.a ORDER BY s.b) AS rn FROM s QUALIFY rn = 1",
+    "SELECT s.a, s.b, count(*) AS n FROM s GROUP BY GROUPING SETS ((s.a, s.b), (s.a), ())",
+    "SELECT s.a, s.b FROM s GROUP BY ROLLUP (s.a, s.b)",
+    "SELECT s.a, s.b FROM s GROUP BY CUBE (s.a, (s.a, s.b)), s.b",
+    "SELECT u.x FROM unnest(arr) AS u(x)",
+    "SELECT g.i, s.id FROM s CROSS JOIN generate_series(1, 5) AS g(i)",
+]
+
+
+def test_round_trip_fixed_point():
+    for sql in ROUND_TRIP:
+        first = to_sql(parse_one(sql))
+        second = to_sql(parse_one(first))
+        assert first == second, sql
+
+
+# ----------------------------------------------------------------------
+# Hypothesis statement strategies for the new grammar
+# ----------------------------------------------------------------------
+_NAMES = st.sampled_from(["t0", "t1", "src", "tgt", "stage"])
+_COLUMNS = st.sampled_from(["id", "a", "b", "amount", "status", "val"])
+
+
+@st.composite
+def merge_sql(draw):
+    target = draw(_NAMES)
+    source = draw(_NAMES.filter(lambda name: name != target))
+    match = draw(_COLUMNS)
+    arms = []
+    for _ in range(draw(st.integers(min_value=1, max_value=3))):
+        matched = draw(st.booleans())
+        guard = f" AND s.{draw(_COLUMNS)} IS NOT NULL" if draw(st.booleans()) else ""
+        action = draw(
+            st.sampled_from(
+                ["update", "delete", "nothing"] if matched else ["insert", "nothing"]
+            )
+        )
+        if action == "update":
+            body = f"UPDATE SET {draw(_COLUMNS)} = s.{draw(_COLUMNS)}"
+        elif action == "delete":
+            body = "DELETE"
+        elif action == "insert":
+            columns = draw(st.lists(_COLUMNS, min_size=1, max_size=3, unique=True))
+            values = ", ".join(f"s.{draw(_COLUMNS)}" for _ in columns)
+            body = f"INSERT ({', '.join(columns)}) VALUES ({values})"
+        else:
+            body = "DO NOTHING"
+        arms.append(
+            f"WHEN {'MATCHED' if matched else 'NOT MATCHED'}{guard} THEN {body}"
+        )
+    return (
+        f"MERGE INTO {target} AS t USING {source} AS s ON t.{match} = s.{match} "
+        + " ".join(arms)
+    )
+
+
+@st.composite
+def qualify_sql(draw):
+    source = draw(_NAMES)
+    kept = draw(st.lists(_COLUMNS, min_size=1, max_size=3, unique=True))
+    partition = draw(_COLUMNS)
+    order = draw(_COLUMNS)
+    projected = ", ".join(f"s.{column}" for column in kept)
+    return (
+        f"SELECT {projected}, row_number() OVER (PARTITION BY s.{partition} "
+        f"ORDER BY s.{order}) AS rn FROM {source} s QUALIFY rn = 1"
+    )
+
+
+@st.composite
+def grouping_sql(draw):
+    source = draw(_NAMES)
+    first = draw(_COLUMNS)
+    second = draw(_COLUMNS.filter(lambda column: column != first))
+    kind = draw(st.sampled_from(["GROUPING SETS", "ROLLUP", "CUBE"]))
+    if kind == "GROUPING SETS":
+        clause = f"GROUPING SETS ((s.{first}, s.{second}), (s.{first}), ())"
+    else:
+        clause = f"{kind} (s.{first}, s.{second})"
+    return (
+        f"SELECT s.{first}, s.{second}, count(*) AS n "
+        f"FROM {source} s GROUP BY {clause}"
+    )
+
+
+@st.composite
+def unnest_sql(draw):
+    source = draw(_NAMES)
+    kept = draw(_COLUMNS)
+    if draw(st.booleans()):
+        return (
+            f"SELECT s.{kept}, u.item FROM {source} s "
+            f"CROSS JOIN unnest(s.{draw(_COLUMNS)}) AS u(item)"
+        )
+    return (
+        f"SELECT s.{kept}, g.step FROM {source} s "
+        f"CROSS JOIN generate_series(1, {draw(st.integers(min_value=2, max_value=99))}) AS g(step)"
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(sql=st.one_of(merge_sql(), qualify_sql(), grouping_sql(), unnest_sql()))
+def test_generated_dml_round_trips(sql):
+    statement = parse_one(sql)
+    canonical = to_sql(statement)
+    assert to_sql(parse_one(canonical)) == canonical
+
+
+# ----------------------------------------------------------------------
+# Trailing garbage after a statement must raise, with a position
+# ----------------------------------------------------------------------
+GARBAGE_CASES = [
+    "SELECT a FROM t WHERE a = 1 1 2",
+    "SELECT a FROM t ORDER BY a DESC extra junk",
+    "UPDATE t SET a = 1 JUNK",
+    "DELETE FROM t WHERE t.a = 1 JUNK MORE",
+    "DROP TABLE t JUNK",
+    "INSERT INTO t (a) VALUES (1) trailing",
+    "CREATE VIEW v AS SELECT 1 JUNK extra",
+    "MERGE INTO t USING s ON t.id = s.id WHEN MATCHED THEN DELETE garbage here",
+    "SELECT a FROM t QUALIFY",  # QUALIFY with no predicate
+    "SELECT a FROM t; SELECT b FROM u 1",
+]
+
+
+class TestTrailingGarbage:
+    @pytest.mark.parametrize("sql", GARBAGE_CASES)
+    def test_garbage_raises(self, sql):
+        with pytest.raises(ParseError):
+            parse(sql)
+
+    def test_error_names_the_token_and_position(self):
+        with pytest.raises(ParseError) as exc:
+            parse("UPDATE t SET a = 1 JUNK")
+        message = str(exc.value)
+        assert "unexpected token 'JUNK' after end of statement" in message
+        assert "column 20" in message
+
+    def test_keyword_garbage_also_raises(self):
+        with pytest.raises(ParseError) as exc:
+            parse("SELECT a FROM t WHERE a = 1 GROUP BY a ROLLUP")
+        assert "after end of statement" in str(exc.value)
+
+    def test_semicolon_separated_statements_still_parse(self):
+        statements = parse("SELECT a FROM t; SELECT b FROM u;")
+        assert len(statements) == 2

@@ -234,6 +234,90 @@ class TestSelfReferenceSoundness:
         assert warm.report.reused == ["t"]
 
 
+class TestVersionSkew:
+    """Records written by an older extractor must miss cleanly and heal."""
+
+    def test_old_extractor_version_records_cold_miss_then_heal(
+        self, tmp_path, monkeypatch
+    ):
+        import repro.core.runner as runner_module
+
+        # simulate a store populated by the pre-PR extractor: every lineage
+        # record is keyed under the previous EXTRACTOR_VERSION
+        monkeypatch.setattr(
+            runner_module, "EXTRACTOR_VERSION", runner_module.EXTRACTOR_VERSION - 1
+        )
+        old = _run(tmp_path)
+        assert old.stats()["num_reused_store"] == 0
+        monkeypatch.undo()
+
+        # under the current version every old record is a silent cold miss:
+        # the run re-extracts everything and re-persists under the new key
+        warm = _run(tmp_path)
+        assert warm.report.reused == []
+        assert diff_graphs(warm.graph, old.graph).is_identical
+
+        # ... so the store heals: the next run splices everything again
+        healed = _run(tmp_path)
+        assert set(healed.report.reused) == {"staging", "report"}
+        assert diff_graphs(healed.graph, old.graph).is_identical
+
+    def test_old_parse_record_version_is_a_cold_miss(self, tmp_path, monkeypatch):
+        import importlib
+
+        # repro.core re-exports the preprocess *function*, which shadows the
+        # module attribute "import ... as" resolves through
+        preprocess_module = importlib.import_module("repro.core.preprocess")
+
+        monkeypatch.setattr(
+            preprocess_module,
+            "PARSE_RECORD_VERSION",
+            preprocess_module.PARSE_RECORD_VERSION - 1,
+        )
+        _run(tmp_path)
+        monkeypatch.undo()
+
+        # parse records are keyed on PARSE_RECORD_VERSION: a version bump
+        # means the fragments re-parse (entries are eagerly parsed again)
+        store = LineageStore(tmp_path / "cache")
+        result = LineageXRunner(store=store).run(SQL)
+        store.close()
+        assert all(entry.is_parsed for _, entry in result.query_dictionary.items())
+
+    def test_merge_statements_warm_start(self, tmp_path):
+        """The new statement kinds round-trip through the store."""
+        sql = (
+            "CREATE TABLE tgt (id int, amount int);\n"
+            "CREATE TABLE src (id int, amount int, flag bool);\n"
+            "CREATE VIEW picks AS SELECT s.id, s.amount, s.flag FROM src s;\n"
+            "MERGE INTO tgt AS t USING picks AS p ON t.id = p.id "
+            "WHEN MATCHED AND p.flag THEN UPDATE SET amount = p.amount "
+            "WHEN NOT MATCHED THEN INSERT (id, amount) VALUES (p.id, p.amount);\n"
+            "CREATE VIEW report AS SELECT t.amount FROM tgt t;\n"
+        )
+        cold = _run(tmp_path, sources=sql)
+        warm = _run(tmp_path, sources=sql)
+        assert set(warm.report.reused) == {"picks", "tgt", "report"}
+        assert diff_graphs(warm.graph, cold.graph).is_identical
+
+    def test_merge_target_ddl_change_invalidates_the_merge_record(self, tmp_path):
+        sql = (
+            "CREATE TABLE tgt (id int, amount int);\n"
+            "CREATE TABLE src (id int, amount int);\n"
+            "MERGE INTO tgt USING src AS s ON tgt.id = s.id "
+            "WHEN MATCHED THEN UPDATE SET amount = s.amount;\n"
+        )
+        _run(tmp_path, sources=sql)
+        changed = sql.replace(
+            "CREATE TABLE tgt (id int, amount int);",
+            "CREATE TABLE tgt (id int, amount int, extra int);",
+        )
+        warm = _run(tmp_path, sources=changed)
+        # the MERGE's SQL is unchanged but its written target's schema is
+        # part of the fingerprint -> no stale warm hit
+        assert "tgt" not in warm.report.reused
+
+
 class TestParseCacheCorruption:
     def test_poisoned_statement_record_degrades_to_cold_retry(self, tmp_path):
         import sqlite3
