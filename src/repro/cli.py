@@ -140,6 +140,23 @@ def _add_extraction_options(parser):
         "this directory's cache and persist new extractions (warm starts "
         "across runs; see the 'cache' subcommand for maintenance)",
     )
+    parser.add_argument(
+        "--cache-shards",
+        type=_positive_int,
+        metavar="N",
+        default=None,
+        help="shard a NEWLY created store at --cache-dir across N SQLite "
+        "files routed by content-hash prefix (parallel warm-start reads, "
+        "per-shard write transactions); an existing store keeps its "
+        "layout — re-shard it with 'cache migrate'",
+    )
+    parser.add_argument(
+        "--stream",
+        action="store_true",
+        help="bounded-memory extraction for very large corpora: release "
+        "each statement's AST as soon as it is no longer needed and ship "
+        "parallel waves as shard-routed batches (byte-identical output)",
+    )
 
 
 def build_parser():
@@ -261,9 +278,10 @@ def build_subcommand_parser():
         "cache", help="inspect or maintain a persistent lineage store"
     )
     cache.add_argument(
-        "action", choices=["stats", "clear", "gc"],
+        "action", choices=["stats", "clear", "gc", "migrate"],
         help="stats: print store counters; clear: delete every record; "
-        "gc: evict stale records",
+        "gc: evict stale records; migrate: re-shard the store in place "
+        "(records and cache keys are preserved verbatim)",
     )
     cache.add_argument(
         "--cache-dir", metavar="DIR", required=True,
@@ -276,6 +294,10 @@ def build_subcommand_parser():
     cache.add_argument(
         "--max-entries", type=_positive_int, metavar="N", default=None,
         help="gc: keep only the N most recently used lineage records",
+    )
+    cache.add_argument(
+        "--shards", type=_positive_int, metavar="N", default=None,
+        help="migrate: the target shard count (1 = back to a single file)",
     )
     cache.set_defaults(handler=_cmd_cache)
 
@@ -308,6 +330,8 @@ def _session_from_args(args):
         engine=args.engine,
         executor=args.executor,
         cache_dir=args.cache_dir,
+        stream=args.stream,
+        cache_shards=args.cache_shards,
     )
     return LineageSession(source, catalog=catalog, config=config)
 
@@ -394,6 +418,21 @@ def _cmd_refresh(args, stdout):
 def _cmd_cache(args, stdout):
     from .store import LineageStore
 
+    if args.action == "migrate":
+        if args.shards is None:
+            print("error: cache migrate needs --shards", file=sys.stderr)
+            return 2
+        moved = LineageStore.migrate(args.cache_dir, args.shards)
+        layout = LineageStore(args.cache_dir)
+        try:
+            print(
+                f"migrated {moved} records; store now has "
+                f"{layout.num_shards} shard(s)",
+                file=stdout,
+            )
+        finally:
+            layout.close()
+        return 0
     store = LineageStore(args.cache_dir)
     try:
         if args.action == "stats":

@@ -158,6 +158,10 @@ class DependencyDAG:
         self.dependents = {}       # identifier -> set of internal identifiers reading it
         self.readers = {}          # any relation name -> set of identifiers reading it
         self.references = {}       # identifier -> every relation name it reads
+        self._waves_cache = None   # memoized waves() result (the DAG is
+                                   # immutable once built, and the runner
+                                   # consults the plan repeatedly: store
+                                   # splicing, scheduling, stats)
 
     # ------------------------------------------------------------------
     @classmethod
@@ -189,7 +193,14 @@ class DependencyDAG:
         ``deferred`` holds the identifiers that could not be scheduled
         because they sit on (or downstream of) a dependency cycle.  Both are
         deterministic: Query Dictionary insertion order breaks all ties.
+
+        The layering is computed once and memoized (the DAG never changes
+        after :meth:`from_query_dictionary`); callers get fresh outer
+        lists, so mutating a returned plan cannot corrupt the memo.
         """
+        if self._waves_cache is not None:
+            waves, deferred = self._waves_cache
+            return [list(wave) for wave in waves], list(deferred)
         position = {identifier: index for index, identifier in enumerate(self.nodes)}
         indegree = {
             identifier: len(self.dependencies[identifier]) for identifier in self.nodes
@@ -213,7 +224,8 @@ class DependencyDAG:
         deferred = [
             identifier for identifier in self.nodes if indegree[identifier] > 0
         ]
-        return waves, deferred
+        self._waves_cache = (waves, deferred)
+        return [list(wave) for wave in waves], list(deferred)
 
     def topological_order(self):
         """A flat topological order (waves concatenated, cyclic leftovers last)."""

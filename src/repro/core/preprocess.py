@@ -29,6 +29,12 @@ from ..sqlparser.visitor import created_name, query_of
 #: canonical shape of statements that previously parsed loosely.
 PARSE_RECORD_VERSION = 3
 
+#: fragments announced to the parse cache per prefetch window.  Matches
+#: the store's ``IN (...)`` chunk width, so one window = one batched
+#: SELECT per shard; it also bounds how many raw source texts streaming
+#: preprocessing holds in memory at once.
+PREFETCH_CHUNK = 400
+
 
 class ParsedQuery:
     """One entry of the Query Dictionary.
@@ -132,6 +138,27 @@ class ParsedQuery:
             self._table_refs = frozenset(statement_table_refs(self.statement))
         return self._table_refs
 
+    def release(self):
+        """Drop the materialised AST; it re-materialises lazily on demand.
+
+        The streaming extraction path calls this right after an entry's
+        lineage has been recorded, so a 100k-statement run holds at most
+        one wave's ASTs at a time instead of the whole corpus's.  The
+        derived facts that outlive extraction (``table_refs``,
+        ``content_hash``) are forced into their caches first, so nothing
+        observable changes — a released entry behaves exactly like one
+        replayed from the parse cache.  Returns ``True`` when an AST was
+        actually dropped.  A no-op for entries with no canonical SQL to
+        re-parse from (they could never rebuild the AST).
+        """
+        if not self.statement_sql or self._statement is None:
+            return False
+        self.table_refs()
+        _ = self.content_hash
+        self._statement = None
+        self._query = None
+        return True
+
     def dependencies(self):
         """Relations this entry reads (the self-reference excluded)."""
         return self.table_refs() - {self.identifier}
@@ -224,7 +251,7 @@ class QueryDictionary:
             yield identifier, self.entries[identifier]
 
 
-def preprocess(source, id_generator=None, parse_cache=None):
+def preprocess(source, id_generator=None, parse_cache=None, retain_asts=True):
     """Build a :class:`QueryDictionary` from ``source``.
 
     ``source`` may be:
@@ -232,7 +259,11 @@ def preprocess(source, id_generator=None, parse_cache=None):
     * a SQL script string (possibly containing many statements),
     * a list of SQL script strings,
     * a mapping ``{name: sql}`` (dbt-style: the key names bare SELECTs),
-    * a path to a ``.sql`` file or to a directory of ``.sql`` files.
+    * a path to a ``.sql`` file or to a directory of ``.sql`` files,
+    * any other iterable (including a generator) yielding SQL strings or
+      ``(name, sql)`` pairs — the streaming input: fragments are consumed
+      in :data:`PREFETCH_CHUNK` windows, so a 100k-statement corpus never
+      materialises as one giant list of source texts.
 
     ``id_generator`` customises how anonymous SELECT statements are named;
     it is called with a running counter and must return a string.  The
@@ -245,37 +276,69 @@ def preprocess(source, id_generator=None, parse_cache=None):
     :meth:`repro.store.LineageStore.parse_cache`.  Source fragments found
     in the cache are *replayed* from their serialized statement records
     instead of being parsed; the resulting entries materialise their ASTs
-    lazily, so a fully warm run never parses at all.
+    lazily, so a fully warm run never parses at all.  Fragments are
+    announced to the cache one window at a time (``prefetch``), which
+    batches the reads without holding every raw text at once.
+
+    ``retain_asts`` (default ``True``) controls whether cold-parsed
+    entries keep their ASTs.  With ``False`` — the streaming mode — each
+    entry drops its AST as soon as its parse record exists; everything
+    the DAG needs (``table_refs``, ``content_hash``) is served from the
+    record, and extraction re-materialises each AST lazily from the
+    canonical SQL, wave by wave.  The full AST population then never
+    coexists, trading one extra (fast, canonical-text) parse per
+    extracted statement for a flat memory profile.
     """
     if id_generator is None:
         id_generator = lambda counter: f"query_{counter}"  # noqa: E731
 
     dictionary = QueryDictionary()
     counter = 0
-    fragments = list(_iter_sources(source))
-    if parse_cache is not None:
-        # announce every fragment up front: a cache that supports batched
-        # reads (the store-backed one does) resolves all keys in O(chunks)
-        # SELECTs instead of one point query per fragment
-        prefetch = getattr(parse_cache, "prefetch", None)
+    prefetch = (
+        getattr(parse_cache, "prefetch", None) if parse_cache is not None else None
+    )
+    for window in _windows(_iter_sources(source), PREFETCH_CHUNK):
         if prefetch is not None:
-            prefetch([sql for _, sql in fragments])
-    for default_name, sql in fragments:
-        statements = None
-        records = parse_cache.get(sql) if parse_cache is not None else None
-        if records is not None:
-            records = _validated_fragment(records)
-        if records is None:
-            statements = parse(sql)
-            records = [_statement_record(statement) for statement in statements]
-            if parse_cache is not None:
-                parse_cache.put(sql, records)
-        for index, record in enumerate(records):
-            statement = statements[index] if statements is not None else None
-            counter = _apply_record(
-                dictionary, record, statement, default_name, sql, counter, id_generator
-            )
+            # announce the window up front: a cache that supports batched
+            # reads (the store-backed one does) resolves all its keys in
+            # one SELECT per shard instead of one point query per fragment
+            prefetch([sql for _, sql in window])
+        for default_name, sql in window:
+            statements = None
+            records = parse_cache.get(sql) if parse_cache is not None else None
+            if records is not None:
+                records = _validated_fragment(records)
+            if records is None:
+                statements = parse(sql)
+                records = [_statement_record(statement) for statement in statements]
+                if parse_cache is not None:
+                    parse_cache.put(sql, records)
+            for index, record in enumerate(records):
+                statement = statements[index] if statements is not None else None
+                if statement is not None and not retain_asts and record["kind"] not in (
+                    "ddl", "skip"
+                ):
+                    # the record carries table_refs + content_hash, so the
+                    # entry stays lazy exactly like a parse-cache replay
+                    # (DDL is exempt: its AST seeds the catalog eagerly)
+                    statement = None
+                counter = _apply_record(
+                    dictionary, record, statement, default_name, sql, counter,
+                    id_generator,
+                )
     return dictionary
+
+
+def _windows(iterable, size):
+    """Yield lists of up to ``size`` items from ``iterable``."""
+    window = []
+    for item in iterable:
+        window.append(item)
+        if len(window) >= size:
+            yield window
+            window = []
+    if window:
+        yield window
 
 
 def _statement_record(statement):
@@ -538,12 +601,28 @@ def _iter_sources(source):
         return
     if isinstance(source, (list, tuple)):
         for item in source:
-            yield None, item
+            yield from _iter_item(item)
         return
-    raise TypeError(
-        "unsupported source type for preprocess(): expected str, path, list or dict, "
-        f"got {type(source).__name__}"
-    )
+    try:
+        iterator = iter(source)
+    except TypeError:
+        raise TypeError(
+            "unsupported source type for preprocess(): expected str, path, "
+            f"iterable or dict, got {type(source).__name__}"
+        ) from None
+    # any other iterable — a generator, most usefully: fragments stream
+    # through preprocessing one prefetch window at a time
+    for item in iterator:
+        yield from _iter_item(item)
+
+
+def _iter_item(item):
+    """One streamed fragment: a SQL string or a ``(name, sql)`` pair."""
+    if isinstance(item, tuple) and len(item) == 2:
+        name, sql = item
+        yield (None if name is None else normalize_name(str(name))), sql
+    else:
+        yield None, item
 
 
 def _looks_like_path(text):

@@ -159,6 +159,41 @@ class LineageXResult:
         return runner.run_incremental(self, changes)
 
 
+def _is_one_shot_iterator(source):
+    """True for sources that can only be consumed once (generators etc.)."""
+    if isinstance(source, (str, bytes, dict, list, tuple, os.PathLike)):
+        return False
+    try:
+        return iter(source) is source
+    except TypeError:
+        return False
+
+
+class _ReiterableSource:
+    """Wrap a one-shot iterator source so a cold retry can re-consume it.
+
+    The runner's parse-cache healing path re-runs preprocessing when a
+    replayed record turns out to be poisoned; a generator source would be
+    exhausted by then.  This wrapper records items as they stream through
+    (raw SQL text only — the bulky ASTs are never retained), so the retry
+    replays the already-consumed prefix and continues with the rest.
+    """
+
+    def __init__(self, iterator):
+        self._iterator = iterator
+        self._seen = []
+        self._done = False
+
+    def __iter__(self):
+        for item in self._seen:
+            yield item
+        if not self._done:
+            for item in self._iterator:
+                self._seen.append(item)
+                yield item
+            self._done = True
+
+
 class _PutOnlyParseCache:
     """A parse cache that never replays — used for the cold-retry path.
 
@@ -193,6 +228,7 @@ class LineageXRunner:
         executor="thread",
         store=None,
         dialect="postgres",
+        stream=False,
     ):
         self.catalog = catalog
         self.strict = strict
@@ -206,6 +242,13 @@ class LineageXRunner:
         #: consults it before scheduling and persists new results after.
         self.store = store
         self.dialect = dialect
+        #: streaming mode for statement counts beyond what comfortably fits
+        #: in memory as ASTs: preprocessing consumes the source lazily (it
+        #: may be a generator) and drops each cold-parsed AST immediately,
+        #: extraction re-materialises ASTs wave by wave and releases them
+        #: after recording, and parallel waves ship as shard-routed batches.
+        #: Results are byte-identical to the default mode.
+        self.stream = stream
 
     # ------------------------------------------------------------------
     def run(self, source):
@@ -213,8 +256,16 @@ class LineageXRunner:
         parse_cache = self._parse_cache()
         if parse_cache is not None:
             try:
+                if _is_one_shot_iterator(source):
+                    # a one-shot iterator would be exhausted if the cold
+                    # retry below fires; record the raw fragments as they
+                    # stream through so the retry can replay them
+                    source = _ReiterableSource(source)
                 query_dictionary = preprocess(
-                    source, id_generator=self.id_generator, parse_cache=parse_cache
+                    source,
+                    id_generator=self.id_generator,
+                    parse_cache=parse_cache,
+                    retain_asts=not self.stream,
                 )
                 return self._run_scheduler(query_dictionary)
             except LineageRecordError:
@@ -224,7 +275,10 @@ class LineageXRunner:
                 # fragment records are overwritten with fresh ones
                 parse_cache = _PutOnlyParseCache(parse_cache)
         query_dictionary = preprocess(
-            source, id_generator=self.id_generator, parse_cache=parse_cache
+            source,
+            id_generator=self.id_generator,
+            parse_cache=parse_cache,
+            retain_asts=not self.stream,
         )
         return self._run_scheduler(query_dictionary)
 
@@ -426,6 +480,11 @@ class LineageXRunner:
             self._splice_from_store(
                 store, query_dictionary, catalog, dag, seed_results, seed_origins
             )
+        shard_router = None
+        if self.stream and store is not None:
+            shard_of = getattr(store, "shard_of", None)
+            if shard_of is not None:
+                shard_router = lambda entry: shard_of(entry.content_hash)  # noqa: E731
         scheduler = AutoInferenceScheduler(
             query_dictionary,
             catalog=catalog,
@@ -438,6 +497,9 @@ class LineageXRunner:
             seed_results=seed_results,
             seed_origins=seed_origins,
             dag=dag,
+            release_asts=self.stream,
+            wave_batching=self.stream,
+            shard_router=shard_router,
         )
         graph, report = scheduler.run()
         self._attach_base_tables(graph, catalog)
@@ -540,7 +602,7 @@ class LineageXRunner:
                 unresolvable.add(identifier)
                 continue
             key = self._record_key(entry, catalog, lookup)
-            cached = store.get(key)
+            cached = store.get(key, content_hash=entry.content_hash)
             if cached is None:
                 unresolvable.add(identifier)
                 continue
@@ -579,6 +641,7 @@ class LineageXRunner:
                 return table.column_names()
             return None
 
+        rows = []
         for identifier in report.order:
             if identifier in report.unresolved:
                 continue
@@ -593,14 +656,21 @@ class LineageXRunner:
             key = make_key(
                 entry.content_hash, self.dialect, EXTRACTOR_VERSION, fingerprint
             )
-            store.put(
-                key,
-                lineage,
-                content_hash=entry.content_hash,
-                dialect=self.dialect,
-                extractor_version=EXTRACTOR_VERSION,
-                schema_fingerprint=fingerprint,
+            rows.append(
+                (
+                    key,
+                    lineage,
+                    {
+                        "content_hash": entry.content_hash,
+                        "dialect": self.dialect,
+                        "extractor_version": EXTRACTOR_VERSION,
+                        "schema_fingerprint": fingerprint,
+                    },
+                )
             )
+        # one executemany-backed transaction per store shard instead of a
+        # round trip per record — the write-side analogue of prime()
+        store.put_many(rows)
         store.flush()
 
     # ------------------------------------------------------------------

@@ -84,6 +84,38 @@ def extract_statement_job(entry, schemas, pending, strict, collect_trace):
     return extractor.extract_statement(entry)
 
 
+def extract_statement_batch_job(jobs, strict, collect_trace):
+    """Extract a batch of wave entries in one worker round trip.
+
+    ``jobs`` is a list of ``(entry, schemas, pending)`` triples, each the
+    payload of one :func:`extract_statement_job`.  The 100k-statement
+    scale tier made per-entry submission a bottleneck: wide waves mean
+    tens of thousands of futures, each paying pickling and queue overhead
+    for milliseconds of work.  Batches amortise that, and the scheduler
+    routes each batch by store shard (content-hash prefix), so the
+    results a batch produces land in one shard's transaction when the
+    runner bulk-persists them.
+
+    Outcomes are per entry and positional: ``("ok", lineage, trace)`` or
+    ``("defer", None, None)`` for an :class:`UnknownRelationError` (a
+    dependency the pre-pass could not see — that *entry* falls back to
+    the deferral stack, not the whole batch).  Any other exception
+    propagates and fails the batch's future, exactly like the per-entry
+    job.
+    """
+    outcomes = []
+    for entry, schemas, pending in jobs:
+        try:
+            lineage, trace = extract_statement_job(
+                entry, schemas, pending, strict, collect_trace
+            )
+        except UnknownRelationError:
+            outcomes.append(("defer", None, None))
+        else:
+            outcomes.append(("ok", lineage, trace))
+    return outcomes
+
+
 def _probe_job():
     """A no-op shipped through a fresh process pool to prove it works."""
     return True
@@ -223,6 +255,9 @@ class AutoInferenceScheduler:
         seed_results=None,
         seed_origins=None,
         dag=None,
+        release_asts=False,
+        wave_batching=False,
+        shard_router=None,
     ):
         if mode not in ("dag", "stack"):
             raise ValueError(f"mode must be 'dag' or 'stack', got {mode!r}")
@@ -239,6 +274,17 @@ class AutoInferenceScheduler:
         self.mode = mode if use_stack else "stack"
         self.workers = workers
         self.executor = executor
+        #: streaming mode: drop each entry's AST as soon as its lineage is
+        #: recorded, so a run holds at most one wave's ASTs at a time.
+        self.release_asts = release_asts
+        #: streaming mode: ship each wave to the pool as a few
+        #: :func:`extract_statement_batch_job` batches instead of one
+        #: future per entry (see that function's docstring).
+        self.wave_batching = wave_batching
+        #: optional ``entry -> shard index`` callable (the runner passes
+        #: the store's content-hash routing); batches are grouped by it so
+        #: one batch's results persist into one shard's transaction.
+        self.shard_router = shard_router
         self.results = {}
         #: name -> (TableLineage._version, [columns]); the provider's
         #: per-relation resolved-column memo (see _SchedulerProvider).
@@ -422,13 +468,66 @@ class AutoInferenceScheduler:
         failure) flags ``_pool_broken`` and hands the rest of the wave to
         the sequential path instead of failing the run.
         """
-        futures = []
+        jobs = []
         for identifier in todo:
             entry = self.query_dictionary.get(identifier)
             schemas, pending = self._schema_snapshot(identifier)
-            futures.append(
-                (
-                    identifier,
+            jobs.append((identifier, entry, schemas, pending))
+        # Drain every future BEFORE recording anything, and record in wave
+        # (= submission) order, so the recorded order — and with it the
+        # report — never depends on worker timing or batch composition.
+        fallback = []
+        outcomes = {}
+        for identifiers, future in self._submit_wave(pool, jobs):
+            try:
+                result = future.result()
+            except UnknownRelationError:
+                fallback.extend(identifiers)
+                continue
+            except BrokenExecutor:
+                self._pool_broken = True
+                fallback.extend(identifiers)
+                continue
+            except (pickle.PicklingError, TypeError) as error:
+                # an un-picklable payload means this executor cannot run the
+                # job at all; anything else is a genuine extraction error
+                if "pickle" not in str(error).lower():
+                    raise
+                self._pool_broken = True
+                fallback.extend(identifiers)
+                continue
+            if len(identifiers) == 1 and not isinstance(result, list):
+                outcomes[identifiers[0]] = result
+                continue
+            for identifier, (status, lineage, trace) in zip(identifiers, result):
+                if status == "ok":
+                    outcomes[identifier] = (lineage, trace)
+                else:
+                    fallback.append(identifier)
+        deferred = set(fallback)
+        fallback = [identifier for identifier in todo if identifier in deferred]
+        for identifier in todo:
+            outcome = outcomes.get(identifier)
+            if outcome is not None:
+                self._record(identifier, outcome[0], outcome[1], report)
+        return fallback
+
+    def _submit_wave(self, pool, jobs):
+        """Submit one wave's jobs; yield ``(identifiers, future)`` pairs.
+
+        The classic path ships one :func:`extract_statement_job` per
+        entry.  With ``wave_batching`` and a wave wider than the worker
+        count, entries are grouped — by store shard first when a router is
+        configured — and chunked into a few
+        :func:`extract_statement_batch_job` submissions per worker, which
+        at 100k-statement scale cuts submission and pickling overhead by
+        orders of magnitude.
+        """
+        workers = self.workers or 1
+        if not self.wave_batching or len(jobs) <= workers:
+            for identifier, entry, schemas, pending in jobs:
+                yield (
+                    [identifier],
                     pool.submit(
                         extract_statement_job,
                         entry,
@@ -438,29 +537,28 @@ class AutoInferenceScheduler:
                         self.collect_traces,
                     ),
                 )
-            )
-        # Drain every future BEFORE recording anything, so the recorded
-        # order (and with it the report) never depends on worker timing.
-        fallback = []
-        outcomes = []
-        for identifier, future in futures:
-            try:
-                outcomes.append((identifier, future.result()))
-            except UnknownRelationError:
-                fallback.append(identifier)
-            except BrokenExecutor:
-                self._pool_broken = True
-                fallback.append(identifier)
-            except (pickle.PicklingError, TypeError) as error:
-                # an un-picklable payload means this executor cannot run the
-                # job at all; anything else is a genuine extraction error
-                if "pickle" not in str(error).lower():
-                    raise
-                self._pool_broken = True
-                fallback.append(identifier)
-        for identifier, (lineage, trace) in outcomes:
-            self._record(identifier, lineage, trace, report)
-        return fallback
+            return
+        groups = {}
+        if self.shard_router is not None:
+            for job in jobs:
+                groups.setdefault(self.shard_router(job[1]), []).append(job)
+        else:
+            groups[0] = list(jobs)
+        # a few batches per worker keeps the pool load-balanced even when
+        # batch runtimes are skewed, without reintroducing per-entry churn
+        batch_size = max(1, min(64, -(-len(jobs) // (workers * 4))))
+        for _, group in sorted(groups.items()):
+            for start in range(0, len(group), batch_size):
+                batch = group[start:start + batch_size]
+                yield (
+                    [identifier for identifier, *_ in batch],
+                    pool.submit(
+                        extract_statement_batch_job,
+                        [(entry, schemas, pending) for _, entry, schemas, pending in batch],
+                        self.strict,
+                        self.collect_traces,
+                    ),
+                )
 
     def _record(self, identifier, lineage, trace, report):
         self.results[identifier] = lineage
@@ -469,6 +567,14 @@ class AutoInferenceScheduler:
         if self.collect_traces:
             report.traces[identifier] = trace
         report.events.append(DeferralEvent(kind="done", identifier=identifier))
+        if self.release_asts:
+            # streaming: the entry's lineage is recorded and its derived
+            # facts (table_refs, content_hash) are cached, so the AST —
+            # the dominant per-entry allocation — can go now instead of
+            # living until the end of the run
+            entry = self.query_dictionary.get(identifier)
+            if entry is not None:
+                entry.release()
 
     # ------------------------------------------------------------------
     # Reactive (stack) mode — also the fallback for pre-pass misses

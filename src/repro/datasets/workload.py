@@ -19,8 +19,17 @@ tables, plus views using ``QUALIFY``, ``GROUP BY GROUPING
 SETS/ROLLUP/CUBE``, and ``unnest(...)``/``generate_series(...)`` table
 functions.  The differential harness and (optionally) the cold-path
 benchmark run over this richer mix.
+
+Scale-tier knobs (each also defaulting to a byte-identical no-op):
+``deep_chain_probability`` and ``fanout_probability`` skew the topology
+toward its two worst cases (arbitrarily deep dependency chains, one hub
+relation with thousands of readers), ``num_schemas`` spreads relations
+across schema-qualified names, and :func:`iter_warehouse` emits the same
+seeded stream as ``(name, sql)`` pairs one statement at a time so
+100k-statement workloads never materialise as one giant dict.
 """
 
+import bisect
 import random
 from dataclasses import dataclass, field
 
@@ -78,6 +87,9 @@ def generate_warehouse(
     aggregate_probability=0.2,
     union_probability=0.1,
     extended_probability=0.0,
+    deep_chain_probability=0.0,
+    fanout_probability=0.0,
+    num_schemas=1,
 ):
     """Generate a layered warehouse of ``num_views`` statement definitions.
 
@@ -85,12 +97,30 @@ def generate_warehouse(
     / union, falling back to a filtered projection); they are applied in
     that order on independent draws, so they need not sum to one.
 
-    ``extended_probability`` is evaluated first: with probability *e* the
-    statement is drawn uniformly from the warehouse-DML templates (MERGE,
-    upsert, QUALIFY, grouping sets, unnest/generate_series); otherwise the
-    classic mix applies to the remaining probability mass unchanged.  With
-    the default ``0.0`` the random stream — and therefore every generated
-    statement — is identical to what this generator always produced.
+    Three *special* template classes are evaluated first, each claiming its
+    own slice of the single per-view draw, in this order:
+
+    * ``extended_probability`` — the warehouse-DML templates (MERGE,
+      upsert, QUALIFY, grouping sets, unnest/generate_series);
+    * ``deep_chain_probability`` — a projection over the *immediately
+      preceding* statement's relation, so runs of consecutive chain views
+      produce arbitrarily deep dependency chains (the worst case for
+      topological depth: many narrow waves);
+    * ``fanout_probability`` — an aggregate over the first base table (the
+      *hub*), so every fan-out view adds one more reader to the same
+      relation (the worst case for wave width and for invalidation blast
+      radius).
+
+    The classic mix then applies to the remaining probability mass,
+    rescaled so its internal proportions are unchanged.  With all three
+    at the default ``0.0`` the random stream — and therefore every
+    generated statement — is identical to what this generator always
+    produced.
+
+    ``num_schemas > 1`` spreads base tables and views round-robin across
+    ``sch_<k>.``-qualified names, exercising multi-schema resolution; the
+    assignment consumes no randomness, so ``num_schemas=1`` (the default)
+    is byte-identical to the historical unqualified stream.
 
     MERGE and upsert statements write dedicated ``stage_<i>`` tables that
     are appended to ``base_tables`` (and hence to :meth:`GeneratedWarehouse.
@@ -99,27 +129,82 @@ def generate_warehouse(
     """
     rng = random.Random(seed)
     warehouse = GeneratedWarehouse(seed=seed)
+    warehouse.base_tables = _build_base_tables(
+        num_base_tables, columns_per_table, num_schemas, rng
+    )
+    for name, sql, _columns in _statement_stream(
+        warehouse.base_tables,
+        num_views,
+        rng,
+        star_probability=star_probability,
+        join_probability=join_probability,
+        aggregate_probability=aggregate_probability,
+        union_probability=union_probability,
+        extended_probability=extended_probability,
+        deep_chain_probability=deep_chain_probability,
+        fanout_probability=fanout_probability,
+        num_schemas=num_schemas,
+    ):
+        warehouse.views[name] = sql
+    return warehouse
 
+
+def _schema_prefix(index, num_schemas):
+    """Round-robin schema qualifier (empty in single-schema mode)."""
+    if num_schemas <= 1:
+        return ""
+    return f"sch_{index % num_schemas}."
+
+
+def _build_base_tables(num_base_tables, columns_per_table, num_schemas, rng):
+    """The pristine base-table layer: ``{name: [columns]}``."""
+    base_tables = {}
     for table_index in range(num_base_tables):
-        name = f"base_{table_index}"
+        name = f"{_schema_prefix(table_index, num_schemas)}base_{table_index}"
         count = max(2, columns_per_table + rng.randint(-2, 2))
-        warehouse.base_tables[name] = _sample_columns(count, rng)
+        base_tables[name] = _sample_columns(count, rng)
+    return base_tables
 
+
+def _statement_stream(
+    base_tables,
+    num_views,
+    rng,
+    star_probability=0.15,
+    join_probability=0.45,
+    aggregate_probability=0.2,
+    union_probability=0.1,
+    extended_probability=0.0,
+    deep_chain_probability=0.0,
+    fanout_probability=0.0,
+    num_schemas=1,
+):
+    """Yield ``(name, sql, output_columns)`` per statement, lazily.
+
+    The single generation core behind both :func:`generate_warehouse`
+    (which accumulates the stream into a dict) and :func:`iter_warehouse`
+    (which hands the stream to the caller one statement at a time, so a
+    100k-statement workload never exists as one in-memory list).  Stage
+    tables created by MERGE/upsert templates are appended to
+    ``base_tables`` *as the stream advances*.
+    """
     #: relations available to build on: name -> visible column list
-    available = dict(warehouse.base_tables)
-
+    available = _Relations(base_tables)
+    hub = next(iter(base_tables), None)
+    previous = hub
+    special = extended_probability + deep_chain_probability + fanout_probability
     for view_index in range(num_views):
-        name = f"view_{view_index}"
+        name = f"{_schema_prefix(view_index, num_schemas)}view_{view_index}"
         draw = rng.random()
         if extended_probability and draw < extended_probability:
             template = rng.choice(_EXTENDED_TEMPLATES)
             if template == "merge":
                 name, sql, columns = _merge_statement(
-                    view_index, available, warehouse.base_tables, rng
+                    view_index, available, base_tables, rng
                 )
             elif template == "upsert":
                 name, sql, columns = _upsert_statement(
-                    view_index, available, warehouse.base_tables, rng
+                    view_index, available, base_tables, rng
                 )
             elif template == "qualify":
                 sql, columns = _qualify_view(name, available, rng)
@@ -127,33 +212,143 @@ def generate_warehouse(
                 sql, columns = _grouping_view(name, available, rng)
             else:
                 sql, columns = _unnest_view(name, available, rng)
-            warehouse.views[name] = sql
-            available[name] = columns
-            continue
-        if extended_probability:
-            # rescale so the classic template mix keeps its proportions
-            # within the remaining probability mass
-            draw = (draw - extended_probability) / (1.0 - extended_probability)
-        if draw < star_probability:
-            sql, columns = _star_view(name, available, rng)
-        elif draw < star_probability + join_probability and len(available) >= 2:
-            sql, columns = _join_view(name, available, rng)
-        elif draw < star_probability + join_probability + aggregate_probability:
-            sql, columns = _aggregate_view(name, available, rng)
-        elif draw < star_probability + join_probability + aggregate_probability + union_probability:
-            sql, columns = _union_view(name, available, rng)
+        elif (
+            deep_chain_probability
+            and draw < extended_probability + deep_chain_probability
+            and previous is not None
+        ):
+            sql, columns = _chain_view(name, previous, available[previous], rng)
+        elif fanout_probability and draw < special and hub is not None:
+            sql, columns = _fanout_view(name, hub, available[hub], rng)
         else:
-            sql, columns = _filter_view(name, available, rng)
-        warehouse.views[name] = sql
-        available[name] = columns
-    return warehouse
+            if special:
+                # rescale so the classic template mix keeps its proportions
+                # within the remaining probability mass
+                draw = (draw - special) / (1.0 - special)
+            if draw < star_probability:
+                sql, columns = _star_view(name, available, rng)
+            elif draw < star_probability + join_probability and len(available) >= 2:
+                sql, columns = _join_view(name, available, rng)
+            elif draw < star_probability + join_probability + aggregate_probability:
+                sql, columns = _aggregate_view(name, available, rng)
+            elif draw < (
+                star_probability
+                + join_probability
+                + aggregate_probability
+                + union_probability
+            ):
+                sql, columns = _union_view(name, available, rng)
+            else:
+                sql, columns = _filter_view(name, available, rng)
+        available.add(name, columns)
+        previous = name
+        yield name, sql, columns
+
+
+class StreamedWarehouse:
+    """A :func:`generate_warehouse` workload emitted as a statement stream.
+
+    Iterating yields ``(name, sql)`` pairs one at a time — the input shape
+    ``preprocess`` streams through — without ever holding the full view
+    dict.  Iteration is *restartable*: each ``iter()`` replays the seeded
+    stream from the start (and resets :attr:`base_tables` to the pristine
+    base layer, since MERGE/upsert stage tables accrue during iteration).
+
+    :meth:`catalog` snapshots :attr:`base_tables` at call time — with
+    extended templates enabled, take it *after* exhausting an iteration so
+    stage tables are included; with the classic template mix (the scale
+    benchmark's configuration) the base layer is complete up front and the
+    snapshot is always right.
+    """
+
+    def __init__(self, num_base_tables, num_views, columns_per_table, seed, knobs):
+        self._num_base_tables = num_base_tables
+        self._num_views = num_views
+        self._columns_per_table = columns_per_table
+        self._knobs = dict(knobs)
+        self.seed = seed
+        self.base_tables = _build_base_tables(
+            num_base_tables,
+            columns_per_table,
+            self._knobs.get("num_schemas", 1),
+            random.Random(seed),
+        )
+
+    def __iter__(self):
+        rng = random.Random(self.seed)
+        self.base_tables = _build_base_tables(
+            self._num_base_tables,
+            self._columns_per_table,
+            self._knobs.get("num_schemas", 1),
+            rng,
+        )
+        for name, sql, _columns in _statement_stream(
+            self.base_tables, self._num_views, rng, **self._knobs
+        ):
+            yield name, sql
+
+    def catalog(self):
+        """Base tables (as discovered so far) as a :class:`Catalog`."""
+        catalog = Catalog()
+        for name, columns in self.base_tables.items():
+            catalog.create_table(name, [(column, "text") for column in columns])
+        return catalog
+
+    def total_statements(self):
+        return self._num_views
+
+
+def iter_warehouse(
+    num_base_tables=5,
+    num_views=20,
+    columns_per_table=6,
+    seed=42,
+    **knobs,
+):
+    """The streaming twin of :func:`generate_warehouse`.
+
+    Same parameters, same seeded statement stream — ``list(iter_warehouse(
+    ...))`` equals ``list(generate_warehouse(...).views.items())`` for any
+    configuration — but returned as a restartable :class:`StreamedWarehouse`
+    instead of a fully materialised dict, so the 100k-statement scale tier
+    can feed ``preprocess`` without first building the whole corpus in
+    memory.
+    """
+    return StreamedWarehouse(
+        num_base_tables, num_views, columns_per_table, seed, knobs
+    )
 
 
 # ----------------------------------------------------------------------
 # View templates
 # ----------------------------------------------------------------------
+class _Relations(dict):
+    """``{relation name: columns}`` with a sorted key list kept incrementally.
+
+    Source picks draw from the names in sorted order; re-sorting them on
+    every pick made generation quadratic in the statement count — at the
+    100k-statement scale tier the generator spent longer sorting names
+    than the engine spent extracting lineage, in cold *and* warm runs
+    alike.  ``bisect.insort`` keeps the list identical to
+    ``sorted(self)``, so every draw (one ``rng.choice`` over the same
+    ordering) is byte-identical to what the quadratic form produced.
+    """
+
+    def __init__(self, items):
+        super().__init__(items)
+        self.sorted_names = sorted(self)
+
+    def add(self, name, columns):
+        if name not in self:
+            bisect.insort(self.sorted_names, name)
+        self[name] = columns
+
+
 def _pick_source(available, rng):
-    name = rng.choice(sorted(available))
+    names = getattr(available, "sorted_names", None)
+    if names is None:  # plain dicts (direct template calls in tests) still work
+        names = sorted(available)
+    name = rng.choice(names)
     return name, available[name]
 
 
@@ -220,6 +415,38 @@ def _union_view(name, available, rng):
         f"UNION SELECT b.{column_second} FROM {second} b"
     )
     return sql, ["merged_key"]
+
+
+def _chain_view(name, previous, previous_columns, rng):
+    """A projection over the immediately preceding statement's relation.
+
+    Consecutive chain views form one long dependency chain — the deepest
+    topology the generator can produce — so the scheduler's wave count
+    grows with the chain length instead of staying at the layer count.
+    """
+    kept = previous_columns[: max(1, len(previous_columns) - 1)]
+    projected = ", ".join(f"s.{column}" for column in kept)
+    predicate_column = rng.choice(previous_columns)
+    sql = (
+        f"CREATE VIEW {name} AS SELECT {projected} FROM {previous} s "
+        f"WHERE s.{predicate_column} IS NOT NULL"
+    )
+    return sql, kept
+
+
+def _fanout_view(name, hub, hub_columns, rng):
+    """An aggregate over the hub (the first base table).
+
+    Every fan-out view is one more reader of the same relation, producing
+    the widest waves and the largest single-relation invalidation set the
+    generator can express.
+    """
+    group_column = rng.choice(hub_columns)
+    sql = (
+        f"CREATE VIEW {name} AS SELECT s.{group_column}, count(*) AS n "
+        f"FROM {hub} s GROUP BY s.{group_column}"
+    )
+    return sql, [group_column, "n"]
 
 
 # ----------------------------------------------------------------------

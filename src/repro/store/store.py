@@ -17,7 +17,27 @@ Design points:
   can mutate what they are given without poisoning the cache;
 * **deferred commits** — ``put()`` batches; the runner calls ``flush()``
   once per run (``close()`` flushes too), so a 400-view cold run does not
-  pay 400 fsyncs.
+  pay 400 fsyncs;
+* **sharding** — the backend may be split into N SQLite files routed by
+  content-hash prefix (:func:`repro.store.keys.shard_index`).  Each shard
+  has its own connection and lock, so the warm-start prefetch
+  (``prime()`` / ``get_sources()``) fans its batched reads out across
+  shards in parallel instead of serializing on one connection, and bulk
+  writes (``put_many()``) commit one transaction per shard.  The
+  *cache-key format is unchanged*: the same record lands under the same
+  key whatever the shard count, only the file it lives in differs.
+
+On-disk layout:
+
+* single-file (the default, and the only layout that existed before
+  sharding): ``<cache_dir>/lineage.sqlite``;
+* sharded: ``<cache_dir>/shards.json`` (the manifest recording the shard
+  count) plus ``<cache_dir>/lineage-<i>-of-<n>.sqlite`` per shard.
+
+An existing store's layout always wins over the ``shards=`` argument —
+opening a legacy single-file directory never silently abandons its
+records; use :meth:`LineageStore.migrate` (CLI: ``cache migrate``) to
+re-shard in place.
 """
 
 import json
@@ -28,6 +48,7 @@ import time
 
 from ..core.errors import LineageRecordError
 from ..core.lineage import TableLineage
+from .keys import shard_index
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS lineage_records (
@@ -43,6 +64,8 @@ CREATE TABLE IF NOT EXISTS lineage_records (
 );
 CREATE INDEX IF NOT EXISTS idx_lineage_last_used
     ON lineage_records (last_used_at);
+CREATE INDEX IF NOT EXISTS idx_lineage_content_hash
+    ON lineage_records (content_hash);
 CREATE TABLE IF NOT EXISTS source_records (
     source_key   TEXT PRIMARY KEY,
     record       TEXT NOT NULL,
@@ -53,8 +76,28 @@ CREATE INDEX IF NOT EXISTS idx_source_last_used
     ON source_records (last_used_at);
 """
 
-#: filename of the SQLite database inside a cache directory.
+#: filename of the SQLite database inside a single-file cache directory.
 STORE_FILENAME = "lineage.sqlite"
+
+#: filename of the shard-count manifest inside a sharded cache directory.
+SHARD_MANIFEST = "shards.json"
+
+#: hard ceiling on the shard count (256 = one hex-byte prefix of fanout;
+#: more shards than that only multiplies file handles, never parallelism).
+MAX_SHARDS = 256
+
+#: concurrent readers/writers on one shard file wait this long for a lock
+#: before giving up (and degrading to a cold miss / dropped write) instead
+#: of failing instantly with "database is locked".
+BUSY_TIMEOUT_MS = 10_000
+
+#: batch width of ``IN (...)`` reads (SQLite's default variable limit is
+#: 999; 400 leaves comfortable headroom).
+_CHUNK = 400
+
+
+def _shard_filename(index, count):
+    return f"lineage-{index:03d}-of-{count:03d}.sqlite"
 
 
 class _LRU:
@@ -85,98 +128,220 @@ class _LRU:
         return len(self._entries)
 
 
+class _Shard:
+    """One SQLite file of the store: connection, lock, and dirty flag."""
+
+    __slots__ = ("path", "lock", "connection", "broken", "dirty")
+
+    def __init__(self, path):
+        self.path = path
+        self.lock = threading.Lock()
+        self.connection = None
+        self.broken = False
+        self.dirty = False
+
+    def connect(self):
+        """The live connection, opened on first use (``None`` = broken).
+
+        Callers must hold ``self.lock``.  Every connection gets WAL journal
+        mode (readers never block the writer) and a busy timeout, so
+        concurrent access from several processes — the process executor,
+        parallel sessions over one cache directory — waits for locks
+        instead of erroring out.
+        """
+        if self.connection is not None or self.broken:
+            return self.connection
+        try:
+            os.makedirs(os.path.dirname(self.path), exist_ok=True)
+            connection = sqlite3.connect(self.path, check_same_thread=False)
+            connection.execute("PRAGMA journal_mode=WAL")
+            connection.execute("PRAGMA synchronous=NORMAL")
+            connection.execute(f"PRAGMA busy_timeout={BUSY_TIMEOUT_MS}")
+            connection.executescript(_SCHEMA)
+            connection.commit()
+            self.connection = connection
+        except (sqlite3.Error, OSError):
+            # an unusable backing file turns this shard into a pass-through
+            self.broken = True
+            self.connection = None
+        return self.connection
+
+    def close(self):
+        with self.lock:
+            if self.connection is not None:
+                try:
+                    self.connection.close()
+                except sqlite3.Error:
+                    pass
+                self.connection = None
+                self.dirty = False
+
+
 class LineageStore:
     """Persistent ``cache_key -> TableLineage`` mapping (SQLite + LRU).
 
     Parameters
     ----------
     cache_dir:
-        Directory holding the store (created if missing).  The database
-        lives at ``<cache_dir>/lineage.sqlite``.
+        Directory holding the store (created if missing).
     lru_size:
         Capacity of the in-memory front (record count); ``0`` disables it.
+    shards:
+        Number of SQLite shard files for a *new* store (``None`` or ``1``
+        = the classic single ``lineage.sqlite``).  An existing store's
+        on-disk layout always takes precedence — re-shard with
+        :meth:`migrate`.
     """
 
-    def __init__(self, cache_dir, lru_size=2048):
+    def __init__(self, cache_dir, lru_size=2048, shards=None):
         self.cache_dir = os.fspath(cache_dir)
-        self.path = os.path.join(self.cache_dir, STORE_FILENAME)
         self._lru = _LRU(lru_size)
-        self._lock = threading.Lock()
-        self._connection = None
-        self._dirty = False
-        self._broken = False
-        # usage tracking is batched: reads only mark keys here and flush()
-        # writes last_used_at/use_count in one executemany each
-        self._used_keys = set()
-        self._used_source_keys = set()
+        self.num_shards = self._resolve_layout(shards)
+        if self.num_shards == 1:
+            paths = [os.path.join(self.cache_dir, STORE_FILENAME)]
+        else:
+            paths = [
+                os.path.join(
+                    self.cache_dir, _shard_filename(index, self.num_shards)
+                )
+                for index in range(self.num_shards)
+            ]
+        self._shards = [_Shard(path) for path in paths]
+        #: path of the first shard file — the whole store for the classic
+        #: single-file layout (kept as an attribute for observability and
+        #: backwards compatibility; see also ``stats()["shard_paths"]``).
+        self.path = paths[0]
+        self._manifest_written = self.num_shards == 1
+        # usage tracking is batched: reads only mark key -> shard here and
+        # flush() writes last_used_at/use_count in one executemany per shard
+        self._meta_lock = threading.Lock()
+        self._used_keys = {}
+        self._used_source_keys = {}
         # session counters (not persisted)
         self.hits = 0
         self.misses = 0
         self.puts = 0
         self.corrupt = 0
 
-    # ------------------------------------------------------------------
-    # Connection plumbing
-    # ------------------------------------------------------------------
-    def _connect(self):
-        if self._connection is not None or self._broken:
-            return self._connection
-        try:
-            os.makedirs(self.cache_dir, exist_ok=True)
-            connection = sqlite3.connect(self.path, check_same_thread=False)
-            connection.execute("PRAGMA journal_mode=WAL")
-            connection.execute("PRAGMA synchronous=NORMAL")
-            connection.executescript(_SCHEMA)
-            connection.commit()
-            self._connection = connection
-        except (sqlite3.Error, OSError):
-            # an unusable backing file turns the store into a pure pass-through
-            self._broken = True
-            self._connection = None
-        return self._connection
+    def _resolve_layout(self, requested):
+        """The shard count this directory's store actually uses.
 
+        Precedence: an existing manifest, then an existing legacy
+        single-file database, then the ``shards`` argument, then 1.  A
+        manifest that cannot be read is ignored (its shard files — if any
+        — become unreachable cold data; the store is a cache, so that is a
+        miss, not an error).
+        """
+        try:
+            with open(
+                os.path.join(self.cache_dir, SHARD_MANIFEST), "r",
+                encoding="utf-8",
+            ) as handle:
+                manifest = json.load(handle)
+            count = int(manifest["shards"])
+            if 1 <= count <= MAX_SHARDS:
+                return count
+        except (OSError, ValueError, KeyError, TypeError):
+            pass
+        try:
+            if os.path.exists(os.path.join(self.cache_dir, STORE_FILENAME)):
+                return 1
+        except OSError:
+            pass
+        if requested is None:
+            return 1
+        return max(1, min(int(requested), MAX_SHARDS))
+
+    def _write_manifest(self):
+        """Persist the shard count next to the shard files (best-effort)."""
+        if self._manifest_written:
+            return
+        self._manifest_written = True
+        try:
+            with open(
+                os.path.join(self.cache_dir, SHARD_MANIFEST), "w",
+                encoding="utf-8",
+            ) as handle:
+                json.dump({"version": 1, "shards": self.num_shards}, handle)
+                handle.write("\n")
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
+    # Shard routing
+    # ------------------------------------------------------------------
+    def shard_of(self, content_hash):
+        """The shard index a record with this content hash lives in."""
+        if self.num_shards == 1:
+            return 0
+        return shard_index(content_hash, self.num_shards)
+
+    def _shard(self, content_hash):
+        return self._shards[self.shard_of(content_hash)]
+
+    def _connect_shard(self, shard):
+        connection = shard.connect()
+        if connection is not None:
+            self._write_manifest()
+        return connection
+
+    # Backwards-compatible single-connection handle (tests and tooling
+    # grab it to trace queries or poke at rows; meaningful for the
+    # single-file layout, shard 0 otherwise).
+    def _connect(self):
+        shard = self._shards[0]
+        with shard.lock:
+            return self._connect_shard(shard)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
     def close(self):
-        """Flush pending writes and release the database handle."""
+        """Flush pending writes and release every database handle."""
         self.flush()
-        with self._lock:
-            if self._connection is not None:
-                try:
-                    self._connection.close()
-                except sqlite3.Error:
-                    pass
-                self._connection = None
-                self._dirty = False
+        for shard in self._shards:
+            shard.close()
         self._lru.clear()
 
     def flush(self):
-        """Write batched usage updates and commit (once per run)."""
-        with self._lock:
-            connection = self._connection
-            if connection is None:
-                return
-            try:
-                now = time.time()
-                if self._used_keys:
-                    connection.executemany(
-                        "UPDATE lineage_records SET last_used_at = ?, "
-                        "use_count = use_count + 1 WHERE cache_key = ?",
-                        [(now, key) for key in self._used_keys],
-                    )
-                    self._used_keys.clear()
-                    self._dirty = True
-                if self._used_source_keys:
-                    connection.executemany(
-                        "UPDATE source_records SET last_used_at = ? "
-                        "WHERE source_key = ?",
-                        [(now, key) for key in self._used_source_keys],
-                    )
-                    self._used_source_keys.clear()
-                    self._dirty = True
-                if self._dirty:
-                    connection.commit()
-                    self._dirty = False
-            except sqlite3.Error:
-                pass
+        """Write batched usage updates and commit (once per run, per shard)."""
+        with self._meta_lock:
+            used = self._used_keys
+            used_sources = self._used_source_keys
+            self._used_keys = {}
+            self._used_source_keys = {}
+        by_shard = {}
+        for key, index in used.items():
+            by_shard.setdefault(index, ([], []))[0].append(key)
+        for key, index in used_sources.items():
+            by_shard.setdefault(index, ([], []))[1].append(key)
+        now = time.time()
+        for index, shard in enumerate(self._shards):
+            keys, source_keys = by_shard.get(index, ((), ()))
+            with shard.lock:
+                connection = shard.connection
+                if connection is None:
+                    continue
+                try:
+                    if keys:
+                        connection.executemany(
+                            "UPDATE lineage_records SET last_used_at = ?, "
+                            "use_count = use_count + 1 WHERE cache_key = ?",
+                            [(now, key) for key in keys],
+                        )
+                        shard.dirty = True
+                    if source_keys:
+                        connection.executemany(
+                            "UPDATE source_records SET last_used_at = ? "
+                            "WHERE source_key = ?",
+                            [(now, key) for key in source_keys],
+                        )
+                        shard.dirty = True
+                    if shard.dirty:
+                        connection.commit()
+                        shard.dirty = False
+                except sqlite3.Error:
+                    pass
 
     def __enter__(self):
         return self
@@ -187,19 +352,22 @@ class LineageStore:
     # ------------------------------------------------------------------
     # The cache surface
     # ------------------------------------------------------------------
-    def get(self, key):
+    def get(self, key, content_hash=None):
         """The stored :class:`TableLineage` for ``key``, or ``None``.
 
-        Every failure — no database, corrupted row, malformed JSON, record
+        ``content_hash`` (when known) routes the lookup straight to the
+        record's shard; without it every shard is probed in order.  Every
+        failure — no database, corrupted row, malformed JSON, record
         version mismatch — is a silent cold miss.
         """
-        record = self._lru.get(key)
-        if record is None:
-            record = self._fetch(key)
-            if record is None:
+        cached = self._lru.get(key)
+        if cached is None:
+            cached = self._fetch(key, content_hash)
+            if cached is None:
                 self.misses += 1
                 return None
-            self._lru.put(key, record)
+            self._lru.put(key, cached)
+        shard_index_, record = cached
         try:
             lineage = TableLineage.from_record(record)
         except LineageRecordError:
@@ -207,7 +375,8 @@ class LineageStore:
             self.misses += 1
             return None
         self.hits += 1
-        self._used_keys.add(key)
+        with self._meta_lock:
+            self._used_keys[key] = shard_index_
         return lineage
 
     def prime(self, content_hashes):
@@ -215,73 +384,110 @@ class LineageStore:
 
         The warm-start pre-pass resolves keys sequentially (each key needs
         the upstream hits' schemas), but the *content hashes* of the whole
-        corpus are known up front — one batched SELECT replaces hundreds of
-        point lookups.  Purely an optimisation: keys not primed still
-        resolve through :meth:`get`.
+        corpus are known up front — one batched SELECT per chunk replaces
+        hundreds of point lookups, and on a sharded store the per-shard
+        batches run in parallel (each shard has its own connection and
+        lock).  Purely an optimisation: keys not primed still resolve
+        through :meth:`get`.
         """
-        hashes = [str(value) for value in content_hashes]
-        if not hashes or self._lru.capacity <= 0:
+        if self._lru.capacity <= 0:
             return 0
-        primed = 0
-        with self._lock:
-            connection = self._connect()
-            if connection is None:
-                return 0
+        by_shard = {}
+        for value in content_hashes:
+            text = str(value)
+            by_shard.setdefault(self.shard_of(text), []).append(text)
+        if not by_shard:
+            return 0
+
+        def _query(index, hashes):
+            shard = self._shards[index]
             rows = []
-            try:
-                for start in range(0, len(hashes), 400):
-                    batch = hashes[start:start + 400]
-                    placeholders = ",".join("?" for _ in batch)
-                    rows.extend(
-                        connection.execute(
-                            "SELECT cache_key, record FROM lineage_records "
-                            f"WHERE content_hash IN ({placeholders})",
-                            batch,
-                        ).fetchall()
-                    )
-            except sqlite3.Error:
-                self.corrupt += 1
-                return 0
-        for key, text in rows:
-            try:
-                record = json.loads(text)
-            except (TypeError, ValueError):
-                self.corrupt += 1
-                continue
-            if isinstance(record, dict):
-                self._lru.put(key, record)
-                primed += 1
+            with shard.lock:
+                connection = self._connect_shard(shard)
+                if connection is None:
+                    return index, rows, 0
+                try:
+                    for start in range(0, len(hashes), _CHUNK):
+                        batch = hashes[start:start + _CHUNK]
+                        placeholders = ",".join("?" for _ in batch)
+                        rows.extend(
+                            connection.execute(
+                                "SELECT cache_key, record FROM lineage_records "
+                                f"WHERE content_hash IN ({placeholders})",
+                                batch,
+                            ).fetchall()
+                        )
+                except sqlite3.Error:
+                    return index, [], 1
+            return index, rows, 0
+
+        primed = 0
+        for index, rows, corrupt in self._fan_out(_query, by_shard.items()):
+            self.corrupt += corrupt
+            for key, text in rows:
+                try:
+                    record = json.loads(text)
+                except (TypeError, ValueError):
+                    self.corrupt += 1
+                    continue
+                if isinstance(record, dict):
+                    self._lru.put(key, (index, record))
+                    primed += 1
         return primed
 
-    def _fetch(self, key):
-        with self._lock:
-            connection = self._connect()
-            if connection is None:
-                return None
+    def _fan_out(self, function, jobs):
+        """Run ``function(*job)`` per shard job, in parallel when sharded.
+
+        SQLite releases the GIL for the duration of a query, so a thread
+        per shard genuinely overlaps the batched warm-start reads.  The
+        single-shard layout (and a single job) skips the pool outright.
+        """
+        jobs = list(jobs)
+        if len(jobs) <= 1:
+            return [function(*job) for job in jobs]
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=min(len(jobs), 8)) as pool:
+            return list(pool.map(lambda job: function(*job), jobs))
+
+    def _fetch(self, key, content_hash=None):
+        """``(shard_index, record)`` for one cache key, or ``None``."""
+        if content_hash is not None:
+            indices = [self.shard_of(str(content_hash))]
+        else:
+            indices = range(self.num_shards)
+        for index in indices:
+            shard = self._shards[index]
+            with shard.lock:
+                connection = self._connect_shard(shard)
+                if connection is None:
+                    continue
+                try:
+                    row = connection.execute(
+                        "SELECT record FROM lineage_records WHERE cache_key = ?",
+                        (key,),
+                    ).fetchone()
+                except sqlite3.Error:
+                    self.corrupt += 1
+                    continue
+            if row is None:
+                continue
             try:
-                row = connection.execute(
-                    "SELECT record FROM lineage_records WHERE cache_key = ?",
-                    (key,),
-                ).fetchone()
-                if row is None:
-                    return None
-            except sqlite3.Error:
+                record = json.loads(row[0])
+            except (TypeError, ValueError):
                 self.corrupt += 1
                 return None
-        try:
-            record = json.loads(row[0])
-        except (TypeError, ValueError):
-            self.corrupt += 1
-            return None
-        return record if isinstance(record, dict) else None
+            return (index, record) if isinstance(record, dict) else None
+        return None
 
     def put(self, key, lineage, *, content_hash="", dialect="",
             extractor_version="", schema_fingerprint=""):
-        """Store ``lineage`` under ``key`` (best-effort; commits are batched).
+        """Store ``lineage`` under ``key`` (best-effort; committed per write).
 
         The individual key components are persisted alongside the record
         for observability (``cache stats``) and targeted invalidation;
         they do not participate in lookups — the combined ``key`` does.
+        ``content_hash`` additionally routes the record to its shard.
         """
         try:
             record = lineage.to_record()
@@ -293,8 +499,10 @@ class LineageStore:
         except (TypeError, ValueError):
             return False
         now = time.time()
-        with self._lock:
-            connection = self._connect()
+        index = self.shard_of(str(content_hash))
+        shard = self._shards[index]
+        with shard.lock:
+            connection = self._connect_shard(shard)
             if connection is None:
                 return False
             try:
@@ -314,20 +522,93 @@ class LineageStore:
                         now,
                     ),
                 )
-                self._dirty = True
+                # commit per write: under WAL + synchronous=NORMAL a commit
+                # is lock release without an fsync, and holding an open
+                # write transaction across puts deadlocks two handles
+                # writing the same shards in opposite order (each stuck
+                # behind the other's uncommitted transaction until the
+                # busy timeout drops the write)
+                connection.commit()
             except sqlite3.Error:
                 return False
-        self._lru.put(key, record)
+        self._lru.put(key, (index, record))
         self.puts += 1
         return True
+
+    def put_many(self, rows):
+        """Store many records in one transaction per shard; returns #written.
+
+        ``rows`` is an iterable of ``(key, lineage, meta)`` where ``meta``
+        is the keyword mapping :meth:`put` takes (``content_hash``,
+        ``dialect``, ``extractor_version``, ``schema_fingerprint``).  This
+        is the bulk-write path of a large cold run: serialisation happens
+        up front, then each shard gets a single ``executemany`` under one
+        lock acquisition instead of a round trip per record.  Rows that
+        fail to serialise are skipped (dropped-write semantics, like
+        :meth:`put`).
+        """
+        now = time.time()
+        by_shard = {}
+        decoded = []
+        for key, lineage, meta in rows:
+            try:
+                record = lineage.to_record()
+                text = json.dumps(record)
+            except (TypeError, ValueError):
+                continue
+            content_hash = str(meta.get("content_hash", ""))
+            index = self.shard_of(content_hash)
+            by_shard.setdefault(index, []).append(
+                (
+                    key,
+                    content_hash,
+                    str(meta.get("dialect", "")),
+                    str(meta.get("extractor_version", "")),
+                    str(meta.get("schema_fingerprint", "")),
+                    text,
+                    now,
+                    now,
+                )
+            )
+            decoded.append((key, index, record))
+        written = 0
+        ok_shards = set()
+        for index, batch in by_shard.items():
+            shard = self._shards[index]
+            with shard.lock:
+                connection = self._connect_shard(shard)
+                if connection is None:
+                    continue
+                try:
+                    connection.executemany(
+                        "INSERT OR REPLACE INTO lineage_records "
+                        "(cache_key, content_hash, dialect, extractor_version, "
+                        " schema_fingerprint, record, created_at, last_used_at, use_count) "
+                        "VALUES (?, ?, ?, ?, ?, ?, ?, ?, 0)",
+                        batch,
+                    )
+                    # one transaction per shard batch, released here — see
+                    # the per-write commit rationale in put()
+                    connection.commit()
+                except sqlite3.Error:
+                    continue
+            written += len(batch)
+            ok_shards.add(index)
+        for key, index, record in decoded:
+            if index in ok_shards:
+                self._lru.put(key, (index, record))
+        self.puts += written
+        return written
 
     # ------------------------------------------------------------------
     # The parse cache (per-source preprocessing records)
     # ------------------------------------------------------------------
     def get_source(self, key):
         """The statement records of one source fragment, or ``None``."""
-        with self._lock:
-            connection = self._connect()
+        index = self.shard_of(key)
+        shard = self._shards[index]
+        with shard.lock:
+            connection = self._connect_shard(shard)
             if connection is None:
                 return None
             try:
@@ -345,49 +626,60 @@ class LineageStore:
         except (TypeError, ValueError):
             self.corrupt += 1
             return None
-        self._used_source_keys.add(key)
+        with self._meta_lock:
+            self._used_source_keys[key] = index
         return records
 
     def get_sources(self, keys):
         """Batch-fetch parse-cache records: ``{key: records}`` for hits.
 
-        One chunked ``IN (...)`` SELECT per 400 keys replaces the
-        per-fragment point lookups of :meth:`get_source` — a warm start
-        over an N-fragment corpus costs ``ceil(N / 400)`` queries instead
-        of N.  Missing keys are simply absent from the result; decode
-        failures count as corrupt and are dropped (cold miss semantics).
+        One chunked ``IN (...)`` SELECT per 400 keys per shard replaces
+        per-fragment point lookups, and on a sharded store the per-shard
+        batches run in parallel.  Missing keys are simply absent from the
+        result; decode failures count as corrupt and are dropped (cold
+        miss semantics).
         """
-        keys = [str(key) for key in keys]
+        by_shard = {}
+        for key in keys:
+            text = str(key)
+            by_shard.setdefault(self.shard_of(text), []).append(text)
         found = {}
-        if not keys:
+        if not by_shard:
             return found
-        rows = []
-        with self._lock:
-            connection = self._connect()
-            if connection is None:
-                return found
-            try:
-                for start in range(0, len(keys), 400):
-                    batch = keys[start:start + 400]
-                    placeholders = ",".join("?" for _ in batch)
-                    rows.extend(
-                        connection.execute(
-                            "SELECT source_key, record FROM source_records "
-                            f"WHERE source_key IN ({placeholders})",
-                            batch,
-                        ).fetchall()
-                    )
-            except sqlite3.Error:
-                self.corrupt += 1
-                return found
-        for key, text in rows:
-            try:
-                records = json.loads(text)
-            except (TypeError, ValueError):
-                self.corrupt += 1
-                continue
-            found[key] = records
-            self._used_source_keys.add(key)
+
+        def _query(index, shard_keys):
+            shard = self._shards[index]
+            rows = []
+            with shard.lock:
+                connection = self._connect_shard(shard)
+                if connection is None:
+                    return index, rows, 0
+                try:
+                    for start in range(0, len(shard_keys), _CHUNK):
+                        batch = shard_keys[start:start + _CHUNK]
+                        placeholders = ",".join("?" for _ in batch)
+                        rows.extend(
+                            connection.execute(
+                                "SELECT source_key, record FROM source_records "
+                                f"WHERE source_key IN ({placeholders})",
+                                batch,
+                            ).fetchall()
+                        )
+                except sqlite3.Error:
+                    return index, [], 1
+            return index, rows, 0
+
+        for index, rows, corrupt in self._fan_out(_query, by_shard.items()):
+            self.corrupt += corrupt
+            for key, text in rows:
+                try:
+                    records = json.loads(text)
+                except (TypeError, ValueError):
+                    self.corrupt += 1
+                    continue
+                found[key] = records
+                with self._meta_lock:
+                    self._used_source_keys[key] = index
         return found
 
     def put_source(self, key, records):
@@ -397,8 +689,9 @@ class LineageStore:
         except (TypeError, ValueError):
             return False
         now = time.time()
-        with self._lock:
-            connection = self._connect()
+        shard = self._shards[self.shard_of(key)]
+        with shard.lock:
+            connection = self._connect_shard(shard)
             if connection is None:
                 return False
             try:
@@ -407,7 +700,7 @@ class LineageStore:
                     "(source_key, record, created_at, last_used_at) VALUES (?, ?, ?, ?)",
                     (key, text, now, now),
                 )
-                self._dirty = True
+                connection.commit()  # see the per-write commit rationale in put()
             except sqlite3.Error:
                 return False
         return True
@@ -426,29 +719,33 @@ class LineageStore:
         size_bytes = 0
         extractor_versions = {}
         self.flush()
-        with self._lock:
-            connection = self._connect()
-            if connection is not None:
-                try:
-                    entries = connection.execute(
-                        "SELECT COUNT(*) FROM lineage_records"
-                    ).fetchone()[0]
-                    source_entries = connection.execute(
-                        "SELECT COUNT(*) FROM source_records"
-                    ).fetchone()[0]
-                    for version, count in connection.execute(
-                        "SELECT extractor_version, COUNT(*) FROM lineage_records "
-                        "GROUP BY extractor_version"
-                    ):
-                        extractor_versions[version] = count
-                except sqlite3.Error:
-                    pass
-        try:
-            size_bytes = os.path.getsize(self.path)
-        except OSError:
-            pass
+        for shard in self._shards:
+            with shard.lock:
+                connection = self._connect_shard(shard)
+                if connection is not None:
+                    try:
+                        entries += connection.execute(
+                            "SELECT COUNT(*) FROM lineage_records"
+                        ).fetchone()[0]
+                        source_entries += connection.execute(
+                            "SELECT COUNT(*) FROM source_records"
+                        ).fetchone()[0]
+                        for version, count in connection.execute(
+                            "SELECT extractor_version, COUNT(*) FROM lineage_records "
+                            "GROUP BY extractor_version"
+                        ):
+                            extractor_versions[version] = (
+                                extractor_versions.get(version, 0) + count
+                            )
+                    except sqlite3.Error:
+                        pass
+            try:
+                size_bytes += os.path.getsize(shard.path)
+            except OSError:
+                pass
         return {
             "path": self.path,
+            "shards": self.num_shards,
             "entries": entries,
             "source_entries": source_entries,
             "size_bytes": size_bytes,
@@ -463,20 +760,22 @@ class LineageStore:
     def clear(self):
         """Delete every record (lineage and parse); returns the number removed."""
         removed = 0
-        with self._lock:
-            connection = self._connect()
-            if connection is not None:
+        for shard in self._shards:
+            with shard.lock:
+                connection = self._connect_shard(shard)
+                if connection is None:
+                    continue
                 try:
-                    removed = connection.execute(
+                    removed += connection.execute(
                         "SELECT (SELECT COUNT(*) FROM lineage_records) + "
                         "       (SELECT COUNT(*) FROM source_records)"
                     ).fetchone()[0]
                     connection.execute("DELETE FROM lineage_records")
                     connection.execute("DELETE FROM source_records")
                     connection.commit()
-                    self._dirty = False
+                    shard.dirty = False
                 except sqlite3.Error:
-                    removed = 0
+                    pass
         self._lru.clear()
         return removed
 
@@ -485,52 +784,211 @@ class LineageStore:
 
         ``max_age_days`` drops records (lineage and parse) not used within
         the window; ``max_entries`` then keeps only the most recently used
-        N lineage records.
+        N lineage records *globally* (the recency cutoff is computed
+        across all shards, then applied shard-locally).
         """
         removed = 0
-        with self._lock:
-            connection = self._connect()
-            if connection is None:
-                return 0
-            try:
-                if max_age_days is not None:
-                    cutoff = time.time() - float(max_age_days) * 86400.0
-                    for table, key in (
-                        ("lineage_records", "cache_key"),
-                        ("source_records", "source_key"),
-                    ):
-                        cursor = connection.execute(
-                            f"DELETE FROM {table} WHERE last_used_at < ?",
-                            (cutoff,),
+        if max_age_days is not None:
+            cutoff = time.time() - float(max_age_days) * 86400.0
+            for shard in self._shards:
+                with shard.lock:
+                    connection = self._connect_shard(shard)
+                    if connection is None:
+                        continue
+                    try:
+                        for table in ("lineage_records", "source_records"):
+                            cursor = connection.execute(
+                                f"DELETE FROM {table} WHERE last_used_at < ?",
+                                (cutoff,),
+                            )
+                            removed += cursor.rowcount
+                        connection.commit()
+                        shard.dirty = False
+                    except sqlite3.Error:
+                        pass
+        if max_entries is not None:
+            keep = int(max_entries)
+            stamps = []
+            for shard in self._shards:
+                with shard.lock:
+                    connection = self._connect_shard(shard)
+                    if connection is None:
+                        continue
+                    try:
+                        stamps.extend(
+                            row[0]
+                            for row in connection.execute(
+                                "SELECT last_used_at FROM lineage_records"
+                            )
                         )
-                        removed += cursor.rowcount
-                if max_entries is not None:
-                    cursor = connection.execute(
-                        "DELETE FROM lineage_records WHERE cache_key NOT IN ("
-                        "  SELECT cache_key FROM lineage_records"
-                        "  ORDER BY last_used_at DESC LIMIT ?)",
-                        (int(max_entries),),
-                    )
-                    removed += cursor.rowcount
-                connection.commit()
-                self._dirty = False
-            except sqlite3.Error:
-                pass
+                    except sqlite3.Error:
+                        pass
+            if len(stamps) > keep:
+                # the newest `keep` stamps survive; everything strictly
+                # older than the keep-th newest goes, and ties at the
+                # boundary are broken per shard by recency order
+                stamps.sort(reverse=True)
+                boundary = stamps[keep - 1] if keep > 0 else float("inf")
+                over = len(stamps) - keep
+                for shard in self._shards:
+                    with shard.lock:
+                        connection = self._connect_shard(shard)
+                        if connection is None:
+                            continue
+                        try:
+                            if keep > 0:
+                                cursor = connection.execute(
+                                    "DELETE FROM lineage_records WHERE last_used_at < ?",
+                                    (boundary,),
+                                )
+                            else:
+                                cursor = connection.execute(
+                                    "DELETE FROM lineage_records"
+                                )
+                            removed += cursor.rowcount
+                            over -= cursor.rowcount
+                            connection.commit()
+                            shard.dirty = False
+                        except sqlite3.Error:
+                            pass
+                # records sharing the boundary stamp: evict the surplus
+                if over > 0:
+                    for shard in self._shards:
+                        if over <= 0:
+                            break
+                        with shard.lock:
+                            connection = self._connect_shard(shard)
+                            if connection is None:
+                                continue
+                            try:
+                                cursor = connection.execute(
+                                    "DELETE FROM lineage_records WHERE cache_key IN ("
+                                    "  SELECT cache_key FROM lineage_records"
+                                    "  WHERE last_used_at = ? LIMIT ?)",
+                                    (boundary, over),
+                                )
+                                removed += cursor.rowcount
+                                over -= cursor.rowcount
+                                connection.commit()
+                                shard.dirty = False
+                            except sqlite3.Error:
+                                pass
         self._lru.clear()
         return removed
 
+    # ------------------------------------------------------------------
+    # Re-sharding
+    # ------------------------------------------------------------------
+    @classmethod
+    def migrate(cls, cache_dir, shards):
+        """Re-shard the store at ``cache_dir`` in place; returns #records.
+
+        Streams every lineage and parse record from the existing layout
+        (whatever it is) into a freshly built layout of ``shards`` files,
+        then swaps the new files in and removes the old ones.  Keys and
+        record payloads are copied verbatim — the cache-key format does
+        not change, only which file each record lives in — so warm starts
+        hit exactly as before.  A no-op when the store already has the
+        requested shard count.
+        """
+        cache_dir = os.fspath(cache_dir)
+        target = max(1, min(int(shards), MAX_SHARDS))
+        source = cls(cache_dir, lru_size=0)
+        if source.num_shards == target:
+            source.close()
+            return 0
+
+        import shutil
+        import tempfile
+
+        staging = tempfile.mkdtemp(prefix=".migrate-", dir=cache_dir)
+        moved = 0
+        try:
+            fresh = cls(staging, lru_size=0, shards=target)
+            for shard in source._shards:
+                with shard.lock:
+                    connection = shard.connect()
+                    if connection is None:
+                        continue
+                    for table, columns in (
+                        (
+                            "lineage_records",
+                            "cache_key, content_hash, dialect, extractor_version,"
+                            " schema_fingerprint, record, created_at, last_used_at,"
+                            " use_count",
+                        ),
+                        (
+                            "source_records",
+                            "source_key, record, created_at, last_used_at",
+                        ),
+                    ):
+                        try:
+                            rows = connection.execute(
+                                f"SELECT {columns} FROM {table}"
+                            )
+                        except sqlite3.Error:
+                            continue
+                        route = 1 if table == "lineage_records" else 0
+                        for row in rows:
+                            dest = fresh._shards[fresh.shard_of(row[route])]
+                            with dest.lock:
+                                dest_connection = dest.connect()
+                                if dest_connection is None:
+                                    continue
+                                placeholders = ",".join("?" for _ in row)
+                                dest_connection.execute(
+                                    f"INSERT OR REPLACE INTO {table} ({columns}) "
+                                    f"VALUES ({placeholders})",
+                                    row,
+                                )
+                                dest.dirty = True
+                            moved += 1
+            for dest in fresh._shards:
+                with dest.lock:
+                    if dest.connection is not None and dest.dirty:
+                        dest.connection.commit()
+                        dest.dirty = False
+            fresh.close()
+            source.close()
+            # swap: drop the old layout's files, move the new ones in
+            for shard in source._shards:
+                for suffix in ("", "-wal", "-shm"):
+                    try:
+                        os.remove(shard.path + suffix)
+                    except OSError:
+                        pass
+            for name in os.listdir(staging):
+                os.replace(
+                    os.path.join(staging, name), os.path.join(cache_dir, name)
+                )
+            manifest = os.path.join(cache_dir, SHARD_MANIFEST)
+            if target == 1:
+                try:
+                    os.remove(manifest)
+                except OSError:
+                    pass
+            else:
+                with open(manifest, "w", encoding="utf-8") as handle:
+                    json.dump({"version": 1, "shards": target}, handle)
+                    handle.write("\n")
+        finally:
+            shutil.rmtree(staging, ignore_errors=True)
+        return moved
+
     def __repr__(self):
-        return f"LineageStore({self.path!r})"
+        return (
+            f"LineageStore({self.cache_dir!r}, shards={self.num_shards})"
+        )
 
 
 class _ParseCache:
     """Adapter binding a store + dialect to ``preprocess(parse_cache=...)``.
 
-    ``preprocess`` announces the whole fragment list up front via
-    :meth:`prefetch`, which resolves every key in one batched read; the
-    subsequent per-fragment :meth:`get` calls are then pure dictionary
-    lookups (a key absent after a prefetch is a definitive miss — no
-    point query is issued for it).
+    ``preprocess`` announces fragment windows up front via
+    :meth:`prefetch`, which resolves every key in one batched (per-shard
+    parallel) read; the subsequent per-fragment :meth:`get` calls are then
+    pure dictionary lookups (a key absent after a prefetch is a definitive
+    miss — no point query is issued for it).
     """
 
     def __init__(self, store, dialect):
@@ -544,7 +1002,12 @@ class _ParseCache:
         self._prefetched = None
 
     def prefetch(self, sqls):
-        """Bulk-resolve the parse records of every fragment in ``sqls``."""
+        """Bulk-resolve the parse records of every fragment in ``sqls``.
+
+        Each call *replaces* the previous prefetch window — streaming
+        preprocessing announces fragments chunk by chunk, consuming one
+        window fully before announcing the next.
+        """
         keys = {self._key(sql, self._dialect, self._version) for sql in sqls}
         self._prefetched = self._store.get_sources(keys)
         return len(self._prefetched)

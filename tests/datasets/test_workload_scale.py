@@ -1,0 +1,158 @@
+"""Scale-tier additions to the workload generator: topology knobs,
+multi-schema emission, and the streaming (iterator) twin."""
+
+import random
+
+import pytest
+
+from repro.core.dag import DependencyDAG
+from repro.core.preprocess import preprocess
+from repro.core.runner import LineageXRunner
+from repro.datasets import workload
+
+
+def _waves_stats(views):
+    dictionary = preprocess(dict(views))
+    return DependencyDAG.from_query_dictionary(dictionary).stats()
+
+
+class TestKnobDefaultsAreByteIdentical:
+    def test_explicit_zero_knobs_equal_omitted_knobs(self):
+        plain = workload.generate_warehouse(num_views=80, seed=7)
+        explicit = workload.generate_warehouse(
+            num_views=80,
+            seed=7,
+            deep_chain_probability=0.0,
+            fanout_probability=0.0,
+            num_schemas=1,
+        )
+        assert plain.views == explicit.views
+        assert plain.base_tables == explicit.base_tables
+
+    def test_historical_seed_42_stream_is_frozen(self):
+        """The default-knob stream must never drift: every store cache key,
+        differential baseline, and committed benchmark depends on it."""
+        warehouse = workload.generate_warehouse()  # all defaults, seed=42
+        assert list(warehouse.views)[:2] == ["view_0", "view_1"]
+        assert warehouse.views["view_0"] == (
+            "CREATE VIEW view_0 AS SELECT s.name, count(*) AS row_count, "
+            "max(s.key) AS max_key FROM base_2 s GROUP BY s.name"
+        )
+
+    def test_knob_streams_differ_from_default(self):
+        plain = workload.generate_warehouse(num_views=80, seed=7)
+        chained = workload.generate_warehouse(
+            num_views=80, seed=7, deep_chain_probability=0.5
+        )
+        assert plain.views != chained.views
+
+
+class TestTopologyKnobs:
+    def test_deep_chains_raise_wave_count(self):
+        plain = workload.generate_warehouse(num_views=100, seed=13)
+        chained = workload.generate_warehouse(
+            num_views=100, seed=13, deep_chain_probability=0.6
+        )
+        assert (
+            _waves_stats(chained.views)["num_waves"]
+            > _waves_stats(plain.views)["num_waves"]
+        )
+
+    def test_fanout_raises_max_wave_width(self):
+        plain = workload.generate_warehouse(num_views=100, seed=13)
+        fanned = workload.generate_warehouse(
+            num_views=100, seed=13, fanout_probability=0.6
+        )
+        assert (
+            _waves_stats(fanned.views)["max_wave_width"]
+            > _waves_stats(plain.views)["max_wave_width"]
+        )
+
+    def test_knob_corpora_extract_without_unresolved(self):
+        warehouse = workload.generate_warehouse(
+            num_views=60,
+            seed=19,
+            deep_chain_probability=0.3,
+            fanout_probability=0.2,
+        )
+        result = LineageXRunner(catalog=warehouse.catalog()).run(
+            dict(warehouse.views)
+        )
+        assert not result.report.unresolved
+
+    def test_multi_schema_names_are_qualified_and_resolve(self):
+        warehouse = workload.generate_warehouse(
+            num_base_tables=6, num_views=40, seed=23, num_schemas=3
+        )
+        assert any(name.startswith("sch_1.") for name in warehouse.base_tables)
+        assert any(name.startswith("sch_2.") for name in warehouse.views)
+        result = LineageXRunner(catalog=warehouse.catalog()).run(
+            dict(warehouse.views)
+        )
+        assert not result.report.unresolved
+
+
+class TestStreamedWarehouse:
+    @pytest.mark.parametrize(
+        "config",
+        [
+            dict(num_views=50, seed=7),
+            dict(num_views=80, seed=11, extended_probability=0.3),
+            dict(num_views=80, seed=11, deep_chain_probability=0.4),
+            dict(num_views=60, seed=5, fanout_probability=0.3, num_schemas=4),
+        ],
+        ids=["classic", "extended", "deep-chain", "fanout-multischema"],
+    )
+    def test_stream_matches_materialized(self, config):
+        warehouse = workload.generate_warehouse(**config)
+        streamed = workload.iter_warehouse(**config)
+        assert list(streamed) == list(warehouse.views.items())
+
+    def test_iteration_is_restartable(self):
+        streamed = workload.iter_warehouse(num_views=40, seed=3)
+        assert list(streamed) == list(streamed)
+
+    def test_restart_resets_stage_tables(self):
+        """MERGE/upsert stage tables accrue per iteration; a second pass
+        must not see the first pass's stage tables as leftovers."""
+        streamed = workload.iter_warehouse(
+            num_views=60, seed=11, extended_probability=0.4
+        )
+        list(streamed)
+        after_first = dict(streamed.base_tables)
+        list(streamed)
+        assert dict(streamed.base_tables) == after_first
+
+    def test_catalog_and_total(self):
+        streamed = workload.iter_warehouse(num_base_tables=4, num_views=30, seed=9)
+        assert streamed.total_statements() == 30
+        materialized = workload.generate_warehouse(
+            num_base_tables=4, num_views=30, seed=9
+        )
+        assert (
+            streamed.catalog().relation_names()
+            == materialized.catalog().relation_names()
+        )
+
+    def test_generator_feeds_the_runner_directly(self):
+        streamed = workload.iter_warehouse(num_base_tables=4, num_views=30, seed=9)
+        result = LineageXRunner(catalog=streamed.catalog(), stream=True).run(streamed)
+        assert not result.report.unresolved
+        assert len(result.graph.views) == 30
+
+
+class TestPickSourceScaling:
+    def test_plain_dict_fallback_matches_relations(self):
+        relations = workload._Relations({"b": [1], "a": [2], "c": [3]})
+        plain = {"b": [1], "a": [2], "c": [3]}
+        for seed in range(10):
+            assert workload._pick_source(relations, random.Random(seed)) == (
+                workload._pick_source(plain, random.Random(seed))
+            )
+
+    def test_sorted_names_track_inserts(self):
+        relations = workload._Relations({"base_1": [1]})
+        relations.add("view_10", [2])
+        relations.add("view_2", [3])
+        relations.add("view_2", [4])  # re-add must not duplicate
+        assert relations.sorted_names == sorted(relations)

@@ -1,0 +1,297 @@
+"""The sharded store layout: routing, manifest discovery, migration,
+and concurrent access through WAL + busy timeouts."""
+
+import hashlib
+import json
+import os
+import sqlite3
+import threading
+
+from repro.core.column_refs import ColumnName
+from repro.core.lineage import TableLineage
+from repro.store import (
+    SHARD_MANIFEST,
+    LineageStore,
+    make_key,
+    schema_fingerprint,
+    shard_index,
+)
+from repro.store.store import BUSY_TIMEOUT_MS, STORE_FILENAME, _shard_filename
+
+
+def _entry(name="v"):
+    entry = TableLineage(name=name, sql=f"CREATE VIEW {name} AS SELECT a FROM t")
+    entry.add_contribution("a", ColumnName.of("t", "a"))
+    return entry
+
+
+def _hash(tag):
+    return hashlib.sha256(tag.encode("utf-8")).hexdigest()
+
+
+def _key(tag):
+    return make_key(_hash(tag), "postgres", 1, schema_fingerprint([("t", ["a"])]))
+
+
+def _populate(store, count, prefix="v"):
+    """Put ``count`` routed records; returns the list of (tag, key, hash)."""
+    rows = []
+    for index in range(count):
+        tag = f"{prefix}{index}"
+        key, content_hash = _key(tag), _hash(tag)
+        assert store.put(key, _entry(tag), content_hash=content_hash)
+        rows.append((tag, key, content_hash))
+    return rows
+
+
+class TestShardIndex:
+    def test_single_shard_is_always_zero(self):
+        for text in ("", "00ff", _hash("x"), "not-hex"):
+            assert shard_index(text, 1) == 0
+
+    def test_hex_prefix_routing(self):
+        assert shard_index("deadbeef" + "0" * 56, 8) == int("deadbeef", 16) % 8
+
+    def test_non_hex_and_empty_inputs_still_route(self):
+        for text in ("", "zzzz", "view name with spaces", "sch.tbl"):
+            index = shard_index(text, 8)
+            assert 0 <= index < 8
+            assert index == shard_index(text, 8)  # deterministic
+
+    def test_real_hashes_spread_over_every_shard(self):
+        hit = {shard_index(_hash(f"stmt {i}"), 8) for i in range(256)}
+        assert hit == set(range(8))
+
+
+class TestShardedLayout:
+    def test_creates_shard_files_and_manifest(self, tmp_path):
+        with LineageStore(tmp_path, shards=4) as store:
+            _populate(store, 8)
+            assert store.stats()["shards"] == 4
+        for index in range(4):
+            assert (tmp_path / _shard_filename(index, 4)).exists()
+        with open(tmp_path / SHARD_MANIFEST, encoding="utf-8") as handle:
+            assert json.load(handle)["shards"] == 4
+        assert not (tmp_path / STORE_FILENAME).exists()
+
+    def test_manifest_wins_over_requested_count(self, tmp_path):
+        with LineageStore(tmp_path, shards=4) as store:
+            rows = _populate(store, 8)
+        # the shards= argument is only a request for *new* directories
+        for requested in (None, 16):
+            with LineageStore(tmp_path, shards=requested) as store:
+                assert store.stats()["shards"] == 4
+                for tag, key, content_hash in rows:
+                    assert store.get(key, content_hash=content_hash).name == tag
+
+    def test_legacy_single_file_wins_over_requested_count(self, tmp_path):
+        with LineageStore(tmp_path) as store:  # default: single file
+            rows = _populate(store, 4)
+        assert (tmp_path / STORE_FILENAME).exists()
+        with LineageStore(tmp_path, shards=8) as store:
+            assert store.stats()["shards"] == 1
+            for tag, key, content_hash in rows:
+                assert store.get(key, content_hash=content_hash).name == tag
+
+    def test_records_land_on_their_routed_shard(self, tmp_path):
+        with LineageStore(tmp_path, shards=4) as store:
+            rows = _populate(store, 12)
+        for _tag, key, content_hash in rows:
+            expected = shard_index(content_hash, 4)
+            path = tmp_path / _shard_filename(expected, 4)
+            with sqlite3.connect(path) as connection:
+                found = connection.execute(
+                    "SELECT COUNT(*) FROM lineage_records WHERE cache_key = ?",
+                    (key,),
+                ).fetchone()[0]
+            assert found == 1, f"{key} not on shard {expected}"
+
+    def test_get_without_content_hash_probes_all_shards(self, tmp_path):
+        with LineageStore(tmp_path, shards=8) as store:
+            rows = _populate(store, 8)
+        with LineageStore(tmp_path) as store:
+            for tag, key, _content_hash in rows:
+                assert store.get(key).name == tag
+
+    def test_put_many_routes_and_counts(self, tmp_path):
+        with LineageStore(tmp_path, shards=4) as store:
+            rows = [
+                (
+                    _key(f"m{i}"),
+                    _entry(f"m{i}"),
+                    {"content_hash": _hash(f"m{i}"), "dialect": "postgres",
+                     "extractor_version": "1", "schema_fingerprint": "fp"},
+                )
+                for i in range(20)
+            ]
+            assert store.put_many(rows) == 20
+        with LineageStore(tmp_path) as store:
+            for i in range(20):
+                got = store.get(_key(f"m{i}"), content_hash=_hash(f"m{i}"))
+                assert got.name == f"m{i}"
+
+    def test_prime_fans_out_and_fills_the_lru(self, tmp_path):
+        with LineageStore(tmp_path, shards=4) as store:
+            rows = _populate(store, 16)
+        store = LineageStore(tmp_path)
+        store.prime([content_hash for _t, _k, content_hash in rows])
+        # every shard file broken: primed records are served from memory
+        for index in range(4):
+            with open(tmp_path / _shard_filename(index, 4), "wb") as handle:
+                handle.write(b"garbage")
+        for tag, key, content_hash in rows:
+            assert store.get(key, content_hash=content_hash).name == tag
+        store.close()
+
+    def test_sources_round_trip_across_shards(self, tmp_path):
+        keys = [f"source:{_hash(str(i))}" for i in range(12)]
+        with LineageStore(tmp_path, shards=4) as store:
+            for key in keys:
+                assert store.put_source(key, [{"kind": "view", "key": key}])
+        with LineageStore(tmp_path) as store:
+            found = store.get_sources(keys)
+            assert set(found) == set(keys)
+            for key in keys:
+                assert found[key] == [{"kind": "view", "key": key}]
+
+    def test_clear_and_gc_span_all_shards(self, tmp_path):
+        with LineageStore(tmp_path, shards=4) as store:
+            _populate(store, 12)
+            assert store.stats()["entries"] == 12
+            store.gc(max_entries=5)
+            assert store.stats()["entries"] <= 5
+            store.clear()
+            assert store.stats()["entries"] == 0
+
+
+class TestMigrate:
+    def test_single_file_to_sharded(self, tmp_path):
+        with LineageStore(tmp_path) as store:
+            rows = _populate(store, 10)
+            for _tag, key, content_hash in rows[:3]:
+                store.put_source(f"source:{content_hash}", [{"key": key}])
+        moved = LineageStore.migrate(tmp_path, 8)
+        assert moved == 13  # 10 lineage records + 3 source fragments
+        assert not (tmp_path / STORE_FILENAME).exists()
+        with LineageStore(tmp_path) as store:
+            assert store.stats()["shards"] == 8
+            for tag, key, content_hash in rows:
+                assert store.get(key, content_hash=content_hash).name == tag
+            for _tag, key, content_hash in rows[:3]:
+                assert store.get_source(f"source:{content_hash}") == [{"key": key}]
+
+    def test_sharded_back_to_single_file(self, tmp_path):
+        with LineageStore(tmp_path, shards=8) as store:
+            rows = _populate(store, 10)
+        assert LineageStore.migrate(tmp_path, 1) == 10
+        assert (tmp_path / STORE_FILENAME).exists()
+        assert not any(
+            name.startswith("lineage-") and name.endswith(".sqlite")
+            for name in os.listdir(tmp_path)
+        )
+        with LineageStore(tmp_path, shards=4) as store:
+            # the migrated single file takes precedence over shards=4
+            assert store.stats()["shards"] == 1
+            for tag, key, content_hash in rows:
+                assert store.get(key, content_hash=content_hash).name == tag
+
+    def test_migrate_to_current_count_is_a_noop(self, tmp_path):
+        with LineageStore(tmp_path, shards=4) as store:
+            rows = _populate(store, 6)
+        assert LineageStore.migrate(tmp_path, 4) == 0  # already that layout
+        with LineageStore(tmp_path) as store:
+            assert store.stats()["shards"] == 4
+            for tag, key, content_hash in rows:
+                assert store.get(key, content_hash=content_hash).name == tag
+
+
+class TestConcurrentAccess:
+    def test_every_shard_connection_uses_wal_and_busy_timeout(self, tmp_path):
+        store = LineageStore(tmp_path, shards=3)
+        try:
+            for shard in store._shards:
+                connection = store._connect_shard(shard)
+                assert connection.execute("PRAGMA journal_mode").fetchone()[0] == "wal"
+                timeout = connection.execute("PRAGMA busy_timeout").fetchone()[0]
+                assert timeout == BUSY_TIMEOUT_MS
+        finally:
+            store.close()
+
+    def test_two_handles_write_concurrently(self, tmp_path):
+        """Two store handles on one directory, four writer threads: WAL plus
+        the busy timeout must absorb the contention without dropping writes.
+
+        The layout is created first (the manifest pins the shard count);
+        both handles then discover it, as two real processes sharing a
+        cache directory would."""
+        with LineageStore(tmp_path, shards=4) as store:
+            _populate(store, 1, prefix="seed")
+        first = LineageStore(tmp_path)
+        second = LineageStore(tmp_path)
+        handles = [first, second]
+        failures = []
+
+        def writer(worker):
+            store = handles[worker % 2]
+            for index in range(25):
+                tag = f"w{worker}-{index}"
+                ok = store.put(_key(tag), _entry(tag), content_hash=_hash(tag))
+                if not ok:
+                    failures.append(tag)
+                if index % 5 == 0:
+                    store.flush()
+
+        threads = [threading.Thread(target=writer, args=(w,)) for w in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        first.close()
+        second.close()
+        assert not failures, f"dropped writes under contention: {failures[:5]}"
+
+        with LineageStore(tmp_path) as store:
+            assert store.stats()["shards"] == 4
+            assert store.stats()["entries"] == 101  # 1 seed + 100 concurrent
+            for worker in range(4):
+                for index in range(25):
+                    tag = f"w{worker}-{index}"
+                    assert store.get(_key(tag), content_hash=_hash(tag)).name == tag
+
+    def test_readers_run_against_an_active_writer(self, tmp_path):
+        with LineageStore(tmp_path, shards=2) as store:
+            rows = _populate(store, 10, prefix="r")
+        writer_store = LineageStore(tmp_path)
+        reader_store = LineageStore(tmp_path)
+        errors = []
+        stop = threading.Event()
+
+        def writer():
+            index = 0
+            while not stop.is_set():
+                tag = f"extra{index}"
+                writer_store.put(_key(tag), _entry(tag), content_hash=_hash(tag))
+                writer_store.flush()
+                index += 1
+
+        def reader():
+            try:
+                for _ in range(20):
+                    for tag, key, content_hash in rows:
+                        got = reader_store.get(key, content_hash=content_hash)
+                        assert got is not None and got.name == tag
+            except Exception as exc:  # noqa: BLE001 - surfaced via the list
+                errors.append(exc)
+
+        writer_thread = threading.Thread(target=writer)
+        reader_threads = [threading.Thread(target=reader) for _ in range(3)]
+        writer_thread.start()
+        for thread in reader_threads:
+            thread.start()
+        for thread in reader_threads:
+            thread.join()
+        stop.set()
+        writer_thread.join()
+        writer_store.close()
+        reader_store.close()
+        assert not errors, errors[0]
