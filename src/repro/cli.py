@@ -12,6 +12,7 @@ Subcommand form (preferred):
     $ python -m repro refresh models/ --edit staging='CREATE VIEW staging AS ...'
     $ python -m repro extract models/ --cache-dir .lineage-cache
     $ python -m repro cache stats --cache-dir .lineage-cache
+    $ python -m repro serve models/ --cache-dir .lineage-cache --port 8765
 
 Every extraction subcommand accepts the shared extraction flags
 (``--engine``, ``--catalog``, ``--strict``, ``--mode``, ``--workers``,
@@ -49,7 +50,7 @@ from .output.registry import renderer_names
 from .session import ENGINES, LineageSession, SessionConfig
 from .sources import DbtSource, Source
 
-SUBCOMMANDS = ("extract", "impact", "render", "refresh", "cache")
+SUBCOMMANDS = ("extract", "impact", "render", "refresh", "cache", "serve")
 
 
 def _positive_int(text):
@@ -301,6 +302,60 @@ def build_subcommand_parser():
     )
     cache.set_defaults(handler=_cmd_cache)
 
+    serve = commands.add_parser(
+        "serve",
+        help="run the lineage serving daemon (HTTP/JSON over asyncio)",
+    )
+    serve.add_argument(
+        "input", nargs="?",
+        help="optional corpus to preload before announcing readiness: a "
+        "directory of .sql files, a dbt project, or a .jsonl query log "
+        "(any name-addressable source)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="interface to bind (default: 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=8765,
+        help="port to bind; 0 picks a free one and prints it (default: 8765)",
+    )
+    serve.add_argument(
+        "--catalog", metavar="DDL_FILE",
+        help="CREATE TABLE script providing base-table schemas (optional)",
+    )
+    serve.add_argument(
+        "--strict", action="store_true",
+        help="fail ingest batches on ambiguous column references",
+    )
+    serve.add_argument(
+        "--dbt", action="store_true",
+        help="treat the preload input directory as a dbt project",
+    )
+    serve.add_argument(
+        "--workers", type=_positive_int, metavar="N", default=None,
+        help="worker-pool width for each ingest batch's DAG-wave extraction",
+    )
+    serve.add_argument(
+        "--executor", choices=["thread", "process"], default="thread",
+        help="worker-pool backend for --workers (see 'extract --help')",
+    )
+    serve.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="persistent lineage store: ingest splices unchanged statements "
+        "from it and persists new extractions (warm restarts)",
+    )
+    serve.add_argument(
+        "--cache-shards", type=_positive_int, metavar="N", default=None,
+        help="shard count for a NEWLY created store at --cache-dir",
+    )
+    serve.add_argument(
+        "--batch-window-ms", type=float, metavar="MS", default=10.0,
+        help="how long the ingest loop gathers concurrent /extract requests "
+        "into one micro-batch (default: 10 ms)",
+    )
+    serve.set_defaults(handler=_cmd_serve)
+
     return parser
 
 
@@ -436,8 +491,18 @@ def _cmd_cache(args, stdout):
     store = LineageStore(args.cache_dir)
     try:
         if args.action == "stats":
-            for key, value in sorted(store.stats().items()):
+            stats = store.stats()
+            shards = stats.pop("per_shard", [])
+            for key, value in sorted(stats.items()):
                 print(f"{key}: {value}", file=stdout)
+            for shard in shards:
+                print(
+                    f"shard {shard['shard']}: {shard['entries']} entries, "
+                    f"{shard['source_entries']} sources, "
+                    f"{shard['size_bytes']} bytes, "
+                    f"{shard['hit_count']} hits  ({shard['path']})",
+                    file=stdout,
+                )
         elif args.action == "clear":
             print(f"removed {store.clear()} records", file=stdout)
         else:  # gc
@@ -454,6 +519,39 @@ def _cmd_cache(args, stdout):
     finally:
         store.close()
     return 0
+
+
+def _cmd_serve(args, stdout):
+    from .server import LineageApp
+
+    catalog = None
+    if args.catalog:
+        with open(args.catalog, "r", encoding="utf-8") as handle:
+            catalog = catalog_from_sql(handle.read())
+    preload = None
+    if args.input:
+        raw = _load_source(args.input)
+        source = DbtSource(raw) if args.dbt else Source.detect(raw)
+        payload = source.load()
+        if not isinstance(payload, dict):
+            print(
+                "error: serve preload needs a name-addressable source "
+                "(a directory of .sql files, a dbt project, or a .jsonl "
+                f"query log); got a {source.kind!r} source",
+                file=sys.stderr,
+            )
+            return 2
+        preload = payload
+    app = LineageApp(
+        cache_dir=args.cache_dir,
+        cache_shards=args.cache_shards,
+        workers=args.workers,
+        executor=args.executor,
+        catalog=catalog,
+        strict=args.strict,
+        batch_window=args.batch_window_ms / 1000.0,
+    )
+    return app.run(host=args.host, port=args.port, preload=preload, out=stdout)
 
 
 # ----------------------------------------------------------------------

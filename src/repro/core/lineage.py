@@ -575,3 +575,73 @@ class LineageGraph:
             ),
             "num_table_edges": len(list(self.table_edges())),
         }
+
+    # ------------------------------------------------------------------
+    # Freezing (lock-free concurrent readers)
+    # ------------------------------------------------------------------
+    def freeze(self):
+        """An immutable point-in-time view of this graph.
+
+        The returned :class:`FrozenLineageGraph` supports every read
+        operation of a live graph but rejects mutation, and its adjacency
+        index is built eagerly here — concurrent readers therefore never
+        trigger (or race) a lazy index rebuild, which is what makes a
+        published snapshot safe to traverse from many threads without any
+        locking.
+        """
+        return FrozenLineageGraph(self)
+
+
+class FrozenGraphError(TypeError):
+    """A mutation was attempted on a frozen lineage graph."""
+
+
+class FrozenLineageGraph(LineageGraph):
+    """A read-only point-in-time view over a :class:`LineageGraph`.
+
+    Construction copies the relation *mapping* (not the entries: the
+    engine's no-in-place-mutation discipline — every run and every
+    incremental refresh assembles a fresh graph, splicing unmodified
+    entries by reference — makes sharing :class:`TableLineage` objects
+    safe) and builds the adjacency index eagerly.  The index is pinned:
+    observer notifications from shared entries never invalidate it, so
+    every traversal a reader starts completes against the exact edge set
+    that existed when the snapshot was taken.
+
+    All mutating methods raise :class:`FrozenGraphError`.  Derived views
+    (:meth:`LineageGraph.subgraph`) return ordinary mutable graphs.
+    """
+
+    def __init__(self, graph):
+        self.relations = dict(graph.relations)
+        self._mutations = 0
+        self._index = _GraphIndex(self.relations)
+        self._index_token = 0
+
+    # reads bypass the token dance entirely: the index is pinned
+    def _ensure_index(self):
+        return self._index
+
+    def _invalidate(self):
+        # shared entries may notify (they are subscribed to the live graph
+        # and, transitively, anything else observing them); a frozen view
+        # ignores it by design — the pinned index IS the snapshot
+        pass
+
+    def freeze(self):
+        return self
+
+    def add(self, lineage):
+        raise FrozenGraphError(
+            "cannot add to a frozen lineage graph (snapshot view)"
+        )
+
+    def ensure_base_table(self, name, columns=()):
+        raise FrozenGraphError(
+            "cannot add base tables to a frozen lineage graph (snapshot view)"
+        )
+
+    def register_usage(self, column_name):
+        raise FrozenGraphError(
+            "cannot register usage on a frozen lineage graph (snapshot view)"
+        )

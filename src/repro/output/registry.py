@@ -20,6 +20,11 @@ which is how :meth:`LineageXResult.render` hooks in.
 """
 
 _RENDERERS = {}
+_CONTENT_TYPES = {}
+
+#: what :func:`content_type_of` reports for formats registered without an
+#: explicit content type (every renderer produces text).
+DEFAULT_CONTENT_TYPE = "text/plain; charset=utf-8"
 
 
 class UnknownFormatError(LookupError):
@@ -33,19 +38,35 @@ class UnknownFormatError(LookupError):
         )
 
 
-def register_renderer(name, renderer=None):
+def register_renderer(name, renderer=None, *, content_type=None):
     """Register ``renderer`` under ``name`` (usable as a decorator).
 
     Re-registering a name replaces the previous renderer, which lets
-    applications override a built-in format.
+    applications override a built-in format.  ``content_type`` declares
+    the MIME type HTTP consumers (the serving daemon's ``/render/{fmt}``
+    endpoint) should label the rendered document with; it defaults to
+    plain text.
     """
     def _register(function):
         _RENDERERS[str(name)] = function
+        if content_type is not None:
+            _CONTENT_TYPES[str(name)] = str(content_type)
         return function
 
     if renderer is not None:
         return _register(renderer)
     return _register
+
+
+def content_type_of(name):
+    """The MIME type of a registered format (plain text when undeclared).
+
+    Raises :class:`UnknownFormatError` for unregistered names, mirroring
+    :func:`get_renderer`.
+    """
+    if str(name) not in _RENDERERS:
+        raise UnknownFormatError(name)
+    return _CONTENT_TYPES.get(str(name), DEFAULT_CONTENT_TYPE)
 
 
 def get_renderer(name):
@@ -71,24 +92,36 @@ def render(target, fmt, **options):
     return get_renderer(fmt)(graph, stats=stats, **options)
 
 
+def render_bytes(target, fmt, **options):
+    """Render ``target`` as ``(body_bytes, content_type)`` for HTTP serving.
+
+    The daemon's ``/render/{fmt}`` endpoint resolves through this: the
+    rendered text is UTF-8 encoded and paired with the format's declared
+    MIME type, so a renderer registered with a ``content_type`` is served
+    correctly labelled with no HTTP-specific code of its own.
+    """
+    content_type = content_type_of(fmt)
+    return render(target, fmt, **options).encode("utf-8"), content_type
+
+
 # ----------------------------------------------------------------------
 # Built-in renderers
 # ----------------------------------------------------------------------
-@register_renderer("json")
+@register_renderer("json", content_type="application/json; charset=utf-8")
 def _render_json(graph, stats=None, indent=2):
     from .json_output import graph_to_json
 
     return graph_to_json(graph, stats=stats, indent=indent)
 
 
-@register_renderer("html")
+@register_renderer("html", content_type="text/html; charset=utf-8")
 def _render_html(graph, stats=None, title="LineageX lineage graph"):
     from .html_output import graph_to_html
 
     return graph_to_html(graph, title=title)
 
 
-@register_renderer("dot")
+@register_renderer("dot", content_type="text/vnd.graphviz; charset=utf-8")
 def _render_dot(graph, stats=None, name="lineage", rankdir="LR"):
     from .dot_output import graph_to_dot
 
@@ -102,14 +135,14 @@ def _render_text(graph, stats=None):
     return graph_to_text(graph)
 
 
-@register_renderer("csv")
+@register_renderer("csv", content_type="text/csv; charset=utf-8")
 def _render_csv(graph, stats=None, layout="edges"):
     from .csv_output import graph_to_csv
 
     return graph_to_csv(graph, layout=layout)
 
 
-@register_renderer("markdown")
+@register_renderer("markdown", content_type="text/markdown; charset=utf-8")
 def _render_markdown(graph, stats=None, title="Lineage"):
     from .markdown_output import graph_to_markdown
 

@@ -1,0 +1,37 @@
+"""Lineage-as-a-service: the asyncio serving daemon.
+
+Start it from the command line::
+
+    python -m repro serve --cache-dir .lineage-cache --workers 4
+
+or embed it::
+
+    from repro.server import LineageApp
+
+    app = LineageApp(cache_dir=".lineage-cache")
+    app.run(host="127.0.0.1", port=8765)
+
+Design in one paragraph: all writes (``POST /extract``) funnel through a
+single micro-batching ingest loop that dedupes statements by content
+hash before parsing and runs one incremental ``refresh()`` per batch on
+a worker thread; after each successful batch an immutable frozen graph
+snapshot is published by an atomic reference swap, and every read
+endpoint (``/impact``, ``/ordering``, ``/render/{fmt}``, ``/stats``,
+``/health``) serves from the snapshot it grabbed with no locks — a slow
+render can neither block nor observe a half-applied ingest.
+"""
+
+from .app import LineageApp
+from .batcher import IngestBatcher, statement_hash
+from .http import Request, Response
+from .snapshot import Snapshot, SnapshotManager
+
+__all__ = [
+    "IngestBatcher",
+    "LineageApp",
+    "Request",
+    "Response",
+    "Snapshot",
+    "SnapshotManager",
+    "statement_hash",
+]

@@ -1,0 +1,163 @@
+"""The serving daemon: one session, one ingest loop, many lock-free readers.
+
+:class:`LineageApp` wires the pieces together:
+
+* a sourceless :class:`~repro.session.LineageSession` (optionally backed
+  by a persistent store via ``cache_dir``) owned exclusively by the
+  ingest loop;
+* an :class:`~repro.server.batcher.IngestBatcher` that hash-dedupes and
+  micro-batches every ``POST /extract``;
+* a :class:`~repro.server.snapshot.SnapshotManager` publishing an
+  immutable graph generation after each successful batch, which every
+  read endpoint serves from without locking;
+* the minimal asyncio HTTP layer in :mod:`repro.server.http`.
+
+``python -m repro serve`` builds one of these and calls :meth:`run`,
+which blocks until SIGINT/SIGTERM and then shuts down cleanly: stop
+accepting connections, drain the ingest queue, release the store.
+"""
+
+import asyncio
+import contextlib
+import signal
+import sys
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from .batcher import IngestBatcher
+from .http import serve_connection
+from .routes import dispatch
+from .snapshot import SnapshotManager
+from ..core.lineage import LineageGraph
+from ..session import LineageSession
+
+
+class LineageApp:
+    """The daemon's application object (transport-independent)."""
+
+    def __init__(
+        self,
+        session=None,
+        *,
+        cache_dir=None,
+        cache_shards=None,
+        workers=None,
+        executor="thread",
+        catalog=None,
+        strict=False,
+        batch_window=0.010,
+    ):
+        if session is None:
+            session = LineageSession(
+                catalog=catalog,
+                strict=strict,
+                workers=workers,
+                executor=executor,
+                cache_dir=cache_dir,
+                cache_shards=cache_shards,
+            )
+        self.session = session
+        self.workers = session.config.workers
+        # reads already extracted state if the caller handed over a warm
+        # session; otherwise start from an empty generation-0 graph so
+        # every endpoint works before the first ingest
+        initial = (
+            session.result.graph if session.result is not None else LineageGraph()
+        )
+        self.snapshots = SnapshotManager(initial)
+        # renders and refreshes both run here, off the event loop; two
+        # extra threads keep a long render from queueing behind ingest
+        self.executor = ThreadPoolExecutor(
+            max_workers=3, thread_name_prefix="lineage-serve"
+        )
+        self.batcher = IngestBatcher(
+            session, self.snapshots, executor=self.executor,
+            batch_window=batch_window,
+        )
+        self._started = time.monotonic()
+        self._server = None
+
+    def uptime(self):
+        return time.monotonic() - self._started
+
+    async def handle(self, request):
+        """Dispatch one parsed request (the HTTP layer's callback)."""
+        return await dispatch(self, request)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self, host="127.0.0.1", port=8765):
+        """Start the ingest loop and bind the listening socket.
+
+        Returns the bound ``(host, port)`` — pass ``port=0`` to let the
+        OS pick a free one (tests and benchmarks do).
+        """
+        self.batcher.start()
+        self._server = await asyncio.start_server(
+            self._on_connection, host=host, port=port
+        )
+        bound = self._server.sockets[0].getsockname()
+        return bound[0], bound[1]
+
+    async def _on_connection(self, reader, writer):
+        await serve_connection(reader, writer, self.handle)
+
+    async def preload(self, statements):
+        """Ingest ``{name: sql}`` through the normal batching path.
+
+        Used by ``serve INPUT`` to warm the daemon before it announces
+        readiness; the statements register in the dedupe index exactly as
+        if a client had POSTed them.
+        """
+        if statements:
+            await self.batcher.submit(dict(statements))
+
+    async def stop(self):
+        """Graceful shutdown: close the socket, drain ingest, release stores."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.batcher.stop()
+        self.executor.shutdown(wait=True)
+        self.session.close()
+
+    # ------------------------------------------------------------------
+    # blocking entry point (the CLI's `serve` subcommand)
+    # ------------------------------------------------------------------
+    def run(self, host="127.0.0.1", port=8765, preload=None, out=None):
+        """Serve until SIGINT/SIGTERM, then shut down cleanly."""
+        out = out if out is not None else sys.stdout
+        return asyncio.run(self._run(host, port, preload, out))
+
+    async def _run(self, host, port, preload, out):
+        stop_event = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        installed = []
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop_event.set)
+                installed.append(signum)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass  # non-Unix event loops: Ctrl-C still raises KeyboardInterrupt
+        try:
+            self.batcher.start()
+            if preload:
+                count = len(preload)
+                await self.preload(preload)
+                print(f"preloaded {count} statements", file=out, flush=True)
+            bound_host, bound_port = await self.start(host, port)
+            # the readiness line: tests and scripts parse the bound port
+            # from it, so keep the shape stable
+            print(
+                f"serving on http://{bound_host}:{bound_port}", file=out, flush=True
+            )
+            await stop_event.wait()
+            print("shutting down", file=out, flush=True)
+        finally:
+            for signum in installed:
+                with contextlib.suppress(Exception):
+                    loop.remove_signal_handler(signum)
+            await self.stop()
+        return 0

@@ -1,0 +1,250 @@
+"""The ingest side of the daemon: hash-deduped micro-batched extraction.
+
+All writes funnel through one :class:`IngestBatcher`.  ``POST /extract``
+handlers call :meth:`submit` and await the result; a single ingest task
+drains the queue, coalesces everything that arrived within the batch
+window into one micro-batch, and runs one ``session.refresh()`` per
+batch in a worker thread so the event loop keeps serving reads.
+
+Deduplication happens on the **raw statement text** — sha256 of the SQL
+bytes — before any parsing:
+
+* a hash the daemon has already extracted is a *duplicate*: it is
+  answered from bookkeeping alone and never reaches the parser (this is
+  the cheap path that makes duplicate-heavy workloads an order of
+  magnitude faster than unique ones);
+* the same hash submitted twice inside one micro-batch (two concurrent
+  clients racing the same statement) is *coalesced*: one extraction,
+  both requests get the answer;
+* a known view name arriving with new text is a *redefinition*: the old
+  hash is forgotten so the old text would extract again if resubmitted.
+
+Failure domain: a micro-batch is atomic.  If any statement in it fails
+to extract, the whole batch fails, every request that contributed a
+novel statement gets the error, and the published snapshot is unchanged
+(the session only adopts a result on success).  Duplicate-only requests
+are answered before extraction starts and are unaffected.
+"""
+
+import asyncio
+import hashlib
+
+
+_SHUTDOWN = object()
+
+
+def statement_hash(sql):
+    """The dedupe key: sha256 hex digest of the raw statement text."""
+    return hashlib.sha256(sql.encode("utf-8")).hexdigest()
+
+
+class _PendingRequest:
+    """One awaiting ``POST /extract`` call: its statements and its future."""
+
+    __slots__ = ("statements", "future")
+
+    def __init__(self, statements, future):
+        self.statements = statements  # [(name, sql, hash)] in request order
+        self.future = future
+
+
+class IngestBatcher:
+    """Serialises all graph writes into hash-deduped micro-batches."""
+
+    def __init__(self, session, snapshots, executor=None, batch_window=0.010):
+        self._session = session
+        self._snapshots = snapshots
+        self._executor = executor
+        self._batch_window = batch_window
+        self._queue = asyncio.Queue()
+        self._task = None
+        self._stopping = False
+        # hash -> view name for every statement the daemon has extracted,
+        # and the inverse so a redefinition can retire its old hash
+        self._known = {}
+        self._name_hash = {}
+        self.counters = {
+            "requests": 0,
+            "statements": 0,
+            "extracted": 0,
+            "duplicate": 0,
+            "coalesced": 0,
+            "batches": 0,
+            "batch_failures": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self):
+        if self._task is None:
+            self._task = asyncio.get_running_loop().create_task(self._run())
+        return self._task
+
+    async def stop(self):
+        """Drain queued work, then stop the ingest task."""
+        if self._task is None:
+            return
+        self._stopping = True
+        await self._queue.put(_SHUTDOWN)
+        await self._task
+        self._task = None
+
+    # ------------------------------------------------------------------
+    # write path
+    # ------------------------------------------------------------------
+    async def submit(self, statements):
+        """Queue ``{name: sql}`` for extraction; await the batch outcome.
+
+        Returns ``{"statements": [...], "snapshot_version": int, ...}``
+        with a per-statement status (``extracted`` / ``duplicate`` /
+        ``coalesced``), or raises the batch's extraction error.
+        """
+        if self._stopping:
+            raise RuntimeError("server is shutting down")
+        hashed = [
+            (str(name), sql, statement_hash(sql)) for name, sql in statements.items()
+        ]
+        future = asyncio.get_running_loop().create_future()
+        await self._queue.put(_PendingRequest(hashed, future))
+        return await future
+
+    # ------------------------------------------------------------------
+    # ingest loop
+    # ------------------------------------------------------------------
+    async def _run(self):
+        loop = asyncio.get_running_loop()
+        while True:
+            item = await self._queue.get()
+            if item is _SHUTDOWN:
+                break
+            pending = [item]
+            done = False
+            deadline = loop.time() + self._batch_window
+            while True:
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    break
+                try:
+                    extra = await asyncio.wait_for(self._queue.get(), remaining)
+                except asyncio.TimeoutError:
+                    break
+                if extra is _SHUTDOWN:
+                    done = True
+                    break
+                pending.append(extra)
+            await self._process(pending)
+            if done:
+                break
+
+    async def _process(self, pending):
+        """Assemble one micro-batch from ``pending`` requests and run it."""
+        changes = {}          # name -> sql: the novel statements to extract
+        batch_hashes = {}     # hash -> name, for intra-batch coalescing
+        waiting = []          # requests that contributed novel statements
+        statuses = {}         # id(request) -> per-statement status rows
+        for request in pending:
+            rows = []
+            novel = False
+            for name, sql, digest in request.statements:
+                self.counters["statements"] += 1
+                if digest in self._known:
+                    status = "duplicate"
+                    self.counters["duplicate"] += 1
+                elif digest in batch_hashes:
+                    status = "coalesced"
+                    self.counters["coalesced"] += 1
+                    novel = True  # outcome depends on this batch
+                else:
+                    status = "extracted"
+                    self.counters["extracted"] += 1
+                    batch_hashes[digest] = name
+                    changes[name] = sql
+                    novel = True
+                rows.append({"name": name, "status": status, "hash": digest[:12]})
+            self.counters["requests"] += 1
+            statuses[id(request)] = rows
+            if novel:
+                waiting.append(request)
+            else:
+                # pure-duplicate request: answered without touching the
+                # parser or waiting for the batch — the dedupe fast path
+                request.future.set_result(
+                    self._result_payload(rows, report=None)
+                )
+
+        if not waiting:
+            return
+
+        self.counters["batches"] += 1
+        loop = asyncio.get_running_loop()
+        try:
+            result = await loop.run_in_executor(
+                self._executor, self._session.refresh, changes
+            )
+        except Exception as error:  # noqa: BLE001 - batch failure domain
+            self.counters["batch_failures"] += 1
+            for request in waiting:
+                if not request.future.done():
+                    request.future.set_exception(
+                        ExtractionFailed(
+                            f"{type(error).__name__}: {error}", len(changes)
+                        )
+                    )
+            return
+
+        # adopt the batch: remember every novel hash, retire hashes of
+        # redefined names, then publish before resolving so a client that
+        # sees "extracted" can immediately read its lineage
+        for digest, name in batch_hashes.items():
+            previous = self._name_hash.get(name)
+            if previous is not None and previous != digest:
+                self._known.pop(previous, None)
+            self._known[digest] = name
+            self._name_hash[name] = digest
+        report = getattr(result, "report", None)
+        snapshot = self._snapshots.publish(
+            result.graph, statement_names=sorted(self._name_hash)
+        )
+        for request in waiting:
+            if not request.future.done():
+                request.future.set_result(
+                    self._result_payload(
+                        statuses[id(request)], report, snapshot.version
+                    )
+                )
+
+    def _result_payload(self, rows, report, version=None):
+        payload = {
+            "statements": rows,
+            "snapshot_version": (
+                version if version is not None else self._snapshots.version
+            ),
+        }
+        if report is not None:
+            payload["batch"] = {
+                "extracted": len(getattr(report, "order", ()) or ()),
+                "reused_from_memory": len(getattr(report, "reused", ()) or ()),
+                "reused_from_store": len(
+                    getattr(report, "reused_from", {}) or {}
+                ),
+                "unresolved": sorted(getattr(report, "unresolved", ()) or ()),
+            }
+        return payload
+
+    def stats(self):
+        counters = dict(self.counters)
+        total = counters["statements"]
+        skipped = counters["duplicate"] + counters["coalesced"]
+        counters["dedupe_ratio"] = round(skipped / total, 4) if total else 0.0
+        counters["known_statements"] = len(self._known)
+        counters["queue_depth"] = self._queue.qsize()
+        return counters
+
+
+class ExtractionFailed(RuntimeError):
+    """A micro-batch failed; carries how many statements it contained."""
+
+    def __init__(self, message, batch_size):
+        super().__init__(message)
+        self.batch_size = batch_size

@@ -1,0 +1,222 @@
+"""A minimal asyncio HTTP/1.1 layer — just enough protocol for the daemon.
+
+The serving daemon needs exactly four things from HTTP: parse a request
+line + headers + optional body, answer with a status + content type +
+body, keep connections alive so a client loop is not paying a TCP
+handshake per query, and fail closed on malformed or oversized input.
+The standard library has servers (``http.server``) but none that are
+asyncio-native, and the hard dependencies budget for this repository is
+zero — so this module implements the subset directly on
+``asyncio.StreamReader``/``StreamWriter``.
+
+Deliberate non-goals: TLS, chunked transfer encoding, pipelining beyond
+what serialised request/response handling gives for free, multipart
+bodies.  Requests using them get a clean 4xx/close instead of undefined
+behaviour.
+"""
+
+import json
+from urllib.parse import parse_qs, unquote, urlsplit
+
+#: requests with bodies beyond this are rejected with 413 (a 100k-statement
+#: corpus in JSON is ~30 MB; 64 MB leaves comfortable headroom while still
+#: bounding a hostile or broken client).
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+#: request line + headers must fit in this budget.
+MAX_HEADER_BYTES = 64 * 1024
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class BadRequestError(ValueError):
+    """The bytes on the wire are not a request this server accepts."""
+
+
+class Request:
+    """One parsed HTTP request."""
+
+    __slots__ = ("method", "path", "query", "headers", "body", "keep_alive")
+
+    def __init__(self, method, path, query, headers, body, keep_alive):
+        self.method = method
+        self.path = path
+        self.query = query          # {name: first value} (decoded)
+        self.headers = headers      # {lowercase-name: value}
+        self.body = body            # bytes
+        self.keep_alive = keep_alive
+
+    def json(self):
+        """The body decoded as JSON (:class:`BadRequestError` on failure)."""
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as error:
+            raise BadRequestError(f"request body is not valid JSON: {error}") from None
+
+
+class Response:
+    """One response: status + body bytes + content type."""
+
+    __slots__ = ("status", "body", "content_type")
+
+    def __init__(self, status, body=b"", content_type="text/plain; charset=utf-8"):
+        self.status = int(status)
+        self.body = body if isinstance(body, bytes) else str(body).encode("utf-8")
+        self.content_type = content_type
+
+    @classmethod
+    def json(cls, payload, status=200):
+        """A JSON response (the daemon's default shape)."""
+        body = json.dumps(payload, sort_keys=True).encode("utf-8") + b"\n"
+        return cls(status, body, "application/json; charset=utf-8")
+
+    @classmethod
+    def error(cls, status, message):
+        """A JSON error envelope: ``{"error": message}``."""
+        return cls.json({"error": str(message)}, status=status)
+
+    def encode(self, keep_alive):
+        """Serialise status line + headers + body to wire bytes."""
+        reason = _REASONS.get(self.status, "Unknown")
+        head = (
+            f"HTTP/1.1 {self.status} {reason}\r\n"
+            f"Content-Type: {self.content_type}\r\n"
+            f"Content-Length: {len(self.body)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            "\r\n"
+        )
+        return head.encode("latin-1") + self.body
+
+
+async def read_request(reader):
+    """Parse one request from ``reader``; ``None`` on a clean EOF.
+
+    Raises :class:`BadRequestError` for malformed input (the connection
+    handler answers 400 and closes) and lets transport errors
+    (``ConnectionResetError``, ``asyncio.IncompleteReadError`` mid-message)
+    propagate to be treated as a dropped client.
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except NotImplementedError:  # pragma: no cover - defensive
+        raise
+    except Exception as error:
+        # EOF before any byte = client done with a keep-alive connection
+        partial = getattr(error, "partial", None)
+        if partial is not None and not partial:
+            return None
+        if partial:
+            raise BadRequestError("truncated request head") from None
+        limit_error = error.__class__.__name__ == "LimitOverrunError"
+        if limit_error:
+            raise BadRequestError("request head too large") from None
+        raise
+    if len(head) > MAX_HEADER_BYTES:
+        raise BadRequestError("request head too large")
+
+    try:
+        text = head.decode("latin-1")
+    except UnicodeDecodeError:  # pragma: no cover - latin-1 cannot fail
+        raise BadRequestError("undecodable request head") from None
+    lines = text.split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise BadRequestError(f"malformed request line: {lines[0]!r}")
+    method, target, version = parts
+
+    headers = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, separator, value = line.partition(":")
+        if not separator:
+            raise BadRequestError(f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    if "transfer-encoding" in headers:
+        raise BadRequestError("chunked transfer encoding is not supported")
+    body = b""
+    length_text = headers.get("content-length")
+    if length_text is not None:
+        try:
+            length = int(length_text)
+        except ValueError:
+            raise BadRequestError(f"bad Content-Length: {length_text!r}") from None
+        if length < 0:
+            raise BadRequestError(f"bad Content-Length: {length_text!r}")
+        if length > MAX_BODY_BYTES:
+            raise BadRequestError("request body too large")
+        if length:
+            body = await reader.readexactly(length)
+
+    split = urlsplit(target)
+    query = {
+        name: values[0]
+        for name, values in parse_qs(split.query, keep_blank_values=True).items()
+    }
+    # HTTP/1.1 defaults to keep-alive; "Connection: close" opts out
+    keep_alive = version != "HTTP/1.0"
+    connection = headers.get("connection", "").lower()
+    if connection == "close":
+        keep_alive = False
+    elif connection == "keep-alive":
+        keep_alive = True
+    return Request(
+        method=method.upper(),
+        path=unquote(split.path),
+        query=query,
+        headers=headers,
+        body=body,
+        keep_alive=keep_alive,
+    )
+
+
+async def serve_connection(reader, writer, dispatch):
+    """Drive one client connection: read, dispatch, respond, repeat.
+
+    ``dispatch`` is an async callable ``(Request) -> Response``.  A
+    handler exception becomes a 500 (the connection survives); a protocol
+    violation becomes a 400 and closes the connection; a transport error
+    just drops the client.
+    """
+    try:
+        while True:
+            try:
+                request = await read_request(reader)
+            except BadRequestError as error:
+                writer.write(Response.error(400, error).encode(keep_alive=False))
+                await writer.drain()
+                break
+            if request is None:
+                break
+            try:
+                response = await dispatch(request)
+            except BadRequestError as error:
+                response = Response.error(400, error)
+            except Exception as error:  # noqa: BLE001 - the server must survive
+                response = Response.error(500, f"{type(error).__name__}: {error}")
+            keep_alive = request.keep_alive
+            writer.write(response.encode(keep_alive=keep_alive))
+            await writer.drain()
+            if not keep_alive:
+                break
+    except (ConnectionError, TimeoutError, OSError):
+        pass
+    except Exception:  # noqa: BLE001 - incomplete reads etc. = dropped client
+        pass
+    finally:
+        try:
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass

@@ -1,0 +1,183 @@
+"""Endpoint handlers — every route reads a snapshot or submits a batch.
+
+The dispatch table is deliberately flat: the daemon serves six endpoints
+and nothing here knows about sockets or wire format beyond the
+:class:`~repro.server.http.Request`/``Response`` pair.  Read endpoints
+(``/impact``, ``/ordering``, ``/render/{fmt}``, ``/stats``, ``/health``)
+grab the current :class:`~repro.server.snapshot.Snapshot` once and work
+only on that frozen graph — a concurrent ingest publishing a newer
+generation cannot change what an in-flight read observes.  The only
+write endpoint, ``POST /extract``, funnels into the
+:class:`~repro.server.batcher.IngestBatcher`.
+"""
+
+import asyncio
+
+from .batcher import ExtractionFailed
+from .http import BadRequestError, Response
+from ..analysis.impact import impact_analysis
+from ..analysis.ordering import (
+    creation_order,
+    drop_order,
+    root_tables,
+    terminal_views,
+)
+from ..core.errors import CyclicDependencyError
+from ..output.registry import UnknownFormatError, render_bytes, renderer_names
+
+_DIRECTIONS = ("downstream", "upstream")
+_ORDERING_KINDS = {
+    "creation": creation_order,
+    "drop": drop_order,
+    "terminal": terminal_views,
+    "roots": root_tables,
+}
+
+
+async def dispatch(app, request):
+    """Route one request to its handler (404/405 for everything else)."""
+    path = request.path.rstrip("/") or "/"
+    if path == "/health":
+        return _require_get(request) or handle_health(app)
+    if path == "/stats":
+        return _require_get(request) or handle_stats(app)
+    if path == "/extract":
+        if request.method != "POST":
+            return Response.error(405, "use POST /extract")
+        return await handle_extract(app, request)
+    if path == "/impact":
+        return _require_get(request) or handle_impact(app, request)
+    if path == "/ordering":
+        return _require_get(request) or handle_ordering(app, request)
+    if path.startswith("/render/"):
+        fmt = path[len("/render/"):]
+        return _require_get(request) or await handle_render(app, request, fmt)
+    return Response.error(404, f"no such endpoint: {request.path}")
+
+
+def _require_get(request):
+    if request.method not in ("GET", "HEAD"):
+        return Response.error(405, f"{request.method} not allowed here")
+    return None
+
+
+# ----------------------------------------------------------------------
+# reads — all against one grabbed snapshot
+# ----------------------------------------------------------------------
+def handle_health(app):
+    snapshot = app.snapshots.current()
+    return Response.json(
+        {
+            "status": "ok",
+            "snapshot_version": snapshot.version,
+            "relations": snapshot.stats.get("num_relations", 0),
+            "uptime_seconds": round(app.uptime(), 3),
+        }
+    )
+
+
+def handle_stats(app):
+    snapshot = app.snapshots.current()
+    payload = {
+        "server": {
+            "uptime_seconds": round(app.uptime(), 3),
+            "workers": app.workers,
+            "formats": renderer_names(),
+        },
+        "ingest": app.batcher.stats(),
+        "snapshot": snapshot.describe(),
+    }
+    store = app.session.store
+    if store is not None:
+        payload["store"] = store.stats()
+    return Response.json(payload)
+
+
+def handle_impact(app, request):
+    column = request.query.get("column")
+    if not column:
+        raise BadRequestError("missing required query parameter: column")
+    direction = request.query.get("direction", "downstream")
+    if direction not in _DIRECTIONS:
+        raise BadRequestError(
+            f"direction must be one of {', '.join(_DIRECTIONS)}, got {direction!r}"
+        )
+    snapshot = app.snapshots.current()
+    result = impact_analysis(snapshot.graph, column, direction=direction)
+    return Response.json(
+        {
+            "start": str(result.start),
+            "direction": direction,
+            "snapshot_version": snapshot.version,
+            "impacted_tables": result.impacted_tables(),
+            "columns": [
+                {"table": table, "column": name, "kind": kind}
+                for table, name, kind in result.to_rows()
+            ],
+        }
+    )
+
+
+def handle_ordering(app, request):
+    kind = request.query.get("kind", "creation")
+    handler = _ORDERING_KINDS.get(kind)
+    if handler is None:
+        raise BadRequestError(
+            f"kind must be one of {', '.join(sorted(_ORDERING_KINDS))}, got {kind!r}"
+        )
+    snapshot = app.snapshots.current()
+    try:
+        order = handler(snapshot.graph)
+    except CyclicDependencyError as error:
+        return Response.error(409, f"dependency cycle: {error}")
+    return Response.json(
+        {"kind": kind, "snapshot_version": snapshot.version, "order": list(order)}
+    )
+
+
+async def handle_render(app, request, fmt):
+    if not fmt:
+        raise BadRequestError(
+            "missing format: GET /render/{fmt} with fmt one of "
+            + ", ".join(renderer_names())
+        )
+    snapshot = app.snapshots.current()
+    loop = asyncio.get_running_loop()
+    try:
+        # rendering a large graph is CPU work: keep it off the event loop
+        # (the snapshot is frozen, so the executor thread needs no lock)
+        body, content_type = await loop.run_in_executor(
+            app.executor,
+            lambda: render_bytes(snapshot.graph, fmt, stats=dict(snapshot.stats)),
+        )
+    except UnknownFormatError as error:
+        return Response.error(404, str(error))
+    return Response(200, body, content_type)
+
+
+# ----------------------------------------------------------------------
+# the write path
+# ----------------------------------------------------------------------
+async def handle_extract(app, request):
+    payload = request.json()
+    if isinstance(payload, dict) and isinstance(payload.get("statements"), dict):
+        statements = payload["statements"]
+    elif isinstance(payload, dict) and payload:
+        statements = payload
+    else:
+        raise BadRequestError(
+            'body must be {"statements": {name: sql, ...}} or a bare '
+            "{name: sql, ...} object with at least one statement"
+        )
+    for name, sql in statements.items():
+        if not isinstance(sql, str) or not sql.strip():
+            raise BadRequestError(f"statement {name!r} must be non-empty SQL text")
+    try:
+        result = await app.batcher.submit(
+            {str(name): sql for name, sql in statements.items()}
+        )
+    except ExtractionFailed as error:
+        return Response.error(500, str(error))
+    except RuntimeError as error:
+        return Response.error(503, str(error))
+    return Response.json(result)

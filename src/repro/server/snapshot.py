@@ -1,0 +1,71 @@
+"""Copy-on-write graph snapshots — the daemon's lock-free read side.
+
+Reads and writes in the serving daemon never share a mutable graph.
+The ingest loop owns the only :class:`~repro.session.LineageSession`;
+after every successful extraction batch it freezes the session's graph
+(:meth:`LineageSession.snapshot`) and hands the frozen view to the
+:class:`SnapshotManager`, which publishes it by a single attribute
+assignment.  Under CPython that assignment is an atomic reference swap,
+so a reader either sees the old snapshot or the new one — never a
+half-built graph — and holds whichever it grabbed for as long as it
+likes: a slow ``/render/html`` over snapshot N cannot block (or be
+corrupted by) the ingest loop publishing N+1.
+
+This works because the extraction stack never mutates a published
+graph: every run and refresh assembles a *new* ``LineageGraph`` (reused
+view entries are spliced in by reference, not edited), so freezing it
+pins a consistent generation forever.
+"""
+
+import time
+
+
+class Snapshot:
+    """One immutable published generation of the lineage graph."""
+
+    __slots__ = ("version", "graph", "stats", "published_at", "statement_names")
+
+    def __init__(self, version, graph, statement_names=()):
+        self.version = version
+        self.graph = graph
+        self.stats = graph.stats()
+        self.published_at = time.time()
+        self.statement_names = tuple(statement_names)
+
+    def describe(self):
+        """A JSON-friendly summary (served by ``/stats`` and ``/health``)."""
+        return {
+            "version": self.version,
+            "published_at": self.published_at,
+            "statements": len(self.statement_names),
+            "graph": dict(self.stats),
+        }
+
+
+class SnapshotManager:
+    """Publishes immutable snapshots; readers take them without locking.
+
+    Only the ingest loop calls :meth:`publish`; any number of reader
+    tasks/threads call :meth:`current`.  No synchronisation is needed on
+    the read path — ``self._current`` is replaced wholesale, never
+    mutated.
+    """
+
+    def __init__(self, initial_graph):
+        self._current = Snapshot(0, initial_graph.freeze())
+
+    def publish(self, graph, statement_names=()):
+        """Freeze ``graph`` and make it the current generation."""
+        snapshot = Snapshot(
+            self._current.version + 1, graph.freeze(), statement_names
+        )
+        self._current = snapshot  # atomic reference swap: the publish point
+        return snapshot
+
+    def current(self):
+        """The latest published :class:`Snapshot` (never ``None``)."""
+        return self._current
+
+    @property
+    def version(self):
+        return self._current.version

@@ -41,6 +41,7 @@ working unchanged.
 """
 
 import os
+import threading
 from dataclasses import dataclass, replace as dataclass_replace
 from typing import Protocol, runtime_checkable
 
@@ -225,6 +226,12 @@ class LineageSession:
         self._fingerprint = None   # {name: hash} snapshot for rescan diffs
         self._result = None
         self._store = None         # lazily opened LineageStore (cache_dir)
+        #: serialises extract()/refresh(): the session mutates one result
+        #: at a time however many threads drive it (the serving daemon's
+        #: ingest loop runs refreshes from a worker thread while other
+        #: threads may trigger one explicitly).  An RLock keeps the
+        #: refresh() -> extract() fallback re-entrant.
+        self._write_lock = threading.RLock()
 
     # ------------------------------------------------------------------
     @property
@@ -264,10 +271,22 @@ class LineageSession:
         return store.stats()
 
     def close(self):
-        """Flush and release the persistent store (if one was opened)."""
-        if self._store is not None:
-            self._store.close()
-            self._store = None
+        """Flush and release the persistent store (if one was opened).
+
+        Idempotent and shutdown-safe: a second call is a no-op, a store
+        whose lazy open failed (``self._store`` never assigned) is simply
+        skipped, and a store that errors while closing is still detached —
+        a daemon's teardown path may run this from several places (signal
+        handler, context-manager exit, atexit) without double-release.
+        """
+        store, self._store = self._store, None
+        if store is not None:
+            try:
+                store.close()
+            except Exception:
+                # release is best-effort: the store is a cache, and the
+                # handle is already detached from the session either way
+                pass
 
     def __enter__(self):
         return self
@@ -298,25 +317,26 @@ class LineageSession:
         ``source`` (when given) replaces the session's source for this and
         subsequent calls.  Returns the engine's :class:`LineageResult`.
         """
-        if source is not None:
-            self.source = Source.detect(source)
-        if self.source is None:
-            raise ValueError(
-                "no source to extract: pass one to LineageSession(...) or extract(...)"
-            )
-        self._payload = self.source.load()
-        # the snapshot only feeds rescan-based change detection, so don't
-        # charge in-memory sources (which cannot rescan) for hashing it;
-        # hash the payload in hand rather than calling source.fingerprint()
-        # (which would load() a second time and could race a file edit)
-        if self.source.supports_rescan and isinstance(self._payload, dict):
-            from .sources.base import fingerprint_mapping
+        with self._write_lock:
+            if source is not None:
+                self.source = Source.detect(source)
+            if self.source is None:
+                raise ValueError(
+                    "no source to extract: pass one to LineageSession(...) or extract(...)"
+                )
+            self._payload = self.source.load()
+            # the snapshot only feeds rescan-based change detection, so don't
+            # charge in-memory sources (which cannot rescan) for hashing it;
+            # hash the payload in hand rather than calling source.fingerprint()
+            # (which would load() a second time and could race a file edit)
+            if self.source.supports_rescan and isinstance(self._payload, dict):
+                from .sources.base import fingerprint_mapping
 
-            self._fingerprint = fingerprint_mapping(self._payload)
-        else:
-            self._fingerprint = None
-        self._result = self._build_engine().run(self._payload)
-        return self._result
+                self._fingerprint = fingerprint_mapping(self._payload)
+            else:
+                self._fingerprint = None
+            self._result = self._build_engine().run(self._payload)
+            return self._result
 
     def refresh(self, changes=None):
         """Re-extract after source changes, reusing everything unaffected.
@@ -336,25 +356,42 @@ class LineageSession:
         has no incremental path (EXPLAIN revalidates every dependency), so
         a full re-run over the merged sources is performed instead.
         """
-        if self._result is None:
-            return self.extract()
-        if changes is None:
-            changes = self._detect_changes()
-        if not changes:
-            return self._result
-        if self.config.engine == "plan":
-            merged = self._merged_payload(changes)
-            self._payload = merged
-            self._result = self._build_engine().run(merged)
-        else:
-            self._result = self._result.update(changes)
-            if isinstance(self._payload, dict):
-                self._payload = self._merged_payload(changes)
-        if self.source.supports_rescan and isinstance(self._payload, dict):
-            from .sources.base import fingerprint_mapping
+        with self._write_lock:
+            if self._result is None:
+                if self.source is None and changes:
+                    # a sourceless session (the serving daemon's shape)
+                    # bootstraps straight from its first delta: the changes
+                    # ARE the corpus.  Deliberately NOT routed through
+                    # extract(): the session stays sourceless, and a failed
+                    # bootstrap leaves no state behind (the next delta gets
+                    # a clean retry instead of re-running a broken corpus)
+                    payload = {
+                        name: sql for name, sql in changes.items() if sql is not None
+                    }
+                    result = self._build_engine().run(payload)
+                    self._payload = payload
+                    self._fingerprint = None
+                    self._result = result
+                    return result
+                return self.extract()
+            if changes is None:
+                changes = self._detect_changes()
+            if not changes:
+                return self._result
+            if self.config.engine == "plan":
+                merged = self._merged_payload(changes)
+                self._payload = merged
+                self._result = self._build_engine().run(merged)
+            else:
+                self._result = self._result.update(changes)
+                if isinstance(self._payload, dict):
+                    self._payload = self._merged_payload(changes)
+            if self.source is not None and self.source.supports_rescan \
+                    and isinstance(self._payload, dict):
+                from .sources.base import fingerprint_mapping
 
-            self._fingerprint = fingerprint_mapping(self._payload)
-        return self._result
+                self._fingerprint = fingerprint_mapping(self._payload)
+            return self._result
 
     def _detect_changes(self):
         if self.source is None or not self.source.supports_rescan:
@@ -386,6 +423,22 @@ class LineageSession:
         return merged
 
     # ------------------------------------------------------------------
+    def snapshot(self):
+        """An immutable, lock-free-readable view of the current graph.
+
+        Returns the frozen point-in-time graph
+        (:meth:`~repro.core.lineage.LineageGraph.freeze`) of the most
+        recent extraction, or ``None`` before the first ``extract()``.
+        The snapshot's adjacency index is built eagerly, so any number of
+        reader threads can traverse or render it with no locking while
+        this session keeps refreshing — a later ``refresh()`` assembles a
+        new graph and never mutates what the snapshot captured.
+        """
+        result = self._result
+        if result is None:
+            return None
+        return result.graph.freeze()
+
     def render(self, fmt, **options):
         """Render the last result through the renderer registry."""
         return self._require_result().render(fmt, **options)

@@ -212,6 +212,7 @@ class LineageStore:
         #: backwards compatibility; see also ``stats()["shard_paths"]``).
         self.path = paths[0]
         self._manifest_written = self.num_shards == 1
+        self._closed = False
         # usage tracking is batched: reads only mark key -> shard here and
         # flush() writes last_used_at/use_count in one executemany per shard
         self._meta_lock = threading.Lock()
@@ -280,6 +281,8 @@ class LineageStore:
         return self._shards[self.shard_of(content_hash)]
 
     def _connect_shard(self, shard):
+        if self._closed:
+            return None
         connection = shard.connect()
         if connection is not None:
             self._write_manifest()
@@ -297,11 +300,28 @@ class LineageStore:
     # Lifecycle
     # ------------------------------------------------------------------
     def close(self):
-        """Flush pending writes and release every database handle."""
+        """Flush pending writes and release every database handle.
+
+        Idempotent, and terminal: a closed store never reopens its shard
+        connections — reads degrade to cold misses and writes are dropped
+        (cache semantics).  This is what makes a store handle shared by
+        many consumers (the serving daemon's batcher, concurrent reader
+        threads) safe to tear down: a racing read that arrives after
+        ``close()`` cannot resurrect a connection the shutdown path just
+        released.
+        """
+        if self._closed:
+            return
+        self._closed = True
         self.flush()
         for shard in self._shards:
             shard.close()
         self._lru.clear()
+
+    @property
+    def closed(self):
+        """True once :meth:`close` has run (the store serves only misses)."""
+        return self._closed
 
     def flush(self):
         """Write batched usage updates and commit (once per run, per shard)."""
@@ -713,22 +733,36 @@ class LineageStore:
     # Maintenance (the CLI ``cache`` subcommand)
     # ------------------------------------------------------------------
     def stats(self):
-        """Counters for ``cache stats`` and the benchmark reports."""
+        """Counters for ``cache stats``, ``/stats`` and the benchmark reports.
+
+        Besides the aggregate totals, ``per_shard`` breaks the on-disk
+        state down file by file (row counts, bytes, cumulative recorded
+        hit counts) so operators can spot shard skew — a hot shard taking
+        a disproportionate share of records or reads — from the CLI and
+        the serving daemon alike.
+        """
         entries = 0
         source_entries = 0
         size_bytes = 0
         extractor_versions = {}
+        per_shard = []
         self.flush()
-        for shard in self._shards:
+        for index, shard in enumerate(self._shards):
+            shard_entries = 0
+            shard_sources = 0
+            shard_hits = 0
             with shard.lock:
                 connection = self._connect_shard(shard)
                 if connection is not None:
                     try:
-                        entries += connection.execute(
+                        shard_entries = connection.execute(
                             "SELECT COUNT(*) FROM lineage_records"
                         ).fetchone()[0]
-                        source_entries += connection.execute(
+                        shard_sources = connection.execute(
                             "SELECT COUNT(*) FROM source_records"
+                        ).fetchone()[0]
+                        shard_hits = connection.execute(
+                            "SELECT COALESCE(SUM(use_count), 0) FROM lineage_records"
                         ).fetchone()[0]
                         for version, count in connection.execute(
                             "SELECT extractor_version, COUNT(*) FROM lineage_records "
@@ -739,10 +773,24 @@ class LineageStore:
                             )
                     except sqlite3.Error:
                         pass
+            shard_bytes = 0
             try:
-                size_bytes += os.path.getsize(shard.path)
+                shard_bytes = os.path.getsize(shard.path)
             except OSError:
                 pass
+            entries += shard_entries
+            source_entries += shard_sources
+            size_bytes += shard_bytes
+            per_shard.append(
+                {
+                    "shard": index,
+                    "path": shard.path,
+                    "entries": shard_entries,
+                    "source_entries": shard_sources,
+                    "size_bytes": shard_bytes,
+                    "hit_count": shard_hits,
+                }
+            )
         return {
             "path": self.path,
             "shards": self.num_shards,
@@ -755,6 +803,7 @@ class LineageStore:
             "session_puts": self.puts,
             "session_corrupt": self.corrupt,
             "lru_entries": len(self._lru),
+            "per_shard": per_shard,
         }
 
     def clear(self):

@@ -1,0 +1,88 @@
+"""FrozenLineageGraph: the immutable snapshot view behind the daemon."""
+
+import pytest
+
+from repro.core.column_refs import ColumnName
+from repro.core.lineage import (
+    FrozenGraphError,
+    FrozenLineageGraph,
+    LineageGraph,
+    TableLineage,
+)
+from repro.output.registry import render
+
+
+def _graph():
+    graph = LineageGraph()
+    graph.ensure_base_table("t1", ["a", "b"])
+    view = TableLineage(name="v1", sql="CREATE VIEW v1 AS SELECT a FROM t1")
+    view.add_contribution("a", ColumnName.of("t1", "a"))
+    view.source_tables = {"t1"}
+    graph.add(view)
+    return graph
+
+
+class TestFreeze:
+    def test_freeze_returns_an_equivalent_readonly_view(self):
+        graph = _graph()
+        frozen = graph.freeze()
+        assert isinstance(frozen, FrozenLineageGraph)
+        assert sorted(frozen.relations) == sorted(graph.relations)
+        assert frozen.stats() == graph.stats()
+        assert render(frozen, "csv") == render(graph, "csv")
+        assert render(frozen, "json") == render(graph, "json")
+
+    def test_freeze_of_frozen_is_itself(self):
+        frozen = _graph().freeze()
+        assert frozen.freeze() is frozen
+
+    def test_lookup_surface_still_works(self):
+        frozen = _graph().freeze()
+        assert "v1" in frozen
+        assert frozen["v1"].name == "v1"
+        assert frozen.get("missing") is None
+        assert sorted(entry.name for entry in frozen) == ["t1", "v1"]
+        assert [entry.name for entry in frozen.views] == ["v1"]
+
+    def test_adjacency_index_is_prebuilt_and_pinned(self):
+        frozen = _graph().freeze()
+        index = frozen._ensure_index()
+        assert index is frozen._ensure_index()
+        downstream = frozen.column_adjacency("downstream")
+        assert ColumnName.of("v1", "a") in downstream[ColumnName.of("t1", "a")]
+
+
+class TestImmutability:
+    def test_all_mutators_raise(self):
+        frozen = _graph().freeze()
+        with pytest.raises(FrozenGraphError):
+            frozen.add(TableLineage(name="v2"))
+        with pytest.raises(FrozenGraphError):
+            frozen.ensure_base_table("t2", ["x"])
+        with pytest.raises(FrozenGraphError):
+            frozen.register_usage("t1.a")
+
+    def test_frozen_error_is_a_type_error(self):
+        # callers treating it as the generic "you cannot do that" exception
+        # do not need to import the specific class
+        assert issubclass(FrozenGraphError, TypeError)
+
+    def test_later_additions_to_the_live_graph_are_invisible(self):
+        graph = _graph()
+        frozen = graph.freeze()
+        edges_before = render(frozen, "csv")
+        view = TableLineage(name="v2", sql="CREATE VIEW v2 AS SELECT a FROM v1")
+        view.add_contribution("a", ColumnName.of("v1", "a"))
+        view.source_tables = {"v1"}
+        graph.add(view)
+        graph.register_usage(ColumnName.of("t1", "b"))
+        assert "v2" not in frozen
+        assert render(frozen, "csv") == edges_before
+        # while the live graph sees its own change
+        assert "v2" in graph
+
+    def test_subgraph_of_frozen_is_mutable_again(self):
+        frozen = _graph().freeze()
+        derived = frozen.subgraph(["v1"])
+        assert not isinstance(derived, FrozenLineageGraph)
+        derived.ensure_base_table("t9", ["z"])  # must not raise

@@ -63,13 +63,16 @@ def _warehouse(seed):
     )
 
 
-def _signature(result):
+def _graph_signature(graph):
     """Sorted edge set + csv rendering, as one comparable text blob."""
     edges = "\n".join(
-        f"{edge.source}\t{edge.target}\t{edge.kind}"
-        for edge in sorted(result.graph.edges())
+        f"{edge.source}\t{edge.target}\t{edge.kind}" for edge in sorted(graph.edges())
     )
-    return edges + "\n=== csv ===\n" + graph_to_csv(result.graph)
+    return edges + "\n=== csv ===\n" + graph_to_csv(graph)
+
+
+def _signature(result):
+    return _graph_signature(result.graph)
 
 
 def _dump_artifact(seed, warehouse, axis):
@@ -292,3 +295,118 @@ def test_full_vs_incremental_equivalence(seed):
     _assert_equivalent(
         seed, warehouse, "incremental", _signature(full), _signature(incremental)
     )
+
+
+# ----------------------------------------------------------------------
+# the serving daemon: shuffled concurrent /extract batches vs one shot
+# ----------------------------------------------------------------------
+def _classic_warehouse(seed):
+    """Classic (pure CREATE VIEW) templates: any batch order converges.
+
+    The extended DML templates (MERGE/upsert) mutate state across
+    statements, so streaming them in arbitrary cross-batch order is not
+    semantically order-independent; the serving axis therefore runs the
+    classic workload, where every statement is a view definition.
+    """
+    return workload.generate_warehouse(
+        num_base_tables=_num_base_tables(),
+        num_views=NUM_VIEWS,
+        seed=seed,
+        extended_probability=0.0,
+    )
+
+
+async def _post_extract(host, port, statements):
+    import asyncio
+    import json
+
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        body = json.dumps({"statements": statements}).encode()
+        writer.write(
+            b"POST /extract HTTP/1.1\r\nHost: t\r\nConnection: close\r\n"
+            + f"Content-Length: {len(body)}\r\n\r\n".encode()
+            + body
+        )
+        await writer.drain()
+        raw = await reader.read()
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+    head, _, payload = raw.partition(b"\r\n\r\n")
+    status = int(head.split(b" ", 2)[1])
+    assert status == 200, f"POST /extract failed ({status}): {payload[:300]}"
+    return json.loads(payload)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_serving_daemon_stream_equivalence(seed, tmp_path):
+    """Streaming the corpus through /extract in shuffled concurrent batches
+    must leave the daemon's snapshot byte-identical to a one-shot run —
+    and splice warm hits from the store the one-shot run populated."""
+    import asyncio
+    import random
+
+    from repro.server import LineageApp
+
+    warehouse = _classic_warehouse(seed)
+    cache_dir = tmp_path / "cache"
+
+    store = LineageStore(cache_dir)
+    try:
+        baseline = _signature(_run(warehouse, store=store))
+    finally:
+        store.close()
+
+    names = list(warehouse.views)
+    random.Random(seed * 3 + 2).shuffle(names)
+    chunk_size = max(3, len(names) // 12)
+    chunks = [
+        {name: warehouse.views[name] for name in names[index:index + chunk_size]}
+        for index in range(0, len(names), chunk_size)
+    ]
+
+    async def stream():
+        app = LineageApp(
+            catalog=warehouse.catalog(),
+            cache_dir=str(cache_dir),
+            batch_window=0.002,
+        )
+        host, port = await app.start(port=0)
+        try:
+            responses = []
+            # waves of 4 concurrent chunked requests: exercises both the
+            # micro-batch assembly and cross-batch ordering
+            for index in range(0, len(chunks), 4):
+                responses.extend(
+                    await asyncio.gather(
+                        *(
+                            _post_extract(host, port, chunk)
+                            for chunk in chunks[index:index + 4]
+                        )
+                    )
+                )
+            snapshot = app.snapshots.current()
+            return _graph_signature(snapshot.graph), responses
+        finally:
+            await app.stop()
+
+    served, responses = asyncio.run(stream())
+
+    spliced = sum(
+        response.get("batch", {}).get("reused_from_store", 0)
+        for response in responses
+    )
+    assert spliced > 0, (
+        f"seed={seed}: the daemon spliced nothing from the warm store "
+        f"(reproduce with: {_recipe(seed)} at extended_probability=0.0)"
+    )
+    unresolved = responses[-1].get("batch", {}).get("unresolved", [])
+    assert not unresolved, (
+        f"seed={seed}: statements still unresolved after the final batch: "
+        f"{unresolved}"
+    )
+    _assert_equivalent(seed, warehouse, "serving", baseline, served)

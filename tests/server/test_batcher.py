@@ -1,0 +1,167 @@
+"""The ingest batcher: hash dedupe, coalescing, failure atomicity."""
+
+import asyncio
+
+import pytest
+
+from repro.core.lineage import LineageGraph
+from repro.output.registry import render
+from repro.server.batcher import ExtractionFailed, IngestBatcher, statement_hash
+from repro.server.snapshot import SnapshotManager
+from repro.session import LineageSession
+
+V1 = "CREATE VIEW v1 AS SELECT a, b FROM t1"
+V2 = "CREATE VIEW v2 AS SELECT a FROM v1"
+V1_ALT = "CREATE VIEW v1 AS SELECT b FROM t1"
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+async def _make():
+    session = LineageSession()
+    snapshots = SnapshotManager(LineageGraph())
+    batcher = IngestBatcher(session, snapshots, batch_window=0.005)
+    batcher.start()
+    return session, snapshots, batcher
+
+
+class TestStatementHash:
+    def test_is_content_addressed(self):
+        assert statement_hash(V1) == statement_hash(V1)
+        assert statement_hash(V1) != statement_hash(V1 + " ")
+
+
+class TestDedupe:
+    def test_repeat_submission_is_a_duplicate(self):
+        async def go():
+            _, snapshots, batcher = await _make()
+            first = await batcher.submit({"v1": V1})
+            assert [row["status"] for row in first["statements"]] == ["extracted"]
+            assert first["snapshot_version"] == 1
+
+            second = await batcher.submit({"v1": V1})
+            assert [row["status"] for row in second["statements"]] == ["duplicate"]
+            # the duplicate never reached the parser: no new batch, no
+            # new snapshot generation
+            assert batcher.counters["batches"] == 1
+            assert snapshots.version == 1
+            await batcher.stop()
+
+        _run(go())
+
+    def test_duplicate_only_request_skips_extraction_entirely(self):
+        async def go():
+            session, _, batcher = await _make()
+            await batcher.submit({"v1": V1})
+            before = session.result
+            await batcher.submit({"v1": V1})
+            assert session.result is before  # refresh() was never called
+            await batcher.stop()
+
+        _run(go())
+
+    def test_mixed_request_extracts_only_the_novel_part(self):
+        async def go():
+            _, _, batcher = await _make()
+            await batcher.submit({"v1": V1})
+            result = await batcher.submit({"v1": V1, "v2": V2})
+            statuses = {row["name"]: row["status"] for row in result["statements"]}
+            assert statuses == {"v1": "duplicate", "v2": "extracted"}
+            assert batcher.counters["batches"] == 2
+            await batcher.stop()
+
+        _run(go())
+
+    def test_concurrent_identical_requests_coalesce(self):
+        async def go():
+            _, snapshots, batcher = await _make()
+            results = await asyncio.gather(
+                *(batcher.submit({"v1": V1}) for _ in range(4))
+            )
+            statuses = sorted(
+                row["status"] for result in results for row in result["statements"]
+            )
+            assert statuses == ["coalesced", "coalesced", "coalesced", "extracted"]
+            # one extraction served all four callers
+            assert batcher.counters["extracted"] == 1
+            assert batcher.counters["coalesced"] == 3
+            assert batcher.counters["batches"] == 1
+            assert snapshots.version == 1
+            await batcher.stop()
+
+        _run(go())
+
+    def test_redefinition_retires_the_old_hash(self):
+        async def go():
+            _, _, batcher = await _make()
+            await batcher.submit({"v1": V1})
+            redefined = await batcher.submit({"v1": V1_ALT})
+            assert redefined["statements"][0]["status"] == "extracted"
+            # the original text is no longer "known": resubmitting it must
+            # extract again, not be answered from stale bookkeeping
+            back = await batcher.submit({"v1": V1})
+            assert back["statements"][0]["status"] == "extracted"
+            await batcher.stop()
+
+        _run(go())
+
+
+class TestSnapshots:
+    def test_each_batch_publishes_a_new_generation(self):
+        async def go():
+            _, snapshots, batcher = await _make()
+            await batcher.submit({"v1": V1})
+            await batcher.submit({"v2": V2})
+            assert snapshots.version == 2
+            snapshot = snapshots.current()
+            assert snapshot.statement_names == ("v1", "v2")
+            assert snapshot.stats["num_views"] == 2
+            await batcher.stop()
+
+        _run(go())
+
+    def test_old_snapshot_survives_later_batches(self):
+        async def go():
+            _, snapshots, batcher = await _make()
+            await batcher.submit({"v1": V1})
+            pinned = snapshots.current()
+            edges_before = render(pinned.graph, "csv")
+            await batcher.submit({"v2": V2})
+            assert render(pinned.graph, "csv") == edges_before
+            assert snapshots.current() is not pinned
+            await batcher.stop()
+
+        _run(go())
+
+
+class TestFailureDomain:
+    def test_bad_statement_fails_its_batch_and_leaves_state_intact(self):
+        async def go():
+            _, snapshots, batcher = await _make()
+            await batcher.submit({"v1": V1})
+            with pytest.raises(ExtractionFailed):
+                await batcher.submit({"broken": "CREATE VIEW broken AS SELEKT"})
+            assert snapshots.version == 1  # snapshot unchanged
+            assert batcher.counters["batch_failures"] == 1
+            # the failed hash was not adopted: a retry is not a "duplicate"
+            with pytest.raises(ExtractionFailed):
+                await batcher.submit({"broken": "CREATE VIEW broken AS SELEKT"})
+            # and the daemon still ingests fine afterwards
+            ok = await batcher.submit({"v2": V2})
+            assert ok["statements"][0]["status"] == "extracted"
+            assert snapshots.version == 2
+            await batcher.stop()
+
+        _run(go())
+
+    def test_submit_after_stop_is_rejected(self):
+        async def go():
+            _, _, batcher = await _make()
+            await batcher.submit({"v1": V1})
+            await batcher.stop()
+            with pytest.raises(RuntimeError):
+                await batcher.submit({"v2": V2})
+
+        _run(go())

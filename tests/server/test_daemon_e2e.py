@@ -1,0 +1,148 @@
+"""The daemon as a real process: boot, serve, dedupe, SIGTERM shutdown."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+V1 = "CREATE VIEW v1 AS SELECT a, b FROM t1;\n"
+V2 = "CREATE VIEW v2 AS SELECT a FROM v1;\n"
+
+
+class Daemon:
+    """A `python -m repro serve` subprocess with readiness parsing."""
+
+    def __init__(self, *args, corpus=None):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+        command = [sys.executable, "-m", "repro", "serve"]
+        if corpus:
+            command.append(corpus)
+        command += ["--port", "0", *args]
+        self.process = subprocess.Popen(
+            command,
+            cwd=REPO_ROOT,
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        self.lines = []
+        self._reader = threading.Thread(target=self._drain, daemon=True)
+        self._reader.start()
+        self.base = self._await_ready()
+
+    def _drain(self):
+        for line in self.process.stdout:
+            self.lines.append(line.rstrip("\n"))
+
+    def _await_ready(self, timeout=30.0):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            for line in list(self.lines):
+                if line.startswith("serving on "):
+                    return line.split("serving on ", 1)[1]
+            if self.process.poll() is not None:
+                raise AssertionError(
+                    "daemon exited before readiness: "
+                    + "\n".join(self.lines)
+                    + (self.process.stderr.read() or "")
+                )
+            time.sleep(0.02)
+        raise AssertionError("daemon never announced readiness")
+
+    def get(self, path):
+        with urllib.request.urlopen(self.base + path, timeout=10) as response:
+            return response.status, json.loads(response.read())
+
+    def post(self, path, payload):
+        request = urllib.request.Request(
+            self.base + path,
+            data=json.dumps(payload).encode(),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return response.status, json.loads(response.read())
+
+    def terminate(self, timeout=15.0):
+        self.process.send_signal(signal.SIGTERM)
+        self.process.wait(timeout=timeout)
+        self._reader.join(timeout=5)
+        return self.process.returncode
+
+    def kill(self):
+        if self.process.poll() is None:
+            self.process.kill()
+            self.process.wait(timeout=10)
+
+
+@pytest.fixture
+def corpus(tmp_path):
+    directory = tmp_path / "corpus"
+    directory.mkdir()
+    (directory / "v1.sql").write_text(V1)
+    (directory / "v2.sql").write_text(V2)
+    return str(directory)
+
+
+def test_daemon_lifecycle(corpus, tmp_path):
+    daemon = Daemon("--cache-dir", str(tmp_path / "cache"), corpus=corpus)
+    try:
+        status, health = daemon.get("/health")
+        assert status == 200
+        assert health["snapshot_version"] == 1  # the preload batch
+        assert any("preloaded 2 statements" in line for line in daemon.lines)
+
+        # a duplicate-heavy batch: the preloaded statements are answered
+        # from the hash index, only the new one is extracted
+        status, payload = daemon.post(
+            "/extract",
+            {"statements": {"v1": V1, "v2": V2, "v3": "CREATE VIEW v3 AS SELECT b FROM v1"}},
+        )
+        assert status == 200
+        statuses = {row["name"]: row["status"] for row in payload["statements"]}
+        assert statuses == {"v1": "duplicate", "v2": "duplicate", "v3": "extracted"}
+
+        status, impact = daemon.get("/impact?column=t1.a")
+        assert status == 200
+        assert impact["impacted_tables"] == ["v1", "v2"]
+
+        status, rendered = daemon.get("/render/json")
+        assert status == 200
+        assert rendered["stats"]["num_views"] == 3
+
+        status, stats = daemon.get("/stats")
+        assert stats["ingest"]["duplicate"] == 2
+        assert stats["store"]["entries"] == 3
+
+        exit_code = daemon.terminate()
+        assert exit_code == 0
+        assert any("shutting down" in line for line in daemon.lines)
+    finally:
+        daemon.kill()
+
+
+def test_daemon_survives_bad_requests_and_404s(corpus):
+    daemon = Daemon(corpus=corpus)
+    try:
+        with pytest.raises(urllib.error.HTTPError) as error:
+            daemon.get("/render/pdf")
+        assert error.value.code == 404
+        with pytest.raises(urllib.error.HTTPError) as error:
+            daemon.post("/extract", {"bad": "CREATE VIEW bad AS SELEKT"})
+        assert error.value.code == 500
+        status, _ = daemon.get("/health")
+        assert status == 200
+        assert daemon.terminate() == 0
+    finally:
+        daemon.kill()

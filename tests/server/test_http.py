@@ -1,0 +1,125 @@
+"""The minimal HTTP layer: parsing, responses, protocol edge cases."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.server.http import (
+    MAX_BODY_BYTES,
+    BadRequestError,
+    Request,
+    Response,
+    read_request,
+)
+
+
+def _parse(data):
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return await read_request(reader)
+
+    return asyncio.run(go())
+
+
+class TestReadRequest:
+    def test_get_with_query(self):
+        request = _parse(
+            b"GET /impact?column=web.page&direction=upstream HTTP/1.1\r\n"
+            b"Host: localhost\r\n\r\n"
+        )
+        assert request.method == "GET"
+        assert request.path == "/impact"
+        assert request.query == {"column": "web.page", "direction": "upstream"}
+        assert request.body == b""
+        assert request.keep_alive is True
+
+    def test_percent_decoding_in_path(self):
+        request = _parse(b"GET /render/json%20x HTTP/1.1\r\n\r\n")
+        assert request.path == "/render/json x"
+
+    def test_post_with_body(self):
+        payload = json.dumps({"statements": {"v": "CREATE VIEW v AS SELECT 1 AS a"}})
+        raw = (
+            "POST /extract HTTP/1.1\r\n"
+            f"Content-Length: {len(payload)}\r\n\r\n" + payload
+        ).encode()
+        request = _parse(raw)
+        assert request.method == "POST"
+        assert request.json()["statements"]["v"].startswith("CREATE VIEW")
+
+    def test_header_names_lowercased(self):
+        request = _parse(b"GET / HTTP/1.1\r\nX-Custom-Header:  hi \r\n\r\n")
+        assert request.headers["x-custom-header"] == "hi"
+
+    def test_clean_eof_returns_none(self):
+        assert _parse(b"") is None
+
+    def test_http10_defaults_to_close(self):
+        assert _parse(b"GET / HTTP/1.0\r\n\r\n").keep_alive is False
+        assert (
+            _parse(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").keep_alive
+            is True
+        )
+
+    def test_connection_close_honoured(self):
+        request = _parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+        assert request.keep_alive is False
+
+    def test_malformed_request_line_rejected(self):
+        with pytest.raises(BadRequestError):
+            _parse(b"NONSENSE\r\n\r\n")
+
+    def test_non_http_version_rejected(self):
+        with pytest.raises(BadRequestError):
+            _parse(b"GET / SPDY/99\r\n\r\n")
+
+    def test_truncated_head_rejected(self):
+        with pytest.raises(BadRequestError):
+            _parse(b"GET / HTTP/1.1\r\nHost: x")
+
+    def test_bad_content_length_rejected(self):
+        for value in (b"nope", b"-5"):
+            with pytest.raises(BadRequestError):
+                _parse(b"GET / HTTP/1.1\r\nContent-Length: " + value + b"\r\n\r\n")
+
+    def test_oversized_body_rejected(self):
+        raw = f"POST / HTTP/1.1\r\nContent-Length: {MAX_BODY_BYTES + 1}\r\n\r\n"
+        with pytest.raises(BadRequestError):
+            _parse(raw.encode())
+
+    def test_chunked_encoding_rejected(self):
+        with pytest.raises(BadRequestError):
+            _parse(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n")
+
+    def test_malformed_header_rejected(self):
+        with pytest.raises(BadRequestError):
+            _parse(b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n")
+
+
+class TestResponse:
+    def test_encode_has_content_length_and_connection(self):
+        wire = Response(200, b"hello").encode(keep_alive=True)
+        head, _, body = wire.partition(b"\r\n\r\n")
+        assert body == b"hello"
+        assert b"Content-Length: 5" in head
+        assert b"Connection: keep-alive" in head
+        assert Response(200).encode(keep_alive=False).startswith(b"HTTP/1.1 200 OK")
+        assert b"Connection: close" in Response(200).encode(keep_alive=False)
+
+    def test_json_sorts_keys(self):
+        response = Response.json({"b": 1, "a": 2})
+        assert response.body == b'{"a": 2, "b": 1}\n'
+        assert response.content_type.startswith("application/json")
+
+    def test_error_envelope(self):
+        response = Response.error(404, "missing")
+        assert response.status == 404
+        assert json.loads(response.body) == {"error": "missing"}
+
+    def test_bad_json_body_raises(self):
+        request = Request("POST", "/", {}, {}, b"not-json", True)
+        with pytest.raises(BadRequestError):
+            request.json()

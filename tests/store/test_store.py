@@ -209,3 +209,88 @@ class TestKeys:
         assert make_key("c", "mysql", 1, "f") != base
         assert make_key("c", "postgres", 2, "f") != base
         assert make_key("c", "postgres", 1, "f2") != base
+
+
+class TestClosedLifecycle:
+    """close() is idempotent and terminal: the shared handle degrades to
+    a silent cold cache instead of erroring under late readers/writers."""
+
+    def test_close_is_idempotent(self, tmp_path):
+        store = LineageStore(str(tmp_path))
+        store.put(_key(), _entry())
+        assert not store.closed
+        store.close()
+        assert store.closed
+        store.close()  # second close: no error
+        assert store.closed
+
+    def test_reads_after_close_are_cold_misses(self, tmp_path):
+        store = LineageStore(str(tmp_path))
+        store.put(_key(), _entry())
+        assert store.get(_key()) is not None
+        store.close()
+        store._lru.clear()  # defeat the in-memory front too
+        assert store.get(_key()) is None  # miss, not an exception
+
+    def test_writes_after_close_are_dropped(self, tmp_path):
+        store = LineageStore(str(tmp_path))
+        store.close()
+        store.put(_key("late"), _entry())  # dropped silently
+        # a fresh handle proves nothing was persisted
+        reopened = LineageStore(str(tmp_path))
+        try:
+            assert reopened.get(_key("late")) is None
+        finally:
+            reopened.close()
+
+    def test_flush_after_close_is_safe(self, tmp_path):
+        store = LineageStore(str(tmp_path))
+        store.put(_key(), _entry())
+        store.close()
+        store.flush()  # no reopened connections, no error
+
+
+class TestPerShardStats:
+    def test_single_file_store_reports_one_shard(self, tmp_path):
+        store = LineageStore(str(tmp_path))
+        store.put(_key("a"), _entry("a"))
+        try:
+            stats = store.stats()
+            assert stats["entries"] == 1
+            shards = stats["per_shard"]
+            assert len(shards) == 1
+            assert shards[0]["shard"] == 0
+            assert shards[0]["entries"] == 1
+            assert shards[0]["path"].endswith(STORE_FILENAME)
+            assert shards[0]["size_bytes"] > 0
+        finally:
+            store.close()
+
+    def test_sharded_breakdown_sums_to_the_totals(self, tmp_path):
+        store = LineageStore(str(tmp_path), shards=4)
+        for index in range(12):
+            store.put(_key(f"v{index}"), _entry(f"v{index}"))
+        try:
+            stats = store.stats()
+            shards = stats["per_shard"]
+            assert len(shards) == 4
+            assert sum(s["entries"] for s in shards) == stats["entries"] == 12
+            assert sum(s["source_entries"] for s in shards) == stats["source_entries"]
+            assert len({s["path"] for s in shards}) == 4
+        finally:
+            store.close()
+
+    def test_hit_counts_accumulate_per_shard(self, tmp_path):
+        store = LineageStore(str(tmp_path))
+        store.put(_key("hot"), _entry("hot"))
+        store.flush()
+        store._lru.clear()
+        for _ in range(3):
+            assert store.get(_key("hot")) is not None
+            store.flush()
+            store._lru.clear()
+        try:
+            stats = store.stats()
+            assert stats["per_shard"][0]["hit_count"] >= 3
+        finally:
+            store.close()

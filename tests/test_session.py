@@ -412,3 +412,97 @@ class TestCacheAndExecutorConfig:
         with LineageSession(str(models), cache_dir=cache_dir) as session:
             warm = session.extract()
             assert warm.stats()["num_reused_store"] == 2
+
+
+class TestClose:
+    def test_close_is_idempotent(self, tmp_path):
+        session = LineageSession(
+            "CREATE VIEW v AS SELECT a FROM t", cache_dir=str(tmp_path / "c")
+        )
+        store = session.store
+        session.close()
+        assert session._store is None
+        assert store.closed
+        session.close()  # double-close: a no-op, not an error
+        session.close()
+
+    def test_close_without_ever_opening_the_store(self):
+        session = LineageSession("SELECT 1 AS one")
+        session.close()  # no cache_dir: nothing to release
+        session.close()
+
+    def test_close_when_the_lazy_open_failed(self, tmp_path, monkeypatch):
+        # if the lazy LineageStore open raises, self._store is never
+        # assigned — close() must still be safe
+        import repro.store
+
+        def exploding_store(*args, **kwargs):
+            raise OSError("cache volume unavailable")
+
+        monkeypatch.setattr(repro.store, "LineageStore", exploding_store)
+        session = LineageSession(
+            "CREATE VIEW v AS SELECT a FROM t", cache_dir=str(tmp_path / "c")
+        )
+        with pytest.raises(OSError):
+            session.store  # the lazy open raises
+        session.close()  # and close survives it
+        assert session._store is None
+
+    def test_close_swallows_store_close_errors(self, tmp_path):
+        class ExplodingStore:
+            def close(self):
+                raise RuntimeError("disk on fire")
+
+        session = LineageSession(
+            "CREATE VIEW v AS SELECT a FROM t", cache_dir=str(tmp_path / "c")
+        )
+        session._store = ExplodingStore()
+        session.close()  # the error is swallowed, the handle detached
+        assert session._store is None
+
+
+class TestSourcelessBootstrap:
+    """refresh(changes=...) on a session built with no source (daemon shape)."""
+
+    def test_first_delta_is_the_corpus(self):
+        session = LineageSession()
+        result = session.refresh(
+            changes={"v": "CREATE VIEW v AS SELECT a FROM t"}
+        )
+        assert result is session.result
+        assert "v" in result.graph
+
+    def test_subsequent_deltas_are_incremental(self):
+        session = LineageSession()
+        session.refresh(changes={"v": "CREATE VIEW v AS SELECT a FROM t"})
+        second = session.refresh(
+            changes={"w": "CREATE VIEW w AS SELECT a FROM v"}
+        )
+        assert "v" in second.graph and "w" in second.graph
+        assert "v" in getattr(second.report, "reused", ())
+
+    def test_failed_bootstrap_leaves_a_clean_slate(self):
+        session = LineageSession()
+        with pytest.raises(Exception):
+            session.refresh(changes={"bad": "CREATE VIEW bad AS SELEKT"})
+        assert session.result is None
+        assert session.source is None
+        # and a good delta afterwards bootstraps normally
+        result = session.refresh(
+            changes={"v": "CREATE VIEW v AS SELECT a FROM t"}
+        )
+        assert "v" in result.graph
+
+    def test_snapshot_before_extract_is_none(self):
+        assert LineageSession().snapshot() is None
+
+    def test_snapshot_is_frozen_and_pinned(self):
+        from repro.core.lineage import FrozenLineageGraph
+
+        session = LineageSession()
+        session.refresh(changes={"v": "CREATE VIEW v AS SELECT a FROM t"})
+        snapshot = session.snapshot()
+        assert isinstance(snapshot, FrozenLineageGraph)
+        session.refresh(changes={"w": "CREATE VIEW w AS SELECT a FROM v"})
+        assert "w" not in snapshot
+        assert "w" in session.snapshot()
