@@ -6,18 +6,24 @@ drains the queue, coalesces everything that arrived within the batch
 window into one micro-batch, and runs one ``session.refresh()`` per
 batch in a worker thread so the event loop keeps serving reads.
 
-Deduplication happens on the **raw statement text** — sha256 of the SQL
-bytes — before any parsing:
+Deduplication keys on the **(view name, statement text)** pair — the
+name plus a sha256 of the SQL bytes — before any parsing:
 
-* a hash the daemon has already extracted is a *duplicate*: it is
-  answered from bookkeeping alone and never reaches the parser (this is
-  the cheap path that makes duplicate-heavy workloads an order of
-  magnitude faster than unique ones);
-* the same hash submitted twice inside one micro-batch (two concurrent
+* a (name, hash) pair the daemon has already extracted is a
+  *duplicate*: it is answered from bookkeeping alone and never reaches
+  the parser (this is the cheap path that makes duplicate-heavy
+  workloads an order of magnitude faster than unique ones);
+* the same pair submitted twice inside one micro-batch (two concurrent
   clients racing the same statement) is *coalesced*: one extraction,
   both requests get the answer;
-* a known view name arriving with new text is a *redefinition*: the old
-  hash is forgotten so the old text would extract again if resubmitted.
+* a known view name arriving with new text is a *redefinition*: the new
+  hash replaces the old one, so the old text would extract again if
+  resubmitted.
+
+The name is part of the key because the ``{name: sql}`` mapping can
+legitimately carry the same text under two names (dbt-style passthrough
+models are bare identical SELECTs): each name is its own view and must
+extract, so only an exact (name, text) repeat is skippable.
 
 Failure domain: a micro-batch is atomic.  If any statement in it fails
 to extract, the whole batch fails, every request that contributed a
@@ -34,7 +40,8 @@ _SHUTDOWN = object()
 
 
 def statement_hash(sql):
-    """The dedupe key: sha256 hex digest of the raw statement text."""
+    """sha256 hex digest of the raw statement text (half the dedupe key:
+    the batcher pairs it with the view name)."""
     return hashlib.sha256(sql.encode("utf-8")).hexdigest()
 
 
@@ -59,9 +66,9 @@ class IngestBatcher:
         self._queue = asyncio.Queue()
         self._task = None
         self._stopping = False
-        # hash -> view name for every statement the daemon has extracted,
-        # and the inverse so a redefinition can retire its old hash
-        self._known = {}
+        # name -> hash of its current text, for every statement the
+        # daemon has extracted; a redefinition overwrites its entry, so
+        # the retired text is no longer a known pair
         self._name_hash = {}
         self.counters = {
             "requests": 0,
@@ -133,14 +140,27 @@ class IngestBatcher:
                     done = True
                     break
                 pending.append(extra)
-            await self._process(pending)
+            try:
+                await self._process(pending)
+            except Exception as error:  # noqa: BLE001 - loop must survive
+                # a bug past the refresh guard (publish, bookkeeping)
+                # must not kill the ingest task: fail this batch's
+                # still-unresolved futures and keep serving
+                self.counters["batch_failures"] += 1
+                failure = ExtractionFailed(
+                    f"{type(error).__name__}: {error}",
+                    sum(len(request.statements) for request in pending),
+                )
+                for request in pending:
+                    if not request.future.done():
+                        request.future.set_exception(failure)
             if done:
                 break
 
     async def _process(self, pending):
         """Assemble one micro-batch from ``pending`` requests and run it."""
         changes = {}          # name -> sql: the novel statements to extract
-        batch_hashes = {}     # hash -> name, for intra-batch coalescing
+        batch_hashes = {}     # name -> hash staged by this batch (coalescing)
         waiting = []          # requests that contributed novel statements
         statuses = {}         # id(request) -> per-statement status rows
         for request in pending:
@@ -148,17 +168,19 @@ class IngestBatcher:
             novel = False
             for name, sql, digest in request.statements:
                 self.counters["statements"] += 1
-                if digest in self._known:
+                # the dedupe key is the (name, text) pair: identical text
+                # under a different name is a distinct view, not a dupe
+                if self._name_hash.get(name) == digest:
                     status = "duplicate"
                     self.counters["duplicate"] += 1
-                elif digest in batch_hashes:
+                elif batch_hashes.get(name) == digest:
                     status = "coalesced"
                     self.counters["coalesced"] += 1
                     novel = True  # outcome depends on this batch
                 else:
                     status = "extracted"
                     self.counters["extracted"] += 1
-                    batch_hashes[digest] = name
+                    batch_hashes[name] = digest
                     changes[name] = sql
                     novel = True
                 rows.append({"name": name, "status": status, "hash": digest[:12]})
@@ -178,9 +200,17 @@ class IngestBatcher:
 
         self.counters["batches"] += 1
         loop = asyncio.get_running_loop()
+        # on success every staged name is adopted, so the published name
+        # list is the union — computed up front so the freeze can run in
+        # the worker thread alongside the refresh
+        names = sorted(set(self._name_hash) | set(batch_hashes))
         try:
-            result = await loop.run_in_executor(
-                self._executor, self._session.refresh, changes
+            # refresh AND freeze in the worker thread: freezing a large
+            # graph copies the relation map and builds the adjacency
+            # index, which would stall every read endpoint if it ran on
+            # the event loop.  Only the reference swap happens here.
+            result, snapshot = await loop.run_in_executor(
+                self._executor, self._refresh_and_freeze, changes, names
             )
         except Exception as error:  # noqa: BLE001 - batch failure domain
             self.counters["batch_failures"] += 1
@@ -193,19 +223,14 @@ class IngestBatcher:
                     )
             return
 
-        # adopt the batch: remember every novel hash, retire hashes of
-        # redefined names, then publish before resolving so a client that
-        # sees "extracted" can immediately read its lineage
-        for digest, name in batch_hashes.items():
-            previous = self._name_hash.get(name)
-            if previous is not None and previous != digest:
-                self._known.pop(previous, None)
-            self._known[digest] = name
-            self._name_hash[name] = digest
+        # publish, then adopt the batch: remember every staged
+        # (name, hash) pair — overwriting retires a redefined name's old
+        # text.  Publish comes first (a client that sees "extracted" can
+        # immediately read its lineage) and bookkeeping second, so a
+        # failed install leaves no pair falsely marked known.
         report = getattr(result, "report", None)
-        snapshot = self._snapshots.publish(
-            result.graph, statement_names=sorted(self._name_hash)
-        )
+        self._snapshots.install(snapshot)
+        self._name_hash.update(batch_hashes)
         for request in waiting:
             if not request.future.done():
                 request.future.set_result(
@@ -213,6 +238,19 @@ class IngestBatcher:
                         statuses[id(request)], report, snapshot.version
                     )
                 )
+
+    def _refresh_and_freeze(self, changes, statement_names):
+        """Worker-thread half of a batch: extract, then freeze the result.
+
+        Returns ``(refresh result, unpublished Snapshot)``; the ingest
+        loop installs the snapshot with an atomic swap once bookkeeping
+        is adopted.
+        """
+        result = self._session.refresh(changes)
+        snapshot = self._snapshots.prepare(
+            result.graph, statement_names=statement_names
+        )
+        return result, snapshot
 
     def _result_payload(self, rows, report, version=None):
         payload = {
@@ -237,7 +275,7 @@ class IngestBatcher:
         total = counters["statements"]
         skipped = counters["duplicate"] + counters["coalesced"]
         counters["dedupe_ratio"] = round(skipped / total, 4) if total else 0.0
-        counters["known_statements"] = len(self._known)
+        counters["known_statements"] = len(self._name_hash)
         counters["queue_depth"] = self._queue.qsize()
         return counters
 

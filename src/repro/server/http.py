@@ -85,8 +85,14 @@ class Response:
         """A JSON error envelope: ``{"error": message}``."""
         return cls.json({"error": str(message)}, status=status)
 
-    def encode(self, keep_alive):
-        """Serialise status line + headers + body to wire bytes."""
+    def encode(self, keep_alive, head_only=False):
+        """Serialise status line + headers + body to wire bytes.
+
+        ``head_only`` answers a HEAD request: Content-Length still
+        advertises the GET body size (per RFC 9110) but no body bytes go
+        on the wire — a compliant client won't read them, and leftover
+        bytes would desync the next request on a keep-alive connection.
+        """
         reason = _REASONS.get(self.status, "Unknown")
         head = (
             f"HTTP/1.1 {self.status} {reason}\r\n"
@@ -95,7 +101,8 @@ class Response:
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
             "\r\n"
         )
-        return head.encode("latin-1") + self.body
+        encoded = head.encode("latin-1")
+        return encoded if head_only else encoded + self.body
 
 
 async def read_request(reader):
@@ -206,7 +213,11 @@ async def serve_connection(reader, writer, dispatch):
             except Exception as error:  # noqa: BLE001 - the server must survive
                 response = Response.error(500, f"{type(error).__name__}: {error}")
             keep_alive = request.keep_alive
-            writer.write(response.encode(keep_alive=keep_alive))
+            writer.write(
+                response.encode(
+                    keep_alive=keep_alive, head_only=request.method == "HEAD"
+                )
+            )
             await writer.drain()
             if not keep_alive:
                 break

@@ -40,7 +40,7 @@ async def dispatch(app, request):
     if path == "/health":
         return _require_get(request) or handle_health(app)
     if path == "/stats":
-        return _require_get(request) or handle_stats(app)
+        return _require_get(request) or await handle_stats(app)
     if path == "/extract":
         if request.method != "POST":
             return Response.error(405, "use POST /extract")
@@ -76,7 +76,7 @@ def handle_health(app):
     )
 
 
-def handle_stats(app):
+async def handle_stats(app):
     snapshot = app.snapshots.current()
     payload = {
         "server": {
@@ -89,7 +89,10 @@ def handle_stats(app):
     }
     store = app.session.store
     if store is not None:
-        payload["store"] = store.stats()
+        # store.stats() flushes and queries sqlite per shard under shard
+        # locks — keep that off the event loop like renders and refreshes
+        loop = asyncio.get_running_loop()
+        payload["store"] = await loop.run_in_executor(app.executor, store.stats)
     return Response.json(payload)
 
 

@@ -54,13 +54,26 @@ class SnapshotManager:
     def __init__(self, initial_graph):
         self._current = Snapshot(0, initial_graph.freeze())
 
-    def publish(self, graph, statement_names=()):
-        """Freeze ``graph`` and make it the current generation."""
-        snapshot = Snapshot(
-            self._current.version + 1, graph.freeze(), statement_names
-        )
+    def prepare(self, graph, statement_names=()):
+        """Freeze ``graph`` into the next generation WITHOUT publishing.
+
+        The freeze copies the relation map and eagerly builds the
+        adjacency index — real CPU work on a large graph — so the ingest
+        loop calls this from its worker thread and only does the cheap
+        :meth:`install` swap on the event loop.  Safe off-thread because
+        the single ingest loop is the only generation producer: nobody
+        else can move ``version`` between prepare and install.
+        """
+        return Snapshot(self._current.version + 1, graph.freeze(), statement_names)
+
+    def install(self, snapshot):
+        """Make a prepared snapshot the current generation."""
         self._current = snapshot  # atomic reference swap: the publish point
         return snapshot
+
+    def publish(self, graph, statement_names=()):
+        """Freeze ``graph`` and make it the current generation."""
+        return self.install(self.prepare(graph, statement_names))
 
     def current(self):
         """The latest published :class:`Snapshot` (never ``None``)."""

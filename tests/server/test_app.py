@@ -259,6 +259,48 @@ class TestProtocolSurface:
 
         _with_app(check)
 
+    def test_head_omits_body_and_keeps_the_connection_usable(self):
+        # a HEAD response must advertise the GET Content-Length but put
+        # no body bytes on the wire: a compliant client will not read a
+        # body, and leftover bytes would desync the next request on a
+        # keep-alive connection
+        async def check(app, host, port):
+            reader, writer = await asyncio.open_connection(host, port)
+            try:
+                writer.write(b"HEAD /health HTTP/1.1\r\nHost: t\r\n\r\n")
+                await writer.drain()
+                head = await reader.readuntil(b"\r\n\r\n")
+                assert head.startswith(b"HTTP/1.1 200")
+                length = int(
+                    [
+                        line.split(b":")[1]
+                        for line in head.split(b"\r\n")
+                        if line.lower().startswith(b"content-length")
+                    ][0]
+                )
+                assert length > 0  # the GET body size is still advertised
+                # without reading any body, the same connection must
+                # serve the next request cleanly — this would fail if
+                # HEAD had written body bytes
+                writer.write(b"GET /health HTTP/1.1\r\nHost: t\r\n\r\n")
+                await writer.drain()
+                head = await reader.readuntil(b"\r\n\r\n")
+                assert head.startswith(b"HTTP/1.1 200")
+                get_length = int(
+                    [
+                        line.split(b":")[1]
+                        for line in head.split(b"\r\n")
+                        if line.lower().startswith(b"content-length")
+                    ][0]
+                )
+                body = await reader.readexactly(get_length)
+                assert json.loads(body)["status"] == "ok"
+            finally:
+                writer.close()
+                await writer.wait_closed()
+
+        _with_app(check)
+
     def test_malformed_wire_data_gets_400(self):
         async def check(app, host, port):
             reader, writer = await asyncio.open_connection(host, port)

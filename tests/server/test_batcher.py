@@ -13,6 +13,9 @@ from repro.session import LineageSession
 V1 = "CREATE VIEW v1 AS SELECT a, b FROM t1"
 V2 = "CREATE VIEW v2 AS SELECT a FROM v1"
 V1_ALT = "CREATE VIEW v1 AS SELECT b FROM t1"
+# a dbt-style passthrough model: the mapping key names a bare SELECT, so
+# the same text can legitimately define two different views
+PASSTHROUGH = "SELECT a, b FROM t1"
 
 
 def _run(coro):
@@ -93,6 +96,36 @@ class TestDedupe:
 
         _run(go())
 
+    def test_identical_text_under_two_names_extracts_both(self):
+        # dedupe keys on (name, text), not text alone: two passthrough
+        # models sharing the same SELECT are two distinct views and both
+        # must land in the graph
+        async def go():
+            _, snapshots, batcher = await _make()
+            result = await batcher.submit(
+                {"m1": PASSTHROUGH, "m2": PASSTHROUGH}
+            )
+            statuses = {row["name"]: row["status"] for row in result["statements"]}
+            assert statuses == {"m1": "extracted", "m2": "extracted"}
+            assert snapshots.current().stats["num_views"] == 2
+            # an exact (name, text) repeat is still the cheap path
+            again = await batcher.submit({"m2": PASSTHROUGH})
+            assert again["statements"][0]["status"] == "duplicate"
+            await batcher.stop()
+
+        _run(go())
+
+    def test_known_text_under_a_new_name_still_extracts(self):
+        async def go():
+            _, snapshots, batcher = await _make()
+            await batcher.submit({"m1": PASSTHROUGH})
+            second = await batcher.submit({"m2": PASSTHROUGH})
+            assert second["statements"][0]["status"] == "extracted"
+            assert snapshots.current().stats["num_views"] == 2
+            await batcher.stop()
+
+        _run(go())
+
     def test_redefinition_retires_the_old_hash(self):
         async def go():
             _, _, batcher = await _make()
@@ -152,6 +185,30 @@ class TestFailureDomain:
             ok = await batcher.submit({"v2": V2})
             assert ok["statements"][0]["status"] == "extracted"
             assert snapshots.version == 2
+            await batcher.stop()
+
+        _run(go())
+
+    def test_publish_failure_fails_the_batch_but_not_the_loop(self):
+        # an exception past the refresh guard (snapshot install,
+        # bookkeeping) must fail the waiting futures instead of killing
+        # the ingest task and hanging every later submit()
+        async def go():
+            _, snapshots, batcher = await _make()
+            original = snapshots.install
+
+            def boom(snapshot):
+                raise RuntimeError("publish exploded")
+
+            snapshots.install = boom
+            with pytest.raises(ExtractionFailed, match="publish exploded"):
+                await batcher.submit({"v1": V1})
+            assert snapshots.version == 0  # nothing published
+            snapshots.install = original
+            # the failed pair was not adopted and the loop is still alive
+            ok = await asyncio.wait_for(batcher.submit({"v1": V1}), timeout=5)
+            assert ok["statements"][0]["status"] == "extracted"
+            assert snapshots.version == 1
             await batcher.stop()
 
         _run(go())
