@@ -2,12 +2,33 @@
 
 * :mod:`repro.analysis.impact` -- upstream/downstream closures and the
   impact-analysis workflow of the demonstration (Figure 5, Steps 3-4);
+* :mod:`repro.analysis.reach` -- the precomputed reachability index that
+  answers those closures in O(answer size) on large graphs;
+* :mod:`repro.analysis.selector` -- InfoTracker-style ``+name+`` impact
+  selectors lowered onto the indexed queries;
 * :mod:`repro.analysis.diff` -- structural comparison of two lineage graphs;
 * :mod:`repro.analysis.metrics` -- precision/recall/coverage metrics used by
   the Figure 2 and GPT-4o comparison benchmarks.
 """
 
-from .impact import ImpactResult, impact_analysis, downstream_columns, upstream_columns, explore
+from .impact import (
+    ImpactResult,
+    impact_analysis,
+    downstream_columns,
+    upstream_columns,
+    explore,
+    merge_impacts,
+    column_known,
+    nearest_column,
+)
+from .reach import ReachabilityIndex
+from .selector import (
+    Selector,
+    SelectorError,
+    SelectorImpact,
+    parse_selector,
+    selector_impact,
+)
 from .diff import GraphDiff, diff_graphs
 from .metrics import edge_metrics, column_metrics, MetricReport
 from .ordering import (
@@ -25,6 +46,15 @@ __all__ = [
     "downstream_columns",
     "upstream_columns",
     "explore",
+    "merge_impacts",
+    "column_known",
+    "nearest_column",
+    "ReachabilityIndex",
+    "Selector",
+    "SelectorError",
+    "SelectorImpact",
+    "parse_selector",
+    "selector_impact",
     "GraphDiff",
     "diff_graphs",
     "edge_metrics",

@@ -21,12 +21,24 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from ..core.column_refs import ColumnName
+from ..core.errors import UnknownColumnError
 from ..core.lineage import EDGE_BOTH, EDGE_CONTRIBUTE, EDGE_REFERENCE
+from .reach import NameSet
+
+_METHODS = ("auto", "index", "bfs")
+_MISSING = ("empty", "raise")
 
 
 @dataclass
 class ImpactResult:
-    """The outcome of an impact analysis starting from one column."""
+    """The outcome of an impact analysis starting from one column.
+
+    The three partitions are plain ``set`` on the BFS path and (shared,
+    immutable) :class:`~repro.analysis.reach.NameSet` views on the
+    indexed path — treat them as read-only either way.  A ``NameSet``
+    iterates and counts without hashing; membership tests and set
+    algebra materialise a real ``frozenset`` once, lazily.
+    """
 
     start: ColumnName
     direction: str
@@ -36,8 +48,22 @@ class ImpactResult:
 
     @property
     def all_columns(self):
-        """Every impacted column regardless of how it is reached."""
-        return self.contributed | self.referenced | self.both
+        """Every impacted column regardless of how it is reached.
+
+        Computed once and cached: the partitions are disjoint and
+        read-only, so the union can never change after construction.  On
+        the indexed path the disjointness lets the union stay a lazy
+        concatenation — no hashing until a consumer needs membership.
+        """
+        cached = self.__dict__.get("_all_columns")
+        if cached is None:
+            parts = (self.contributed, self.referenced, self.both)
+            if all(isinstance(part, NameSet) for part in parts):
+                cached = NameSet([name for part in parts for name in part])
+            else:
+                cached = self.contributed | self.referenced | self.both
+            self.__dict__["_all_columns"] = cached
+        return cached
 
     def impacted_tables(self):
         """The distinct tables containing impacted columns."""
@@ -67,7 +93,103 @@ def _as_column_name(column):
     return ColumnName.parse(column)
 
 
-def impact_analysis(graph, column, direction="downstream"):
+def column_known(graph, column):
+    """Whether ``column`` is a column the graph has ever seen.
+
+    True when the column has lineage edges in either direction *or* is a
+    recorded output column of a known relation (an edgeless leaf — a real
+    column whose impact closure is legitimately empty).
+    """
+    start = _as_column_name(column)
+    if start in graph.column_adjacency("downstream"):
+        return True
+    if start in graph.column_adjacency("upstream"):
+        return True
+    entry = graph.get(start.table)
+    return entry is not None and start.column in entry.output_columns
+
+
+def nearest_column(graph, column, cutoff=0.6):
+    """The closest known name to ``column`` for "did you mean" hints.
+
+    When the table is known, candidates are that table's columns; when it
+    is not, candidates are relation names (the typo is most likely in the
+    table part).  Candidate lists are capped so a 404 on a 100k-relation
+    graph stays cheap.  Returns a dotted string or ``None``.
+    """
+    import difflib
+
+    start = _as_column_name(column)
+    entry = graph.get(start.table)
+    if entry is not None:
+        matches = difflib.get_close_matches(
+            start.column, list(entry.output_columns)[:5000], n=1, cutoff=cutoff
+        )
+        return f"{start.table}.{matches[0]}" if matches else None
+    names = list(graph.relations)
+    if len(names) > 10000:
+        prefix = start.table[:1]
+        preferred = [name for name in names if name.startswith(prefix)]
+        names = (preferred or names)[:10000]
+    matches = difflib.get_close_matches(start.table, names, n=1, cutoff=cutoff)
+    return f"{matches[0]}.{start.column}" if matches else None
+
+
+def _bfs_partition(adjacency, start, max_depth=None):
+    """The kind-tracking BFS (reference semantics for every other path).
+
+    Tracks the kinds of edges on the paths used to reach a column; a
+    column is re-expanded whenever its kind set grows, or — under a depth
+    limit — whenever it is re-reached strictly closer to the start.
+    """
+    reached_kinds = {}
+    if max_depth is None:
+        queue = deque([start])
+        while queue:
+            current = queue.popleft()
+            for target, kind in (adjacency.get(current) or {}).items():
+                kinds = reached_kinds.get(target)
+                if kinds is None:
+                    kinds = reached_kinds[target] = set()
+                before = len(kinds)
+                if kind == EDGE_BOTH:
+                    kinds.add(EDGE_CONTRIBUTE)
+                    kinds.add(EDGE_REFERENCE)
+                else:
+                    kinds.add(kind)
+                if len(kinds) != before:
+                    queue.append(target)
+        return reached_kinds
+
+    best_depth = {}
+    queue = deque([(start, 0)])
+    while queue:
+        current, depth = queue.popleft()
+        if depth >= max_depth:
+            continue
+        for target, kind in (adjacency.get(current) or {}).items():
+            kinds = reached_kinds.get(target)
+            if kinds is None:
+                kinds = reached_kinds[target] = set()
+            before = len(kinds)
+            if kind == EDGE_BOTH:
+                kinds.add(EDGE_CONTRIBUTE)
+                kinds.add(EDGE_REFERENCE)
+            else:
+                kinds.add(kind)
+            next_depth = depth + 1
+            if len(kinds) != before or next_depth < best_depth.get(
+                target, max_depth
+            ):
+                previous = best_depth.get(target)
+                if previous is None or next_depth < previous:
+                    best_depth[target] = next_depth
+                queue.append((target, next_depth))
+    return reached_kinds
+
+
+def impact_analysis(graph, column, direction="downstream", *, max_depth=None,
+                    method="auto", missing="empty"):
     """Compute the transitive impact closure of ``column``.
 
     Parameters
@@ -79,6 +201,20 @@ def impact_analysis(graph, column, direction="downstream"):
     direction:
         ``"downstream"`` (default; what breaks if this column changes) or
         ``"upstream"`` (where this column's values come from).
+    max_depth:
+        Optional hop limit; forces the BFS path (the reachability index
+        stores unbounded closures only).
+    method:
+        ``"auto"`` (default) answers from the graph's reachability index
+        when one is current — frozen snapshot graphs always are — and
+        falls back to BFS on cold graphs; ``"index"`` forces a build;
+        ``"bfs"`` forces the traversal (the differential reference).
+    missing:
+        ``"empty"`` (default) keeps the historical behaviour: an unknown
+        start column yields an empty result, indistinguishable from a
+        true leaf.  ``"raise"`` raises
+        :class:`~repro.core.errors.UnknownColumnError` (a ``KeyError``)
+        with a nearest-name hint instead.
 
     Returns
     -------
@@ -88,28 +224,31 @@ def impact_analysis(graph, column, direction="downstream"):
         reference edge (on possibly different paths) is classified as
         ``both`` — matching the orange highlighting of the paper's UI.
     """
+    if method not in _METHODS:
+        raise ValueError(f"method must be one of {_METHODS}, got {method!r}")
+    if missing not in _MISSING:
+        raise ValueError(f"missing must be one of {_MISSING}, got {missing!r}")
     start = _as_column_name(column)
-    adjacency = graph.column_adjacency(direction)
+    adjacency = graph.column_adjacency(direction)  # also validates direction
+    if missing == "raise" and not column_known(graph, start):
+        raise UnknownColumnError(start, hint=nearest_column(graph, start))
 
-    # BFS that tracks the *kinds* of edges on the paths used to reach a
-    # column; a column is re-expanded whenever its kind set grows.
-    reached_kinds = {}
-    queue = deque([start])
-    while queue:
-        current = queue.popleft()
-        for target, kind in (adjacency.get(current) or {}).items():
-            kinds = reached_kinds.get(target)
-            if kinds is None:
-                kinds = reached_kinds[target] = set()
-            before = len(kinds)
-            if kind == EDGE_BOTH:
-                kinds.add(EDGE_CONTRIBUTE)
-                kinds.add(EDGE_REFERENCE)
-            else:
-                kinds.add(kind)
-            if len(kinds) != before:
-                queue.append(target)
+    if method != "bfs" and max_depth is None:
+        index = graph.reachability(build=(method == "index"))
+        if index is not None:
+            contributed, referenced, both = index.partition(start, direction)
+            # the partition's NameSet views are shared with the index
+            # memo and immutable, so they are handed out directly —
+            # copying them would re-hash the whole answer on every query
+            return ImpactResult(
+                start=start,
+                direction=direction,
+                contributed=contributed,
+                referenced=referenced,
+                both=both,
+            )
 
+    reached_kinds = _bfs_partition(adjacency, start, max_depth=max_depth)
     result = ImpactResult(start=start, direction=direction)
     for name, kinds in reached_kinds.items():
         if kinds >= {EDGE_CONTRIBUTE, EDGE_REFERENCE}:
@@ -121,21 +260,51 @@ def impact_analysis(graph, column, direction="downstream"):
     return result
 
 
-def downstream_columns(graph, column):
+def merge_impacts(results):
+    """Merge per-start :class:`ImpactResult` objects into one partition.
+
+    Used by multi-start selector queries (``schema.table.*``): a column
+    contributed to from one start and referenced from another is ``both``,
+    mirroring how the per-column kind sets would union in a single BFS.
+    """
+    results = list(results)
+    if not results:
+        raise ValueError("merge_impacts needs at least one result")
+    contributed = set()
+    referenced = set()
+    both = set()
+    for result in results:
+        contributed |= result.contributed
+        referenced |= result.referenced
+        both |= result.both
+    both |= contributed & referenced
+    contributed -= both
+    referenced -= both
+    return ImpactResult(
+        start=results[0].start,
+        direction=results[0].direction,
+        contributed=contributed,
+        referenced=referenced,
+        both=both,
+    )
+
+
+def downstream_columns(graph, column, **kwargs):
     """All columns transitively affected by a change to ``column``."""
-    return impact_analysis(graph, column, direction="downstream").all_columns
+    return impact_analysis(graph, column, direction="downstream", **kwargs).all_columns
 
 
-def upstream_columns(graph, column):
+def upstream_columns(graph, column, **kwargs):
     """All columns that transitively feed ``column``."""
-    return impact_analysis(graph, column, direction="upstream").all_columns
+    return impact_analysis(graph, column, direction="upstream", **kwargs).all_columns
 
 
 def _tables_within(adjacency, table, hops):
     """Tables reachable from ``table`` within ``hops`` steps (excl. itself)."""
     reached = set()
     frontier = [table]
-    for _ in range(hops):
+    iterations = range(hops) if hops is not None else iter(int, 1)
+    for _ in iterations:
         next_frontier = []
         for current in frontier:
             for neighbor in adjacency.get(current, ()):
@@ -153,16 +322,26 @@ def explore(graph, table, hops=1):
 
     Returns ``(upstream_tables, downstream_tables)`` — each a set of table
     names reachable within the requested number of hops over table-level
-    edges, excluding ``table`` itself.
+    edges, excluding ``table`` itself.  ``hops=None`` means the full
+    transitive closure; when the graph carries a current reachability
+    index (snapshot graphs always do) that case is answered from the
+    index's memoised table closures instead of traversing.
     """
+    if hops is None:
+        index = graph.reachability(build=False)
+        if index is not None:
+            return (
+                set(index.table_closure(table, "upstream")),
+                set(index.table_closure(table, "downstream")),
+            )
     downstream = _tables_within(graph.table_successors(), table, hops)
     upstream = _tables_within(graph.table_predecessors(), table, hops)
     return upstream, downstream
 
 
-def impact_report(graph, column, direction="downstream"):
+def impact_report(graph, column, direction="downstream", max_depth=None):
     """A printable multi-line report of an impact analysis."""
-    result = impact_analysis(graph, column, direction=direction)
+    result = impact_analysis(graph, column, direction=direction, max_depth=max_depth)
     lines = [
         f"Impact analysis for {result.start} ({direction}):",
         f"  impacted tables:  {', '.join(result.impacted_tables()) or '(none)'}",

@@ -18,17 +18,40 @@ table-level adjacency index directly (no networkx graph is built):
 from ..core.errors import CyclicDependencyError
 
 
+def _reach_index(graph):
+    """The graph's current reachability index, or ``None`` (never builds).
+
+    Frozen snapshot graphs always answer with their pinned index, so the
+    serving daemon's ``/ordering`` reads come from precomputed (and
+    memoised) orders; live graphs only answer when an index was already
+    built for the current version.
+    """
+    reachability = getattr(graph, "reachability", None)
+    if reachability is None:
+        return None
+    return reachability(build=False)
+
+
 def _topological_tables(graph):
     """All relations in dependency order (Kahn's algorithm, deterministic).
 
     Ties are broken by the graph's relation insertion order.  Raises
     :class:`~repro.core.errors.CyclicDependencyError` if the table-level
     dependencies are cyclic (which the extractor itself would normally have
-    rejected).
+    rejected).  When the graph carries a current reachability index the
+    memoised order stored there is returned instead of re-running Kahn —
+    the index captures the same inputs, so the output is identical.
     """
-    successors = graph.table_successors()
-    predecessors = graph.table_predecessors()
-    names = list(graph.relations)
+    index = _reach_index(graph)
+    if index is not None:
+        return list(index.table_order())
+    return _kahn_order(
+        list(graph.relations), graph.table_successors(), graph.table_predecessors()
+    )
+
+
+def _kahn_order(names, successors, predecessors):
+    """Kahn's algorithm over prebuilt table adjacency (the shared kernel)."""
     known = set(names)
     # a source table may be referenced without ever being materialised as a
     # relation node (e.g. no column reference hits it); such phantom edges
@@ -74,6 +97,9 @@ def drop_order(graph):
 
 def terminal_views(graph):
     """Views that no other relation reads (the "leaves" of the warehouse)."""
+    index = _reach_index(graph)
+    if index is not None:
+        return list(index.terminal_views())
     successors = graph.table_successors()
     return sorted(
         entry.name for entry in graph.views if not successors.get(entry.name)
@@ -82,6 +108,9 @@ def terminal_views(graph):
 
 def root_tables(graph):
     """Base tables that at least one view reads directly."""
+    index = _reach_index(graph)
+    if index is not None:
+        return list(index.root_tables())
     successors = graph.table_successors()
     return sorted(
         entry.name for entry in graph.base_tables if successors.get(entry.name)

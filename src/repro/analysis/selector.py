@@ -1,0 +1,199 @@
+"""InfoTracker-style impact selectors.
+
+A selector names a set of start columns plus the traversal directions,
+in the syntax dbt/InfoTracker users already know:
+
+=====================  ==================================================
+``name``               downstream of ``name`` (the default direction)
+``name+``              downstream of ``name``
+``+name``              upstream of ``name``
+``+name+``             both directions
+``schema.table.*``     every column of the relation (wildcard)
+``table``              bare relation name — same as ``table.*``
+=====================  ==================================================
+
+``name`` itself is ``table.column`` / ``schema.table.column`` dotted
+text; the last dotted part is the column (matching
+:meth:`~repro.core.column_refs.ColumnName.parse`), so ``a.b.*`` selects
+every column of relation ``a.b``.  Depth limiting is an orthogonal knob
+(``--max-depth`` on the CLI, ``max_depth=`` on the server) rather than
+selector syntax.
+
+:func:`selector_impact` lowers a parsed selector onto the (indexed)
+impact queries of :mod:`repro.analysis.impact` and merges multi-start
+results kind-correctly.
+"""
+
+from dataclasses import dataclass
+
+from ..core.column_refs import ColumnName
+from ..core.errors import UnknownColumnError
+from .impact import impact_analysis, merge_impacts, nearest_column
+
+
+class SelectorError(ValueError):
+    """The selector text does not parse."""
+
+
+@dataclass(frozen=True)
+class Selector:
+    """One parsed selector: a start set and the directions to walk."""
+
+    text: str              # the original text, normalised
+    table: str             # relation part
+    column: str            # column part ("" for wildcards)
+    wildcard: bool         # True for table.* / bare-table selectors
+    upstream: bool
+    downstream: bool
+
+    @property
+    def directions(self):
+        result = []
+        if self.upstream:
+            result.append("upstream")
+        if self.downstream:
+            result.append("downstream")
+        return result
+
+
+def parse_selector(text):
+    """Parse selector ``text`` into a :class:`Selector`.
+
+    Raises :class:`SelectorError` on empty or malformed input.
+    """
+    raw = str(text).strip()
+    body = raw
+    upstream = downstream = False
+    if body.startswith("+"):
+        upstream = True
+        body = body[1:]
+    if body.endswith("+"):
+        downstream = True
+        body = body[:-1]
+    if not upstream and not downstream:
+        downstream = True
+    body = body.strip()
+    if not body or "+" in body:
+        raise SelectorError(f"malformed selector: {text!r}")
+
+    wildcard = False
+    if body.endswith(".*"):
+        wildcard = True
+        body = body[:-2]
+        if not body:
+            raise SelectorError(f"malformed selector: {text!r}")
+        table, column = body, ""
+    elif "." in body:
+        name = ColumnName.parse(body)
+        table, column = name.table, name.column
+    else:
+        # a bare relation name selects all of its columns
+        wildcard = True
+        table, column = body, ""
+
+    normalised = ("+" if upstream else "") + body + (".*" if wildcard else "")
+    if downstream and upstream:
+        normalised += "+"
+    elif downstream and raw.endswith("+"):
+        normalised += "+"
+    return Selector(
+        text=normalised,
+        table=table,
+        column=column,
+        wildcard=wildcard,
+        upstream=upstream,
+        downstream=downstream,
+    )
+
+
+def selector_starts(graph, selector):
+    """The concrete start columns ``selector`` names in ``graph``.
+
+    Raises :class:`~repro.core.errors.UnknownColumnError` (with a
+    nearest-name hint) when the relation or column does not exist, or the
+    wildcard expands to nothing.
+    """
+    if selector.wildcard:
+        columns = graph.columns_of(selector.table)
+        if not columns:
+            probe = ColumnName.of(selector.table, "*")
+            raise UnknownColumnError(
+                f"{selector.table}.*", hint=nearest_column(graph, probe)
+            )
+        return [ColumnName.of(selector.table, column) for column in columns]
+    return [ColumnName.of(selector.table, selector.column)]
+
+
+@dataclass
+class SelectorImpact:
+    """The outcome of a selector query: merged per-direction results."""
+
+    selector: Selector
+    starts: list
+    upstream: object = None     # merged ImpactResult or None
+    downstream: object = None   # merged ImpactResult or None
+
+    def to_payload(self):
+        """A JSON-friendly shape (the server's ``/impact?selector=`` body)."""
+        payload = {
+            "selector": self.selector.text,
+            "starts": [str(start) for start in sorted(self.starts)],
+        }
+        for direction in ("upstream", "downstream"):
+            result = getattr(self, direction)
+            if result is None:
+                continue
+            payload[direction] = {
+                "impacted_tables": result.impacted_tables(),
+                "columns": [
+                    {"table": table, "column": column, "kind": kind}
+                    for table, column, kind in result.to_rows()
+                ],
+            }
+        return payload
+
+    def report(self):
+        """A printable multi-line report (the CLI's output)."""
+        lines = [f"Impact analysis for selector {self.selector.text}:"]
+        lines.append(
+            "  start columns:    "
+            + ", ".join(str(start) for start in sorted(self.starts))
+        )
+        for direction in ("upstream", "downstream"):
+            result = getattr(self, direction)
+            if result is None:
+                continue
+            lines.append(f"  {direction}:")
+            lines.append(
+                f"    impacted tables:  "
+                f"{', '.join(result.impacted_tables()) or '(none)'}"
+            )
+            lines.append(f"    impacted columns: {len(result.all_columns)}")
+            for table, column, kind in result.to_rows():
+                lines.append(f"      {table}.{column:<20s} [{kind}]")
+        return "\n".join(lines)
+
+
+def selector_impact(graph, selector, max_depth=None, method="auto"):
+    """Run the impact queries a selector describes and merge the results.
+
+    ``selector`` may be text or an already-parsed :class:`Selector`.
+    Unknown names raise :class:`~repro.core.errors.UnknownColumnError`
+    (selector queries are explicit user queries, so a typo should never
+    masquerade as an empty closure).
+    """
+    if not isinstance(selector, Selector):
+        selector = parse_selector(selector)
+    starts = selector_starts(graph, selector)
+    outcome = SelectorImpact(selector=selector, starts=starts)
+    missing = "empty" if selector.wildcard else "raise"
+    for direction in selector.directions:
+        results = [
+            impact_analysis(
+                graph, start, direction=direction,
+                max_depth=max_depth, method=method, missing=missing,
+            )
+            for start in starts
+        ]
+        setattr(outcome, direction, merge_impacts(results))
+    return outcome

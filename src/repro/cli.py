@@ -45,6 +45,8 @@ import sys
 
 from . import __version__
 from .analysis.impact import impact_report
+from .analysis.selector import SelectorError, selector_impact
+from .core.errors import UnknownColumnError
 from .catalog.introspect import catalog_from_sql
 from .output.registry import renderer_names
 from .session import ENGINES, LineageSession, SessionConfig
@@ -224,13 +226,23 @@ def build_subcommand_parser():
     extract.set_defaults(handler=_cmd_extract)
 
     impact = commands.add_parser(
-        "impact", help="transitive impact analysis of one column"
+        "impact", help="transitive impact analysis of one column or selector"
     )
     impact.add_argument("input", help="SQL file/dir, dbt project, .jsonl log, or '-'")
-    impact.add_argument("column", metavar="TABLE.COLUMN", help="the starting column")
+    impact.add_argument(
+        "column", metavar="SELECTOR",
+        help="a starting TABLE.COLUMN, or an InfoTracker-style selector: "
+             "+name (upstream), name+ (downstream), +name+ (both), "
+             "schema.table.* (every column of a relation)",
+    )
     impact.add_argument(
         "--direction", choices=["downstream", "upstream"], default="downstream",
-        help="traversal direction (default: downstream)",
+        help="traversal direction for plain TABLE.COLUMN starts "
+             "(default: downstream; selectors encode their own direction)",
+    )
+    impact.add_argument(
+        "--max-depth", type=_positive_int, metavar="N", default=None,
+        help="limit the traversal to N hops from the start",
     )
     _add_extraction_options(impact)
     impact.set_defaults(handler=_cmd_impact)
@@ -412,10 +424,31 @@ def _cmd_extract(args, stdout):
         return _warn_unresolved(result)
 
 
+def _looks_like_selector(text):
+    """Selector syntax vs a plain TABLE.COLUMN start."""
+    return "+" in text or text.endswith(".*") or "." not in text
+
+
 def _cmd_impact(args, stdout):
     with _session_from_args(args) as session:
         result = session.extract()
-        print(impact_report(result.graph, args.column, direction=args.direction), file=stdout)
+        if _looks_like_selector(args.column):
+            try:
+                outcome = selector_impact(
+                    result.graph, args.column, max_depth=args.max_depth
+                )
+            except (SelectorError, UnknownColumnError) as error:
+                print(f"error: {error}", file=sys.stderr)
+                return 2
+            print(outcome.report(), file=stdout)
+        else:
+            print(
+                impact_report(
+                    result.graph, args.column,
+                    direction=args.direction, max_depth=args.max_depth,
+                ),
+                file=stdout,
+            )
         return _warn_unresolved(result)
 
 

@@ -63,6 +63,28 @@ class AmbiguousColumnError(LineageError):
         return (type(self), (self.column, self.candidates))
 
 
+class UnknownColumnError(LineageError, KeyError):
+    """An impact query started from a column the graph has never seen.
+
+    Derives from :class:`KeyError` so library callers can treat a failed
+    lookup like a mapping miss.  ``hint`` optionally carries the nearest
+    known name (the serving daemon surfaces it in the 404 body).
+    """
+
+    def __init__(self, column, hint=None):
+        self.column = str(column)
+        self.hint = hint
+        message = f"unknown column {self.column!r}"
+        if hint:
+            message += f" (did you mean {hint!r}?)"
+        # bypass KeyError.__str__'s repr-of-args formatting
+        LineageError.__init__(self, message)
+        self.args = (message,)
+
+    def __str__(self):
+        return self.args[0]
+
+
 class CyclicDependencyError(LineageError):
     """Raised when query definitions form a dependency cycle.
 

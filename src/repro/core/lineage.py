@@ -324,6 +324,8 @@ class LineageGraph:
         self._mutations = 0
         self._index = None
         self._index_token = None
+        self._reach = None
+        self._reach_token = None
 
     # ------------------------------------------------------------------
     # Index maintenance
@@ -347,6 +349,33 @@ class LineageGraph:
             self._index = _GraphIndex(self.relations)
             self._index_token = token
         return self._index
+
+    def reachability(self, build=True):
+        """The version-stamped :class:`~repro.analysis.reach.ReachabilityIndex`.
+
+        With ``build=True`` (default) a current index is computed if the
+        cached one is missing or stale — incrementally when the graph only
+        grew since the last build (the common refresh shape), from scratch
+        otherwise.  With ``build=False`` the call never does work: it
+        returns the cached index when it matches the current state token
+        and ``None`` otherwise, which is how consumers ask "is an index
+        already paid for?" without triggering a build on a cold graph.
+        """
+        token = self._state_token()
+        if self._reach is not None and self._reach_token == token:
+            return self._reach
+        if not build:
+            return None
+        from ..analysis.reach import ReachabilityIndex
+
+        index = None
+        if self._reach is not None:
+            index = self._reach.refreshed(self)
+        if index is None:
+            index = ReachabilityIndex.build(self)
+        self._reach = index
+        self._reach_token = self._state_token()
+        return index
 
     # ------------------------------------------------------------------
     # Population
@@ -579,17 +608,21 @@ class LineageGraph:
     # ------------------------------------------------------------------
     # Freezing (lock-free concurrent readers)
     # ------------------------------------------------------------------
-    def freeze(self):
+    def freeze(self, reach_seed=None):
         """An immutable point-in-time view of this graph.
 
         The returned :class:`FrozenLineageGraph` supports every read
         operation of a live graph but rejects mutation, and its adjacency
-        index is built eagerly here — concurrent readers therefore never
-        trigger (or race) a lazy index rebuild, which is what makes a
-        published snapshot safe to traverse from many threads without any
-        locking.
+        *and* reachability indexes are built eagerly here — concurrent
+        readers therefore never trigger (or race) a lazy rebuild, which is
+        what makes a published snapshot safe to traverse from many threads
+        without any locking.  ``reach_seed`` may pass the previous
+        generation's :class:`~repro.analysis.reach.ReachabilityIndex`;
+        when this graph is an append-only successor (the serving daemon's
+        batch-ingest steady state) the new index is patched from the seed
+        instead of rebuilt.
         """
-        return FrozenLineageGraph(self)
+        return FrozenLineageGraph(self, reach_seed=reach_seed)
 
 
 class FrozenGraphError(TypeError):
@@ -612,15 +645,37 @@ class FrozenLineageGraph(LineageGraph):
     (:meth:`LineageGraph.subgraph`) return ordinary mutable graphs.
     """
 
-    def __init__(self, graph):
+    def __init__(self, graph, reach_seed=None):
+        from ..analysis.reach import ReachabilityIndex
+
         self.relations = dict(graph.relations)
         self._mutations = 0
-        self._index = _GraphIndex(self.relations)
+        # reuse the source graph's caches when they match its current
+        # state: both index classes are replaced wholesale on mutation,
+        # never edited in place, so sharing the objects is safe and makes
+        # freezing an already-indexed graph nearly free
+        token = graph._state_token()
+        if graph._index is not None and graph._index_token == token:
+            self._index = graph._index
+        else:
+            self._index = _GraphIndex(self.relations)
         self._index_token = 0
+        reach = None
+        if graph._reach is not None and graph._reach_token == token:
+            reach = graph._reach
+        if reach is None and reach_seed is not None:
+            reach = reach_seed.refreshed(self)
+        if reach is None:
+            reach = ReachabilityIndex.build(self)
+        self._reach = reach
+        self._reach_token = 0
 
     # reads bypass the token dance entirely: the index is pinned
     def _ensure_index(self):
         return self._index
+
+    def reachability(self, build=True):
+        return self._reach
 
     def _invalidate(self):
         # shared entries may notify (they are subscribed to the live graph

@@ -89,6 +89,7 @@ def generate_warehouse(
     extended_probability=0.0,
     deep_chain_probability=0.0,
     fanout_probability=0.0,
+    mesh_probability=0.0,
     num_schemas=1,
 ):
     """Generate a layered warehouse of ``num_views`` statement definitions.
@@ -109,7 +110,14 @@ def generate_warehouse(
     * ``fanout_probability`` — an aggregate over the first base table (the
       *hub*), so every fan-out view adds one more reader to the same
       relation (the worst case for wave width and for invalidation blast
-      radius).
+      radius);
+    * ``mesh_probability`` — a wide multi-source projection whose every
+      output column coalesces one column from each of three relations
+      (preferring the immediately preceding one, so meshes compound),
+      with filter and join predicates referencing every output: the
+      densest per-column in-degree the generator can express (the worst
+      case for edge-walking traversals, whose cost grows with reachable
+      *edges* rather than reachable columns).
 
     The classic mix then applies to the remaining probability mass,
     rescaled so its internal proportions are unchanged.  With all three
@@ -143,6 +151,7 @@ def generate_warehouse(
         extended_probability=extended_probability,
         deep_chain_probability=deep_chain_probability,
         fanout_probability=fanout_probability,
+        mesh_probability=mesh_probability,
         num_schemas=num_schemas,
     ):
         warehouse.views[name] = sql
@@ -177,6 +186,7 @@ def _statement_stream(
     extended_probability=0.0,
     deep_chain_probability=0.0,
     fanout_probability=0.0,
+    mesh_probability=0.0,
     num_schemas=1,
 ):
     """Yield ``(name, sql, output_columns)`` per statement, lazily.
@@ -192,7 +202,12 @@ def _statement_stream(
     available = _Relations(base_tables)
     hub = next(iter(base_tables), None)
     previous = hub
-    special = extended_probability + deep_chain_probability + fanout_probability
+    special = (
+        extended_probability
+        + deep_chain_probability
+        + fanout_probability
+        + mesh_probability
+    )
     for view_index in range(num_views):
         name = f"{_schema_prefix(view_index, num_schemas)}view_{view_index}"
         draw = rng.random()
@@ -218,8 +233,15 @@ def _statement_stream(
             and previous is not None
         ):
             sql, columns = _chain_view(name, previous, available[previous], rng)
-        elif fanout_probability and draw < special and hub is not None:
+        elif (
+            fanout_probability
+            and draw
+            < extended_probability + deep_chain_probability + fanout_probability
+            and hub is not None
+        ):
             sql, columns = _fanout_view(name, hub, available[hub], rng)
+        elif mesh_probability and draw < special:
+            sql, columns = _mesh_view(name, previous, available, rng)
         else:
             if special:
                 # rescale so the classic template mix keeps its proportions
@@ -447,6 +469,56 @@ def _fanout_view(name, hub, hub_columns, rng):
         f"FROM {hub} s GROUP BY s.{group_column}"
     )
     return sql, [group_column, "n"]
+
+
+def _mesh_view(name, previous, available, rng):
+    """A wide multi-source projection with expression-level lineage.
+
+    Every output column coalesces one column from each of (up to) three
+    source relations — the immediately preceding relation plus two random
+    picks — and the join/filter predicates add reference edges to every
+    output.  Each output column therefore carries several in-edges of
+    mixed kinds, so reachable subgraphs hold far more *edges* than
+    *columns*: the regime where per-edge traversal cost separates from
+    answer-sized reads, and where kind-tracking traversals re-expand
+    nodes as their kind sets grow.  Meshes preferring ``previous``
+    compound into deep, dense regions.
+    """
+    sources = []
+    if previous is not None:
+        sources.append((previous, available[previous]))
+    attempts = 0
+    while len(sources) < 3 and attempts < 8:
+        attempts += 1
+        pick = _pick_source(available, rng)
+        if pick[0] not in {source for source, _ in sources}:
+            sources.append(pick)
+    aliased = [(f"s{i}", source, columns) for i, (source, columns) in enumerate(sources)]
+    width = 4
+    projections = []
+    outputs = []
+    for column_index in range(width):
+        picks = [f"{alias}.{rng.choice(columns)}" for alias, _, columns in aliased]
+        output = f"mesh_{column_index}"
+        if len(picks) == 1:
+            projections.append(f"{picks[0]} AS {output}")
+        else:
+            projections.append(f"coalesce({', '.join(picks)}) AS {output}")
+        outputs.append(output)
+    first_alias, _, first_columns = aliased[0]
+    clauses = [f"FROM {aliased[0][1]} {first_alias}"]
+    for alias, source, columns in aliased[1:]:
+        left_alias, _, left_columns = aliased[0]
+        clauses.append(
+            f"JOIN {source} {alias} "
+            f"ON {left_alias}.{rng.choice(left_columns)} = {alias}.{rng.choice(columns)}"
+        )
+    predicate = f"{first_alias}.{rng.choice(first_columns)}"
+    sql = (
+        f"CREATE VIEW {name} AS SELECT {', '.join(projections)} "
+        f"{' '.join(clauses)} WHERE {predicate} IS NOT NULL"
+    )
+    return sql, outputs
 
 
 # ----------------------------------------------------------------------

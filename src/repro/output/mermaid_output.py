@@ -1,0 +1,53 @@
+"""Mermaid flowchart export of lineage graphs.
+
+Table-level view: each relation becomes a flowchart node (base tables
+drawn as cylinders, views as rounded boxes) and each table-level
+dependency a ``-->`` arrow — the shape SQLparse-style tools export for
+embedding lineage diagrams directly into markdown docs, GitHub READMEs
+and wikis.  Output is deterministic: nodes and edges are emitted in
+sorted order, so identical graphs render byte-identically regardless of
+relation insertion order.
+"""
+
+
+def _node_ids(graph):
+    """Stable short ids per relation (mermaid ids cannot hold dots/quotes)."""
+    return {name: f"n{i}" for i, name in enumerate(sorted(graph.relations))}
+
+
+def _escape(text):
+    # mermaid labels live inside double quotes; the only character that
+    # needs care is the quote itself (mermaid uses #quot; entities)
+    return str(text).replace('"', "#quot;")
+
+
+def graph_to_mermaid(graph, direction="LR", include_columns=False):
+    """Render the lineage graph as a mermaid ``flowchart`` document.
+
+    ``include_columns`` appends each relation's column list to its label
+    (kept off by default: mermaid renders large graphs best with compact
+    nodes).
+    """
+    ids = _node_ids(graph)
+    lines = [f"flowchart {direction}"]
+    for name in sorted(graph.relations):
+        entry = graph.relations[name]
+        label = _escape(name)
+        if include_columns and entry.output_columns:
+            label += "<br/>" + "<br/>".join(
+                _escape(column) for column in entry.output_columns
+            )
+        if entry.is_base_table:
+            lines.append(f'    {ids[name]}[("{label}")]')
+        else:
+            lines.append(f'    {ids[name]}("{label}")')
+    for source, target in sorted(graph.table_edges()):
+        if source in ids and target in ids:
+            lines.append(f"    {ids[source]} --> {ids[target]}")
+    lines.append("    classDef base fill:#f2f2f2,stroke:#999;")
+    base_nodes = sorted(
+        ids[entry.name] for entry in graph.base_tables if entry.name in ids
+    )
+    if base_nodes:
+        lines.append(f"    class {','.join(base_nodes)} base;")
+    return "\n".join(lines) + "\n"

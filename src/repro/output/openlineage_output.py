@@ -1,0 +1,98 @@
+"""OpenLineage-compatible JSON export of lineage graphs.
+
+Emits one OpenLineage ``RunEvent`` per view (eventType ``COMPLETE``),
+carrying the standard ``columnLineage`` dataset facet on each output —
+the interchange shape Marquez, DataHub and the InfoTracker exemplar
+consume.  The document is a JSON array of events sorted by job name.
+
+Determinism: OpenLineage events nominally carry wall-clock times and
+random run ids, but every renderer in this repository must be
+byte-deterministic (the differential harness and the HTTP layer rely on
+it).  ``eventTime`` is therefore a fixed sentinel and ``runId`` a
+UUID-shaped digest of the view's canonical SQL, so re-rendering the same
+graph — on any machine, at any time — produces the same bytes while
+distinct view definitions still get distinct run ids.
+"""
+
+import hashlib
+import json
+
+#: fixed sentinel timestamp (see module docstring)
+EVENT_TIME = "1970-01-01T00:00:00.000Z"
+
+PRODUCER = "https://github.com/lineagex/repro"
+
+SCHEMA_URL = "https://openlineage.io/spec/1-0-5/OpenLineage.json#/definitions/RunEvent"
+
+
+def _run_id(name, sql):
+    """A UUID-shaped, content-derived run id (deterministic)."""
+    digest = hashlib.sha256(f"{name}\n{sql}".encode("utf-8")).hexdigest()
+    return "-".join(
+        (digest[0:8], digest[8:12], digest[12:16], digest[16:20], digest[20:32])
+    )
+
+
+def _dataset(namespace, name):
+    return {"namespace": namespace, "name": name}
+
+
+def _column_lineage_facet(entry, namespace):
+    fields = {}
+    for column in entry.output_columns:
+        sources = entry.contributions.get(column, set())
+        input_fields = [
+            {
+                "namespace": namespace,
+                "name": source.table,
+                "field": source.column,
+                "transformationType": "IDENTITY",
+            }
+            for source in sorted(sources)
+        ]
+        for source in sorted(entry.referenced):
+            if source not in sources:
+                input_fields.append(
+                    {
+                        "namespace": namespace,
+                        "name": source.table,
+                        "field": source.column,
+                        "transformationType": "INDIRECT",
+                    }
+                )
+        fields[column] = {"inputFields": input_fields}
+    return {
+        "_producer": PRODUCER,
+        "_schemaURL": (
+            "https://openlineage.io/spec/facets/1-0-1/"
+            "ColumnLineageDatasetFacet.json"
+        ),
+        "fields": fields,
+    }
+
+
+def graph_to_openlineage(graph, namespace="repro", indent=2):
+    """Render the lineage graph as a JSON array of OpenLineage run events."""
+    events = []
+    for entry in sorted(graph.views, key=lambda view: view.name):
+        run_id = _run_id(entry.name, entry.sql)
+        inputs = [
+            _dataset(namespace, table) for table in sorted(entry.source_tables)
+        ]
+        output = _dataset(namespace, entry.name)
+        output["facets"] = {
+            "columnLineage": _column_lineage_facet(entry, namespace)
+        }
+        events.append(
+            {
+                "eventType": "COMPLETE",
+                "eventTime": EVENT_TIME,
+                "producer": PRODUCER,
+                "schemaURL": SCHEMA_URL,
+                "run": {"runId": run_id},
+                "job": {"namespace": namespace, "name": entry.name},
+                "inputs": inputs,
+                "outputs": [output],
+            }
+        )
+    return json.dumps(events, indent=indent, sort_keys=True) + "\n"

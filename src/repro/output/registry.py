@@ -149,6 +149,22 @@ def _render_markdown(graph, stats=None, title="Lineage"):
     return graph_to_markdown(graph, stats=stats, title=title)
 
 
+@register_renderer("mermaid", content_type="text/vnd.mermaid; charset=utf-8")
+def _render_mermaid(graph, stats=None, direction="LR", include_columns=False):
+    from .mermaid_output import graph_to_mermaid
+
+    return graph_to_mermaid(
+        graph, direction=direction, include_columns=include_columns
+    )
+
+
+@register_renderer("openlineage", content_type="application/json; charset=utf-8")
+def _render_openlineage(graph, stats=None, namespace="repro", indent=2):
+    from .openlineage_output import graph_to_openlineage
+
+    return graph_to_openlineage(graph, namespace=namespace, indent=indent)
+
+
 @register_renderer("stats")
 def _render_stats(graph, stats=None):
     if stats is None:

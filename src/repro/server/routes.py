@@ -22,7 +22,8 @@ from ..analysis.ordering import (
     root_tables,
     terminal_views,
 )
-from ..core.errors import CyclicDependencyError
+from ..analysis.selector import SelectorError, selector_impact
+from ..core.errors import CyclicDependencyError, UnknownColumnError
 from ..output.registry import UnknownFormatError, render_bytes, renderer_names
 
 _DIRECTIONS = ("downstream", "upstream")
@@ -96,17 +97,71 @@ async def handle_stats(app):
     return Response.json(payload)
 
 
+def _parse_max_depth(request):
+    text = request.query.get("max_depth")
+    if text is None or text == "":
+        return None
+    try:
+        value = int(text)
+    except ValueError:
+        raise BadRequestError(f"max_depth must be an integer, got {text!r}") from None
+    if value < 1:
+        raise BadRequestError(f"max_depth must be positive, got {value}")
+    return value
+
+
+def _restore_selector_pluses(text):
+    """Undo querystring ``+``-to-space decoding on a selector value.
+
+    ``GET /impact?selector=+web.page+`` reaches us as ``" web.page "``
+    because ``+`` is the form encoding of a space.  Column names cannot
+    contain spaces, so leading/trailing spaces can only ever be decoded
+    pluses — map them back (clients sending ``%2B`` are unaffected).
+    """
+    stripped = text.strip(" ")
+    leading = len(text) - len(text.lstrip(" "))
+    trailing = len(text) - len(text.rstrip(" "))
+    return "+" * leading + stripped + "+" * trailing
+
+
 def handle_impact(app, request):
+    snapshot = app.snapshots.current()
+    max_depth = _parse_max_depth(request)
+
+    selector_text = request.query.get("selector")
+    if selector_text is not None:
+        try:
+            outcome = selector_impact(
+                snapshot.graph,
+                _restore_selector_pluses(selector_text),
+                max_depth=max_depth,
+            )
+        except SelectorError as error:
+            raise BadRequestError(str(error)) from None
+        except UnknownColumnError as error:
+            return Response.error(404, str(error))
+        payload = outcome.to_payload()
+        payload["snapshot_version"] = snapshot.version
+        return Response.json(payload)
+
     column = request.query.get("column")
     if not column:
-        raise BadRequestError("missing required query parameter: column")
+        raise BadRequestError("missing required query parameter: column or selector")
     direction = request.query.get("direction", "downstream")
     if direction not in _DIRECTIONS:
         raise BadRequestError(
             f"direction must be one of {', '.join(_DIRECTIONS)}, got {direction!r}"
         )
-    snapshot = app.snapshots.current()
-    result = impact_analysis(snapshot.graph, column, direction=direction)
+    try:
+        result = impact_analysis(
+            snapshot.graph, column, direction=direction,
+            max_depth=max_depth, missing="raise",
+        )
+    except UnknownColumnError as error:
+        return Response.error(404, str(error))
+    except ValueError as error:
+        # an unqualified name is a malformed request, not a missing column
+        raise BadRequestError(str(error)) from None
     return Response.json(
         {
             "start": str(result.start),

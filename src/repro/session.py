@@ -232,6 +232,7 @@ class LineageSession:
         #: threads may trigger one explicitly).  An RLock keeps the
         #: refresh() -> extract() fallback re-entrant.
         self._write_lock = threading.RLock()
+        self._snapshot_cache = None  # (graph, state token, frozen view)
 
     # ------------------------------------------------------------------
     @property
@@ -437,7 +438,21 @@ class LineageSession:
         result = self._result
         if result is None:
             return None
-        return result.graph.freeze()
+        graph = result.graph
+        token = graph._state_token()
+        cached = self._snapshot_cache
+        if (
+            cached is not None
+            and cached[0] is graph
+            and cached[1] == token
+        ):
+            return cached[2]
+        seed = cached[2].reachability(build=False) if cached is not None else None
+        frozen = graph.freeze(reach_seed=seed)
+        # hold the graph reference so an ``is`` hit can never alias a new
+        # object reusing a collected graph's id
+        self._snapshot_cache = (graph, token, frozen)
+        return frozen
 
     def render(self, fmt, **options):
         """Render the last result through the renderer registry."""

@@ -1,0 +1,131 @@
+"""The InfoTracker-style selector surface."""
+
+import pytest
+
+from repro.analysis.impact import impact_analysis, merge_impacts
+from repro.analysis.selector import (
+    SelectorError,
+    parse_selector,
+    selector_impact,
+    selector_starts,
+)
+from repro.core.column_refs import ColumnName
+from repro.core.errors import UnknownColumnError
+
+
+class TestParse:
+    def test_bare_column_defaults_downstream(self):
+        selector = parse_selector("web.page")
+        assert (selector.table, selector.column) == ("web", "page")
+        assert not selector.wildcard
+        assert selector.directions == ["downstream"]
+
+    def test_plus_prefix_is_upstream(self):
+        selector = parse_selector("+info.age")
+        assert selector.directions == ["upstream"]
+
+    def test_plus_suffix_is_downstream(self):
+        selector = parse_selector("web.page+")
+        assert selector.directions == ["downstream"]
+
+    def test_both_pluses_walk_both_ways(self):
+        selector = parse_selector("+webact.wpage+")
+        assert selector.directions == ["upstream", "downstream"]
+
+    def test_table_star_is_a_wildcard(self):
+        selector = parse_selector("web.*")
+        assert selector.wildcard and selector.table == "web"
+
+    def test_schema_qualified_star(self):
+        selector = parse_selector("+analytics.web.*")
+        assert selector.wildcard
+        assert selector.table == "analytics.web"
+        assert selector.directions == ["upstream"]
+
+    def test_bare_table_name_selects_all_columns(self):
+        selector = parse_selector("web")
+        assert selector.wildcard and selector.table == "web"
+
+    def test_surrounding_whitespace_is_tolerated(self):
+        selector = parse_selector("  +web.page+  ")
+        assert selector.directions == ["upstream", "downstream"]
+
+    @pytest.mark.parametrize("bad", ["", "+", "++", ".*", "+.*+", "a++b"])
+    def test_malformed_selectors_raise(self, bad):
+        with pytest.raises(SelectorError):
+            parse_selector(bad)
+
+
+class TestStarts:
+    def test_wildcard_expands_to_all_columns(self, example1_graph):
+        starts = selector_starts(example1_graph, parse_selector("web.*"))
+        assert ColumnName.of("web", "page") in starts
+        assert len(starts) == len(example1_graph.columns_of("web"))
+
+    def test_unknown_table_raises_with_hint(self, example1_graph):
+        with pytest.raises(UnknownColumnError) as caught:
+            selector_starts(example1_graph, parse_selector("webb.*"))
+        assert "webb" in str(caught.value)
+
+
+class TestImpactLowering:
+    def test_downstream_selector_matches_plain_impact(self, example1_graph):
+        outcome = selector_impact(example1_graph, "web.page+")
+        plain = impact_analysis(example1_graph, "web.page")
+        assert outcome.downstream.all_columns == plain.all_columns
+        assert outcome.upstream is None
+
+    def test_both_directions_run_both_queries(self, example1_graph):
+        outcome = selector_impact(example1_graph, "+webact.wpage+")
+        up = impact_analysis(example1_graph, "webact.wpage", direction="upstream")
+        down = impact_analysis(example1_graph, "webact.wpage")
+        assert outcome.upstream.all_columns == up.all_columns
+        assert outcome.downstream.all_columns == down.all_columns
+
+    def test_wildcard_merges_per_column_results(self, example1_graph):
+        outcome = selector_impact(example1_graph, "web.*")
+        merged = merge_impacts(
+            impact_analysis(example1_graph, start)
+            for start in selector_starts(example1_graph, parse_selector("web.*"))
+        )
+        assert outcome.downstream.all_columns == merged.all_columns
+        assert outcome.downstream.both == merged.both
+
+    def test_merge_unions_kinds_across_starts(self, example1_graph):
+        # a column contributed from one start and referenced from another
+        # must come out as "both" in the merged partition
+        merged = selector_impact(example1_graph, "web.*").downstream
+        for column in merged.both:
+            assert merged.kind_of(column) == "both"
+        assert not (merged.contributed & merged.referenced)
+
+    def test_unknown_column_raises(self, example1_graph):
+        with pytest.raises(UnknownColumnError):
+            selector_impact(example1_graph, "web.nope+")
+
+    def test_max_depth_lowering(self, example1_graph):
+        limited = selector_impact(example1_graph, "web.page+", max_depth=1)
+        full = selector_impact(example1_graph, "web.page+")
+        assert limited.downstream.all_columns < full.downstream.all_columns
+
+    def test_indexed_and_bfs_lowering_agree(self, example1_graph):
+        frozen = example1_graph.freeze()
+        indexed = selector_impact(frozen, "+web.*+")
+        bfs = selector_impact(example1_graph, "+web.*+", method="bfs")
+        for direction in ("upstream", "downstream"):
+            left = getattr(indexed, direction)
+            right = getattr(bfs, direction)
+            assert left.to_rows() == right.to_rows()
+
+    def test_payload_and_report_shapes(self, example1_graph):
+        outcome = selector_impact(example1_graph, "+web.page+")
+        payload = outcome.to_payload()
+        assert payload["selector"] == "+web.page+"
+        assert payload["starts"] == ["web.page"]
+        assert {"upstream", "downstream"} <= set(payload)
+        for direction in ("upstream", "downstream"):
+            for row in payload[direction]["columns"]:
+                assert set(row) == {"table", "column", "kind"}
+        report = outcome.report()
+        assert "selector +web.page+" in report
+        assert "downstream:" in report and "upstream:" in report

@@ -80,6 +80,29 @@ class TestTopologyKnobs:
         )
         assert not result.report.unresolved
 
+    def test_mesh_raises_edge_density(self):
+        """Mesh views coalesce columns across three sources, so the column
+        graph carries several in-edges of mixed kinds per output column."""
+
+        def density(warehouse):
+            result = LineageXRunner(catalog=warehouse.catalog()).run(
+                dict(warehouse.views)
+            )
+            assert not result.report.unresolved
+            edges = list(result.graph.edges())
+            nodes = {e.source for e in edges} | {e.target for e in edges}
+            return len(edges) / len(nodes), {e.kind for e in edges}
+
+        plain_density, _ = density(
+            workload.generate_warehouse(num_views=80, seed=31)
+        )
+        mesh_density, mesh_kinds = density(
+            workload.generate_warehouse(num_views=80, seed=31, mesh_probability=0.7)
+        )
+        assert mesh_density > plain_density
+        assert mesh_density > 3.0
+        assert mesh_kinds == {"contribute", "reference", "both"}
+
     def test_multi_schema_names_are_qualified_and_resolve(self):
         warehouse = workload.generate_warehouse(
             num_base_tables=6, num_views=40, seed=23, num_schemas=3
@@ -100,8 +123,9 @@ class TestStreamedWarehouse:
             dict(num_views=80, seed=11, extended_probability=0.3),
             dict(num_views=80, seed=11, deep_chain_probability=0.4),
             dict(num_views=60, seed=5, fanout_probability=0.3, num_schemas=4),
+            dict(num_views=70, seed=9, mesh_probability=0.4, deep_chain_probability=0.3),
         ],
-        ids=["classic", "extended", "deep-chain", "fanout-multischema"],
+        ids=["classic", "extended", "deep-chain", "fanout-multischema", "mesh"],
     )
     def test_stream_matches_materialized(self, config):
         warehouse = workload.generate_warehouse(**config)

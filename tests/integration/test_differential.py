@@ -298,6 +298,85 @@ def test_full_vs_incremental_equivalence(seed):
 
 
 # ----------------------------------------------------------------------
+# indexed vs BFS impact queries: the reachability-index axis
+# ----------------------------------------------------------------------
+def _impact_signature(graph, method):
+    """Every column's partition in both directions, as one text blob."""
+    from repro.analysis.impact import impact_analysis
+
+    columns = sorted(
+        set(graph.column_adjacency("downstream"))
+        | set(graph.column_adjacency("upstream"))
+    )
+    lines = []
+    for column in columns:
+        for direction in ("downstream", "upstream"):
+            result = impact_analysis(
+                graph, column, direction=direction, method=method
+            )
+            rows = ";".join(
+                f"{table}.{name}:{kind}" for table, name, kind in result.to_rows()
+            )
+            lines.append(f"{column}\t{direction}\t{rows}")
+    return "\n".join(lines)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_indexed_impact_equivalence(seed, tmp_path):
+    """The precomputed reachability index must answer every impact query
+    byte-identically to the kind-tracking BFS — on dag and stack graphs,
+    over cold and warm stores, through frozen snapshots and on live graphs
+    with a forced index build."""
+    warehouse = _warehouse(seed)
+    store = LineageStore(tmp_path / "cache")
+    try:
+        cold = _run(warehouse, store=store)
+        warm = _run(warehouse, store=store)
+    finally:
+        store.close()
+    stack = _run(warehouse, mode="stack")
+
+    for axis, result in (("cold", cold), ("warm", warm), ("stack", stack)):
+        graph = result.graph
+        bfs = _impact_signature(graph, "bfs")
+        _assert_equivalent(
+            seed, warehouse, f"index-frozen-{axis}",
+            bfs, _impact_signature(graph.freeze(), "auto"),
+        )
+        graph.reachability()  # force a live build; auto must then use it
+        _assert_equivalent(
+            seed, warehouse, f"index-live-{axis}",
+            bfs, _impact_signature(graph, "auto"),
+        )
+
+
+@pytest.mark.parametrize("seed", SEEDS[:1] if SMOKE else SEEDS[:3])
+def test_indexed_impact_serving_equivalence(seed):
+    """The index pinned into the daemon's published snapshot answers
+    identically to BFS over the same frozen graph."""
+    import asyncio
+
+    from repro.server import LineageApp
+
+    warehouse = _classic_warehouse(seed)
+
+    async def serve():
+        app = LineageApp(catalog=warehouse.catalog(), batch_window=0.002)
+        await app.start(port=0)
+        try:
+            await app.preload(dict(warehouse.views))
+            return app.snapshots.current().graph
+        finally:
+            await app.stop()
+
+    graph = asyncio.run(serve())
+    _assert_equivalent(
+        seed, warehouse, "index-serving",
+        _impact_signature(graph, "bfs"), _impact_signature(graph, "auto"),
+    )
+
+
+# ----------------------------------------------------------------------
 # the serving daemon: shuffled concurrent /extract batches vs one shot
 # ----------------------------------------------------------------------
 def _classic_warehouse(seed):

@@ -14,7 +14,7 @@ from repro.core.runner import LineageXRunner
 from repro.datasets import workload
 from repro.store import LineageStore
 
-FORMATS = ["csv", "dot", "markdown", "text", "json", "html"]
+FORMATS = ["csv", "dot", "markdown", "text", "json", "html", "mermaid", "openlineage"]
 
 
 @pytest.fixture(scope="module")

@@ -1,0 +1,99 @@
+"""The mermaid and OpenLineage renderers added alongside the reach index."""
+
+import json
+
+import pytest
+
+from repro.output.mermaid_output import graph_to_mermaid
+from repro.output.openlineage_output import EVENT_TIME, graph_to_openlineage
+from repro.output.registry import content_type_of, render, renderer_names
+
+
+class TestMermaid:
+    def test_flowchart_header_and_direction(self, example1_graph):
+        text = example1_graph_mermaid = graph_to_mermaid(example1_graph)
+        assert text.startswith("flowchart LR\n")
+        assert graph_to_mermaid(example1_graph, direction="TD").startswith(
+            "flowchart TD\n"
+        )
+
+    def test_base_tables_are_cylinders_views_rounded(self, example1_graph):
+        text = graph_to_mermaid(example1_graph)
+        assert '[("web")]' in text  # base table -> cylinder
+        assert '("webinfo")' in text and '[("webinfo")]' not in text
+
+    def test_table_edges_present(self, example1_graph):
+        text = graph_to_mermaid(example1_graph)
+        ids = {
+            name: f"n{i}"
+            for i, name in enumerate(sorted(example1_graph.relations))
+        }
+        assert f"    {ids['web']} --> {ids['webinfo']}" in text
+
+    def test_base_class_styling(self, example1_graph):
+        text = graph_to_mermaid(example1_graph)
+        assert "classDef base" in text
+        assert "class " in text
+
+    def test_include_columns_adds_labels(self, example1_graph):
+        text = graph_to_mermaid(example1_graph, include_columns=True)
+        assert "<br/>" in text and "page" in text
+
+    def test_quote_escaping(self):
+        from repro.core.lineage import LineageGraph, TableLineage
+
+        graph = LineageGraph()
+        entry = TableLineage(name='we"ird', is_base_table=True)
+        entry.add_output_column("a")
+        graph.add(entry)
+        text = graph_to_mermaid(graph)
+        assert "#quot;" in text and '"we"ird"' not in text
+
+
+class TestOpenLineage:
+    def test_document_is_sorted_run_events(self, example1_graph):
+        events = json.loads(graph_to_openlineage(example1_graph))
+        assert [event["job"]["name"] for event in events] == sorted(
+            view.name for view in example1_graph.views
+        )
+        for event in events:
+            assert event["eventType"] == "COMPLETE"
+            assert event["eventTime"] == EVENT_TIME
+
+    def test_column_lineage_facet_kinds(self, example1_graph):
+        events = json.loads(graph_to_openlineage(example1_graph))
+        by_name = {event["job"]["name"]: event for event in events}
+        facet = by_name["webinfo"]["outputs"][0]["facets"]["columnLineage"]
+        wpage = facet["fields"]["wpage"]["inputFields"]
+        identities = {
+            (field["name"], field["field"])
+            for field in wpage
+            if field["transformationType"] == "IDENTITY"
+        }
+        assert ("web", "page") in identities
+
+    def test_run_ids_deterministic_and_distinct(self, example1_graph):
+        first = json.loads(graph_to_openlineage(example1_graph))
+        second = json.loads(graph_to_openlineage(example1_graph))
+        assert first == second
+        run_ids = [event["run"]["runId"] for event in first]
+        assert len(set(run_ids)) == len(run_ids)
+
+    def test_namespace_option(self, example1_graph):
+        events = json.loads(graph_to_openlineage(example1_graph, namespace="prod"))
+        assert all(event["job"]["namespace"] == "prod" for event in events)
+
+
+class TestRegistration:
+    def test_new_formats_registered(self):
+        assert {"mermaid", "openlineage"} <= set(renderer_names())
+
+    def test_content_types(self):
+        assert content_type_of("mermaid") == "text/vnd.mermaid; charset=utf-8"
+        assert content_type_of("openlineage") == "application/json; charset=utf-8"
+
+    def test_render_dispatch(self, example1_result):
+        assert render(example1_result, "mermaid") == graph_to_mermaid(
+            example1_result.graph
+        )
+        assert json.loads(render(example1_result, "openlineage"))

@@ -1,0 +1,166 @@
+"""The `/impact` selector surface and the new render formats over HTTP."""
+
+from tests.server.test_app import V1, V2, _json, _request, _with_app
+
+
+async def _preloaded(app):
+    await app.preload({"v1": V1, "v2": V2})
+
+
+class TestLegacyColumnQueries:
+    def test_known_column_shape_preserved(self):
+        async def check(app, host, port):
+            await _preloaded(app)
+            status, payload = await _json(host, port, "GET", "/impact?column=t1.a")
+            assert status == 200
+            assert payload["start"] == "t1.a"
+            assert payload["impacted_tables"] == ["v1", "v2"]
+            assert payload["snapshot_version"] == 1
+
+        _with_app(check)
+
+    def test_unknown_column_is_404_with_hint(self):
+        async def check(app, host, port):
+            await _preloaded(app)
+            status, payload = await _json(host, port, "GET", "/impact?column=t1.aa")
+            assert status == 404
+            assert "unknown column 't1.aa'" in payload["error"]
+            assert "t1.a" in payload["error"]  # nearest-name hint
+
+        _with_app(check)
+
+    def test_unknown_table_is_404(self):
+        async def check(app, host, port):
+            await _preloaded(app)
+            status, payload = await _json(host, port, "GET", "/impact?column=tt.x")
+            assert status == 404
+            assert "unknown column" in payload["error"]
+
+        _with_app(check)
+
+    def test_max_depth_limits_legacy_queries(self):
+        async def check(app, host, port):
+            await _preloaded(app)
+            status, payload = await _json(
+                host, port, "GET", "/impact?column=t1.a&max_depth=1"
+            )
+            assert status == 200
+            assert payload["impacted_tables"] == ["v1"]
+
+        _with_app(check)
+
+    def test_bad_max_depth_is_400(self):
+        async def check(app, host, port):
+            await _preloaded(app)
+            for bad in ("abc", "0", "-2"):
+                status, payload = await _json(
+                    host, port, "GET", f"/impact?column=t1.a&max_depth={bad}"
+                )
+                assert status == 400, bad
+                assert "max_depth" in payload["error"]
+
+        _with_app(check)
+
+
+class TestSelectorQueries:
+    def test_urlencoded_plus_prefix(self):
+        async def check(app, host, port):
+            await _preloaded(app)
+            status, payload = await _json(
+                host, port, "GET", "/impact?selector=%2Bv2.a"
+            )
+            assert status == 200
+            assert payload["selector"] == "+v2.a"
+            tables = payload["upstream"]["impacted_tables"]
+            assert tables == ["t1", "v1"]
+            assert "downstream" not in payload
+
+        _with_app(check)
+
+    def test_literal_plus_survives_query_decoding(self):
+        # parse_qs turns a raw "+" into a space; the handler must map
+        # leading/trailing spaces back to pluses
+        async def check(app, host, port):
+            await _preloaded(app)
+            status, payload = await _json(
+                host, port, "GET", "/impact?selector=+v1.*+"
+            )
+            assert status == 200
+            assert payload["selector"] == "+v1.*+"
+            assert payload["upstream"]["impacted_tables"] == ["t1"]
+            assert payload["downstream"]["impacted_tables"] == ["v2"]
+
+        _with_app(check)
+
+    def test_wildcard_and_max_depth(self):
+        async def check(app, host, port):
+            await _preloaded(app)
+            status, payload = await _json(
+                host, port, "GET", "/impact?selector=t1.a%2B&max_depth=1"
+            )
+            assert status == 200
+            assert payload["downstream"]["impacted_tables"] == ["v1"]
+
+        _with_app(check)
+
+    def test_malformed_selector_is_400(self):
+        async def check(app, host, port):
+            await _preloaded(app)
+            status, payload = await _json(
+                host, port, "GET", "/impact?selector=%2B%2B"
+            )
+            assert status == 400
+            assert "selector" in payload["error"]
+
+        _with_app(check)
+
+    def test_unknown_selector_column_is_404(self):
+        async def check(app, host, port):
+            await _preloaded(app)
+            status, payload = await _json(
+                host, port, "GET", "/impact?selector=v1.zz%2B"
+            )
+            assert status == 404
+            assert "unknown column" in payload["error"]
+
+        _with_app(check)
+
+    def test_selector_results_come_from_snapshot(self):
+        async def check(app, host, port):
+            await _preloaded(app)
+            status, payload = await _json(
+                host, port, "GET", "/impact?selector=%2Bv2.a"
+            )
+            assert status == 200
+            assert payload["snapshot_version"] == 1
+
+        _with_app(check)
+
+
+class TestNewRenderFormats:
+    def test_mermaid_over_http(self):
+        async def check(app, host, port):
+            await _preloaded(app)
+            status, headers, body = await _request(
+                host, port, "GET", "/render/mermaid"
+            )
+            assert status == 200
+            assert headers["content-type"] == "text/vnd.mermaid; charset=utf-8"
+            assert body.decode().startswith("flowchart LR")
+
+        _with_app(check)
+
+    def test_openlineage_over_http(self):
+        import json
+
+        async def check(app, host, port):
+            await _preloaded(app)
+            status, headers, body = await _request(
+                host, port, "GET", "/render/openlineage"
+            )
+            assert status == 200
+            assert headers["content-type"] == "application/json; charset=utf-8"
+            events = json.loads(body)
+            assert [event["job"]["name"] for event in events] == ["v1", "v2"]
+
+        _with_app(check)
