@@ -71,7 +71,7 @@ from .output.registry import (
     renderer_names,
 )
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "lineagex",

@@ -366,6 +366,33 @@ def build_subcommand_parser():
         help="how long the ingest loop gathers concurrent /extract requests "
         "into one micro-batch (default: 10 ms)",
     )
+    serve.add_argument(
+        "--journal-dir", metavar="DIR", default=None,
+        help="ingest write-ahead journal: every accepted statement is "
+        "fsync'd here before extraction, and a restarted daemon replays "
+        "it to recover acknowledged-but-unpublished work (crash safety)",
+    )
+    serve.add_argument(
+        "--no-journal-fsync", action="store_true",
+        help="skip the per-batch fsync on the journal (benchmark ablation: "
+        "still SIGKILL-safe, no longer power-loss-safe)",
+    )
+    serve.add_argument(
+        "--max-pending", type=_positive_int, metavar="N", default=None,
+        help="bound the ingest queue: beyond N pending /extract requests "
+        "the daemon sheds with 503 + Retry-After (default: unbounded)",
+    )
+    serve.add_argument(
+        "--request-timeout-ms", type=float, metavar="MS", default=None,
+        help="per-request /extract deadline; past it the client gets 503 "
+        "and may safely resubmit (default: none)",
+    )
+    serve.add_argument(
+        "--max-batch-statements", type=_positive_int, metavar="N",
+        default=None,
+        help="split micro-batches beyond N statements into chunks that "
+        "extract and publish separately (default: unbounded)",
+    )
     serve.set_defaults(handler=_cmd_serve)
 
     return parser
@@ -556,6 +583,11 @@ def _cmd_cache(args, stdout):
 
 def _cmd_serve(args, stdout):
     from .server import LineageApp
+    from .testing import faults
+
+    # a REPRO_FAULTS plan (the chaos/crash suites run daemons this way)
+    # activates before anything that has injection sites is constructed
+    faults.install_from_env()
 
     catalog = None
     if args.catalog:
@@ -583,6 +615,13 @@ def _cmd_serve(args, stdout):
         catalog=catalog,
         strict=args.strict,
         batch_window=args.batch_window_ms / 1000.0,
+        journal_dir=args.journal_dir,
+        journal_fsync=not args.no_journal_fsync,
+        max_pending=args.max_pending or 0,
+        request_timeout=(
+            args.request_timeout_ms / 1000.0 if args.request_timeout_ms else None
+        ),
+        max_batch_statements=args.max_batch_statements or 0,
     )
     return app.run(host=args.host, port=args.port, preload=preload, out=stdout)
 

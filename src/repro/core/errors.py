@@ -134,6 +134,33 @@ class DeferralLimitExceededError(CyclicDependencyError):
         return (type(self), (self.stack, self.limit))
 
 
+class SessionClosedError(LineageError):
+    """An extraction was attempted on (or raced) a closed session.
+
+    :meth:`repro.session.LineageSession.close` releases the persistent
+    store; an ``extract()``/``refresh()`` that starts after the close — or
+    is in flight when the close lands — must fail loudly rather than
+    silently adopting a result whose store writes were dropped mid-flush.
+    The serving daemon's shutdown path relies on this: a racing refresher
+    gets a clear error instead of a half-written cache.
+
+    Attributes
+    ----------
+    operation:
+        The session method that was refused (``"extract"`` / ``"refresh"``).
+    """
+
+    def __init__(self, operation="operation"):
+        self.operation = operation
+        super().__init__(
+            f"session is closed: {operation}() after close() "
+            "(or close() landed while it was in flight)"
+        )
+
+    def __reduce__(self):
+        return (type(self), (self.operation,))
+
+
 class LineageRecordError(LineageError):
     """A serialized lineage record is malformed or of an unsupported version.
 

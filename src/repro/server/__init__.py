@@ -2,33 +2,51 @@
 
 Start it from the command line::
 
-    python -m repro serve --cache-dir .lineage-cache --workers 4
+    python -m repro serve --cache-dir .lineage-cache --workers 4 \
+        --journal-dir .lineage-journal
 
 or embed it::
 
     from repro.server import LineageApp
 
-    app = LineageApp(cache_dir=".lineage-cache")
+    app = LineageApp(cache_dir=".lineage-cache", journal_dir=".lineage-journal")
     app.run(host="127.0.0.1", port=8765)
 
 Design in one paragraph: all writes (``POST /extract``) funnel through a
 single micro-batching ingest loop that dedupes statements by content
-hash before parsing and runs one incremental ``refresh()`` per batch on
+hash before parsing, journals every accepted novel statement (fsync'd)
+before extraction, and runs one incremental ``refresh()`` per batch on
 a worker thread; after each successful batch an immutable frozen graph
 snapshot is published by an atomic reference swap, and every read
 endpoint (``/impact``, ``/ordering``, ``/render/{fmt}``, ``/stats``,
-``/health``) serves from the snapshot it grabbed with no locks — a slow
-render can neither block nor observe a half-applied ingest.
+``/health``, ``/quarantine``) serves from the snapshot it grabbed with
+no locks — a slow render can neither block nor observe a half-applied
+ingest.  Poison statements quarantine individually instead of failing
+their batch, overload sheds with 503 + Retry-After, and a SIGKILL'd
+daemon replays its journal on restart to a byte-identical graph.
 """
 
 from .app import LineageApp
-from .batcher import IngestBatcher, statement_hash
+from .batcher import (
+    ExtractionFailed,
+    IngestBatcher,
+    OverloadedError,
+    statement_hash,
+)
 from .http import Request, Response
+from .journal import IngestJournal, JournalError, JournalWriteError
+from .quarantine import Quarantine
 from .snapshot import Snapshot, SnapshotManager
 
 __all__ = [
+    "ExtractionFailed",
     "IngestBatcher",
+    "IngestJournal",
+    "JournalError",
+    "JournalWriteError",
     "LineageApp",
+    "OverloadedError",
+    "Quarantine",
     "Request",
     "Response",
     "Snapshot",

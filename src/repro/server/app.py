@@ -12,9 +12,20 @@
   read endpoint serves from without locking;
 * the minimal asyncio HTTP layer in :mod:`repro.server.http`.
 
+Durability (PR 9): pass ``journal_dir`` and every accepted novel
+statement is written to an :class:`~repro.server.journal.IngestJournal`
+before extraction; :meth:`start` replays the journal through the normal
+batching path before binding the socket, so a SIGKILL'd daemon restarts
+to the graph it would have had uninterrupted.  Boot order is **preload
+first, then replay**: journal entries postdate any corpus the daemon was
+originally started with, so replay must win name redefinitions.
+
 ``python -m repro serve`` builds one of these and calls :meth:`run`,
 which blocks until SIGINT/SIGTERM and then shuts down cleanly: stop
-accepting connections, drain the ingest queue, release the store.
+accepting connections, drain the ingest queue, release the store.  A
+SIGTERM that lands *during* preload aborts the load and still exits 0 —
+preload is never journaled (the corpus lives on disk already), so an
+aborted load leaves no journal entry behind.
 """
 
 import asyncio
@@ -26,6 +37,8 @@ from concurrent.futures import ThreadPoolExecutor
 
 from .batcher import IngestBatcher
 from .http import serve_connection
+from .journal import IngestJournal
+from .quarantine import Quarantine
 from .routes import dispatch
 from .snapshot import SnapshotManager
 from ..core.lineage import LineageGraph
@@ -46,6 +59,12 @@ class LineageApp:
         catalog=None,
         strict=False,
         batch_window=0.010,
+        journal_dir=None,
+        journal_fsync=True,
+        max_pending=0,
+        request_timeout=None,
+        max_batch_statements=0,
+        quarantine=None,
     ):
         if session is None:
             session = LineageSession(
@@ -70,12 +89,24 @@ class LineageApp:
         self.executor = ThreadPoolExecutor(
             max_workers=3, thread_name_prefix="lineage-serve"
         )
+        self.journal = (
+            IngestJournal(journal_dir, fsync=journal_fsync)
+            if journal_dir else None
+        )
+        self.request_timeout = (
+            float(request_timeout) if request_timeout else None
+        )
         self.batcher = IngestBatcher(
             session, self.snapshots, executor=self.executor,
             batch_window=batch_window,
+            journal=self.journal,
+            quarantine=quarantine if quarantine is not None else Quarantine(),
+            max_pending=max_pending,
+            max_batch_statements=max_batch_statements,
         )
         self._started = time.monotonic()
         self._server = None
+        self._recovered = False
 
     def uptime(self):
         return time.monotonic() - self._started
@@ -91,14 +122,34 @@ class LineageApp:
         """Start the ingest loop and bind the listening socket.
 
         Returns the bound ``(host, port)`` — pass ``port=0`` to let the
-        OS pick a free one (tests and benchmarks do).
+        OS pick a free one (tests and benchmarks do).  Journal recovery
+        runs *before* the socket binds: a client can never observe the
+        daemon missing statements it already acknowledged.
         """
         self.batcher.start()
+        await self.recover()
         self._server = await asyncio.start_server(
             self._on_connection, host=host, port=port
         )
         bound = self._server.sockets[0].getsockname()
         return bound[0], bound[1]
+
+    async def recover(self):
+        """Replay the journal through the normal ingest path (idempotent).
+
+        Returns the number of statements replayed.  Replay submissions
+        carry ``journal=False`` — the entries are already durable.
+        """
+        if self.journal is None or self._recovered:
+            return 0
+        self._recovered = True
+        self.batcher.start()
+        entries = await asyncio.get_running_loop().run_in_executor(
+            self.executor, self.journal.replay_entries
+        )
+        if not entries:
+            return 0
+        return await self.batcher.replay(entries)
 
     async def _on_connection(self, reader, writer):
         await serve_connection(reader, writer, self.handle)
@@ -108,10 +159,13 @@ class LineageApp:
 
         Used by ``serve INPUT`` to warm the daemon before it announces
         readiness; the statements register in the dedupe index exactly as
-        if a client had POSTed them.
+        if a client had POSTed them.  Preload is **not journaled**
+        (``journal=False``): the corpus already lives on disk, so
+        re-serving it after a crash is the caller's restart command, not
+        the journal's job.
         """
         if statements:
-            await self.batcher.submit(dict(statements))
+            await self.batcher.submit(dict(statements), journal=False)
 
     async def stop(self):
         """Graceful shutdown: close the socket, drain ingest, release stores."""
@@ -121,6 +175,8 @@ class LineageApp:
             self._server = None
         await self.batcher.stop()
         self.executor.shutdown(wait=True)
+        if self.journal is not None:
+            self.journal.close()
         self.session.close()
 
     # ------------------------------------------------------------------
@@ -145,7 +201,24 @@ class LineageApp:
             self.batcher.start()
             if preload:
                 count = len(preload)
-                await self.preload(preload)
+                # race the load against shutdown: a SIGTERM mid-preload
+                # must abort the load and still exit 0 (and since preload
+                # is unjournaled, it leaves no journal entry behind)
+                load = asyncio.ensure_future(self.preload(preload))
+                interrupted = asyncio.ensure_future(stop_event.wait())
+                await asyncio.wait(
+                    {load, interrupted}, return_when=asyncio.FIRST_COMPLETED
+                )
+                interrupted.cancel()
+                with contextlib.suppress(asyncio.CancelledError):
+                    await interrupted
+                if stop_event.is_set() and not load.done():
+                    load.cancel()
+                    with contextlib.suppress(asyncio.CancelledError, Exception):
+                        await load
+                    print("shutting down", file=out, flush=True)
+                    return 0
+                await load  # done: propagate any preload error
                 print(f"preloaded {count} statements", file=out, flush=True)
             bound_host, bound_port = await self.start(host, port)
             # the readiness line: tests and scripts parse the bound port

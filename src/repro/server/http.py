@@ -65,25 +65,27 @@ class Request:
 
 
 class Response:
-    """One response: status + body bytes + content type."""
+    """One response: status + body bytes + content type (+ extra headers)."""
 
-    __slots__ = ("status", "body", "content_type")
+    __slots__ = ("status", "body", "content_type", "headers")
 
-    def __init__(self, status, body=b"", content_type="text/plain; charset=utf-8"):
+    def __init__(self, status, body=b"", content_type="text/plain; charset=utf-8",
+                 headers=None):
         self.status = int(status)
         self.body = body if isinstance(body, bytes) else str(body).encode("utf-8")
         self.content_type = content_type
+        self.headers = dict(headers) if headers else None
 
     @classmethod
-    def json(cls, payload, status=200):
+    def json(cls, payload, status=200, headers=None):
         """A JSON response (the daemon's default shape)."""
         body = json.dumps(payload, sort_keys=True).encode("utf-8") + b"\n"
-        return cls(status, body, "application/json; charset=utf-8")
+        return cls(status, body, "application/json; charset=utf-8", headers=headers)
 
     @classmethod
-    def error(cls, status, message):
+    def error(cls, status, message, headers=None):
         """A JSON error envelope: ``{"error": message}``."""
-        return cls.json({"error": str(message)}, status=status)
+        return cls.json({"error": str(message)}, status=status, headers=headers)
 
     def encode(self, keep_alive, head_only=False):
         """Serialise status line + headers + body to wire bytes.
@@ -94,11 +96,17 @@ class Response:
         bytes would desync the next request on a keep-alive connection.
         """
         reason = _REASONS.get(self.status, "Unknown")
+        extra = ""
+        if self.headers:
+            extra = "".join(
+                f"{name}: {value}\r\n" for name, value in self.headers.items()
+            )
         head = (
             f"HTTP/1.1 {self.status} {reason}\r\n"
             f"Content-Type: {self.content_type}\r\n"
             f"Content-Length: {len(self.body)}\r\n"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            f"{extra}"
             "\r\n"
         )
         encoded = head.encode("latin-1")

@@ -1,0 +1,383 @@
+"""The ingest write-ahead journal — what makes the daemon crash-safe.
+
+The serving graph lives in memory; the persistent store is a *cache*
+keyed by content hash, not a record of what the daemon has been asked to
+serve.  Before this module, a SIGKILL mid-batch lost every accepted
+statement since boot.  The journal closes that gap: every novel
+statement an ``/extract`` batch accepts is appended here — name,
+canonical text, content hash, a monotonic offset, and a CRC — flushed
+and ``fsync``'d *before* extraction starts.  A restarted daemon replays
+the journal through the normal batcher and arrives at a graph
+byte-identical to an uninterrupted run (the store makes the replay warm,
+so recovery is splice-speed, not parse-speed).
+
+On-disk layout (inside ``--journal-dir``):
+
+* ``segment-<start-offset>.jsonl`` — append-only entry files, one JSON
+  object per line: ``{"o": offset, "n": name, "h": sha256, "c": crc32,
+  "s": sql}``.  A new segment opens every ``segment_max_entries``
+  entries.  A torn final line (the crash landed mid-append) fails its
+  CRC/JSON check and is discarded at replay — by construction only the
+  tail of the newest segment can be torn, because entries before it were
+  fsync'd.
+* ``checkpoint.json`` — ``{"applied": offset}``, rewritten atomically
+  (tmp + fsync + rename) after each snapshot publish.  Entries at or
+  below the checkpoint were *published* before the crash; entries above
+  it are the unapplied suffix.  Replay runs the whole journal (the graph
+  is memory-only), but the checkpoint is what compaction and the
+  SIGTERM-during-preload guarantee are measured against.
+
+Compaction: once every offset of a closed segment is at or below the
+checkpoint (published, hence its extraction durable in the store), the
+applied prefix is rewritten as one segment holding only the *latest*
+entry per name — replaying latest-per-name yields the same final graph,
+so dead redefinitions stop costing replay time and disk.  The rewrite is
+crash-safe: the compacted segment is staged under a temporary name,
+renamed into place, and only then are the superseded segments unlinked;
+a crash between rename and unlink leaves overlapping segments, which
+replay tolerates by deduplicating on offset.
+
+Failure semantics: an append that cannot be made durable raises
+:class:`JournalWriteError`; the batcher fails that batch with a
+*retryable* error (HTTP 503) and the daemon keeps serving — reads and
+duplicate-answering never touch the journal.
+"""
+
+import json
+import os
+import zlib
+
+from ..testing import faults
+
+#: default entries per segment before rotation.
+SEGMENT_MAX_ENTRIES = 1024
+
+_SEGMENT_PREFIX = "segment-"
+_SEGMENT_SUFFIX = ".jsonl"
+_CHECKPOINT = "checkpoint.json"
+
+
+class JournalError(Exception):
+    """Base class for journal failures."""
+
+
+class JournalWriteError(JournalError):
+    """An append or checkpoint could not be made durable."""
+
+
+def _entry_crc(offset, name, digest, sql):
+    payload = f"{offset}\x00{name}\x00{digest}\x00{sql}".encode("utf-8")
+    return zlib.crc32(payload) & 0xFFFFFFFF
+
+
+def _segment_name(start_offset):
+    return f"{_SEGMENT_PREFIX}{start_offset:016d}{_SEGMENT_SUFFIX}"
+
+
+class IngestJournal:
+    """Append-only, fsync'd, checkpointed record of accepted statements.
+
+    Parameters
+    ----------
+    directory:
+        Where segments and the checkpoint live (created if missing).
+    segment_max_entries:
+        Rotation threshold; small values are useful in tests.
+    fsync:
+        ``False`` skips the per-batch ``os.fsync`` (benchmark ablation
+        only — a journal that is not fsync'd does not survive power
+        loss, though it still survives SIGKILL).
+    """
+
+    def __init__(self, directory, segment_max_entries=SEGMENT_MAX_ENTRIES,
+                 fsync=True):
+        self.directory = os.fspath(directory)
+        self.segment_max_entries = max(1, int(segment_max_entries))
+        self.use_fsync = bool(fsync)
+        os.makedirs(self.directory, exist_ok=True)
+        self._handle = None           # open append handle of the active segment
+        self._segment_path = None
+        self._segment_entries = 0     # entries in the active segment
+        self.appended = 0             # entries appended by THIS process
+        self.compactions = 0
+        entries = self._scan()
+        self._entries_on_disk = len(entries)
+        self.next_offset = (max(entries) + 1) if entries else 0
+        self.applied_offset = self._read_checkpoint()
+
+    # ------------------------------------------------------------------
+    # disk scanning
+    # ------------------------------------------------------------------
+    def _segment_paths(self):
+        try:
+            names = sorted(
+                name
+                for name in os.listdir(self.directory)
+                if name.startswith(_SEGMENT_PREFIX)
+                and name.endswith(_SEGMENT_SUFFIX)
+            )
+        except OSError:
+            return []
+        return [os.path.join(self.directory, name) for name in names]
+
+    def _read_segment(self, path):
+        """``{offset: (name, sql, hash)}`` for one segment file.
+
+        A line that fails JSON or CRC validation ends the segment: only a
+        torn tail can produce one, and nothing after a torn write is
+        trustworthy.
+        """
+        entries = {}
+        try:
+            with open(path, "r", encoding="utf-8", errors="replace") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                        offset = int(record["o"])
+                        name = record["n"]
+                        digest = record["h"]
+                        sql = record["s"]
+                        crc = int(record["c"])
+                    except (ValueError, KeyError, TypeError):
+                        break
+                    if _entry_crc(offset, name, digest, sql) != crc:
+                        break
+                    entries[offset] = (name, sql, digest)
+        except OSError:
+            return {}
+        return entries
+
+    def _scan(self):
+        """Every valid entry on disk: ``{offset: (name, sql, hash)}``.
+
+        Offsets are deduplicated (first segment wins) so an interrupted
+        compaction — compacted segment renamed in, old segments not yet
+        unlinked — replays each offset exactly once.
+        """
+        entries = {}
+        for path in self._segment_paths():
+            for offset, entry in self._read_segment(path).items():
+                entries.setdefault(offset, entry)
+        return entries
+
+    def _read_checkpoint(self):
+        try:
+            with open(
+                os.path.join(self.directory, _CHECKPOINT), "r", encoding="utf-8"
+            ) as handle:
+                payload = json.load(handle)
+            return int(payload["applied"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return -1
+
+    # ------------------------------------------------------------------
+    # the write path
+    # ------------------------------------------------------------------
+    def _rotate(self):
+        if self._handle is not None:
+            try:
+                self._handle.close()
+            except OSError:
+                pass
+        self._segment_path = os.path.join(
+            self.directory, _segment_name(self.next_offset)
+        )
+        try:
+            self._handle = open(self._segment_path, "a", encoding="utf-8")
+        except OSError as error:
+            self._handle = None
+            raise JournalWriteError(
+                f"cannot open journal segment {self._segment_path}: {error}"
+            ) from error
+        self._segment_entries = 0
+
+    def append_batch(self, statements):
+        """Durably append ``[(name, sql, hash)]``; returns their offsets.
+
+        The entries are written, flushed, and fsync'd as one batch —
+        extraction must not start until this returns.  Raises
+        :class:`JournalWriteError` if durability cannot be promised.
+        """
+        if not statements:
+            return []
+        if self._handle is None or self._segment_entries >= self.segment_max_entries:
+            self._rotate()
+        offsets = []
+        lines = []
+        for name, sql, digest in statements:
+            offset = self.next_offset + len(offsets)
+            lines.append(
+                json.dumps(
+                    {
+                        "o": offset,
+                        "n": name,
+                        "h": digest,
+                        "c": _entry_crc(offset, name, digest, sql),
+                        "s": sql,
+                    },
+                    sort_keys=True,
+                )
+            )
+            offsets.append(offset)
+        try:
+            self._handle.write("\n".join(lines) + "\n")
+            self._handle.flush()
+            faults.fire("journal.fsync")
+            if self.use_fsync:
+                os.fsync(self._handle.fileno())
+        except (OSError, ValueError, faults.InjectedFault) as error:
+            raise JournalWriteError(f"journal append failed: {error}") from error
+        self.next_offset += len(offsets)
+        self._segment_entries += len(offsets)
+        self._entries_on_disk += len(offsets)
+        self.appended += len(offsets)
+        for _ in offsets:
+            # one hit per durable entry: the crash suite kills the
+            # process "at offset k" by counting these
+            faults.fire("journal.append")
+        return offsets
+
+    def checkpoint(self, offset):
+        """Record that every entry at or below ``offset`` was published."""
+        if offset <= self.applied_offset:
+            return
+        path = os.path.join(self.directory, _CHECKPOINT)
+        staging = path + ".tmp"
+        try:
+            with open(staging, "w", encoding="utf-8") as handle:
+                json.dump({"version": 1, "applied": int(offset)}, handle)
+                handle.write("\n")
+                handle.flush()
+                if self.use_fsync:
+                    os.fsync(handle.fileno())
+            os.replace(staging, path)
+        except OSError as error:
+            raise JournalWriteError(f"checkpoint failed: {error}") from error
+        self.applied_offset = int(offset)
+        self._maybe_compact()
+
+    # ------------------------------------------------------------------
+    # replay
+    # ------------------------------------------------------------------
+    def replay_entries(self):
+        """Every durable entry, offset order: ``[(offset, name, sql, hash)]``.
+
+        The caller (daemon boot) feeds these through the normal batching
+        path with journaling disabled — they are already durable.
+        """
+        entries = self._scan()
+        return [
+            (offset, name, sql, digest)
+            for offset, (name, sql, digest) in sorted(entries.items())
+        ]
+
+    # ------------------------------------------------------------------
+    # compaction
+    # ------------------------------------------------------------------
+    def _maybe_compact(self):
+        """Fold fully-applied closed segments into one latest-per-name segment.
+
+        Runs after a checkpoint advance.  Only segments that are (a) not
+        the active append segment and (b) entirely at or below the
+        checkpoint are eligible, and compaction only pays off once there
+        is more than one of them or dead redefinitions dominate.
+        """
+        paths = self._segment_paths()
+        eligible = []
+        for path in paths:
+            if path == self._segment_path:
+                continue
+            entries = self._read_segment(path)
+            if not entries:
+                eligible.append((path, entries))
+                continue
+            if max(entries) <= self.applied_offset:
+                eligible.append((path, entries))
+        if len(eligible) < 2:
+            return
+        merged = {}
+        for _, entries in eligible:
+            for offset, entry in entries.items():
+                merged.setdefault(offset, entry)
+        # latest entry per name survives, keyed back by its offset
+        latest = {}
+        for offset in sorted(merged):
+            name, sql, digest = merged[offset]
+            latest[name] = (offset, sql, digest)
+        survivors = sorted(
+            (offset, name, sql, digest)
+            for name, (offset, sql, digest) in latest.items()
+        )
+        if not survivors:
+            for path, _ in eligible:
+                self._unlink(path)
+            return
+        start = survivors[0][0]
+        target = os.path.join(self.directory, _segment_name(start))
+        staging = target + ".compact"
+        try:
+            with open(staging, "w", encoding="utf-8") as handle:
+                for offset, name, sql, digest in survivors:
+                    handle.write(
+                        json.dumps(
+                            {
+                                "o": offset,
+                                "n": name,
+                                "h": digest,
+                                "c": _entry_crc(offset, name, digest, sql),
+                                "s": sql,
+                            },
+                            sort_keys=True,
+                        )
+                        + "\n"
+                    )
+                handle.flush()
+                if self.use_fsync:
+                    os.fsync(handle.fileno())
+            os.replace(staging, target)
+        except OSError:
+            self._unlink(staging)
+            return  # compaction is an optimisation; failing it changes nothing
+        for path, _ in eligible:
+            if path != target:
+                self._unlink(path)
+        self.compactions += 1
+        self._entries_on_disk = len(self._scan())
+
+    @staticmethod
+    def _unlink(path):
+        try:
+            os.remove(path)
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
+    def stats(self):
+        """Journal counters for ``/stats`` and the robustness benchmark."""
+        return {
+            "directory": self.directory,
+            "next_offset": self.next_offset,
+            "applied_offset": self.applied_offset,
+            "entries_on_disk": self._entries_on_disk,
+            "appended": self.appended,
+            "segments": len(self._segment_paths()),
+            "compactions": self.compactions,
+            "fsync": self.use_fsync,
+        }
+
+    def close(self):
+        if self._handle is not None:
+            try:
+                self._handle.close()
+            except OSError:
+                pass
+            self._handle = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *_exc):
+        self.close()

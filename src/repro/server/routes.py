@@ -1,19 +1,27 @@
 """Endpoint handlers — every route reads a snapshot or submits a batch.
 
-The dispatch table is deliberately flat: the daemon serves six endpoints
-and nothing here knows about sockets or wire format beyond the
+The dispatch table is deliberately flat: the daemon serves a handful of
+endpoints and nothing here knows about sockets or wire format beyond the
 :class:`~repro.server.http.Request`/``Response`` pair.  Read endpoints
-(``/impact``, ``/ordering``, ``/render/{fmt}``, ``/stats``, ``/health``)
-grab the current :class:`~repro.server.snapshot.Snapshot` once and work
-only on that frozen graph — a concurrent ingest publishing a newer
-generation cannot change what an in-flight read observes.  The only
-write endpoint, ``POST /extract``, funnels into the
+(``/impact``, ``/ordering``, ``/render/{fmt}``, ``/stats``, ``/health``,
+``/quarantine``) grab the current
+:class:`~repro.server.snapshot.Snapshot` once and work only on that
+frozen graph — a concurrent ingest publishing a newer generation cannot
+change what an in-flight read observes.  The only write endpoint,
+``POST /extract``, funnels into the
 :class:`~repro.server.batcher.IngestBatcher`.
+
+Error contract on the write path: a poison statement is NOT an HTTP
+error (the response is 200 with per-statement ``quarantined`` rows);
+5xx is reserved for the daemon itself — deliberate 503 shedding
+(queue full, deadline exceeded, journal unavailable; all carry
+``Retry-After``) and 500 for genuine non-retryable batch failures.
 """
 
 import asyncio
+import math
 
-from .batcher import ExtractionFailed
+from .batcher import ExtractionFailed, OverloadedError
 from .http import BadRequestError, Response
 from ..analysis.impact import impact_analysis
 from ..analysis.ordering import (
@@ -46,6 +54,8 @@ async def dispatch(app, request):
         if request.method != "POST":
             return Response.error(405, "use POST /extract")
         return await handle_extract(app, request)
+    if path == "/quarantine":
+        return _require_get(request) or handle_quarantine(app)
     if path == "/impact":
         return _require_get(request) or handle_impact(app, request)
     if path == "/ordering":
@@ -67,13 +77,26 @@ def _require_get(request):
 # ----------------------------------------------------------------------
 def handle_health(app):
     snapshot = app.snapshots.current()
+    payload = {
+        "status": "ok",
+        "snapshot_version": snapshot.version,
+        "relations": snapshot.stats.get("num_relations", 0),
+        "uptime_seconds": round(app.uptime(), 3),
+    }
+    store = app.session.store
+    health = store.health() if store is not None else None
+    if health is not None:
+        # breaker/counter reads only — no sqlite I/O, safe on the loop
+        payload["store"] = health
+        if health.get("status") != "ok":
+            payload["status"] = health["status"]
+    return Response.json(payload)
+
+
+def handle_quarantine(app):
+    quarantine = app.batcher.quarantine
     return Response.json(
-        {
-            "status": "ok",
-            "snapshot_version": snapshot.version,
-            "relations": snapshot.stats.get("num_relations", 0),
-            "uptime_seconds": round(app.uptime(), 3),
-        }
+        {"entries": quarantine.rows(), "stats": quarantine.stats()}
     )
 
 
@@ -86,8 +109,12 @@ async def handle_stats(app):
             "formats": renderer_names(),
         },
         "ingest": app.batcher.stats(),
+        "quarantine": app.batcher.quarantine.stats(),
         "snapshot": snapshot.describe(),
     }
+    journal = getattr(app, "journal", None)
+    if journal is not None:
+        payload["journal"] = journal.stats()
     store = app.session.store
     if store is not None:
         # store.stats() flushes and queries sqlite per shard under shard
@@ -230,11 +257,31 @@ async def handle_extract(app, request):
     for name, sql in statements.items():
         if not isinstance(sql, str) or not sql.strip():
             raise BadRequestError(f"statement {name!r} must be non-empty SQL text")
+    pending = app.batcher.submit(
+        {str(name): sql for name, sql in statements.items()}
+    )
+    timeout = getattr(app, "request_timeout", None)
     try:
-        result = await app.batcher.submit(
-            {str(name): sql for name, sql in statements.items()}
+        if timeout:
+            result = await asyncio.wait_for(pending, timeout)
+        else:
+            result = await pending
+    except asyncio.TimeoutError:
+        app.batcher.counters["deadline_exceeded"] += 1
+        return Response.error(
+            503,
+            f"request deadline exceeded ({timeout:.3f}s); the batch may "
+            "still complete — resubmitting is safe (deduplicated)",
+            headers={"Retry-After": "1"},
+        )
+    except OverloadedError as error:
+        return Response.error(
+            503, str(error),
+            headers={"Retry-After": str(int(math.ceil(error.retry_after)))},
         )
     except ExtractionFailed as error:
+        if error.retryable:
+            return Response.error(503, str(error), headers={"Retry-After": "1"})
         return Response.error(500, str(error))
     except RuntimeError as error:
         return Response.error(503, str(error))

@@ -45,6 +45,7 @@ import threading
 from dataclasses import dataclass, replace as dataclass_replace
 from typing import Protocol, runtime_checkable
 
+from .core.errors import SessionClosedError
 from .core.plan_extractor import PlanModeRunner
 from .core.runner import LineageXRunner
 from .core.scheduler import EXECUTORS
@@ -233,6 +234,7 @@ class LineageSession:
         #: refresh() -> extract() fallback re-entrant.
         self._write_lock = threading.RLock()
         self._snapshot_cache = None  # (graph, state token, frozen view)
+        self._closed = False
 
     # ------------------------------------------------------------------
     @property
@@ -254,7 +256,7 @@ class LineageSession:
         consults it — the plan engine re-validates everything through the
         simulated EXPLAIN by design.
         """
-        if self.config.cache_dir is None:
+        if self.config.cache_dir is None or self._closed:
             return None
         if self._store is None:
             from .store import LineageStore
@@ -279,7 +281,15 @@ class LineageSession:
         skipped, and a store that errors while closing is still detached —
         a daemon's teardown path may run this from several places (signal
         handler, context-manager exit, atexit) without double-release.
+
+        Closing is terminal for *writes*: a subsequent (or in-flight)
+        ``extract()``/``refresh()`` raises
+        :class:`~repro.core.errors.SessionClosedError` rather than
+        adopting a result whose store flush was torn down under it.
+        Reads of the last result (``render()``, ``impact()``,
+        ``snapshot()``) keep working.
         """
+        self._closed = True
         store, self._store = self._store, None
         if store is not None:
             try:
@@ -319,6 +329,8 @@ class LineageSession:
         subsequent calls.  Returns the engine's :class:`LineageResult`.
         """
         with self._write_lock:
+            if self._closed:
+                raise SessionClosedError("extract")
             if source is not None:
                 self.source = Source.detect(source)
             if self.source is None:
@@ -336,7 +348,12 @@ class LineageSession:
                 self._fingerprint = fingerprint_mapping(self._payload)
             else:
                 self._fingerprint = None
-            self._result = self._build_engine().run(self._payload)
+            result = self._build_engine().run(self._payload)
+            if self._closed:
+                # close() landed while the engine ran: the store flush was
+                # torn down under this extraction — refuse to adopt it
+                raise SessionClosedError("extract")
+            self._result = result
             return self._result
 
     def refresh(self, changes=None):
@@ -358,6 +375,8 @@ class LineageSession:
         a full re-run over the merged sources is performed instead.
         """
         with self._write_lock:
+            if self._closed:
+                raise SessionClosedError("refresh")
             if self._result is None:
                 if self.source is None and changes:
                     # a sourceless session (the serving daemon's shape)
@@ -370,6 +389,8 @@ class LineageSession:
                         name: sql for name, sql in changes.items() if sql is not None
                     }
                     result = self._build_engine().run(payload)
+                    if self._closed:
+                        raise SessionClosedError("refresh")
                     self._payload = payload
                     self._fingerprint = None
                     self._result = result
@@ -381,10 +402,18 @@ class LineageSession:
                 return self._result
             if self.config.engine == "plan":
                 merged = self._merged_payload(changes)
+                rerun = self._build_engine().run(merged)
+                if self._closed:
+                    raise SessionClosedError("refresh")
                 self._payload = merged
-                self._result = self._build_engine().run(merged)
+                self._result = rerun
             else:
-                self._result = self._result.update(changes)
+                updated = self._result.update(changes)
+                if self._closed:
+                    # close() landed mid-update: don't adopt a result whose
+                    # store writes may have been dropped by the teardown
+                    raise SessionClosedError("refresh")
+                self._result = updated
                 if isinstance(self._payload, dict):
                     self._payload = self._merged_payload(changes)
             if self.source is not None and self.source.supports_rescan \

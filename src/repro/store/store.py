@@ -11,7 +11,16 @@ Design points:
 
 * **cache, not database** — every failure mode (missing file, corrupted
   database, malformed JSON, record-version skew) degrades to a cold miss
-  or a dropped write, never an exception on the extraction path;
+  or a dropped write, never an exception on the extraction path.  The
+  degradation is no longer *silent*: shard I/O failures are retried with
+  jittered backoff, counted per shard (``error_misses`` /
+  ``dropped_writes`` in :meth:`LineageStore.stats`), logged at WARNING on
+  first occurrence, and a shard failing repeatedly trips a per-shard
+  circuit breaker — further I/O on it short-circuits to the degraded
+  path for a cooldown instead of paying timeouts, and
+  :meth:`LineageStore.health` reports the store ``degraded`` with
+  per-shard breaker state (the serving daemon's ``/health`` surfaces
+  this);
 * **LRU front** — hot records are served from memory as decoded record
   dicts; each hit still constructs a fresh ``TableLineage``, so callers
   can mutate what they are given without poisoning the cache;
@@ -41,14 +50,19 @@ re-shard in place.
 """
 
 import json
+import logging
 import os
+import random
 import sqlite3
 import threading
 import time
 
 from ..core.errors import LineageRecordError
 from ..core.lineage import TableLineage
+from ..testing import faults
 from .keys import shard_index
+
+_LOGGER = logging.getLogger("repro.store")
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS lineage_records (
@@ -95,6 +109,23 @@ BUSY_TIMEOUT_MS = 10_000
 #: 999; 400 leaves comfortable headroom).
 _CHUNK = 400
 
+#: shard I/O retries after the first failure (transient lock contention /
+#: injected faults get a second and third chance before degrading).
+RETRY_ATTEMPTS = 2
+
+#: jittered backoff window per retry, milliseconds (scaled by attempt).
+RETRY_BACKOFF_MS = (5.0, 25.0)
+
+#: consecutive shard failures (after retries) that trip its breaker.
+BREAKER_THRESHOLD = 5
+
+#: seconds a tripped breaker short-circuits I/O before allowing a probe.
+BREAKER_COOLDOWN_S = 30.0
+
+#: backoff jitter source — timing only, never outcome, so it is fine for
+#: this to be nondeterministic even under a seeded fault plan.
+_BACKOFF_RNG = random.Random()
+
 
 def _shard_filename(index, count):
     return f"lineage-{index:03d}-of-{count:03d}.sqlite"
@@ -129,9 +160,12 @@ class _LRU:
 
 
 class _Shard:
-    """One SQLite file of the store: connection, lock, and dirty flag."""
+    """One SQLite file of the store: connection, lock, dirty flag, and
+    the fault-accounting state its circuit breaker runs on."""
 
-    __slots__ = ("path", "lock", "connection", "broken", "dirty")
+    __slots__ = ("path", "lock", "connection", "broken", "dirty",
+                 "failures", "open_until", "error_misses", "dropped_writes",
+                 "trips", "warned")
 
     def __init__(self, path):
         self.path = path
@@ -139,6 +173,12 @@ class _Shard:
         self.connection = None
         self.broken = False
         self.dirty = False
+        self.failures = 0          # consecutive failed operations
+        self.open_until = 0.0      # monotonic deadline while breaker is open
+        self.error_misses = 0      # reads degraded to cold misses by errors
+        self.dropped_writes = 0    # writes dropped by errors / open breaker
+        self.trips = 0             # closed -> open breaker transitions
+        self.warned = False        # first-failure WARNING emitted
 
     def connect(self):
         """The live connection, opened on first use (``None`` = broken).
@@ -223,6 +263,8 @@ class LineageStore:
         self.misses = 0
         self.puts = 0
         self.corrupt = 0
+        self.error_misses = 0     # cold misses caused by shard I/O errors
+        self.dropped_writes = 0   # writes lost to shard I/O errors
 
     def _resolve_layout(self, requested):
         """The shard count this directory's store actually uses.
@@ -295,6 +337,108 @@ class LineageStore:
         shard = self._shards[0]
         with shard.lock:
             return self._connect_shard(shard)
+
+    # ------------------------------------------------------------------
+    # Fault-hardened shard I/O
+    # ------------------------------------------------------------------
+    def _shard_io(self, shard, index, kind, operation):
+        """Run ``operation()`` against ``shard`` (lock held by the caller)
+        with fault injection, bounded jittered retry, and circuit-breaker
+        accounting.
+
+        ``kind`` is ``"read"`` or ``"write"`` — it picks which degraded
+        counter a failure lands in.  Returns ``(ok, result)``; ``ok``
+        False means the caller must degrade (cold miss / dropped write),
+        and the failure has already been counted and, if it crossed the
+        threshold, has tripped the shard's breaker.  While the breaker is
+        open the operation is not attempted at all: a shard that is
+        timing out repeatedly must not make every request pay its busy
+        timeout.  After the cooldown one probe is allowed through; its
+        success closes the breaker, its failure re-arms the cooldown.
+        """
+        now = time.monotonic()
+        if shard.open_until > now:
+            self._count_degraded(shard, kind)
+            return False, None
+        error = None
+        for attempt in range(1 + RETRY_ATTEMPTS):
+            if attempt:
+                low, high = RETRY_BACKOFF_MS
+                time.sleep(
+                    (low + _BACKOFF_RNG.random() * (high - low)) * attempt / 1000.0
+                )
+            try:
+                faults.fire(f"store.{kind}", shard=index)
+                result = operation()
+            except (sqlite3.Error, OSError, faults.InjectedFault) as caught:
+                error = caught
+                continue
+            shard.failures = 0
+            if shard.open_until:
+                shard.open_until = 0.0
+                _LOGGER.warning(
+                    "lineage store shard %d (%s) recovered; circuit closed",
+                    index, shard.path,
+                )
+            return True, result
+        self._count_degraded(shard, kind)
+        was_closed = shard.open_until == 0.0
+        shard.failures += 1
+        if not shard.warned:
+            shard.warned = True
+            _LOGGER.warning(
+                "lineage store shard %d (%s) %s failed (degrading to %s): %s",
+                index, shard.path, kind,
+                "cold miss" if kind == "read" else "dropped write", error,
+            )
+        if shard.failures >= BREAKER_THRESHOLD:
+            shard.open_until = time.monotonic() + BREAKER_COOLDOWN_S
+            if was_closed:
+                shard.trips += 1
+                _LOGGER.warning(
+                    "lineage store shard %d (%s) circuit breaker OPEN for %.0fs "
+                    "after %d consecutive failures",
+                    index, shard.path, BREAKER_COOLDOWN_S, shard.failures,
+                )
+        return False, None
+
+    def _count_degraded(self, shard, kind):
+        if kind == "write":
+            shard.dropped_writes += 1
+            self.dropped_writes += 1
+        else:
+            shard.error_misses += 1
+            self.error_misses += 1
+
+    def health(self):
+        """Cheap (no I/O, no locks) per-shard breaker state for ``/health``.
+
+        ``status`` is ``degraded`` while any breaker is open — extraction
+        still works (cold path), but the cache is partially blind.
+        """
+        now = time.monotonic()
+        shards = []
+        degraded = 0
+        for index, shard in enumerate(self._shards):
+            open_ = shard.open_until > now or shard.broken
+            if open_:
+                degraded += 1
+            shards.append(
+                {
+                    "shard": index,
+                    "breaker": "open" if open_ else "closed",
+                    "broken": shard.broken,
+                    "consecutive_failures": shard.failures,
+                    "error_misses": shard.error_misses,
+                    "dropped_writes": shard.dropped_writes,
+                    "trips": shard.trips,
+                }
+            )
+        return {
+            "status": "degraded" if degraded else "ok",
+            "degraded_shards": degraded,
+            "shards": shards,
+        }
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -421,12 +565,13 @@ class LineageStore:
 
         def _query(index, hashes):
             shard = self._shards[index]
-            rows = []
             with shard.lock:
                 connection = self._connect_shard(shard)
                 if connection is None:
-                    return index, rows, 0
-                try:
+                    return index, []
+
+                def _read():
+                    rows = []
                     for start in range(0, len(hashes), _CHUNK):
                         batch = hashes[start:start + _CHUNK]
                         placeholders = ",".join("?" for _ in batch)
@@ -437,13 +582,13 @@ class LineageStore:
                                 batch,
                             ).fetchall()
                         )
-                except sqlite3.Error:
-                    return index, [], 1
-            return index, rows, 0
+                    return rows
+
+                ok, rows = self._shard_io(shard, index, "read", _read)
+            return index, (rows if ok else [])
 
         primed = 0
-        for index, rows, corrupt in self._fan_out(_query, by_shard.items()):
-            self.corrupt += corrupt
+        for index, rows in self._fan_out(_query, by_shard.items()):
             for key, text in rows:
                 try:
                     record = json.loads(text)
@@ -482,15 +627,14 @@ class LineageStore:
                 connection = self._connect_shard(shard)
                 if connection is None:
                     continue
-                try:
-                    row = connection.execute(
+                ok, row = self._shard_io(
+                    shard, index, "read",
+                    lambda: connection.execute(
                         "SELECT record FROM lineage_records WHERE cache_key = ?",
                         (key,),
-                    ).fetchone()
-                except sqlite3.Error:
-                    self.corrupt += 1
-                    continue
-            if row is None:
+                    ).fetchone(),
+                )
+            if not ok or row is None:
                 continue
             try:
                 record = json.loads(row[0])
@@ -525,7 +669,8 @@ class LineageStore:
             connection = self._connect_shard(shard)
             if connection is None:
                 return False
-            try:
+
+            def _write():
                 connection.execute(
                     "INSERT OR REPLACE INTO lineage_records "
                     "(cache_key, content_hash, dialect, extractor_version, "
@@ -549,7 +694,9 @@ class LineageStore:
                 # behind the other's uncommitted transaction until the
                 # busy timeout drops the write)
                 connection.commit()
-            except sqlite3.Error:
+
+            ok, _ = self._shard_io(shard, index, "write", _write)
+            if not ok:
                 return False
         self._lru.put(key, (index, record))
         self.puts += 1
@@ -599,7 +746,8 @@ class LineageStore:
                 connection = self._connect_shard(shard)
                 if connection is None:
                     continue
-                try:
+
+                def _write(connection=connection, batch=batch):
                     connection.executemany(
                         "INSERT OR REPLACE INTO lineage_records "
                         "(cache_key, content_hash, dialect, extractor_version, "
@@ -610,7 +758,9 @@ class LineageStore:
                     # one transaction per shard batch, released here — see
                     # the per-write commit rationale in put()
                     connection.commit()
-                except sqlite3.Error:
+
+                ok, _ = self._shard_io(shard, index, "write", _write)
+                if not ok:
                     continue
             written += len(batch)
             ok_shards.add(index)
@@ -631,15 +781,14 @@ class LineageStore:
             connection = self._connect_shard(shard)
             if connection is None:
                 return None
-            try:
-                row = connection.execute(
+            ok, row = self._shard_io(
+                shard, index, "read",
+                lambda: connection.execute(
                     "SELECT record FROM source_records WHERE source_key = ?",
                     (key,),
-                ).fetchone()
-                if row is None:
-                    return None
-            except sqlite3.Error:
-                self.corrupt += 1
+                ).fetchone(),
+            )
+            if not ok or row is None:
                 return None
         try:
             records = json.loads(row[0])
@@ -669,12 +818,13 @@ class LineageStore:
 
         def _query(index, shard_keys):
             shard = self._shards[index]
-            rows = []
             with shard.lock:
                 connection = self._connect_shard(shard)
                 if connection is None:
-                    return index, rows, 0
-                try:
+                    return index, []
+
+                def _read():
+                    rows = []
                     for start in range(0, len(shard_keys), _CHUNK):
                         batch = shard_keys[start:start + _CHUNK]
                         placeholders = ",".join("?" for _ in batch)
@@ -685,12 +835,12 @@ class LineageStore:
                                 batch,
                             ).fetchall()
                         )
-                except sqlite3.Error:
-                    return index, [], 1
-            return index, rows, 0
+                    return rows
 
-        for index, rows, corrupt in self._fan_out(_query, by_shard.items()):
-            self.corrupt += corrupt
+                ok, rows = self._shard_io(shard, index, "read", _read)
+            return index, (rows if ok else [])
+
+        for index, rows in self._fan_out(_query, by_shard.items()):
             for key, text in rows:
                 try:
                     records = json.loads(text)
@@ -709,21 +859,23 @@ class LineageStore:
         except (TypeError, ValueError):
             return False
         now = time.time()
-        shard = self._shards[self.shard_of(key)]
+        index = self.shard_of(key)
+        shard = self._shards[index]
         with shard.lock:
             connection = self._connect_shard(shard)
             if connection is None:
                 return False
-            try:
+
+            def _write():
                 connection.execute(
                     "INSERT OR REPLACE INTO source_records "
                     "(source_key, record, created_at, last_used_at) VALUES (?, ?, ?, ?)",
                     (key, text, now, now),
                 )
                 connection.commit()  # see the per-write commit rationale in put()
-            except sqlite3.Error:
-                return False
-        return True
+
+            ok, _ = self._shard_io(shard, index, "write", _write)
+        return bool(ok)
 
     def parse_cache(self, dialect):
         """The ``get(sql)/put(sql, records)`` adapter ``preprocess`` consumes."""
@@ -789,6 +941,14 @@ class LineageStore:
                     "source_entries": shard_sources,
                     "size_bytes": shard_bytes,
                     "hit_count": shard_hits,
+                    "error_misses": shard.error_misses,
+                    "dropped_writes": shard.dropped_writes,
+                    "breaker": (
+                        "open"
+                        if shard.open_until > time.monotonic() or shard.broken
+                        else "closed"
+                    ),
+                    "breaker_trips": shard.trips,
                 }
             )
         return {
@@ -802,6 +962,9 @@ class LineageStore:
             "session_misses": self.misses,
             "session_puts": self.puts,
             "session_corrupt": self.corrupt,
+            "session_error_misses": self.error_misses,
+            "session_dropped_writes": self.dropped_writes,
+            "degraded_shards": self.health()["degraded_shards"],
             "lru_entries": len(self._lru),
             "per_shard": per_shard,
         }

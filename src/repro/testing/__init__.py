@@ -1,0 +1,14 @@
+"""Test-support utilities shipped with the library.
+
+This package holds machinery that production code *hooks into* but never
+depends on for behaviour: today that is the deterministic fault-injection
+harness (:mod:`repro.testing.faults`).  Shipping it inside ``repro``
+(rather than under ``tests/``) is deliberate — the serving daemon runs as
+a subprocess in the crash-recovery suite, and the injection sites live in
+production modules, so the harness must be importable wherever the
+library is.
+"""
+
+from . import faults
+
+__all__ = ["faults"]

@@ -1,0 +1,96 @@
+"""Shared subprocess harness for daemon tests.
+
+Boots ``python -m repro serve`` as a real child process, parses the
+readiness line for the ephemeral port, and exposes tiny HTTP helpers.
+The crash-recovery suite passes ``env`` overrides (``REPRO_FAULTS``) to
+arm deterministic fault injection inside the child.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.request
+
+REPO_ROOT = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+)
+
+
+class Daemon:
+    """A `python -m repro serve` subprocess with readiness parsing."""
+
+    def __init__(self, *args, corpus=None, env=None, wait_ready=True):
+        child_env = dict(os.environ)
+        child_env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+        if env:
+            child_env.update(env)
+        command = [sys.executable, "-m", "repro", "serve"]
+        if corpus:
+            command.append(corpus)
+        command += ["--port", "0", *args]
+        self.process = subprocess.Popen(
+            command,
+            cwd=REPO_ROOT,
+            env=child_env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        self.lines = []
+        self._reader = threading.Thread(target=self._drain, daemon=True)
+        self._reader.start()
+        self.base = self._await_ready() if wait_ready else None
+
+    def _drain(self):
+        for line in self.process.stdout:
+            self.lines.append(line.rstrip("\n"))
+
+    def _await_ready(self, timeout=30.0):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            for line in list(self.lines):
+                if line.startswith("serving on "):
+                    return line.split("serving on ", 1)[1]
+            if self.process.poll() is not None:
+                raise AssertionError(
+                    "daemon exited before readiness: "
+                    + "\n".join(self.lines)
+                    + (self.process.stderr.read() or "")
+                )
+            time.sleep(0.02)
+        raise AssertionError("daemon never announced readiness")
+
+    def get(self, path):
+        with urllib.request.urlopen(self.base + path, timeout=10) as response:
+            return response.status, json.loads(response.read())
+
+    def post(self, path, payload):
+        request = urllib.request.Request(
+            self.base + path,
+            data=json.dumps(payload).encode(),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return response.status, json.loads(response.read())
+
+    def wait(self, timeout=30.0):
+        """Wait for the child to exit on its own (fault-injected kill)."""
+        self.process.wait(timeout=timeout)
+        self._reader.join(timeout=5)
+        return self.process.returncode
+
+    def terminate(self, timeout=15.0):
+        self.process.send_signal(signal.SIGTERM)
+        self.process.wait(timeout=timeout)
+        self._reader.join(timeout=5)
+        return self.process.returncode
+
+    def kill(self):
+        if self.process.poll() is None:
+            self.process.kill()
+            self.process.wait(timeout=10)

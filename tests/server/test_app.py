@@ -205,13 +205,17 @@ class TestExtractEndpoint:
 
         _with_app(check)
 
-    def test_extraction_error_is_500_and_state_survives(self):
+    def test_extraction_error_quarantines_and_state_survives(self):
         async def check(app, host, port):
             status, payload = await _json(
                 host, port, "POST", "/extract", {"broken": "CREATE VIEW b AS SELEKT"}
             )
-            assert status == 500
-            assert "ParseError" in payload["error"]
+            # poison isolates to its statement: the request itself succeeds
+            assert status == 200
+            row = payload["statements"][0]
+            assert row["status"] == "quarantined"
+            assert "ParseError" in row["error"]["type"]
+            assert row["retry_after_seconds"] > 0
             status, payload = await _json(host, port, "POST", "/extract", {"v1": V1})
             assert status == 200
             assert payload["snapshot_version"] == 1

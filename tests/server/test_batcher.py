@@ -170,21 +170,66 @@ class TestSnapshots:
 
 
 class TestFailureDomain:
-    def test_bad_statement_fails_its_batch_and_leaves_state_intact(self):
+    def test_bad_statement_quarantines_and_leaves_state_intact(self):
         async def go():
             _, snapshots, batcher = await _make()
             await batcher.submit({"v1": V1})
-            with pytest.raises(ExtractionFailed):
-                await batcher.submit({"broken": "CREATE VIEW broken AS SELEKT"})
+            result = await batcher.submit(
+                {"broken": "CREATE VIEW broken AS SELEKT"}
+            )
+            # poison is not an exception: the request resolves with a
+            # per-statement quarantined row carrying a structured error
+            row = result["statements"][0]
+            assert row["status"] == "quarantined"
+            assert row["error"]["type"]
+            assert row["retry_after_seconds"] > 0
             assert snapshots.version == 1  # snapshot unchanged
-            assert batcher.counters["batch_failures"] == 1
-            # the failed hash was not adopted: a retry is not a "duplicate"
-            with pytest.raises(ExtractionFailed):
-                await batcher.submit({"broken": "CREATE VIEW broken AS SELEKT"})
+            assert batcher.counters["quarantined"] == 1
+            # the failed hash was not adopted: the pair is quarantined,
+            # and a resubmission inside the backoff window is rejected
+            # up front without burning another parse
+            again = await batcher.submit(
+                {"broken": "CREATE VIEW broken AS SELEKT"}
+            )
+            assert again["statements"][0]["status"] == "quarantined"
+            assert batcher.counters["quarantine_blocked"] == 1
+            assert batcher.counters["quarantined"] == 1  # no second parse
             # and the daemon still ingests fine afterwards
             ok = await batcher.submit({"v2": V2})
             assert ok["statements"][0]["status"] == "extracted"
             assert snapshots.version == 2
+            await batcher.stop()
+
+        _run(go())
+
+    def test_poison_in_a_mixed_batch_publishes_the_rest(self):
+        async def go():
+            _, snapshots, batcher = await _make()
+            result = await asyncio.wait_for(
+                batcher.submit(
+                    {
+                        "v1": V1,
+                        "broken_a": "CREATE VIEW broken_a AS SELEKT",
+                        "v2": V2,
+                        "broken_b": "CREATE VIEW broken_b AS ,,,",
+                    }
+                ),
+                timeout=10,
+            )
+            statuses = {row["name"]: row["status"] for row in result["statements"]}
+            assert statuses == {
+                "v1": "extracted",
+                "broken_a": "quarantined",
+                "v2": "extracted",
+                "broken_b": "quarantined",
+            }
+            assert result["quarantined"] == 2
+            assert len(batcher.quarantine) == 2
+            # the survivors published
+            snapshot = snapshots.current()
+            assert "v1" in snapshot.statement_names
+            assert "v2" in snapshot.statement_names
+            assert snapshot.stats["num_views"] == 2
             await batcher.stop()
 
         _run(go())

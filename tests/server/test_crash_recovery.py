@@ -1,0 +1,142 @@
+"""SIGKILL the daemon at randomized journal offsets; recovery must be exact.
+
+The contract under test: every statement whose journal append was
+acknowledged (fsync'd) survives a SIGKILL, and a restarted daemon —
+journal replay plus client retries of unacknowledged work — reaches a
+graph byte-identical to a daemon that was never killed.
+
+The kill point is driven through the deterministic fault harness: the
+child daemon is booted with ``REPRO_FAULTS`` carrying
+``{"kill": {"site": "journal.append", "after": N}}``, which SIGKILLs the
+process the instant the N-th journal entry becomes durable — the
+worst-possible moment (acknowledged but not yet extracted).
+
+Environment knobs (the CI chaos-smoke job uses both):
+
+* ``CRASH_SEEDS`` — comma-separated seed list (default ``1,2,3,4,5``);
+* ``CHAOS_ARTIFACT_DIR`` — on failure, the journal directory is copied
+  there for post-mortem.
+"""
+
+import os
+import random
+import shutil
+import urllib.error
+
+import pytest
+
+from repro.testing import faults
+
+from _daemon import Daemon
+
+# a corpus with real dependency structure: chains, fan-out, and a
+# redefinition, so replay order and dedupe both matter
+STATEMENTS = [
+    ("v0", "CREATE VIEW v0 AS SELECT a, b, c FROM t0"),
+    ("v1", "CREATE VIEW v1 AS SELECT a, b FROM v0"),
+    ("v2", "CREATE VIEW v2 AS SELECT a FROM v1"),
+    ("v3", "CREATE VIEW v3 AS SELECT b FROM v1"),
+    ("v4", "CREATE VIEW v4 AS SELECT x, y FROM t1"),
+    ("v5", "CREATE VIEW v5 AS SELECT x FROM v4"),
+    ("v2", "CREATE VIEW v2 AS SELECT a, b FROM v1"),  # redefinition
+    ("v6", "CREATE VIEW v6 AS SELECT a FROM v2"),
+    ("v7", "CREATE VIEW v7 AS SELECT y FROM v4"),
+    ("v8", "CREATE VIEW v8 AS SELECT a FROM v6"),
+]
+
+SEEDS = [
+    int(seed)
+    for seed in os.environ.get("CRASH_SEEDS", "1,2,3,4,5").split(",")
+    if seed.strip()
+]
+
+
+def _ingest_all(daemon):
+    """POST every statement, one request each; returns how many the
+    daemon acknowledged before (possibly) dying."""
+    acknowledged = 0
+    for name, sql in STATEMENTS:
+        try:
+            status, _ = daemon.post("/extract", {name: sql})
+        except (urllib.error.URLError, ConnectionError, OSError):
+            break  # the daemon died mid-request (or is already gone)
+        assert status == 200
+        acknowledged += 1
+    return acknowledged
+
+
+def _graph(daemon):
+    """The rendered graph, fully canonical: the byte-identity oracle."""
+    status, payload = daemon.get("/render/json")
+    assert status == 200
+    return payload
+
+
+@pytest.fixture(scope="module")
+def reference_graph(tmp_path_factory):
+    """The graph of an uninterrupted daemon over the same traffic."""
+    journal = tmp_path_factory.mktemp("reference-journal")
+    daemon = Daemon("--journal-dir", str(journal))
+    try:
+        assert _ingest_all(daemon) == len(STATEMENTS)
+        return _graph(daemon)
+    finally:
+        daemon.kill()
+
+
+def _preserve_artifacts(journal_dir, seed):
+    target = os.environ.get("CHAOS_ARTIFACT_DIR")
+    if not target:
+        return
+    destination = os.path.join(target, f"seed-{seed}")
+    shutil.rmtree(destination, ignore_errors=True)
+    shutil.copytree(str(journal_dir), destination)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_sigkill_mid_ingest_recovers_byte_identical(
+    seed, tmp_path, reference_graph
+):
+    journal_dir = tmp_path / "journal"
+    # kill after a seed-chosen number of durable journal entries — never
+    # after the last one, so the crash always interrupts real work
+    kill_after = random.Random(seed).randint(1, len(STATEMENTS) - 1)
+    plan = faults.FaultPlan(
+        seed=seed, kill={"site": "journal.append", "after": kill_after}
+    )
+    victim = Daemon(
+        "--journal-dir",
+        str(journal_dir),
+        env={faults.ENV_VAR: plan.to_env()},
+    )
+    try:
+        acknowledged = _ingest_all(victim)
+        assert victim.wait(timeout=30) == -9  # SIGKILL, not a clean exit
+        # the daemon cannot have acknowledged more responses than
+        # journal entries it survived writing
+        assert acknowledged <= kill_after
+    finally:
+        victim.kill()
+
+    # restart on the same journal (no fault plan): boot replay first,
+    # then the client retries its whole submission — acknowledged
+    # statements dedupe, unacknowledged ones extract now
+    revived = Daemon("--journal-dir", str(journal_dir))
+    try:
+        assert _ingest_all(revived) == len(STATEMENTS)
+        recovered = _graph(revived)
+        try:
+            assert recovered == reference_graph
+        except AssertionError:
+            _preserve_artifacts(journal_dir, seed)
+            raise
+        # replay really happened (the journal was not empty pre-boot):
+        # exactly kill_after entries were durable, replayed as one
+        # last-definition-wins batch
+        expected_replayed = len({name for name, _ in STATEMENTS[:kill_after]})
+        status, stats = revived.get("/stats")
+        assert status == 200
+        assert stats["ingest"]["replayed"] == expected_replayed
+        assert revived.terminate() == 0
+    finally:
+        revived.kill()

@@ -1,89 +1,18 @@
 """The daemon as a real process: boot, serve, dedupe, SIGTERM shutdown."""
 
-import json
-import os
 import signal
-import subprocess
-import sys
-import threading
 import time
 import urllib.error
-import urllib.request
 
 import pytest
 
-REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+from repro.server.journal import IngestJournal
+from repro.testing import faults
+
+from _daemon import Daemon
 
 V1 = "CREATE VIEW v1 AS SELECT a, b FROM t1;\n"
 V2 = "CREATE VIEW v2 AS SELECT a FROM v1;\n"
-
-
-class Daemon:
-    """A `python -m repro serve` subprocess with readiness parsing."""
-
-    def __init__(self, *args, corpus=None):
-        env = dict(os.environ)
-        env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
-        command = [sys.executable, "-m", "repro", "serve"]
-        if corpus:
-            command.append(corpus)
-        command += ["--port", "0", *args]
-        self.process = subprocess.Popen(
-            command,
-            cwd=REPO_ROOT,
-            env=env,
-            stdout=subprocess.PIPE,
-            stderr=subprocess.PIPE,
-            text=True,
-        )
-        self.lines = []
-        self._reader = threading.Thread(target=self._drain, daemon=True)
-        self._reader.start()
-        self.base = self._await_ready()
-
-    def _drain(self):
-        for line in self.process.stdout:
-            self.lines.append(line.rstrip("\n"))
-
-    def _await_ready(self, timeout=30.0):
-        deadline = time.monotonic() + timeout
-        while time.monotonic() < deadline:
-            for line in list(self.lines):
-                if line.startswith("serving on "):
-                    return line.split("serving on ", 1)[1]
-            if self.process.poll() is not None:
-                raise AssertionError(
-                    "daemon exited before readiness: "
-                    + "\n".join(self.lines)
-                    + (self.process.stderr.read() or "")
-                )
-            time.sleep(0.02)
-        raise AssertionError("daemon never announced readiness")
-
-    def get(self, path):
-        with urllib.request.urlopen(self.base + path, timeout=10) as response:
-            return response.status, json.loads(response.read())
-
-    def post(self, path, payload):
-        request = urllib.request.Request(
-            self.base + path,
-            data=json.dumps(payload).encode(),
-            headers={"Content-Type": "application/json"},
-            method="POST",
-        )
-        with urllib.request.urlopen(request, timeout=10) as response:
-            return response.status, json.loads(response.read())
-
-    def terminate(self, timeout=15.0):
-        self.process.send_signal(signal.SIGTERM)
-        self.process.wait(timeout=timeout)
-        self._reader.join(timeout=5)
-        return self.process.returncode
-
-    def kill(self):
-        if self.process.poll() is None:
-            self.process.kill()
-            self.process.wait(timeout=10)
 
 
 @pytest.fixture
@@ -132,15 +61,50 @@ def test_daemon_lifecycle(corpus, tmp_path):
         daemon.kill()
 
 
+def test_sigterm_during_preload_exits_clean(corpus, tmp_path):
+    # a SIGTERM that lands while the preload batch is still extracting
+    # must abort the load and exit 0 — and because preload is never
+    # journaled, the journal must come back empty (nothing half-applied)
+    journal_dir = tmp_path / "journal"
+    plan = faults.FaultPlan(seed=0, delays={"batcher.refresh": 6.0})
+    daemon = Daemon(
+        "--journal-dir",
+        str(journal_dir),
+        corpus=corpus,
+        env={faults.ENV_VAR: plan.to_env()},
+        wait_ready=False,
+    )
+    try:
+        # give the child time to install signal handlers and enter the
+        # (fault-delayed) preload refresh, then interrupt it
+        time.sleep(1.5)
+        assert daemon.process.poll() is None, "daemon died during boot"
+        exit_code = daemon.terminate(timeout=30)
+        assert exit_code == 0
+        assert any("shutting down" in line for line in daemon.lines)
+        assert not any("preloaded" in line for line in daemon.lines)
+        assert not any("serving on" in line for line in daemon.lines)
+        with IngestJournal(str(journal_dir)) as journal:
+            assert journal.replay_entries() == []
+            assert journal.applied_offset < 0  # no entry ever marked applied
+    finally:
+        daemon.kill()
+
+
 def test_daemon_survives_bad_requests_and_404s(corpus):
     daemon = Daemon(corpus=corpus)
     try:
         with pytest.raises(urllib.error.HTTPError) as error:
             daemon.get("/render/pdf")
         assert error.value.code == 404
-        with pytest.raises(urllib.error.HTTPError) as error:
-            daemon.post("/extract", {"bad": "CREATE VIEW bad AS SELEKT"})
-        assert error.value.code == 500
+        status, payload = daemon.post(
+            "/extract", {"bad": "CREATE VIEW bad AS SELEKT"}
+        )
+        assert status == 200
+        assert payload["statements"][0]["status"] == "quarantined"
+        status, quarantine = daemon.get("/quarantine")
+        assert status == 200
+        assert [entry["name"] for entry in quarantine["entries"]] == ["bad"]
         status, _ = daemon.get("/health")
         assert status == 200
         assert daemon.terminate() == 0

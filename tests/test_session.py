@@ -14,6 +14,7 @@ from repro import (
     lineagex_with_connection,
 )
 from repro.analysis.diff import diff_graphs
+from repro.core.errors import SessionClosedError
 from repro.datasets import example1
 from repro.sources import DbtSource, TextSource
 
@@ -459,6 +460,70 @@ class TestClose:
         session._store = ExplodingStore()
         session.close()  # the error is swallowed, the handle detached
         assert session._store is None
+
+
+class TestCloseLifecycle:
+    """close() is terminal for writes and safe against in-flight ones."""
+
+    def test_extract_after_close_raises(self):
+        session = LineageSession("CREATE VIEW v AS SELECT a FROM t")
+        session.extract()
+        session.close()
+        with pytest.raises(SessionClosedError) as error:
+            session.extract()
+        assert error.value.operation == "extract"
+
+    def test_refresh_after_close_raises(self):
+        session = LineageSession("CREATE VIEW v AS SELECT a FROM t")
+        session.extract()
+        session.close()
+        with pytest.raises(SessionClosedError):
+            session.refresh(changes={"v": "CREATE VIEW v AS SELECT b FROM t"})
+
+    def test_reads_survive_close(self):
+        session = LineageSession("CREATE VIEW v AS SELECT a FROM t")
+        result = session.extract()
+        session.close()
+        assert session.result is result  # the last result stays readable
+        assert "v" in session.result.graph
+
+    def test_close_during_in_flight_refresh_raises_and_adopts_nothing(self):
+        import threading
+
+        session = LineageSession("CREATE VIEW v AS SELECT a FROM t")
+        before = session.extract()
+        entered = threading.Event()
+        release = threading.Event()
+        real_update = before.update
+
+        def slow_update(changes):
+            entered.set()
+            release.wait(timeout=10)
+            return real_update(changes)
+
+        session._result.update = slow_update
+        raised = []
+
+        def refresher():
+            try:
+                session.refresh(
+                    changes={"v": "CREATE VIEW v AS SELECT b FROM t"}
+                )
+            except BaseException as error:  # noqa: BLE001 - recorded for assert
+                raised.append(error)
+
+        worker = threading.Thread(target=refresher)
+        worker.start()
+        assert entered.wait(timeout=10)
+        session.close()  # lands while the refresh is mid-update
+        release.set()
+        worker.join(timeout=10)
+        assert len(raised) == 1
+        assert isinstance(raised[0], SessionClosedError)
+        assert raised[0].operation == "refresh"
+        # the torn refresh was not adopted: readers still see the
+        # pre-close result, not one whose store flush was interrupted
+        assert session.result is before
 
 
 class TestSourcelessBootstrap:
