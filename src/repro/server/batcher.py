@@ -34,7 +34,13 @@ checkpoint advances after each batch publishes, which is what makes old
 segments eligible for compaction.  A journal append that cannot be made
 durable fails the batch with a *retryable* :class:`ExtractionFailed`
 (the HTTP layer maps it to 503) — the daemon never acknowledges a
-statement it could not journal.
+statement it could not journal.  Because journaling happens *before*
+extraction, a statement that then quarantines is tombstoned in the
+journal (:meth:`~repro.server.journal.IngestJournal.mark_quarantined`),
+so replay and compaction fall back to the name's last *published*
+definition instead of resurrecting text that never made it into the
+graph; if the tombstone cannot be made durable, the checkpoint is held
+below the quarantined offset so compaction cannot discard the fallback.
 
 Failure domain: **per statement**, not per batch.  A micro-batch whose
 refresh fails falls back to extracting each statement individually; the
@@ -102,6 +108,11 @@ class IngestBatcher:
         # daemon has extracted; a redefinition overwrites its entry, so
         # the retired text is no longer a known pair
         self._name_hash = {}
+        # journal offsets that quarantined but whose tombstone could not
+        # be made durable yet: re-marked every batch, and the checkpoint
+        # is clamped below them until the marks stick (compaction past an
+        # unmarked poison offset would discard its fallback definition)
+        self._unmarked_quarantined = set()
         self.counters = {
             "requests": 0,
             "statements": 0,
@@ -174,14 +185,32 @@ class IngestBatcher:
         keys line up with the original ingest's and the replay splices
         warm instead of re-parsing.  Chunked replay was measured at ~5x
         slower on a 10k-statement journal for exactly that reason.
+
+        A definition that quarantines during replay (a poison
+        redefinition the crash caught journaled-but-unmarked) falls back
+        to the name's next-most-recent journaled definition, so recovery
+        converges on the last definition that actually *published*
+        instead of losing the name from the graph entirely.
         """
-        batch = {}
+        versions = {}  # name -> [sql, ...] in offset order (top = latest)
         for _offset, name, sql, _digest in entries:
-            batch[name] = sql  # a later redefinition overwrites: last wins
-        if batch:
-            await self.submit(batch, journal=False)
-        self.counters["replayed"] += len(batch)
-        return len(batch)
+            versions.setdefault(name, []).append(sql)
+        total = 0
+        batch = {name: stack[-1] for name, stack in versions.items()}
+        while batch:
+            result = await self.submit(batch, journal=False)
+            total += len(batch)
+            batch = {}
+            for row in result["statements"]:
+                if row["status"] != "quarantined":
+                    continue
+                stack = versions.get(row["name"])
+                if stack:
+                    stack.pop()  # the attempted (latest) version failed
+                if stack:
+                    batch[row["name"]] = stack[-1]
+        self.counters["replayed"] += total
+        return total
 
     def _retry_after_hint(self):
         """A Retry-After guess: roughly how long the backlog takes to drain."""
@@ -295,6 +324,7 @@ class IngestBatcher:
         # ---- durability first: journal every accepted novel statement
         # (fsync'd) before any extraction work starts
         max_offset = None
+        journal_offsets = {}  # name -> its journal offset this batch
         if self._journal is not None and journal_names:
             entries = [
                 (name, changes[name], batch_hashes[name]) for name in journal_names
@@ -317,14 +347,20 @@ class IngestBatcher:
                         request.future.set_exception(failure)
                 return
             self.counters["journal_entries"] += len(offsets)
+            journal_offsets = dict(zip(journal_names, offsets))
             max_offset = offsets[-1] if offsets else None
 
         # ---- extraction, chunked so one oversized batch cannot stall
         # the loop: each chunk refreshes, freezes, and publishes on its
-        # own (readers see intermediate snapshots — by design)
+        # own (readers see intermediate snapshots — by design).  Internal
+        # batches (journal=False: boot replay, preload) are never split —
+        # chunk boundaries change dependency context and store keys,
+        # which is exactly what makes chunked replay ~5x slower (see
+        # replay()), and nobody reads intermediate snapshots during boot.
         items = list(changes.items())
         size = self._max_batch_statements
-        if size and len(items) > size:
+        splittable = all(request.journal for request in waiting)
+        if size and splittable and len(items) > size:
             chunks = [items[i:i + size] for i in range(0, len(items), size)]
             self.counters["batch_splits"] += len(chunks) - 1
         else:
@@ -365,13 +401,44 @@ class IngestBatcher:
         if failed:
             self.counters["batch_failures"] += 1
 
+        # ---- tombstone journaled statements that quarantined instead of
+        # publishing: without the mark, replay's and compaction's
+        # latest-per-name selection would resurrect the poison text and
+        # lose the name's last published definition across a crash
+        checkpoint_offset = max_offset
+        if self._journal is not None:
+            self._unmarked_quarantined.update(
+                journal_offsets[name] for name in failed
+                if name in journal_offsets
+            )
+            if self._unmarked_quarantined:
+                try:
+                    await loop.run_in_executor(
+                        self._executor,
+                        self._journal.mark_quarantined,
+                        sorted(self._unmarked_quarantined),
+                    )
+                    self._unmarked_quarantined.clear()
+                except JournalError:
+                    self.counters["journal_failures"] += 1
+            if self._unmarked_quarantined and checkpoint_offset is not None:
+                # the marks are not durable yet: hold the checkpoint
+                # below the oldest unmarked quarantined offset so
+                # compaction cannot fold away the prior published
+                # definition the name must fall back to on replay (the
+                # offsets stay in the retry set until a mark sticks)
+                checkpoint_offset = min(
+                    checkpoint_offset, min(self._unmarked_quarantined) - 1
+                )
+
         # ---- checkpoint after publish: everything journaled this batch
-        # has been processed (extracted or quarantined), so the journal
-        # prefix is eligible for compaction
-        if self._journal is not None and max_offset is not None:
+        # has been processed (extracted, or quarantined and durably
+        # marked), so the journal prefix is eligible for compaction
+        if self._journal is not None and checkpoint_offset is not None \
+                and checkpoint_offset >= 0:
             try:
                 await loop.run_in_executor(
-                    self._executor, self._journal.checkpoint, max_offset
+                    self._executor, self._journal.checkpoint, checkpoint_offset
                 )
             except JournalError:
                 # checkpoint advance is an optimisation (compaction

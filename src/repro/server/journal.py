@@ -26,6 +26,19 @@ On-disk layout (inside ``--journal-dir``):
   it are the unapplied suffix.  Replay runs the whole journal (the graph
   is memory-only), but the checkpoint is what compaction and the
   SIGTERM-during-preload guarantee are measured against.
+* ``quarantined.jsonl`` — offset tombstones (``{"q": offset, "c":
+  crc}``) for journaled statements that *quarantined* instead of
+  publishing.  The batcher journals before extraction, so a poison
+  redefinition of a healthy name lands in the journal; without the
+  tombstone, replay's and compaction's latest-per-name selection would
+  shadow the name's last *published* definition with text that never
+  made it into the graph.  Marked offsets are excluded from replay and
+  from compaction survivors, and ``next_offset`` accounts for them so a
+  compacted-away mark can never collide with a reused offset.  Lines
+  are independent records: a torn mark line is skipped, not
+  segment-ending, and a lost mark only costs a redundant replay attempt
+  (the batcher re-quarantines and falls back; see
+  :meth:`~repro.server.batcher.IngestBatcher.replay`).
 
 Compaction: once every offset of a closed segment is at or below the
 checkpoint (published, hence its extraction durable in the store), the
@@ -40,7 +53,18 @@ replay tolerates by deduplicating on offset.
 Failure semantics: an append that cannot be made durable raises
 :class:`JournalWriteError`; the batcher fails that batch with a
 *retryable* error (HTTP 503) and the daemon keeps serving — reads and
-duplicate-answering never touch the journal.
+duplicate-answering never touch the journal.  A *partial* append
+failure (ENOSPC mid-flush) may leave torn bytes inside the active
+segment; because replay stops a segment at its first invalid line,
+later durable entries written after that tear would be silently lost.
+So a failed append repairs the segment before the journal accepts
+anything else: the file is truncated back to its last fsync'd length,
+and if even that fails the segment is abandoned (the next append
+rotates) with ``next_offset`` advanced past every offset a torn line
+could claim — an abandoned segment's completed-but-unacknowledged lines
+may replay, which is sound because the client got a 503 and retries
+(dedupe absorbs the overlap), while acknowledged entries always land in
+a clean segment that replay reads in full.
 """
 
 import json
@@ -55,6 +79,7 @@ SEGMENT_MAX_ENTRIES = 1024
 _SEGMENT_PREFIX = "segment-"
 _SEGMENT_SUFFIX = ".jsonl"
 _CHECKPOINT = "checkpoint.json"
+_QUARANTINED = "quarantined.jsonl"
 
 
 class JournalError(Exception):
@@ -68,6 +93,10 @@ class JournalWriteError(JournalError):
 def _entry_crc(offset, name, digest, sql):
     payload = f"{offset}\x00{name}\x00{digest}\x00{sql}".encode("utf-8")
     return zlib.crc32(payload) & 0xFFFFFFFF
+
+
+def _mark_crc(offset):
+    return zlib.crc32(str(int(offset)).encode("utf-8")) & 0xFFFFFFFF
 
 
 def _segment_name(start_offset):
@@ -98,11 +127,19 @@ class IngestJournal:
         self._handle = None           # open append handle of the active segment
         self._segment_path = None
         self._segment_entries = 0     # entries in the active segment
+        self._synced_size = 0         # fsync'd byte length of the active segment
         self.appended = 0             # entries appended by THIS process
         self.compactions = 0
         entries = self._scan()
         self._entries_on_disk = len(entries)
-        self.next_offset = (max(entries) + 1) if entries else 0
+        self._quarantined = self._read_marks()
+        # next_offset clears the marks too: a mark may outlive its entry
+        # (compaction GC is best-effort), and a reused marked offset
+        # would wrongly exclude a fresh entry from replay
+        top = max(entries) if entries else -1
+        if self._quarantined:
+            top = max(top, max(self._quarantined))
+        self.next_offset = top + 1
         self.applied_offset = self._read_checkpoint()
 
     # ------------------------------------------------------------------
@@ -173,6 +210,35 @@ class IngestJournal:
         except (OSError, ValueError, KeyError, TypeError):
             return -1
 
+    def _read_marks(self):
+        """The persisted quarantined-offset set.
+
+        Mark lines are independent records (order and gaps carry no
+        meaning), so an invalid line is skipped rather than ending the
+        file the way a torn segment line would.
+        """
+        marks = set()
+        try:
+            with open(
+                os.path.join(self.directory, _QUARANTINED), "r",
+                encoding="utf-8", errors="replace",
+            ) as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                        offset = int(record["q"])
+                        crc = int(record["c"])
+                    except (ValueError, KeyError, TypeError):
+                        continue
+                    if _mark_crc(offset) == crc:
+                        marks.add(offset)
+        except OSError:
+            pass
+        return marks
+
     # ------------------------------------------------------------------
     # the write path
     # ------------------------------------------------------------------
@@ -187,6 +253,8 @@ class IngestJournal:
         )
         try:
             self._handle = open(self._segment_path, "a", encoding="utf-8")
+            self._handle.seek(0, os.SEEK_END)
+            self._synced_size = self._handle.tell()
         except OSError as error:
             self._handle = None
             raise JournalWriteError(
@@ -228,7 +296,9 @@ class IngestJournal:
             faults.fire("journal.fsync")
             if self.use_fsync:
                 os.fsync(self._handle.fileno())
+            self._synced_size = self._handle.tell()
         except (OSError, ValueError, faults.InjectedFault) as error:
+            self._discard_torn_tail(len(offsets))
             raise JournalWriteError(f"journal append failed: {error}") from error
         self.next_offset += len(offsets)
         self._segment_entries += len(offsets)
@@ -239,6 +309,71 @@ class IngestJournal:
             # process "at offset k" by counting these
             faults.fire("journal.append")
         return offsets
+
+    def _discard_torn_tail(self, batch_size):
+        """Repair the active segment after a failed append.
+
+        The failed write may have left torn bytes in the file; durable
+        entries appended after them would sit behind a line replay
+        refuses, silently losing acknowledged work.  Truncating back to
+        the last fsync'd length restores the "only the tail can be
+        torn" invariant.  If even the truncate fails, the segment is
+        abandoned — the handle is dropped so the next append rotates —
+        and ``next_offset`` skips past every offset the failed batch
+        could have written, so a torn-but-parseable line can never
+        collide with a later acknowledged entry.
+        """
+        handle = self._handle
+        if handle is None:
+            return
+        try:
+            handle.truncate(self._synced_size)
+            handle.flush()
+            if self.use_fsync:
+                os.fsync(handle.fileno())
+        except (OSError, ValueError):
+            try:
+                handle.close()
+            except (OSError, ValueError):
+                pass
+            self._handle = None
+            self.next_offset += batch_size
+
+    def mark_quarantined(self, offsets):
+        """Durably tombstone journal offsets that quarantined instead of
+        publishing; returns the offsets newly marked.
+
+        Replay and compaction skip marked offsets, so a poison
+        redefinition can never shadow a name's last *published*
+        definition.  Raises :class:`JournalWriteError` when the marks
+        cannot be made durable — the batcher then holds the checkpoint
+        below the unmarked offsets so compaction cannot fold away the
+        prior entry the name must fall back to.
+        """
+        fresh = sorted({int(offset) for offset in offsets} - self._quarantined)
+        if not fresh:
+            return []
+        path = os.path.join(self.directory, _QUARANTINED)
+        lines = [
+            json.dumps({"c": _mark_crc(offset), "q": offset}, sort_keys=True)
+            for offset in fresh
+        ]
+        try:
+            with open(path, "a", encoding="utf-8") as handle:
+                handle.write("\n".join(lines) + "\n")
+                handle.flush()
+                if self.use_fsync:
+                    os.fsync(handle.fileno())
+        except (OSError, ValueError) as error:
+            raise JournalWriteError(
+                f"quarantine mark failed: {error}"
+            ) from error
+        self._quarantined.update(fresh)
+        return fresh
+
+    def quarantined_offsets(self):
+        """The marked offsets (a copy; for stats and tests)."""
+        return set(self._quarantined)
 
     def checkpoint(self, offset):
         """Record that every entry at or below ``offset`` was published."""
@@ -267,11 +402,15 @@ class IngestJournal:
 
         The caller (daemon boot) feeds these through the normal batching
         path with journaling disabled — they are already durable.
+        Offsets marked quarantined are excluded: those statements never
+        published pre-crash, and replaying one would shadow the name's
+        last good definition.
         """
         entries = self._scan()
         return [
             (offset, name, sql, digest)
             for offset, (name, sql, digest) in sorted(entries.items())
+            if offset not in self._quarantined
         ]
 
     # ------------------------------------------------------------------
@@ -302,6 +441,10 @@ class IngestJournal:
         for _, entries in eligible:
             for offset, entry in entries.items():
                 merged.setdefault(offset, entry)
+        # quarantined entries never published: dropping them here is what
+        # lets the name's last *published* definition win latest-per-name
+        for offset in self._quarantined:
+            merged.pop(offset, None)
         # latest entry per name survives, keyed back by its offset
         latest = {}
         for offset in sorted(merged):
@@ -345,7 +488,40 @@ class IngestJournal:
             if path != target:
                 self._unlink(path)
         self.compactions += 1
-        self._entries_on_disk = len(self._scan())
+        remaining = self._scan()
+        self._entries_on_disk = len(remaining)
+        self._gc_marks(remaining)
+
+    def _gc_marks(self, entries_on_disk):
+        """Drop marks whose offsets compaction removed (best-effort).
+
+        A stale mark is harmless — ``next_offset`` accounts for marks,
+        so a compacted-away marked offset is never reused — which is
+        what makes a failed rewrite safe to ignore.
+        """
+        live = self._quarantined & set(entries_on_disk)
+        if live == self._quarantined:
+            return
+        path = os.path.join(self.directory, _QUARANTINED)
+        staging = path + ".tmp"
+        try:
+            with open(staging, "w", encoding="utf-8") as handle:
+                for offset in sorted(live):
+                    handle.write(
+                        json.dumps(
+                            {"c": _mark_crc(offset), "q": offset},
+                            sort_keys=True,
+                        )
+                        + "\n"
+                    )
+                handle.flush()
+                if self.use_fsync:
+                    os.fsync(handle.fileno())
+            os.replace(staging, path)
+        except OSError:
+            self._unlink(staging)
+            return
+        self._quarantined = live
 
     @staticmethod
     def _unlink(path):
@@ -365,6 +541,7 @@ class IngestJournal:
             "appended": self.appended,
             "segments": len(self._segment_paths()),
             "compactions": self.compactions,
+            "quarantined_offsets": len(self._quarantined),
             "fsync": self.use_fsync,
         }
 

@@ -355,6 +355,14 @@ class LineageStore:
         timing out repeatedly must not make every request pay its busy
         timeout.  After the cooldown one probe is allowed through; its
         success closes the breaker, its failure re-arms the cooldown.
+
+        Every failed attempt rolls the connection back (a failed commit
+        can leave the write transaction open, pinning the shard's write
+        lock and staging half-applied statements for whatever commits
+        next) and the backoff sleep happens with ``shard.lock``
+        *released* — during a fault storm the other readers/writers of
+        the shard must not queue behind a sleeping thread.  The lock is
+        re-held when ``operation`` runs and when this method returns.
         """
         now = time.monotonic()
         if shard.open_until > now:
@@ -364,14 +372,21 @@ class LineageStore:
         for attempt in range(1 + RETRY_ATTEMPTS):
             if attempt:
                 low, high = RETRY_BACKOFF_MS
-                time.sleep(
-                    (low + _BACKOFF_RNG.random() * (high - low)) * attempt / 1000.0
+                delay = (
+                    (low + _BACKOFF_RNG.random() * (high - low))
+                    * attempt / 1000.0
                 )
+                shard.lock.release()
+                try:
+                    time.sleep(delay)
+                finally:
+                    shard.lock.acquire()
             try:
                 faults.fire(f"store.{kind}", shard=index)
                 result = operation()
             except (sqlite3.Error, OSError, faults.InjectedFault) as caught:
                 error = caught
+                self._rollback_quietly(shard)
                 continue
             shard.failures = 0
             if shard.open_until:
@@ -401,6 +416,18 @@ class LineageStore:
                     index, shard.path, BREAKER_COOLDOWN_S, shard.failures,
                 )
         return False, None
+
+    @staticmethod
+    def _rollback_quietly(shard):
+        """Abandon any transaction a failed operation left open (the
+        connection may already be gone — every error is suppressed)."""
+        connection = shard.connection
+        if connection is None:
+            return
+        try:
+            connection.rollback()
+        except (sqlite3.Error, OSError):
+            pass
 
     def _count_degraded(self, shard, kind):
         if kind == "write":

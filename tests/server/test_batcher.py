@@ -7,6 +7,7 @@ import pytest
 from repro.core.lineage import LineageGraph
 from repro.output.registry import render
 from repro.server.batcher import ExtractionFailed, IngestBatcher, statement_hash
+from repro.server.journal import IngestJournal, JournalWriteError
 from repro.server.snapshot import SnapshotManager
 from repro.session import LineageSession
 
@@ -255,6 +256,133 @@ class TestFailureDomain:
             assert ok["statements"][0]["status"] == "extracted"
             assert snapshots.version == 1
             await batcher.stop()
+
+        _run(go())
+
+    def test_poison_redefinition_survives_crash_and_replay(self, tmp_path):
+        # the journal append precedes extraction, so a poison
+        # redefinition of a healthy name lands in the journal; recovery
+        # must serve the name's last *published* definition, not collapse
+        # last-wins onto the poison text and lose the name entirely
+        async def first_life():
+            journal = IngestJournal(tmp_path)
+            session = LineageSession()
+            snapshots = SnapshotManager(LineageGraph())
+            batcher = IngestBatcher(
+                session, snapshots, batch_window=0.005, journal=journal
+            )
+            batcher.start()
+            good = await batcher.submit({"v1": V1})
+            assert good["statements"][0]["status"] == "extracted"
+            poison = await batcher.submit({"v1": "CREATE VIEW v1 AS SELEKT"})
+            assert poison["statements"][0]["status"] == "quarantined"
+            edges = render(snapshots.current().graph, "csv")
+            await batcher.stop()
+            journal.close()
+            return edges
+
+        async def second_life():
+            journal = IngestJournal(tmp_path)
+            # the poison offset was durably tombstoned before the "crash"
+            assert journal.quarantined_offsets() == {1}
+            session = LineageSession()
+            snapshots = SnapshotManager(LineageGraph())
+            batcher = IngestBatcher(
+                session, snapshots, batch_window=0.005, journal=journal
+            )
+            batcher.start()
+            assert await batcher.replay(journal.replay_entries()) == 1
+            edges = render(snapshots.current().graph, "csv")
+            await batcher.stop()
+            journal.close()
+            return edges
+
+        edges_before_crash = _run(first_life())
+        assert _run(second_life()) == edges_before_crash
+
+    def test_replay_falls_back_when_the_poison_was_never_marked(
+        self, tmp_path
+    ):
+        # a tombstone can be lost (crash between quarantine and mark):
+        # replay then attempts the poison, re-quarantines it, and retries
+        # the name with its next-most-recent journaled definition
+        poison = "CREATE VIEW v1 AS SELEKT"
+        with IngestJournal(tmp_path) as journal:
+            journal.append_batch(
+                [
+                    ("v1", V1, statement_hash(V1)),
+                    ("v2", V2, statement_hash(V2)),
+                    ("v1", poison, statement_hash(poison)),
+                ]
+            )
+
+        async def recover():
+            journal = IngestJournal(tmp_path)
+            session = LineageSession()
+            snapshots = SnapshotManager(LineageGraph())
+            batcher = IngestBatcher(
+                session, snapshots, batch_window=0.005, journal=journal
+            )
+            batcher.start()
+            # pass 1: {v1: poison, v2} — poison quarantines, v2 publishes;
+            # pass 2: {v1: good} falls back and publishes
+            assert await batcher.replay(journal.replay_entries()) == 3
+            assert batcher.counters["quarantined"] == 1
+            edges = render(snapshots.current().graph, "csv")
+            await batcher.stop()
+            journal.close()
+            return edges
+
+        async def reference():
+            session = LineageSession()
+            snapshots = SnapshotManager(LineageGraph())
+            batcher = IngestBatcher(session, snapshots, batch_window=0.005)
+            batcher.start()
+            await batcher.submit({"v1": V1, "v2": V2})
+            edges = render(snapshots.current().graph, "csv")
+            await batcher.stop()
+            return edges
+
+        assert _run(recover()) == _run(reference())
+
+    def test_unmarkable_quarantine_holds_the_checkpoint(self, tmp_path):
+        # when the tombstone write fails, the checkpoint must stay below
+        # the poison offset — across batches — or compaction could fold
+        # away the fallback definition the mark was protecting
+        async def go():
+            journal = IngestJournal(tmp_path)
+            session = LineageSession()
+            snapshots = SnapshotManager(LineageGraph())
+            batcher = IngestBatcher(
+                session, snapshots, batch_window=0.005, journal=journal
+            )
+            batcher.start()
+            await batcher.submit({"v1": V1})  # offset 0, checkpointed
+            assert journal.applied_offset == 0
+
+            def refuse(offsets):
+                raise JournalWriteError("marks not durable")
+
+            journal.mark_quarantined = refuse
+            result = await batcher.submit(
+                {"v1": "CREATE VIEW v1 AS SELEKT", "v2": V2}  # offsets 1, 2
+            )
+            statuses = {
+                row["name"]: row["status"] for row in result["statements"]
+            }
+            assert statuses == {"v1": "quarantined", "v2": "extracted"}
+            assert journal.applied_offset == 0  # clamped below the poison
+            # a later healthy batch must NOT drag the checkpoint past the
+            # still-unmarked offset...
+            await batcher.submit({"v3": "CREATE VIEW v3 AS SELECT a FROM v2"})
+            assert journal.applied_offset == 0
+            # ...until marking recovers, after which it advances normally
+            del journal.mark_quarantined  # restore the real method
+            await batcher.submit({"v4": "CREATE VIEW v4 AS SELECT a FROM v2"})
+            assert journal.quarantined_offsets() == {1}
+            assert journal.applied_offset == 4
+            await batcher.stop()
+            journal.close()
 
         _run(go())
 

@@ -99,6 +99,134 @@ class TestTornTail:
         )
 
 
+class _TornHandle:
+    """Wraps a segment handle: the first write persists only half its
+    bytes and then fails, like ENOSPC mid-flush."""
+
+    def __init__(self, handle):
+        self.inner = handle
+        self.armed = True
+        self.fail_truncate = False
+
+    def write(self, data):
+        if self.armed:
+            self.armed = False
+            self.inner.write(data[: len(data) // 2])
+            raise OSError("no space left on device")
+        return self.inner.write(data)
+
+    def truncate(self, size=None):
+        if self.fail_truncate:
+            raise OSError("truncate failed")
+        return self.inner.truncate(size)
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)
+
+
+class TestTornTailRepair:
+    def test_partial_append_failure_keeps_later_entries_replayable(
+        self, tmp_path
+    ):
+        # torn bytes from a failed append must not sit in front of later
+        # fsync'd (acknowledged!) entries — replay stops a segment at the
+        # first invalid line, so the tail must be cut back first
+        with IngestJournal(tmp_path) as journal:
+            journal.append_batch([E1])
+            journal._handle = _TornHandle(journal._handle)
+            with pytest.raises(JournalWriteError):
+                journal.append_batch([E2])
+            assert journal.append_batch([E3]) == [1]
+        with IngestJournal(tmp_path) as journal:
+            assert journal.replay_entries() == [(0, *E1), (1, *E3)]
+
+    def test_unrepairable_segment_is_abandoned_not_reused(self, tmp_path):
+        # when even the truncate fails, the segment is abandoned and the
+        # offsets the torn batch could have claimed are skipped, so a
+        # half-written line can never collide with an acknowledged entry
+        with IngestJournal(tmp_path) as journal:
+            journal.append_batch([E1])
+            torn = _TornHandle(journal._handle)
+            torn.fail_truncate = True
+            journal._handle = torn
+            with pytest.raises(JournalWriteError):
+                journal.append_batch([E2])
+            assert journal.append_batch([E3]) == [2]  # fresh segment
+        with IngestJournal(tmp_path) as journal:
+            entries = journal.replay_entries()
+            assert (0, *E1) in entries
+            assert (2, *E3) in entries
+            assert journal.next_offset == 3
+
+
+class TestQuarantineMarks:
+    GOOD = ("v1", "CREATE VIEW v1 AS SELECT a FROM t1", "hash-good")
+    POISON = ("v1", "CREATE VIEW v1 AS SELEKT", "hash-poison")
+
+    def test_marked_offsets_are_excluded_from_replay(self, tmp_path):
+        with IngestJournal(tmp_path) as journal:
+            journal.append_batch([self.GOOD])
+            journal.append_batch([self.POISON])
+            assert journal.mark_quarantined([1]) == [1]
+            assert journal.replay_entries() == [(0, *self.GOOD)]
+        # the tombstone is durable: a restarted daemon skips it too
+        with IngestJournal(tmp_path) as journal:
+            assert journal.replay_entries() == [(0, *self.GOOD)]
+            assert journal.quarantined_offsets() == {1}
+
+    def test_marking_is_idempotent(self, tmp_path):
+        with IngestJournal(tmp_path) as journal:
+            journal.append_batch([self.GOOD, self.POISON])
+            assert journal.mark_quarantined([1]) == [1]
+            assert journal.mark_quarantined([1]) == []
+            assert journal.stats()["quarantined_offsets"] == 1
+
+    def test_compaction_keeps_the_last_published_definition(self, tmp_path):
+        # the poison redefinition postdates the good one; tombstoned, it
+        # must lose latest-per-name to the good entry instead of
+        # permanently discarding it (the crash-recovery data-loss bug)
+        with IngestJournal(tmp_path, segment_max_entries=2) as journal:
+            journal.append_batch([self.GOOD, ("v2", "SELECT 2", "h2")])
+            journal.append_batch([self.POISON, ("v3", "SELECT 5", "h5")])
+            journal.append_batch([("v4", "SELECT 6", "h6")])
+            journal.mark_quarantined([2])
+            journal.checkpoint(3)
+            assert journal.compactions == 1
+            assert journal.replay_entries() == [
+                (0, *self.GOOD),
+                (1, "v2", "SELECT 2", "h2"),
+                (3, "v3", "SELECT 5", "h5"),
+                (4, "v4", "SELECT 6", "h6"),
+            ]
+            # the compacted-away tombstone was garbage-collected with it
+            assert journal.quarantined_offsets() == set()
+
+    def test_stale_mark_never_blocks_a_reused_offset(self, tmp_path):
+        # a mark can outlive its entry (GC is best-effort); next_offset
+        # must clear the marks so a fresh entry never lands on a marked
+        # offset and silently vanishes from replay
+        with IngestJournal(tmp_path) as journal:
+            journal.append_batch([self.GOOD])
+            journal.mark_quarantined([5])
+        with IngestJournal(tmp_path) as journal:
+            assert journal.next_offset == 6
+            assert journal.append_batch([("v9", "SELECT 9", "h9")]) == [6]
+            assert (6, "v9", "SELECT 9", "h9") in journal.replay_entries()
+
+    def test_torn_mark_line_is_skipped_not_fatal(self, tmp_path):
+        # mark lines are independent records: a torn line is dropped
+        # without discarding the marks after it
+        with IngestJournal(tmp_path) as journal:
+            journal.append_batch([self.GOOD])
+            journal.append_batch([self.POISON])
+            journal.mark_quarantined([1])
+        marks = tmp_path / "quarantined.jsonl"
+        marks.write_text('{"q": 0' + "\n" + marks.read_text())
+        with IngestJournal(tmp_path) as journal:
+            assert journal.quarantined_offsets() == {1}
+            assert journal.replay_entries() == [(0, *self.GOOD)]
+
+
 class TestCheckpoint:
     def test_checkpoint_round_trips(self, tmp_path):
         with IngestJournal(tmp_path) as journal:

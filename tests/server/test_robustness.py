@@ -197,6 +197,26 @@ class TestBatchSplitting:
 
         asyncio.run(go())
 
+    def test_replay_is_never_split(self):
+        # chunk boundaries change dependency context and store keys —
+        # exactly what makes chunked replay slow and key-mismatched — so
+        # the split watchdog must not apply to journal replay / preload
+        async def go():
+            from repro.server.batcher import statement_hash
+
+            snapshots, batcher = await _make_batcher(max_batch_statements=2)
+            entries = [
+                (index, f"q{index}", _view(index), statement_hash(_view(index)))
+                for index in range(5)
+            ]
+            assert await batcher.replay(entries) == 5
+            assert batcher.counters["batch_splits"] == 0
+            assert snapshots.version == 1  # one batch, one publish
+            assert snapshots.current().stats["num_views"] == 5
+            await batcher.stop()
+
+        asyncio.run(go())
+
 
 class TestJournalFailure:
     def test_journal_write_failure_is_a_retryable_503(self, tmp_path):

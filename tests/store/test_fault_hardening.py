@@ -2,6 +2,7 @@
 
 import logging
 import random
+import sqlite3
 import time
 
 import pytest
@@ -166,6 +167,49 @@ class TestCircuitBreaker:
         for _ in range(BREAKER_THRESHOLD - 1):
             store.get(_key())
         assert store.health()["shards"][0]["breaker"] == "closed"
+
+
+class TestTransactionHygiene:
+    def test_failed_write_rolls_back_between_attempts(self, store):
+        # an operation that stages rows and then dies (e.g. a failed
+        # commit) must not leave an open write transaction: it would pin
+        # the shard's write lock until busy-timeout, and the staged rows
+        # would ride along with the next unrelated commit
+        shard = store._shards[0]
+        with shard.lock:
+            connection = store._connect_shard(shard)
+
+            def poisoned_write():
+                connection.execute(
+                    "INSERT OR REPLACE INTO source_records "
+                    "(source_key, record, created_at, last_used_at) "
+                    "VALUES ('stale', '[]', 0, 0)"
+                )
+                raise sqlite3.OperationalError("commit failed")
+
+            ok, _ = store._shard_io(shard, 0, "write", poisoned_write)
+            assert ok is False
+            assert connection.in_transaction is False
+        # a later successful commit must not carry the stale row with it
+        assert store.put_source("good", []) is True
+        with shard.lock:
+            rows = connection.execute(
+                "SELECT source_key FROM source_records"
+            ).fetchall()
+        assert rows == [("good",)]
+
+    def test_backoff_sleeps_release_the_shard_lock(self, store, monkeypatch):
+        # retry backoff must not stall every other reader/writer of the
+        # shard behind a sleeping thread during a fault storm
+        shard = store._shards[0]
+        held_during_sleep = []
+        monkeypatch.setattr(
+            "repro.store.store.time.sleep",
+            lambda duration: held_during_sleep.append(shard.lock.locked()),
+        )
+        faults.install(faults.FaultPlan(seed=0, rates={"store.write": 1.0}))
+        assert store.put(_key(), _entry()) is False
+        assert held_during_sleep == [False] * RETRY_ATTEMPTS
 
 
 class TestRetryBudget:
