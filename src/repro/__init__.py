@@ -55,6 +55,7 @@ from .catalog import Catalog, catalog_from_sql
 from .analysis.impact import impact_analysis
 from .dbt import lineagex_dbt
 from .session import LineageResult, LineageSession, SessionConfig
+from .streaming import QueryLogStreamer
 from .sources import (
     DbtSource,
     DirectorySource,
@@ -71,7 +72,7 @@ from .output.registry import (
     renderer_names,
 )
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "lineagex",
@@ -86,6 +87,7 @@ __all__ = [
     "DirectorySource",
     "DbtSource",
     "QueryLogSource",
+    "QueryLogStreamer",
     "detect_source",
     "register_source",
     "register_renderer",

@@ -52,7 +52,7 @@ from .output.registry import renderer_names
 from .session import ENGINES, LineageSession, SessionConfig
 from .sources import DbtSource, Source
 
-SUBCOMMANDS = ("extract", "impact", "render", "refresh", "cache", "serve")
+SUBCOMMANDS = ("extract", "impact", "render", "refresh", "cache", "serve", "stream")
 
 
 def _positive_int(text):
@@ -395,6 +395,64 @@ def build_subcommand_parser():
     )
     serve.set_defaults(handler=_cmd_serve)
 
+    stream = commands.add_parser(
+        "stream",
+        help="continuously stream a JSONL query log into a session "
+        "(micro-batches, crash-safe resume offset, store compaction)",
+    )
+    stream.add_argument(
+        "input",
+        help="the JSONL query log file to tail (one JSON object per "
+        "statement; see the query-log source docs)",
+    )
+    stream.add_argument(
+        "--follow", action="store_true",
+        help="keep polling for appended lines after reaching EOF "
+        "(default: replay to EOF once and exit)",
+    )
+    stream.add_argument(
+        "--batch-statements", type=_positive_int, metavar="N", default=1000,
+        help="maximum log lines consumed per micro-batch (default: 1000)",
+    )
+    stream.add_argument(
+        "--poll-interval-ms", type=float, metavar="MS", default=250.0,
+        help="--follow: how long to sleep when no new lines arrived "
+        "(default: 250 ms)",
+    )
+    stream.add_argument(
+        "--max-batches", type=_positive_int, metavar="N", default=None,
+        help="stop after N productive micro-batches (default: unbounded)",
+    )
+    stream.add_argument(
+        "--offset-file", metavar="FILE", default=None,
+        help="where the crash-safe resume offset is persisted "
+        "(default: <log>.offset.json next to the log)",
+    )
+    stream.add_argument(
+        "--no-resume", action="store_true",
+        help="ignore a persisted resume offset and re-ingest from the "
+        "start of the log",
+    )
+    stream.add_argument(
+        "--compact-max-entries", type=_positive_int, metavar="N", default=None,
+        help="with --cache-dir: run store gc down to N lineage records "
+        "periodically; superseded definitions are evicted first",
+    )
+    stream.add_argument(
+        "--compact-every", type=_positive_int, metavar="N", default=50,
+        help="batch interval of the in-line compaction (default: 50)",
+    )
+    stream.add_argument(
+        "--format", choices=renderer_names(), default="stats",
+        help="what to print when the stream ends (default: stats)",
+    )
+    stream.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the per-batch progress lines on stderr",
+    )
+    _add_extraction_options(stream)
+    stream.set_defaults(handler=_cmd_stream)
+
     return parser
 
 
@@ -579,6 +637,73 @@ def _cmd_cache(args, stdout):
     finally:
         store.close()
     return 0
+
+
+def _cmd_stream(args, stdout):
+    import os
+
+    if not os.path.isfile(args.input):
+        print(f"error: {args.input!r} is not a query log file", file=sys.stderr)
+        return 2
+    catalog = None
+    if args.catalog:
+        with open(args.catalog, "r", encoding="utf-8") as handle:
+            catalog = catalog_from_sql(handle.read())
+    config = SessionConfig(
+        strict=args.strict,
+        use_stack=not args.no_stack,
+        collect_traces=args.collect_traces,
+        mode=args.mode,
+        workers=args.workers,
+        engine=args.engine,
+        executor=args.executor,
+        cache_dir=args.cache_dir,
+        stream=args.stream,
+        cache_shards=args.cache_shards,
+    )
+
+    def on_batch(report):
+        if not args.quiet:
+            print(
+                f"stream: batch consumed={report['consumed']} "
+                f"applied={report['applied']} offset={report['byte_offset']}"
+                + (" (log rotated; restarted)" if report["reset"] else ""),
+                file=sys.stderr,
+            )
+
+    # the session is deliberately sourceless: the streamer's batches ARE
+    # the corpus, and a resumed prefix bootstraps it in one refresh
+    with LineageSession(catalog=catalog, config=config) as session:
+        streamer = session.stream_log(
+            args.input,
+            batch_statements=args.batch_statements,
+            offset_path=args.offset_file,
+            resume=not args.no_resume,
+            compact_max_entries=args.compact_max_entries,
+            compact_every=args.compact_every,
+        )
+        try:
+            stats = streamer.run(
+                follow=args.follow,
+                poll_interval=args.poll_interval_ms / 1000.0,
+                max_batches=args.max_batches,
+                on_batch=on_batch,
+            )
+        except KeyboardInterrupt:
+            stats = streamer.stats  # the last completed batch's offset is saved
+        print(
+            "stream: {statements} statements in {batches} batches "
+            "({applied} applied, {skipped} absorbed, "
+            "warm-hit ratio {warm_hit_ratio}); offset saved to {offset_path}".format(
+                **stats
+            ),
+            file=sys.stderr,
+        )
+        result = session.result
+        if result is None:
+            return 0
+        print(result.render(args.format), file=stdout)
+        return _warn_unresolved(result)
 
 
 def _cmd_serve(args, stdout):

@@ -453,6 +453,36 @@ class LineageSession:
         return merged
 
     # ------------------------------------------------------------------
+    def stream_log(self, log=None, **options):
+        """A :class:`~repro.streaming.QueryLogStreamer` tailing ``log``.
+
+        ``log`` is the path of a JSONL query log; when omitted, the
+        session's own source must be a file-backed query log.  The
+        returned streamer feeds this session in micro-batches (repeated
+        statements are absorbed by content hash, changed definitions go
+        through :meth:`refresh`), persists a crash-safe resume offset next
+        to the log, and optionally compacts superseded store records —
+        see :mod:`repro.streaming` for the knobs and the crash-safety
+        contract.  A *sourceless* session is the natural shape: its first
+        batch bootstraps the corpus.
+        """
+        from .streaming import QueryLogStreamer
+
+        if log is None:
+            source = self.source
+            if (
+                source is None
+                or getattr(source, "kind", None) != "query_log"
+                or not getattr(source, "is_file_backed", False)
+            ):
+                raise ValueError(
+                    "stream_log() needs a file-backed JSONL query log: pass "
+                    "the log path, or construct the session over one"
+                )
+            log = os.fspath(source.raw)
+        return QueryLogStreamer(self, log, **options)
+
+    # ------------------------------------------------------------------
     def snapshot(self):
         """An immutable, lock-free-readable view of the current graph.
 

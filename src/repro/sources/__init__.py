@@ -31,7 +31,14 @@ from .base import (
 from .text import TextSource
 from .filesystem import DirectorySource, FileSource
 from .dbt_source import DbtSource
-from .query_log import QueryLogFormatError, QueryLogRecord, QueryLogSource, parse_query_log
+from .query_log import (
+    LogPosition,
+    LogTailer,
+    QueryLogFormatError,
+    QueryLogRecord,
+    QueryLogSource,
+    parse_query_log,
+)
 
 __all__ = [
     "Source",
@@ -43,6 +50,8 @@ __all__ = [
     "QueryLogSource",
     "QueryLogRecord",
     "QueryLogFormatError",
+    "LogPosition",
+    "LogTailer",
     "parse_query_log",
     "detect_source",
     "register_source",

@@ -18,10 +18,26 @@ Re-executions of the same ``name`` are collapsed to the **latest**
 definition, which turns an append-only log into the warehouse's current
 state.  The input may be a path to a ``.jsonl``/``.ndjson`` file (re-scannable,
 so ``session.refresh()`` picks up appended lines) or the log text itself.
+
+Unnamed statements get an auto-generated identifier in the **reserved**
+``query_log:<line>`` namespace.  The colon keeps auto-names structurally
+distinct from anything a warehouse would call a relation; an explicit
+``name`` spelled like a reserved auto-name is rejected rather than silently
+merged with an unrelated auto-named statement.
+
+File-backed logs are read **incrementally**: a :class:`LogTailer` consumes
+only the bytes appended since the previous read (tracking byte offset,
+line count and a running prefix digest), detects rotation/truncation and
+restarts clean, and never commits a torn final line — so ``rescan()`` on a
+growing firehose log costs the tail, not the whole file.  The same tailer
+is the substrate of the continuous streaming mode
+(:class:`repro.streaming.QueryLogStreamer`).
 """
 
+import hashlib
 import json
 import os
+import re
 from dataclasses import dataclass, field
 from datetime import datetime, timezone
 
@@ -29,6 +45,21 @@ from .base import Source, fingerprint_mapping, register_source
 from ..sqlparser.dialect import normalize_name
 
 _LOG_SUFFIXES = (".jsonl", ".ndjson")
+
+#: how many non-empty lines ``_looks_like_log_text`` samples before
+#: claiming inline text as a query log.  Every sampled line must parse —
+#: a JSON first line over a SQL remainder falls through to TextSource.
+SNIFF_WINDOW = 8
+
+#: auto-generated names live in the reserved ``query_log:<line>`` namespace;
+#: the colon cannot appear in a SQL relation name, so a collision with a
+#: user-supplied ``name`` is impossible by construction (and an explicit
+#: name spelled like one is rejected instead of silently merging).
+_AUTO_NAME_PATTERN = re.compile(r"query_log:\d+\Z")
+
+#: bytes of the first log line remembered for cheap rotation detection
+#: (a copy-truncate rotation keeps the inode; a changed head betrays it).
+_HEAD_PROBE_BYTES = 256
 
 
 class QueryLogFormatError(ValueError):
@@ -72,51 +103,250 @@ class QueryLogRecord:
     extra: dict = field(default_factory=dict)
 
 
+def _parse_log_line(line, line_number):
+    """``line`` -> :class:`QueryLogRecord`, or ``None`` for a blank line.
+
+    The single parsing path shared by the one-shot loader, the incremental
+    tailer and the streamer — whatever consumes the log, a given line
+    always produces the same record (or the same error).
+    """
+    line = line.strip()
+    if not line:
+        return None
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as error:
+        raise QueryLogFormatError(
+            f"query log line {line_number} is not valid JSON: {error}"
+        ) from None
+    if not isinstance(payload, dict):
+        raise QueryLogFormatError(
+            f"query log line {line_number} must be a JSON object, "
+            f"got {type(payload).__name__}"
+        )
+    sql = payload.get("sql", payload.get("query"))
+    if not isinstance(sql, str) or not sql.strip():
+        raise QueryLogFormatError(
+            f"query log line {line_number} has no 'sql' (or 'query') string"
+        )
+    name = payload.get("name")
+    if name is None:
+        name = f"query_log:{line_number}"
+    else:
+        name = normalize_name(str(name))
+        if _AUTO_NAME_PATTERN.match(name):
+            raise QueryLogFormatError(
+                f"query log line {line_number}: explicit name {name!r} is in "
+                "the reserved auto-name namespace 'query_log:<line>'; "
+                "pick a different name"
+            )
+    extra = {
+        key: value
+        for key, value in payload.items()
+        if key not in ("sql", "query", "name", "timestamp")
+    }
+    return QueryLogRecord(
+        name=name,
+        sql=sql,
+        timestamp=payload.get("timestamp"),
+        line_number=line_number,
+        extra=extra,
+    )
+
+
+def _replay_order(records):
+    """``records`` sorted into replay order (a new list).
+
+    Chronological (ties broken by line number) when **every** record's
+    timestamp parses; file order for the whole log otherwise.
+    """
+    keys = [_timestamp_key(record.timestamp) for record in records]
+    ordered = list(records)
+    if ordered and all(key is not None for key in keys):
+        order = {id(record): key for record, key in zip(ordered, keys)}
+        ordered.sort(key=lambda record: (order[id(record)], record.line_number))
+    return ordered
+
+
 def parse_query_log(text):
     """Parse JSONL query-log text into a list of :class:`QueryLogRecord`."""
     records = []
     for line_number, line in enumerate(text.splitlines(), start=1):
-        line = line.strip()
-        if not line:
-            continue
-        try:
-            payload = json.loads(line)
-        except json.JSONDecodeError as error:
-            raise QueryLogFormatError(
-                f"query log line {line_number} is not valid JSON: {error}"
-            ) from None
-        if not isinstance(payload, dict):
-            raise QueryLogFormatError(
-                f"query log line {line_number} must be a JSON object, "
-                f"got {type(payload).__name__}"
-            )
-        sql = payload.get("sql", payload.get("query"))
-        if not isinstance(sql, str) or not sql.strip():
-            raise QueryLogFormatError(
-                f"query log line {line_number} has no 'sql' (or 'query') string"
-            )
-        name = payload.get("name")
-        if name is None:
-            name = f"query_log_{line_number}"
-        extra = {
-            key: value
-            for key, value in payload.items()
-            if key not in ("sql", "query", "name", "timestamp")
+        record = _parse_log_line(line, line_number)
+        if record is not None:
+            records.append(record)
+    return _replay_order(records)
+
+
+# ----------------------------------------------------------------------
+# Incremental tail reading
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class LogPosition:
+    """A consumed-prefix checkpoint of a log file.
+
+    ``byte_offset`` and ``line_count`` locate the resume point;
+    ``prefix_sha256`` is the digest of every byte consumed up to it, so a
+    rotated or rewritten log (same length, different content) is detected
+    on resume instead of being silently mis-spliced.
+    """
+
+    byte_offset: int = 0
+    line_count: int = 0
+    prefix_sha256: str = ""
+
+    def to_dict(self):
+        return {
+            "byte_offset": self.byte_offset,
+            "line_count": self.line_count,
+            "prefix_sha256": self.prefix_sha256,
         }
-        records.append(
-            QueryLogRecord(
-                name=normalize_name(str(name)),
-                sql=sql,
-                timestamp=payload.get("timestamp"),
-                line_number=line_number,
-                extra=extra,
-            )
+
+    @classmethod
+    def from_dict(cls, payload):
+        return cls(
+            byte_offset=int(payload["byte_offset"]),
+            line_count=int(payload["line_count"]),
+            prefix_sha256=str(payload["prefix_sha256"]),
         )
-    keys = [_timestamp_key(record.timestamp) for record in records]
-    if records and all(key is not None for key in keys):
-        order = {id(record): key for record, key in zip(records, keys)}
-        records.sort(key=lambda record: (order[id(record)], record.line_number))
-    return records
+
+
+class LogTailer:
+    """Incremental reader of a JSONL log file.
+
+    Consumes only bytes appended since the previous :meth:`read`, keeping
+    the consumed-prefix state (byte offset, raw line count, running SHA-256
+    over the consumed bytes).  Only **complete** lines (ending in a
+    newline) are ever committed — a torn final line written concurrently by
+    the producer is left for the next poll (:meth:`peek_tail` parses it
+    without committing, for quiescent-log replay parity with
+    :func:`parse_query_log`).
+
+    Rotation and truncation are detected per poll: a shrunken file, a
+    changed inode, or changed head bytes reset the tailer to offset 0 so
+    the caller can restart clean.
+    """
+
+    def __init__(self, path):
+        self.path = os.fspath(path)
+        self._offset = 0
+        self._lines = 0
+        self._digest = hashlib.sha256()
+        self._inode = None
+        self._head = b""
+
+    # -- state ----------------------------------------------------------
+    @property
+    def position(self):
+        """The committed consumed-prefix checkpoint."""
+        return LogPosition(
+            byte_offset=self._offset,
+            line_count=self._lines,
+            prefix_sha256=self._digest.hexdigest(),
+        )
+
+    def reset(self):
+        """Forget the consumed prefix; the next read starts at offset 0."""
+        self._offset = 0
+        self._lines = 0
+        self._digest = hashlib.sha256()
+        self._inode = None
+        self._head = b""
+
+    # -- reading --------------------------------------------------------
+    def _rotated(self, stat):
+        """True when the file at ``path`` is no longer our consumed log."""
+        if self._offset == 0:
+            return False
+        if stat.st_size < self._offset:
+            return True  # truncated
+        if self._inode is not None and stat.st_ino not in (0, self._inode):
+            return True  # replaced (new inode)
+        if self._head:
+            try:
+                with open(self.path, "rb") as handle:
+                    head = handle.read(len(self._head))
+            except OSError:
+                return True
+            if head != self._head:
+                return True  # rewritten in place (copy-truncate rotation)
+        return False
+
+    def read(self, max_lines=None):
+        """Consume up to ``max_lines`` complete new lines.
+
+        Returns ``(records, reset)``: the parsed, non-blank
+        :class:`QueryLogRecord` list (line numbers continue across reads),
+        and whether rotation/truncation was detected — in which case the
+        tailer restarted from offset 0 and ``records`` already holds the
+        beginning of the *new* log (the caller must discard state derived
+        from the old one first).
+        """
+        reset = False
+        try:
+            stat = os.stat(self.path)
+        except OSError:
+            if self._offset:
+                self.reset()
+                reset = True
+            return [], reset
+        if self._rotated(stat):
+            self.reset()
+            reset = True
+        records = []
+        if stat.st_size <= self._offset:
+            return records, reset
+        consumed = 0
+        with open(self.path, "rb") as handle:
+            handle.seek(self._offset)
+            while max_lines is None or consumed < max_lines:
+                line = handle.readline()
+                if not line or not line.endswith(b"\n"):
+                    break  # EOF, or a torn tail the producer is mid-write on
+                # parse BEFORE committing: a malformed line is never folded
+                # into the consumed prefix, so every rescan re-raises the
+                # same error the one-shot loader would
+                record = self._decode(line, self._lines + 1)
+                if self._offset == 0 and not self._head:
+                    self._head = line[:_HEAD_PROBE_BYTES]
+                self._digest.update(line)
+                self._offset += len(line)
+                self._lines += 1
+                consumed += 1
+                if record is not None:
+                    records.append(record)
+        if self._inode is None:
+            self._inode = stat.st_ino or None
+        return records, reset
+
+    def peek_tail(self):
+        """Parse the uncommitted trailing bytes (a final line without a
+        newline), without advancing the committed position.
+
+        Returns the record, or ``None`` when there is no tail, the tail is
+        blank, or it contains a newline (i.e. complete lines appeared since
+        the last :meth:`read` — call :meth:`read` again instead).  Because
+        nothing is committed, re-reading a log that later grows re-parses
+        the (now longer) final line correctly.
+        """
+        try:
+            with open(self.path, "rb") as handle:
+                handle.seek(self._offset)
+                chunk = handle.read()
+        except OSError:
+            return None
+        if not chunk or b"\n" in chunk:
+            return None
+        return self._decode(chunk, self._lines + 1)
+
+    def _decode(self, raw, line_number):
+        try:
+            text = raw.decode("utf-8")
+        except UnicodeDecodeError as error:
+            raise QueryLogFormatError(
+                f"query log line {line_number} is not valid UTF-8: {error}"
+            ) from None
+        return _parse_log_line(text, line_number)
 
 
 @register_source
@@ -125,6 +355,12 @@ class QueryLogSource(Source):
 
     kind = "query_log"
     priority = 10
+
+    def __init__(self, raw):
+        super().__init__(raw)
+        self._tailer = None          # LogTailer for file-backed sources
+        self._records = None         # parsed records, file order
+        self._keys_ok = True         # every cached record's timestamp parses
 
     @classmethod
     def matches(cls, raw):
@@ -138,20 +374,32 @@ class QueryLogSource(Source):
 
     @staticmethod
     def _looks_like_log_text(text):
+        """Claim inline text only when a whole window of lines parses.
+
+        Sampling just the first line mis-claims mixed content (a JSON
+        header over a SQL script) and then fails mid-extraction; requiring
+        every line of a bounded window to be a JSON object with a
+        ``sql``/``query`` key lets such text fall through to TextSource.
+        """
+        sampled = 0
         for line in text.splitlines():
             line = line.strip()
             if not line:
                 continue
+            if sampled >= SNIFF_WINDOW:
+                break
             if not line.startswith("{"):
                 return False
             try:
                 payload = json.loads(line)
             except json.JSONDecodeError:
                 return False
-            return isinstance(payload, dict) and (
+            if not isinstance(payload, dict) or not (
                 "sql" in payload or "query" in payload
-            )
-        return False
+            ):
+                return False
+            sampled += 1
+        return sampled > 0
 
     # ------------------------------------------------------------------
     @property
@@ -161,15 +409,53 @@ class QueryLogSource(Source):
             return True
         return isinstance(raw, str) and "\n" not in raw and os.path.isfile(raw)
 
-    def _text(self):
-        if self.is_file_backed:
-            with open(os.fspath(self.raw), "r", encoding="utf-8") as handle:
-                return handle.read()
-        return self.raw
+    def _ensure_records(self):
+        """``(records, all_keyed)`` — cached file-order records plus any
+        uncommitted tail, reading only the appended bytes for file-backed
+        logs (full parse once for inline text)."""
+        if not self.is_file_backed:
+            if self._records is None:
+                records = []
+                for number, line in enumerate(self.raw.splitlines(), start=1):
+                    record = _parse_log_line(line, number)
+                    if record is not None:
+                        records.append(record)
+                self._records = records
+                self._keys_ok = all(
+                    _timestamp_key(record.timestamp) is not None
+                    for record in records
+                )
+            return self._records, self._keys_ok
+        if self._tailer is None:
+            self._tailer = LogTailer(os.fspath(self.raw))
+            self._records = []
+            self._keys_ok = True
+        new_records, reset = self._tailer.read()
+        if reset:
+            self._records = []
+            self._keys_ok = True
+        if new_records:
+            self._records.extend(new_records)
+            if self._keys_ok:
+                self._keys_ok = all(
+                    _timestamp_key(record.timestamp) is not None
+                    for record in new_records
+                )
+        # a final line without a newline is parsed but never committed, so
+        # a log that grows past it re-reads the complete line next time
+        tail = self._tailer.peek_tail()
+        if tail is not None:
+            records = self._records + [tail]
+            keys_ok = self._keys_ok and _timestamp_key(tail.timestamp) is not None
+            return records, keys_ok
+        return self._records, self._keys_ok
 
     def records(self):
         """The parsed :class:`QueryLogRecord` list, in replay order."""
-        return parse_query_log(self._text())
+        records, keys_ok = self._ensure_records()
+        if keys_ok:
+            return _replay_order(records)
+        return list(records)
 
     def load(self):
         mapping = {}

@@ -88,6 +88,10 @@ CREATE TABLE IF NOT EXISTS source_records (
 );
 CREATE INDEX IF NOT EXISTS idx_source_last_used
     ON source_records (last_used_at);
+CREATE TABLE IF NOT EXISTS superseded_marks (
+    content_hash TEXT PRIMARY KEY,
+    marked_at    REAL NOT NULL
+);
 """
 
 #: filename of the SQLite database inside a single-file cache directory.
@@ -714,6 +718,13 @@ class LineageStore:
                         now,
                     ),
                 )
+                if content_hash:
+                    # a re-put definition is live again: clear any pending
+                    # superseded mark so compaction cannot evict it early
+                    connection.execute(
+                        "DELETE FROM superseded_marks WHERE content_hash = ?",
+                        (str(content_hash),),
+                    )
                 # commit per write: under WAL + synchronous=NORMAL a commit
                 # is lock release without an fsync, and holding an open
                 # write transaction across puts deadlocks two handles
@@ -781,6 +792,11 @@ class LineageStore:
                         " schema_fingerprint, record, created_at, last_used_at, use_count) "
                         "VALUES (?, ?, ?, ?, ?, ?, ?, ?, 0)",
                         batch,
+                    )
+                    # re-put definitions are live again — drop their marks
+                    connection.executemany(
+                        "DELETE FROM superseded_marks WHERE content_hash = ?",
+                        [(row[1],) for row in batch if row[1]],
                     )
                     # one transaction per shard batch, released here — see
                     # the per-write commit rationale in put()
@@ -909,6 +925,64 @@ class LineageStore:
         return _ParseCache(self, dialect)
 
     # ------------------------------------------------------------------
+    # Compaction: superseded-definition marks
+    # ------------------------------------------------------------------
+    def mark_superseded(self, content_hashes):
+        """Flag canonical content hashes whose definitions were replaced.
+
+        The streaming ingest calls this when a name's latest content hash
+        changes: the records cached under the *prior* hashes are still
+        valid (the cache key is content-addressed) but no longer describe
+        any live definition, so ``gc(max_entries=…)`` evicts them ahead of
+        the global LRU cutoff.  Marks are purely advisory — a marked hash
+        that gets re-put (the definition flipped back) is unmarked by the
+        write, so live hashes never regress to cold.  Returns the number
+        of marks written (best-effort, dropped-write semantics).
+        """
+        now = time.time()
+        by_shard = {}
+        for value in content_hashes:
+            text = str(value)
+            if text:
+                by_shard.setdefault(self.shard_of(text), set()).add(text)
+        marked = 0
+        for index, hashes in by_shard.items():
+            shard = self._shards[index]
+            with shard.lock:
+                connection = self._connect_shard(shard)
+                if connection is None:
+                    continue
+
+                def _write(connection=connection, hashes=hashes):
+                    connection.executemany(
+                        "INSERT OR REPLACE INTO superseded_marks "
+                        "(content_hash, marked_at) VALUES (?, ?)",
+                        [(value, now) for value in sorted(hashes)],
+                    )
+                    connection.commit()
+
+                ok, _ = self._shard_io(shard, index, "write", _write)
+                if ok:
+                    marked += len(hashes)
+        return marked
+
+    def superseded_count(self):
+        """How many content hashes are currently marked superseded."""
+        total = 0
+        for shard in self._shards:
+            with shard.lock:
+                connection = self._connect_shard(shard)
+                if connection is None:
+                    continue
+                try:
+                    total += connection.execute(
+                        "SELECT COUNT(*) FROM superseded_marks"
+                    ).fetchone()[0]
+                except sqlite3.Error:
+                    pass
+        return total
+
+    # ------------------------------------------------------------------
     # Maintenance (the CLI ``cache`` subcommand)
     # ------------------------------------------------------------------
     def stats(self):
@@ -922,6 +996,7 @@ class LineageStore:
         """
         entries = 0
         source_entries = 0
+        superseded_entries = 0
         size_bytes = 0
         extractor_versions = {}
         per_shard = []
@@ -929,6 +1004,7 @@ class LineageStore:
         for index, shard in enumerate(self._shards):
             shard_entries = 0
             shard_sources = 0
+            shard_superseded = 0
             shard_hits = 0
             with shard.lock:
                 connection = self._connect_shard(shard)
@@ -939,6 +1015,9 @@ class LineageStore:
                         ).fetchone()[0]
                         shard_sources = connection.execute(
                             "SELECT COUNT(*) FROM source_records"
+                        ).fetchone()[0]
+                        shard_superseded = connection.execute(
+                            "SELECT COUNT(*) FROM superseded_marks"
                         ).fetchone()[0]
                         shard_hits = connection.execute(
                             "SELECT COALESCE(SUM(use_count), 0) FROM lineage_records"
@@ -959,6 +1038,7 @@ class LineageStore:
                 pass
             entries += shard_entries
             source_entries += shard_sources
+            superseded_entries += shard_superseded
             size_bytes += shard_bytes
             per_shard.append(
                 {
@@ -966,6 +1046,7 @@ class LineageStore:
                     "path": shard.path,
                     "entries": shard_entries,
                     "source_entries": shard_sources,
+                    "superseded": shard_superseded,
                     "size_bytes": shard_bytes,
                     "hit_count": shard_hits,
                     "error_misses": shard.error_misses,
@@ -983,6 +1064,7 @@ class LineageStore:
             "shards": self.num_shards,
             "entries": entries,
             "source_entries": source_entries,
+            "superseded_entries": superseded_entries,
             "size_bytes": size_bytes,
             "extractor_versions": extractor_versions,
             "session_hits": self.hits,
@@ -1011,6 +1093,7 @@ class LineageStore:
                     ).fetchone()[0]
                     connection.execute("DELETE FROM lineage_records")
                     connection.execute("DELETE FROM source_records")
+                    connection.execute("DELETE FROM superseded_marks")
                     connection.commit()
                     shard.dirty = False
                 except sqlite3.Error:
@@ -1024,9 +1107,17 @@ class LineageStore:
         ``max_age_days`` drops records (lineage and parse) not used within
         the window; ``max_entries`` then keeps only the most recently used
         N lineage records *globally* (the recency cutoff is computed
-        across all shards, then applied shard-locally).
+        across all shards, then applied shard-locally).  When the store is
+        over the entry cap, **superseded-definition** records (see
+        :meth:`mark_superseded`) are evicted first, ahead of the LRU
+        cutoff — a redefinition-heavy streaming workload compacts to its
+        live set before any live record is touched.  Parse records whose
+        every lineage-bearing statement was evicted are deleted in the
+        same pass (and counted), so ``max_entries`` no longer strands
+        orphaned ``source_records`` in the shards forever.
         """
         removed = 0
+        lineage_evicted = False
         if max_age_days is not None:
             cutoff = time.time() - float(max_age_days) * 86400.0
             for shard in self._shards:
@@ -1041,27 +1132,39 @@ class LineageStore:
                                 (cutoff,),
                             )
                             removed += cursor.rowcount
+                            if table == "lineage_records" and cursor.rowcount:
+                                lineage_evicted = True
                         connection.commit()
                         shard.dirty = False
                     except sqlite3.Error:
                         pass
         if max_entries is not None:
             keep = int(max_entries)
-            stamps = []
-            for shard in self._shards:
-                with shard.lock:
-                    connection = self._connect_shard(shard)
-                    if connection is None:
-                        continue
-                    try:
-                        stamps.extend(
-                            row[0]
-                            for row in connection.execute(
-                                "SELECT last_used_at FROM lineage_records"
+            stamps = self._lineage_stamps()
+            if len(stamps) > keep:
+                # over the cap: superseded definitions go first — their
+                # records describe no live statement, so evicting them
+                # can never cost a warm splice
+                for shard in self._shards:
+                    with shard.lock:
+                        connection = self._connect_shard(shard)
+                        if connection is None:
+                            continue
+                        try:
+                            cursor = connection.execute(
+                                "DELETE FROM lineage_records WHERE content_hash "
+                                "IN (SELECT content_hash FROM superseded_marks)"
                             )
-                        )
-                    except sqlite3.Error:
-                        pass
+                            removed += cursor.rowcount
+                            if cursor.rowcount:
+                                lineage_evicted = True
+                            connection.execute("DELETE FROM superseded_marks")
+                            connection.commit()
+                            shard.dirty = False
+                        except sqlite3.Error:
+                            pass
+                if lineage_evicted:
+                    stamps = self._lineage_stamps()
             if len(stamps) > keep:
                 # the newest `keep` stamps survive; everything strictly
                 # older than the keep-th newest goes, and ties at the
@@ -1086,6 +1189,8 @@ class LineageStore:
                                 )
                             removed += cursor.rowcount
                             over -= cursor.rowcount
+                            if cursor.rowcount:
+                                lineage_evicted = True
                             connection.commit()
                             shard.dirty = False
                         except sqlite3.Error:
@@ -1108,12 +1213,113 @@ class LineageStore:
                                 )
                                 removed += cursor.rowcount
                                 over -= cursor.rowcount
+                                if cursor.rowcount:
+                                    lineage_evicted = True
                                 connection.commit()
                                 shard.dirty = False
                             except sqlite3.Error:
                                 pass
+        if lineage_evicted:
+            removed += self._prune_orphan_sources()
         self._lru.clear()
         return removed
+
+    def _lineage_stamps(self):
+        """Every lineage record's ``last_used_at``, across all shards."""
+        stamps = []
+        for shard in self._shards:
+            with shard.lock:
+                connection = self._connect_shard(shard)
+                if connection is None:
+                    continue
+                try:
+                    stamps.extend(
+                        row[0]
+                        for row in connection.execute(
+                            "SELECT last_used_at FROM lineage_records"
+                        )
+                    )
+                except sqlite3.Error:
+                    pass
+        return stamps
+
+    def _prune_orphan_sources(self):
+        """Delete parse records whose lineage records are all gone.
+
+        A ``source_records`` row caches the statement records of one
+        source fragment; once every lineage-bearing statement hash it
+        mentions has been evicted, re-using it would only feed extractions
+        whose results are cold anyway — it is dead weight.  Fragments that
+        never produced lineage (pure DDL/skip records, or legacy records
+        without content hashes) are kept.  Returns the number deleted.
+        If any shard's survivor scan fails, pruning is skipped entirely —
+        guessing at liveness would delete parse records for hashes we
+        simply could not see.
+        """
+        survivors = set()
+        for shard in self._shards:
+            with shard.lock:
+                connection = self._connect_shard(shard)
+                if connection is None:
+                    if shard.broken:
+                        continue  # permanently empty, nothing survives there
+                    return 0
+                try:
+                    survivors.update(
+                        row[0]
+                        for row in connection.execute(
+                            "SELECT DISTINCT content_hash FROM lineage_records"
+                        )
+                    )
+                except sqlite3.Error:
+                    return 0
+        removed = 0
+        for shard in self._shards:
+            with shard.lock:
+                connection = self._connect_shard(shard)
+                if connection is None:
+                    continue
+                try:
+                    rows = connection.execute(
+                        "SELECT source_key, record FROM source_records"
+                    ).fetchall()
+                except sqlite3.Error:
+                    continue
+                doomed = [
+                    key for key, text in rows
+                    if self._source_orphaned(text, survivors)
+                ]
+                if not doomed:
+                    continue
+                try:
+                    connection.executemany(
+                        "DELETE FROM source_records WHERE source_key = ?",
+                        [(key,) for key in doomed],
+                    )
+                    connection.commit()
+                    shard.dirty = False
+                    removed += len(doomed)
+                except sqlite3.Error:
+                    pass
+        return removed
+
+    @staticmethod
+    def _source_orphaned(text, survivors):
+        """True when a parse record references lineage hashes, none alive."""
+        try:
+            records = json.loads(text)
+        except (TypeError, ValueError):
+            return False
+        if not isinstance(records, list):
+            return False
+        hashes = [
+            record["content_hash"]
+            for record in records
+            if isinstance(record, dict)
+            and isinstance(record.get("content_hash"), str)
+            and record.get("kind") not in ("ddl", "skip")
+        ]
+        return bool(hashes) and not any(value in survivors for value in hashes)
 
     # ------------------------------------------------------------------
     # Re-sharding
@@ -1159,6 +1365,10 @@ class LineageStore:
                         (
                             "source_records",
                             "source_key, record, created_at, last_used_at",
+                        ),
+                        (
+                            "superseded_marks",
+                            "content_hash, marked_at",
                         ),
                     ):
                         try:

@@ -10,6 +10,7 @@ from repro.sources import (
     DbtSource,
     DirectorySource,
     FileSource,
+    LogTailer,
     QueryLogFormatError,
     QueryLogSource,
     Source,
@@ -83,6 +84,17 @@ class TestDetection:
         text = json.dumps({"sql": SQL}) + "\n" + json.dumps({"sql": "SELECT u.x FROM u"})
         assert detect_source(text).kind == "query_log"
 
+    def test_json_first_line_over_sql_remainder_is_text(self):
+        # only the first line is JSON; the rest is a SQL script.  Sniffing
+        # just line 1 used to claim this as a query log and then fail
+        # mid-extraction — the whole sample window must parse.
+        text = json.dumps({"sql": SQL}) + "\n" + SQL + "\nSELECT u.x FROM u"
+        assert detect_source(text).kind == "text"
+
+    def test_json_lines_without_sql_key_are_text(self):
+        text = "\n".join(json.dumps({"event": i}) for i in range(3))
+        assert detect_source(text).kind == "text"
+
     def test_source_instance_passes_through(self):
         source = TextSource(SQL)
         assert detect_source(source) is source
@@ -141,7 +153,25 @@ class TestQueryLogParsing:
         text = json.dumps({"query": "SELECT t.a FROM t"})
         records = parse_query_log(text)
         assert records[0].sql == "SELECT t.a FROM t"
-        assert records[0].name == "query_log_1"
+        assert records[0].name == "query_log:1"
+
+    def test_auto_name_cannot_collide_with_explicit_names(self):
+        # an explicit "query_log_2" used to collide with the line-2 auto
+        # name and silently swallow one of the two statements
+        lines = [
+            {"name": "query_log_2", "sql": "SELECT t.a FROM t"},
+            {"sql": "SELECT t.b FROM t"},
+        ]
+        text = "\n".join(json.dumps(line) for line in lines)
+        records = parse_query_log(text)
+        assert [record.name for record in records] == ["query_log_2", "query_log:2"]
+        mapping = QueryLogSource(text).load()
+        assert set(mapping) == {"query_log_2", "query_log:2"}
+
+    def test_explicit_name_in_reserved_namespace_rejected(self):
+        text = json.dumps({"name": "query_log:7", "sql": "SELECT t.a FROM t"})
+        with pytest.raises(QueryLogFormatError, match="reserved auto-name"):
+            parse_query_log(text)
 
     def test_extra_keys_preserved(self):
         text = json.dumps({"sql": SQL, "name": "v", "user": "etl", "duration_ms": 12})
@@ -256,3 +286,187 @@ class TestRescanAndFingerprints:
             handle.write(json.dumps({"name": "w", "sql": "SELECT v.a FROM v"}) + "\n")
         changes = diff_fingerprints(before, source.rescan())
         assert set(changes) == {"w"}
+
+    def test_rescan_after_append_matches_one_shot_load(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        lines = [
+            {"name": "v", "sql": SQL, "timestamp": 3},
+            {"name": "w", "sql": "SELECT v.a FROM v", "timestamp": "2026-01-01T00:00:05Z"},
+        ]
+        path.write_text("".join(json.dumps(line) + "\n" for line in lines))
+        incremental = QueryLogSource(str(path))
+        incremental.load()
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps({"name": "v", "sql": "SELECT t.b FROM t",
+                                     "timestamp": 9}) + "\n")
+        # a fresh source parsing the whole file and the incremental source
+        # that only read the appended tail must agree byte for byte
+        assert incremental.rescan() == QueryLogSource(str(path)).load()
+
+
+class TestMixedTimestampLogs:
+    def _log(self, *lines):
+        return "\n".join(json.dumps(line) for line in lines)
+
+    def test_epoch_iso_and_z_suffix_in_one_file(self):
+        text = self._log(
+            {"name": "c", "sql": "SELECT t.c FROM t",
+             "timestamp": "2026-01-01T00:00:10+00:00"},
+            {"name": "a", "sql": "SELECT t.a FROM t", "timestamp": 1767225600},
+            {"name": "b", "sql": "SELECT t.b FROM t",
+             "timestamp": "2026-01-01T00:00:05Z"},
+        )
+        # 1767225600 epoch == 2026-01-01T00:00:00Z: all three styles reduce
+        # to the same clock and replay chronologically
+        assert [r.name for r in parse_query_log(text)] == ["a", "b", "c"]
+
+    def test_equal_timestamps_tie_break_by_line_number(self):
+        text = self._log(
+            {"name": "first", "sql": "SELECT t.a FROM t", "timestamp": 5},
+            {"name": "second", "sql": "SELECT t.b FROM t",
+             "timestamp": "1970-01-01T00:00:05Z"},
+        )
+        assert [r.name for r in parse_query_log(text)] == ["first", "second"]
+
+    def test_single_unparseable_timestamp_forces_file_order(self):
+        text = self._log(
+            {"name": "z", "sql": "SELECT t.a FROM t", "timestamp": 99},
+            {"name": "m", "sql": "SELECT t.b FROM t", "timestamp": "not a time"},
+            {"name": "a", "sql": "SELECT t.c FROM t", "timestamp": 1},
+        )
+        # one bad key poisons chronological replay for the whole log
+        assert [r.name for r in parse_query_log(text)] == ["z", "m", "a"]
+
+    def test_missing_timestamp_also_forces_file_order(self):
+        text = self._log(
+            {"name": "z", "sql": "SELECT t.a FROM t", "timestamp": 99},
+            {"name": "a", "sql": "SELECT t.b FROM t"},
+        )
+        assert [r.name for r in parse_query_log(text)] == ["z", "a"]
+
+    def test_file_backed_source_matches_inline_ordering(self, tmp_path):
+        text = self._log(
+            {"name": "late", "sql": "SELECT t.a FROM t",
+             "timestamp": "2026-06-01T00:00:00Z"},
+            {"name": "early", "sql": "SELECT t.b FROM t", "timestamp": 3},
+        )
+        path = tmp_path / "log.jsonl"
+        path.write_text(text + "\n")
+        inline = [r.name for r in QueryLogSource(text).records()]
+        file_backed = [r.name for r in QueryLogSource(str(path)).records()]
+        assert inline == file_backed == ["early", "late"]
+
+
+class TestLogTailer:
+    def _write(self, path, *lines, mode="w"):
+        with open(path, mode, encoding="utf-8") as handle:
+            for line in lines:
+                handle.write(json.dumps(line) + "\n")
+
+    def test_incremental_reads_only_consume_new_lines(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        self._write(path, {"name": "a", "sql": "SELECT t.a FROM t"})
+        tailer = LogTailer(path)
+        records, reset = tailer.read()
+        assert not reset and [r.name for r in records] == ["a"]
+        self._write(path, {"name": "b", "sql": "SELECT t.b FROM t"}, mode="a")
+        records, reset = tailer.read()
+        assert not reset and [r.name for r in records] == ["b"]
+        assert records[0].line_number == 2
+        assert tailer.read() == ([], False)
+
+    def test_torn_tail_is_not_committed(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        self._write(path, {"name": "a", "sql": "SELECT t.a FROM t"})
+        half = json.dumps({"name": "b", "sql": "SELECT t.b FROM t"})
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(half[: len(half) // 2])  # producer mid-write
+        tailer = LogTailer(path)
+        records, _ = tailer.read()
+        assert [r.name for r in records] == ["a"]
+        offset_before = tailer.position.byte_offset
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(half[len(half) // 2 :] + "\n")  # line completed
+        records, reset = tailer.read()
+        assert not reset and [r.name for r in records] == ["b"]
+        assert tailer.position.byte_offset > offset_before
+
+    def test_peek_tail_parses_without_committing(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        self._write(path, {"name": "a", "sql": "SELECT t.a FROM t"})
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps({"name": "b", "sql": "SELECT t.b FROM t"}))
+        tailer = LogTailer(path)
+        tailer.read()
+        before = tailer.position
+        peeked = tailer.peek_tail()
+        assert peeked is not None and peeked.name == "b"
+        assert tailer.position == before
+
+    def test_truncation_detected_as_reset(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        self._write(path, {"name": "a", "sql": "SELECT t.a FROM t"},
+                    {"name": "b", "sql": "SELECT t.b FROM t"})
+        tailer = LogTailer(path)
+        tailer.read()
+        self._write(path, {"name": "c", "sql": "SELECT t.c FROM t"})  # shorter
+        records, reset = tailer.read()
+        assert reset and [r.name for r in records] == ["c"]
+        assert tailer.position.line_count == 1
+
+    def test_replacement_rotation_detected_via_inode(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        self._write(path, {"name": "a", "sql": "SELECT t.a FROM t"})
+        tailer = LogTailer(path)
+        tailer.read()
+        fresh = tmp_path / "fresh.jsonl"
+        # new file is LONGER than the consumed prefix, so only the inode
+        # (or head bytes) betray the rotation
+        self._write(fresh, {"name": "x", "sql": "SELECT t.x FROM t"},
+                    {"name": "y", "sql": "SELECT t.y FROM t"})
+        os.replace(fresh, path)
+        records, reset = tailer.read()
+        assert reset and [r.name for r in records] == ["x", "y"]
+
+    def test_copy_truncate_rotation_detected_via_head_bytes(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        self._write(path, {"name": "a", "sql": "SELECT t.a FROM t"})
+        tailer = LogTailer(path)
+        tailer.read()
+        tailer._inode = None  # simulate a filesystem with unstable inodes
+        self._write(path, {"name": "bbbbbb", "sql": "SELECT t.b FROM t"},
+                    {"name": "c", "sql": "SELECT t.c FROM t"})
+        records, reset = tailer.read()
+        assert reset and [r.name for r in records] == ["bbbbbb", "c"]
+
+    def test_deleted_log_resets(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        self._write(path, {"name": "a", "sql": "SELECT t.a FROM t"})
+        tailer = LogTailer(path)
+        tailer.read()
+        os.remove(path)
+        assert tailer.read() == ([], True)
+        assert tailer.position.byte_offset == 0
+
+    def test_malformed_line_raises_on_every_read(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        self._write(path, {"name": "a", "sql": "SELECT t.a FROM t"})
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("{not json}\n")
+        tailer = LogTailer(path)
+        with pytest.raises(QueryLogFormatError, match="line 2"):
+            tailer.read()
+        # the bad line was not folded into the consumed prefix: a second
+        # read raises again instead of silently skipping it
+        with pytest.raises(QueryLogFormatError, match="line 2"):
+            tailer.read()
+
+    def test_position_roundtrips_through_dict(self, tmp_path):
+        from repro.sources import LogPosition
+
+        path = tmp_path / "log.jsonl"
+        self._write(path, {"name": "a", "sql": "SELECT t.a FROM t"})
+        tailer = LogTailer(path)
+        tailer.read()
+        position = tailer.position
+        assert LogPosition.from_dict(position.to_dict()) == position

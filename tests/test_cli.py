@@ -389,3 +389,51 @@ class TestCacheSubcommand:
     def test_cache_dir_required(self):
         with pytest.raises(SystemExit):
             run_cli("cache", "stats")
+
+
+class TestStreamSubcommand:
+    def _log(self, tmp_path):
+        path = tmp_path / "q.jsonl"
+        lines = [
+            {"name": "base", "sql": "CREATE TABLE base (id INT, v INT)",
+             "timestamp": 1},
+            {"name": "v1", "sql": "CREATE VIEW v1 AS SELECT id, v FROM base",
+             "timestamp": 2},
+        ]
+        path.write_text("".join(json.dumps(line) + "\n" for line in lines))
+        return str(path)
+
+    def test_stream_drains_log_and_renders(self, tmp_path):
+        log = self._log(tmp_path)
+        code, output = run_cli("stream", log, "--quiet", "--format", "json")
+        assert code == 0
+        payload = json.loads(output)
+        assert "v1" in payload["relations"]
+        # the resume offset was persisted next to the log
+        offset = json.loads((tmp_path / "q.jsonl.offset.json").read_text())
+        assert offset["line_count"] == 2
+
+    def test_stream_resumes_from_offset(self, tmp_path):
+        log = self._log(tmp_path)
+        code, _ = run_cli("stream", log, "--quiet", "--format", "json")
+        assert code == 0
+        with open(log, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(
+                {"name": "v2", "sql": "CREATE VIEW v2 AS SELECT id FROM v1",
+                 "timestamp": 3}) + "\n")
+        code, output = run_cli("stream", log, "--quiet", "--format", "json")
+        assert code == 0
+        assert "v2" in json.loads(output)["relations"]
+
+    def test_stream_missing_file_errors(self, tmp_path):
+        code, _ = run_cli("stream", str(tmp_path / "absent.jsonl"), "--quiet")
+        assert code == 2
+
+    def test_stream_with_cache_and_compaction(self, tmp_path):
+        log = self._log(tmp_path)
+        cache_dir = str(tmp_path / "cache")
+        code, _ = run_cli(
+            "stream", log, "--quiet", "--cache-dir", cache_dir,
+            "--compact-max-entries", "10", "--compact-every", "1",
+        )
+        assert code == 0
